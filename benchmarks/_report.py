@@ -1,0 +1,64 @@
+"""Shared paper-vs-measured reporting for the benchmark harness.
+
+Every benchmark records rows via :func:`record`; the conftest's
+``pytest_terminal_summary`` hook prints one aligned table per experiment at
+the end of the run, so ``pytest benchmarks/ --benchmark-only`` regenerates
+the paper's tables and figures in one shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+Value = Union[int, float, str, None]
+
+#: experiment id -> rows; populated by the benchmark modules.
+RESULTS: Dict[str, List["Row"]] = {}
+
+
+@dataclass
+class Row:
+    metric: str
+    paper: Value
+    measured: Value
+    note: str = ""
+
+    def format(self, width: int) -> str:
+        def show(value: Value) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.6g}"
+            return str(value)
+
+        return (
+            f"  {self.metric:<{width}}  "
+            f"{show(self.paper):>14}  {show(self.measured):>14}  {self.note}"
+        )
+
+
+def record(
+    experiment: str,
+    metric: str,
+    paper: Value,
+    measured: Value,
+    note: str = "",
+) -> None:
+    """Record one paper-vs-measured row for the end-of-run table."""
+    RESULTS.setdefault(experiment, []).append(Row(metric, paper, measured, note))
+
+
+def render_all() -> str:
+    lines: List[str] = []
+    for experiment in sorted(RESULTS):
+        rows = RESULTS[experiment]
+        width = max(len(row.metric) for row in rows)
+        width = max(width, len("metric"))
+        lines.append("")
+        lines.append(f"=== {experiment} ===")
+        lines.append(
+            f"  {'metric':<{width}}  {'paper':>14}  {'measured':>14}"
+        )
+        lines.extend(row.format(width) for row in rows)
+    return "\n".join(lines)

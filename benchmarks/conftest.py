@@ -1,0 +1,14 @@
+"""Benchmark-suite plumbing: paper-vs-measured summary table."""
+
+import _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _report.RESULTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "Paper-vs-measured summary (see EXPERIMENTS.md for discussion):"
+    )
+    for line in _report.render_all().splitlines():
+        terminalreporter.write_line(line)

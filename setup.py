@@ -1,0 +1,8 @@
+"""Shim for offline editable installs (no wheel package available).
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this; all
+real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — reproduction of *Automatic Volume Management for Programmable
+Microfluidics* (Amin et al., PLDI 2008).
+
+The package provides, end to end:
+
+* :mod:`repro.core` — the paper's contribution: the assay DAG IR, DAGSolve,
+  the LP/ILP formulations of RVol/IVol, cascading, static replication, the
+  volume-management hierarchy, and the statically-unknown machinery;
+* :mod:`repro.lang` — the small high-level assay language of Section 4.1;
+* :mod:`repro.ir` — the AquaCore Instruction Set (AIS) program form,
+  lowering, reservoir allocation and backward slicing;
+* :mod:`repro.compiler` — the source -> AIS + volume-plan driver;
+* :mod:`repro.machine` — an executable AquaCore PLoC model (reservoirs,
+  functional units, metering pumps, least count);
+* :mod:`repro.runtime` — the run-time system: executor, on-line volume
+  measurement and Biostream-style regeneration;
+* :mod:`repro.assays` — the paper's benchmark assays (glucose, glycomics,
+  enzyme, enzyme10) plus generators for scaling studies.
+
+Quickstart::
+
+    from repro import PAPER_LIMITS, dagsolve
+    from repro.assays import paper_example
+
+    dag = paper_example.build_dag()
+    assignment = dagsolve(dag, PAPER_LIMITS)
+    print(assignment.as_floats())
+"""
+
+from .core import (
+    PAPER_LIMITS,
+    AssayDAG,
+    Edge,
+    HardwareLimits,
+    Node,
+    NodeKind,
+    RuntimePlanner,
+    VolumeAssignment,
+    VolumeManager,
+    VolumePlan,
+    cascade_extreme_mixes,
+    compute_vnorms,
+    dagsolve,
+    ilp_solve,
+    iterative_replication,
+    lp_solve,
+    partition_unknown_volumes,
+    round_assignment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AssayDAG",
+    "Node",
+    "Edge",
+    "NodeKind",
+    "HardwareLimits",
+    "PAPER_LIMITS",
+    "VolumeAssignment",
+    "VolumeManager",
+    "VolumePlan",
+    "RuntimePlanner",
+    "compute_vnorms",
+    "dagsolve",
+    "lp_solve",
+    "ilp_solve",
+    "round_assignment",
+    "cascade_extreme_mixes",
+    "iterative_replication",
+    "partition_unknown_volumes",
+]

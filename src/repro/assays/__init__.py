@@ -1,0 +1,21 @@
+"""Benchmark assays from the paper plus synthetic generators.
+
+Each assay module exposes:
+
+* ``SOURCE`` — the assay in the high-level language of Section 4.1 (where
+  the paper prints one, Figures 9-11);
+* ``build_dag()`` — the assay DAG built directly against
+  :class:`repro.core.AssayDAG` (ground truth for the compiler tests);
+* paper-specific helpers/constants used by the benchmarks.
+"""
+
+from . import enzyme, extra, generators, glucose, glycomics, paper_example
+
+__all__ = [
+    "paper_example",
+    "glucose",
+    "glycomics",
+    "enzyme",
+    "generators",
+    "extra",
+]

@@ -1,0 +1,154 @@
+"""The enzyme-kinetics assay (paper Figure 11, evaluated in Figure 14).
+
+Four serial dilutions (1:1, 1:9, 1:99, 1:999) are prepared for each of the
+enzyme, the substrate and the inhibitor, all from a shared diluent; every
+combination of the three dilution series is then mixed 1:1:1, incubated and
+sensed — 64 combination mixes, so **each dilution is used 16 times and the
+diluent 12 times**.
+
+This is the paper's stress test for volume management:
+
+* the 1:999 dilutions are *extreme mixes* (minor share equal to the
+  100 pl / 100 nl dynamic range), and
+* the diluent's Vnorm (~54) makes it the binding fluid.
+
+DAGSolve alone dispenses 9.8 pl for the enzyme share of the 1:999 mix —
+underflow (LP fails too).  Cascading the 1:999 mixes into three 1:9 stages
+removes that underflow but raises diluent uses from 12 to 18 (Vnorm ~81),
+leaving a 65.6 pl underflow at the 1:99 mixes; replicating the diluent
+three ways (Vnorm 27 per replica) finally lifts the minimum to ~197 pl.
+Replication *without* cascading only reaches 29.5 pl (3 x 9.8).
+
+``build_dag(n)`` generalises the dilution count for the Enzyme10 scaling
+experiment (Table 2): ``n`` dilutions per reagent produce ``n**3``
+combination mixes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..core.dag import AssayDAG
+
+__all__ = [
+    "SOURCE",
+    "build_dag",
+    "dilution_ratios",
+    "REAGENTS",
+    "EXPECTED_DILUTION_VNORM",
+    "EXPECTED_DILUENT_VNORM",
+    "EXPECTED_MIN_VOLUME_NL",
+]
+
+#: Figure 11(a), verbatim semantics.
+SOURCE = """\
+ASSAY enzyme_test
+START
+VAR inhibitor_diluent, enzyme_diluent, substrate_diluent;
+VAR i, j, k, temp, RESULT[4][4][4];
+fluid Diluted_Inhibitor[4], Diluted_Enzyme[4];
+fluid Diluted_Substrate[4];
+fluid inhibitor, enzyme, diluent, substrate;
+inhibitor_diluent = 1;
+enzyme_diluent = 1;
+substrate_diluent = 1;
+temp = 1;
+FOR i FROM 1 TO 4 START
+Diluted_Inhibitor[i] = MIX inhibitor AND diluent IN RATIOS 1 : inhibitor_diluent FOR 30;
+temp = temp * 10;
+inhibitor_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR j FROM 1 TO 4 START
+Diluted_Enzyme[j] = MIX enzyme AND diluent IN RATIOS 1 : enzyme_diluent FOR 30;
+temp = temp * 10;
+enzyme_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR k FROM 1 TO 4 START
+Diluted_Substrate[k] = MIX substrate AND diluent IN RATIOS 1 : substrate_diluent FOR 30;
+temp = temp * 10;
+substrate_diluent = temp - 1;
+ENDFOR
+FOR i FROM 1 TO 4 START
+FOR j FROM 1 TO 4 START
+FOR k FROM 1 TO 4 START
+MIX Diluted_Inhibitor[i] AND Diluted_Enzyme[j] AND Diluted_Substrate[k] FOR 60;
+INCUBATE it AT 37 FOR 300;
+SENSE OPTICAL it INTO RESULT[i][j][k];
+ENDFOR
+ENDFOR
+ENDFOR
+END
+"""
+
+REAGENTS = ("inhibitor", "enzyme", "substrate")
+
+
+def dilution_ratios(n_dilutions: int) -> List[int]:
+    """Diluent parts of the serial dilutions: 1, 9, 99, 999, ...
+
+    (``inhibitor_diluent`` starts at 1, so the first mix is 1:1; ``temp``
+    is then multiplied by 10 each iteration and the next diluent share is
+    ``temp - 1``, yielding ``max(1, 10**i - 1)`` for iteration ``i``.)
+    """
+    return [max(1, 10 ** i - 1) for i in range(n_dilutions)]
+
+
+def build_dag(n_dilutions: int = 4) -> AssayDAG:
+    """The enzyme DAG with ``n_dilutions`` dilutions per reagent.
+
+    Sensing does not create a fluid, so the incubated combination mixes are
+    the output leaves; each dilution feeds ``n_dilutions**2`` combination
+    mixes, i.e. 16 uses for the paper's ``n = 4``.
+    """
+    if n_dilutions < 1:
+        raise ValueError("need at least one dilution")
+    name = "enzyme" if n_dilutions == 4 else f"enzyme{n_dilutions}"
+    dag = AssayDAG(name)
+    dag.add_input("diluent")
+    for reagent in REAGENTS:
+        dag.add_input(reagent)
+    ratios = dilution_ratios(n_dilutions)
+    for reagent in REAGENTS:
+        for i, diluent_parts in enumerate(ratios, start=1):
+            dag.add_mix(
+                f"{reagent}.dil{i}",
+                {reagent: 1, "diluent": diluent_parts},
+                label=f"Diluted_{reagent}[{i}]",
+            )
+    span = range(1, n_dilutions + 1)
+    for i in span:
+        for j in span:
+            for k in span:
+                mix_id = f"combo{i}{j}{k}" if n_dilutions < 10 else (
+                    f"combo{i}.{j}.{k}"
+                )
+                dag.add_mix(
+                    mix_id,
+                    {
+                        f"inhibitor.dil{i}": 1,
+                        f"enzyme.dil{j}": 1,
+                        f"substrate.dil{k}": 1,
+                    },
+                )
+                dag.add_unary(f"{mix_id}.inc", mix_id, label=f"incubate {mix_id}")
+    dag.validate()
+    return dag
+
+
+#: Every dilution is used 16 times at a 1/3 share: Vnorm = 16/3 ~ 5.3.
+EXPECTED_DILUTION_VNORM = Fraction(16, 3)
+
+#: Diluent Vnorm = 16 * (1/2 + 9/10 + 99/100 + 999/1000) = 6778/125 ~ 54.2
+#: (the paper rounds to 54).
+EXPECTED_DILUENT_VNORM = Fraction(16) * (
+    Fraction(1, 2) + Fraction(9, 10) + Fraction(99, 100) + Fraction(999, 1000)
+)
+
+#: Baseline (no transforms) minimum dispensed volume: the enzyme share of a
+#: 1:999 dilution: (16/3000) / (6778/125) * 100 nl ~ 0.00984 nl = 9.8 pl.
+EXPECTED_MIN_VOLUME_NL = (
+    Fraction(16, 3000) / EXPECTED_DILUENT_VNORM * Fraction(100)
+)

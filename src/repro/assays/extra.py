@@ -1,0 +1,127 @@
+"""Additional realistic assays beyond the paper's three benchmarks.
+
+These exercise the same machinery on other classic lab workflows and give
+the examples/tests more varied shapes:
+
+* :data:`ELISA_SOURCE` — a sandwich ELISA-style protocol: capture
+  separation, enzyme-conjugate incubation, wash separation with a YIELD
+  hint, substrate development, kinetic read.
+* :data:`BRADFORD_SOURCE` — Bradford protein quantitation: a standard
+  curve of five BSA dilutions plus the unknown, all mixed 1:50 with dye —
+  a heavy shared-reagent workload (the dye is used six times at 50/51
+  shares, a classic volume-management stress).
+* :data:`PCR_PREP_SOURCE` — PCR master-mix preparation: a 4-component
+  master mix (ratio 10:5:4:1) split across three reactions with different
+  template dilutions.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import AssayDAG
+
+__all__ = [
+    "ELISA_SOURCE",
+    "BRADFORD_SOURCE",
+    "PCR_PREP_SOURCE",
+    "build_bradford_dag",
+]
+
+ELISA_SOURCE = """\
+ASSAY elisa
+START
+fluid sample, capture_matrix, washbuf, conjugate, substrate;
+fluid bound, unbound, developed, rinse_waste, rinsed;
+VAR Reading[3];
+
+-- capture: antigen binds the antibody matrix
+SEPARATE sample MATRIX capture_matrix USING washbuf YIELD 1 : 4 FOR 300
+    INTO bound AND unbound;
+
+-- label with the enzyme conjugate and incubate
+MIX bound AND conjugate IN RATIOS 2 : 1 FOR 30;
+INCUBATE it AT 37 FOR 1800;
+
+-- wash off unbound conjugate
+SEPARATE it MATRIX capture_matrix USING washbuf YIELD 3 : 5 FOR 120
+    INTO rinsed AND rinse_waste;
+
+-- develop with substrate and take a kinetic read
+MIX rinsed AND substrate IN RATIOS 1 : 3 FOR 15;
+SENSE OPTICAL it INTO Reading[1];
+INCUBATE it AT 25 FOR 300;
+SENSE OPTICAL it INTO Reading[2];
+INCUBATE it AT 25 FOR 300;
+SENSE OPTICAL it INTO Reading[3];
+END
+"""
+
+BRADFORD_SOURCE = """\
+ASSAY bradford
+START
+fluid bsa, diluent, dye, unknown;
+fluid standard[5];
+VAR i, parts, Curve[5], Sample;
+
+-- five-point standard curve by serial two-fold dilution factors
+parts = 1;
+FOR i FROM 1 TO 5 START
+standard[i] = MIX bsa AND diluent IN RATIOS 1 : parts FOR 15;
+parts = parts * 2;
+ENDFOR
+
+-- each point reacts 1:50 with the dye (the heavy shared reagent)
+FOR i FROM 1 TO 5 START
+MIX standard[i] AND dye IN RATIOS 1 : 50 FOR 20;
+INCUBATE it AT 25 FOR 600;
+SENSE OPTICAL it INTO Curve[i];
+ENDFOR
+
+MIX unknown AND dye IN RATIOS 1 : 50 FOR 20;
+INCUBATE it AT 25 FOR 600;
+SENSE OPTICAL it INTO Sample;
+END
+"""
+
+PCR_PREP_SOURCE = """\
+ASSAY pcr_prep
+START
+fluid buffer, dntps, primers, polymerase, master, diluent, template;
+fluid dilution[3];
+VAR i, parts, Ct[3];
+
+master = MIX buffer AND dntps AND primers AND polymerase
+    IN RATIOS 10 : 5 : 4 : 1 FOR 30;
+
+parts = 9;
+FOR i FROM 1 TO 3 START
+dilution[i] = MIX template AND diluent IN RATIOS 1 : parts FOR 15;
+parts = parts * 10 + 9;
+ENDFOR
+
+FOR i FROM 1 TO 3 START
+MIX master AND dilution[i] IN RATIOS 4 : 1 FOR 20;
+INCUBATE it AT 95 FOR 120;
+SENSE FLUORESCENCE it INTO Ct[i];
+ENDFOR
+END
+"""
+
+
+def build_bradford_dag() -> AssayDAG:
+    """Hand-built Bradford DAG (ground truth for the compiler tests)."""
+    dag = AssayDAG("bradford")
+    dag.add_input("bsa")
+    dag.add_input("diluent")
+    dag.add_input("dye")
+    dag.add_input("unknown")
+    parts = 1
+    for i in range(1, 6):
+        dag.add_mix(f"standard[{i}]", {"bsa": 1, "diluent": parts})
+        parts *= 2
+    for i in range(1, 6):
+        dag.add_mix(f"rxn{i}", {f"standard[{i}]": 1, "dye": 50})
+        dag.add_unary(f"rxn{i}.inc", f"rxn{i}")
+    dag.add_mix("rxn_u", {"unknown": 1, "dye": 50})
+    dag.add_unary("rxn_u.inc", "rxn_u")
+    dag.validate()
+    return dag

@@ -1,0 +1,153 @@
+"""Synthetic assay generators for scaling studies and property tests.
+
+``enzyme_n`` is the paper's own scaling knob (Table 2's Enzyme10 row turns
+the four dilutions into ten, growing the LP to ~11k constraints while
+DAGSolve stays under two seconds).  The other generators produce families
+of structurally-diverse DAGs used by the property-based tests and the
+DAGSolve-vs-LP scaling benchmark.
+
+Generators take an explicit ``seed`` and use a private
+:class:`random.Random`, so every caller gets reproducible graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional
+
+from ..core.dag import AssayDAG, NodeKind
+from . import enzyme
+
+__all__ = [
+    "enzyme_n",
+    "serial_dilution",
+    "layered_random_dag",
+    "binary_mix_tree",
+    "fanout_chain",
+]
+
+
+def enzyme_n(n_dilutions: int) -> AssayDAG:
+    """The EnzymeN family: ``n`` dilutions -> ``n**3`` combination mixes."""
+    return enzyme.build_dag(n_dilutions)
+
+
+def serial_dilution(
+    steps: int, factor: int = 10, *, name: Optional[str] = None
+) -> AssayDAG:
+    """A classic serial-dilution ladder: each stage dilutes the previous
+    concentrate ``1:(factor-1)`` and is also sensed (used twice)."""
+    if steps < 1:
+        raise ValueError("need at least one step")
+    dag = AssayDAG(name or f"serial_dilution_{steps}x{factor}")
+    dag.add_input("stock")
+    dag.add_input("diluent")
+    previous = "stock"
+    for step in range(1, steps + 1):
+        dag.add_mix(
+            f"dil{step}", {previous: 1, "diluent": factor - 1}
+        )
+        previous = f"dil{step}"
+    dag.validate()
+    return dag
+
+
+def binary_mix_tree(depth: int, *, name: Optional[str] = None) -> AssayDAG:
+    """A complete binary tree of 1:1 mixes over ``2**depth`` inputs."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    dag = AssayDAG(name or f"mix_tree_{depth}")
+    level = [
+        dag.add_input(f"in{i}").id for i in range(2 ** depth)
+    ]
+    counter = 0
+    while len(level) > 1:
+        next_level: List[str] = []
+        for left, right in zip(level[::2], level[1::2]):
+            counter += 1
+            node = dag.add_mix(f"m{counter}", {left: 1, right: 1})
+            next_level.append(node.id)
+        level = next_level
+    dag.validate()
+    return dag
+
+
+def fanout_chain(
+    uses: int, chain: int = 2, *, name: Optional[str] = None
+) -> AssayDAG:
+    """One stock fluid mixed with ``uses`` distinct reagents, each result
+    pushed through a short unary chain — a 'numerous uses' stress shape."""
+    if uses < 1:
+        raise ValueError("uses must be >= 1")
+    dag = AssayDAG(name or f"fanout_{uses}")
+    dag.add_input("stock")
+    for i in range(uses):
+        dag.add_input(f"reagent{i}")
+        dag.add_mix(f"mix{i}", {"stock": 1, f"reagent{i}": 1})
+        previous = f"mix{i}"
+        for j in range(chain):
+            dag.add_unary(f"mix{i}.step{j}", previous)
+            previous = f"mix{i}.step{j}"
+    dag.validate()
+    return dag
+
+
+def layered_random_dag(
+    n_inputs: int,
+    n_layers: int,
+    layer_width: int,
+    *,
+    seed: int,
+    max_ratio: int = 20,
+    separator_probability: float = 0.0,
+    name: Optional[str] = None,
+) -> AssayDAG:
+    """A random layered assay DAG with integer mix ratios.
+
+    Every node in layer ``k`` mixes 2-3 nodes drawn from earlier layers with
+    ratio parts in ``[1, max_ratio]``; with ``separator_probability`` a node
+    is instead a known-fraction separator.  The construction guarantees a
+    valid DAG (acyclic, fractions summing to 1, every input used).
+    """
+    if n_inputs < 2:
+        raise ValueError("need at least two inputs")
+    rng = random.Random(seed)
+    dag = AssayDAG(name or f"random_{seed}")
+    pool = [dag.add_input(f"in{i}").id for i in range(n_inputs)]
+    counter = 0
+    for layer in range(n_layers):
+        new_ids: List[str] = []
+        for slot in range(layer_width):
+            counter += 1
+            node_id = f"n{layer}_{slot}"
+            if rng.random() < separator_probability and layer > 0:
+                src = rng.choice(pool)
+                dag.add_unary(
+                    node_id,
+                    src,
+                    kind=NodeKind.SEPARATE,
+                    output_fraction=Fraction(rng.randint(1, 9), 10),
+                )
+            else:
+                arity = rng.randint(2, min(3, len(pool)))
+                sources = rng.sample(pool, arity)
+                parts = {
+                    src: rng.randint(1, max_ratio) for src in sources
+                }
+                dag.add_mix(node_id, parts)
+            new_ids.append(node_id)
+        pool.extend(new_ids)
+    # Guarantee every input reaches the graph's active part: mix unused
+    # inputs into one final collector.
+    used = {e.src for e in dag.edges()}
+    unused = [n.id for n in dag.inputs() if n.id not in used]
+    if unused:
+        counter += 1
+        parts = {src: 1 for src in unused}
+        if len(parts) == 1:
+            dag.add_unary("collector", unused[0])
+        else:
+            dag.add_mix("collector", parts)
+    dag.validate()
+    return dag

@@ -1,0 +1,94 @@
+"""The glucose assay (paper Figure 9, evaluated in Figure 12).
+
+A calibration series of four glucose/reagent dilutions plus one
+sample/reagent mix, each read with an optical-density sensor.  All volumes
+and uses are statically known, so the whole volume assignment happens at
+compile time.
+
+DAGSolve (Figure 12): with every output normalised to 1, the reagent is the
+most-used fluid (Vnorm 151/45 ~ 3.36); the smallest dispensed volume is the
+glucose share of the 1:8 mix, 500/151 nl ~ 3.3 nl — comfortably above the
+100 pl least count, so no transform is needed and zero regenerations occur.
+
+Note on sensing: ``SENSE`` reads a fluid without creating a new one, so the
+volume DAG's leaves are the mix outputs themselves — matching the DAG the
+paper draws in Figure 12.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.dag import AssayDAG
+
+__all__ = [
+    "SOURCE",
+    "build_dag",
+    "MIX_RATIOS",
+    "EXPECTED_VNORMS",
+    "EXPECTED_MIN_EDGE",
+]
+
+#: Figure 9(a), verbatim semantics.
+SOURCE = """\
+ASSAY glucose
+START
+fluid Glucose, Reagent, Sample;
+fluid a, b, c, d, e;
+VAR Result[5];
+a = MIX Glucose AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+b = MIX Glucose AND Reagent IN RATIOS 1 : 2 FOR 10;
+SENSE OPTICAL it INTO Result[2];
+c = MIX Glucose AND Reagent IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[3];
+d = MIX Glucose AND Reagent IN RATIOS 1 : 8 FOR 10;
+SENSE OPTICAL it INTO Result[4];
+e = MIX Sample AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[5];
+END
+"""
+
+#: The calibration ratios (glucose : reagent) plus the sample mix.
+MIX_RATIOS = {
+    "a": ("Glucose", 1, 1),
+    "b": ("Glucose", 1, 2),
+    "c": ("Glucose", 1, 4),
+    "d": ("Glucose", 1, 8),
+    "e": ("Sample", 1, 1),
+}
+
+
+def build_dag() -> AssayDAG:
+    """The Figure 12 DAG: three inputs, five output mixes."""
+    dag = AssayDAG("glucose")
+    dag.add_input("Glucose")
+    dag.add_input("Reagent")
+    dag.add_input("Sample")
+    for name, (minor_fluid, minor, major) in MIX_RATIOS.items():
+        dag.add_mix(name, {minor_fluid: minor, "Reagent": major})
+    dag.validate()
+    return dag
+
+
+#: Figure 12(a): node Vnorms.
+EXPECTED_VNORMS = {
+    "a": Fraction(1),
+    "b": Fraction(1),
+    "c": Fraction(1),
+    "d": Fraction(1),
+    "e": Fraction(1),
+    "Glucose": Fraction(1, 2) + Fraction(1, 3) + Fraction(1, 5) + Fraction(1, 9),
+    "Reagent": (
+        Fraction(1, 2)
+        + Fraction(2, 3)
+        + Fraction(4, 5)
+        + Fraction(8, 9)
+        + Fraction(1, 2)
+    ),
+    "Sample": Fraction(1, 2),
+}
+
+#: Figure 12(b): the smallest dispensed volume (the glucose share of the
+#: 1:8 mix) with a 100 nl maximum: 500/151 nl ~ 3.31 nl ("3.3 nl").
+EXPECTED_MIN_EDGE = (("Glucose", "d"), Fraction(500, 151))

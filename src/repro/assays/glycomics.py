@@ -1,0 +1,108 @@
+"""The glycomics assay (paper Figure 10, evaluated in Figure 13).
+
+Glycan analysis: an affinity separation over a lectin matrix concentrates
+glycoproteins, PNGase F cleaves the glycans, two liquid-chromatography
+separations clean the product up, and sodium hydroxide permethylates it for
+external mass spectrometry.
+
+The three separations produce **statically-unknown volumes**, so this assay
+exercises the Section 3.5 machinery: the DAG is cut at the separators into
+four partitions; buffer3a feeds two different partitions and is split into
+two 50 nl constrained inputs; the constrained input carrying the second
+separator's effluent into the third partition has Vnorm 1/204 (the paper
+flags this as a potential run-time underflow for which regeneration is the
+backstop).
+
+Matrix and pusher fluids (lectin, buffer1b, C_18, buffer3b) are moved into
+the separators whole, outside any mix ratio, so — exactly as in the paper's
+Figure 13 — they do not appear in the volume-management DAG; the compiler
+emits plain ``move`` instructions for them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.dag import AssayDAG, NodeKind
+
+__all__ = [
+    "SOURCE",
+    "build_dag",
+    "SEPARATORS",
+    "EXPECTED_PARTITIONS",
+    "EXPECTED_X2_VNORM",
+]
+
+#: Figure 10(a), verbatim semantics.
+SOURCE = """\
+ASSAY glycomics
+START
+fluid buffer1a, buffer1b, buffer2;
+fluid buffer3a, buffer3b, buffer4, buffer5;
+fluid sample, lectin, C_18, NaOH;
+fluid effluent, effluent2, effluent3, waste, waste2, waste3;
+MIX buffer1a AND sample FOR 30;
+SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO effluent AND waste;
+MIX effluent AND buffer2 FOR 30;
+INCUBATE it AT 37 FOR 30;
+MIX it AND buffer3a IN RATIOS 1 : 10 FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 30 INTO effluent2 AND waste2;
+MIX effluent2 AND buffer4 AND NaOH IN RATIOS 1 : 100 : 1 FOR 30;
+MIX it AND buffer3a FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 2400 INTO effluent3 AND waste3;
+MIX effluent3 AND buffer5 FOR 30;
+END
+"""
+
+#: The three unknown-volume nodes, in program order.
+SEPARATORS = ("sep1", "sep2", "sep3")
+
+#: Figure 13: the DAG splits into four partitions.
+EXPECTED_PARTITIONS = 4
+
+#: Figure 13: Vnorm of the X2 constrained input feeding the third
+#: partition's 1:100:1 mix: (1/102) * (1/2) = 1/204.
+EXPECTED_X2_VNORM = Fraction(1, 204)
+
+
+def build_dag() -> AssayDAG:
+    """The Figure 13 volume DAG (matrix/pusher loads excluded)."""
+    dag = AssayDAG("glycomics")
+    dag.add_input("buffer1a")
+    dag.add_input("sample")
+    dag.add_input("buffer2")
+    dag.add_input("buffer3a")
+    dag.add_input("buffer4")
+    dag.add_input("NaOH")
+    dag.add_input("buffer5")
+
+    dag.add_mix("mix1", {"buffer1a": 1, "sample": 1})
+    dag.add_unary(
+        "sep1",
+        "mix1",
+        kind=NodeKind.SEPARATE,
+        unknown_volume=True,
+        label="affinity separation (lectin)",
+    )
+    dag.add_mix("mix2", {"sep1": 1, "buffer2": 1})
+    dag.add_unary("inc1", "mix2", label="incubate 37C")
+    dag.add_mix("mix3", {"inc1": 1, "buffer3a": 10})
+    dag.add_unary(
+        "sep2",
+        "mix3",
+        kind=NodeKind.SEPARATE,
+        unknown_volume=True,
+        label="LC separation (C_18)",
+    )
+    dag.add_mix("mix4", {"sep2": 1, "buffer4": 100, "NaOH": 1})
+    dag.add_mix("mix5", {"mix4": 1, "buffer3a": 1})
+    dag.add_unary(
+        "sep3",
+        "mix5",
+        kind=NodeKind.SEPARATE,
+        unknown_volume=True,
+        label="LC separation (C_18, long)",
+    )
+    dag.add_mix("mix6", {"sep3": 1, "buffer5": 1})
+    dag.validate()
+    return dag

@@ -1,0 +1,99 @@
+"""The paper's running example (Figures 2, 3 and 5).
+
+Four mixes over three input fluids::
+
+    K = mix A : B in ratio 1 : 4
+    L = mix B : C in ratio 2 : 1
+    M = mix K : L in ratio 2 : 1
+    N = mix L : C in ratio 2 : 3
+
+DAGSolve's backward pass yields (Figure 5a)::
+
+    Vnorm(M) = Vnorm(N) = 1
+    Vnorm(K) = 2/3        Vnorm(L) = 11/15
+    Vnorm(A) = 2/15       Vnorm(B) = 46/45 (max)   Vnorm(C) = 38/45
+
+and the dispensing pass with a 100 nl maximum yields (Figure 5b, rounded)::
+
+    B = 100 nl, A = 13 nl, C = 83 nl, K = 65 nl, L = 72 nl
+    edge B->K = 52 nl, B->L = 48 nl, C->L = 24 nl, C->N = 59 nl
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.dag import AssayDAG
+
+__all__ = [
+    "build_dag",
+    "EXPECTED_VNORMS",
+    "EXPECTED_EDGE_VNORMS",
+    "EXPECTED_VOLUMES",
+    "SOURCE",
+]
+
+#: The example in the Section 4.1 high-level language (not printed in the
+#: paper, which shows it only as pseudo-assay text; the semantics match
+#: Figure 2).
+SOURCE = """\
+ASSAY figure2
+START
+fluid A, B, C;
+fluid K, L, M, N;
+K = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+L = MIX B AND C IN RATIOS 2 : 1 FOR 10;
+M = MIX K AND L IN RATIOS 2 : 1 FOR 10;
+N = MIX L AND C IN RATIOS 2 : 3 FOR 10;
+END
+"""
+
+
+def build_dag() -> AssayDAG:
+    """Figure 2's DAG, with M and N as the final outputs."""
+    dag = AssayDAG("figure2")
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_input("C")
+    dag.add_mix("K", {"A": 1, "B": 4})
+    dag.add_mix("L", {"B": 2, "C": 1})
+    dag.add_mix("M", {"K": 2, "L": 1})
+    dag.add_mix("N", {"L": 2, "C": 3})
+    dag.validate()
+    return dag
+
+
+#: Figure 5(a): node Vnorms.
+EXPECTED_VNORMS = {
+    "M": Fraction(1),
+    "N": Fraction(1),
+    "K": Fraction(2, 3),
+    "L": Fraction(11, 15),
+    "A": Fraction(2, 15),
+    "B": Fraction(46, 45),
+    "C": Fraction(38, 45),
+}
+
+#: Figure 5(a): edge Vnorms (the paper prints a subset; all are derivable).
+EXPECTED_EDGE_VNORMS = {
+    ("K", "M"): Fraction(2, 3),
+    ("L", "M"): Fraction(1, 3),
+    ("L", "N"): Fraction(2, 5),
+    ("C", "N"): Fraction(3, 5),
+    ("A", "K"): Fraction(2, 15),
+    ("B", "K"): Fraction(8, 15),
+    ("B", "L"): Fraction(22, 45),
+    ("C", "L"): Fraction(11, 45),
+}
+
+#: Figure 5(b): dispensed volumes in nl with a 100 nl maximum
+#: (exact values; the paper prints them rounded to integers).
+EXPECTED_VOLUMES = {
+    "B": Fraction(100),
+    "A": Fraction(100) * Fraction(2, 15) / Fraction(46, 45),     # ~13.04
+    "C": Fraction(100) * Fraction(38, 45) / Fraction(46, 45),    # ~82.6
+    "K": Fraction(100) * Fraction(2, 3) / Fraction(46, 45),      # ~65.2
+    "L": Fraction(100) * Fraction(11, 15) / Fraction(46, 45),    # ~71.7
+    "M": Fraction(100) / Fraction(46, 45),                       # ~97.8
+    "N": Fraction(100) / Fraction(46, 45),                       # ~97.8
+}

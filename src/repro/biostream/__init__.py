@@ -1,0 +1,32 @@
+"""Biostream-style fixed-ratio mixing, for comparison with AIS.
+
+Paper Section 3.4.1: "While Biostream [10] also relies on allowing excess
+production for their mix instructions, their approach is fundamentally
+different from ours in that they allow mixing only in a 1:1 ratio, and
+discard half of the output of the mix ... Because of their fixed-ratio
+mixing, achieving arbitrary mix ratios always requires cascading (except
+for 1:1 mixing), which executes on the slow fluid path, while our approach
+requires cascading only for uncommon cases of extreme mix ratios."
+
+This package makes that comparison quantitative:
+
+* :mod:`repro.biostream.mixtree` — the classic binary mixing-tree
+  construction [Thies et al., Natural Computing 2007]: realise any target
+  concentration to ``k`` bits with ``<= k`` serial 1:1 mixes, discarding
+  half of every intermediate;
+* :mod:`repro.biostream.compare` — per-assay wet-operation and fluid-waste
+  costs for AIS variable-ratio mixing vs Biostream 1:1-only mixing.
+"""
+
+from .compare import AssayMixCost, ais_mix_cost, biostream_mix_cost
+from .mixtree import MixStep, OneToOnePlan, bits_for_tolerance, one_to_one_plan
+
+__all__ = [
+    "MixStep",
+    "OneToOnePlan",
+    "one_to_one_plan",
+    "bits_for_tolerance",
+    "AssayMixCost",
+    "ais_mix_cost",
+    "biostream_mix_cost",
+]

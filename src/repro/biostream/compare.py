@@ -1,0 +1,121 @@
+"""Quantifying the AIS-vs-Biostream mixing-cost comparison.
+
+AIS mixes in arbitrary metered ratios: every DAG mix node costs exactly one
+wet ``mix`` (plus its metered moves); only *extreme* ratios cascade.
+Biostream mixes only 1:1: every mix node whose ratio is not pure 1:1 must
+be realised as a binary mixing tree — a chain of 1:1 mixes with half of
+each intermediate discarded — and a ``p_1 : ... : p_n`` multi-way mix
+becomes n-1 pairwise stages, each needing its own tree.
+
+:func:`biostream_mix_cost` walks a volume DAG and sums these costs at a
+given chemistry tolerance (the paper's rounding discussion uses 2%);
+:func:`ais_mix_cost` counts the same DAG's AIS cost.  The benchmark
+``bench_biostream.py`` tabulates both across the paper's assays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List
+
+from ..core.dag import AssayDAG, NodeKind
+from ..core.limits import Number, as_fraction
+from .mixtree import bits_for_tolerance, one_to_one_plan
+
+__all__ = ["AssayMixCost", "ais_mix_cost", "biostream_mix_cost"]
+
+
+@dataclass
+class AssayMixCost:
+    """Wet-mixing cost of realising an assay's mixes."""
+
+    scheme: str
+    mix_operations: int
+    #: unit volumes of working fluid discarded by excess production
+    discarded_units: int = 0
+    #: per-node breakdown: node id -> (mixes, discarded)
+    per_node: Dict[str, tuple] = field(default_factory=dict)
+    #: worst relative concentration error introduced by approximation
+    worst_error: Fraction = Fraction(0)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme}: {self.mix_operations} wet mixes, "
+            f"{self.discarded_units} discarded units, "
+            f"worst ratio error {float(self.worst_error) * 100:.2f}%"
+        )
+
+
+def _mix_nodes(dag: AssayDAG):
+    for node in dag.nodes():
+        if node.kind is NodeKind.MIX:
+            inbound = [e for e in dag.in_edges(node.id) if not e.is_excess]
+            if len(inbound) >= 2:
+                yield node, inbound
+
+
+def ais_mix_cost(dag: AssayDAG) -> AssayMixCost:
+    """AIS cost: one wet mix per mix node (cascade stages included when the
+    DAG was transformed); metered draws discard nothing except declared
+    excess nodes."""
+    mixes = 0
+    discarded = 0
+    per_node: Dict[str, tuple] = {}
+    for node, __ in _mix_nodes(dag):
+        mixes += 1
+        node_discard = 1 if node.excess_fraction > 0 else 0
+        discarded += node_discard
+        per_node[node.id] = (1, node_discard)
+    return AssayMixCost(
+        scheme="AIS (variable-ratio)",
+        mix_operations=mixes,
+        discarded_units=discarded,
+        per_node=per_node,
+    )
+
+
+def biostream_mix_cost(
+    dag: AssayDAG,
+    relative_tolerance: Number = Fraction(1, 50),
+) -> AssayMixCost:
+    """Biostream cost: realise every mix with 1:1 operations only.
+
+    A two-input mix at share ``f`` (minor fraction) costs the binary tree
+    for concentration ``f``; a pure 1:1 mix costs a single operation.
+    An ``n``-way mix decomposes into ``n - 1`` pairwise stages, stage ``i``
+    combining the running mixture with the next ingredient at the running
+    cumulative share.
+    """
+    tolerance = as_fraction(relative_tolerance)
+    total_mixes = 0
+    total_discarded = 0
+    worst_error = Fraction(0)
+    per_node: Dict[str, tuple] = {}
+    for node, inbound in _mix_nodes(dag):
+        node_mixes = 0
+        node_discarded = 0
+        running = inbound[0].fraction
+        for edge in inbound[1:]:
+            combined = running + edge.fraction
+            share = running / combined  # running mixture's share of stage
+            minor = min(share, 1 - share)
+            if minor == Fraction(1, 2):
+                node_mixes += 1  # a native 1:1 mix
+            else:
+                bits = bits_for_tolerance(minor, tolerance)
+                plan = one_to_one_plan(minor, bits)
+                node_mixes += plan.mix_count
+                node_discarded += plan.discarded_units
+                worst_error = max(worst_error, plan.relative_error)
+            running = combined
+        total_mixes += node_mixes
+        total_discarded += node_discarded
+        per_node[node.id] = (node_mixes, node_discarded)
+    return AssayMixCost(
+        scheme=f"Biostream (1:1 only, tol {float(tolerance):.0%})",
+        mix_operations=total_mixes,
+        discarded_units=total_discarded,
+        per_node=per_node,
+        worst_error=worst_error,
+    )

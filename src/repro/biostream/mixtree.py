@@ -1,0 +1,130 @@
+"""Binary mixing trees: arbitrary concentrations from 1:1 mixes only.
+
+Biostream's hardware mixes two equal volumes and keeps half, so the only
+primitive is ``mix1:1``.  A target concentration ``c`` of *sample* in
+*buffer* is realised by writing ``c ~ m / 2**k`` and folding the bits in,
+least-significant first: starting from pure buffer (or the first 1 bit's
+sample), each step mixes the working fluid 1:1 with pure sample (bit 1) or
+pure buffer (bit 0), halving the working concentration and adding ``b/2``:
+
+    c_out = (c_in + bit) / 2
+
+After ``k`` steps the achieved concentration is exactly ``m / 2**k``; the
+approximation error against an arbitrary rational target is at most
+``2**-(k+1)``.  Every step discards half of the working fluid (the excess
+production the paper contrasts with AIS's metered draws).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.limits import Number, as_fraction
+
+__all__ = ["MixStep", "OneToOnePlan", "one_to_one_plan", "bits_for_tolerance"]
+
+
+@dataclass(frozen=True)
+class MixStep:
+    """One 1:1 mix: combine the working fluid with a pure ingredient."""
+
+    ingredient: str  # "sample" | "buffer"
+    concentration_after: Fraction
+
+    def __str__(self) -> str:
+        return (
+            f"mix 1:1 with {self.ingredient} -> "
+            f"{float(self.concentration_after):.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class OneToOnePlan:
+    """A realised concentration and its cost."""
+
+    target: Fraction
+    achieved: Fraction
+    steps: Tuple[MixStep, ...]
+
+    @property
+    def mix_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def error(self) -> Fraction:
+        return abs(self.achieved - self.target)
+
+    @property
+    def relative_error(self) -> Fraction:
+        if self.target == 0:
+            return Fraction(0)
+        return self.error / self.target
+
+    @property
+    def discarded_units(self) -> int:
+        """Half of the working fluid is discarded after every mix except
+        the last (whose product is the delivered fluid)."""
+        return max(0, self.mix_count - 1)
+
+    @property
+    def sample_units(self) -> int:
+        """Unit volumes of pure sample consumed."""
+        return sum(1 for s in self.steps if s.ingredient == "sample")
+
+    @property
+    def buffer_units(self) -> int:
+        return sum(1 for s in self.steps if s.ingredient == "buffer")
+
+
+def bits_for_tolerance(target: Number, relative_tolerance: Number) -> int:
+    """Bits of precision needed so the binary approximation of ``target``
+    has relative error at most ``relative_tolerance``.
+
+    ``2**-(k+1) <= tol * target  =>  k >= log2(1 / (2 * tol * target))``.
+    """
+    c = as_fraction(target)
+    tolerance = as_fraction(relative_tolerance)
+    if not (0 < c < 1):
+        raise ValueError(f"target concentration must be in (0, 1), got {c}")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    bound = 1 / (2 * tolerance * c)
+    return max(1, math.ceil(math.log2(float(bound))))
+
+
+def one_to_one_plan(target: Number, bits: int) -> OneToOnePlan:
+    """Plan the 1:1 mixing sequence for ``target`` at ``bits`` precision.
+
+    Leading zero-bits (which would just halve pure buffer) are skipped, so
+    dilute targets cost about ``log2(1/c)`` mixes rather than always
+    ``bits``.
+    """
+    c = as_fraction(target)
+    if not (0 <= c <= 1):
+        raise ValueError(f"target concentration must be in [0, 1], got {c}")
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    numerator = round(c * 2 ** bits)
+    numerator = min(max(numerator, 0), 2 ** bits)
+    achieved = Fraction(numerator, 2 ** bits)
+    if numerator == 0 or numerator == 2 ** bits:
+        # pure buffer / pure sample: no mixing needed
+        return OneToOnePlan(target=c, achieved=achieved, steps=())
+    bit_list = [(numerator >> i) & 1 for i in range(bits)]  # LSB first
+    # Folding proceeds LSB -> MSB with c' = (c + bit)/2.  Steps before the
+    # first 1 bit would mix buffer into a pure-buffer working fluid; they
+    # are no-ops and are skipped, so dilute targets cost ~log2(1/c) mixes.
+    first_one = bit_list.index(1)
+    concentration = Fraction(0)
+    steps: List[MixStep] = []
+    for index in range(first_one, bits):
+        bit = bit_list[index]
+        concentration = (concentration + bit) / 2
+        steps.append(
+            MixStep("sample" if bit else "buffer", concentration)
+        )
+    assert concentration == achieved
+    return OneToOnePlan(target=c, achieved=achieved, steps=tuple(steps))

@@ -1,0 +1,342 @@
+"""Command-line interface: compile, plan, run, and inspect assays.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro check    assay.fluid            # parse + semantic lint
+    python -m repro dag      assay.fluid [--dot]    # the volume DAG
+    python -m repro plan     assay.fluid            # volume assignment
+    python -m repro compile  assay.fluid            # AIS listing
+    python -m repro run      assay.fluid            # execute on the model
+        [--coeff SPECIES=VALUE ...]                 # optical coefficients
+        [--sep-yield UNIT=FRACTION ...]             # separator models
+    python -m repro bench-regen assay.fluid         # naive regeneration count
+
+Common options: ``--machine {aquacore,aquacore-xl}``, ``--no-lp``,
+``--no-cascade``, ``--no-replicate``.  Pass ``-`` to read from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from .compiler import compile_assay
+from .core.hierarchy import VolumeManager
+from .core.limits import as_fraction
+from .ir.builder import build_dag_from_flat
+from .lang.errors import FrontendError
+from .lang.parser import parse
+from .lang.semantic import analyze
+from .lang.unroll import unroll
+from .machine.interpreter import Machine
+from .machine.separation import FractionalYield
+from .machine.spec import AQUACORE_SPEC, AQUACORE_XL_SPEC, MachineSpec
+from .runtime.executor import AssayExecutor
+from .runtime.regeneration import naive_regeneration_count
+
+__all__ = ["main", "build_parser"]
+
+MACHINES = {"aquacore": AQUACORE_SPEC, "aquacore-xl": AQUACORE_XL_SPEC}
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _spec(args) -> MachineSpec:
+    spec = MACHINES[args.machine]
+    if getattr(args, "coeff", None):
+        coefficients = {}
+        for item in args.coeff:
+            species, __, value = item.partition("=")
+            if not value:
+                raise SystemExit(f"--coeff expects SPECIES=VALUE, got {item!r}")
+            coefficients[species] = as_fraction(value)
+        spec = dataclasses.replace(
+            spec, extinction_coefficients=coefficients
+        )
+    return spec
+
+
+def _manager(args, spec: MachineSpec) -> VolumeManager:
+    return VolumeManager(
+        spec.limits,
+        use_lp=not args.no_lp,
+        allow_cascading=not args.no_cascade,
+        allow_replication=not args.no_replicate,
+    )
+
+
+def _compile(args):
+    spec = _spec(args)
+    return compile_assay(
+        _read_source(args.file), spec=spec, manager=_manager(args, spec)
+    )
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_check(args) -> int:
+    source = _read_source(args.file)
+    program = parse(source)
+    symbols = analyze(program)
+    flat = unroll(program, symbols)
+    print(f"{program.name}: OK")
+    print(f"  {len(flat.statements)} wet operations after unrolling")
+    print(f"  inputs: {', '.join(flat.input_fluids) or '(none)'}")
+    if flat.aux_fluids:
+        print(f"  separator fluids: {', '.join(flat.aux_fluids)}")
+    if flat.dynamic_conditions:
+        print(f"  dynamic conditions: {len(flat.dynamic_conditions)}")
+    return 0
+
+
+def cmd_dag(args) -> int:
+    source = _read_source(args.file)
+    flat = unroll(parse(source))
+    dag = build_dag_from_flat(flat)
+    if args.dot:
+        print(dag.to_dot())
+        return 0
+    print(f"{dag.name}: {dag.node_count} nodes, {dag.edge_count} edges")
+    for node_id in dag.topological_order():
+        node = dag.node(node_id)
+        inbound = ", ".join(
+            f"{e.src} ({e.fraction})" for e in dag.in_edges(node_id)
+        )
+        kind = node.kind.value
+        extra = " [unknown volume]" if node.unknown_volume else ""
+        print(f"  {node_id} <{kind}>{extra}" + (f" <- {inbound}" if inbound else ""))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    compiled = _compile(args)
+    if compiled.is_static:
+        print(compiled.plan.summary())
+        assignment = compiled.assignment
+        print("\nplanned volumes (nl, least-count rounded):")
+        for node_id in compiled.final_dag.topological_order():
+            if node_id in assignment.node_volume:
+                print(f"  {node_id}: {float(assignment.node_volume[node_id]):.4g}")
+        from .core.report import fluid_requirements
+
+        print()
+        print(fluid_requirements(assignment).render())
+    else:
+        planner = compiled.planner
+        print(
+            f"{compiled.name}: statically-unknown volumes; "
+            f"{planner.n_partitions} partitions"
+        )
+        for partition in planner.partitions:
+            vnorms = planner.vnorms[partition.index]
+            print(f"  partition {partition.index} (epoch {partition.epoch}):")
+            for member in partition.members:
+                print(
+                    f"    {member}: Vnorm {vnorms.node_vnorm.get(member)}"
+                )
+            for spec_input in partition.constrained:
+                availability = (
+                    f"{float(spec_input.static_available):g} nl"
+                    if spec_input.static_available is not None
+                    else f"measured from {spec_input.source}"
+                )
+                print(
+                    f"    constrained {spec_input.node_id}: "
+                    f"share {spec_input.share}, {availability}"
+                )
+    if len(compiled.diagnostics):
+        print("\ndiagnostics:")
+        print("  " + compiled.diagnostics.render().replace("\n", "\n  "))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    if args.rolled:
+        from .compiler.rolled import render_rolled_source
+
+        print(render_rolled_source(_read_source(args.file)).render())
+        return 0
+    compiled = _compile(args)
+    print(compiled.listing())
+    if len(compiled.diagnostics):
+        print(file=sys.stderr)
+        print(compiled.diagnostics.render(), file=sys.stderr)
+    return 1 if compiled.diagnostics.has_errors else 0
+
+
+def cmd_run(args) -> int:
+    compiled = _compile(args)
+    spec = _spec(args)
+    models = {}
+    for item in args.sep_yield or ():
+        unit, __, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"--sep-yield expects UNIT=FRACTION, got {item!r}")
+        models[unit] = FractionalYield(as_fraction(value))
+    topology = None
+    if args.topology:
+        from .machine.topology import bus_topology, ring_topology
+
+        builder = {"bus": bus_topology, "ring": ring_topology}[args.topology]
+        topology = builder(spec)
+    machine = Machine(spec, separation_models=models, topology=topology)
+    executor = AssayExecutor(compiled, machine)
+    result = executor.run()
+    print(f"executed {result.trace.wet_instruction_count} wet instructions")
+    print(f"regenerations: {result.regenerations}")
+    if result.skipped_guarded:
+        print(f"guarded statements skipped: {result.skipped_guarded}")
+    if result.measurements.entries:
+        print("measured volumes:")
+        for node, volume in result.measurements.entries:
+            print(f"  {node}: {float(volume):.3f} nl")
+    if result.results:
+        print("sensor readings:")
+        for name, value in sorted(result.results.items()):
+            print(f"  {name} = {float(value):.6g}")
+    if args.trace:
+        print("\ntrace:")
+        print(result.trace.render(limit=args.trace))
+    return 0
+
+
+def cmd_bench_regen(args) -> int:
+    source = _read_source(args.file)
+    dag = build_dag_from_flat(unroll(parse(source)))
+    spec = MACHINES[args.machine]
+    report = naive_regeneration_count(
+        dag, spec.limits, respect_least_count=not args.ignore_least_count
+    )
+    print(f"regenerations without volume management: {report.regeneration_count}")
+    for fluid, count in sorted(report.per_fluid.items()):
+        print(f"  {fluid}: {count}")
+    if report.hard_failures:
+        print(f"hard failures (need cascading): {report.hard_failures}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Volume-managed microfluidic assay compiler "
+        "(PLDI 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, run_options=False):
+        p.add_argument("file", help="assay source file, or - for stdin")
+        p.add_argument(
+            "--machine",
+            choices=sorted(MACHINES),
+            default="aquacore",
+            help="machine configuration (default: aquacore)",
+        )
+        p.add_argument("--no-lp", action="store_true",
+                       help="disable the LP fallback stage")
+        p.add_argument("--no-cascade", action="store_true",
+                       help="disable cascading of extreme mix ratios")
+        p.add_argument("--no-replicate", action="store_true",
+                       help="disable static replication")
+        if run_options:
+            p.add_argument(
+                "--coeff",
+                action="append",
+                metavar="SPECIES=VALUE",
+                help="optical extinction coefficient for sensing",
+            )
+            p.add_argument(
+                "--sep-yield",
+                action="append",
+                metavar="UNIT=FRACTION",
+                help="separator effluent fraction (e.g. separator1=0.3)",
+            )
+            p.add_argument(
+                "--trace",
+                type=int,
+                metavar="N",
+                help="print the first N trace events",
+            )
+            p.add_argument(
+                "--topology",
+                choices=("bus", "ring"),
+                help="route transfers over a channel topology (wet time "
+                "scales with hop count)",
+            )
+
+    p_check = sub.add_parser("check", help="parse and lint an assay")
+    p_check.add_argument("file")
+    p_check.set_defaults(handler=cmd_check)
+
+    p_dag = sub.add_parser("dag", help="print the volume DAG")
+    p_dag.add_argument("file")
+    p_dag.add_argument("--dot", action="store_true", help="Graphviz output")
+    p_dag.set_defaults(handler=cmd_dag)
+
+    p_plan = sub.add_parser("plan", help="show the volume-management plan")
+    common(p_plan)
+    p_plan.set_defaults(handler=cmd_plan)
+
+    p_compile = sub.add_parser("compile", help="emit the AIS listing")
+    common(p_compile)
+    p_compile.add_argument(
+        "--rolled",
+        action="store_true",
+        help="emit the loop-preserving listing (paper Figure 11b form) "
+        "instead of the unrolled executable program",
+    )
+    p_compile.set_defaults(handler=cmd_compile)
+
+    p_run = sub.add_parser("run", help="execute on the AquaCore model")
+    common(p_run, run_options=True)
+    p_run.set_defaults(handler=cmd_run)
+
+    p_regen = sub.add_parser(
+        "bench-regen",
+        help="count regenerations under the naive baseline",
+    )
+    p_regen.add_argument("file")
+    p_regen.add_argument(
+        "--machine", choices=sorted(MACHINES), default="aquacore"
+    )
+    p_regen.add_argument(
+        "--ignore-least-count",
+        action="store_true",
+        help="count pure volume exhaustion only (the Table 2 flavour)",
+    )
+    p_regen.set_defaults(handler=cmd_bench_regen)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Compiler driver: assay source -> AIS program + volume plan.
+
+* :mod:`repro.compiler.codegen` — DAG -> AIS instruction selection,
+  storage-less operand placement, matrix/pusher loading;
+* :mod:`repro.compiler.pipeline` — the end-to-end driver
+  (:func:`compile_assay`) producing a :class:`CompiledAssay`;
+* :mod:`repro.compiler.diagnostics` — structured warnings (underflow risk,
+  regeneration fallback, transforms applied).
+"""
+
+from .codegen import CodegenError, execution_order, generate
+from .rolled import RolledListing, render_rolled, render_rolled_source
+from .diagnostics import Diagnostic, DiagnosticSink
+from .pipeline import CompiledAssay, compile_assay, compile_dag
+
+__all__ = [
+    "compile_assay",
+    "compile_dag",
+    "CompiledAssay",
+    "generate",
+    "render_rolled",
+    "render_rolled_source",
+    "RolledListing",
+    "execution_order",
+    "CodegenError",
+    "Diagnostic",
+    "DiagnosticSink",
+]

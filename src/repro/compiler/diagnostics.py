@@ -1,0 +1,62 @@
+"""Structured compiler diagnostics.
+
+The volume-management hierarchy can succeed while still leaving residual
+risk (a plan that needs run-time regeneration, a transform that grew the
+DAG, a constrained input whose Vnorm is tiny — the paper calls out
+glycomics' X2 = 1/204 as "a concern").  These surface as warnings rather
+than errors so callers can decide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Iterator, List, Optional
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticSink"]
+
+
+@unique
+class Severity(Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    code: str       # short machine-readable tag, e.g. "underflow-risk"
+    message: str
+    node: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.node}]" if self.node else ""
+        return f"{self.severity.value}: {self.code}: {self.message}{where}"
+
+
+@dataclass
+class DiagnosticSink:
+    items: List[Diagnostic] = field(default_factory=list)
+
+    def note(self, code: str, message: str, node: Optional[str] = None) -> None:
+        self.items.append(Diagnostic(Severity.NOTE, code, message, node))
+
+    def warning(self, code: str, message: str, node: Optional[str] = None) -> None:
+        self.items.append(Diagnostic(Severity.WARNING, code, message, node))
+
+    def error(self, code: str, message: str, node: Optional[str] = None) -> None:
+        self.items.append(Diagnostic(Severity.ERROR, code, message, node))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.items)
+
+    def render(self) -> str:
+        return "\n".join(str(d) for d in self.items)

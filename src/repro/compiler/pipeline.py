@@ -1,0 +1,190 @@
+"""End-to-end compilation: assay source -> AIS + volume plan.
+
+The driver mirrors a conventional compiler (paper Section 4.1: "the usual
+steps of parsing, intermediate representation, register allocation, and
+code generation are similar to those of a conventional compiler"), plus the
+volume-management stages this paper adds:
+
+1. lex/parse/semantic analysis (:mod:`repro.lang`);
+2. loop unrolling and constant folding (:mod:`repro.lang.unroll`);
+3. lowering to the volume DAG (:mod:`repro.ir.builder`);
+4. volume management:
+   * statically-known assays run the Figure 6 hierarchy
+     (:class:`~repro.core.hierarchy.VolumeManager`) and round the result to
+     least-count multiples;
+   * assays with unknown-volume operations are partitioned and get a
+     :class:`~repro.core.runtime_assign.RuntimePlanner`, deferring only the
+     final dispensing to run time;
+5. reservoir allocation and code generation (:mod:`repro.compiler.codegen`)
+   over the *final* (possibly cascaded/replicated) DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.dag import AssayDAG
+from ..core.dagsolve import VolumeAssignment
+from ..core.hierarchy import VolumeManager, VolumePlan
+from ..core.limits import HardwareLimits
+from ..core.rounding import max_ratio_error, round_assignment
+from ..core.runtime_assign import RuntimePlanner
+from ..ir.builder import build_dag_from_flat
+from ..ir.program import AISProgram
+from ..ir.regalloc import ReservoirAssignment
+from ..lang.parser import parse
+from ..lang.semantic import analyze
+from ..lang.unroll import FlatAssay, unroll
+from ..machine.spec import AQUACORE_SPEC, MachineSpec
+from .codegen import generate
+from .diagnostics import DiagnosticSink
+
+__all__ = ["CompiledAssay", "compile_assay", "compile_dag"]
+
+
+@dataclass
+class CompiledAssay:
+    """Everything the compiler produced for one assay."""
+
+    name: str
+    program: AISProgram
+    dag: AssayDAG                     # the volume DAG as written
+    final_dag: AssayDAG               # after transforms (== dag when none)
+    spec: MachineSpec
+    allocation: ReservoirAssignment
+    source: Optional[str] = None
+    flat: Optional[FlatAssay] = None
+    plan: Optional[VolumePlan] = None             # static case
+    assignment: Optional[VolumeAssignment] = None  # rounded, static case
+    planner: Optional[RuntimePlanner] = None      # statically-unknown case
+    diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
+
+    @property
+    def is_static(self) -> bool:
+        """True when volume assignment completed fully at compile time."""
+        return self.planner is None
+
+    @property
+    def needs_regeneration(self) -> bool:
+        return self.plan is not None and self.plan.needs_regeneration
+
+    def listing(self) -> str:
+        return self.program.render()
+
+
+def _has_unknown_flows(dag: AssayDAG) -> bool:
+    return any(
+        node.unknown_volume and dag.out_degree(node.id) > 0
+        for node in dag.nodes()
+    )
+
+
+def compile_dag(
+    dag: AssayDAG,
+    *,
+    spec: MachineSpec = AQUACORE_SPEC,
+    name: Optional[str] = None,
+    aux_fluids: Sequence[str] = (),
+    manager: Optional[VolumeManager] = None,
+    flat: Optional[FlatAssay] = None,
+    source: Optional[str] = None,
+) -> CompiledAssay:
+    """Compile a volume DAG (hand-built or produced by the front end)."""
+    diagnostics = DiagnosticSink()
+    limits = spec.limits
+    manager = manager or VolumeManager(limits)
+    dag.validate()
+
+    plan: Optional[VolumePlan] = None
+    planner: Optional[RuntimePlanner] = None
+    assignment: Optional[VolumeAssignment] = None
+    final_dag = dag
+
+    if _has_unknown_flows(dag):
+        planner = RuntimePlanner(dag, limits)
+        diagnostics.note(
+            "runtime-assignment",
+            f"{planner.n_partitions} partitions; final dispensing deferred "
+            "to run time for measured volumes",
+        )
+        for partition in planner.partitions:
+            vnorms = planner.vnorms[partition.index]
+            peak = vnorms.max_vnorm()
+            for spec_input in partition.constrained:
+                vnorm = vnorms.node_vnorm.get(spec_input.node_id)
+                if vnorm is not None and peak > 0 and vnorm / peak < 1 / 100:
+                    diagnostics.warning(
+                        "underflow-risk",
+                        f"constrained input {spec_input.node_id} has Vnorm "
+                        f"{vnorm} (tiny relative to its partition); low "
+                        "measured volumes will trigger regeneration",
+                        node=spec_input.node_id,
+                    )
+    else:
+        plan = manager.plan(dag)
+        final_dag = plan.dag
+        for report in plan.transforms:
+            diagnostics.note("transform", str(report))
+        if plan.assignment is None:
+            diagnostics.error(
+                "no-volume-assignment",
+                "the hierarchy produced no volume assignment at all",
+            )
+        else:
+            assignment = round_assignment(plan.assignment)
+            error = max_ratio_error(assignment)
+            if error > 0:
+                diagnostics.note(
+                    "rounding-error",
+                    f"least-count rounding perturbs mix ratios by up to "
+                    f"{float(error) * 100:.3f}%",
+                )
+            residual = assignment.violations()
+            if plan.needs_regeneration or residual:
+                diagnostics.warning(
+                    "regeneration-fallback",
+                    "no feasible static assignment; execution will rely on "
+                    "regeneration "
+                    f"({len(residual)} residual violations)",
+                )
+
+    program, allocation = generate(
+        final_dag, spec, name=name or dag.name, aux_fluids=aux_fluids
+    )
+    return CompiledAssay(
+        name=name or dag.name,
+        program=program,
+        dag=dag,
+        final_dag=final_dag,
+        spec=spec,
+        allocation=allocation,
+        source=source,
+        flat=flat,
+        plan=plan,
+        assignment=assignment,
+        planner=planner,
+        diagnostics=diagnostics,
+    )
+
+
+def compile_assay(
+    source: str,
+    *,
+    spec: MachineSpec = AQUACORE_SPEC,
+    manager: Optional[VolumeManager] = None,
+) -> CompiledAssay:
+    """Compile assay source text end to end."""
+    program_ast = parse(source)
+    symbols = analyze(program_ast)
+    flat = unroll(program_ast, symbols)
+    dag = build_dag_from_flat(flat)
+    return compile_dag(
+        dag,
+        spec=spec,
+        name=flat.name,
+        aux_fluids=flat.aux_fluids,
+        manager=manager,
+        flat=flat,
+        source=source,
+    )

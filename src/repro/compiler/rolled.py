@@ -1,0 +1,440 @@
+"""Rolled (loop-preserving) code generation — the Figure 11(b) form.
+
+The executable pipeline fully unrolls loops (volume management needs the
+complete use-set, Section 3.5), but the paper *prints* the enzyme assay
+with its loops intact: dry-register arithmetic updates the dilution ratio,
+``move mixer1, s2, inh_dil`` takes its relative volume from a register,
+fluids indexed by the loop variable live in reservoir *banks* (``s3(i)``),
+and a multi-dimensional sense target is linearised with dry multiplies and
+adds (``sense.OD sensor2, RESULT(t6)``).
+
+:func:`render_rolled` reproduces that form from the AST.  It is a
+*presentation* generator: the emitted text is the paper's compact listing
+for humans and for the (electronic, loop-capable) controller, while the
+unrolled :mod:`repro.compiler.codegen` output remains the executable
+reference — the two agree on the wet work performed, which
+``tests/compiler/test_rolled.py`` checks by instruction counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..lang.ast import (
+    Assign,
+    BinOp,
+    Compare,
+    ConcentrateStmt,
+    Expr,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    OutputStmt,
+    Program,
+    SenseStmt,
+    SeparateStmt,
+    VarDecl,
+    WhileStmt,
+)
+from ..lang.errors import SemanticError
+from ..lang.parser import parse
+from ..lang.semantic import SymbolTable, analyze
+
+__all__ = ["RolledListing", "render_rolled", "render_rolled_source"]
+
+_DRY_OPS = {"+": "dry-add", "-": "dry-sub", "*": "dry-mul"}
+
+
+@dataclass
+class RolledListing:
+    """The rolled listing plus its resource bookkeeping."""
+
+    name: str
+    lines: List[str] = field(default_factory=list)
+    #: fluid name -> reservoir (scalars) or bank base (arrays, printed
+    #: as ``s3(i)``)
+    reservoir_of: Dict[str, str] = field(default_factory=dict)
+    input_ports: Dict[str, str] = field(default_factory=dict)
+    loop_count: int = 0
+    dry_instruction_count: int = 0
+    wet_instruction_count: int = 0
+
+    def render(self) -> str:
+        body = "\n".join(f"  {line}" for line in self.lines)
+        return f"{self.name}{{\n{body}\n}}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class _RolledGenerator:
+    def __init__(self, program: Program, symbols: SymbolTable) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.listing = RolledListing(program.name)
+        self._next_reservoir = 1
+        self._next_port = 1
+        self._next_temp = 0
+        self._loop_depth = 0
+        self.it_location: Optional[str] = None
+        #: short register aliases, like the paper's ``inh_dil``
+        self.register_alias: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+    def emit(self, line: str, *, wet: bool = None) -> None:
+        self.listing.lines.append(line)
+        if wet is True:
+            self.listing.wet_instruction_count += 1
+        elif wet is False:
+            self.listing.dry_instruction_count += 1
+
+    def reservoir_for(self, fluid: str) -> str:
+        if fluid not in self.listing.reservoir_of:
+            self.listing.reservoir_of[fluid] = f"s{self._next_reservoir}"
+            self._next_reservoir += 1
+        return self.listing.reservoir_of[fluid]
+
+    def port_for(self, fluid: str) -> str:
+        if fluid not in self.listing.input_ports:
+            self.listing.input_ports[fluid] = f"ip{self._next_port}"
+            self._next_port += 1
+        return self.listing.input_ports[fluid]
+
+    def temp_register(self) -> str:
+        register = f"r{self._next_temp}"
+        self._next_temp += 1
+        return register
+
+    def alias(self, variable: str) -> str:
+        """Shorten long dry-variable names the way the paper does
+        (``inhibitor_diluent`` -> ``inh_dil``)."""
+        if variable not in self.register_alias:
+            parts = variable.split("_")
+            if len(parts) > 1:
+                short = "_".join(p[:4] for p in parts)
+            else:
+                short = variable[:8]
+            taken = set(self.register_alias.values())
+            candidate, suffix = short, 2
+            while candidate in taken:
+                candidate = f"{short}{suffix}"
+                suffix += 1
+            self.register_alias[variable] = candidate
+        return self.register_alias[variable]
+
+    # ------------------------------------------------------------------
+    # dry expression compilation
+    # ------------------------------------------------------------------
+    def dry_operand(self, expression: Expr) -> Optional[str]:
+        """A directly-referencable dry operand, or None if it needs code."""
+        if isinstance(expression, Num):
+            return str(expression.value)
+        if isinstance(expression, Name):
+            return self.alias(expression.ident)
+        return None
+
+    def compile_dry(self, expression: Expr) -> str:
+        """Compile a dry expression; returns the operand holding its value.
+
+        Simple operands are used in place; compound expressions evaluate
+        left-to-right through a temp register, exactly like the paper's
+        ``dry-mov r0, temp / dry-mul r0, 10`` sequences.
+        """
+        direct = self.dry_operand(expression)
+        if direct is not None:
+            return direct
+        if isinstance(expression, Index):
+            indices = ",".join(
+                self.compile_dry(i) for i in expression.indices
+            )
+            return f"{self.alias(expression.base)}({indices})"
+        if isinstance(expression, BinOp):
+            register = self.temp_register()
+            left = self.compile_dry(expression.left)
+            self.emit(f"dry-mov {register}, {left}", wet=False)
+            right = self.compile_dry(expression.right)
+            opcode = _DRY_OPS.get(expression.op)
+            if opcode is None:
+                raise SemanticError(
+                    f"dry operator {expression.op!r} has no rolled form"
+                )
+            self.emit(f"{opcode} {register}, {right}", wet=False)
+            return register
+        raise SemanticError(f"cannot compile dry expression {expression}")
+
+    # ------------------------------------------------------------------
+    # fluid operands
+    # ------------------------------------------------------------------
+    def fluid_location(self, operand: Expr) -> str:
+        if isinstance(operand, ItRef):
+            if self.it_location is None:
+                raise SemanticError("'it' used before any fluid operation")
+            return self.it_location
+        if isinstance(operand, Name):
+            return self.reservoir_for(operand.ident)
+        if isinstance(operand, Index):
+            bank = self.reservoir_for(operand.base)
+            indices = ",".join(
+                self.compile_dry(i) for i in operand.indices
+            )
+            return f"{bank}({indices})"
+        raise SemanticError(f"not a fluid operand: {operand}")
+
+    def target_location(self, target) -> str:
+        if isinstance(target, Name):
+            return self.reservoir_for(target.ident)
+        bank = self.reservoir_for(target.base)
+        indices = ",".join(self.compile_dry(i) for i in target.indices)
+        return f"{bank}({indices})"
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def run(self) -> RolledListing:
+        # Inputs first, in declaration order, like Figures 9-11(b):
+        # any declared fluid that is only ever *read* is a primary input.
+        produced = _produced_fluids(self.program.body)
+        for statement in self.program.body:
+            if isinstance(statement, FluidDecl):
+                for name, dims in statement.names:
+                    if dims or name in produced:
+                        continue
+                    if not _fluid_used(self.program.body, name):
+                        continue
+                    reservoir = self.reservoir_for(name)
+                    port = self.port_for(name)
+                    self.emit(f"input {reservoir}, {port} ;{name}", wet=True)
+        for statement in self.program.body:
+            self.statement(statement)
+        return self.listing
+
+    def statement(self, statement) -> None:
+        if isinstance(statement, (FluidDecl, VarDecl)):
+            return
+        if isinstance(statement, Assign):
+            if isinstance(statement.value, MixExpr):
+                self.mix(statement.value, statement.target)
+            else:
+                self.dry_assign(statement)
+        elif isinstance(statement, MixExpr):
+            self.mix(statement, None)
+        elif isinstance(statement, SenseStmt):
+            self.sense(statement)
+        elif isinstance(statement, SeparateStmt):
+            self.separate(statement)
+        elif isinstance(statement, IncubateStmt):
+            self.heat(statement, "incubate")
+        elif isinstance(statement, ConcentrateStmt):
+            self.heat(statement, "concentrate")
+        elif isinstance(statement, OutputStmt):
+            location = self.fluid_location(statement.operand)
+            self.emit(f"output op1, {location}", wet=True)
+        elif isinstance(statement, ForStmt):
+            self.for_loop(statement)
+        elif isinstance(statement, WhileStmt):
+            self.while_loop(statement)
+        elif isinstance(statement, IfStmt):
+            self.conditional(statement)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    def dry_assign(self, statement: Assign) -> None:
+        value = self.compile_dry(statement.value)
+        target = statement.target
+        if isinstance(target, Name):
+            destination = self.alias(target.ident)
+        else:
+            destination = (
+                self.alias(target.base)
+                + "("
+                + ",".join(self.compile_dry(i) for i in target.indices)
+                + ")"
+            )
+        self.emit(f"dry-mov {destination}, {value}", wet=False)
+
+    def mix(self, expression: MixExpr, target) -> None:
+        for position, operand in enumerate(expression.operands):
+            location = self.fluid_location(operand)
+            if expression.ratios is not None:
+                ratio = self.compile_dry(expression.ratios[position])
+                self.emit(f"move mixer1, {location}, {ratio}", wet=True)
+            else:
+                self.emit(f"move mixer1, {location}, 1", wet=True)
+        duration = self.compile_dry(expression.duration)
+        self.emit(f"mix mixer1, {duration}", wet=True)
+        self.it_location = "mixer1"
+        if target is not None:
+            destination = self.target_location(target)
+            self.emit(f"move {destination}, mixer1", wet=True)
+            self.it_location = destination
+
+    def sense(self, statement: SenseStmt) -> None:
+        location = self.fluid_location(statement.operand)
+        sensor = "sensor2" if statement.mode == "OD" else "sensor1"
+        if location != sensor:
+            self.emit(f"move {sensor}, {location}", wet=True)
+            self.it_location = sensor
+        target = statement.target
+        if isinstance(target, Name):
+            result = target.ident
+        elif len(target.indices) == 1:
+            result = f"{target.base}({self.compile_dry(target.indices[0])})"
+        else:
+            # linearise row-major through a temp register, Figure 11(b)
+            # style: t = ((i * d2) + j) * d3 + k ...
+            dims = self.symbols.dims_of(target.base)
+            register = self.temp_register()
+            first = self.compile_dry(target.indices[0])
+            self.emit(f"dry-mov {register}, {first}", wet=False)
+            for dim, index in zip(dims[1:], target.indices[1:]):
+                self.emit(f"dry-mul {register}, {dim}", wet=False)
+                self.emit(
+                    f"dry-add {register}, {self.compile_dry(index)}",
+                    wet=False,
+                )
+            result = f"{target.base}({register})"
+        self.emit(f"sense.{statement.mode} {sensor}, {result}", wet=True)
+
+    def separate(self, statement: SeparateStmt) -> None:
+        mode = statement.mode
+        unit = "separator1" if mode in ("AF", "SIZE") else "separator2"
+        matrix = self.reservoir_for(statement.matrix)
+        self.port_for(statement.matrix)
+        pusher = self.reservoir_for(statement.pusher)
+        self.port_for(statement.pusher)
+        self.emit(f"move {unit}.matrix, {matrix}", wet=True)
+        self.emit(f"move {unit}.pusher, {pusher}", wet=True)
+        feed = self.fluid_location(statement.operand)
+        self.emit(f"move {unit}, {feed}", wet=True)
+        duration = self.compile_dry(statement.duration)
+        self.emit(f"separate.{mode} {unit}, {duration}", wet=True)
+        effluent = self.reservoir_for(statement.effluent)
+        self.emit(f"move {effluent}, {unit}.out1", wet=True)
+        self.it_location = effluent
+
+    def heat(self, statement, opcode: str) -> None:
+        location = self.fluid_location(statement.operand)
+        if location != "heater1":
+            self.emit(f"move heater1, {location}", wet=True)
+        temperature = self.compile_dry(statement.temperature)
+        duration = self.compile_dry(statement.duration)
+        self.emit(f"{opcode} heater1, {temperature}, {duration}", wet=True)
+        self.it_location = "heater1"
+
+    def for_loop(self, statement: ForStmt) -> None:
+        label = f"loop{self.listing.loop_count}"
+        self.listing.loop_count += 1
+        start = self.compile_dry(statement.start)
+        stop = self.compile_dry(statement.stop)
+        self.emit(
+            f"{label}: index {statement.var}: {start}->{stop}"
+        )
+        self._loop_depth += 1
+        for inner in statement.body:
+            self.statement(inner)
+        self._loop_depth -= 1
+        self.emit(f"end {label}")
+
+    def while_loop(self, statement: WhileStmt) -> None:
+        label = f"loop{self.listing.loop_count}"
+        self.listing.loop_count += 1
+        condition = _render_condition(statement.condition, self)
+        self.emit(f"{label}: while {condition}")
+        self._loop_depth += 1
+        for inner in statement.body:
+            self.statement(inner)
+        self._loop_depth -= 1
+        self.emit(f"end {label}")
+
+    def conditional(self, statement: IfStmt) -> None:
+        condition = _render_condition(statement.condition, self)
+        self.emit(f"if {condition}")
+        for inner in statement.then_body:
+            self.statement(inner)
+        if statement.else_body:
+            self.emit("else")
+            for inner in statement.else_body:
+                self.statement(inner)
+        self.emit("endif")
+
+
+def _render_condition(condition: Compare, generator: _RolledGenerator) -> str:
+    left = generator.compile_dry(condition.left)
+    right = generator.compile_dry(condition.right)
+    return f"{left} {condition.op} {right}"
+
+
+def _produced_fluids(body) -> set:
+    produced = set()
+    for statement in body:
+        if isinstance(statement, Assign) and isinstance(statement.value, MixExpr):
+            target = statement.target
+            produced.add(target.base if isinstance(target, Index) else target.ident)
+        elif isinstance(statement, SeparateStmt):
+            produced.add(statement.effluent)
+            produced.add(statement.waste)
+        elif isinstance(statement, (ForStmt, WhileStmt)):
+            produced |= _produced_fluids(statement.body)
+        elif isinstance(statement, IfStmt):
+            produced |= _produced_fluids(statement.then_body)
+            produced |= _produced_fluids(statement.else_body)
+    return produced
+
+
+def _fluid_used(body, name: str) -> bool:
+    def in_expr(expression) -> bool:
+        if isinstance(expression, Name):
+            return expression.ident == name
+        if isinstance(expression, Index):
+            return expression.base == name
+        if isinstance(expression, (BinOp, Compare)):
+            return in_expr(expression.left) or in_expr(expression.right)
+        return False
+
+    for statement in body:
+        if isinstance(statement, MixExpr):
+            if any(in_expr(op) for op in statement.operands):
+                return True
+        elif isinstance(statement, Assign):
+            if isinstance(statement.value, MixExpr) and any(
+                in_expr(op) for op in statement.value.operands
+            ):
+                return True
+        elif isinstance(statement, SeparateStmt):
+            if name in (statement.matrix, statement.pusher):
+                return True
+            if in_expr(statement.operand):
+                return True
+        elif isinstance(statement, (IncubateStmt, ConcentrateStmt, OutputStmt, SenseStmt)):
+            if in_expr(statement.operand):
+                return True
+        elif isinstance(statement, (ForStmt, WhileStmt)):
+            if _fluid_used(statement.body, name):
+                return True
+        elif isinstance(statement, IfStmt):
+            if _fluid_used(statement.then_body, name) or _fluid_used(
+                statement.else_body, name
+            ):
+                return True
+    return False
+
+
+def render_rolled(program: Program, symbols: Optional[SymbolTable] = None) -> RolledListing:
+    """Generate the rolled listing for a parsed assay."""
+    if symbols is None:
+        symbols = analyze(program)
+    return _RolledGenerator(program, symbols).run()
+
+
+def render_rolled_source(source: str) -> RolledListing:
+    """Parse and render in one step."""
+    return render_rolled(parse(source))

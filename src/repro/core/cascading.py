@@ -1,0 +1,279 @@
+"""Cascaded mixing for extreme mix ratios (paper Section 3.4.1, Figure 7).
+
+A mix ratio ``1:R`` whose minor share is below the hardware's dynamic range
+(least count / maximum capacity) cannot be dispensed directly: setting the
+major side to capacity underflows the minor side, and setting the minor side
+to the least count overflows the major side.  The classic wet-lab remedy is
+**cascaded mixing**: realise the ratio as a chain of milder mixes, e.g.
+``1:99 = (1:9) ∘ (1:9)``, discarding the statically-known surplus at each
+intermediate stage (9/10 parts in the example).
+
+The surplus is what makes cascading compatible with DAGSolve: flow
+conservation would otherwise force each stage's production down to the next
+stage's draw, re-creating the underflow one level up.  We therefore attach
+an :class:`~repro.core.dag.NodeKind.EXCESS` node to every intermediate with
+``excess_fraction = 1 - 1/s`` where ``s`` is the next stage's dilution
+factor; DAGSolve then assigns every intermediate the same Vnorm as the
+original extreme node, exactly as the paper describes for the enzyme assay
+(all cascade intermediates get Vnorm 16/3).
+
+Depth selection follows the paper's iterative deepening: try two stages of
+``1:(sqrt(R+1) - 1)``, then three of ``1:(cbrt(R+1) - 1)``, ... until every
+stage factor fits within the dynamic range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil
+from typing import Dict, List, Optional, Tuple
+
+from .dag import AssayDAG, Edge, Node, NodeKind
+from .errors import DagError, RatioError, ResourceExhaustedError
+from .limits import HardwareLimits
+
+__all__ = [
+    "CascadeReport",
+    "is_extreme_mix",
+    "find_extreme_mixes",
+    "stage_factors",
+    "cascade_mix",
+    "cascade_extreme_mixes",
+]
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """Provenance of one cascading rewrite."""
+
+    node: str
+    depth: int
+    factors: Tuple[Fraction, ...]
+    intermediate_ids: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        chain = " -> ".join(f"1:{factor - 1}" for factor in self.factors)
+        return f"cascade {self.node}: {chain}"
+
+
+def _minor_edge(dag: AssayDAG, node_id: str) -> Edge:
+    inbound = [e for e in dag.in_edges(node_id) if not e.is_excess]
+    if len(inbound) < 2:
+        raise RatioError(f"node {node_id!r} is not a multi-input mix")
+    return min(inbound, key=lambda e: e.fraction)
+
+
+def is_extreme_mix(
+    dag: AssayDAG,
+    node_id: str,
+    limits: HardwareLimits,
+    *,
+    slack: Fraction = Fraction(1),
+) -> bool:
+    """True when the node's minor input share is at or below the dynamic
+    range limit (optionally relaxed by ``slack`` > 1).
+
+    With the paper's 100 nl / 100 pl hardware the dynamic range is 1000, so
+    a 1:999 mix (minor share 1/1000) is extreme while 1:99 (1/100) is not.
+    """
+    node = dag.node(node_id)
+    inbound = [e for e in dag.in_edges(node_id) if not e.is_excess]
+    if node.kind is not NodeKind.MIX or len(inbound) < 2:
+        return False
+    minor = min(edge.fraction for edge in inbound)
+    return minor * slack <= 1 / limits.dynamic_range
+
+
+def find_extreme_mixes(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    *,
+    slack: Fraction = Fraction(1),
+) -> List[str]:
+    """All mix nodes with an extreme minor share, in topological order."""
+    return [
+        node_id
+        for node_id in dag.topological_order()
+        if is_extreme_mix(dag, node_id, limits, slack=slack)
+    ]
+
+
+def stage_factors(total_factor: Fraction, depth: int) -> List[Fraction]:
+    """Split an overall dilution factor into ``depth`` per-stage factors.
+
+    The product of the returned factors equals ``total_factor`` exactly.
+    The first ``depth - 1`` stages use the integer ceiling of the real
+    ``depth``-th root (so ``1000 -> [10, 10, 10]`` and ``400 -> [20, 20]``,
+    matching the paper's examples); the final stage absorbs the exact
+    rational remainder.
+
+    A small ``total_factor`` cannot support an arbitrarily deep cascade
+    (every non-final stage factor is an integer >= 2), so the requested
+    depth is clamped to ``ceil(log2(total_factor))`` — asking for three
+    stages of a 1:3 mix yields the two-stage split.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if total_factor <= 1:
+        raise RatioError(f"dilution factor must exceed 1, got {total_factor}")
+    max_depth = max(
+        1, ceil(math.log2(float(total_factor)) - 1e-12)
+    )
+    depth = min(depth, max_depth)
+    factors: List[Fraction] = []
+    remaining = Fraction(total_factor)
+    for stage in range(depth - 1):
+        stages_left = depth - stage
+        root = float(remaining) ** (1.0 / stages_left)
+        factor = Fraction(max(2, ceil(round(root, 9))))
+        # Never leave the remainder at or below 1 (a 1:0 mix is meaningless).
+        while factor > 2 and remaining / factor <= 1:
+            factor -= 1
+        factors.append(factor)
+        remaining /= factor
+    if remaining <= 1:
+        raise RatioError(
+            f"cannot split factor {total_factor} into {depth} stages"
+        )
+    factors.append(remaining)
+    return factors
+
+
+def _pick_depth(
+    total_factor: Fraction, limits: HardwareLimits, max_depth: int
+) -> Tuple[int, List[Fraction]]:
+    """Iterative deepening: smallest depth whose stages all fit the range."""
+    for depth in range(2, max_depth + 1):
+        factors = stage_factors(total_factor, depth)
+        if all(factor <= limits.dynamic_range for factor in factors):
+            return depth, factors
+    raise ResourceExhaustedError(
+        f"no cascade of depth <= {max_depth} brings dilution factor "
+        f"{total_factor} within dynamic range {limits.dynamic_range}"
+    )
+
+
+def cascade_mix(
+    dag: AssayDAG,
+    node_id: str,
+    factors: List[Fraction],
+) -> Tuple[AssayDAG, CascadeReport]:
+    """Rewrite a two-input mix into a cascade with the given stage factors.
+
+    The original node keeps its id (so downstream consumers are untouched)
+    and becomes the *final* stage; fresh intermediate nodes named
+    ``<id>.cascade1 ...`` are inserted upstream, each with an excess node
+    capturing its statically-known discard.
+
+    Returns the rewritten copy of the DAG plus a provenance report.
+    """
+    node = dag.node(node_id)
+    if node.no_excess:
+        raise DagError(
+            f"node {node_id!r} is flagged no-excess; cascading would discard "
+            "fluid, which the programmer disallowed"
+        )
+    inbound = [e for e in dag.in_edges(node_id) if not e.is_excess]
+    if len(inbound) != 2:
+        raise RatioError(
+            f"cascading supports two-input mixes; node {node_id!r} has "
+            f"{len(inbound)} inputs"
+        )
+    if len(factors) < 2:
+        raise ValueError("a cascade needs at least two stages")
+    minor = min(inbound, key=lambda e: e.fraction)
+    major = max(inbound, key=lambda e: e.fraction)
+    if minor.fraction == major.fraction:
+        raise RatioError(f"node {node_id!r} is a 1:1 mix; nothing to cascade")
+    total_factor = 1 / minor.fraction
+    product = Fraction(1)
+    for factor in factors:
+        product *= factor
+    if product != total_factor:
+        raise RatioError(
+            f"stage factors {factors} multiply to {product}, expected "
+            f"{total_factor} for node {node_id!r}"
+        )
+
+    new_dag = dag.copy()
+    new_dag.remove_edge(minor.src, node_id)
+    new_dag.remove_edge(major.src, node_id)
+
+    intermediates: List[str] = []
+    concentrate = minor.src
+    for stage, factor in enumerate(factors):
+        is_last = stage == len(factors) - 1
+        stage_id = node_id if is_last else f"{node_id}.cascade{stage + 1}"
+        if is_last:
+            stage_node = new_dag.node(node_id)
+            stage_node.ratio = None  # the declared ratio no longer applies
+            stage_node.meta.setdefault("cascade", []).append(
+                {"stage": stage + 1, "factor": factor}
+            )
+        else:
+            next_factor = factors[stage + 1]
+            inherited = {
+                key: node.meta[key]
+                for key in ("seq", "duration", "op", "line")
+                if key in node.meta
+            }
+            stage_node = new_dag.add_node(
+                Node(
+                    stage_id,
+                    NodeKind.MIX,
+                    label=f"{node.display_name} cascade {stage + 1}",
+                    excess_fraction=1 - 1 / next_factor,
+                    meta={
+                        **inherited,
+                        "cascade_of": node_id,
+                        "stage": stage + 1 - len(factors),
+                    },
+                )
+            )
+            intermediates.append(stage_id)
+        new_dag.add_edge(Edge(concentrate, stage_id, 1 / factor))
+        new_dag.add_edge(Edge(major.src, stage_id, 1 - 1 / factor))
+        if not is_last:
+            excess_id = f"{stage_id}.excess"
+            new_dag.add_node(
+                Node(
+                    excess_id,
+                    NodeKind.EXCESS,
+                    label=f"discard from {stage_id}",
+                    meta={"cascade_of": node_id},
+                )
+            )
+            new_dag.add_edge(Edge(stage_id, excess_id, is_excess=True))
+        concentrate = stage_id
+    report = CascadeReport(
+        node=node_id,
+        depth=len(factors),
+        factors=tuple(factors),
+        intermediate_ids=tuple(intermediates),
+    )
+    return new_dag, report
+
+
+def cascade_extreme_mixes(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    *,
+    slack: Fraction = Fraction(1),
+    max_depth: int = 8,
+) -> Tuple[AssayDAG, List[CascadeReport]]:
+    """Cascade every extreme mix in the DAG (Figure 6's left-to-right arrow).
+
+    Returns the rewritten DAG and one report per rewritten node; the DAG is
+    returned unchanged (same object) when nothing is extreme.
+    """
+    reports: List[CascadeReport] = []
+    current = dag
+    for node_id in find_extreme_mixes(dag, limits, slack=slack):
+        minor = _minor_edge(current, node_id)
+        total_factor = 1 / minor.fraction
+        __, factors = _pick_depth(total_factor, limits, max_depth)
+        current, report = cascade_mix(current, node_id, factors)
+        reports.append(report)
+    return current, reports

@@ -1,0 +1,450 @@
+"""DAGSolve: linear-time rational volume management (paper Section 3.3).
+
+DAGSolve over-constrains the RVol problem with two artificial constraints:
+
+1. all final output volumes are in a fixed relative proportion (by default
+   equal — every output node gets ``Vnorm = 1``), and
+2. flow conservation at intermediate nodes — each intermediate fluid's
+   production equals the total volume of its uses (no excess), except for
+   the statically-computed excess introduced by cascading.
+
+With these constraints a single **backward pass** in reverse topological
+order computes every node's and edge's ``Vnorm`` (volume normalised to the
+outputs), and a single **forward (dispensing) pass** converts Vnorms to
+absolute volumes by anchoring the largest Vnorm at the machine's maximum
+capacity.  Each node and edge is visited a constant number of times, giving
+the linear complexity the paper contrasts with LP's ``O(n^3 L)``.
+
+Worked example (paper Figures 2 and 5): for the four-mix assay the backward
+pass yields ``Vnorm(K) = 2/3``, ``Vnorm(L) = 11/15``, ``Vnorm(B) = 46/45``
+(the maximum), and the dispensing pass with a 100 nl maximum yields 100 nl
+for B, 13 nl for A, and 65/72/98 nl for K/L/M — matching Figure 5 after
+rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .dag import AssayDAG, Node, NodeKind
+from .errors import (
+    DagError,
+    OverflowError_,
+    UnderflowError,
+    VolumeError,
+)
+from .limits import HardwareLimits, Number, as_fraction
+
+__all__ = [
+    "VnormResult",
+    "Violation",
+    "VolumeAssignment",
+    "compute_vnorms",
+    "dispense",
+    "scale_for_required_outputs",
+    "dagsolve",
+]
+
+EdgeKey = Tuple[str, str]
+
+
+@dataclass
+class VnormResult:
+    """Vnorms produced by the backward pass.
+
+    ``node_vnorm`` is the paper's node Vnorm: the node's *production* volume
+    relative to the (unit) outputs.  ``node_input_vnorm`` is the total volume
+    entering the node; it differs from production only for nodes with
+    ``output_fraction != 1`` (separators) and is the quantity bounded by the
+    capacity constraint (paper Figure 3 bounds ``K = r + s``).
+    """
+
+    node_vnorm: Dict[str, Fraction]
+    node_input_vnorm: Dict[str, Fraction]
+    edge_vnorm: Dict[EdgeKey, Fraction]
+    #: number of node and edge visits; used by tests to certify linearity.
+    nodes_visited: int = 0
+    edges_visited: int = 0
+
+    def max_vnorm(self) -> Fraction:
+        """Largest volume Vnorm over all nodes (paper line 8, ``Max_V``).
+
+        Uses the input-side Vnorm so separator loads are counted against
+        capacity too; for flow-conserving DAGs this equals the paper's
+        maximum node Vnorm exactly.
+        """
+        return max(
+            max(self.node_vnorm[n], self.node_input_vnorm[n])
+            for n in self.node_vnorm
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One feasibility violation discovered in a volume assignment."""
+
+    kind: str  # "underflow" | "overflow" | "min-volume"
+    subject: str  # node id or "src->dst"
+    volume: Fraction
+    bound: Fraction
+
+    def __str__(self) -> str:
+        relation = "<" if self.kind in ("underflow", "min-volume") else ">"
+        return (
+            f"{self.kind} at {self.subject}: volume {float(self.volume):.6g} nl "
+            f"{relation} bound {float(self.bound):.6g} nl"
+        )
+
+
+@dataclass
+class VolumeAssignment:
+    """Absolute volumes for every node and edge of an assay DAG.
+
+    Produced by :func:`dispense` (DAGSolve), by the LP/ILP solvers, or by the
+    run-time assigner; consumers (codegen, the simulator, the benchmarks)
+    treat all sources uniformly.
+    """
+
+    dag: AssayDAG
+    limits: HardwareLimits
+    node_volume: Dict[str, Fraction]
+    node_input_volume: Dict[str, Fraction]
+    edge_volume: Dict[EdgeKey, Fraction]
+    scale: Optional[Fraction] = None
+    method: str = "dagsolve"
+    vnorms: Optional[VnormResult] = None
+    #: feasibility slack for float-based solvers (LP/ILP); exact methods
+    #: keep it at 0 so their checks stay strict.
+    tolerance: Fraction = Fraction(0)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- inspection ----------------------------------------------------
+    def min_edge_volume(self) -> Fraction:
+        if not self.edge_volume:
+            raise VolumeError("assignment has no edges")
+        return min(self.edge_volume.values())
+
+    def min_edge(self) -> Tuple[EdgeKey, Fraction]:
+        key = min(self.edge_volume, key=self.edge_volume.__getitem__)
+        return key, self.edge_volume[key]
+
+    def max_node_volume(self) -> Fraction:
+        return max(
+            max(self.node_volume[n], self.node_input_volume[n])
+            for n in self.node_volume
+        )
+
+    def violations(self) -> List[Violation]:
+        """All least-count, capacity and FU-minimum violations.
+
+        Excess edges are exempt from the least-count check: the discarded
+        share never needs to be metered separately — it simply stays behind
+        in the functional unit.
+        """
+        found: List[Violation] = []
+        slack = self.tolerance
+        for edge in self.dag.edges():
+            volume = self.edge_volume[edge.key]
+            if not edge.is_excess and volume < self.limits.least_count - slack:
+                found.append(
+                    Violation(
+                        "underflow",
+                        f"{edge.src}->{edge.dst}",
+                        volume,
+                        self.limits.least_count,
+                    )
+                )
+        for node in self.dag.nodes():
+            capacity = node.capacity or self.limits.max_capacity
+            load = max(
+                self.node_volume[node.id], self.node_input_volume[node.id]
+            )
+            if load > capacity + slack:
+                found.append(Violation("overflow", node.id, load, capacity))
+            if node.min_volume is not None:
+                held = self.node_input_volume[node.id]
+                if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+                    held = self.node_volume[node.id]
+                if held < node.min_volume - slack:
+                    found.append(
+                        Violation("min-volume", node.id, held, node.min_volume)
+                    )
+        return found
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations()
+
+    def require_feasible(self) -> "VolumeAssignment":
+        """Raise the first violation as a typed error; return self if clean."""
+        for violation in self.violations():
+            if violation.kind == "overflow":
+                raise OverflowError_(
+                    str(violation),
+                    node=violation.subject,
+                    volume=violation.volume,
+                    capacity=violation.bound,
+                )
+            raise UnderflowError(
+                str(violation),
+                edge=violation.subject if "->" in violation.subject else None,
+                node=None if "->" in violation.subject else violation.subject,
+                volume=violation.volume,
+                least_count=violation.bound,
+            )
+        return self
+
+    def as_floats(self) -> Dict[str, Dict[str, float]]:
+        """Float view for reporting (nodes and edges, nl)."""
+        return {
+            "nodes": {n: float(v) for n, v in self.node_volume.items()},
+            "edges": {
+                f"{src}->{dst}": float(v)
+                for (src, dst), v in self.edge_volume.items()
+            },
+        }
+
+
+def _check_solvable(dag: AssayDAG) -> None:
+    for node in dag.nodes():
+        if node.unknown_volume and dag.out_degree(node.id) > 0:
+            raise DagError(
+                f"node {node.id!r} has a statically-unknown output volume "
+                "and downstream uses; partition the DAG first "
+                "(repro.core.partition) before running DAGSolve"
+            )
+
+
+def compute_vnorms(
+    dag: AssayDAG,
+    output_targets: Optional[Mapping[str, Number]] = None,
+) -> VnormResult:
+    """Backward pass of DAGSolve (paper Figure 4, lines 2-7).
+
+    Args:
+        dag: a validated assay DAG with no reachable unknown-volume nodes.
+        output_targets: optional relative proportions for the output nodes
+            (the paper's first artificial constraint allows arbitrary
+            proportions; the default normalises every output to 1).
+
+    Returns:
+        A :class:`VnormResult` with exact rational Vnorms.
+    """
+    dag.validate()
+    _check_solvable(dag)
+    targets: Dict[str, Fraction] = {}
+    if output_targets:
+        targets = {n: as_fraction(v) for n, v in output_targets.items()}
+        for node_id, value in targets.items():
+            if value <= 0:
+                raise VolumeError(
+                    f"output target for {node_id!r} must be positive"
+                )
+    output_ids = {node.id for node in dag.outputs()}
+    unknown_targets = set(targets) - output_ids
+    if unknown_targets:
+        raise DagError(
+            f"output targets given for non-output nodes {sorted(unknown_targets)}"
+        )
+
+    node_vnorm: Dict[str, Fraction] = {}
+    node_input_vnorm: Dict[str, Fraction] = {}
+    edge_vnorm: Dict[EdgeKey, Fraction] = {}
+    nodes_visited = 0
+    edges_visited = 0
+
+    for node_id in dag.reverse_topological_order():
+        node = dag.node(node_id)
+        if node.kind is NodeKind.EXCESS:
+            # Computed when the producing node is visited (paper 3.4.1:
+            # "the Vnorms of the excess edge and excess node are computed
+            # after their source node's Vnorm is known").
+            continue
+        nodes_visited += 1
+        used = Fraction(0)
+        for edge in dag.out_edges(node_id):
+            if edge.is_excess:
+                continue
+            used += edge_vnorm[edge.key]
+            edges_visited += 1
+        if node_id in output_ids:
+            production = targets.get(node_id, Fraction(1))
+        else:
+            # Second artificial constraint: flow conservation, modulo the
+            # statically-known excess share from cascading.
+            production = used / (1 - node.excess_fraction)
+        node_vnorm[node_id] = production
+        if node.excess_fraction > 0:
+            excess_amount = production * node.excess_fraction
+            for edge in dag.out_edges(node_id):
+                if edge.is_excess:
+                    edge_vnorm[edge.key] = excess_amount
+                    node_vnorm[edge.dst] = excess_amount
+                    node_input_vnorm[edge.dst] = excess_amount
+                    edges_visited += 1
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            node_input_vnorm[node_id] = production
+            continue
+        if node.unknown_volume:
+            # A partition sink whose output is measured at run time: the
+            # partition dispenses its *input*, so normalise that side.
+            fraction_out = Fraction(1)
+        else:
+            fraction_out = node.output_fraction
+            if fraction_out is None or fraction_out <= 0:
+                raise DagError(
+                    f"node {node_id!r} lacks a positive output_fraction"
+                )
+        input_total = production / fraction_out
+        node_input_vnorm[node_id] = input_total
+        for edge in dag.in_edges(node_id):
+            edge_vnorm[edge.key] = edge.fraction * input_total
+            edges_visited += 1
+
+    return VnormResult(
+        node_vnorm=node_vnorm,
+        node_input_vnorm=node_input_vnorm,
+        edge_vnorm=edge_vnorm,
+        nodes_visited=nodes_visited,
+        edges_visited=edges_visited,
+    )
+
+
+def _constrained_scale(dag: AssayDAG, vnorms: VnormResult) -> Optional[Fraction]:
+    """Scale cap imposed by measured constrained inputs (Section 3.5).
+
+    Each CONSTRAINED_INPUT node with a measured ``available_volume`` caps the
+    global scale at ``available / Vnorm``; the dispensing pass takes the
+    minimum over all such caps and the capacity-derived default.
+    """
+    cap: Optional[Fraction] = None
+    for node in dag.nodes():
+        if node.kind is not NodeKind.CONSTRAINED_INPUT:
+            continue
+        if node.available_volume is None:
+            raise DagError(
+                f"constrained input {node.id!r} has no measured volume; "
+                "set node.available_volume before dispensing"
+            )
+        vnorm = vnorms.node_vnorm[node.id]
+        if vnorm == 0:
+            continue
+        ratio = node.available_volume / vnorm
+        cap = ratio if cap is None else min(cap, ratio)
+    return cap
+
+
+def dispense(
+    dag: AssayDAG,
+    vnorms: VnormResult,
+    limits: HardwareLimits,
+) -> VolumeAssignment:
+    """Forward (dispensing) pass of DAGSolve (paper Figure 4, lines 8-11).
+
+    Anchors the node with the largest Vnorm at its capacity (the paper's
+    ``max_default``) and scales every other node and edge proportionally,
+    honouring per-node capacity overrides and measured constrained inputs.
+    """
+    max_vnorm = vnorms.max_vnorm()
+    if max_vnorm <= 0:
+        raise VolumeError("DAG has no positive Vnorm; nothing to dispense")
+    scale = None
+    for node in dag.nodes():
+        capacity = node.capacity or limits.max_capacity
+        load = max(
+            vnorms.node_vnorm[node.id], vnorms.node_input_vnorm[node.id]
+        )
+        if load == 0:
+            continue
+        bound = capacity / load
+        scale = bound if scale is None else min(scale, bound)
+    assert scale is not None
+    constrained_cap = _constrained_scale(dag, vnorms)
+    if constrained_cap is not None:
+        scale = min(scale, constrained_cap)
+
+    node_volume = {n: v * scale for n, v in vnorms.node_vnorm.items()}
+    node_input_volume = {
+        n: v * scale for n, v in vnorms.node_input_vnorm.items()
+    }
+    edge_volume = {key: v * scale for key, v in vnorms.edge_vnorm.items()}
+    return VolumeAssignment(
+        dag=dag,
+        limits=limits,
+        node_volume=node_volume,
+        node_input_volume=node_input_volume,
+        edge_volume=edge_volume,
+        scale=scale,
+        method="dagsolve",
+        vnorms=vnorms,
+    )
+
+
+def scale_for_required_outputs(
+    dag: AssayDAG,
+    vnorms: VnormResult,
+    limits: HardwareLimits,
+    required_outputs: Mapping[str, Number],
+) -> VolumeAssignment:
+    """Dispense for programmer-specified *minimum* output volumes.
+
+    Implements the loop handling of Section 3.5 (option 2): instead of
+    anchoring the largest Vnorm at capacity, pick the output with the
+    smallest Vnorm-to-requirement slack and scale so every required output
+    meets its specified volume.  The caller should afterwards check
+    :meth:`VolumeAssignment.violations` — meeting the requirement may
+    overflow, in which case static replication is needed upstream.
+    """
+    scale: Optional[Fraction] = None
+    output_ids = {node.id for node in dag.outputs()}
+    for node_id, required in required_outputs.items():
+        if node_id not in output_ids:
+            raise DagError(f"{node_id!r} is not an output node")
+        vnorm = vnorms.node_vnorm[node_id]
+        if vnorm == 0:
+            raise VolumeError(f"output {node_id!r} has zero Vnorm")
+        needed = as_fraction(required) / vnorm
+        scale = needed if scale is None else max(scale, needed)
+    if scale is None:
+        raise VolumeError("required_outputs must not be empty")
+    node_volume = {n: v * scale for n, v in vnorms.node_vnorm.items()}
+    node_input_volume = {
+        n: v * scale for n, v in vnorms.node_input_vnorm.items()
+    }
+    edge_volume = {key: v * scale for key, v in vnorms.edge_vnorm.items()}
+    return VolumeAssignment(
+        dag=dag,
+        limits=limits,
+        node_volume=node_volume,
+        node_input_volume=node_input_volume,
+        edge_volume=edge_volume,
+        scale=scale,
+        method="dagsolve/required-outputs",
+        vnorms=vnorms,
+    )
+
+
+def dagsolve(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    output_targets: Optional[Mapping[str, Number]] = None,
+    *,
+    strict: bool = False,
+) -> VolumeAssignment:
+    """Run both DAGSolve passes and return the volume assignment.
+
+    Args:
+        dag: validated assay DAG.
+        limits: hardware maximum capacity and least count.
+        output_targets: optional relative output proportions.
+        strict: when true, raise :class:`UnderflowError` /
+            :class:`OverflowError_` on the first violation instead of
+            returning an infeasible assignment for inspection.
+    """
+    vnorms = compute_vnorms(dag, output_targets)
+    assignment = dispense(dag, vnorms, limits)
+    if strict:
+        assignment.require_feasible()
+    return assignment

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the volume-management core.
+
+All errors raised by :mod:`repro.core` derive from :class:`VolumeError` so
+callers can catch the whole family with one clause.  The compiler and the
+volume-management hierarchy (paper Figure 6) rely on the *specific* subclasses
+to decide which fallback to attempt next: an :class:`UnderflowError` from
+DAGSolve triggers the LP fallback, an infeasible LP triggers cascading or
+static replication, and so on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VolumeError",
+    "DagError",
+    "CycleError",
+    "RatioError",
+    "UnderflowError",
+    "OverflowError_",
+    "InfeasibleError",
+    "ResourceExhaustedError",
+    "PartitionError",
+    "SolverError",
+]
+
+
+class VolumeError(Exception):
+    """Base class for all volume-management errors."""
+
+
+class DagError(VolumeError):
+    """Malformed assay DAG (dangling edge, duplicate node id, ...)."""
+
+
+class CycleError(DagError):
+    """The assay graph contains a cycle and therefore is not a DAG."""
+
+
+class RatioError(VolumeError):
+    """A mix node's edge fractions are missing, negative or do not sum to 1."""
+
+
+class UnderflowError(VolumeError):
+    """A dispensed volume fell below the hardware least count.
+
+    Carries enough context for the hierarchy to decide whether cascading
+    (extreme ratio at fault) or replication (too many uses at fault) is the
+    appropriate remedy.
+    """
+
+    def __init__(self, message, *, node=None, edge=None, volume=None, least_count=None):
+        super().__init__(message)
+        self.node = node
+        self.edge = edge
+        self.volume = volume
+        self.least_count = least_count
+
+
+class OverflowError_(VolumeError):
+    """A node's total assigned volume exceeded the hardware maximum capacity.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`OverflowError`.
+    """
+
+    def __init__(self, message, *, node=None, volume=None, capacity=None):
+        super().__init__(message)
+        self.node = node
+        self.volume = volume
+        self.capacity = capacity
+
+
+class InfeasibleError(VolumeError):
+    """No volume assignment satisfies the constraint system (LP/ILP verdict)."""
+
+
+class ResourceExhaustedError(VolumeError):
+    """A DAG transform (replication/cascading) exceeded PLoC resources.
+
+    The paper: "the replicated code may exceed the PLoC's resources.  In such
+    cases, compilation fails."
+    """
+
+
+class PartitionError(VolumeError):
+    """Invalid partitioning request for the statically-unknown case."""
+
+
+class SolverError(VolumeError):
+    """The underlying LP/ILP solver failed for a non-feasibility reason."""

@@ -1,0 +1,157 @@
+"""Float fast path for DAGSolve: the run-time flavour.
+
+The exact-rational DAGSolve in :mod:`repro.core.dagsolve` is the compile-time
+reference: deterministic, testable against the paper's fractions.  At *run
+time* the PLoC's electronic control would use plain machine arithmetic (the
+paper reports "a few milliseconds on a 750-MHz processor" for glycomics),
+and exact rationals are needlessly slow there — the enzyme10 assay's
+1:(10^k - 1) ratios make Fraction denominators explode.
+
+:func:`fast_dagsolve` runs the same two passes over floats.  It mirrors the
+exact solver bit-for-bit in structure (same traversal, same constraint
+logic) and is validated against it in ``tests/core/test_fastpath.py``; the
+Table 2 runtime benchmark uses it as the "DAGSolve" column, and reports the
+exact flavour separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .dag import AssayDAG, NodeKind
+from .errors import DagError, VolumeError
+from .limits import HardwareLimits
+
+__all__ = ["FastAssignment", "fast_vnorms", "fast_dagsolve"]
+
+EdgeKey = Tuple[str, str]
+
+
+@dataclass
+class FastAssignment:
+    """Float volume assignment (node production / input side, edges)."""
+
+    node_volume: Dict[str, float]
+    node_input_volume: Dict[str, float]
+    edge_volume: Dict[EdgeKey, float]
+    scale: float
+    min_edge: Optional[Tuple[EdgeKey, float]] = None
+    #: feasibility with a small relative epsilon for float error.
+    feasible: bool = True
+    violations: List[str] = field(default_factory=list)
+
+
+def fast_vnorms(
+    dag: AssayDAG,
+    output_targets: Optional[Mapping[str, float]] = None,
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[EdgeKey, float]]:
+    """Backward pass over floats; same semantics as
+    :func:`repro.core.dagsolve.compute_vnorms`."""
+    targets = {k: float(v) for k, v in (output_targets or {}).items()}
+    output_ids = {node.id for node in dag.outputs()}
+    node_vnorm: Dict[str, float] = {}
+    node_input: Dict[str, float] = {}
+    edge_vnorm: Dict[EdgeKey, float] = {}
+    for node_id in dag.reverse_topological_order():
+        node = dag.node(node_id)
+        if node.kind is NodeKind.EXCESS:
+            continue
+        if node.unknown_volume and dag.out_degree(node_id) > 0:
+            raise DagError(
+                f"node {node_id!r} has unknown volume and uses; partition "
+                "first"
+            )
+        used = 0.0
+        for edge in dag.out_edges(node_id):
+            if not edge.is_excess:
+                used += edge_vnorm[edge.key]
+        if node_id in output_ids:
+            production = targets.get(node_id, 1.0)
+        else:
+            production = used / (1.0 - float(node.excess_fraction))
+        node_vnorm[node_id] = production
+        if node.excess_fraction > 0:
+            excess = production * float(node.excess_fraction)
+            for edge in dag.out_edges(node_id):
+                if edge.is_excess:
+                    edge_vnorm[edge.key] = excess
+                    node_vnorm[edge.dst] = excess
+                    node_input[edge.dst] = excess
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            node_input[node_id] = production
+            continue
+        fraction_out = (
+            1.0 if node.unknown_volume else float(node.output_fraction)
+        )
+        input_total = production / fraction_out
+        node_input[node_id] = input_total
+        for edge in dag.in_edges(node_id):
+            edge_vnorm[edge.key] = float(edge.fraction) * input_total
+    return node_vnorm, node_input, edge_vnorm
+
+
+def fast_dagsolve(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    output_targets: Optional[Mapping[str, float]] = None,
+    *,
+    epsilon: float = 1e-9,
+) -> FastAssignment:
+    """Both DAGSolve passes over floats."""
+    node_vnorm, node_input, edge_vnorm = fast_vnorms(dag, output_targets)
+    capacity_default = float(limits.max_capacity)
+    least = float(limits.least_count)
+    scale = float("inf")
+    for node in dag.nodes():
+        if node.kind is NodeKind.EXCESS:
+            continue
+        load = max(node_vnorm[node.id], node_input[node.id])
+        if load <= 0:
+            continue
+        capacity = float(node.capacity) if node.capacity else capacity_default
+        scale = min(scale, capacity / load)
+        if node.kind is NodeKind.CONSTRAINED_INPUT:
+            if node.available_volume is None:
+                raise DagError(
+                    f"constrained input {node.id!r} lacks a measured volume"
+                )
+            vnorm = node_vnorm[node.id]
+            if vnorm > 0:
+                scale = min(scale, float(node.available_volume) / vnorm)
+    if scale == float("inf"):
+        raise VolumeError("DAG has no positive Vnorm; nothing to dispense")
+
+    node_volume = {k: v * scale for k, v in node_vnorm.items()}
+    node_input_volume = {k: v * scale for k, v in node_input.items()}
+    edge_volume = {k: v * scale for k, v in edge_vnorm.items()}
+
+    violations: List[str] = []
+    min_edge: Optional[Tuple[EdgeKey, float]] = None
+    tolerance = least * epsilon + epsilon
+    for edge in dag.edges():
+        volume = edge_volume[edge.key]
+        if edge.is_excess:
+            continue
+        if min_edge is None or volume < min_edge[1]:
+            min_edge = (edge.key, volume)
+        if volume < least - tolerance:
+            violations.append(
+                f"underflow {edge.src}->{edge.dst}: {volume:.6g} nl"
+            )
+    for node in dag.nodes():
+        if node.kind is NodeKind.EXCESS:
+            continue
+        capacity = float(node.capacity) if node.capacity else capacity_default
+        load = max(node_volume[node.id], node_input_volume[node.id])
+        if load > capacity * (1 + epsilon):
+            violations.append(f"overflow {node.id}: {load:.6g} nl")
+    return FastAssignment(
+        node_volume=node_volume,
+        node_input_volume=node_input_volume,
+        edge_volume=edge_volume,
+        scale=scale,
+        min_edge=min_edge,
+        feasible=not violations,
+        violations=violations,
+    )

@@ -1,0 +1,263 @@
+"""The volume-management hierarchy (paper Figure 6).
+
+The paper composes its techniques as a hierarchy of attempts:
+
+1. **DAGSolve** — fast, linear, may fail because of its two artificial
+   constraints;
+2. **LP** — slower, strictly more general (no flow conservation, free output
+   proportions); used only when DAGSolve's assignment is infeasible;
+3. **DAG transforms** — if even LP fails, the graph itself is at fault:
+   *cascading* rewrites extreme mix ratios, *static replication* rewrites
+   heavily-used fluids; the rewritten DAG re-enters the hierarchy;
+4. **Regeneration** — the reactive Biostream fallback: accept the best
+   infeasible plan and re-execute backward slices at run time whenever a
+   fluid actually runs out ("it is better to provide a slow solution than no
+   solution").
+
+:class:`VolumeManager` implements the flowchart and records every attempt so
+benchmarks and callers can see *why* a plan ended up where it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Mapping, Optional, Sequence, Union
+
+from .cascading import CascadeReport, cascade_extreme_mixes, find_extreme_mixes
+from .dag import AssayDAG
+from .dagsolve import VolumeAssignment, Violation, dagsolve
+from .errors import (
+    InfeasibleError,
+    ResourceExhaustedError,
+    SolverError,
+    VolumeError,
+)
+from .limits import HardwareLimits, Number
+from .lp import lp_solve
+from .replication import ReplicationReport, iterative_replication
+
+__all__ = ["Attempt", "VolumePlan", "VolumeManager"]
+
+TransformReport = Union[CascadeReport, ReplicationReport]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One stage of the hierarchy and how it fared."""
+
+    stage: str          # "dagsolve" | "lp" | "cascade" | "replicate"
+    round: int
+    succeeded: bool
+    detail: str = ""
+    violations: Sequence[Violation] = ()
+
+    def __str__(self) -> str:
+        outcome = "ok" if self.succeeded else "failed"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"round {self.round}: {self.stage} {outcome}{suffix}"
+
+
+@dataclass
+class VolumePlan:
+    """Result of running the hierarchy on an assay DAG.
+
+    ``assignment`` is feasible unless ``needs_regeneration`` is set, in
+    which case it is the best infeasible attempt (the executor pairs it with
+    run-time regeneration).  ``dag`` is the final — possibly transformed —
+    graph the assignment refers to.
+    """
+
+    dag: AssayDAG
+    assignment: Optional[VolumeAssignment]
+    status: str  # "dagsolve" | "lp" | "regeneration" | "failed"
+    attempts: List[Attempt] = field(default_factory=list)
+    transforms: List[TransformReport] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.status in ("dagsolve", "lp")
+
+    @property
+    def needs_regeneration(self) -> bool:
+        return self.status == "regeneration"
+
+    @property
+    def was_transformed(self) -> bool:
+        return bool(self.transforms)
+
+    def summary(self) -> str:
+        lines = [f"plan for {self.dag.name!r}: {self.status}"]
+        lines += [f"  {attempt}" for attempt in self.attempts]
+        lines += [f"  transform: {report}" for report in self.transforms]
+        if self.assignment is not None:
+            key, volume = self.assignment.min_edge()
+            lines.append(
+                f"  min dispense {float(volume):.4g} nl at {key[0]}->{key[1]}"
+            )
+        return "\n".join(lines)
+
+
+class VolumeManager:
+    """Figure 6 flowchart: DAGSolve -> LP -> cascade/replicate -> regenerate.
+
+    Parameters mirror the paper's knobs:
+
+    Args:
+        limits: hardware capacity and least count.
+        use_lp: fall back on LP when DAGSolve's assignment is infeasible.
+        allow_cascading: rewrite extreme mix ratios (Section 3.4.1).
+        allow_replication: rewrite heavily-used fluids (Section 3.4.2).
+        output_tolerance: LP's optional output-to-output band.
+        max_rounds: transform-and-retry iterations before giving up.
+        max_total_nodes: PLoC resource budget for replication growth.
+    """
+
+    def __init__(
+        self,
+        limits: HardwareLimits,
+        *,
+        use_lp: bool = True,
+        allow_cascading: bool = True,
+        allow_replication: bool = True,
+        output_tolerance: Optional[float] = 0.1,
+        max_rounds: int = 4,
+        max_total_nodes: Optional[int] = None,
+    ) -> None:
+        self.limits = limits
+        self.use_lp = use_lp
+        self.allow_cascading = allow_cascading
+        self.allow_replication = allow_replication
+        self.output_tolerance = output_tolerance
+        self.max_rounds = max_rounds
+        self.max_total_nodes = max_total_nodes
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        dag: AssayDAG,
+        output_targets: Optional[Mapping[str, Number]] = None,
+    ) -> VolumePlan:
+        """Run the hierarchy and return a :class:`VolumePlan`."""
+        attempts: List[Attempt] = []
+        transforms: List[TransformReport] = []
+        current = dag
+        best: Optional[VolumeAssignment] = None
+
+        for round_number in range(1, self.max_rounds + 1):
+            # -- stage 1: DAGSolve -----------------------------------
+            assignment = dagsolve(current, self.limits, output_targets)
+            violations = assignment.violations()
+            attempts.append(
+                Attempt(
+                    "dagsolve",
+                    round_number,
+                    not violations,
+                    detail="; ".join(str(v) for v in violations[:3]),
+                    violations=tuple(violations),
+                )
+            )
+            if not violations:
+                return VolumePlan(
+                    current, assignment, "dagsolve", attempts, transforms
+                )
+            best = self._better(best, assignment)
+
+            # -- stage 2: LP ------------------------------------------
+            if self.use_lp:
+                try:
+                    lp_assignment = lp_solve(
+                        current,
+                        self.limits,
+                        output_tolerance=self.output_tolerance,
+                    )
+                except (InfeasibleError, SolverError) as error:
+                    attempts.append(
+                        Attempt("lp", round_number, False, detail=str(error))
+                    )
+                else:
+                    lp_violations = lp_assignment.violations()
+                    attempts.append(
+                        Attempt(
+                            "lp",
+                            round_number,
+                            not lp_violations,
+                            violations=tuple(lp_violations),
+                        )
+                    )
+                    if not lp_violations:
+                        return VolumePlan(
+                            current, lp_assignment, "lp", attempts, transforms
+                        )
+                    best = self._better(best, lp_assignment)
+
+            # -- stage 3: transforms ----------------------------------
+            transformed = False
+            if self.allow_cascading and find_extreme_mixes(
+                current, self.limits
+            ):
+                try:
+                    current, reports = cascade_extreme_mixes(
+                        current, self.limits
+                    )
+                except (VolumeError, ResourceExhaustedError) as error:
+                    attempts.append(
+                        Attempt(
+                            "cascade", round_number, False, detail=str(error)
+                        )
+                    )
+                else:
+                    transforms.extend(reports)
+                    attempts.append(
+                        Attempt(
+                            "cascade",
+                            round_number,
+                            True,
+                            detail="; ".join(str(r) for r in reports),
+                        )
+                    )
+                    transformed = bool(reports)
+            if not transformed and self.allow_replication:
+                try:
+                    current, reports = iterative_replication(
+                        current,
+                        self.limits,
+                        max_total_nodes=self.max_total_nodes,
+                    )
+                except (VolumeError, ResourceExhaustedError) as error:
+                    attempts.append(
+                        Attempt(
+                            "replicate", round_number, False, detail=str(error)
+                        )
+                    )
+                else:
+                    transforms.extend(reports)
+                    attempts.append(
+                        Attempt(
+                            "replicate",
+                            round_number,
+                            True,
+                            detail="; ".join(str(r) for r in reports),
+                        )
+                    )
+                    transformed = bool(reports)
+            if not transformed:
+                break  # nothing left to try; fall through to regeneration
+
+        status = "regeneration" if best is not None else "failed"
+        return VolumePlan(current, best, status, attempts, transforms)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _better(
+        current: Optional[VolumeAssignment], candidate: VolumeAssignment
+    ) -> VolumeAssignment:
+        """Keep the attempt with the largest minimum dispensed volume."""
+        if current is None:
+            return candidate
+        try:
+            if candidate.min_edge_volume() > current.min_edge_volume():
+                return candidate
+        except VolumeError:
+            return current
+        return current

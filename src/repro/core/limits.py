@@ -1,0 +1,95 @@
+"""Hardware limits relevant to volume management.
+
+The paper evaluates with a *default maximum* of 100 nl per functional unit /
+reservoir and a *least count* of 100 pl (= 0.1 nl), citing PDMS valve work
+[Unger et al. 2000].  All core algorithms are parameterised over these two
+numbers only; the full machine description (functional-unit inventory,
+channel topology, ...) lives in :mod:`repro.machine.spec` and embeds a
+:class:`HardwareLimits`.
+
+Volumes are expressed in **nanoliters** throughout the code base, and the
+core keeps them as :class:`fractions.Fraction` so feasibility checks are
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+__all__ = ["HardwareLimits", "PAPER_LIMITS", "as_fraction"]
+
+Number = Union[int, float, str, Fraction]
+
+
+def as_fraction(value: Number) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Floats are converted via their shortest repeating decimal using
+    ``Fraction(str(value))`` so that ``as_fraction(0.1) == Fraction(1, 10)``
+    rather than the binary artefact ``3602879701896397/36028797018963968``.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        return Fraction(str(value))
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class HardwareLimits:
+    """Maximum capacity and least count of the PLoC fluid path.
+
+    Attributes:
+        max_capacity: largest volume (nl) any reservoir or functional unit
+            may hold; assignments above this overflow.
+        least_count: smallest volume (nl) the metering pumps can transport;
+            assignments below this underflow.  Every dispensed volume must
+            also be an integer multiple of this resolution (the IVol
+            requirement).
+    """
+
+    max_capacity: Fraction
+    least_count: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "max_capacity", as_fraction(self.max_capacity))
+        object.__setattr__(self, "least_count", as_fraction(self.least_count))
+        if self.least_count <= 0:
+            raise ValueError("least_count must be positive")
+        if self.max_capacity < self.least_count:
+            raise ValueError("max_capacity must be at least the least count")
+
+    @property
+    def dynamic_range(self) -> Fraction:
+        """Ratio of max capacity to least count.
+
+        A mix whose extreme side exceeds this ratio is infeasible without
+        cascading (paper Section 3.4.1).
+        """
+        return self.max_capacity / self.least_count
+
+    def fits(self, volume: Number) -> bool:
+        """True when ``least_count <= volume <= max_capacity``."""
+        vol = as_fraction(volume)
+        return self.least_count <= vol <= self.max_capacity
+
+    def quantize(self, volume: Number) -> Fraction:
+        """Round ``volume`` to the nearest integer multiple of least count.
+
+        Ties round half up, matching the paper's "round to the closest
+        integer multiple of the least-count" (Section 4.2).
+        """
+        vol = as_fraction(volume)
+        steps = vol / self.least_count
+        whole = steps.numerator // steps.denominator
+        remainder = steps - whole
+        if remainder * 2 >= 1:
+            whole += 1
+        return whole * self.least_count
+
+
+#: The configuration used throughout the paper's evaluation (Section 4.2):
+#: 100 nl default maximum, 100 pl (0.1 nl) least count.
+PAPER_LIMITS = HardwareLimits(max_capacity=Fraction(100), least_count=Fraction(1, 10))

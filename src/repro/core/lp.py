@@ -1,0 +1,155 @@
+"""LP solution of RVol via scipy's HiGHS ``linprog`` (paper Section 3.2).
+
+The paper used Matlab's ``linprog`` (LIPSOL, an interior-point solver); we
+substitute scipy's HiGHS backend — the same algorithmic class with the same
+asymptotic behaviour, which is what the Table 2 runtime comparison is about.
+
+The entry point :func:`lp_solve` accepts the same ``(dag, limits)`` pair as
+:func:`repro.core.dagsolve.dagsolve` and returns the same
+:class:`~repro.core.dagsolve.VolumeAssignment`, so the volume-management
+hierarchy can fall back from one to the other transparently.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .dag import AssayDAG, NodeKind
+from .dagsolve import VolumeAssignment
+from .errors import InfeasibleError, SolverError
+from .limits import HardwareLimits
+from .lpmodel import LPModel, build_lp_model
+
+__all__ = ["lp_solve", "solve_model", "assignment_from_edge_volumes"]
+
+EdgeKey = Tuple[str, str]
+
+
+def assignment_from_edge_volumes(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    edge_volume: Dict[EdgeKey, Fraction],
+    *,
+    method: str,
+    meta: Optional[Dict[str, object]] = None,
+    tolerance: Fraction = Fraction(0),
+) -> VolumeAssignment:
+    """Derive node volumes from edge volumes and package an assignment.
+
+    Node production for a source is its total draw; for an internal node it
+    is ``output_fraction`` times the inbound total.  Excess edges, if the DAG
+    has them, receive the node's production surplus (LP treats discarding as
+    slack, DAGSolve as an explicit edge — this keeps the two representations
+    interchangeable).
+    """
+    node_volume: Dict[str, Fraction] = {}
+    node_input_volume: Dict[str, Fraction] = {}
+    volumes = dict(edge_volume)
+    for node in dag.nodes():
+        if node.kind is NodeKind.EXCESS:
+            continue
+        inbound = [e for e in dag.in_edges(node.id) if not e.is_excess]
+        outbound = [e for e in dag.out_edges(node.id) if not e.is_excess]
+        in_total = sum((volumes[e.key] for e in inbound), Fraction(0))
+        out_total = sum((volumes[e.key] for e in outbound), Fraction(0))
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            production = out_total
+            node_input_volume[node.id] = production
+        else:
+            fraction_out = node.output_fraction or Fraction(1)
+            production = fraction_out * in_total
+            node_input_volume[node.id] = in_total
+        node_volume[node.id] = production
+        for excess_edge in dag.out_edges(node.id):
+            if excess_edge.is_excess:
+                surplus = max(Fraction(0), production - out_total)
+                volumes[excess_edge.key] = surplus
+                node_volume[excess_edge.dst] = surplus
+                node_input_volume[excess_edge.dst] = surplus
+    return VolumeAssignment(
+        dag=dag,
+        limits=limits,
+        node_volume=node_volume,
+        node_input_volume=node_input_volume,
+        edge_volume=volumes,
+        scale=None,
+        method=method,
+        tolerance=tolerance,
+        meta=meta or {},
+    )
+
+
+def solve_model(model: LPModel, *, method: str = "highs") -> VolumeAssignment:
+    """Solve a built :class:`LPModel` and package the result.
+
+    Raises:
+        InfeasibleError: HiGHS proved the constraint system infeasible.
+        SolverError: any other solver failure (unbounded, numerical, ...).
+    """
+    a_ub = model.a_ub if model.a_ub.shape[0] else None
+    b_ub = model.b_ub if model.b_ub.size else None
+    a_eq = model.a_eq if model.a_eq.shape[0] else None
+    b_eq = model.b_eq if model.b_eq.size else None
+    result = linprog(
+        model.objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=model.bounds,
+        method=method,
+    )
+    if result.status == 2:
+        raise InfeasibleError(
+            f"LP infeasible for DAG {model.dag.name!r}: {result.message}"
+        )
+    if not result.success:
+        raise SolverError(
+            f"LP solver failed for DAG {model.dag.name!r} "
+            f"(status {result.status}): {result.message}"
+        )
+    edge_volume = {
+        key: Fraction(str(float(result.x[i])))
+        for key, i in model.var_index.items()
+    }
+    return assignment_from_edge_volumes(
+        model.dag,
+        model.limits,
+        edge_volume,
+        method="lp",
+        # HiGHS works in doubles: allow a relative 1e-7 feasibility slack so
+        # exact-fraction checks do not flag float fuzz as violations.
+        tolerance=model.limits.max_capacity * Fraction(1, 10_000_000),
+        meta={
+            "objective": -float(result.fun),
+            "n_constraints": model.n_constraints,
+            "constraint_classes": model.counts_by_class(),
+            "iterations": int(getattr(result, "nit", 0)),
+            "dagsolve_constraints": model.meta.get("dagsolve_constraints", False),
+        },
+    )
+
+
+def lp_solve(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    *,
+    output_tolerance: Optional[float] = 0.1,
+    dagsolve_constraints: bool = False,
+) -> VolumeAssignment:
+    """Build and solve the RVol LP for ``dag``.
+
+    ``dagsolve_constraints=True`` reproduces the Section 4.3 ablation where
+    DAGSolve's artificial constraints are added to the LP.
+    """
+    model = build_lp_model(
+        dag,
+        limits,
+        output_tolerance=output_tolerance,
+        dagsolve_constraints=dagsolve_constraints,
+    )
+    return solve_model(model)

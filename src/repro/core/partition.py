@@ -1,0 +1,315 @@
+"""DAG partitioning for statically-unknown volumes (paper Section 3.5).
+
+Some operations — separations above all — produce output volumes that can
+only be *measured at run time*.  DAGSolve's backward pass cannot flow Vnorms
+through such a node, so the DAG is cut:
+
+* every outbound edge of an unknown-volume node is severed; the consumer
+  side receives a fresh :class:`~repro.core.dag.NodeKind.CONSTRAINED_INPUT`
+  whose available volume is filled in once the hardware measures it;
+* a known-volume node whose uses span *measurement epochs* (one use needed
+  before an unknown volume is measured, another after) cannot wait either —
+  all of its uses are cut and its run-time output is divided conservatively
+  into equal portions, one per use (paper Figure 8), with the refinement
+  that ``m`` uses landing in the same partition share a single constrained
+  input of ``m/N``;
+* a natural input used by several partitions is split the same way with a
+  *statically* known share of capacity — glycomics' buffer3a becomes two
+  50 nl constrained inputs (paper Figure 13).
+
+We formalise "epochs" as the measurement depth of a node: the maximum
+number of unknown-volume nodes on any path from an input to it (counting a
+barrier once crossed).  Nodes of the same epoch that remain connected after
+cutting form a partition; partitions are solvable in epoch order, each as
+soon as the measurements its constrained inputs depend on exist.  Vnorm
+computation per partition happens at compile time; only the final
+dispensing step is deferred to run time (:mod:`repro.core.runtime_assign`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .dag import AssayDAG, Edge, Node, NodeKind
+from .errors import PartitionError
+from .limits import HardwareLimits
+
+__all__ = [
+    "ConstrainedInputSpec",
+    "Partition",
+    "PartitionedAssay",
+    "measurement_epochs",
+    "partition_unknown_volumes",
+]
+
+
+@dataclass(frozen=True)
+class ConstrainedInputSpec:
+    """One constrained input created by the partitioner.
+
+    ``share`` is the fraction of the source's production this partition may
+    draw (the conservative ``m/N`` split).  ``static_available`` is set when
+    the share is known at compile time (splits of natural inputs, whose
+    "production" is a full reservoir); otherwise the run-time assigner
+    multiplies ``share`` by the measured production of ``source``.
+    """
+
+    node_id: str
+    partition: int
+    source: str
+    share: Fraction
+    static_available: Optional[Fraction] = None
+
+    @property
+    def needs_measurement(self) -> bool:
+        return self.static_available is None
+
+
+@dataclass
+class Partition:
+    """One solvable region of the original assay DAG."""
+
+    index: int
+    epoch: int
+    dag: AssayDAG
+    constrained: List[ConstrainedInputSpec] = field(default_factory=list)
+    #: original node ids contained in this partition (constrained inputs
+    #: excluded — they are synthetic).
+    members: Tuple[str, ...] = ()
+
+    @property
+    def is_static(self) -> bool:
+        """True when every constrained input has a static share (so the
+        partition can be fully dispensed at compile time)."""
+        return all(not spec.needs_measurement for spec in self.constrained)
+
+
+@dataclass
+class PartitionedAssay:
+    """The partitioning result: ordered partitions plus bookkeeping."""
+
+    original: AssayDAG
+    partitions: List[Partition]
+    epoch_of: Dict[str, int]
+    #: producers whose run-time production must be recorded/measured for
+    #: later partitions: unknown-volume nodes and cross-epoch exporters.
+    measured_sources: Tuple[str, ...] = ()
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, node_id: str) -> Partition:
+        for partition in self.partitions:
+            if node_id in partition.members:
+                return partition
+        raise PartitionError(f"node {node_id!r} not in any partition")
+
+
+def measurement_epochs(dag: AssayDAG) -> Dict[str, int]:
+    """Measurement depth of every node.
+
+    Inputs start at epoch 0; crossing an unknown-volume node increments the
+    epoch.  A node's epoch is the maximum over its inbound paths, because it
+    cannot be dispensed before *all* the measurements it depends on exist.
+    """
+    epochs: Dict[str, int] = {}
+    for node_id in dag.topological_order():
+        node = dag.node(node_id)
+        best = 0
+        for edge in dag.in_edges(node_id):
+            src = dag.node(edge.src)
+            bump = 1 if src.unknown_volume else 0
+            best = max(best, epochs[edge.src] + bump)
+        epochs[node_id] = best
+    return epochs
+
+
+def _consumer_epochs(
+    dag: AssayDAG, epochs: Dict[str, int], node_id: str
+) -> List[int]:
+    return [
+        epochs[edge.dst]
+        for edge in dag.out_edges(node_id)
+        if not edge.is_excess
+    ]
+
+
+def partition_unknown_volumes(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+) -> PartitionedAssay:
+    """Cut the DAG at measurement barriers and return ordered partitions.
+
+    A DAG without unknown-volume nodes comes back as a single static
+    partition, so callers can treat the static and dynamic cases uniformly.
+    """
+    dag.validate()
+    epochs = measurement_epochs(dag)
+
+    # ------------------------------------------------------------------
+    # Decide which producers must be cut.
+    # ------------------------------------------------------------------
+    cut_producers: Dict[str, str] = {}  # producer id -> reason
+    for node in dag.nodes():
+        if node.kind is NodeKind.EXCESS:
+            continue
+        uses = _consumer_epochs(dag, epochs, node.id)
+        if not uses:
+            continue
+        if node.unknown_volume:
+            cut_producers[node.id] = "unknown-volume"
+        elif node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            if len(set(uses)) > 1:
+                cut_producers[node.id] = "input-split"
+        elif any(epoch > epochs[node.id] for epoch in uses):
+            # Figure 8: a known-volume node exporting across a barrier has
+            # ALL of its uses conservatively split.
+            cut_producers[node.id] = "cross-epoch-export"
+
+    if not cut_producers:
+        single = Partition(
+            index=0,
+            epoch=0,
+            dag=dag.copy(f"{dag.name}.p0"),
+            constrained=[],
+            members=tuple(dag.node_ids()),
+        )
+        return PartitionedAssay(dag, [single], epochs, ())
+
+    # ------------------------------------------------------------------
+    # Build the cut graph: remove severed edges, add constrained inputs.
+    # ------------------------------------------------------------------
+    work = dag.copy(f"{dag.name}.partitioned")
+    specs: List[ConstrainedInputSpec] = []
+    for producer_id, reason in cut_producers.items():
+        uses = [
+            edge
+            for edge in dag.out_edges(producer_id)
+            if not edge.is_excess
+        ]
+        total_uses = len(uses)
+        # Group the uses per consumer epoch (the m/N refinement merges all
+        # of a partition's uses into one constrained input; epochs are a
+        # conservative stand-in for partitions at this point — the final
+        # per-component grouping happens below).
+        by_epoch: Dict[int, List[Edge]] = {}
+        for edge in uses:
+            by_epoch.setdefault(epochs[edge.dst], []).append(edge)
+        for epoch, edges in sorted(by_epoch.items()):
+            share = Fraction(len(edges), total_uses)
+            stub_id = f"{producer_id}.in@e{epoch}"
+            is_input_split = reason == "input-split"
+            static = None
+            if is_input_split:
+                source_node = dag.node(producer_id)
+                capacity = source_node.capacity or limits.max_capacity
+                static = capacity * share
+            work.add_node(
+                Node(
+                    stub_id,
+                    NodeKind.CONSTRAINED_INPUT,
+                    label=f"{dag.node(producer_id).display_name} (constrained)",
+                    available_volume=static,
+                    meta={
+                        "source": producer_id,
+                        "share": share,
+                        "reason": reason,
+                    },
+                )
+            )
+            for edge in edges:
+                work.remove_edge(producer_id, edge.dst)
+                work.add_edge(Edge(stub_id, edge.dst, edge.fraction))
+            specs.append(
+                ConstrainedInputSpec(
+                    node_id=stub_id,
+                    partition=-1,  # resolved below
+                    source=producer_id,
+                    share=share,
+                    static_available=static,
+                )
+            )
+        if reason == "input-split" and work.out_degree(producer_id) == 0:
+            # The natural input was fully replaced by its splits.
+            work.remove_node(producer_id)
+
+    # ------------------------------------------------------------------
+    # Weakly-connected components of the cut graph are the partitions.
+    # ------------------------------------------------------------------
+    parent: Dict[str, str] = {n: n for n in work.node_ids()}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for edge in work.edges():
+        union(edge.src, edge.dst)
+
+    groups: Dict[str, List[str]] = {}
+    for node_id in work.node_ids():
+        groups.setdefault(find(node_id), []).append(node_id)
+
+    spec_by_stub = {spec.node_id: spec for spec in specs}
+    partitions: List[Partition] = []
+    ordered_groups = sorted(
+        groups.values(),
+        key=lambda members: (
+            min(
+                (
+                    epochs.get(m, 0)
+                    for m in members
+                    if m in epochs
+                ),
+                default=0,
+            ),
+            members[0],
+        ),
+    )
+    for index, members in enumerate(ordered_groups):
+        sub = work.subgraph(members, name=f"{dag.name}.p{index}")
+        constrained = []
+        for member in members:
+            if member in spec_by_stub:
+                spec = spec_by_stub[member]
+                constrained.append(
+                    ConstrainedInputSpec(
+                        node_id=spec.node_id,
+                        partition=index,
+                        source=spec.source,
+                        share=spec.share,
+                        static_available=spec.static_available,
+                    )
+                )
+        epoch = max(
+            (epochs[m] for m in members if m in epochs), default=0
+        )
+        partitions.append(
+            Partition(
+                index=index,
+                epoch=epoch,
+                dag=sub,
+                constrained=constrained,
+                members=tuple(m for m in members if m in epochs),
+            )
+        )
+
+    measured = tuple(
+        sorted(
+            {
+                spec.source
+                for spec in specs
+                if spec.static_available is None
+            }
+        )
+    )
+    return PartitionedAssay(dag, partitions, epochs, measured)

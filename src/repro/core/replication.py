@@ -1,0 +1,257 @@
+"""Static replication for heavily-used fluids (paper Section 3.4.2).
+
+When a fluid has so many uses that even a reservoir filled to maximum
+capacity cannot cover them at useful per-use volumes, the paper replicates
+(part of) the backward slice of the fluid's production: the heavily-used
+node is copied ``k`` times and its uses are distributed "as evenly as
+possible" among the replicas.  Each replica then holds ``1/k`` of the load,
+which lowers the DAG's maximum Vnorm and therefore *raises* every dispensed
+volume (volumes scale inversely with the maximum Vnorm).
+
+Replication proceeds iteratively — one node (level) at a time, re-running
+DAGSolve after each rewrite — rather than replicating the whole backward
+slice at once, because one-shot replication may exhaust PLoC resources in
+cases where the iterative procedure succeeds.  The rewrite is purely
+structural, so the LP formulation applies to the replicated DAG unchanged.
+
+In the enzyme assay (paper Figure 14) the diluent input (Vnorm 81 after
+cascading) is replicated three ways; each replica drops to Vnorm 27 and the
+minimum dispensed volume triples from 65.6 pl to ~197 pl, clearing the
+least count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import ceil
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .dag import AssayDAG, Edge, Node, NodeKind
+from .dagsolve import compute_vnorms, dispense
+from .errors import DagError, ResourceExhaustedError
+from .limits import HardwareLimits
+
+__all__ = [
+    "ReplicationReport",
+    "replicate_node",
+    "needed_copies",
+    "iterative_replication",
+]
+
+EdgeKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Provenance of one replication rewrite."""
+
+    node: str
+    copies: int
+    replica_ids: Tuple[str, ...]
+    #: consumer node ids served by each replica, in replica order.
+    distribution: Tuple[Tuple[str, ...], ...]
+
+    def __str__(self) -> str:
+        return f"replicate {self.node} x{self.copies}"
+
+
+def _check_replicable(dag: AssayDAG, node_id: str) -> Node:
+    node = dag.node(node_id)
+    if node.kind in (NodeKind.EXCESS, NodeKind.CONSTRAINED_INPUT):
+        raise DagError(f"cannot replicate {node.kind.value} node {node_id!r}")
+    if node.unknown_volume:
+        raise DagError(
+            f"cannot replicate unknown-volume node {node_id!r}; its output "
+            "exists only at run time"
+        )
+    if any(edge.is_excess for edge in dag.out_edges(node_id)):
+        raise DagError(
+            f"cannot replicate cascade intermediate {node_id!r}; replicate "
+            "its inputs instead"
+        )
+    return node
+
+
+def _balanced_partition(
+    items: List[Tuple[EdgeKey, Fraction]], bins: int
+) -> List[List[EdgeKey]]:
+    """Longest-processing-time greedy partition of weighted uses.
+
+    This realises the paper's "distribute the original outbound uses as
+    evenly as possible between the replicas" with Vnorm-weighted balance:
+    symmetric workloads (like the enzyme assay's three reagent fans) come
+    out perfectly even.
+    """
+    buckets: List[List[EdgeKey]] = [[] for __ in range(bins)]
+    loads = [Fraction(0)] * bins
+    for key, weight in sorted(items, key=lambda kv: (-kv[1], kv[0])):
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        buckets[target].append(key)
+        loads[target] += weight
+    return buckets
+
+
+def replicate_node(
+    dag: AssayDAG,
+    node_id: str,
+    copies: int,
+    *,
+    weights: Optional[Mapping[EdgeKey, Fraction]] = None,
+) -> Tuple[AssayDAG, ReplicationReport]:
+    """Copy ``node_id`` ``copies`` times and distribute its uses evenly.
+
+    The original node acts as replica 1; fresh nodes ``<id>.rep2``, ... are
+    added.  Internal nodes also copy their inbound edges (which is what
+    "replicating a level of the backward slice" means: the predecessors now
+    feed every replica and their own use counts grow accordingly).
+
+    Args:
+        weights: optional per-use weights (edge Vnorms) used to balance the
+            distribution; unweighted uses count 1 each.
+    """
+    if copies < 2:
+        raise ValueError("copies must be >= 2")
+    node = _check_replicable(dag, node_id)
+    uses = [e for e in dag.out_edges(node_id) if not e.is_excess]
+    if len(uses) < copies:
+        raise DagError(
+            f"node {node_id!r} has {len(uses)} uses; cannot spread them "
+            f"over {copies} replicas"
+        )
+
+    weighted = [
+        (edge.key, (weights or {}).get(edge.key, Fraction(1)))
+        for edge in uses
+    ]
+    buckets = _balanced_partition(weighted, copies)
+
+    new_dag = dag.copy()
+    replica_ids = [node_id] + [
+        f"{node_id}.rep{i + 1}" for i in range(1, copies)
+    ]
+    inbound = [e.copy() for e in dag.in_edges(node_id)]
+    for replica_id in replica_ids[1:]:
+        replica = node.copy()
+        replica.id = replica_id
+        replica.label = f"{node.display_name} (replica)"
+        replica.meta = dict(node.meta)
+        replica.meta["replica_of"] = node_id
+        new_dag.add_node(replica)
+        for edge in inbound:
+            new_dag.add_edge(Edge(edge.src, replica_id, edge.fraction))
+    # Reassign uses: bucket 0 keeps the original producer.
+    for replica_id, bucket in zip(replica_ids, buckets):
+        if replica_id == node_id:
+            continue
+        for (__, dst) in bucket:
+            moved = new_dag.remove_edge(node_id, dst)
+            new_dag.add_edge(Edge(replica_id, dst, moved.fraction))
+    report = ReplicationReport(
+        node=node_id,
+        copies=copies,
+        replica_ids=tuple(replica_ids),
+        distribution=tuple(
+            tuple(dst for (__, dst) in bucket) for bucket in buckets
+        ),
+    )
+    return new_dag, report
+
+
+def needed_copies(
+    load_vnorm: Fraction,
+    capacity: Fraction,
+    required_scale: Fraction,
+) -> int:
+    """Replica count needed so ``load/k`` fits ``capacity`` at the scale
+    that lifts the smallest dispensed volume to the least count."""
+    if required_scale <= 0:
+        raise ValueError("required_scale must be positive")
+    exact = load_vnorm * required_scale / capacity
+    return max(2, ceil(exact))
+
+
+def iterative_replication(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    *,
+    max_rounds: int = 8,
+    max_total_nodes: Optional[int] = None,
+) -> Tuple[AssayDAG, List[ReplicationReport]]:
+    """Replicate binding nodes until DAGSolve stops underflowing.
+
+    Each round recomputes Vnorms, finds the node whose capacity bound pins
+    the global scale, and replicates it just enough to lift the minimum
+    dispensed volume to the least count.  Stops when feasible, when no
+    progress is possible (the underflow is not capacity-limited, e.g. a
+    still-extreme mix ratio that needs cascading instead), or when the
+    resource budget is exhausted — mirroring "the replicated code may exceed
+    the PLoC's resources; in such cases, compilation fails".
+    """
+    current = dag
+    reports: List[ReplicationReport] = []
+    for __ in range(max_rounds):
+        vnorms = compute_vnorms(current)
+        assignment = dispense(current, vnorms, limits)
+        underflows = [
+            v for v in assignment.violations() if v.kind != "overflow"
+        ]
+        if not underflows:
+            return current, reports
+        min_key, min_volume = assignment.min_edge()
+        min_vnorm = vnorms.edge_vnorm[min_key]
+        required_scale = limits.least_count / min_vnorm
+
+        # Find the binding node: the one whose capacity bound yields the
+        # current (insufficient) scale.
+        binding_id = None
+        binding_bound = None
+        for node in current.nodes():
+            load = max(
+                vnorms.node_vnorm[node.id], vnorms.node_input_vnorm[node.id]
+            )
+            if load == 0:
+                continue
+            capacity = node.capacity or limits.max_capacity
+            bound = capacity / load
+            if binding_bound is None or bound < binding_bound:
+                binding_bound = bound
+                binding_id = node.id
+        assert binding_id is not None and binding_bound is not None
+        if binding_bound >= required_scale:
+            # Capacity is not the limiter; replication cannot help (the
+            # constrained input or the ratio itself binds).
+            raise ResourceExhaustedError(
+                "replication cannot raise the minimum volume "
+                f"({float(min_volume):.4g} nl at {min_key}); the scale is "
+                "not capacity-limited"
+            )
+        binding = current.node(binding_id)
+        uses = [
+            e for e in current.out_edges(binding_id) if not e.is_excess
+        ]
+        capacity = binding.capacity or limits.max_capacity
+        load = max(
+            vnorms.node_vnorm[binding_id],
+            vnorms.node_input_vnorm[binding_id],
+        )
+        copies = min(len(uses), needed_copies(load, capacity, required_scale))
+        if copies < 2:
+            raise ResourceExhaustedError(
+                f"binding node {binding_id!r} has too few uses to replicate"
+            )
+        weights = {
+            e.key: vnorms.edge_vnorm[e.key] for e in uses
+        }
+        current, report = replicate_node(
+            current, binding_id, copies, weights=weights
+        )
+        reports.append(report)
+        if max_total_nodes is not None and current.node_count > max_total_nodes:
+            raise ResourceExhaustedError(
+                f"replication grew the DAG to {current.node_count} nodes, "
+                f"exceeding the PLoC budget of {max_total_nodes}"
+            )
+    raise ResourceExhaustedError(
+        f"underflow persists after {max_rounds} replication rounds"
+    )

@@ -1,0 +1,117 @@
+"""Human-facing plan reports: what the volume plan means at the bench.
+
+A :class:`FluidRequirements` summarises a volume assignment per *input
+fluid* — total volume to load, number of draws, largest single draw — and
+per *output* — how much product the plan delivers.  This is the answer to
+the question an assay author actually asks ("how much reagent do I need?")
+and the quantity the paper's objective function maximises (total output
+production).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .dag import AssayDAG, NodeKind
+from .dagsolve import VolumeAssignment
+
+__all__ = ["FluidUsage", "FluidRequirements", "fluid_requirements"]
+
+
+@dataclass(frozen=True)
+class FluidUsage:
+    """Consumption summary for one input fluid."""
+
+    fluid: str
+    total: Fraction
+    draws: int
+    largest_draw: Fraction
+    smallest_draw: Fraction
+
+    def format(self, width: int) -> str:
+        return (
+            f"  {self.fluid:<{width}}  {float(self.total):8.2f} nl over "
+            f"{self.draws} draw(s)  "
+            f"[{float(self.smallest_draw):.2f} .. "
+            f"{float(self.largest_draw):.2f} nl]"
+        )
+
+
+@dataclass
+class FluidRequirements:
+    """The bench-side view of a plan."""
+
+    inputs: List[FluidUsage]
+    outputs: Dict[str, Fraction]
+    total_loaded: Fraction
+    total_delivered: Fraction
+
+    @property
+    def utilisation(self) -> Fraction:
+        """Delivered product as a share of loaded reagent — the flip side
+        of the excess/discard accounting."""
+        if self.total_loaded == 0:
+            return Fraction(0)
+        return self.total_delivered / self.total_loaded
+
+    def render(self) -> str:
+        width = max(
+            [len(usage.fluid) for usage in self.inputs] + [len("fluid")]
+        )
+        lines = ["reagents to load:"]
+        lines += [usage.format(width) for usage in self.inputs]
+        lines.append("products delivered:")
+        for name, volume in sorted(self.outputs.items()):
+            lines.append(f"  {name:<{width}}  {float(volume):8.2f} nl")
+        lines.append(
+            f"utilisation: {float(self.utilisation) * 100:.1f}% "
+            f"({float(self.total_delivered):.1f} of "
+            f"{float(self.total_loaded):.1f} nl)"
+        )
+        return "\n".join(lines)
+
+
+def fluid_requirements(assignment: VolumeAssignment) -> FluidRequirements:
+    """Summarise an assignment per input fluid and per output product."""
+    dag = assignment.dag
+    inputs: List[FluidUsage] = []
+    total_loaded = Fraction(0)
+    for node in dag.nodes():
+        if node.kind is not NodeKind.INPUT:
+            continue
+        draws = [
+            assignment.edge_volume[e.key]
+            for e in dag.out_edges(node.id)
+            if not e.is_excess
+        ]
+        if not draws:
+            continue
+        total = sum(draws, Fraction(0))
+        total_loaded += total
+        inputs.append(
+            FluidUsage(
+                fluid=node.display_name,
+                total=total,
+                draws=len(draws),
+                largest_draw=max(draws),
+                smallest_draw=min(draws),
+            )
+        )
+    inputs.sort(key=lambda usage: (-usage.total, usage.fluid))
+
+    outputs: Dict[str, Fraction] = {}
+    total_delivered = Fraction(0)
+    for node in dag.outputs():
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            continue
+        volume = assignment.node_volume.get(node.id, Fraction(0))
+        outputs[node.display_name] = volume
+        total_delivered += volume
+    return FluidRequirements(
+        inputs=inputs,
+        outputs=outputs,
+        total_loaded=total_loaded,
+        total_delivered=total_delivered,
+    )

@@ -1,0 +1,154 @@
+"""Lowering: unrolled flat assay -> volume DAG.
+
+Node identity is the canonical fluid key from the unroller; primary inputs
+become INPUT nodes.  Operations map as:
+
+====================  ==========================================
+flat statement        DAG effect
+====================  ==========================================
+mix                   MIX node; inbound edges in the declared ratio
+                      (equal parts when no RATIOS clause was given)
+incubate              HEAT node, flow-conserving
+concentrate           HEAT node with ``output_fraction = keep``
+separate              SEPARATE node; ``unknown_volume`` unless a YIELD
+                      hint made the output fraction static
+sense                 no node — a non-destructive read recorded in the
+                      sensed node's ``meta["senses"]``
+output                ``meta["outputs"]`` mark on the shipped node
+====================  ==========================================
+
+Every node's ``meta`` carries what codegen needs: ``seq`` (program order),
+``duration``, ``temperature``, ``mode``, ``matrix``/``pusher`` fluids,
+``guard`` for conservatively-included branches.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.dag import AssayDAG, Edge, Node, NodeKind, fractions_from_ratio
+from ..lang.errors import SemanticError
+from ..lang.unroll import FlatAssay, FlatStatement
+
+__all__ = ["build_dag_from_flat"]
+
+
+def build_dag_from_flat(flat: FlatAssay) -> AssayDAG:
+    """Build the volume-management DAG for an unrolled assay."""
+    dag = AssayDAG(flat.name)
+    #: fluid key -> current node id (versioned under dynamic guards)
+    version: Dict[str, str] = {}
+
+    for key in flat.input_fluids:
+        dag.add_input(key, label=key, meta={"seq": -1})
+        version[key] = key
+
+    def resolve(key: str, line: int) -> str:
+        node_id = version.get(key)
+        if node_id is None:
+            raise SemanticError(f"fluid {key!r} has no definition", line)
+        return node_id
+
+    def fresh_id(key: str) -> str:
+        if key not in dag:
+            return key
+        suffix = 2
+        while f"{key}#{suffix}" in dag:
+            suffix += 1
+        return f"{key}#{suffix}"
+
+    for statement in flat.statements:
+        meta = {
+            "seq": statement.seq,
+            "line": statement.line,
+            "op": statement.kind,
+        }
+        if statement.guard is not None:
+            meta["guard"] = statement.guard
+        if statement.duration is not None:
+            meta["duration"] = statement.duration
+        if statement.temperature is not None:
+            meta["temperature"] = statement.temperature
+
+        if statement.kind == "mix":
+            sources = [resolve(key, statement.line) for key in statement.operands]
+            ratios = statement.ratios or tuple([1] * len(sources))
+            node_id = fresh_id(statement.target)
+            node = dag.add_node(
+                Node(
+                    node_id,
+                    NodeKind.MIX,
+                    ratio=tuple(ratios),
+                    label=statement.target,
+                    no_excess=statement.no_excess,
+                    meta=meta,
+                )
+            )
+            for source, fraction in zip(sources, fractions_from_ratio(ratios)):
+                dag.add_edge(Edge(source, node_id, fraction))
+            version[statement.target] = node_id
+
+        elif statement.kind in ("incubate", "concentrate"):
+            source = resolve(statement.operands[0], statement.line)
+            node_id = fresh_id(statement.target)
+            output_fraction = (
+                statement.keep_fraction
+                if statement.kind == "concentrate"
+                else Fraction(1)
+            )
+            dag.add_node(
+                Node(
+                    node_id,
+                    NodeKind.HEAT,
+                    output_fraction=output_fraction,
+                    label=statement.target,
+                    meta=meta,
+                )
+            )
+            dag.add_edge(Edge(source, node_id, Fraction(1)))
+            version[statement.target] = node_id
+
+        elif statement.kind == "separate":
+            source = resolve(statement.operands[0], statement.line)
+            node_id = fresh_id(statement.target)
+            meta["mode"] = statement.mode
+            meta["matrix"] = statement.matrix
+            meta["pusher"] = statement.pusher
+            meta["waste"] = statement.waste
+            unknown = statement.yield_fraction is None
+            dag.add_node(
+                Node(
+                    node_id,
+                    NodeKind.SEPARATE,
+                    output_fraction=None if unknown else statement.yield_fraction,
+                    unknown_volume=unknown,
+                    label=statement.target,
+                    meta=meta,
+                )
+            )
+            dag.add_edge(Edge(source, node_id, Fraction(1)))
+            version[statement.target] = node_id
+
+        elif statement.kind == "sense":
+            node_id = resolve(statement.operands[0], statement.line)
+            senses: List[dict] = dag.node(node_id).meta.setdefault("senses", [])
+            senses.append(
+                {
+                    "mode": statement.mode,
+                    "result": statement.result,
+                    "seq": statement.seq,
+                    "guard": statement.guard,
+                }
+            )
+
+        elif statement.kind == "output":
+            node_id = resolve(statement.operands[0], statement.line)
+            outputs: List[dict] = dag.node(node_id).meta.setdefault("outputs", [])
+            outputs.append({"seq": statement.seq, "guard": statement.guard})
+
+        else:  # pragma: no cover - unroller emits no other kinds
+            raise SemanticError(f"unknown flat statement kind {statement.kind!r}")
+
+    dag.validate()
+    return dag

@@ -1,0 +1,77 @@
+"""AIS program container.
+
+An :class:`AISProgram` is a straight-line instruction list (loops are fully
+unrolled by the front end, Section 3.5) plus the bindings that make it
+executable: which input port supplies which fluid, which machine spec it
+was compiled for, and the provenance map from instructions back to assay
+DAG nodes/edges (used by the volume-plan resolver and by regeneration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .instructions import Instruction, Opcode
+
+__all__ = ["AISProgram"]
+
+
+@dataclass
+class AISProgram:
+    """A compiled assay."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    #: fluid name -> input port id (e.g. {"Glucose": "ip1"}).
+    input_ports: Dict[str, str] = field(default_factory=dict)
+    #: machine spec name the reservoir allocation assumed.
+    machine: Optional[str] = None
+    #: declared result variables (flattened array cells included).
+    results: Tuple[str, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        instruction.validate()
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: Sequence[Instruction]) -> None:
+        for instruction in instructions:
+            self.append(instruction)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------
+    def wet_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.is_wet]
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for i in self.instructions if i.opcode is opcode)
+
+    def moves_for_edge(self, edge: Tuple[str, str]) -> List[int]:
+        """Indices of instructions dispensing the given DAG edge."""
+        return [
+            index
+            for index, instruction in enumerate(self.instructions)
+            if instruction.edge == edge
+        ]
+
+    # ------------------------------------------------------------------
+    def render(self, *, indent: str = "  ") -> str:
+        """Paper-style listing: ``name{ ... }``."""
+        lines = [f"{self.name}{{"]
+        lines += [f"{indent}{instruction.render()}" for instruction in self.instructions]
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,147 @@
+"""Backward slicing over straight-line AIS programs.
+
+Regeneration (paper Section 1, quoting Biostream) re-executes "the code
+fragments that produce the fluid — the backward slice"; static replication
+(Section 3.4.2) replicates part of the same slice.  For straight-line wet
+code the slice is a plain reaching-definitions closure over *locations*
+(reservoirs, ports, functional units and their sub-ports).
+
+The location effects of each opcode:
+
+===========  =======================================  =====================
+opcode       reads                                    writes
+===========  =======================================  =====================
+input        src port                                 dst
+output       src                                      (src drained)
+move         src                                      dst (src maybe drained)
+move-abs     src                                      dst
+mix          unit                                     unit
+incubate     unit                                     unit
+concentrate  unit                                     unit
+separate     unit, unit.matrix, unit.pusher           unit.out1, unit.out2
+sense        unit                                     (reading only)
+dry-*        registers                                registers (ignored)
+===========  =======================================  =====================
+
+A ``move`` without a relative volume drains its source; a metered move
+leaves fluid behind, so the source's previous definition stays live — the
+def-use chains model both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .instructions import Instruction, Opcode, Operand
+
+__all__ = ["def_use_chains", "backward_slice", "slice_for_location"]
+
+Location = str
+
+
+def _loc(operand: Operand) -> Location:
+    return str(operand)
+
+
+def _reads_writes(
+    instruction: Instruction,
+) -> Tuple[List[Location], List[Location], List[Location]]:
+    """(reads, writes, kills) of one instruction.
+
+    ``kills`` are locations fully drained (their previous definition dies);
+    partially-drained sources are read but not killed.
+    """
+    op = instruction.opcode
+    if op is Opcode.INPUT:
+        # depositing accumulates: the destination's previous contents are
+        # part of the new state, so the old definition is read, not killed.
+        return (
+            [_loc(instruction.src), _loc(instruction.dst)],
+            [_loc(instruction.dst)],
+            [],
+        )
+    if op is Opcode.OUTPUT:
+        src = _loc(instruction.src)
+        return [src], [], [src]
+    if op in (Opcode.MOVE, Opcode.MOVE_ABS):
+        src = _loc(instruction.src)
+        dst = _loc(instruction.dst)
+        drains = (
+            op is Opcode.MOVE
+            and instruction.rel_volume is None
+            and instruction.abs_volume is None
+        )
+        return [src, dst], [dst], [src] if drains else []
+    if op in (Opcode.MIX, Opcode.INCUBATE, Opcode.CONCENTRATE):
+        unit = _loc(instruction.dst)
+        return [unit], [unit], []
+    if op is Opcode.SEPARATE:
+        unit = _loc(instruction.dst)
+        base = instruction.dst.base
+        return (
+            [unit, f"{base}.matrix", f"{base}.pusher"],
+            [f"{base}.out1", f"{base}.out2"],
+            [unit, f"{base}.pusher"],
+        )
+    if op is Opcode.SENSE:
+        return [_loc(instruction.dst)], [], []
+    return [], [], []  # dry ops do not touch fluid state
+
+
+def def_use_chains(program: Sequence[Instruction]) -> List[List[int]]:
+    """For each instruction, the indices of the instructions that produced
+    the fluid it reads (its direct dependences)."""
+    last_writer: Dict[Location, int] = {}
+    chains: List[List[int]] = []
+    for index, instruction in enumerate(program):
+        reads, writes, kills = _reads_writes(instruction)
+        deps = sorted(
+            {
+                last_writer[location]
+                for location in reads
+                if location in last_writer
+            }
+        )
+        chains.append(deps)
+        for location in kills:
+            last_writer.pop(location, None)
+        for location in writes:
+            last_writer[location] = index
+    return chains
+
+
+def backward_slice(
+    program: Sequence[Instruction], index: int
+) -> List[int]:
+    """Indices of the transitive producers of instruction ``index``
+    (inclusive), in program order — the code to re-execute to regenerate
+    that instruction's inputs."""
+    if not (0 <= index < len(program)):
+        raise IndexError(index)
+    chains = def_use_chains(program)
+    needed: Set[int] = set()
+    stack = [index]
+    while stack:
+        current = stack.pop()
+        if current in needed:
+            continue
+        needed.add(current)
+        stack.extend(chains[current])
+    return sorted(needed)
+
+
+def slice_for_location(
+    program: Sequence[Instruction], location: Location, before: int
+) -> List[int]:
+    """Backward slice that regenerates the contents of ``location`` as they
+    stood just before instruction ``before``."""
+    last_writer: Dict[Location, int] = {}
+    for index in range(before):
+        __, writes, kills = _reads_writes(program[index])
+        for written in kills:
+            last_writer.pop(written, None)
+        for written in writes:
+            last_writer[written] = index
+    if location not in last_writer:
+        return []
+    return backward_slice(program, last_writer[location])

@@ -1,0 +1,81 @@
+"""The high-level assay language (paper Section 4.1, Figures 9-11a).
+
+A small imperative language whose statements mirror bench protocols::
+
+    ASSAY glucose
+    START
+    fluid Glucose, Reagent;
+    VAR Result[5];
+    a = MIX Glucose AND Reagent IN RATIOS 1 : 1 FOR 10;
+    SENSE OPTICAL it INTO Result[1];
+    END
+
+Pipeline: :func:`tokenize` -> :func:`parse` -> semantic analysis
+(:func:`repro.lang.semantic.analyze`) -> loop unrolling / constant folding
+(:mod:`repro.lang.unroll`), after which :mod:`repro.ir.builder` lowers the
+flat statement list to the volume DAG.
+"""
+
+from .ast import (
+    Assign,
+    BinOp,
+    Compare,
+    ConcentrateStmt,
+    Expr,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    OutputStmt,
+    Program,
+    SenseStmt,
+    SeparateStmt,
+    Stmt,
+    VarDecl,
+    WhileStmt,
+)
+from .errors import LexError, ParseError, SemanticError
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse
+from .semantic import SymbolTable, analyze
+from .unroll import FlatStatement, unroll
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse",
+    "analyze",
+    "SymbolTable",
+    "unroll",
+    "FlatStatement",
+    "Program",
+    "Stmt",
+    "Expr",
+    "FluidDecl",
+    "VarDecl",
+    "Assign",
+    "MixExpr",
+    "SenseStmt",
+    "SeparateStmt",
+    "IncubateStmt",
+    "ConcentrateStmt",
+    "OutputStmt",
+    "ForStmt",
+    "WhileStmt",
+    "IfStmt",
+    "Num",
+    "Name",
+    "Index",
+    "ItRef",
+    "BinOp",
+    "Compare",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+]

@@ -1,0 +1,274 @@
+"""Abstract syntax for the assay language.
+
+Statements carry their source line for diagnostics.  Expressions are
+*dry* (integer) computations — ratios, loop bounds, temperatures — plus
+fluid references (:class:`Name`/:class:`Index`/:class:`ItRef`) where a
+statement expects an operand.  Whether a given :class:`Name` denotes a
+fluid or a dry variable is resolved by :mod:`repro.lang.semantic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "Index",
+    "ItRef",
+    "BinOp",
+    "Compare",
+    "Stmt",
+    "Program",
+    "FluidDecl",
+    "VarDecl",
+    "Assign",
+    "MixExpr",
+    "SenseStmt",
+    "SeparateStmt",
+    "IncubateStmt",
+    "ConcentrateStmt",
+    "OutputStmt",
+    "ForStmt",
+    "WhileStmt",
+    "IfStmt",
+]
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: int
+    line: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Index:
+    """``base[i]`` or ``base[i][j]...`` — arrays of fluids or dry vars."""
+
+    base: str
+    indices: Tuple["Expr", ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.base + "".join(f"[{i}]" for i in self.indices)
+
+
+@dataclass(frozen=True)
+class ItRef:
+    """``it`` — the output of the previous fluid-producing statement."""
+
+    line: int = 0
+
+    def __str__(self) -> str:
+        return "it"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # == != < > <= >=
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Num, Name, Index, ItRef, BinOp, Compare]
+Target = Union[Name, Index]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class FluidDecl:
+    """``fluid a, b NOEXCESS, Diluted[4];``
+
+    ``NOEXCESS`` marks a fluid whose excess production/discard is
+    disallowed (safety, cost, regulation — paper Section 3.4.1); the
+    volume manager will refuse to cascade mixes producing it.
+    """
+
+    names: List[Tuple[str, Tuple[int, ...]]]  # (name, array dims)
+    line: int = 0
+    no_excess: List[str] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl:
+    """``VAR i, Result[5], RESULT[4][4][4];``"""
+
+    names: List[Tuple[str, Tuple[int, ...]]]
+    line: int = 0
+
+
+@dataclass
+class MixExpr:
+    """``MIX a AND b [AND c ...] [IN RATIOS e1 : e2 ...] FOR e``.
+
+    Usable as a statement (result bound to ``it``) or as the right-hand
+    side of an assignment.  Without RATIOS the mix is equal parts.
+    """
+
+    operands: List[Expr]
+    ratios: Optional[List[Expr]]
+    duration: Expr
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    """``target = expr;`` — dry assignment or fluid definition (MIX rhs)."""
+
+    target: Target
+    value: Union[Expr, MixExpr]
+    line: int = 0
+
+
+@dataclass
+class SenseStmt:
+    """``SENSE OPTICAL it INTO Result[1];``"""
+
+    mode: str  # "OD" | "FL"
+    operand: Expr
+    target: Target
+    line: int = 0
+
+
+@dataclass
+class SeparateStmt:
+    """``SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO eff AND waste;``
+
+    ``mode`` is the AIS flavour (AF for SEPARATE, LC for LCSEPARATE, CE/SIZE
+    for the corresponding keywords).  ``yield_hint`` carries the optional
+    ``YIELD p : q`` clause — a programmer hint making the output volume
+    statically known as the fraction p/q of the input (Section 3.5).
+    """
+
+    mode: str
+    operand: Expr
+    matrix: str
+    pusher: str
+    duration: Expr
+    effluent: str
+    waste: str
+    yield_hint: Optional[Tuple[Expr, Expr]] = None
+    line: int = 0
+
+
+@dataclass
+class IncubateStmt:
+    """``INCUBATE it AT 37 FOR 30;``"""
+
+    operand: Expr
+    temperature: Expr
+    duration: Expr
+    line: int = 0
+
+
+@dataclass
+class ConcentrateStmt:
+    """``CONCENTRATE it AT 90 FOR 60 [KEEP p : q];`` — evaporative
+    concentration keeping p/q of the volume (default 1/2)."""
+
+    operand: Expr
+    temperature: Expr
+    duration: Expr
+    keep: Optional[Tuple[Expr, Expr]] = None
+    line: int = 0
+
+
+@dataclass
+class OutputStmt:
+    """``OUTPUT it;`` — send a fluid off chip."""
+
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class ForStmt:
+    """``FOR i FROM 1 TO 4 START ... ENDFOR`` (inclusive bounds)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    """``WHILE cond HINT n START ... ENDWHILE`` — iteration count unknown;
+    the mandatory HINT bounds the unroll (paper Section 3.5, option 1)."""
+
+    condition: Expr
+    hint: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    """``IF cond THEN ... [ELSE ...] ENDIF``.
+
+    Dry-evaluable conditions fold at compile time; otherwise both paths are
+    conservatively included in the volume DAG (Section 3.5).
+    """
+
+    condition: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+Stmt = Union[
+    FluidDecl,
+    VarDecl,
+    Assign,
+    MixExpr,
+    SenseStmt,
+    SeparateStmt,
+    IncubateStmt,
+    ConcentrateStmt,
+    OutputStmt,
+    ForStmt,
+    WhileStmt,
+    IfStmt,
+]
+
+
+@dataclass
+class Program:
+    name: str
+    body: List[Stmt]
+    line: int = 0

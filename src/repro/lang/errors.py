@@ -1,0 +1,35 @@
+"""Front-end diagnostics, all carrying source positions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["FrontendError", "LexError", "ParseError", "SemanticError"]
+
+
+class FrontendError(Exception):
+    """Base class for assay-language errors with source locations."""
+
+    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location = f" ({location})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexError(FrontendError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(FrontendError):
+    """Token stream does not match the grammar."""
+
+
+class SemanticError(FrontendError):
+    """Well-formed but meaningless assay (undeclared fluid, type clash,
+    fluid used after depletion analysis says it cannot exist, ...)."""

@@ -1,0 +1,161 @@
+"""Tokenizer for the assay language.
+
+Keywords follow the paper's capitalisation (``ASSAY``, ``MIX``, ...;
+``fluid`` and ``it`` are lowercase).  ``--`` starts a comment running to the
+end of the line, as in Figure 10(a)'s ``--buffer2 has PNGanF``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Iterator, List, Optional
+
+from .errors import LexError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+@unique
+class TokenKind(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "ASSAY",
+        "START",
+        "END",
+        "fluid",
+        "VAR",
+        "MIX",
+        "AND",
+        "IN",
+        "RATIOS",
+        "FOR",
+        "FROM",
+        "TO",
+        "ENDFOR",
+        "WHILE",
+        "HINT",
+        "ENDWHILE",
+        "IF",
+        "THEN",
+        "ELSE",
+        "ENDIF",
+        "SENSE",
+        "OPTICAL",
+        "FLUORESCENCE",
+        "INTO",
+        "SEPARATE",
+        "LCSEPARATE",
+        "CESEPARATE",
+        "SIZESEPARATE",
+        "MATRIX",
+        "USING",
+        "YIELD",
+        "NOEXCESS",
+        "INCUBATE",
+        "CONCENTRATE",
+        "KEEP",
+        "AT",
+        "OUTPUT",
+        "it",
+    }
+)
+
+_SYMBOLS = (
+    "<=",
+    ">=",
+    "!=",
+    "==",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text in symbols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a whole assay; always ends with one EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            start_column = column
+            while i < length and source[i].isdigit():
+                i += 1
+                column += 1
+            tokens.append(
+                Token(TokenKind.NUMBER, source[start:i], line, start_column)
+            )
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_column = column
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                column += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, line, column))
+                i += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,454 @@
+"""Recursive-descent parser for the assay language.
+
+The grammar (statement keywords dispatch the alternatives)::
+
+    program   := 'ASSAY' IDENT 'START' stmt* 'END'
+    stmt      := fluid_decl | var_decl | assign ';' | mix ';' | sense ';'
+               | separate ';' | incubate ';' | concentrate ';' | output ';'
+               | for | while | if
+    fluid_decl:= 'fluid' item (',' item)* ';'
+    var_decl  := 'VAR' item (',' item)* ';'
+    item      := IDENT ('[' NUMBER ']')* ['NOEXCESS' (fluids only)]
+    assign    := target '=' (mix | expr)
+    mix       := 'MIX' operand ('AND' operand)+
+                 ('IN' 'RATIOS' expr (':' expr)+)? 'FOR' expr
+    sense     := 'SENSE' ('OPTICAL'|'FLUORESCENCE') operand 'INTO' target
+    separate  := ('SEPARATE'|'LCSEPARATE'|'CESEPARATE'|'SIZESEPARATE')
+                 operand 'MATRIX' IDENT 'USING' IDENT
+                 ('YIELD' expr ':' expr)? 'FOR' expr
+                 'INTO' IDENT 'AND' IDENT
+    incubate  := 'INCUBATE' operand 'AT' expr 'FOR' expr
+    concentrate := 'CONCENTRATE' operand 'AT' expr 'FOR' expr
+                   ('KEEP' expr ':' expr)?
+    output    := 'OUTPUT' operand
+    for       := 'FOR' IDENT 'FROM' expr 'TO' expr 'START' stmt* 'ENDFOR'
+    while     := 'WHILE' cond 'HINT' expr 'START' stmt* 'ENDWHILE'
+    if        := 'IF' cond 'THEN' stmt* ('ELSE' stmt*)? 'ENDIF'
+    cond      := expr ('=='|'!='|'<'|'>'|'<='|'>=') expr
+    expr      := term (('+'|'-') term)*
+    term      := factor (('*'|'/') factor)*
+    factor    := NUMBER | 'it' | IDENT ('[' expr ']')* | '(' expr ')'
+               | '-' factor
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Assign,
+    BinOp,
+    Compare,
+    ConcentrateStmt,
+    Expr,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    OutputStmt,
+    Program,
+    SenseStmt,
+    SeparateStmt,
+    Stmt,
+    VarDecl,
+    WhileStmt,
+)
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse", "Parser"]
+
+_SEPARATE_MODES = {
+    "SEPARATE": "AF",
+    "LCSEPARATE": "LC",
+    "CESEPARATE": "CE",
+    "SIZESEPARATE": "SIZE",
+}
+_SENSE_MODES = {"OPTICAL": "OD", "FLUORESCENCE": "FL"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.current
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {' or '.join(names)!s}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.current
+        if not token.is_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def accept_symbol(self, symbol: str) -> Optional[Token]:
+        if self.current.is_symbol(symbol):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+    def parse_program(self) -> Program:
+        start = self.expect_keyword("ASSAY")
+        name = self.expect_ident().text
+        self.expect_keyword("START")
+        body = self.parse_block(("END",))
+        self.expect_keyword("END")
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"trailing input after END: {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return Program(name, body, start.line)
+
+    def parse_block(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        body: List[Stmt] = []
+        while True:
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                raise ParseError(
+                    f"unexpected end of input; expected {terminators}",
+                    token.line,
+                    token.column,
+                )
+            if token.is_keyword(*terminators):
+                return body
+            body.append(self.parse_statement())
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if token.is_keyword("fluid"):
+            return self.parse_declaration(FluidDecl)
+        if token.is_keyword("VAR"):
+            return self.parse_declaration(VarDecl)
+        if token.is_keyword("MIX"):
+            mix = self.parse_mix()
+            self.expect_symbol(";")
+            return mix
+        if token.is_keyword("SENSE"):
+            return self.parse_sense()
+        if token.is_keyword(*(_SEPARATE_MODES)):
+            return self.parse_separate()
+        if token.is_keyword("INCUBATE"):
+            return self.parse_incubate()
+        if token.is_keyword("CONCENTRATE"):
+            return self.parse_concentrate()
+        if token.is_keyword("OUTPUT"):
+            return self.parse_output()
+        if token.is_keyword("FOR"):
+            return self.parse_for()
+        if token.is_keyword("WHILE"):
+            return self.parse_while()
+        if token.is_keyword("IF"):
+            return self.parse_if()
+        if token.kind is TokenKind.IDENT:
+            return self.parse_assignment()
+        raise ParseError(
+            f"unexpected token {token.text!r} at statement start",
+            token.line,
+            token.column,
+        )
+
+    def parse_declaration(self, cls) -> Stmt:
+        keyword = self.advance()
+        names: List[Tuple[str, Tuple[int, ...]]] = []
+        no_excess: List[str] = []
+        while True:
+            ident = self.expect_ident()
+            dims: List[int] = []
+            while self.accept_symbol("["):
+                size = self.current
+                if size.kind is not TokenKind.NUMBER:
+                    raise ParseError(
+                        "array dimension must be a literal number",
+                        size.line,
+                        size.column,
+                    )
+                self.advance()
+                dims.append(int(size.text))
+                self.expect_symbol("]")
+            if self.accept_keyword("NOEXCESS"):
+                if cls is not FluidDecl:
+                    raise ParseError(
+                        "NOEXCESS applies to fluids only", ident.line
+                    )
+                no_excess.append(ident.text)
+            names.append((ident.text, tuple(dims)))
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(";")
+        declaration = cls(names, keyword.line)
+        if cls is FluidDecl:
+            declaration.no_excess = no_excess
+        return declaration
+
+    def parse_assignment(self) -> Assign:
+        target = self.parse_target()
+        self.expect_symbol("=")
+        if self.current.is_keyword("MIX"):
+            value: object = self.parse_mix()
+        else:
+            value = self.parse_expression()
+        self.expect_symbol(";")
+        return Assign(target, value, target.line)
+
+    def parse_target(self):
+        ident = self.expect_ident()
+        indices: List[Expr] = []
+        while self.accept_symbol("["):
+            indices.append(self.parse_expression())
+            self.expect_symbol("]")
+        if indices:
+            return Index(ident.text, tuple(indices), ident.line)
+        return Name(ident.text, ident.line)
+
+    def parse_mix(self) -> MixExpr:
+        keyword = self.expect_keyword("MIX")
+        operands = [self.parse_operand()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_operand())
+        if len(operands) < 2:
+            raise ParseError("MIX needs at least two operands", keyword.line)
+        ratios: Optional[List[Expr]] = None
+        if self.accept_keyword("IN"):
+            self.expect_keyword("RATIOS")
+            ratios = [self.parse_expression()]
+            while self.accept_symbol(":"):
+                ratios.append(self.parse_expression())
+            if len(ratios) != len(operands):
+                raise ParseError(
+                    f"MIX has {len(operands)} operands but "
+                    f"{len(ratios)} ratio parts",
+                    keyword.line,
+                )
+        self.expect_keyword("FOR")
+        duration = self.parse_expression()
+        return MixExpr(operands, ratios, duration, keyword.line)
+
+    def parse_sense(self) -> SenseStmt:
+        keyword = self.expect_keyword("SENSE")
+        mode_token = self.expect_keyword(*(_SENSE_MODES))
+        operand = self.parse_operand()
+        self.expect_keyword("INTO")
+        target = self.parse_target()
+        self.expect_symbol(";")
+        return SenseStmt(
+            _SENSE_MODES[mode_token.text], operand, target, keyword.line
+        )
+
+    def parse_separate(self) -> SeparateStmt:
+        keyword = self.advance()
+        mode = _SEPARATE_MODES[keyword.text]
+        operand = self.parse_operand()
+        self.expect_keyword("MATRIX")
+        matrix = self.expect_ident().text
+        self.expect_keyword("USING")
+        pusher = self.expect_ident().text
+        yield_hint = None
+        if self.accept_keyword("YIELD"):
+            numerator = self.parse_expression()
+            self.expect_symbol(":")
+            denominator = self.parse_expression()
+            yield_hint = (numerator, denominator)
+        self.expect_keyword("FOR")
+        duration = self.parse_expression()
+        self.expect_keyword("INTO")
+        effluent = self.expect_ident().text
+        self.expect_keyword("AND")
+        waste = self.expect_ident().text
+        self.expect_symbol(";")
+        return SeparateStmt(
+            mode,
+            operand,
+            matrix,
+            pusher,
+            duration,
+            effluent,
+            waste,
+            yield_hint,
+            keyword.line,
+        )
+
+    def parse_incubate(self) -> IncubateStmt:
+        keyword = self.expect_keyword("INCUBATE")
+        operand = self.parse_operand()
+        self.expect_keyword("AT")
+        temperature = self.parse_expression()
+        self.expect_keyword("FOR")
+        duration = self.parse_expression()
+        self.expect_symbol(";")
+        return IncubateStmt(operand, temperature, duration, keyword.line)
+
+    def parse_concentrate(self) -> ConcentrateStmt:
+        keyword = self.expect_keyword("CONCENTRATE")
+        operand = self.parse_operand()
+        self.expect_keyword("AT")
+        temperature = self.parse_expression()
+        self.expect_keyword("FOR")
+        duration = self.parse_expression()
+        keep = None
+        if self.accept_keyword("KEEP"):
+            numerator = self.parse_expression()
+            self.expect_symbol(":")
+            denominator = self.parse_expression()
+            keep = (numerator, denominator)
+        self.expect_symbol(";")
+        return ConcentrateStmt(
+            operand, temperature, duration, keep, keyword.line
+        )
+
+    def parse_output(self) -> OutputStmt:
+        keyword = self.expect_keyword("OUTPUT")
+        operand = self.parse_operand()
+        self.expect_symbol(";")
+        return OutputStmt(operand, keyword.line)
+
+    def parse_for(self) -> ForStmt:
+        keyword = self.expect_keyword("FOR")
+        var = self.expect_ident().text
+        self.expect_keyword("FROM")
+        start = self.parse_expression()
+        self.expect_keyword("TO")
+        stop = self.parse_expression()
+        self.expect_keyword("START")
+        body = self.parse_block(("ENDFOR",))
+        self.expect_keyword("ENDFOR")
+        return ForStmt(var, start, stop, body, keyword.line)
+
+    def parse_while(self) -> WhileStmt:
+        keyword = self.expect_keyword("WHILE")
+        condition = self.parse_condition()
+        self.expect_keyword("HINT")
+        hint = self.parse_expression()
+        self.expect_keyword("START")
+        body = self.parse_block(("ENDWHILE",))
+        self.expect_keyword("ENDWHILE")
+        return WhileStmt(condition, hint, body, keyword.line)
+
+    def parse_if(self) -> IfStmt:
+        keyword = self.expect_keyword("IF")
+        condition = self.parse_condition()
+        self.expect_keyword("THEN")
+        then_body = self.parse_block(("ELSE", "ENDIF"))
+        else_body: List[Stmt] = []
+        if self.accept_keyword("ELSE"):
+            else_body = self.parse_block(("ENDIF",))
+        self.expect_keyword("ENDIF")
+        return IfStmt(condition, then_body, else_body, keyword.line)
+
+    # -- expressions ------------------------------------------------------
+    def parse_condition(self) -> Expr:
+        left = self.parse_expression()
+        token = self.current
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if token.is_symbol(op):
+                self.advance()
+                right = self.parse_expression()
+                return Compare(op, left, right, token.line)
+        raise ParseError(
+            f"expected a comparison operator, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def parse_operand(self) -> Expr:
+        token = self.current
+        if token.is_keyword("it"):
+            self.advance()
+            return ItRef(token.line)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_target()
+        raise ParseError(
+            f"expected a fluid operand, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def parse_expression(self) -> Expr:
+        left = self.parse_term()
+        while self.current.is_symbol("+", "-"):
+            op = self.advance()
+            right = self.parse_term()
+            left = BinOp(op.text, left, right, op.line)
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.current.is_symbol("*", "/"):
+            op = self.advance()
+            right = self.parse_factor()
+            left = BinOp(op.text, left, right, op.line)
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.current
+        if token.is_symbol("-"):
+            self.advance()
+            inner = self.parse_factor()
+            return BinOp("-", Num(0, token.line), inner, token.line)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return Num(int(token.text), token.line)
+        if token.is_keyword("it"):
+            self.advance()
+            return ItRef(token.line)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_target()
+        if token.is_symbol("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_symbol(")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse assay source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,293 @@
+"""Semantic analysis: symbol resolution and type checking.
+
+Two namespaces exist in an assay, mirroring AquaCore's wet/dry split:
+
+* **fluids** (``fluid`` declarations) — consumed by MIX/SEPARATE/...;
+* **dry variables** (``VAR`` declarations, loop indices) — integers used in
+  ratios, bounds and as sense-result targets.
+
+The analysis checks declaration-before-use, arity of array indexing, and
+that each construct gets the right namespace (a MIX target must be a fluid,
+a dry assignment target must be a VAR, a SENSE result must be a VAR, ...).
+Loop variables are implicitly dry and scoped to their loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, Union
+
+from .ast import (
+    Assign,
+    BinOp,
+    Compare,
+    ConcentrateStmt,
+    Expr,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    OutputStmt,
+    Program,
+    SenseStmt,
+    SeparateStmt,
+    Stmt,
+    VarDecl,
+    WhileStmt,
+)
+from .errors import SemanticError
+
+__all__ = ["SymbolTable", "analyze"]
+
+
+@dataclass
+class SymbolTable:
+    """Declared names with their kind and array dimensionality."""
+
+    fluids: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    variables: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    loop_vars: Set[str] = field(default_factory=set)
+    #: fluids whose excess production is disallowed (NOEXCESS).
+    no_excess: Set[str] = field(default_factory=set)
+
+    def kind_of(self, name: str) -> str:
+        if name in self.fluids:
+            return "fluid"
+        if name in self.variables or name in self.loop_vars:
+            return "var"
+        raise SemanticError(f"undeclared name {name!r}")
+
+    def is_fluid(self, name: str) -> bool:
+        return name in self.fluids
+
+    def is_var(self, name: str) -> bool:
+        return name in self.variables or name in self.loop_vars
+
+    def dims_of(self, name: str) -> Tuple[int, ...]:
+        if name in self.fluids:
+            return self.fluids[name]
+        if name in self.variables:
+            return self.variables[name]
+        if name in self.loop_vars:
+            return ()
+        raise SemanticError(f"undeclared name {name!r}")
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.symbols = SymbolTable()
+        self.it_defined = False
+
+    # ------------------------------------------------------------------
+    def analyze(self, program: Program) -> SymbolTable:
+        for statement in program.body:
+            self.statement(statement)
+        return self.symbols
+
+    # ------------------------------------------------------------------
+    def declare(self, decl: Union[FluidDecl, VarDecl]) -> None:
+        table = (
+            self.symbols.fluids
+            if isinstance(decl, FluidDecl)
+            else self.symbols.variables
+        )
+        for name, dims in decl.names:
+            if self.symbols.is_fluid(name) or self.symbols.is_var(name):
+                raise SemanticError(f"duplicate declaration of {name!r}", decl.line)
+            table[name] = dims
+        for name in getattr(decl, "no_excess", ()):
+            self.symbols.no_excess.add(name)
+
+    def statement(self, statement: Stmt) -> None:
+        if isinstance(statement, (FluidDecl, VarDecl)):
+            self.declare(statement)
+        elif isinstance(statement, Assign):
+            self.assign(statement)
+        elif isinstance(statement, MixExpr):
+            self.mix(statement)
+            self.it_defined = True
+        elif isinstance(statement, SenseStmt):
+            self.fluid_operand(statement.operand, statement.line)
+            self.var_target(statement.target, statement.line, context="SENSE result")
+        elif isinstance(statement, SeparateStmt):
+            self.separate(statement)
+        elif isinstance(statement, (IncubateStmt, ConcentrateStmt)):
+            self.fluid_operand(statement.operand, statement.line)
+            self.dry_expr(statement.temperature, statement.line)
+            self.dry_expr(statement.duration, statement.line)
+            if isinstance(statement, ConcentrateStmt) and statement.keep:
+                for part in statement.keep:
+                    self.dry_expr(part, statement.line)
+            self.it_defined = True
+        elif isinstance(statement, OutputStmt):
+            self.fluid_operand(statement.operand, statement.line)
+        elif isinstance(statement, ForStmt):
+            self.dry_expr(statement.start, statement.line)
+            self.dry_expr(statement.stop, statement.line)
+            if self.symbols.is_fluid(statement.var):
+                raise SemanticError(
+                    f"loop variable {statement.var!r} collides with a fluid",
+                    statement.line,
+                )
+            fresh = statement.var not in self.symbols.loop_vars
+            self.symbols.loop_vars.add(statement.var)
+            for inner in statement.body:
+                self.statement(inner)
+            if fresh:
+                # loop variables stay visible afterwards only as dry names
+                pass
+        elif isinstance(statement, WhileStmt):
+            self.condition(statement.condition, statement.line)
+            self.dry_expr(statement.hint, statement.line)
+            for inner in statement.body:
+                self.statement(inner)
+        elif isinstance(statement, IfStmt):
+            self.condition(statement.condition, statement.line)
+            for inner in statement.then_body:
+                self.statement(inner)
+            for inner in statement.else_body:
+                self.statement(inner)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    def assign(self, statement: Assign) -> None:
+        target = statement.target
+        base = target.base if isinstance(target, Index) else target.ident
+        if isinstance(statement.value, MixExpr):
+            if not self.symbols.is_fluid(base):
+                raise SemanticError(
+                    f"MIX result must be assigned to a fluid, {base!r} is not",
+                    statement.line,
+                )
+            self.check_indexing(target, statement.line)
+            self.mix(statement.value)
+            self.it_defined = True
+        else:
+            if not self.symbols.is_var(base):
+                raise SemanticError(
+                    f"dry assignment target {base!r} is not a VAR",
+                    statement.line,
+                )
+            self.check_indexing(target, statement.line)
+            self.dry_expr(statement.value, statement.line)
+
+    def mix(self, expression: MixExpr) -> None:
+        for operand in expression.operands:
+            self.fluid_operand(operand, expression.line)
+        if expression.ratios is not None:
+            for ratio in expression.ratios:
+                self.dry_expr(ratio, expression.line)
+        self.dry_expr(expression.duration, expression.line)
+
+    def separate(self, statement: SeparateStmt) -> None:
+        self.fluid_operand(statement.operand, statement.line)
+        for name in (statement.matrix, statement.pusher):
+            if not self.symbols.is_fluid(name):
+                raise SemanticError(
+                    f"separator matrix/pusher {name!r} must be a fluid",
+                    statement.line,
+                )
+        for name in (statement.effluent, statement.waste):
+            if not self.symbols.is_fluid(name):
+                raise SemanticError(
+                    f"separation product {name!r} must be a declared fluid",
+                    statement.line,
+                )
+        if statement.yield_hint:
+            for part in statement.yield_hint:
+                self.dry_expr(part, statement.line)
+        self.dry_expr(statement.duration, statement.line)
+        self.it_defined = True
+
+    # ------------------------------------------------------------------
+    def fluid_operand(self, operand: Expr, line: int) -> None:
+        if isinstance(operand, ItRef):
+            if not self.it_defined:
+                raise SemanticError("'it' used before any fluid operation", line)
+            return
+        if isinstance(operand, Name):
+            if not self.symbols.is_fluid(operand.ident):
+                raise SemanticError(
+                    f"{operand.ident!r} is not a fluid", operand.line or line
+                )
+            self.check_indexing(operand, line)
+            return
+        if isinstance(operand, Index):
+            if not self.symbols.is_fluid(operand.base):
+                raise SemanticError(
+                    f"{operand.base!r} is not a fluid", operand.line or line
+                )
+            self.check_indexing(operand, line)
+            for index in operand.indices:
+                self.dry_expr(index, line)
+            return
+        raise SemanticError(f"expected a fluid operand, got {operand}", line)
+
+    def var_target(self, target, line: int, *, context: str) -> None:
+        base = target.base if isinstance(target, Index) else target.ident
+        if not self.symbols.is_var(base):
+            raise SemanticError(f"{context} {base!r} is not a VAR", line)
+        self.check_indexing(target, line)
+
+    def check_indexing(self, ref, line: int) -> None:
+        if isinstance(ref, Name):
+            dims = self.symbols.dims_of(ref.ident)
+            if dims:
+                raise SemanticError(
+                    f"{ref.ident!r} is an array of rank {len(dims)}; "
+                    "missing indices",
+                    line,
+                )
+            return
+        dims = self.symbols.dims_of(ref.base)
+        if len(dims) != len(ref.indices):
+            raise SemanticError(
+                f"{ref.base!r} has rank {len(dims)} but is indexed with "
+                f"{len(ref.indices)} subscripts",
+                line,
+            )
+        for index in ref.indices:
+            self.dry_expr(index, line)
+
+    def dry_expr(self, expression: Expr, line: int) -> None:
+        if isinstance(expression, Num):
+            return
+        if isinstance(expression, ItRef):
+            raise SemanticError("'it' is a fluid, not a dry value", line)
+        if isinstance(expression, Name):
+            if not self.symbols.is_var(expression.ident):
+                raise SemanticError(
+                    f"{expression.ident!r} is not a dry variable",
+                    expression.line or line,
+                )
+            return
+        if isinstance(expression, Index):
+            if not self.symbols.is_var(expression.base):
+                raise SemanticError(
+                    f"{expression.base!r} is not a dry variable",
+                    expression.line or line,
+                )
+            self.check_indexing(expression, line)
+            return
+        if isinstance(expression, (BinOp, Compare)):
+            self.dry_expr(expression.left, line)
+            self.dry_expr(expression.right, line)
+            return
+        raise SemanticError(f"invalid dry expression {expression}", line)
+
+    def condition(self, expression: Expr, line: int) -> None:
+        if not isinstance(expression, Compare):
+            raise SemanticError("condition must be a comparison", line)
+        self.dry_expr(expression, line)
+
+
+def analyze(program: Program) -> SymbolTable:
+    """Run semantic analysis; returns the symbol table or raises
+    :class:`SemanticError`."""
+    return _Analyzer().analyze(program)

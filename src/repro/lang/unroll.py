@@ -1,0 +1,517 @@
+"""Loop unrolling, constant folding, and flattening to straight-line form.
+
+The paper handles control flow by unrolling (Section 3.5): FOR loops with
+statically-known bounds unroll completely; WHILE loops unroll up to their
+mandatory programmer HINT; IF folds when its condition is dry-evaluable and
+otherwise *both* paths are conservatively included in the volume DAG (the
+executor later runs only the taken one).
+
+The result is a :class:`FlatAssay`: a list of :class:`FlatStatement` with
+every ratio/bound/index evaluated to concrete integers and every fluid
+reference resolved to a canonical key (``Diluted_Inhibitor[2]``).  This is
+the form :mod:`repro.ir.builder` lowers to the volume DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from .ast import (
+    Assign,
+    BinOp,
+    Compare,
+    ConcentrateStmt,
+    Expr,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    OutputStmt,
+    Program,
+    SenseStmt,
+    SeparateStmt,
+    Stmt,
+    VarDecl,
+    WhileStmt,
+)
+from .errors import SemanticError
+from .semantic import SymbolTable, analyze
+
+__all__ = ["FlatStatement", "FlatAssay", "unroll"]
+
+#: (condition id, which branch) — set on statements under a dynamic IF.
+Guard = Tuple[str, bool]
+
+
+@dataclass
+class FlatStatement:
+    """One concrete wet operation after unrolling.
+
+    ``kind`` in {"mix", "sense", "separate", "incubate", "concentrate",
+    "output"}; only the fields meaningful for the kind are set.  ``target``
+    is the canonical fluid key the operation defines (``None`` for sense and
+    output, which define nothing).
+    """
+
+    kind: str
+    seq: int
+    line: int
+    target: Optional[str] = None
+    operands: Tuple[str, ...] = ()
+    ratios: Optional[Tuple[int, ...]] = None
+    duration: Optional[int] = None
+    temperature: Optional[int] = None
+    mode: Optional[str] = None          # separate/sense flavour
+    matrix: Optional[str] = None
+    pusher: Optional[str] = None
+    waste: Optional[str] = None
+    yield_fraction: Optional[Fraction] = None
+    keep_fraction: Optional[Fraction] = None
+    result: Optional[str] = None        # flattened sense target
+    guard: Optional[Guard] = None
+    #: target fluid was declared NOEXCESS (cascading must not discard it)
+    no_excess: bool = False
+
+
+@dataclass
+class FlatAssay:
+    """The unrolled straight-line assay."""
+
+    name: str
+    statements: List[FlatStatement]
+    symbols: SymbolTable
+    #: canonical keys of fluids that are *primary inputs* (never defined).
+    input_fluids: Tuple[str, ...]
+    #: matrix/pusher fluids (loaded whole, outside the volume DAG).
+    aux_fluids: Tuple[str, ...]
+    #: flattened sense-result names, in program order.
+    results: Tuple[str, ...]
+    #: dynamic IF conditions: id -> human-readable text.
+    dynamic_conditions: Dict[str, str] = field(default_factory=dict)
+    #: dynamic IF conditions: id -> the Compare AST, for run-time evaluation.
+    dynamic_condition_exprs: Dict[str, Expr] = field(default_factory=dict)
+
+
+class _Unroller:
+    def __init__(self, program: Program, symbols: SymbolTable) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.env: Dict[str, int] = {}
+        self.array_env: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self.defined_fluids: Dict[str, int] = {}  # key -> defining seq
+        self.used_inputs: List[str] = []
+        self.aux_fluids: List[str] = []
+        self.waste_fluids: set[str] = set()
+        self.statements: List[FlatStatement] = []
+        self.results: List[str] = []
+        self.dynamic_conditions: Dict[str, str] = {}
+        self.dynamic_condition_exprs: Dict[str, Expr] = {}
+        self.it: Optional[str] = None
+        self.seq = 0
+        self.guard: Optional[Guard] = None
+
+    # ------------------------------------------------------------------
+    # dry evaluation
+    # ------------------------------------------------------------------
+    def eval_dry(self, expression: Expr, line: int) -> int:
+        if isinstance(expression, Num):
+            return expression.value
+        if isinstance(expression, Name):
+            if expression.ident not in self.env:
+                raise SemanticError(
+                    f"dry variable {expression.ident!r} read before "
+                    "assignment",
+                    expression.line or line,
+                )
+            return self.env[expression.ident]
+        if isinstance(expression, Index):
+            key = (
+                expression.base,
+                tuple(self.eval_dry(i, line) for i in expression.indices),
+            )
+            if key not in self.array_env:
+                raise SemanticError(
+                    f"dry array cell {self.flat_name(*key)!r} read before "
+                    "assignment",
+                    expression.line or line,
+                )
+            return self.array_env[key]
+        if isinstance(expression, BinOp):
+            left = self.eval_dry(expression.left, line)
+            right = self.eval_dry(expression.right, line)
+            if expression.op == "+":
+                return left + right
+            if expression.op == "-":
+                return left - right
+            if expression.op == "*":
+                return left * right
+            if right == 0:
+                raise SemanticError("division by zero", expression.line or line)
+            return left // right
+        if isinstance(expression, Compare):
+            left = self.eval_dry(expression.left, line)
+            right = self.eval_dry(expression.right, line)
+            return int(
+                {
+                    "==": left == right,
+                    "!=": left != right,
+                    "<": left < right,
+                    ">": left > right,
+                    "<=": left <= right,
+                    ">=": left >= right,
+                }[expression.op]
+            )
+        raise SemanticError(f"cannot evaluate {expression} statically", line)
+
+    def try_eval_dry(self, expression: Expr, line: int) -> Optional[int]:
+        """Dry-evaluate if possible; None when the value is run-time-only
+        (e.g. it reads an unset sense result)."""
+        try:
+            return self.eval_dry(expression, line)
+        except SemanticError:
+            return None
+
+    # ------------------------------------------------------------------
+    # fluid reference resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def flat_name(base: str, indices: Tuple[int, ...]) -> str:
+        return base + "".join(f"[{i}]" for i in indices)
+
+    def resolve_fluid(self, operand: Expr, line: int) -> str:
+        if isinstance(operand, ItRef):
+            if self.it is None:
+                raise SemanticError("'it' used before any fluid operation", line)
+            return self.it
+        if isinstance(operand, Name):
+            key = operand.ident
+        elif isinstance(operand, Index):
+            indices = tuple(self.eval_dry(i, line) for i in operand.indices)
+            dims = self.symbols.dims_of(operand.base)
+            for position, (index, dim) in enumerate(zip(indices, dims)):
+                if not (1 <= index <= dim):
+                    raise SemanticError(
+                        f"index {index} out of range 1..{dim} for "
+                        f"{operand.base!r} (subscript {position + 1})",
+                        line,
+                    )
+            key = self.flat_name(operand.base, indices)
+        else:
+            raise SemanticError(f"not a fluid reference: {operand}", line)
+        if key in self.waste_fluids:
+            raise SemanticError(
+                f"separation waste {key!r} cannot be used downstream "
+                "(model limitation; route the waste to an OUTPUT instead)",
+                line,
+            )
+        if key not in self.defined_fluids and key not in self.used_inputs:
+            self.used_inputs.append(key)  # a primary input fluid
+        return key
+
+    def resolve_target(self, target: Union[Name, Index], line: int) -> str:
+        if isinstance(target, Name):
+            return target.ident
+        indices = tuple(self.eval_dry(i, line) for i in target.indices)
+        return self.flat_name(target.base, indices)
+
+    # ------------------------------------------------------------------
+    # statement walk
+    # ------------------------------------------------------------------
+    def run(self) -> FlatAssay:
+        for statement in self.program.body:
+            self.statement(statement)
+        return FlatAssay(
+            name=self.program.name,
+            statements=self.statements,
+            symbols=self.symbols,
+            input_fluids=tuple(self.used_inputs),
+            aux_fluids=tuple(dict.fromkeys(self.aux_fluids)),
+            results=tuple(self.results),
+            dynamic_conditions=self.dynamic_conditions,
+            dynamic_condition_exprs=self.dynamic_condition_exprs,
+        )
+
+    def emit(self, statement: FlatStatement) -> None:
+        statement.guard = self.guard
+        self.statements.append(statement)
+        self.seq += 1
+
+    def statement(self, statement: Stmt) -> None:
+        if isinstance(statement, (FluidDecl, VarDecl)):
+            return
+        if isinstance(statement, Assign):
+            self.assign(statement)
+        elif isinstance(statement, MixExpr):
+            self.mix(statement, target=None)
+        elif isinstance(statement, SenseStmt):
+            self.sense(statement)
+        elif isinstance(statement, SeparateStmt):
+            self.separate(statement)
+        elif isinstance(statement, IncubateStmt):
+            self.heat(statement, kind="incubate")
+        elif isinstance(statement, ConcentrateStmt):
+            self.heat(statement, kind="concentrate")
+        elif isinstance(statement, OutputStmt):
+            operand = self.resolve_fluid(statement.operand, statement.line)
+            self.emit(
+                FlatStatement(
+                    "output",
+                    self.seq,
+                    statement.line,
+                    operands=(operand,),
+                )
+            )
+        elif isinstance(statement, ForStmt):
+            start = self.eval_dry(statement.start, statement.line)
+            stop = self.eval_dry(statement.stop, statement.line)
+            for value in range(start, stop + 1):
+                self.env[statement.var] = value
+                for inner in statement.body:
+                    self.statement(inner)
+        elif isinstance(statement, WhileStmt):
+            hint = self.eval_dry(statement.hint, statement.line)
+            if hint < 0:
+                raise SemanticError("WHILE hint must be >= 0", statement.line)
+            dynamic_id: Optional[str] = None
+            for iteration in range(hint):
+                verdict = self.try_eval_dry(statement.condition, statement.line)
+                if verdict == 0:
+                    break
+                if verdict is not None:
+                    for inner in statement.body:
+                        self.statement(inner)
+                    continue
+                # Run-time condition (it reads a sensed value): provision
+                # every HINT iteration conservatively, but guard each one so
+                # the executor re-evaluates the condition before running it
+                # — the loop genuinely stops early on chip.
+                if self.guard is not None:
+                    raise SemanticError(
+                        "nested dynamic control flow (WHILE inside a "
+                        "dynamic IF/WHILE) is not supported",
+                        statement.line,
+                    )
+                if dynamic_id is None:
+                    dynamic_id = (
+                        f"cond@{statement.line}#{len(self.dynamic_conditions)}"
+                    )
+                    self.dynamic_conditions[dynamic_id] = str(
+                        statement.condition
+                    )
+                    self.dynamic_condition_exprs[dynamic_id] = (
+                        statement.condition
+                    )
+                self.guard = (dynamic_id, True)
+                for inner in statement.body:
+                    self.statement(inner)
+                self.guard = None
+        elif isinstance(statement, IfStmt):
+            self.if_statement(statement)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    def if_statement(self, statement: IfStmt) -> None:
+        verdict = self.try_eval_dry(statement.condition, statement.line)
+        if verdict is not None:
+            body = statement.then_body if verdict else statement.else_body
+            for inner in body:
+                self.statement(inner)
+            return
+        # Dynamic condition: conservatively include both paths in the DAG
+        # (paper Section 3.5); statements carry a guard so the executor can
+        # skip the untaken branch at run time.
+        condition_id = f"cond@{statement.line}#{len(self.dynamic_conditions)}"
+        self.dynamic_conditions[condition_id] = str(statement.condition)
+        self.dynamic_condition_exprs[condition_id] = statement.condition
+        outer_guard = self.guard
+        saved_it = self.it
+        self.guard = (condition_id, True)
+        for inner in statement.then_body:
+            self.statement(inner)
+        then_it = self.it
+        self.it = saved_it
+        self.guard = (condition_id, False)
+        for inner in statement.else_body:
+            self.statement(inner)
+        self.guard = outer_guard
+        # 'it' after a dynamic IF is ambiguous; keep the then-branch value
+        # only when both branches agree, else invalidate it.
+        if then_it != self.it:
+            self.it = None
+
+    # ------------------------------------------------------------------
+    def assign(self, statement: Assign) -> None:
+        if isinstance(statement.value, MixExpr):
+            target = self.resolve_target(statement.target, statement.line)
+            self.mix(statement.value, target=target)
+            return
+        value = self.eval_dry(statement.value, statement.line)
+        if isinstance(statement.target, Index):
+            indices = tuple(
+                self.eval_dry(i, statement.line)
+                for i in statement.target.indices
+            )
+            self.array_env[(statement.target.base, indices)] = value
+        else:
+            self.env[statement.target.ident] = value
+
+    def define(self, key: str, line: int) -> None:
+        if key in self.used_inputs:
+            raise SemanticError(
+                f"fluid {key!r} was used (as a primary input) before this "
+                "definition",
+                line,
+            )
+        if key in self.defined_fluids and self.guard is None:
+            raise SemanticError(
+                f"fluid {key!r} is defined twice; fluids are single-"
+                "assignment (uses are destructive, re-definition would leak "
+                "the first volume)",
+                line,
+            )
+        self.defined_fluids[key] = self.seq
+
+    def mix(self, expression: MixExpr, target: Optional[str]) -> None:
+        operands = tuple(
+            self.resolve_fluid(operand, expression.line)
+            for operand in expression.operands
+        )
+        if len(set(operands)) != len(operands):
+            raise SemanticError(
+                "MIX operands must be distinct fluids", expression.line
+            )
+        ratios: Optional[Tuple[int, ...]] = None
+        if expression.ratios is not None:
+            ratios = tuple(
+                self.eval_dry(ratio, expression.line)
+                for ratio in expression.ratios
+            )
+            if any(part <= 0 for part in ratios):
+                raise SemanticError(
+                    f"mix ratio parts must be positive, got {ratios}",
+                    expression.line,
+                )
+        duration = self.eval_dry(expression.duration, expression.line)
+        key = target or f"it@{self.seq}"
+        self.define(key, expression.line)
+        # A mix must not produce excess when its product *or any of its
+        # ingredients* is a NOEXCESS fluid (discarding the mixture would
+        # discard the protected fluid with it).
+        protected = {key.split("[")[0]} | {
+            operand.split("[")[0] for operand in operands
+        }
+        self.emit(
+            FlatStatement(
+                "mix",
+                self.seq,
+                expression.line,
+                target=key,
+                operands=operands,
+                ratios=ratios,
+                duration=duration,
+                no_excess=bool(protected & self.symbols.no_excess),
+            )
+        )
+        self.it = key
+
+    def sense(self, statement: SenseStmt) -> None:
+        operand = self.resolve_fluid(statement.operand, statement.line)
+        result = self.resolve_target(statement.target, statement.line)
+        self.results.append(result)
+        self.emit(
+            FlatStatement(
+                "sense",
+                self.seq,
+                statement.line,
+                operands=(operand,),
+                mode=statement.mode,
+                result=result,
+            )
+        )
+
+    def separate(self, statement: SeparateStmt) -> None:
+        operand = self.resolve_fluid(statement.operand, statement.line)
+        # Matrix and pusher are whole-reservoir loads outside the DAG.
+        for name in (statement.matrix, statement.pusher):
+            if name in self.defined_fluids:
+                raise SemanticError(
+                    f"matrix/pusher {name!r} must be a primary input fluid",
+                    statement.line,
+                )
+            self.aux_fluids.append(name)
+        duration = self.eval_dry(statement.duration, statement.line)
+        yield_fraction: Optional[Fraction] = None
+        if statement.yield_hint is not None:
+            numerator = self.eval_dry(statement.yield_hint[0], statement.line)
+            denominator = self.eval_dry(statement.yield_hint[1], statement.line)
+            if not (0 < numerator <= denominator):
+                raise SemanticError(
+                    "YIELD hint must be a fraction in (0, 1]", statement.line
+                )
+            yield_fraction = Fraction(numerator, denominator)
+        self.define(statement.effluent, statement.line)
+        self.waste_fluids.add(statement.waste)
+        self.emit(
+            FlatStatement(
+                "separate",
+                self.seq,
+                statement.line,
+                target=statement.effluent,
+                operands=(operand,),
+                duration=duration,
+                mode=statement.mode,
+                matrix=statement.matrix,
+                pusher=statement.pusher,
+                waste=statement.waste,
+                yield_fraction=yield_fraction,
+            )
+        )
+        self.it = statement.effluent
+
+    def heat(self, statement, *, kind: str) -> None:
+        operand = self.resolve_fluid(statement.operand, statement.line)
+        temperature = self.eval_dry(statement.temperature, statement.line)
+        duration = self.eval_dry(statement.duration, statement.line)
+        keep: Optional[Fraction] = None
+        if kind == "concentrate":
+            keep = Fraction(1, 2)
+            if statement.keep is not None:
+                numerator = self.eval_dry(statement.keep[0], statement.line)
+                denominator = self.eval_dry(statement.keep[1], statement.line)
+                if not (0 < numerator <= denominator):
+                    raise SemanticError(
+                        "KEEP must be a fraction in (0, 1]", statement.line
+                    )
+                keep = Fraction(numerator, denominator)
+        key = f"it@{self.seq}"
+        self.define(key, statement.line)
+        self.emit(
+            FlatStatement(
+                kind,
+                self.seq,
+                statement.line,
+                target=key,
+                operands=(operand,),
+                temperature=temperature,
+                duration=duration,
+                keep_fraction=keep,
+            )
+        )
+        self.it = key
+
+
+def unroll(program: Program, symbols: Optional[SymbolTable] = None) -> FlatAssay:
+    """Unroll and flatten a parsed assay.
+
+    Runs semantic analysis first when no symbol table is supplied.
+    """
+    if symbols is None:
+        symbols = analyze(program)
+    return _Unroller(program, symbols).run()

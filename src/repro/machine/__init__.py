@@ -1,0 +1,63 @@
+"""An executable model of the AquaCore PLoC (paper Section 2.1).
+
+The machine is a discrete-event *fluid ledger*, not a physics simulator:
+mixtures are composition vectors over named input fluids, metering pumps
+quantise every transfer to the least count, and each reservoir/functional
+unit enforces its capacity.  The interpreter executes AquaCore Instruction
+Set (AIS) programs against this state, producing a trace and raising typed
+errors on underflow/overflow — which is exactly the level of fidelity the
+paper's evaluation needs (it never runs fluids either; it reasons about
+volumes).
+"""
+
+from .components import (
+    Container,
+    Heater,
+    Mixer,
+    Reservoir,
+    Sensor,
+    Separator,
+)
+from .errors import (
+    CapacityError,
+    ComponentError,
+    EmptyError,
+    MachineError,
+    MeteringError,
+)
+from .fluids import Mixture
+from .interpreter import Machine
+from .metering import MeteringPump
+from .separation import FractionalYield, SeparationModel, SpeciesFilter
+from .spec import AQUACORE_SPEC, AQUACORE_XL_SPEC, FunctionalUnitSpec, MachineSpec
+from .topology import ChannelTopology, bus_topology, ring_topology
+from .trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "MachineSpec",
+    "FunctionalUnitSpec",
+    "AQUACORE_SPEC",
+    "AQUACORE_XL_SPEC",
+    "Mixture",
+    "MeteringPump",
+    "Container",
+    "Reservoir",
+    "Mixer",
+    "Heater",
+    "Separator",
+    "Sensor",
+    "SeparationModel",
+    "FractionalYield",
+    "SpeciesFilter",
+    "Machine",
+    "ChannelTopology",
+    "bus_topology",
+    "ring_topology",
+    "ExecutionTrace",
+    "TraceEvent",
+    "MachineError",
+    "ComponentError",
+    "CapacityError",
+    "EmptyError",
+    "MeteringError",
+]

@@ -1,0 +1,62 @@
+"""Machine-level exception hierarchy.
+
+Distinct from :mod:`repro.core.errors`: those describe *planning* failures,
+these describe *execution* failures.  The runtime maps :class:`EmptyError`
+(a fluid ran out mid-assay) to Biostream-style regeneration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MachineError",
+    "ComponentError",
+    "CapacityError",
+    "EmptyError",
+    "MeteringError",
+    "UnknownOperandError",
+]
+
+
+class MachineError(Exception):
+    """Base class for all PLoC execution errors."""
+
+
+class ComponentError(MachineError):
+    """A component was used in a way its type does not support."""
+
+
+class CapacityError(MachineError):
+    """A transfer would exceed the destination's capacity (overflow)."""
+
+    def __init__(self, message, *, component=None, requested=None, capacity=None):
+        super().__init__(message)
+        self.component = component
+        self.requested = requested
+        self.capacity = capacity
+
+
+class EmptyError(MachineError):
+    """A draw exceeded the fluid available at the source.
+
+    This is the run-time face of the paper's "running out of a fluid"; the
+    executor catches it and triggers regeneration.
+    """
+
+    def __init__(self, message, *, component=None, requested=None, available=None):
+        super().__init__(message)
+        self.component = component
+        self.requested = requested
+        self.available = available
+
+
+class MeteringError(MachineError):
+    """A transfer fell below the pump's least count (underflow)."""
+
+    def __init__(self, message, *, requested=None, least_count=None):
+        super().__init__(message)
+        self.requested = requested
+        self.least_count = least_count
+
+
+class UnknownOperandError(MachineError):
+    """An instruction referenced a component id the machine does not have."""

@@ -1,0 +1,157 @@
+"""Mixture tracking: fluids as exact composition vectors.
+
+A :class:`Mixture` maps *species* (the names of primary input fluids) to the
+volume each contributes.  Mixing merges vectors; drawing a portion splits
+every component proportionally (assays always mix before splitting, so
+homogeneity is a safe model).  Volumes are :class:`fractions.Fraction`
+nanoliters, like everywhere else in the code base, so conservation checks in
+tests are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..core.limits import Number, as_fraction
+
+__all__ = ["Mixture"]
+
+
+@dataclass
+class Mixture:
+    """A volume of (possibly mixed) fluid.
+
+    Invariants: all component volumes are >= 0 and their sum is
+    :attr:`volume`.  The empty mixture has no components.
+    """
+
+    components: Dict[str, Fraction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        clean: Dict[str, Fraction] = {}
+        for species, volume in self.components.items():
+            value = as_fraction(volume)
+            if value < 0:
+                raise ValueError(
+                    f"negative volume {volume} for species {species!r}"
+                )
+            if value > 0:
+                clean[species] = value
+        self.components = clean
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def pure(cls, species: str, volume: Number) -> "Mixture":
+        """A single-species mixture."""
+        return cls({species: as_fraction(volume)})
+
+    @classmethod
+    def empty(cls) -> "Mixture":
+        return cls({})
+
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> Fraction:
+        return sum(self.components.values(), Fraction(0))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.components
+
+    def species(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.components))
+
+    def concentration(self, species: str) -> Fraction:
+        """Volume fraction of ``species`` in the mixture (0 when absent)."""
+        total = self.volume
+        if total == 0:
+            return Fraction(0)
+        return self.components.get(species, Fraction(0)) / total
+
+    def amount(self, species: str) -> Fraction:
+        return self.components.get(species, Fraction(0))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Mixture") -> "Mixture":
+        """The mixture obtained by combining self and other (new object)."""
+        merged = dict(self.components)
+        for species, volume in other.components.items():
+            merged[species] = merged.get(species, Fraction(0)) + volume
+        return Mixture(merged)
+
+    def take(self, volume: Number) -> "Mixture":
+        """Remove ``volume`` proportionally from every component.
+
+        Returns the removed portion as a new mixture; mutates self.
+
+        Raises:
+            ValueError: if more than the available volume is requested.
+        """
+        requested = as_fraction(volume)
+        if requested < 0:
+            raise ValueError(f"cannot take a negative volume ({volume})")
+        total = self.volume
+        if requested > total:
+            raise ValueError(
+                f"cannot take {float(requested)} nl from {float(total)} nl"
+            )
+        if requested == 0:
+            return Mixture.empty()
+        if requested == total:
+            taken = Mixture(dict(self.components))
+            self.components = {}
+            return taken
+        share = requested / total
+        taken: Dict[str, Fraction] = {}
+        remaining: Dict[str, Fraction] = {}
+        for species, amount in self.components.items():
+            part = amount * share
+            taken[species] = part
+            remaining[species] = amount - part
+        self.components = {k: v for k, v in remaining.items() if v > 0}
+        return Mixture(taken)
+
+    def take_all(self) -> "Mixture":
+        return self.take(self.volume)
+
+    def split(self, volumes: Iterable[Number]) -> Tuple["Mixture", ...]:
+        """Split off several portions in sequence (mutates self)."""
+        return tuple(self.take(volume) for volume in volumes)
+
+    def scaled(self, factor: Number) -> "Mixture":
+        """A new mixture with every component scaled by ``factor``."""
+        scale = as_fraction(factor)
+        if scale < 0:
+            raise ValueError("scale factor must be >= 0")
+        return Mixture(
+            {species: amount * scale for species, amount in self.components.items()}
+        )
+
+    def relabelled(self, species: str) -> "Mixture":
+        """Collapse the composition into one new species of equal volume.
+
+        Models chemistry that creates a genuinely new fluid (e.g. an
+        enzymatic digestion): downstream sensing then sees the product, not
+        the ingredients.
+        """
+        return Mixture.pure(species, self.volume)
+
+    # ------------------------------------------------------------------
+    def approx_equal(self, other: Mapping[str, Number], tolerance: Number = 0) -> bool:
+        tol = as_fraction(tolerance)
+        keys = set(self.components) | set(other)
+        return all(
+            abs(self.amount(k) - as_fraction(other.get(k, 0))) <= tol
+            for k in keys
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_empty:
+            return "Mixture(empty)"
+        parts = ", ".join(
+            f"{species}={float(amount):.4g}"
+            for species, amount in sorted(self.components.items())
+        )
+        return f"Mixture({parts}; total={float(self.volume):.4g} nl)"

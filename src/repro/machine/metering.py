@@ -1,0 +1,75 @@
+"""Metering pumps: the least-count quantisation of all fluid transport.
+
+The paper (Section 2.1): "At each end of each channel is a microfluidic
+pump that effects fluid transfer ... by peristalsis.  These pumps may be
+used for accurate volume metering, which is required to handle variable
+volumes.  Further, they impose a discrete, minimum volume transport unit,
+or least count."
+
+:class:`MeteringPump` is the single place where that constraint lives at
+execution time: every transfer must be a positive integer multiple of the
+least count.  Planned volumes that are not (because a plan was not rounded)
+can either be rejected (``strict=True``) or quantised on the fly, mirroring
+the rounding discussion of paper Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.limits import HardwareLimits, Number, as_fraction
+from .errors import MeteringError
+
+__all__ = ["MeteringPump"]
+
+
+@dataclass
+class MeteringPump:
+    """Quantised transfer engine shared by all channels of a machine.
+
+    Attributes:
+        limits: the hardware least count (and capacity, unused here).
+        strict: reject non-multiple volumes instead of quantising them.
+        total_pumped: lifetime volume moved (for trace statistics).
+        transfer_count: number of transfers effected.
+    """
+
+    limits: HardwareLimits
+    strict: bool = False
+    total_pumped: Fraction = Fraction(0)
+    transfer_count: int = 0
+
+    def meter(self, volume: Number) -> Fraction:
+        """Validate/quantise a requested transfer volume.
+
+        Returns the volume that will actually move.
+
+        Raises:
+            MeteringError: if the request is below the least count, or is
+                not a least-count multiple while ``strict``.
+        """
+        requested = as_fraction(volume)
+        least = self.limits.least_count
+        if requested < least:
+            raise MeteringError(
+                f"transfer of {float(requested):.6g} nl is below the least "
+                f"count of {float(least):.6g} nl",
+                requested=requested,
+                least_count=least,
+            )
+        steps = requested / least
+        if steps.denominator == 1:
+            return requested
+        if self.strict:
+            raise MeteringError(
+                f"transfer of {float(requested):.6g} nl is not a multiple "
+                f"of the least count {float(least):.6g} nl",
+                requested=requested,
+                least_count=least,
+            )
+        return self.limits.quantize(requested)
+
+    def record(self, volume: Fraction) -> None:
+        self.total_pumped += volume
+        self.transfer_count += 1

@@ -1,0 +1,86 @@
+"""Separation models: how a separator splits a mixture.
+
+The paper's separations (affinity over a lectin matrix, liquid
+chromatography over C_18, electrophoresis, size) all share the property
+volume management cares about: the *effluent volume is not statically
+known*.  We model the chemistry with pluggable strategies:
+
+* :class:`SpeciesFilter` — retain the listed species at a recovery rate
+  (affinity/LC: the matrix binds specific molecules); everything else goes
+  to waste.
+* :class:`FractionalYield` — retain a fixed fraction of the whole input
+  (a simple stand-in when species-level detail is irrelevant).
+
+Both return exact mixtures, so the simulator can report the measured
+effluent volume that the run-time assigner needs (paper Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Protocol, Tuple
+
+from ..core.limits import Number, as_fraction
+from .fluids import Mixture
+
+__all__ = ["SeparationModel", "FractionalYield", "SpeciesFilter"]
+
+
+class SeparationModel(Protocol):
+    """Strategy: split an input mixture into (effluent, waste)."""
+
+    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+        """Return the effluent and waste mixtures; volumes must sum to the
+        input volume."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FractionalYield:
+    """Retain a fixed volume fraction of the input, composition unchanged."""
+
+    fraction: Fraction
+
+    def __post_init__(self) -> None:
+        value = as_fraction(self.fraction)
+        if not (0 <= value <= 1):
+            raise ValueError(f"yield fraction must be in [0, 1], got {value}")
+        object.__setattr__(self, "fraction", value)
+
+    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+        working = Mixture(dict(mixture.components))
+        effluent = working.take(working.volume * self.fraction)
+        return effluent, working
+
+
+@dataclass(frozen=True)
+class SpeciesFilter:
+    """Retain specific species at a recovery rate; the rest is waste.
+
+    ``recovery`` models imperfect binding: 0.9 keeps 90% of each retained
+    species in the effluent.
+    """
+
+    keep: FrozenSet[str]
+    recovery: Fraction = Fraction(1)
+
+    def __init__(self, keep: Iterable[str], recovery: Number = 1) -> None:
+        object.__setattr__(self, "keep", frozenset(keep))
+        rate = as_fraction(recovery)
+        if not (0 <= rate <= 1):
+            raise ValueError(f"recovery must be in [0, 1], got {rate}")
+        object.__setattr__(self, "recovery", rate)
+
+    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+        effluent = {}
+        waste = {}
+        for species, amount in mixture.components.items():
+            if species in self.keep:
+                kept = amount * self.recovery
+                effluent[species] = kept
+                if amount - kept > 0:
+                    waste[species] = amount - kept
+            else:
+                waste[species] = amount
+        return Mixture(effluent), Mixture(waste)

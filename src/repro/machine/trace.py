@@ -1,0 +1,80 @@
+"""Execution traces: what the wet datapath did, step by step.
+
+Each executed instruction appends a :class:`TraceEvent` carrying the moved
+volumes and any measurement produced.  Benchmarks use traces to count wet
+instructions (the costly resource: "fluidic instructions take seconds to
+execute"), and tests use them to assert conservation of volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed instruction."""
+
+    index: int              # instruction index in the program (or -1 ad hoc)
+    opcode: str
+    text: str               # rendered instruction
+    volume: Optional[Fraction] = None   # volume moved / produced
+    measurement: Optional[Fraction] = None  # sense reading or separation yield
+    note: str = ""
+    #: simulated wet-path wall time this instruction took (0 for dry ops —
+    #: electronic control is "orders of magnitude faster", Section 2.1).
+    seconds: Fraction = Fraction(0)
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.volume is not None:
+            extra += f"  [{float(self.volume):.4g} nl]"
+        if self.measurement is not None:
+            extra += f"  => {float(self.measurement):.6g}"
+        if self.note:
+            extra += f"  ({self.note})"
+        return f"{self.index:4d}: {self.text}{extra}"
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulated events plus summary statistics."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    wet_instruction_count: int = 0
+    dry_instruction_count: int = 0
+    regeneration_count: int = 0
+    total_fluid_moved: Fraction = Fraction(0)
+    #: accumulated simulated fluid-path time.
+    total_seconds: Fraction = Fraction(0)
+
+    def record(self, event: TraceEvent, *, wet: bool) -> None:
+        self.events.append(event)
+        self.total_seconds += event.seconds
+        if wet:
+            self.wet_instruction_count += 1
+            if event.volume is not None:
+                self.total_fluid_moved += event.volume
+        else:
+            self.dry_instruction_count += 1
+
+    def measurements(self) -> Dict[int, Fraction]:
+        return {
+            e.index: e.measurement
+            for e in self.events
+            if e.measurement is not None
+        }
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,25 @@
+"""The run-time system: execution, measurement, and regeneration.
+
+* :mod:`repro.runtime.executor` — run a compiled assay on a
+  :class:`~repro.machine.Machine`, resolving planned volumes (static or
+  per-partition at run time) and falling back to Biostream-style
+  regeneration when a fluid actually runs out;
+* :mod:`repro.runtime.regeneration` — the *no-volume-management* baseline
+  the paper's Table 2 regeneration counts assume, plus slice re-execution;
+* :mod:`repro.runtime.measurement` — the on-line volume measurement log
+  feeding the Section 3.5 run-time assigner.
+"""
+
+from .executor import AssayExecutor, ExecutionResult, PlanResolver, RuntimeResolver
+from .measurement import MeasurementLog
+from .regeneration import NaiveExecutionReport, naive_regeneration_count
+
+__all__ = [
+    "AssayExecutor",
+    "ExecutionResult",
+    "PlanResolver",
+    "RuntimeResolver",
+    "MeasurementLog",
+    "naive_regeneration_count",
+    "NaiveExecutionReport",
+]

@@ -1,0 +1,304 @@
+"""Assay execution: plan resolution, guards, and regeneration fallback.
+
+:class:`AssayExecutor` runs a :class:`~repro.compiler.pipeline.CompiledAssay`
+on a :class:`~repro.machine.Machine`:
+
+* **static assays** resolve every metered move through the rounded
+  compile-time :class:`~repro.core.dagsolve.VolumeAssignment`
+  (:class:`PlanResolver`);
+* **assays with unknown volumes** resolve per partition
+  (:class:`RuntimeResolver`): when the first move of a partition executes,
+  the partition is dispensed on the spot from its precomputed Vnorms and
+  the measurements recorded so far — the Section 3.5 protocol;
+* statements under a dynamic IF guard are skipped unless their branch is
+  the one the sensed condition selected;
+* a move that finds its source exhausted triggers **regeneration**: the
+  backward slice of that location is re-executed (paper Section 1), the
+  trigger is counted, and the move retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.pipeline import CompiledAssay
+from ..core.errors import PartitionError
+from ..core.limits import as_fraction
+from ..core.runtime_assign import RuntimeSession
+from ..ir.instructions import Instruction, Opcode
+from ..ir.slicing import slice_for_location
+from ..lang.ast import BinOp, Compare, Expr, Index, Name, Num
+from ..machine.errors import EmptyError, MachineError
+from ..machine.interpreter import Machine
+from ..machine.trace import ExecutionTrace
+from .measurement import MeasurementLog
+
+__all__ = ["PlanResolver", "RuntimeResolver", "AssayExecutor", "ExecutionResult"]
+
+
+class PlanResolver:
+    """Static case: volumes straight from the rounded assignment."""
+
+    def __init__(self, assignment) -> None:
+        self.assignment = assignment
+
+    def __call__(self, instruction: Instruction) -> Optional[Fraction]:
+        if instruction.edge is not None:
+            return self.assignment.edge_volume.get(instruction.edge)
+        if (
+            instruction.opcode is Opcode.INPUT
+            and "node" in instruction.meta
+        ):
+            return self.assignment.node_volume.get(instruction.meta["node"])
+        return None
+
+
+class RuntimeResolver:
+    """Statically-unknown case: dispense each partition on first touch."""
+
+    def __init__(self, compiled: CompiledAssay) -> None:
+        if compiled.planner is None:
+            raise PartitionError("assay has no runtime planner")
+        self.planner = compiled.planner
+        self.session: RuntimeSession = self.planner.session()
+        partitioned = self.planner.partitioned
+        #: original node id -> partition index
+        self.partition_of: Dict[str, int] = {}
+        #: (source, consumer-partition) -> constrained stub id
+        self.stub_of: Dict[Tuple[str, int], str] = {}
+        for partition in partitioned.partitions:
+            for member in partition.members:
+                self.partition_of[member] = partition.index
+            for spec in partition.constrained:
+                self.stub_of[(spec.source, partition.index)] = spec.node_id
+
+    # ------------------------------------------------------------------
+    def record_measurement(self, node_id: str, volume: Fraction) -> None:
+        if node_id in self.planner.partitioned.measured_sources:
+            self.session.record_measurement(node_id, volume)
+
+    def _assignment_for(self, index: int):
+        if index not in self.session.assignments:
+            missing = self.session.missing_measurements(index)
+            if missing:
+                raise PartitionError(
+                    f"partition {index} dispensed before measurements "
+                    f"{missing} exist; program order violates epochs"
+                )
+            self.session.assign(index)
+        return self.session.assignments[index]
+
+    def __call__(self, instruction: Instruction) -> Optional[Fraction]:
+        if instruction.edge is not None:
+            src, dst = instruction.edge
+            index = self.partition_of.get(dst)
+            if index is None:
+                raise PartitionError(f"node {dst!r} not in any partition")
+            assignment = self._assignment_for(index)
+            key = (src, dst)
+            if key not in assignment.edge_volume:
+                stub = self.stub_of.get((src, index))
+                if stub is None:
+                    raise PartitionError(
+                        f"edge {src}->{dst} absent from partition {index}"
+                    )
+                key = (stub, dst)
+            return assignment.limits.quantize(assignment.edge_volume[key])
+        if instruction.opcode is Opcode.INPUT:
+            # Inputs load before any measurement exists: fill to capacity
+            # (the per-partition plans cap the subsequent draws).
+            return None
+        return None
+
+
+@dataclass
+class ExecutionResult:
+    """What one assay execution produced."""
+
+    machine: Machine
+    trace: ExecutionTrace
+    results: Dict[str, Fraction]
+    measurements: MeasurementLog
+    regenerations: int = 0
+    skipped_guarded: int = 0
+
+    @property
+    def readings(self) -> Dict[str, float]:
+        return {name: float(value) for name, value in self.results.items()}
+
+
+class AssayExecutor:
+    """Drives a compiled assay to completion on a machine."""
+
+    def __init__(
+        self,
+        compiled: CompiledAssay,
+        machine: Optional[Machine] = None,
+        *,
+        measurement_log: Optional[MeasurementLog] = None,
+        allow_regeneration: bool = True,
+        max_regenerations: int = 10_000,
+    ) -> None:
+        self.compiled = compiled
+        self.machine = machine or Machine(compiled.spec)
+        self.measurements = measurement_log or MeasurementLog()
+        self.allow_regeneration = allow_regeneration
+        self.max_regenerations = max_regenerations
+        self.regenerations = 0
+        self.skipped_guarded = 0
+        self._bind_ports()
+        if compiled.is_static:
+            if compiled.assignment is None:
+                raise MachineError(
+                    "compiled assay has no volume assignment to execute"
+                )
+            self.resolver = PlanResolver(compiled.assignment)
+        else:
+            self.resolver = RuntimeResolver(compiled)
+
+    # ------------------------------------------------------------------
+    def _bind_ports(self) -> None:
+        bound = set()
+        for instruction in self.compiled.program:
+            if instruction.opcode is not Opcode.INPUT:
+                continue
+            port = instruction.src.base
+            if port in bound:
+                continue
+            species = instruction.meta.get("node") or instruction.meta.get("aux")
+            if species is None:
+                species = instruction.comment or port
+            # replicas draw the same underlying species as their original
+            base_species = str(species).split(".rep")[0]
+            self.machine.bind_port(port, base_species)
+            bound.add(port)
+
+    # ------------------------------------------------------------------
+    def _guard_allows(self, instruction: Instruction) -> bool:
+        guard = instruction.meta.get("guard")
+        if guard is None:
+            return True
+        condition_id, wanted = guard
+        flat = self.compiled.flat
+        if flat is None or condition_id not in flat.dynamic_condition_exprs:
+            return True  # no way to evaluate; run conservatively
+        verdict = self._eval_condition(
+            flat.dynamic_condition_exprs[condition_id]
+        )
+        if verdict is None:
+            return True
+        return bool(verdict) == wanted
+
+    def _eval_condition(self, expression: Expr) -> Optional[bool]:
+        value = self._eval_expr(expression)
+        return None if value is None else bool(value)
+
+    def _eval_expr(self, expression: Expr):
+        if isinstance(expression, Num):
+            return expression.value
+        if isinstance(expression, Name):
+            return self.machine.results.get(expression.ident)
+        if isinstance(expression, Index):
+            flat_name = expression.base + "".join(
+                f"[{self._eval_expr(i)}]" for i in expression.indices
+            )
+            return self.machine.results.get(flat_name)
+        if isinstance(expression, BinOp):
+            left = self._eval_expr(expression.left)
+            right = self._eval_expr(expression.right)
+            if left is None or right is None:
+                return None
+            return {
+                "+": left + right,
+                "-": left - right,
+                "*": left * right,
+                "/": left / right if right else None,
+            }[expression.op]
+        if isinstance(expression, Compare):
+            left = self._eval_expr(expression.left)
+            right = self._eval_expr(expression.right)
+            if left is None or right is None:
+                return None
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+            }[expression.op]
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        program = self.compiled.program
+        for index, instruction in enumerate(program):
+            sense_guard = instruction.meta.get("guard")
+            if sense_guard is not None and not self._guard_allows(instruction):
+                self.skipped_guarded += 1
+                continue
+            self._execute_with_regeneration(index, instruction)
+        return ExecutionResult(
+            machine=self.machine,
+            trace=self.machine.trace,
+            results=dict(self.machine.results),
+            measurements=self.measurements,
+            regenerations=self.regenerations,
+            skipped_guarded=self.skipped_guarded,
+        )
+
+    def _execute_with_regeneration(
+        self, index: int, instruction: Instruction
+    ) -> None:
+        attempts = 0
+        while True:
+            try:
+                measurement = self.machine.execute(
+                    instruction, resolver=self.resolver, index=index
+                )
+            except EmptyError as error:
+                if not self.allow_regeneration:
+                    raise
+                attempts += 1
+                if (
+                    attempts > 8
+                    or self.regenerations >= self.max_regenerations
+                ):
+                    raise MachineError(
+                        f"regeneration could not satisfy instruction "
+                        f"{index} ({instruction.render()}): {error}"
+                    ) from error
+                self._regenerate(index, error)
+                continue
+            break
+        if measurement is not None and instruction.opcode is Opcode.SEPARATE:
+            node_id = instruction.meta.get("node")
+            if node_id is not None:
+                reported = self.measurements.record(node_id, measurement)
+                if isinstance(self.resolver, RuntimeResolver):
+                    self.resolver.record_measurement(node_id, reported)
+
+    def _regenerate(self, index: int, error: EmptyError) -> None:
+        """Re-execute the backward slice producing the exhausted location."""
+        location = error.component
+        if location is None:
+            raise MachineError(f"cannot regenerate: {error}") from error
+        slice_indices = slice_for_location(
+            self.compiled.program.instructions, location, index
+        )
+        if not slice_indices:
+            raise MachineError(
+                f"no producing slice found for {location!r}; cannot "
+                "regenerate"
+            ) from error
+        self.regenerations += 1
+        self.machine.trace.regeneration_count += 1
+        for slice_index in slice_indices:
+            instruction = self.compiled.program[slice_index]
+            if not self._guard_allows(instruction):
+                continue
+            self.machine.execute(
+                instruction, resolver=self.resolver, index=slice_index
+            )

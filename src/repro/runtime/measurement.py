@@ -1,0 +1,47 @@
+"""On-line volume measurement log (paper Section 3.5).
+
+Operations flagged as unknown-volume are measured at run time "(e.g., using
+an opcode variant)" [paper, citing Gomez et al.'s impedance spectroscopy].
+In our AquaCore model the measurement is the separator's reported effluent
+volume; :class:`MeasurementLog` records them in order, optionally applying
+a perturbation — tests use that to model measurement noise or low-yield
+separations and to exercise the regeneration path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.limits import Number, as_fraction
+
+__all__ = ["MeasurementLog"]
+
+#: optional hook: (node id, true volume) -> reported volume.
+Perturbation = Callable[[str, Fraction], Fraction]
+
+
+@dataclass
+class MeasurementLog:
+    """Ordered record of run-time volume measurements."""
+
+    perturb: Optional[Perturbation] = None
+    entries: List[Tuple[str, Fraction]] = field(default_factory=list)
+
+    def record(self, node_id: str, volume: Number) -> Fraction:
+        """Record a measurement; returns the (possibly perturbed) reading."""
+        value = as_fraction(volume)
+        if self.perturb is not None:
+            value = as_fraction(self.perturb(node_id, value))
+        if value < 0:
+            raise ValueError(f"measured volume for {node_id!r} is negative")
+        self.entries.append((node_id, value))
+        return value
+
+    def latest(self) -> Dict[str, Fraction]:
+        """Most recent reading per node."""
+        return dict(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,81 @@
+"""Synthetic-generator tests."""
+
+import pytest
+
+from repro.core.dagsolve import compute_vnorms
+from repro.assays import generators
+
+
+class TestSerialDilution:
+    def test_chain_length(self):
+        dag = generators.serial_dilution(5)
+        mixes = [
+            n for n in dag.node_ids() if n.startswith("dil") and n != "diluent"
+        ]
+        assert len(mixes) == 5
+
+    def test_last_stage_is_output(self):
+        dag = generators.serial_dilution(3)
+        assert [n.id for n in dag.outputs()] == ["dil3"]
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            generators.serial_dilution(0)
+
+
+class TestBinaryMixTree:
+    def test_node_counts(self):
+        dag = generators.binary_mix_tree(3)
+        assert len(dag.inputs()) == 8
+        assert len(dag.outputs()) == 1
+
+    def test_balanced_vnorms(self):
+        dag = generators.binary_mix_tree(3)
+        vnorms = compute_vnorms(dag)
+        inputs = [vnorms.node_vnorm[n.id] for n in dag.inputs()]
+        assert len(set(inputs)) == 1  # perfectly symmetric
+
+
+class TestFanoutChain:
+    def test_stock_use_count(self):
+        dag = generators.fanout_chain(7)
+        assert dag.out_degree("stock") == 7
+
+    def test_chain_depth(self):
+        dag = generators.fanout_chain(2, chain=3)
+        assert "mix0.step2" in dag.node_ids()
+
+
+class TestLayeredRandom:
+    def test_reproducible(self):
+        first = generators.layered_random_dag(4, 3, 3, seed=7)
+        second = generators.layered_random_dag(4, 3, 3, seed=7)
+        assert first.node_ids() == second.node_ids()
+        assert [
+            (e.src, e.dst, e.fraction) for e in first.edges()
+        ] == [(e.src, e.dst, e.fraction) for e in second.edges()]
+
+    def test_different_seeds_differ(self):
+        first = generators.layered_random_dag(4, 3, 3, seed=7)
+        second = generators.layered_random_dag(4, 3, 3, seed=8)
+        assert [
+            (e.src, e.dst) for e in first.edges()
+        ] != [(e.src, e.dst) for e in second.edges()]
+
+    def test_valid_dags(self):
+        for seed in range(5):
+            dag = generators.layered_random_dag(
+                5, 4, 3, seed=seed, separator_probability=0.2
+            )
+            dag.validate()
+            compute_vnorms(dag)  # must be solvable
+
+    def test_every_input_used(self):
+        dag = generators.layered_random_dag(8, 2, 2, seed=3)
+        used = {e.src for e in dag.edges()}
+        for node in dag.inputs():
+            assert node.id in used or dag.out_degree(node.id) > 0
+
+    def test_enzyme_n_alias(self):
+        dag = generators.enzyme_n(3)
+        assert dag.name == "enzyme3"

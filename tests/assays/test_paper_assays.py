@@ -1,0 +1,102 @@
+"""Benchmark-assay sanity tests: hand-built DAGs match their documented
+expectations and their language sources."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.limits import PAPER_LIMITS
+from repro.assays import enzyme, glucose, glycomics, paper_example
+
+
+class TestPaperExample:
+    def test_shape(self):
+        dag = paper_example.build_dag()
+        assert dag.node_count == 7
+        assert dag.edge_count == 8
+
+    def test_expected_tables_consistent(self):
+        """The module's EXPECTED_* constants are mutually consistent."""
+        vnorms = paper_example.EXPECTED_VNORMS
+        maximum = max(vnorms.values())
+        for node, volume in paper_example.EXPECTED_VOLUMES.items():
+            assert volume == Fraction(100) * vnorms[node] / maximum
+
+    def test_source_compiles_to_same_dag(self):
+        from repro.lang.parser import parse
+        from repro.lang.unroll import unroll
+        from repro.ir.builder import build_dag_from_flat
+
+        dag = build_dag_from_flat(unroll(parse(paper_example.SOURCE)))
+        reference = paper_example.build_dag()
+        assert {n.id for n in dag.nodes()} == {
+            n.id for n in reference.nodes()
+        }
+        for edge in reference.edges():
+            assert dag.edge(edge.src, edge.dst).fraction == edge.fraction
+
+
+class TestGlucose:
+    def test_mix_ratios_table(self):
+        dag = glucose.build_dag()
+        assert dag.node("d").ratio == (1, 8)
+        assert dag.node("e").ratio == (1, 1)
+
+    def test_reagent_most_used(self):
+        vnorms = compute_vnorms(glucose.build_dag())
+        assert max(vnorms.node_vnorm, key=vnorms.node_vnorm.get) == "Reagent"
+
+
+class TestGlycomics:
+    def test_three_unknown_separations(self):
+        dag = glycomics.build_dag()
+        unknown = [n.id for n in dag.nodes() if n.unknown_volume]
+        assert sorted(unknown) == list(glycomics.SEPARATORS)
+
+    def test_buffer3a_used_twice(self):
+        dag = glycomics.build_dag()
+        assert dag.out_degree("buffer3a") == 2
+
+    def test_three_way_permethylation_mix(self):
+        dag = glycomics.build_dag()
+        assert dag.node("mix4").ratio == (1, 100, 1)
+
+
+class TestEnzyme:
+    def test_dilution_ratios(self):
+        assert enzyme.dilution_ratios(4) == [1, 9, 99, 999]
+        assert enzyme.dilution_ratios(6) == [1, 9, 99, 999, 9999, 99999]
+
+    def test_each_dilution_used_16_times(self):
+        dag = enzyme.build_dag()
+        for reagent in enzyme.REAGENTS:
+            for i in range(1, 5):
+                assert dag.out_degree(f"{reagent}.dil{i}") == 16
+
+    def test_diluent_used_12_times(self):
+        assert enzyme.build_dag().out_degree("diluent") == 12
+
+    def test_combination_count_scales_cubically(self):
+        for n in (2, 3):
+            dag = enzyme.build_dag(n)
+            mixes = [
+                node
+                for node in dag.nodes()
+                if node.id.startswith("combo") and not node.id.endswith(".inc")
+            ]
+            assert len(mixes) == n ** 3
+
+    def test_expected_constants(self):
+        dag = enzyme.build_dag()
+        assignment = dagsolve(dag, PAPER_LIMITS)
+        assert (
+            assignment.vnorms.node_vnorm["diluent"]
+            == enzyme.EXPECTED_DILUENT_VNORM
+        )
+        assert round(float(enzyme.EXPECTED_DILUENT_VNORM), 1) == 54.2
+        assert round(float(enzyme.EXPECTED_MIN_VOLUME_NL) * 1000, 1) == 9.8
+
+    def test_min_dilution_count(self):
+        with pytest.raises(ValueError):
+            enzyme.build_dag(0)

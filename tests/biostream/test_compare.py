@@ -1,0 +1,98 @@
+"""AIS-vs-Biostream cost comparison tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.biostream.compare import ais_mix_cost, biostream_mix_cost
+from repro.core.dag import AssayDAG
+from repro.assays import enzyme, glucose, paper_example
+
+
+class TestAISCost:
+    def test_one_mix_per_node(self, glucose_dag):
+        cost = ais_mix_cost(glucose_dag)
+        assert cost.mix_operations == 5
+        assert cost.discarded_units == 0
+
+    def test_cascade_stages_counted(self):
+        from repro.core.cascading import cascade_mix, stage_factors
+
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 999})
+        cascaded, __ = cascade_mix(
+            dag, "M", stage_factors(Fraction(1000), 3)
+        )
+        cost = ais_mix_cost(cascaded)
+        assert cost.mix_operations == 3
+        assert cost.discarded_units == 2  # the two excess intermediates
+
+
+class TestBiostreamCost:
+    def test_pure_1_1_mix_costs_one(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 1})
+        cost = biostream_mix_cost(dag)
+        assert cost.mix_operations == 1
+        assert cost.discarded_units == 0
+
+    def test_skewed_mix_needs_tree(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 9})
+        cost = biostream_mix_cost(dag)
+        assert cost.mix_operations > 1
+        assert cost.worst_error <= Fraction(1, 50)
+
+    def test_three_way_mix_two_stages(self):
+        dag = AssayDAG()
+        for name in "ABC":
+            dag.add_input(name)
+        dag.add_mix("M", {"A": 1, "B": 1, "C": 2})
+        cost = biostream_mix_cost(dag)
+        # stage 1: A+B at 1:1 (one mix); stage 2: AB vs C at 1:1 (one mix)
+        assert cost.mix_operations == 2
+
+    def test_tolerance_controls_cost(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 99})
+        loose = biostream_mix_cost(dag, Fraction(1, 10))
+        tight = biostream_mix_cost(dag, Fraction(1, 1000))
+        assert tight.mix_operations > loose.mix_operations
+
+
+class TestPaperComparison:
+    @pytest.mark.parametrize(
+        "builder",
+        [glucose.build_dag, enzyme.build_dag, paper_example.build_dag],
+    )
+    def test_ais_cheaper_on_paper_assays(self, builder):
+        """The Section 3.4.1 claim: fixed-ratio mixing pays cascading on
+        every non-1:1 mix, AIS only on extreme ratios."""
+        dag = builder()
+        ais = ais_mix_cost(dag)
+        biostream = biostream_mix_cost(dag)
+        assert ais.mix_operations <= biostream.mix_operations
+        assert ais.discarded_units <= biostream.discarded_units
+
+    def test_enzyme_gap_is_large(self):
+        dag = enzyme.build_dag()
+        ais = ais_mix_cost(dag)
+        biostream = biostream_mix_cost(dag)
+        # 64 combination mixes each decompose into 2 stages, and every
+        # dilution needs a tree: at least 2x the wet mixing work.
+        assert biostream.mix_operations >= 2 * ais.mix_operations
+        assert biostream.discarded_units > 0
+
+    def test_per_node_breakdown_complete(self, glucose_dag):
+        cost = biostream_mix_cost(glucose_dag)
+        assert set(cost.per_node) == {"a", "b", "c", "d", "e"}
+        total = sum(m for m, __ in cost.per_node.values())
+        assert total == cost.mix_operations

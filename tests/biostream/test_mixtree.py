@@ -1,0 +1,87 @@
+"""Binary mixing-tree tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.biostream.mixtree import (
+    bits_for_tolerance,
+    one_to_one_plan,
+)
+
+
+class TestPlanConstruction:
+    def test_half_is_one_mix(self):
+        plan = one_to_one_plan(Fraction(1, 2), bits=4)
+        assert plan.mix_count == 1
+        assert plan.achieved == Fraction(1, 2)
+        assert plan.error == 0
+
+    def test_exact_binary_fraction(self):
+        plan = one_to_one_plan(Fraction(5, 8), bits=3)
+        assert plan.achieved == Fraction(5, 8)
+        assert plan.mix_count == 3
+        # LSB first: 101 -> sample, buffer, sample
+        assert [s.ingredient for s in plan.steps] == [
+            "sample",
+            "buffer",
+            "sample",
+        ]
+
+    def test_concentration_recurrence(self):
+        plan = one_to_one_plan(Fraction(5, 8), bits=3)
+        assert [s.concentration_after for s in plan.steps] == [
+            Fraction(1, 2),
+            Fraction(1, 4),
+            Fraction(5, 8),
+        ]
+
+    def test_dilute_target_skips_leading_noops(self):
+        # 1/16 = 0001b: one sample fold then three buffer folds = 4 mixes
+        plan = one_to_one_plan(Fraction(1, 16), bits=4)
+        assert plan.mix_count == 4
+        assert plan.achieved == Fraction(1, 16)
+        # but 3/4 at 8 bits costs only 2 (the 6 LSB zeros are no-ops)
+        short = one_to_one_plan(Fraction(3, 4), bits=8)
+        assert short.mix_count == 2
+
+    def test_error_bound(self):
+        target = Fraction(1, 3)
+        for bits in (3, 5, 8, 12):
+            plan = one_to_one_plan(target, bits)
+            assert plan.error <= Fraction(1, 2 ** (bits + 1))
+
+    def test_pure_targets_cost_nothing(self):
+        assert one_to_one_plan(Fraction(0), bits=4).mix_count == 0
+        assert one_to_one_plan(Fraction(1), bits=4).mix_count == 0
+
+    def test_discard_accounting(self):
+        plan = one_to_one_plan(Fraction(5, 8), bits=3)
+        assert plan.discarded_units == 2  # all but the final product
+        assert plan.sample_units == 2
+        assert plan.buffer_units == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            one_to_one_plan(Fraction(3, 2), bits=4)
+        with pytest.raises(ValueError):
+            one_to_one_plan(Fraction(1, 2), bits=0)
+
+
+class TestBitsForTolerance:
+    def test_tight_targets_need_more_bits(self):
+        loose = bits_for_tolerance(Fraction(1, 2), Fraction(1, 50))
+        tight = bits_for_tolerance(Fraction(1, 1000), Fraction(1, 50))
+        assert tight > loose
+
+    def test_bound_is_sufficient(self):
+        for target in (Fraction(1, 3), Fraction(1, 10), Fraction(1, 100)):
+            bits = bits_for_tolerance(target, Fraction(1, 50))
+            plan = one_to_one_plan(target, bits)
+            assert plan.relative_error <= Fraction(1, 50)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for_tolerance(Fraction(0), Fraction(1, 50))
+        with pytest.raises(ValueError):
+            bits_for_tolerance(Fraction(1, 2), 0)

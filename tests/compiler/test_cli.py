@@ -1,0 +1,128 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.assays import glucose, glycomics
+
+
+@pytest.fixture
+def glucose_file(tmp_path):
+    path = tmp_path / "glucose.fluid"
+    path.write_text(glucose.SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def glycomics_file(tmp_path):
+    path = tmp_path / "glycomics.fluid"
+    path.write_text(glycomics.SOURCE)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_assay(self, glucose_file, capsys):
+        assert main(["check", glucose_file]) == 0
+        out = capsys.readouterr().out
+        assert "glucose: OK" in out
+        assert "10 wet operations" in out
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fluid"
+        bad.write_text("ASSAY x\nSTART\nfluid a\nEND\n")  # missing ';'
+        assert main(["check", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.fluid"]) == 2
+
+
+class TestDag:
+    def test_listing(self, glucose_file, capsys):
+        assert main(["dag", glucose_file]) == 0
+        out = capsys.readouterr().out
+        assert "8 nodes" in out
+        assert "Glucose" in out
+
+    def test_dot(self, glucose_file, capsys):
+        assert main(["dag", glucose_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestPlan:
+    def test_static_plan(self, glucose_file, capsys):
+        assert main(["plan", glucose_file]) == 0
+        out = capsys.readouterr().out
+        assert "dagsolve" in out
+        assert "Reagent: 100" in out
+
+    def test_runtime_plan(self, glycomics_file, capsys):
+        assert main(["plan", glycomics_file]) == 0
+        out = capsys.readouterr().out
+        assert "4 partitions" in out
+        assert "share 1/2, 50 nl" in out
+
+    def test_hierarchy_toggles(self, glucose_file, capsys):
+        assert main(["plan", glucose_file, "--no-lp", "--no-cascade"]) == 0
+
+
+class TestCompile:
+    def test_listing_emitted(self, glucose_file, capsys):
+        assert main(["compile", glucose_file]) == 0
+        out = capsys.readouterr().out
+        assert "glucose{" in out
+        assert "sense.OD sensor2, Result[5]" in out
+
+    def test_machine_selection(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--machine", "aquacore-xl"]) == 0
+
+    def test_rolled_listing(self, tmp_path, capsys):
+        from repro.assays import enzyme
+
+        path = tmp_path / "enzyme.fluid"
+        path.write_text(enzyme.SOURCE)
+        assert main(["compile", str(path), "--rolled"]) == 0
+        out = capsys.readouterr().out
+        assert "loop0: index i: 1->4" in out
+        assert "move s5(i), mixer1" in out
+
+
+class TestRun:
+    def test_readings(self, glucose_file, capsys):
+        code = main(["run", glucose_file, "--coeff", "Glucose=2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regenerations: 0" in out
+        assert "Result[1] = 1" in out
+
+    def test_separation_models(self, glycomics_file, capsys):
+        code = main(
+            [
+                "run",
+                glycomics_file,
+                "--sep-yield",
+                "separator1=0.4",
+                "--sep-yield",
+                "separator2=0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured volumes:" in out
+
+    def test_trace_flag(self, glucose_file, capsys):
+        assert main(["run", glucose_file, "--trace", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "input s1, ip1" in out
+
+    def test_bad_coeff_syntax(self, glucose_file):
+        with pytest.raises(SystemExit):
+            main(["run", glucose_file, "--coeff", "Glucose"])
+
+
+class TestBenchRegen:
+    def test_glucose_count(self, glucose_file, capsys):
+        assert main(["bench-regen", glucose_file]) == 0
+        out = capsys.readouterr().out
+        assert "regenerations without volume management: 2" in out
+        assert "Reagent: 2" in out

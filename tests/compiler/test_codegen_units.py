@@ -1,0 +1,148 @@
+"""Unit-management edge cases in the code generator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compiler.codegen import CodegenError, generate
+from repro.core.dag import AssayDAG
+from repro.ir.instructions import Opcode
+from repro.machine.spec import AQUACORE_SPEC, FunctionalUnitSpec, MachineSpec
+
+
+def single_mixer_spec():
+    return MachineSpec(
+        name="one-mixer",
+        limits=AQUACORE_SPEC.limits,
+        n_reservoirs=12,
+        n_input_ports=12,
+        n_output_ports=2,
+        functional_units=(
+            FunctionalUnitSpec("mixer1", "mixer"),
+            FunctionalUnitSpec("heater1", "heater"),
+            FunctionalUnitSpec("sensor2", "sensor", senses=("OD",)),
+        ),
+    )
+
+
+class TestSpentOccupantDiscard:
+    def test_consecutive_leaf_mixes_on_one_mixer(self):
+        """Two final products competing for a single mixer: the first
+        (never sensed, never consumed) is discarded to make room."""
+        dag = AssayDAG("two-leaves")
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("m1", {"A": 1, "B": 1})
+        dag.add_mix("m2", {"A": 1, "B": 2})
+        program, __ = generate(dag, single_mixer_spec())
+        discards = [
+            i for i in program.instructions if i.meta.get("discard") == "m1"
+        ]
+        assert len(discards) == 1
+        assert discards[0].opcode is Opcode.OUTPUT
+
+    def test_sensed_leaves_not_discarded(self):
+        """With sensing, the product leaves the mixer into the sensor cell,
+        so no discard is needed (the glucose pattern)."""
+        dag = AssayDAG("sensed")
+        dag.add_input("A")
+        dag.add_input("B")
+        m1 = dag.add_mix("m1", {"A": 1, "B": 1})
+        m1.meta["senses"] = [{"mode": "OD", "result": "r1"}]
+        m2 = dag.add_mix("m2", {"A": 1, "B": 2})
+        m2.meta["senses"] = [{"mode": "OD", "result": "r2"}]
+        program, __ = generate(dag, single_mixer_spec())
+        assert not any("discard" in i.meta for i in program.instructions)
+
+
+class TestResidueDiscard:
+    def test_unit_resident_mix_ingredient_flushes_residue(self):
+        """A mix consuming a unit-resident fluid uses a metered move and
+        flushes the source unit afterwards."""
+        dag = AssayDAG("chain")
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_input("C")
+        dag.add_mix("m1", {"A": 1, "B": 1})
+        dag.add_mix("m2", {"m1": 1, "C": 1})
+        program, __ = generate(dag, AQUACORE_SPEC)
+        residues = [
+            i for i in program.instructions if i.meta.get("residue") == "m1"
+        ]
+        moves = program.moves_for_edge(("m1", "m2"))
+        assert len(moves) == 1  # metered, not in place
+        assert len(residues) == 1
+
+    def test_unary_in_place_consumption_no_move(self):
+        """A heat step consuming the mixer's product in the heater... the
+        other way round: heat-to-heat chains stay in the heater with no
+        intervening move."""
+        dag = AssayDAG("heatchain")
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("m", {"A": 1, "B": 1})
+        dag.add_unary("h1", "m")
+        dag.add_unary("h2", "h1")
+        program, __ = generate(dag, AQUACORE_SPEC)
+        # h2 consumes h1 in place: no move carries the (h1, h2) edge
+        assert program.moves_for_edge(("h1", "h2")) == []
+        assert program.moves_for_edge(("m", "h1")) != []
+
+
+class TestUnitExhaustion:
+    def test_all_units_live_raises(self):
+        """Two live unit-resident fluids with interleaved consumption on a
+        one-mixer machine cannot be scheduled."""
+        dag = AssayDAG("clash")
+        dag.add_input("A")
+        dag.add_input("B")
+        # m1 is used TWICE with its uses far apart, so it cannot be
+        # storage-less; but give the allocator no reservoirs to park it.
+        tiny = MachineSpec(
+            name="tiny",
+            limits=AQUACORE_SPEC.limits,
+            n_reservoirs=2,  # both taken by the inputs
+            n_input_ports=4,
+            n_output_ports=1,
+            functional_units=(
+                FunctionalUnitSpec("mixer1", "mixer"),
+                FunctionalUnitSpec("heater1", "heater"),
+            ),
+        )
+        dag.add_mix("m1", {"A": 1, "B": 1})
+        dag.add_mix("m2", {"m1": 1, "A": 1})
+        dag.add_mix("m3", {"m1": 1, "B": 1})
+        from repro.ir.regalloc import AllocationError
+
+        with pytest.raises((AllocationError, CodegenError)):
+            generate(dag, tiny)
+
+
+class TestAuxRefills:
+    def test_each_reuse_emits_refill(self):
+        dag = AssayDAG("sep2x")
+        dag.add_input("A")
+        dag.add_input("B")
+        from repro.core.dag import NodeKind
+
+        s1 = dag.add_unary(
+            "s1",
+            "A",
+            kind=NodeKind.SEPARATE,
+            output_fraction=Fraction(1, 2),
+        )
+        s1.meta.update({"mode": "LC", "matrix": "C18", "pusher": "buf"})
+        s2 = dag.add_unary(
+            "s2",
+            "B",
+            kind=NodeKind.SEPARATE,
+            output_fraction=Fraction(1, 2),
+        )
+        s2.meta.update({"mode": "LC", "matrix": "C18", "pusher": "buf"})
+        program, __ = generate(dag, AQUACORE_SPEC, aux_fluids=["C18", "buf"])
+        refills = [
+            i
+            for i in program.instructions
+            if i.opcode is Opcode.INPUT and "refill" in (i.comment or "")
+        ]
+        assert len(refills) == 2  # one per fluid for the second separation

@@ -1,0 +1,31 @@
+"""Diagnostic-sink tests."""
+
+from repro.compiler.diagnostics import Diagnostic, DiagnosticSink, Severity
+
+
+class TestSink:
+    def test_levels(self):
+        sink = DiagnosticSink()
+        sink.note("a", "note text")
+        sink.warning("b", "warning text", node="K")
+        assert len(sink) == 2
+        assert not sink.has_errors
+        sink.error("c", "error text")
+        assert sink.has_errors
+
+    def test_render(self):
+        sink = DiagnosticSink()
+        sink.warning("underflow-risk", "tiny Vnorm", node="X2")
+        text = sink.render()
+        assert "warning: underflow-risk" in text
+        assert "[X2]" in text
+
+    def test_iteration_order(self):
+        sink = DiagnosticSink()
+        sink.note("one", "1")
+        sink.note("two", "2")
+        assert [d.code for d in sink] == ["one", "two"]
+
+    def test_diagnostic_str_without_node(self):
+        diagnostic = Diagnostic(Severity.NOTE, "x", "message")
+        assert str(diagnostic) == "note: x: message"

@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's hardware limits and benchmark DAGs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.limits import PAPER_LIMITS, HardwareLimits
+from repro.assays import enzyme, glucose, glycomics, paper_example
+
+
+@pytest.fixture
+def limits() -> HardwareLimits:
+    """The paper's evaluation configuration: 100 nl max, 100 pl least count."""
+    return PAPER_LIMITS
+
+
+@pytest.fixture
+def coarse_limits() -> HardwareLimits:
+    """A deliberately coarse machine (max 100, least count 1) matching the
+    introductory 1:399 example."""
+    return HardwareLimits(max_capacity=Fraction(100), least_count=Fraction(1))
+
+
+@pytest.fixture
+def fig2_dag():
+    return paper_example.build_dag()
+
+
+@pytest.fixture
+def glucose_dag():
+    return glucose.build_dag()
+
+
+@pytest.fixture
+def glycomics_dag():
+    return glycomics.build_dag()
+
+
+@pytest.fixture
+def enzyme_dag():
+    return enzyme.build_dag()

@@ -1,0 +1,167 @@
+"""Cascading tests (paper Section 3.4.1, Figure 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cascading import (
+    cascade_extreme_mixes,
+    cascade_mix,
+    find_extreme_mixes,
+    is_extreme_mix,
+    stage_factors,
+)
+from repro.core.dag import AssayDAG, NodeKind
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.errors import DagError, RatioError, ResourceExhaustedError
+from repro.core.limits import HardwareLimits
+
+
+def skewed_dag(ratio: int) -> AssayDAG:
+    dag = AssayDAG(f"skew{ratio}")
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_mix("M", {"A": 1, "B": ratio})
+    return dag
+
+
+class TestExtremeDetection:
+    def test_1_999_extreme_at_paper_limits(self, limits):
+        assert is_extreme_mix(skewed_dag(999), "M", limits)
+
+    def test_1_99_not_extreme_at_paper_limits(self, limits):
+        assert not is_extreme_mix(skewed_dag(99), "M", limits)
+
+    def test_1_399_extreme_on_coarse_hardware(self, coarse_limits):
+        """The introduction's example: 1:399 with range 100."""
+        assert is_extreme_mix(skewed_dag(399), "M", coarse_limits)
+
+    def test_inputs_not_extreme(self, limits):
+        dag = skewed_dag(999)
+        assert not is_extreme_mix(dag, "A", limits)
+
+    def test_find_extreme_mixes_enzyme(self, enzyme_dag, limits):
+        extremes = find_extreme_mixes(enzyme_dag, limits)
+        assert sorted(extremes) == [
+            "enzyme.dil4",
+            "inhibitor.dil4",
+            "substrate.dil4",
+        ]
+
+
+class TestStageFactors:
+    def test_paper_example_1000_three_stages(self):
+        """1:999 -> three 1:9 mixes (Figure 14)."""
+        assert stage_factors(Fraction(1000), 3) == [10, 10, 10]
+
+    def test_paper_example_400_two_stages(self):
+        """1:399 -> 1:19 followed by 1:19 (the abstract's example)."""
+        assert stage_factors(Fraction(400), 2) == [20, 20]
+
+    def test_paper_example_100_two_stages(self):
+        """1:99 -> 1:9 then 1:9 (Figure 7)."""
+        assert stage_factors(Fraction(100), 2) == [10, 10]
+
+    def test_product_is_exact_for_ragged_factor(self):
+        factors = stage_factors(Fraction(1000), 2)
+        product = Fraction(1)
+        for factor in factors:
+            product *= factor
+        assert product == 1000
+
+    def test_rejects_trivial_factor(self):
+        with pytest.raises(RatioError):
+            stage_factors(Fraction(1), 2)
+
+    def test_depth_one_identity(self):
+        assert stage_factors(Fraction(50), 1) == [50]
+
+
+class TestCascadeMix:
+    def test_figure7_structure(self, limits):
+        """1:99 -> two 1:9 stages with a 9/10 excess at the intermediate."""
+        dag = skewed_dag(99)
+        cascaded, report = cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+        assert report.depth == 2
+        (intermediate,) = report.intermediate_ids
+        node = cascaded.node(intermediate)
+        assert node.excess_fraction == Fraction(9, 10)
+        assert cascaded.edge("A", intermediate).fraction == Fraction(1, 10)
+        assert cascaded.edge("B", intermediate).fraction == Fraction(9, 10)
+        assert cascaded.edge(intermediate, "M").fraction == Fraction(1, 10)
+        assert cascaded.edge("B", "M").fraction == Fraction(9, 10)
+        excess_nodes = cascaded.excess_nodes()
+        assert len(excess_nodes) == 1
+        cascaded.validate()
+
+    def test_original_dag_untouched(self, limits):
+        dag = skewed_dag(99)
+        cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+        assert dag.edge("A", "M").fraction == Fraction(1, 100)
+
+    def test_downstream_consumers_preserved(self, limits):
+        dag = skewed_dag(99)
+        dag.add_unary("H", "M")
+        cascaded, __ = cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+        assert cascaded.has_edge("M", "H")
+
+    def test_intermediate_vnorm_equals_final(self, limits):
+        """Paper: 'Each of the newly-created intermediate nodes is assigned
+        a Vnorm ... equal to that of the original extreme ratio node.'"""
+        dag = skewed_dag(999)
+        cascaded, report = cascade_mix(
+            dag, "M", [Fraction(10), Fraction(10), Fraction(10)]
+        )
+        vnorms = compute_vnorms(cascaded)
+        for intermediate in report.intermediate_ids:
+            assert vnorms.node_vnorm[intermediate] == vnorms.node_vnorm["M"]
+
+    def test_wrong_factor_product_rejected(self):
+        dag = skewed_dag(99)
+        with pytest.raises(RatioError):
+            cascade_mix(dag, "M", [Fraction(10), Fraction(5)])
+
+    def test_no_excess_flag_blocks_cascading(self):
+        dag = skewed_dag(99)
+        dag.node("M").no_excess = True
+        with pytest.raises(DagError):
+            cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+
+    def test_one_to_one_mix_rejected(self):
+        dag = skewed_dag(1)
+        with pytest.raises(RatioError):
+            cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+
+    def test_three_way_mix_rejected(self):
+        dag = AssayDAG()
+        for name in "ABC":
+            dag.add_input(name)
+        dag.add_mix("M", {"A": 1, "B": 1000, "C": 1})
+        with pytest.raises(RatioError):
+            cascade_mix(dag, "M", [Fraction(10), Fraction(10)])
+
+
+class TestCascadeExtremeMixes:
+    def test_fixes_coarse_1_399(self, coarse_limits):
+        dag = skewed_dag(399)
+        assert not dagsolve(dag, coarse_limits).feasible
+        cascaded, reports = cascade_extreme_mixes(dag, coarse_limits)
+        assert len(reports) == 1
+        assert dagsolve(cascaded, coarse_limits).feasible
+
+    def test_untouched_when_nothing_extreme(self, glucose_dag, limits):
+        cascaded, reports = cascade_extreme_mixes(glucose_dag, limits)
+        assert reports == []
+        assert cascaded is glucose_dag
+
+    def test_iterative_deepening_bounded(self):
+        tiny = HardwareLimits(max_capacity=4, least_count=1)
+        dag = skewed_dag(10 ** 9)
+        with pytest.raises(ResourceExhaustedError):
+            cascade_extreme_mixes(dag, tiny, max_depth=3)
+
+    def test_enzyme_cascade_increases_diluent_uses(self, enzyme_dag, limits):
+        before = enzyme_dag.out_degree("diluent")
+        cascaded, __ = cascade_extreme_mixes(enzyme_dag, limits)
+        after = cascaded.out_degree("diluent")
+        assert after > before  # the paper's negative side-effect

@@ -1,0 +1,218 @@
+"""Unit tests for the assay DAG IR (paper Section 3.1, Figure 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import AssayDAG, Edge, Node, NodeKind, fractions_from_ratio
+from repro.core.errors import CycleError, DagError, RatioError
+from repro.assays import paper_example
+
+
+class TestFractionsFromRatio:
+    def test_one_to_four(self):
+        assert fractions_from_ratio((1, 4)) == [Fraction(1, 5), Fraction(4, 5)]
+
+    def test_three_way(self):
+        assert fractions_from_ratio((1, 100, 1)) == [
+            Fraction(1, 102),
+            Fraction(100, 102),
+            Fraction(1, 102),
+        ]
+
+    def test_fractions_sum_to_one(self):
+        fractions = fractions_from_ratio((3, 5, 7, 11))
+        assert sum(fractions) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(RatioError):
+            fractions_from_ratio(())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RatioError):
+            fractions_from_ratio((1, 0))
+        with pytest.raises(RatioError):
+            fractions_from_ratio((1, -2))
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        with pytest.raises(DagError):
+            dag.add_input("A")
+
+    def test_edge_to_unknown_node_rejected(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        with pytest.raises(DagError):
+            dag.add_edge(Edge("A", "missing"))
+
+    def test_self_loop_rejected(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        with pytest.raises(DagError):
+            dag.add_edge(Edge("A", "A"))
+
+    def test_parallel_edge_rejected(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_mix("M", {"A": 1})
+        with pytest.raises(DagError):
+            dag.add_edge(Edge("A", "M", Fraction(1, 2)))
+
+    def test_add_mix_sets_ratio_and_fractions(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        node = dag.add_mix("K", {"A": 1, "B": 4})
+        assert node.ratio == (1, 4)
+        assert dag.edge("A", "K").fraction == Fraction(1, 5)
+        assert dag.edge("B", "K").fraction == Fraction(4, 5)
+
+    def test_add_unary_separator(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        node = dag.add_unary(
+            "S", "A", kind=NodeKind.SEPARATE, unknown_volume=True
+        )
+        assert node.unknown_volume
+        assert node.output_fraction is None
+
+    def test_remove_node_removes_incident_edges(self):
+        dag = paper_example.build_dag()
+        dag.remove_node("L")
+        assert not dag.has_edge("B", "L")
+        assert not dag.has_edge("L", "M")
+        dag_ids = dag.node_ids()
+        assert "L" not in dag_ids
+
+
+class TestQueries:
+    def test_figure2_shape(self, fig2_dag):
+        assert fig2_dag.node_count == 7
+        assert fig2_dag.edge_count == 8
+        assert {n.id for n in fig2_dag.inputs()} == {"A", "B", "C"}
+        assert {n.id for n in fig2_dag.outputs()} == {"M", "N"}
+
+    def test_degrees(self, fig2_dag):
+        assert fig2_dag.out_degree("B") == 2
+        assert fig2_dag.in_degree("M") == 2
+        assert fig2_dag.predecessors("M") == ["K", "L"]
+        assert set(fig2_dag.successors("B")) == {"K", "L"}
+
+    def test_ancestors_is_backward_slice(self, fig2_dag):
+        assert set(fig2_dag.ancestors("M")) == {"A", "B", "C", "K", "L"}
+        assert set(fig2_dag.ancestors("K")) == {"A", "B"}
+        assert fig2_dag.ancestors("A") == []
+
+    def test_descendants(self, fig2_dag):
+        assert set(fig2_dag.descendants("B")) == {"K", "L", "M", "N"}
+        assert fig2_dag.descendants("N") == []
+
+    def test_contains_and_len(self, fig2_dag):
+        assert "K" in fig2_dag
+        assert "Z" not in fig2_dag
+        assert len(fig2_dag) == 7
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, fig2_dag):
+        order = fig2_dag.topological_order()
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for edge in fig2_dag.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_deterministic(self, fig2_dag):
+        assert fig2_dag.topological_order() == fig2_dag.topological_order()
+
+    def test_cycle_detection(self):
+        dag = AssayDAG()
+        dag.add_node(Node("a", NodeKind.MIX))
+        dag.add_node(Node("b", NodeKind.MIX))
+        dag.add_edge(Edge("a", "b"))
+        dag.add_edge(Edge("b", "a"))
+        with pytest.raises(CycleError):
+            dag.topological_order()
+
+    def test_reverse_order(self, fig2_dag):
+        forward = fig2_dag.topological_order()
+        assert fig2_dag.reverse_topological_order() == list(reversed(forward))
+
+
+class TestValidate:
+    def test_figure2_validates(self, fig2_dag):
+        fig2_dag.validate()  # no exception
+
+    def test_fractions_must_sum_to_one(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_node(Node("M", NodeKind.MIX))
+        dag.add_edge(Edge("A", "M", Fraction(1, 2)))
+        dag.add_edge(Edge("B", "M", Fraction(1, 3)))
+        with pytest.raises(RatioError):
+            dag.validate()
+
+    def test_excess_node_must_be_sink(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_node(Node("X", NodeKind.EXCESS))
+        dag.add_node(Node("M", NodeKind.MIX))
+        dag.add_edge(Edge("A", "X", is_excess=False))
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_excess_edge_requires_excess_fraction(self):
+        dag = AssayDAG()
+        dag.add_node(Node("P", NodeKind.MIX))  # excess_fraction defaults to 0
+        dag.add_input("A")
+        dag.add_edge(Edge("A", "P"))
+        dag.add_node(Node("X", NodeKind.EXCESS))
+        dag.add_edge(Edge("P", "X", is_excess=True))
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_unknown_volume_must_not_have_output_fraction(self):
+        with pytest.raises(RatioError):
+            # excess fraction out of range also trips the Node constructor
+            Node("n", NodeKind.MIX, excess_fraction=Fraction(3, 2))
+        dag = AssayDAG()
+        dag.add_input("A")
+        node = dag.add_unary("S", "A", kind=NodeKind.SEPARATE)
+        node.unknown_volume = True  # inconsistent: fraction still set
+        with pytest.raises(DagError):
+            dag.validate()
+
+
+class TestCopySubgraph:
+    def test_copy_is_deep_for_structure(self, fig2_dag):
+        clone = fig2_dag.copy()
+        clone.remove_node("N")
+        assert "N" in fig2_dag
+        assert "N" not in clone
+
+    def test_copy_preserves_meta_independently(self, fig2_dag):
+        clone = fig2_dag.copy()
+        clone.node("K").meta["tag"] = 1
+        assert "tag" not in fig2_dag.node("K").meta
+
+    def test_subgraph_inner_edges_only(self, fig2_dag):
+        sub = fig2_dag.subgraph(["A", "B", "K"])
+        assert sub.node_count == 3
+        assert sub.edge_count == 2
+        assert sub.has_edge("A", "K")
+        assert not sub.has_edge("B", "L")
+
+    def test_subgraph_unknown_node_rejected(self, fig2_dag):
+        with pytest.raises(DagError):
+            fig2_dag.subgraph(["A", "nope"])
+
+
+class TestDot:
+    def test_to_dot_mentions_every_node_and_edge(self, fig2_dag):
+        dot = fig2_dag.to_dot()
+        for node in fig2_dag.nodes():
+            assert f'"{node.id}"' in dot
+        assert '"A" -> "K"' in dot
+        assert dot.startswith("digraph")

@@ -1,0 +1,78 @@
+"""The float fast path must mirror the exact DAGSolve bit-for-bit in
+structure; these tests pin it against the exact solver."""
+
+import pytest
+
+from repro.core.dagsolve import dagsolve
+from repro.core.fastpath import fast_dagsolve, fast_vnorms
+from repro.core.limits import PAPER_LIMITS
+from repro.assays import enzyme, generators, glucose, paper_example
+
+
+def agree(exact, fast, rel=1e-9):
+    return abs(float(exact) - fast) <= rel * max(1.0, abs(float(exact)))
+
+
+class TestAgainstExactSolver:
+    @pytest.mark.parametrize(
+        "dag_builder",
+        [
+            paper_example.build_dag,
+            glucose.build_dag,
+            enzyme.build_dag,
+            lambda: generators.binary_mix_tree(4),
+            lambda: generators.fanout_chain(6),
+            lambda: generators.layered_random_dag(5, 3, 3, seed=11),
+            lambda: generators.layered_random_dag(
+                5, 3, 3, seed=12, separator_probability=0.3
+            ),
+        ],
+    )
+    def test_volumes_agree(self, dag_builder):
+        dag = dag_builder()
+        exact = dagsolve(dag, PAPER_LIMITS)
+        fast = fast_dagsolve(dag, PAPER_LIMITS)
+        for node_id, volume in exact.node_volume.items():
+            assert agree(volume, fast.node_volume[node_id]), node_id
+        for key, volume in exact.edge_volume.items():
+            assert agree(volume, fast.edge_volume[key]), key
+
+    def test_feasibility_verdicts_agree(self):
+        for builder in (paper_example.build_dag, glucose.build_dag, enzyme.build_dag):
+            dag = builder()
+            exact = dagsolve(dag, PAPER_LIMITS)
+            fast = fast_dagsolve(dag, PAPER_LIMITS)
+            assert exact.feasible == fast.feasible, dag.name
+
+    def test_min_edge_agrees(self, enzyme_dag):
+        exact = dagsolve(enzyme_dag, PAPER_LIMITS)
+        fast = fast_dagsolve(enzyme_dag, PAPER_LIMITS)
+        exact_key, exact_volume = exact.min_edge()
+        fast_key, fast_volume = fast.min_edge
+        assert agree(exact_volume, fast_volume)
+
+    def test_constrained_inputs(self):
+        from fractions import Fraction
+
+        from repro.core.dag import AssayDAG, Node, NodeKind
+
+        dag = AssayDAG()
+        dag.add_node(
+            Node("X", NodeKind.CONSTRAINED_INPUT, available_volume=Fraction(10))
+        )
+        dag.add_input("B")
+        dag.add_mix("M", {"X": 1, "B": 1})
+        fast = fast_dagsolve(dag, PAPER_LIMITS)
+        assert fast.edge_volume[("X", "M")] == pytest.approx(10.0)
+
+    def test_enzyme10_extreme_ratios_handled(self):
+        """The whole point of the fast path: enzyme10's 1:(10^k - 1) ratios
+        stay cheap in floats."""
+        dag = enzyme.build_dag(10)
+        fast = fast_dagsolve(dag, PAPER_LIMITS)
+        assert not fast.feasible  # tiny shares underflow, like exact mode
+
+    def test_output_targets(self, fig2_dag):
+        fast = fast_dagsolve(fig2_dag, PAPER_LIMITS, {"M": 2.0, "N": 1.0})
+        node_vnorm, __, __ = fast_vnorms(fig2_dag, {"M": 2.0, "N": 1.0})
+        assert node_vnorm["K"] == pytest.approx(4 / 3)

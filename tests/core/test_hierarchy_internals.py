@@ -1,0 +1,73 @@
+"""Smaller hierarchy behaviours: best-attempt tracking, knob plumbing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import dagsolve
+from repro.core.hierarchy import VolumeManager
+from repro.core.limits import HardwareLimits, PAPER_LIMITS
+
+
+class TestBestAttempt:
+    def test_better_prefers_larger_minimum(self, fig2_dag, limits):
+        first = dagsolve(fig2_dag, limits)
+        worse = dagsolve(
+            fig2_dag, HardwareLimits(max_capacity=10, least_count="0.1")
+        )
+        assert (
+            VolumeManager._better(first, worse) is first
+        )
+        assert VolumeManager._better(worse, first) is first
+        assert VolumeManager._better(None, worse) is worse
+
+    def test_regeneration_plan_keeps_best_min(self):
+        """Across the failed rounds, the retained assignment is the one
+        with the largest minimum dispense."""
+        dag = AssayDAG("hard")
+        for name in "ABC":
+            dag.add_input(name)
+        dag.add_mix("M", {"A": 1, "B": 5000, "C": 1})
+        plan = VolumeManager(PAPER_LIMITS).plan(dag)
+        assert plan.needs_regeneration
+        retained = plan.assignment.min_edge_volume()
+        raw = dagsolve(dag, PAPER_LIMITS).min_edge_volume()
+        assert retained >= raw
+
+
+class TestKnobs:
+    def test_output_tolerance_forwarded_to_lp(self):
+        """With a tight output band the LP fallback fails on an assay whose
+        feasibility needs unequal outputs; loosening the band rescues it."""
+        limits = HardwareLimits(max_capacity=100, least_count=1)
+        dag = AssayDAG()
+        for name in "ABCD":
+            dag.add_input(name)
+        for i in range(30):
+            dag.add_mix(f"out{i}", {"A": 1, "B": 1})
+        dag.add_mix("out_small", {"C": 1, "D": 9})
+        tight = VolumeManager(
+            limits, output_tolerance=0.01, allow_cascading=False,
+            allow_replication=False,
+        ).plan(dag.copy())
+        free = VolumeManager(
+            limits, output_tolerance=None, allow_cascading=False,
+            allow_replication=False,
+        ).plan(dag.copy())
+        assert free.status == "lp"
+        assert tight.status != "lp"
+
+    def test_max_total_nodes_budget_forwarded(self):
+        limits = HardwareLimits(max_capacity=100, least_count=1)
+        dag = AssayDAG()
+        dag.add_input("stock")
+        for i in range(40):
+            dag.add_input(f"r{i}")
+            dag.add_mix(f"m{i}", {"stock": 3, f"r{i}": 1})
+        constrained = VolumeManager(
+            limits, use_lp=False, max_total_nodes=81
+        ).plan(dag.copy())
+        assert constrained.status == "regeneration"
+        unconstrained = VolumeManager(limits, use_lp=False).plan(dag.copy())
+        assert unconstrained.feasible

@@ -1,0 +1,64 @@
+"""Unit tests for hardware limits and exact-fraction conversion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.limits import PAPER_LIMITS, HardwareLimits, as_fraction
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(3, 7)
+        assert as_fraction(value) is value
+
+    def test_float_uses_decimal_representation(self):
+        # 0.1 must become exactly 1/10, not the binary artefact.
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_string(self):
+        assert as_fraction("2/5") == Fraction(2, 5)
+
+
+class TestHardwareLimits:
+    def test_paper_configuration(self):
+        assert PAPER_LIMITS.max_capacity == 100
+        assert PAPER_LIMITS.least_count == Fraction(1, 10)
+        assert PAPER_LIMITS.dynamic_range == 1000
+
+    def test_rejects_nonpositive_least_count(self):
+        with pytest.raises(ValueError):
+            HardwareLimits(max_capacity=10, least_count=0)
+
+    def test_rejects_capacity_below_least_count(self):
+        with pytest.raises(ValueError):
+            HardwareLimits(max_capacity=Fraction(1, 100), least_count=1)
+
+    def test_fits(self):
+        limits = HardwareLimits(max_capacity=100, least_count=Fraction(1, 10))
+        assert limits.fits(Fraction(1, 10))
+        assert limits.fits(100)
+        assert not limits.fits(Fraction(1, 20))
+        assert not limits.fits(101)
+
+    def test_quantize_rounds_to_nearest_multiple(self):
+        limits = PAPER_LIMITS
+        assert limits.quantize(Fraction(123, 1000)) == Fraction(1, 10)
+        assert limits.quantize(Fraction(17, 100)) == Fraction(2, 10)
+        assert limits.quantize(Fraction(3, 10)) == Fraction(3, 10)
+
+    def test_quantize_ties_round_half_up(self):
+        assert PAPER_LIMITS.quantize(Fraction(15, 100)) == Fraction(2, 10)
+
+    def test_quantize_preserves_multiples_exactly(self):
+        limits = PAPER_LIMITS
+        for steps in (1, 7, 999, 1000):
+            volume = steps * limits.least_count
+            assert limits.quantize(volume) == volume
+
+    def test_limits_are_immutable(self):
+        with pytest.raises(AttributeError):
+            PAPER_LIMITS.max_capacity = 5  # type: ignore[misc]

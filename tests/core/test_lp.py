@@ -1,0 +1,130 @@
+"""LP solver tests (paper Section 3.2, evaluated in Section 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import dagsolve
+from repro.core.errors import InfeasibleError
+from repro.core.limits import HardwareLimits
+from repro.core.lp import assignment_from_edge_volumes, lp_solve
+from repro.core.rounding import ratio_errors
+
+
+class TestFeasibleCases:
+    def test_figure2_feasible(self, fig2_dag, limits):
+        assignment = lp_solve(fig2_dag, limits)
+        assert assignment.method == "lp"
+        assert assignment.feasible
+
+    def test_lp_respects_ratios(self, fig2_dag, limits):
+        assignment = lp_solve(fig2_dag, limits)
+        # HiGHS returns floats; ratio deviation must be numerically tiny.
+        worst = max(
+            (float(e.relative_error) for e in ratio_errors(assignment)),
+            default=0.0,
+        )
+        assert worst < 1e-9
+
+    def test_lp_output_at_least_dagsolve(self, fig2_dag, limits):
+        """LP maximises total output; DAGSolve's feasible point is a lower
+        bound on the optimum."""
+        lp = lp_solve(fig2_dag, limits)
+        ds = dagsolve(fig2_dag, limits)
+        lp_total = sum(
+            lp.node_volume[n.id] for n in fig2_dag.outputs()
+        )
+        ds_total = sum(
+            ds.node_volume[n.id] for n in fig2_dag.outputs()
+        )
+        assert float(lp_total) >= float(ds_total) - 1e-6
+
+    def test_glucose_feasible(self, glucose_dag, limits):
+        assert lp_solve(glucose_dag, limits).feasible
+
+    def test_output_tolerance_binds_outputs(self, fig2_dag, limits):
+        assignment = lp_solve(fig2_dag, limits, output_tolerance=0.1)
+        m = float(assignment.node_volume["M"])
+        n = float(assignment.node_volume["N"])
+        assert 0.9 * n - 1e-6 <= m <= 1.1 * n + 1e-6
+
+
+class TestInfeasibleCases:
+    def test_extreme_ratio_infeasible(self, coarse_limits):
+        """The introduction's 1:399 example on max 100 / least count 1."""
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 399})
+        with pytest.raises(InfeasibleError):
+            lp_solve(dag, coarse_limits)
+
+    def test_enzyme_infeasible_like_paper(self, enzyme_dag, limits):
+        """Section 4.2: 'we found that LP also fails to avoid this
+        underflow' — the raw enzyme DAG has no feasible assignment."""
+        with pytest.raises(InfeasibleError):
+            lp_solve(enzyme_dag, limits)
+
+
+class TestLPMoreGeneralThanDAGSolve:
+    def test_lp_succeeds_where_dagsolve_fails(self):
+        """DAGSolve's equal-output constraint can be the only obstacle:
+        two outputs with wildly different natural scales."""
+        limits = HardwareLimits(max_capacity=100, least_count=1)
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_input("C")
+        dag.add_input("D")
+        # Thirty 1:1 mixes drive A's Vnorm to 15, pinning the global scale
+        # at 100/15; the skewed output's minor share (1/10) then lands at
+        # 0.67 nl < 1 nl.  LP may instead shrink the fan-out mixes and keep
+        # every bound satisfied.
+        for i in range(30):
+            dag.add_mix(f"out{i}", {"A": 1, "B": 1})
+        dag.add_mix("out_small", {"C": 1, "D": 9})
+        ds = dagsolve(dag, limits)
+        assert not ds.feasible  # C's share underflows under equal outputs
+        lp = lp_solve(dag, limits, output_tolerance=None)
+        assert lp.feasible
+
+    def test_dagsolve_extra_constraints_shrink_lp(self, fig2_dag, limits):
+        free = lp_solve(fig2_dag, limits, output_tolerance=None)
+        constrained = lp_solve(
+            fig2_dag, limits, output_tolerance=None, dagsolve_constraints=True
+        )
+        assert constrained.feasible
+        free_total = sum(free.node_volume[n.id] for n in fig2_dag.outputs())
+        constrained_total = sum(
+            constrained.node_volume[n.id] for n in fig2_dag.outputs()
+        )
+        assert float(constrained_total) <= float(free_total) + 1e-6
+
+
+class TestAssignmentFromEdgeVolumes:
+    def test_node_volumes_derived(self, fig2_dag, limits):
+        ds = dagsolve(fig2_dag, limits)
+        rebuilt = assignment_from_edge_volumes(
+            fig2_dag, limits, dict(ds.edge_volume), method="test"
+        )
+        assert rebuilt.node_volume == ds.node_volume
+        assert rebuilt.node_input_volume == ds.node_input_volume
+
+    def test_excess_edge_receives_surplus(self, limits):
+        from repro.core.cascading import cascade_mix, stage_factors
+
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 99})
+        cascaded, report = cascade_mix(
+            dag, "M", stage_factors(Fraction(100), 2)
+        )
+        lp = lp_solve(cascaded, limits)
+        (intermediate,) = report.intermediate_ids
+        excess_key = (intermediate, f"{intermediate}.excess")
+        assert lp.edge_volume[excess_key] >= 0
+        production = lp.node_volume[intermediate]
+        used = lp.edge_volume[(intermediate, "M")]
+        assert lp.edge_volume[excess_key] == production - used

@@ -1,0 +1,167 @@
+"""Partitioning tests for the statically-unknown case (Section 3.5,
+Figure 13 for glycomics, Figure 8 for cross-epoch exports)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import AssayDAG, NodeKind
+from repro.core.limits import PAPER_LIMITS
+from repro.core.partition import (
+    measurement_epochs,
+    partition_unknown_volumes,
+)
+from repro.assays import glycomics
+
+
+class TestEpochs:
+    def test_static_dag_all_zero(self, fig2_dag):
+        epochs = measurement_epochs(fig2_dag)
+        assert set(epochs.values()) == {0}
+
+    def test_glycomics_epochs(self, glycomics_dag):
+        epochs = measurement_epochs(glycomics_dag)
+        assert epochs["mix1"] == 0
+        assert epochs["sep1"] == 0
+        assert epochs["mix2"] == 1
+        assert epochs["mix3"] == 1
+        assert epochs["sep2"] == 1
+        assert epochs["mix4"] == 2
+        assert epochs["sep3"] == 2
+        assert epochs["mix6"] == 3
+
+    def test_merge_takes_max(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_unary("S", "A", kind=NodeKind.SEPARATE, unknown_volume=True)
+        dag.add_mix("M", {"S": 1, "B": 1})
+        epochs = measurement_epochs(dag)
+        assert epochs["M"] == 1
+
+
+class TestStaticCase:
+    def test_single_partition(self, glucose_dag, limits):
+        result = partition_unknown_volumes(glucose_dag, limits)
+        assert result.n_partitions == 1
+        partition = result.partitions[0]
+        assert partition.constrained == []
+        assert partition.is_static
+        assert set(partition.members) == set(glucose_dag.node_ids())
+
+
+class TestGlycomicsFigure13:
+    @pytest.fixture
+    def result(self, glycomics_dag, limits):
+        return partition_unknown_volumes(glycomics_dag, limits)
+
+    def test_four_partitions(self, result):
+        assert result.n_partitions == glycomics.EXPECTED_PARTITIONS == 4
+
+    def test_partition_membership(self, result):
+        members = {
+            p.index: set(p.members) for p in result.partitions
+        }
+        assert members[0] == {"buffer1a", "sample", "mix1", "sep1"}
+        assert members[1] == {"buffer2", "mix2", "inc1", "mix3", "sep2"}
+        assert members[2] == {"buffer4", "NaOH", "mix4", "mix5", "sep3"}
+        assert members[3] == {"buffer5", "mix6"}
+
+    def test_buffer3a_split_50_50(self, result):
+        """'Buffer 3a ... is split into two constrained-input nodes each of
+        which gets half the default maximum (i.e., 50 nl).'"""
+        splits = [
+            spec
+            for partition in result.partitions
+            for spec in partition.constrained
+            if spec.source == "buffer3a"
+        ]
+        assert len(splits) == 2
+        for spec in splits:
+            assert spec.share == Fraction(1, 2)
+            assert spec.static_available == 50
+            assert not spec.needs_measurement
+
+    def test_separator_stubs_need_measurement(self, result):
+        measured = {
+            spec.source
+            for partition in result.partitions
+            for spec in partition.constrained
+            if spec.needs_measurement
+        }
+        assert measured == {"sep1", "sep2", "sep3"}
+        assert set(result.measured_sources) == measured
+
+    def test_partition_order_respects_epochs(self, result):
+        epochs = [p.epoch for p in result.partitions]
+        assert epochs == sorted(epochs) == [0, 1, 2, 3]
+
+    def test_partition_dags_validate(self, result):
+        for partition in result.partitions:
+            partition.dag.validate()
+
+
+class TestFigure8CrossEpochExport:
+    """A known-volume node with uses on both sides of a barrier: all of its
+    uses are cut and conservatively split into equal portions."""
+
+    @pytest.fixture
+    def dag(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("X", {"A": 1, "B": 1})        # the Figure 8 node X
+        dag.add_unary("Y", "X")                   # early use
+        dag.add_unary("U", "Y", kind=NodeKind.SEPARATE, unknown_volume=True)
+        # X's later use mixes with U's (unknown-volume) effluent, so it
+        # cannot be sized until U has run — the Figure 8 situation.
+        dag.add_mix("Z", {"X": 1, "U": 1})
+        return dag
+
+    def test_x_is_cut_with_half_shares(self, dag, limits):
+        result = partition_unknown_volumes(dag, limits)
+        x_specs = [
+            spec
+            for partition in result.partitions
+            for spec in partition.constrained
+            if spec.source == "X"
+        ]
+        # X has 2 uses in 2 different epochs -> two constrained inputs of
+        # one half each (Figure 8(b)'s X' and X'').
+        assert len(x_specs) == 2
+        assert all(spec.share == Fraction(1, 2) for spec in x_specs)
+        # X is an internal node: its production is known only at run time.
+        assert all(spec.needs_measurement for spec in x_specs)
+        assert "X" in result.measured_sources
+
+    def test_m_over_n_refinement(self, limits):
+        """m uses landing in one epoch merge into a single m/N input."""
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("X", {"A": 1, "B": 1})
+        dag.add_unary("u1", "X")
+        dag.add_unary("u2", "X")
+        dag.add_unary("S", "u1", kind=NodeKind.SEPARATE, unknown_volume=True)
+        dag.add_mix("late", {"X": 1, "S": 1})
+        result = partition_unknown_volumes(dag, limits)
+        x_specs = sorted(
+            (
+                spec
+                for partition in result.partitions
+                for spec in partition.constrained
+                if spec.source == "X"
+            ),
+            key=lambda s: s.share,
+        )
+        assert [spec.share for spec in x_specs] == [
+            Fraction(1, 3),
+            Fraction(2, 3),
+        ]
+
+
+class TestInputSplitOnly:
+    def test_shared_input_without_unknown_nodes_not_split(self, fig2_dag, limits):
+        result = partition_unknown_volumes(fig2_dag, limits)
+        assert result.n_partitions == 1
+        assert result.partitions[0].constrained == []

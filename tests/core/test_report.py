@@ -1,0 +1,69 @@
+"""Fluid-requirements report tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dagsolve import dagsolve
+from repro.core.report import fluid_requirements
+from repro.assays import enzyme, glucose, paper_example
+from repro.core.limits import PAPER_LIMITS
+
+
+class TestGlucoseReport:
+    @pytest.fixture
+    def report(self, glucose_dag, limits):
+        return fluid_requirements(dagsolve(glucose_dag, limits))
+
+    def test_inputs_sorted_by_consumption(self, report):
+        assert [usage.fluid for usage in report.inputs] == [
+            "Reagent",
+            "Glucose",
+            "Sample",
+        ]
+
+    def test_reagent_totals(self, report):
+        reagent = report.inputs[0]
+        assert reagent.total == 100
+        assert reagent.draws == 5
+
+    def test_smallest_draw_is_figure12_minimum(self, report):
+        glucose_usage = report.inputs[1]
+        assert glucose_usage.smallest_draw == Fraction(500, 151)
+
+    def test_outputs(self, report):
+        assert set(report.outputs) == {"a", "b", "c", "d", "e"}
+        assert len(set(report.outputs.values())) == 1  # equal outputs
+
+    def test_flow_conserving_plan_is_fully_utilised(self, report):
+        assert report.utilisation == 1
+
+    def test_render_readable(self, report):
+        text = report.render()
+        assert "reagents to load:" in text
+        assert "Reagent" in text
+        assert "utilisation: 100.0%" in text
+
+
+class TestUtilisation:
+    def test_cascaded_plan_wastes_excess(self):
+        """Cascading deliberately discards fluid: utilisation < 100%."""
+        from repro.core.cascading import cascade_mix, stage_factors
+        from repro.core.dag import AssayDAG
+
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 99})
+        cascaded, __ = cascade_mix(
+            dag, "M", stage_factors(Fraction(100), 2)
+        )
+        report = fluid_requirements(dagsolve(cascaded, PAPER_LIMITS))
+        assert report.utilisation < 1
+
+    def test_enzyme_report_shape(self, enzyme_dag, limits):
+        report = fluid_requirements(dagsolve(enzyme_dag, limits))
+        heaviest = report.inputs[0]
+        assert heaviest.fluid == "diluent"
+        assert heaviest.draws == 12
+        assert len(report.outputs) == 64

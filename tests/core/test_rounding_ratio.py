@@ -1,0 +1,146 @@
+"""Tests for the ratio-preserving rounding strategy (the paper's deferred
+"more sophisticated rounding technique")."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import dagsolve
+from repro.core.limits import HardwareLimits, PAPER_LIMITS
+from repro.core.rounding import (
+    max_ratio_error,
+    mean_ratio_error,
+    ratio_errors,
+    round_assignment,
+    round_assignment_ratio_preserving,
+)
+from repro.assays import generators, glucose
+
+
+class TestBasics:
+    def test_edges_are_least_count_multiples(self, glucose_dag, limits):
+        rounded = round_assignment_ratio_preserving(
+            dagsolve(glucose_dag, limits)
+        )
+        for volume in rounded.edge_volume.values():
+            assert (volume / limits.least_count).denominator == 1
+
+    def test_method_tag(self, glucose_dag, limits):
+        rounded = round_assignment_ratio_preserving(
+            dagsolve(glucose_dag, limits)
+        )
+        assert rounded.method.endswith("+rounded-lr")
+
+    def test_every_edge_within_one_step(self, glucose_dag, limits):
+        exact = dagsolve(glucose_dag, limits)
+        rounded = round_assignment_ratio_preserving(exact)
+        for key, volume in rounded.edge_volume.items():
+            if glucose_dag.edge(*key).is_excess:
+                continue
+            assert abs(volume - exact.edge_volume[key]) <= limits.least_count
+
+    def test_feasible_on_glucose(self, glucose_dag, limits):
+        rounded = round_assignment_ratio_preserving(
+            dagsolve(glucose_dag, limits)
+        )
+        assert rounded.feasible
+
+
+class TestRatioFidelity:
+    def test_symmetric_mix_rounds_without_error(self):
+        """A 1:1:1 mix whose exact shares are equal must keep the exact
+        ratio — the case naive total-quantisation gets wrong."""
+        limits = HardwareLimits(max_capacity=100, least_count=Fraction(1, 10))
+        dag = AssayDAG()
+        for name in "ABC":
+            dag.add_input(name)
+        dag.add_mix("M", {"A": 1, "B": 1, "C": 1})
+        # scale so each share is a non-multiple (e.g. 33.33.. nl)
+        rounded = round_assignment_ratio_preserving(dagsolve(dag, limits))
+        errors = [e for e in ratio_errors(rounded) if e.node == "M"]
+        assert errors == []
+
+    def test_beats_simple_rounding_on_glucose(self, glucose_dag, limits):
+        exact = dagsolve(glucose_dag, limits)
+        simple = round_assignment(exact)
+        smart = round_assignment_ratio_preserving(exact)
+        assert max_ratio_error(smart) <= max_ratio_error(simple)
+        assert mean_ratio_error(smart) <= mean_ratio_error(simple)
+
+    def test_skewed_mix_prefers_ratio_over_volume(self):
+        """1:99 with a fractional minor share: the strategy may shift the
+        total a step to land closer to the declared ratio."""
+        limits = HardwareLimits(max_capacity=100, least_count=Fraction(1, 10))
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_input("C")
+        # two consumers of A keep its volume off the grid
+        dag.add_mix("skew", {"A": 1, "B": 99})
+        dag.add_mix("other", {"A": 3, "C": 1})
+        exact = dagsolve(dag, limits)
+        simple = round_assignment(exact)
+        smart = round_assignment_ratio_preserving(exact)
+        skew_err = lambda a: max(
+            (e.relative_error for e in ratio_errors(a) if e.node == "skew"),
+            default=Fraction(0),
+        )
+        assert skew_err(smart) <= skew_err(simple)
+
+    def test_never_much_worse_on_random_dags(self, limits):
+        worse = 0
+        for seed in range(25):
+            dag = generators.layered_random_dag(
+                5, 3, 3, seed=seed, max_ratio=30
+            )
+            exact = dagsolve(dag, limits)
+            simple = round_assignment(exact)
+            smart = round_assignment_ratio_preserving(exact)
+            if max_ratio_error(smart) > max_ratio_error(simple):
+                worse += 1
+        assert worse <= 6  # wins or ties in the vast majority of cases
+
+
+class TestRepairs:
+    def test_sources_never_over_capacity(self, limits):
+        for seed in range(10):
+            dag = generators.layered_random_dag(4, 3, 3, seed=seed)
+            rounded = round_assignment_ratio_preserving(
+                dagsolve(dag, limits)
+            )
+            overflow = [
+                v for v in rounded.violations() if v.kind == "overflow"
+            ]
+            assert overflow == [], (seed, overflow)
+
+    def test_non_deficit_after_rounding(self, limits):
+        for seed in range(10):
+            dag = generators.layered_random_dag(4, 3, 3, seed=seed)
+            rounded = round_assignment_ratio_preserving(
+                dagsolve(dag, limits)
+            )
+            for node in dag.nodes():
+                inbound = [
+                    e for e in dag.in_edges(node.id) if not e.is_excess
+                ]
+                outbound = [
+                    e for e in dag.out_edges(node.id) if not e.is_excess
+                ]
+                if not inbound or not outbound:
+                    continue
+                fraction_out = node.output_fraction or Fraction(1)
+                production = fraction_out * sum(
+                    rounded.edge_volume[e.key] for e in inbound
+                )
+                used = sum(rounded.edge_volume[e.key] for e in outbound)
+                assert used <= production, node.id
+
+
+class TestMeanRatioError:
+    def test_zero_for_exact(self, fig2_dag, limits):
+        assert mean_ratio_error(dagsolve(fig2_dag, limits)) == 0
+
+    def test_mean_at_most_max(self, glucose_dag, limits):
+        rounded = round_assignment(dagsolve(glucose_dag, limits))
+        assert mean_ratio_error(rounded) <= max_ratio_error(rounded)

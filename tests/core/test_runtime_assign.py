@@ -1,0 +1,132 @@
+"""Run-time volume assignment tests (paper Section 3.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import PartitionError
+from repro.core.runtime_assign import RuntimePlanner
+from repro.assays import glycomics
+
+
+@pytest.fixture
+def planner(glycomics_dag, limits):
+    return RuntimePlanner(glycomics_dag, limits)
+
+
+class TestPlanner:
+    def test_vnorms_precomputed_per_partition(self, planner):
+        assert set(planner.vnorms) == {0, 1, 2, 3}
+
+    def test_x2_vnorm_is_1_over_204(self, planner):
+        """Figure 13's flagged value."""
+        partition = planner.partitions[2]
+        (x2,) = [s for s in partition.constrained if s.source == "sep2"]
+        assert (
+            planner.vnorms[2].node_vnorm[x2.node_id]
+            == glycomics.EXPECTED_X2_VNORM
+        )
+
+    def test_static_partition_vnorms(self, planner):
+        vnorms = planner.vnorms[0]
+        assert vnorms.node_input_vnorm["sep1"] == 1
+        assert vnorms.node_vnorm["buffer1a"] == Fraction(1, 2)
+
+
+class TestSession:
+    def test_partition0_needs_no_measurement(self, planner):
+        session = planner.session()
+        assert session.ready(0)
+        assignment = session.assign(0)
+        assert assignment.node_input_volume["sep1"] == 100
+        assert assignment.edge_volume[("buffer1a", "mix1")] == 50
+
+    def test_partition1_waits_for_sep1(self, planner):
+        session = planner.session()
+        session.assign(0)
+        assert not session.ready(1)
+        assert session.missing_measurements(1) == ["sep1"]
+        with pytest.raises(PartitionError):
+            session.assign(1)
+
+    def test_min_ratio_scaling(self, planner):
+        """The constrained input caps the scale at available/Vnorm."""
+        session = planner.session()
+        session.assign(0)
+        session.record_measurement("sep1", 30)
+        assignment = session.assign(1)
+        # X1's Vnorm is 1/22; capacity scale would be 100; the measured 30
+        # caps it at 30 * 22 = 660 > 100, so capacity still binds... check
+        # the actual arithmetic instead of assuming:
+        x1_stub = [
+            s for s in planner.partitions[1].constrained if s.source == "sep1"
+        ][0]
+        drawn = sum(
+            volume
+            for (src, __), volume in assignment.edge_volume.items()
+            if src == x1_stub.node_id
+        )
+        assert drawn <= 30
+
+    def test_small_measurement_scales_partition_down(self, planner):
+        session = planner.session()
+        session.assign(0)
+        session.record_measurement("sep1", Fraction(1, 2))
+        assignment = session.assign(1)
+        # scale = available / Vnorm = (1/2) / (1/22) = 11 < capacity scale
+        assert assignment.scale == 11
+        assert assignment.node_input_volume["mix3"] == 11
+
+    def test_full_walk(self, planner):
+        session = planner.session()
+        assignments = session.assign_all(
+            {"sep1": 40, "sep2": 20, "sep3": 15}
+        )
+        assert set(assignments) == {0, 1, 2, 3}
+        final = assignments[3]
+        assert final.node_volume["mix6"] == 30  # 15 effluent + 15 buffer5
+
+    def test_measurement_for_unknown_source_only(self, planner):
+        session = planner.session()
+        with pytest.raises(PartitionError):
+            session.record_measurement("buffer3a", 10)
+
+    def test_negative_measurement_rejected(self, planner):
+        session = planner.session()
+        with pytest.raises(PartitionError):
+            session.record_measurement("sep1", -1)
+
+    def test_unknown_partition_index(self, planner):
+        session = planner.session()
+        with pytest.raises(PartitionError):
+            session.assign(9)
+
+
+class TestStaticAssayThroughPlanner:
+    def test_single_static_partition_assigns_immediately(
+        self, glucose_dag, limits
+    ):
+        planner = RuntimePlanner(glucose_dag, limits)
+        session = planner.session()
+        assignment = session.assign(0)
+        assert assignment.feasible
+        assert assignment.node_volume["Reagent"] == 100
+
+
+class TestExporterRecording:
+    def test_known_volume_exports_recorded(self, limits):
+        from repro.core.dag import AssayDAG, NodeKind
+
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("X", {"A": 1, "B": 1})
+        dag.add_unary("Y", "X")
+        dag.add_unary("U", "Y", kind=NodeKind.SEPARATE, unknown_volume=True)
+        dag.add_mix("Z", {"X": 1, "U": 1})
+        planner = RuntimePlanner(dag, limits)
+        session = planner.session()
+        # Assign partitions in order until X's home partition is done.
+        x_partition = planner.partitioned.partition_of("X").index
+        session.assign(x_partition)
+        assert "X" in session.productions  # recorded automatically

@@ -1,0 +1,96 @@
+"""Interplay of the DAG transforms with the statically-unknown machinery:
+cascaded (excess-bearing) DAGs must partition and dispense cleanly."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cascading import cascade_mix, stage_factors
+from repro.core.dag import AssayDAG, NodeKind
+from repro.core.limits import PAPER_LIMITS
+from repro.core.partition import partition_unknown_volumes
+from repro.core.runtime_assign import RuntimePlanner
+
+
+@pytest.fixture
+def cascaded_then_separated():
+    """An extreme mix cascaded upstream of an unknown-volume separation."""
+    dag = AssayDAG("interplay")
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_mix("M", {"A": 1, "B": 999})
+    dag.add_unary(
+        "S", "M", kind=NodeKind.SEPARATE, unknown_volume=True
+    )
+    dag.add_input("C")
+    dag.add_mix("final", {"S": 1, "C": 1})
+    cascaded, __ = cascade_mix(dag, "M", stage_factors(Fraction(1000), 3))
+    cascaded.validate()
+    return cascaded
+
+
+class TestCascadedPartitioning:
+    def test_partitions_cleanly(self, cascaded_then_separated):
+        result = partition_unknown_volumes(
+            cascaded_then_separated, PAPER_LIMITS
+        )
+        assert result.n_partitions == 2
+        # excess nodes ride along with their producer's partition
+        first = result.partitions[0]
+        excess_members = [
+            m for m in first.members if "excess" in m
+        ]
+        assert len(excess_members) == 2  # two cascade intermediates
+
+    def test_runtime_walk_with_excess(self, cascaded_then_separated):
+        planner = RuntimePlanner(cascaded_then_separated, PAPER_LIMITS)
+        session = planner.session()
+        first = session.assign(0)
+        assert first.feasible
+        session.record_measurement("S", Fraction(20))
+        second = session.assign(1)
+        assert second.feasible
+        # the final 1:1 mix draws the measured effluent's share
+        (draw,) = [
+            volume
+            for (src, dst), volume in second.edge_volume.items()
+            if dst == "final" and src.startswith("S")
+        ]
+        assert draw == 20
+
+    def test_vnorms_include_excess_discard(self, cascaded_then_separated):
+        planner = RuntimePlanner(cascaded_then_separated, PAPER_LIMITS)
+        vnorms = planner.vnorms[0]
+        intermediates = [
+            n
+            for n in planner.partitions[0].members
+            if "cascade" in n and "excess" not in n
+        ]
+        for intermediate in intermediates:
+            assert vnorms.node_vnorm[intermediate] == vnorms.node_vnorm["M"]
+
+
+class TestReplicatedPartitioning:
+    def test_replicated_input_feeding_unknown(self):
+        """Replicas and splits coexist: a replicated stock whose consumers
+        straddle a measurement barrier."""
+        from repro.core.replication import replicate_node
+
+        dag = AssayDAG("rep-part")
+        dag.add_input("stock")
+        for i in range(4):
+            dag.add_input(f"r{i}")
+            dag.add_mix(f"m{i}", {"stock": 1, f"r{i}": 1})
+        dag.add_unary(
+            "S", "m0", kind=NodeKind.SEPARATE, unknown_volume=True
+        )
+        dag.add_mix("late", {"S": 1, "m1": 1})
+        replicated, __ = replicate_node(dag, "stock", 2)
+        result = partition_unknown_volumes(replicated, PAPER_LIMITS)
+        assert result.n_partitions >= 2
+        planner = RuntimePlanner(replicated, PAPER_LIMITS)
+        session = planner.session()
+        # all epoch-0 partitions dispense immediately
+        for partition in planner.partitions:
+            if session.ready(partition.index):
+                assert session.assign(partition.index) is not None

@@ -1,0 +1,40 @@
+"""Every shipped example must run to completion (examples never rot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_and_run(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_example_inventory():
+    """The README promises at least these five."""
+    assert {
+        "quickstart",
+        "glucose_calibration",
+        "enzyme_kinetics",
+        "glycomics_runtime",
+        "custom_assay",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    load_and_run(name)
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 5  # examples narrate what they do

@@ -1,0 +1,165 @@
+"""The complete Figure 14 reproduction: every number in paper Section 4.2's
+enzyme-assay walkthrough, following the authors' manual procedure exactly.
+
+Paper claims checked here (100 nl maximum, 100 pl least count):
+
+1. dilutions have Vnorm 16/3 ~ 5.3; the diluent has Vnorm ~54 (maximum);
+2. DAGSolve dispenses 9.8 nl per dilution and 9.8 pl for the enzyme share
+   of the 1:999 mix -> underflow; LP fails too;
+3. cascading each 1:999 mix into three 1:9 stages gives every intermediate
+   Vnorm 16/3, raises diluent uses from 12 to 18 and its Vnorm to ~81;
+   the new minimum sits at the 1:99 mixes: 65.6 pl -> still underflow;
+4. replicating the diluent three ways drops each replica to Vnorm 27 and
+   triples the minimum to ~197 pl -> no underflow;
+5. replication *without* cascading only reaches 29.5 pl (3 x 9.8).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assays import enzyme
+from repro.core.cascading import cascade_mix, stage_factors
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.errors import InfeasibleError
+from repro.core.limits import PAPER_LIMITS
+from repro.core.lp import lp_solve
+from repro.core.replication import replicate_node
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return enzyme.build_dag()
+
+
+@pytest.fixture(scope="module")
+def cascaded(baseline):
+    dag = baseline
+    for reagent in enzyme.REAGENTS:
+        dag, __ = cascade_mix(
+            dag, f"{reagent}.dil4", stage_factors(Fraction(1000), 3)
+        )
+    return dag
+
+
+@pytest.fixture(scope="module")
+def cascaded_replicated(cascaded):
+    vnorms = compute_vnorms(cascaded)
+    weights = {
+        e.key: vnorms.edge_vnorm[e.key]
+        for e in cascaded.out_edges("diluent")
+    }
+    dag, __ = replicate_node(cascaded, "diluent", 3, weights=weights)
+    return dag
+
+
+class TestStep1Baseline:
+    def test_dilution_vnorm_16_3(self, baseline):
+        vnorms = compute_vnorms(baseline)
+        for reagent in enzyme.REAGENTS:
+            for i in range(1, 5):
+                assert vnorms.node_vnorm[f"{reagent}.dil{i}"] == Fraction(16, 3)
+
+    def test_diluent_vnorm_54(self, baseline):
+        vnorms = compute_vnorms(baseline)
+        assert vnorms.node_vnorm["diluent"] == Fraction(6778, 125)
+        assert round(float(vnorms.node_vnorm["diluent"])) == 54
+        assert vnorms.max_vnorm() == vnorms.node_vnorm["diluent"]
+
+    def test_dilutions_dispense_9_8_nl(self, baseline):
+        assignment = dagsolve(baseline, PAPER_LIMITS)
+        volume = assignment.node_volume["enzyme.dil1"]
+        assert round(float(volume), 1) == 9.8
+
+    def test_min_is_9_8_pl_underflow(self, baseline):
+        assignment = dagsolve(baseline, PAPER_LIMITS)
+        key, volume = assignment.min_edge()
+        assert key[1].endswith(".dil4")  # the 1:999 mixes
+        assert round(float(volume) * 1000, 1) == 9.8  # picoliters
+        assert not assignment.feasible
+
+    def test_lp_also_fails(self, baseline):
+        """Paper: 'we found that LP also fails to avoid this underflow.'"""
+        with pytest.raises(InfeasibleError):
+            lp_solve(baseline, PAPER_LIMITS)
+
+
+class TestStep2Cascading:
+    def test_intermediates_at_16_3(self, cascaded):
+        vnorms = compute_vnorms(cascaded)
+        for reagent in enzyme.REAGENTS:
+            for stage in (1, 2):
+                node = f"{reagent}.dil4.cascade{stage}"
+                assert vnorms.node_vnorm[node] == Fraction(16, 3)
+
+    def test_diluent_uses_grow_12_to_18(self, baseline, cascaded):
+        assert baseline.out_degree("diluent") == 12
+        assert cascaded.out_degree("diluent") == 18
+
+    def test_diluent_vnorm_81(self, cascaded):
+        vnorms = compute_vnorms(cascaded)
+        assert round(float(vnorms.node_vnorm["diluent"])) == 81
+
+    def test_new_min_65_6_pl_at_1_99(self, cascaded):
+        assignment = dagsolve(cascaded, PAPER_LIMITS)
+        key, volume = assignment.min_edge()
+        assert key[1].endswith(".dil3")  # the 1:99 mixes now bind
+        # exactly 100/1527 nl = 65.49 pl; the paper prints 65.6 pl
+        assert volume == Fraction(100, 1527)
+        assert 65 <= float(volume) * 1000 <= 66
+        assert not assignment.feasible
+
+    def test_cascade_stage_volume(self, cascaded):
+        """Our computed volume for the first cascade stage's reagent share.
+
+        The paper prints 123 pl here; recomputing from its own quantities
+        (edge Vnorm (1/10)(16/3), diluent Vnorm ~81) gives ~655 pl — see
+        EXPERIMENTS.md for the discrepancy note.  Either way the stage is
+        comfortably above the least count, which is the claim that matters.
+        """
+        assignment = dagsolve(cascaded, PAPER_LIMITS)
+        volume = assignment.edge_volume[("enzyme", "enzyme.dil4.cascade1")]
+        assert volume > PAPER_LIMITS.least_count
+        assert round(float(volume) * 1000) == 655
+
+
+class TestStep3Replication:
+    def test_replicas_at_27(self, cascaded_replicated):
+        vnorms = compute_vnorms(cascaded_replicated)
+        replicas = [
+            n.id
+            for n in cascaded_replicated.nodes()
+            if n.id == "diluent" or n.id.startswith("diluent.rep")
+        ]
+        assert len(replicas) == 3
+        for replica in replicas:
+            assert round(float(vnorms.node_vnorm[replica])) == 27
+
+    def test_min_rises_to_197_pl_feasible(self, cascaded_replicated):
+        """Paper: 65.5 pl x 3 ~ 196 pl, 'eliminating all underflow'."""
+        assignment = dagsolve(cascaded_replicated, PAPER_LIMITS)
+        key, volume = assignment.min_edge()
+        picoliters = float(volume) * 1000
+        assert 190 <= picoliters <= 200
+        assert assignment.feasible
+
+    def test_volumes_exactly_triple(self, cascaded, cascaded_replicated):
+        before = dagsolve(cascaded, PAPER_LIMITS)
+        after = dagsolve(cascaded_replicated, PAPER_LIMITS)
+        assert after.min_edge()[1] == 3 * before.min_edge()[1]
+
+
+class TestStep4ReplicationAlone:
+    def test_replication_only_reaches_29_5_pl(self, baseline):
+        """Paper: 'using replication without cascading ... resulted in
+        underflow with the minimum dispensed volume of 29.5 pl.'"""
+        vnorms = compute_vnorms(baseline)
+        weights = {
+            e.key: vnorms.edge_vnorm[e.key]
+            for e in baseline.out_edges("diluent")
+        }
+        replicated, __ = replicate_node(baseline, "diluent", 3, weights=weights)
+        assignment = dagsolve(replicated, PAPER_LIMITS)
+        key, volume = assignment.min_edge()
+        assert round(float(volume) * 1000, 1) == 29.5
+        assert not assignment.feasible

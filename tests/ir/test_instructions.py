@@ -1,0 +1,122 @@
+"""AIS instruction tests (paper Table 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.instructions import (
+    Instruction,
+    Opcode,
+    Operand,
+    dry_mov,
+    dry_mul,
+    incubate,
+    input_,
+    mix,
+    move,
+    move_abs,
+    output,
+    sense,
+    separate,
+)
+
+
+class TestOperand:
+    def test_parse_simple(self):
+        operand = Operand.parse("mixer1")
+        assert operand.base == "mixer1"
+        assert operand.sub is None
+
+    def test_parse_subport(self):
+        operand = Operand.parse("separator2.out1")
+        assert operand.base == "separator2"
+        assert operand.sub == "out1"
+
+    def test_str_roundtrip(self):
+        for text in ("s1", "separator1.matrix", "ip3"):
+            assert str(Operand.parse(text)) == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Operand.parse("")
+
+
+class TestFactories:
+    def test_move_relative(self):
+        instruction = move("mixer1", "s2", 4)
+        assert instruction.opcode is Opcode.MOVE
+        assert instruction.rel_volume == 4
+        assert instruction.render() == "move mixer1, s2, 4"
+
+    def test_move_implicit_volume(self):
+        assert move("sensor2", "mixer1").render() == "move sensor2, mixer1"
+
+    def test_move_abs(self):
+        instruction = move_abs("mixer1", "s1", Fraction(25, 10))
+        assert instruction.render() == "move-abs mixer1, s1, 2.5"
+
+    def test_input_with_comment(self):
+        instruction = input_("s1", "ip1", comment="Glucose")
+        assert instruction.render() == "input s1, ip1 ;Glucose"
+
+    def test_output(self):
+        assert output("op2", "mixer1").render() == "output op2, mixer1"
+
+    def test_mix(self):
+        assert mix("mixer1", 10).render() == "mix mixer1, 10"
+
+    def test_incubate(self):
+        assert incubate("heater1", 37, 300).render() == "incubate heater1, 37, 300"
+
+    def test_separate_modes(self):
+        assert separate("separator2", "LC", 30).render() == (
+            "separate.LC separator2, 30"
+        )
+        with pytest.raises(ValueError):
+            separate("separator2", "XX", 30)
+
+    def test_sense(self):
+        instruction = sense("sensor2", "OD", "Result[3]")
+        assert instruction.render() == "sense.OD sensor2, Result[3]"
+        with pytest.raises(ValueError):
+            sense("sensor2", "QQ", "r")
+
+    def test_dry_ops(self):
+        assert dry_mov("r0", "temp").render() == "dry-mov r0, temp"
+        assert dry_mul("r0", 10).render() == "dry-mul r0, 10"
+        assert not dry_mov("r0", 1).is_wet
+        assert mix("mixer1", 5).is_wet
+
+
+class TestValidation:
+    def test_move_abs_needs_volume(self):
+        instruction = Instruction(
+            Opcode.MOVE_ABS,
+            dst=Operand.parse("a"),
+            src=Operand.parse("b"),
+        )
+        with pytest.raises(ValueError):
+            instruction.validate()
+
+    def test_mix_needs_duration(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MIX, dst=Operand.parse("mixer1")).validate()
+
+    def test_sense_needs_result(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.SENSE, dst=Operand.parse("sensor2"), mode="OD"
+            ).validate()
+
+
+class TestWithVolume:
+    def test_with_volume_copies(self):
+        original = move("mixer1", "s1", 1, edge=("A", "K"))
+        resolved = original.with_volume(Fraction(13, 10))
+        assert resolved.abs_volume == Fraction(13, 10)
+        assert original.abs_volume is None
+        assert resolved.edge == ("A", "K")
+
+    def test_fractional_rel_volume_renders(self):
+        instruction = move("mixer1", "s1", Fraction(121, 4))
+        assert instruction.render() == "move mixer1, s1, 121/4"

@@ -1,0 +1,60 @@
+"""AIS program container tests."""
+
+import pytest
+
+from repro.ir.instructions import Opcode, input_, mix, move, sense
+from repro.ir.program import AISProgram
+
+
+@pytest.fixture
+def program():
+    prog = AISProgram("demo")
+    prog.extend(
+        [
+            input_("s1", "ip1", comment="A"),
+            move("mixer1", "s1", 1, edge=("A", "M")),
+            mix("mixer1", 10),
+            move("sensor2", "mixer1"),
+            sense("sensor2", "OD", "r"),
+        ]
+    )
+    return prog
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, program):
+        assert len(program) == 5
+        assert program[0].opcode is Opcode.INPUT
+        assert [i.opcode for i in program][-1] is Opcode.SENSE
+
+    def test_append_validates(self, program):
+        from repro.ir.instructions import Instruction
+
+        with pytest.raises(ValueError):
+            program.append(Instruction(Opcode.MIX))
+
+    def test_count(self, program):
+        assert program.count(Opcode.MOVE) == 2
+        assert program.count(Opcode.OUTPUT) == 0
+
+    def test_wet_instructions(self, program):
+        from repro.ir.instructions import dry_mov
+
+        program.append(dry_mov("r0", 1))
+        assert len(program.wet_instructions()) == 5
+
+    def test_moves_for_edge(self, program):
+        assert program.moves_for_edge(("A", "M")) == [1]
+        assert program.moves_for_edge(("X", "Y")) == []
+
+
+class TestRender:
+    def test_paper_style_listing(self, program):
+        listing = program.render()
+        assert listing.startswith("demo{")
+        assert listing.endswith("}")
+        assert "  input s1, ip1 ;A" in listing
+        assert "  sense.OD sensor2, r" in listing
+
+    def test_str_is_render(self, program):
+        assert str(program) == program.render()

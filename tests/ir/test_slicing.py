@@ -1,0 +1,123 @@
+"""Backward-slicing tests (regeneration's code selection)."""
+
+from repro.ir.instructions import (
+    incubate,
+    input_,
+    mix,
+    move,
+    output,
+    sense,
+    separate,
+)
+from repro.ir.slicing import backward_slice, def_use_chains, slice_for_location
+
+
+def glucose_like():
+    """input A, B; mix them twice; sense each mix."""
+    return [
+        input_("s1", "ip1"),              # 0
+        input_("s2", "ip2"),              # 1
+        move("mixer1", "s1", 1),          # 2
+        move("mixer1", "s2", 1),          # 3
+        mix("mixer1", 10),                # 4
+        move("sensor2", "mixer1"),        # 5
+        sense("sensor2", "OD", "r1"),     # 6
+        move("mixer1", "s1", 1),          # 7
+        move("mixer1", "s2", 2),          # 8
+        mix("mixer1", 10),                # 9
+        move("sensor2", "mixer1"),        # 10
+        sense("sensor2", "OD", "r2"),     # 11
+    ]
+
+
+class TestDefUse:
+    def test_inputs_have_no_deps(self):
+        chains = def_use_chains(glucose_like())
+        assert chains[0] == []
+        assert chains[1] == []
+
+    def test_moves_depend_on_producers(self):
+        chains = def_use_chains(glucose_like())
+        assert chains[2] == [0]
+        # the second deposit accumulates onto the first: both deps visible
+        assert chains[3] == [1, 2]
+
+    def test_mix_depends_on_both_moves(self):
+        chains = def_use_chains(glucose_like())
+        assert chains[4] == [3]  # mixer last written by move at 3
+        # ... and transitively on 2 via the slice:
+        assert set(backward_slice(glucose_like(), 4)) == {0, 1, 2, 3, 4}
+
+    def test_metered_move_does_not_kill_source(self):
+        chains = def_use_chains(glucose_like())
+        # instruction 7 reads s1, whose writer is still input 0 (the metered
+        # move at 2 did not drain it)
+        assert chains[7] == [0]
+
+    def test_drain_move_kills_source(self):
+        program = [
+            input_("s1", "ip1"),      # 0
+            move("mixer1", "s1"),     # 1  (drains s1)
+            input_("s1", "ip1"),      # 2  (refill)
+            move("mixer2", "s1", 1),  # 3
+        ]
+        chains = def_use_chains(program)
+        assert chains[3] == [2]
+
+
+class TestBackwardSlice:
+    def test_second_mix_slice_excludes_first_chain(self):
+        program = glucose_like()
+        slice9 = backward_slice(program, 9)
+        # The first mix's chain (2,3,4,5) is irrelevant to the second mix
+        # except through the shared inputs.
+        assert set(slice9) == {0, 1, 7, 8, 9}
+
+    def test_slice_is_sorted_program_order(self):
+        program = glucose_like()
+        for index in range(len(program)):
+            indices = backward_slice(program, index)
+            assert indices == sorted(indices)
+            assert indices[-1] == index
+
+    def test_separator_slice_includes_matrix_and_pusher(self):
+        program = [
+            input_("s1", "ip1"),                      # feed
+            input_("s3", "ip3"),                      # matrix fluid
+            input_("s4", "ip4"),                      # pusher fluid
+            move("separator1.matrix", "s3"),          # 3
+            move("separator1.pusher", "s4"),          # 4
+            move("separator1", "s1", 1),              # 5
+            separate("separator1", "AF", 30),         # 6
+            move("mixer1", "separator1.out1"),        # 7
+        ]
+        indices = backward_slice(program, 7)
+        assert set(indices) == {0, 1, 2, 3, 4, 5, 6, 7}
+
+    def test_out_of_range_rejected(self):
+        import pytest
+
+        with pytest.raises(IndexError):
+            backward_slice(glucose_like(), 99)
+
+
+class TestSliceForLocation:
+    def test_reservoir_location(self):
+        program = glucose_like()
+        indices = slice_for_location(program, "s1", before=7)
+        assert indices == [0]
+
+    def test_functional_unit_location(self):
+        program = glucose_like()
+        indices = slice_for_location(program, "mixer1", before=5)
+        assert set(indices) == {0, 1, 2, 3, 4}
+
+    def test_unknown_location_empty(self):
+        assert slice_for_location(glucose_like(), "s9", before=5) == []
+
+    def test_respects_kills(self):
+        program = [
+            input_("s1", "ip1"),   # 0
+            output("op1", "s1"),   # 1 drains s1
+        ]
+        assert slice_for_location(program, "s1", before=2) == []

@@ -1,0 +1,116 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("MIX glucose AND it")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.KEYWORD,
+        ]
+
+    def test_keywords_are_case_sensitive(self):
+        (token, __) = tokenize("mix")
+        assert token.kind is TokenKind.IDENT  # only uppercase MIX is a keyword
+
+    def test_numbers(self):
+        tokens = tokenize("1 999 10")
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+        assert texts("1 999 10") == ["1", "999", "10"]
+
+    def test_symbols(self):
+        assert texts("a = b * 10 - 1;") == ["a", "=", "b", "*", "10", "-", "1", ";"]
+
+    def test_two_char_symbols(self):
+        assert texts("a <= b >= c != d == e") == [
+            "a", "<=", "b", ">=", "c", "!=", "d", "==", "e",
+        ]
+
+    def test_underscored_identifiers(self):
+        assert texts("inhibitor_diluent C_18") == ["inhibitor_diluent", "C_18"]
+
+    def test_brackets_and_colons(self):
+        assert texts("Result[5] 1 : 4") == ["Result", "[", "5", "]", "1", ":", "4"]
+
+
+class TestComments:
+    def test_comment_to_end_of_line(self):
+        assert texts("a --buffer2 has PNGanF\nb") == ["a", "b"]
+
+    def test_comment_at_end_of_file(self):
+        assert texts("a --trailing") == ["a"]
+
+    def test_double_minus_is_comment_not_subtraction(self):
+        # "a - -b" would need spacing; "--" always starts a comment.
+        assert texts("a --b") == ["a"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_columns(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a ? b")
+        assert info.value.line == 1
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("ok\n  @")
+        assert info.value.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        (token, __) = tokenize("MIX")
+        assert token.is_keyword("MIX")
+        assert token.is_keyword("MIX", "SENSE")
+        assert not token.is_keyword("SENSE")
+
+    def test_is_symbol(self):
+        (token, __) = tokenize(";")
+        assert token.is_symbol(";")
+        assert not token.is_symbol(",")
+
+
+class TestFullAssays:
+    def test_paper_sources_tokenize(self):
+        from repro.assays import enzyme, glucose, glycomics, paper_example
+
+        for source in (
+            glucose.SOURCE,
+            glycomics.SOURCE,
+            enzyme.SOURCE,
+            paper_example.SOURCE,
+        ):
+            tokens = tokenize(source)
+            assert tokens[-1].kind is TokenKind.EOF
+            assert len(tokens) > 20

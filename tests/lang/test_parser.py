@@ -1,0 +1,275 @@
+"""Parser tests over the paper's assays and targeted error cases."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Compare,
+    FluidDecl,
+    ForStmt,
+    IfStmt,
+    IncubateStmt,
+    Index,
+    ItRef,
+    MixExpr,
+    Name,
+    Num,
+    SenseStmt,
+    SeparateStmt,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+
+
+def wrap(body: str, name: str = "t") -> str:
+    return f"ASSAY {name}\nSTART\n{body}\nEND\n"
+
+
+class TestProgramShape:
+    def test_name(self):
+        program = parse(wrap("fluid a, b;"))
+        assert program.name == "t"
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ParseError):
+            parse("ASSAY t\nSTART\nfluid a;\n")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse(wrap("fluid a;") + "junk")
+
+
+class TestDeclarations:
+    def test_fluid_list(self):
+        (decl,) = parse(wrap("fluid a, b, c;")).body
+        assert isinstance(decl, FluidDecl)
+        assert decl.names == [("a", ()), ("b", ()), ("c", ())]
+
+    def test_fluid_array(self):
+        (decl,) = parse(wrap("fluid Diluted_Inhibitor[4];")).body
+        assert decl.names == [("Diluted_Inhibitor", (4,))]
+
+    def test_var_multidim(self):
+        (decl,) = parse(wrap("VAR RESULT[4][4][4];")).body
+        assert isinstance(decl, VarDecl)
+        assert decl.names == [("RESULT", (4, 4, 4))]
+
+    def test_array_dim_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse(wrap("VAR n; fluid xs[n];"))
+
+
+class TestMix:
+    def test_assigned_mix_with_ratios(self):
+        source = wrap(
+            "fluid Glucose, Reagent, a;\n"
+            "a = MIX Glucose AND Reagent IN RATIOS 1 : 4 FOR 10;"
+        )
+        (__, assign) = parse(source).body
+        assert isinstance(assign, Assign)
+        mix = assign.value
+        assert isinstance(mix, MixExpr)
+        assert [str(op) for op in mix.operands] == ["Glucose", "Reagent"]
+        assert [e.value for e in mix.ratios] == [1, 4]
+        assert mix.duration.value == 10
+
+    def test_statement_mix_without_ratios(self):
+        source = wrap("fluid x, y;\nMIX x AND y FOR 30;")
+        (__, mix) = parse(source).body
+        assert isinstance(mix, MixExpr)
+        assert mix.ratios is None
+
+    def test_three_way_mix(self):
+        source = wrap(
+            "fluid a, b, c;\nMIX a AND b AND c IN RATIOS 1 : 100 : 1 FOR 30;"
+        )
+        (__, mix) = parse(source).body
+        assert len(mix.operands) == 3
+        assert [r.value for r in mix.ratios] == [1, 100, 1]
+
+    def test_ratio_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse(wrap("fluid a, b;\nMIX a AND b IN RATIOS 1 : 2 : 3 FOR 5;"))
+
+    def test_ratio_with_expression(self):
+        source = wrap(
+            "fluid e, d, x;\nVAR n;\nn = 9;\n"
+            "x = MIX e AND d IN RATIOS 1 : n FOR 30;"
+        )
+        statements = parse(source).body
+        mix = statements[-1].value
+        assert isinstance(mix.ratios[1], Name)
+
+    def test_single_operand_mix_rejected(self):
+        with pytest.raises(ParseError):
+            parse(wrap("fluid a;\nMIX a FOR 10;"))
+
+
+class TestSense:
+    def test_optical_into_array_cell(self):
+        source = wrap(
+            "fluid a, b;\nVAR Result[5];\n"
+            "MIX a AND b FOR 10;\nSENSE OPTICAL it INTO Result[1];"
+        )
+        sense = parse(source).body[-1]
+        assert isinstance(sense, SenseStmt)
+        assert sense.mode == "OD"
+        assert isinstance(sense.operand, ItRef)
+        assert isinstance(sense.target, Index)
+
+    def test_fluorescence_mode(self):
+        source = wrap(
+            "fluid a, b;\nVAR r;\nMIX a AND b FOR 10;\n"
+            "SENSE FLUORESCENCE it INTO r;"
+        )
+        sense = parse(source).body[-1]
+        assert sense.mode == "FL"
+
+
+class TestSeparate:
+    def test_affinity_separate(self):
+        source = wrap(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+        )
+        sep = parse(source).body[-1]
+        assert isinstance(sep, SeparateStmt)
+        assert sep.mode == "AF"
+        assert sep.matrix == "m"
+        assert sep.pusher == "p"
+        assert (sep.effluent, sep.waste) == ("eff", "w")
+
+    def test_lc_separate(self):
+        source = wrap(
+            "fluid s, m, p, eff, w;\n"
+            "LCSEPARATE s MATRIX m USING p FOR 2400 INTO eff AND w;"
+        )
+        assert parse(source).body[-1].mode == "LC"
+
+    def test_yield_hint(self):
+        source = wrap(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p YIELD 3 : 10 FOR 30 INTO eff AND w;"
+        )
+        sep = parse(source).body[-1]
+        assert sep.yield_hint is not None
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        source = wrap(
+            "fluid a, b, xs[4];\nVAR i;\n"
+            "FOR i FROM 1 TO 4 START\n"
+            "xs[i] = MIX a AND b IN RATIOS 1 : i FOR 30;\n"
+            "ENDFOR"
+        )
+        loop = parse(source).body[-1]
+        assert isinstance(loop, ForStmt)
+        assert loop.var == "i"
+        assert loop.start.value == 1 and loop.stop.value == 4
+        assert len(loop.body) == 1
+
+    def test_nested_loops(self):
+        source = wrap(
+            "fluid a, b;\nVAR i, j;\n"
+            "FOR i FROM 1 TO 2 START\n"
+            "FOR j FROM 1 TO 2 START\n"
+            "MIX a AND b FOR 10;\n"
+            "ENDFOR\nENDFOR"
+        )
+        outer = parse(source).body[-1]
+        inner = outer.body[0]
+        assert isinstance(inner, ForStmt)
+
+    def test_while_with_hint(self):
+        source = wrap(
+            "fluid a, b;\nVAR r;\nr = 0;\n"
+            "WHILE r < 3 HINT 10 START\nMIX a AND b FOR 10;\nENDWHILE"
+        )
+        loop = parse(source).body[-1]
+        assert isinstance(loop, WhileStmt)
+        assert isinstance(loop.condition, Compare)
+        assert loop.hint.value == 10
+
+    def test_if_then_else(self):
+        source = wrap(
+            "fluid a, b;\nVAR r;\nr = 1;\n"
+            "IF r == 1 THEN\nMIX a AND b FOR 10;\n"
+            "ELSE\nMIX a AND b FOR 20;\nENDIF"
+        )
+        conditional = parse(source).body[-1]
+        assert isinstance(conditional, IfStmt)
+        assert len(conditional.then_body) == 1
+        assert len(conditional.else_body) == 1
+
+    def test_if_without_else(self):
+        source = wrap(
+            "fluid a, b;\nVAR r;\nr = 1;\n"
+            "IF r > 0 THEN\nMIX a AND b FOR 10;\nENDIF"
+        )
+        conditional = parse(source).body[-1]
+        assert conditional.else_body == []
+
+    def test_condition_requires_comparison(self):
+        with pytest.raises(ParseError):
+            parse(wrap("VAR r;\nr = 1;\nIF r THEN\nENDIF"))
+
+
+class TestExpressions:
+    def test_precedence(self):
+        source = wrap("VAR t;\nt = 1 + 2 * 3;")
+        assign = parse(source).body[-1]
+        expression = assign.value
+        assert isinstance(expression, BinOp)
+        assert expression.op == "+"
+        assert isinstance(expression.right, BinOp)
+        assert expression.right.op == "*"
+
+    def test_parentheses(self):
+        source = wrap("VAR t;\nt = (1 + 2) * 3;")
+        expression = parse(source).body[-1].value
+        assert expression.op == "*"
+
+    def test_unary_minus(self):
+        source = wrap("VAR t;\nt = -4;")
+        expression = parse(source).body[-1].value
+        assert isinstance(expression, BinOp)
+        assert expression.left == Num(0, expression.line)
+
+
+class TestPaperAssays:
+    def test_glucose_parses(self):
+        from repro.assays import glucose
+
+        program = parse(glucose.SOURCE)
+        assert program.name == "glucose"
+        assert len(program.body) == 13  # 3 decls + 5 mixes + 5 senses
+
+    def test_glycomics_parses(self):
+        from repro.assays import glycomics
+
+        program = parse(glycomics.SOURCE)
+        assert program.name == "glycomics"
+
+    def test_enzyme_parses(self):
+        from repro.assays import enzyme
+
+        program = parse(enzyme.SOURCE)
+        incubates = [
+            s
+            for loop in program.body
+            if isinstance(loop, ForStmt)
+            for s in _walk(loop)
+            if isinstance(s, IncubateStmt)
+        ]
+        assert incubates  # the nested loop body has the incubate
+
+
+def _walk(statement):
+    yield statement
+    for attr in ("body", "then_body", "else_body"):
+        for child in getattr(statement, attr, []):
+            yield from _walk(child)

@@ -1,0 +1,130 @@
+"""Semantic analysis tests: namespaces, arity, declaration discipline."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+
+
+def check(body: str):
+    return analyze(parse(f"ASSAY t\nSTART\n{body}\nEND\n"))
+
+
+class TestDeclarations:
+    def test_symbols_recorded(self):
+        symbols = check("fluid a, xs[4];\nVAR i, Result[5];")
+        assert symbols.is_fluid("a")
+        assert symbols.dims_of("xs") == (4,)
+        assert symbols.is_var("Result")
+        assert symbols.dims_of("Result") == (5,)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a;\nVAR a;")
+
+    def test_duplicate_fluid_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a;\nfluid a;")
+
+
+class TestNamespaces:
+    def test_mix_of_var_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a;\nVAR v;\nMIX a AND v FOR 10;")
+
+    def test_mix_result_must_be_fluid(self):
+        with pytest.raises(SemanticError):
+            check("fluid a, b;\nVAR v;\nv = MIX a AND b FOR 10;")
+
+    def test_dry_assign_to_fluid_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a;\na = 4;")
+
+    def test_sense_into_fluid_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a, b, c;\nMIX a AND b FOR 10;\nSENSE OPTICAL it INTO c;")
+
+    def test_ratio_must_be_dry(self):
+        with pytest.raises(SemanticError):
+            check("fluid a, b, c;\nMIX a AND b IN RATIOS 1 : c FOR 10;")
+
+    def test_undeclared_fluid_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid a;\nMIX a AND ghost FOR 10;")
+
+    def test_it_before_definition_rejected(self):
+        with pytest.raises(SemanticError):
+            check("VAR r;\nSENSE OPTICAL it INTO r;")
+
+
+class TestIndexing:
+    def test_missing_indices_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid xs[4], b;\nMIX xs AND b FOR 10;")
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(SemanticError):
+            check("VAR m[2][2];\nm[1] = 3;")
+
+    def test_scalar_indexed_rejected(self):
+        with pytest.raises(SemanticError):
+            check("VAR v;\nv[1] = 3;")
+
+    def test_correct_rank_accepted(self):
+        check("VAR m[2][2];\nm[1][2] = 3;")
+
+
+class TestSeparate:
+    def test_products_must_be_declared(self):
+        with pytest.raises(SemanticError):
+            check(
+                "fluid s, m, p;\n"
+                "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+            )
+
+    def test_matrix_must_be_fluid(self):
+        with pytest.raises(SemanticError):
+            check(
+                "fluid s, p, eff, w;\nVAR m;\n"
+                "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+            )
+
+    def test_valid_separate_accepted(self):
+        check(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+        )
+
+
+class TestLoops:
+    def test_loop_variable_usable_in_body(self):
+        check(
+            "fluid a, b, xs[4];\n"
+            "FOR i FROM 1 TO 4 START\n"
+            "xs[i] = MIX a AND b IN RATIOS 1 : i FOR 30;\nENDFOR"
+        )
+
+    def test_loop_variable_fluid_collision_rejected(self):
+        with pytest.raises(SemanticError):
+            check("fluid i, a, b;\nFOR i FROM 1 TO 2 START\nMIX a AND b FOR 9;\nENDFOR")
+
+    def test_sense_result_usable_in_condition(self):
+        check(
+            "fluid a, b;\nVAR r;\n"
+            "MIX a AND b FOR 10;\nSENSE OPTICAL it INTO r;\n"
+            "IF r < 1 THEN\nMIX a AND b FOR 10;\nENDIF"
+        )
+
+
+class TestPaperAssays:
+    def test_all_paper_sources_analyze(self):
+        from repro.assays import enzyme, glucose, glycomics, paper_example
+
+        for source in (
+            glucose.SOURCE,
+            glycomics.SOURCE,
+            enzyme.SOURCE,
+            paper_example.SOURCE,
+        ):
+            analyze(parse(source))

@@ -1,0 +1,224 @@
+"""Unroller tests: loop expansion, dry folding, guards, fluid resolution."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.unroll import unroll
+
+
+def flat(body: str):
+    return unroll(parse(f"ASSAY t\nSTART\n{body}\nEND\n"))
+
+
+class TestLoops:
+    def test_for_loop_fully_unrolled(self):
+        result = flat(
+            "fluid a, b, xs[3];\nVAR i;\n"
+            "FOR i FROM 1 TO 3 START\n"
+            "xs[i] = MIX a AND b IN RATIOS 1 : i FOR 30;\nENDFOR"
+        )
+        mixes = [s for s in result.statements if s.kind == "mix"]
+        assert [m.target for m in mixes] == ["xs[1]", "xs[2]", "xs[3]"]
+        assert [m.ratios for m in mixes] == [(1, 1), (1, 2), (1, 3)]
+
+    def test_enzyme_dilution_series(self):
+        """The paper's temp/diluent arithmetic yields 1, 9, 99, 999."""
+        from repro.assays import enzyme
+
+        result = unroll(parse(enzyme.SOURCE))
+        dilutions = [
+            s
+            for s in result.statements
+            if s.kind == "mix" and s.target.startswith("Diluted_Enzyme")
+        ]
+        assert [m.ratios for m in dilutions] == [
+            (1, 1),
+            (1, 9),
+            (1, 99),
+            (1, 999),
+        ]
+
+    def test_enzyme_combination_count(self):
+        from repro.assays import enzyme
+
+        result = unroll(parse(enzyme.SOURCE))
+        combos = [
+            s
+            for s in result.statements
+            if s.kind == "mix" and len(s.operands) == 3
+        ]
+        assert len(combos) == 64
+        incubates = [s for s in result.statements if s.kind == "incubate"]
+        assert len(incubates) == 64
+
+    def test_while_hint_bounds_unroll(self):
+        result = flat(
+            "fluid a, b;\nVAR r;\n"
+            "MIX a AND b FOR 10;\nSENSE OPTICAL it INTO r;\n"
+            "WHILE r < 1 HINT 3 START\nMIX a AND b FOR 10;\nENDWHILE"
+        )
+        mixes = [s for s in result.statements if s.kind == "mix"]
+        assert len(mixes) == 1 + 3  # initial + HINT-bounded unroll
+
+    def test_while_with_dry_false_condition_skipped(self):
+        result = flat(
+            "fluid a, b;\nVAR n;\nn = 0;\n"
+            "WHILE n > 0 HINT 5 START\nMIX a AND b FOR 10;\nENDWHILE"
+        )
+        assert [s.kind for s in result.statements] == []
+
+
+class TestDryEvaluation:
+    def test_arithmetic(self):
+        result = flat(
+            "fluid a, b, x;\nVAR t;\nt = 2 * 3 + 4;\n"
+            "x = MIX a AND b IN RATIOS 1 : t FOR 10;"
+        )
+        (mix,) = [s for s in result.statements if s.kind == "mix"]
+        assert mix.ratios == (1, 10)
+
+    def test_array_cells(self):
+        result = flat(
+            "fluid a, b, x;\nVAR m[2];\nm[1] = 5;\nm[2] = m[1] * 2;\n"
+            "x = MIX a AND b IN RATIOS m[1] : m[2] FOR 10;"
+        )
+        (mix,) = [s for s in result.statements if s.kind == "mix"]
+        assert mix.ratios == (5, 10)
+
+    def test_uninitialized_read_rejected(self):
+        with pytest.raises(SemanticError):
+            flat("fluid a, b, x;\nVAR t;\nx = MIX a AND b IN RATIOS 1 : t FOR 10;")
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(SemanticError):
+            flat("VAR t, z;\nz = 0;\nt = 4 / z;")
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(SemanticError):
+            flat(
+                "fluid a, b, x;\nVAR t;\nt = 0;\n"
+                "x = MIX a AND b IN RATIOS 1 : t FOR 10;"
+            )
+
+
+class TestFluidResolution:
+    def test_inputs_are_never_defined_fluids(self):
+        result = flat("fluid a, b;\nMIX a AND b FOR 10;")
+        assert set(result.input_fluids) == {"a", "b"}
+
+    def test_it_chain(self):
+        result = flat(
+            "fluid a, b, c;\n"
+            "MIX a AND b FOR 10;\nINCUBATE it AT 37 FOR 30;\n"
+            "MIX it AND c FOR 10;"
+        )
+        kinds = [s.kind for s in result.statements]
+        assert kinds == ["mix", "incubate", "mix"]
+        incubate = result.statements[1]
+        final_mix = result.statements[2]
+        assert incubate.operands[0] == result.statements[0].target
+        assert final_mix.operands[0] == incubate.target
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(SemanticError):
+            flat(
+                "fluid a, b, xs[2];\nVAR i;\ni = 3;\n"
+                "xs[1] = MIX a AND b FOR 10;\nMIX xs[i] AND a FOR 10;"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(SemanticError):
+            flat(
+                "fluid a, b, x;\n"
+                "x = MIX a AND b FOR 10;\nx = MIX a AND b FOR 10;"
+            )
+
+    def test_use_before_definition_rejected(self):
+        with pytest.raises(SemanticError):
+            flat(
+                "fluid a, b, x;\nMIX x AND a FOR 10;\n"
+                "x = MIX a AND b FOR 10;"
+            )
+
+    def test_waste_use_rejected(self):
+        with pytest.raises(SemanticError):
+            flat(
+                "fluid s, m, p, eff, w, out;\n"
+                "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;\n"
+                "out = MIX w AND s FOR 10;"
+            )
+
+    def test_distinct_mix_operands_required(self):
+        with pytest.raises(SemanticError):
+            flat("fluid a;\nVAR r;\nMIX a AND a FOR 10;")
+
+
+class TestSeparateAndConcentrate:
+    def test_yield_hint_fraction(self):
+        result = flat(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p YIELD 3 : 10 FOR 30 INTO eff AND w;"
+        )
+        (sep,) = [s for s in result.statements if s.kind == "separate"]
+        assert sep.yield_fraction == Fraction(3, 10)
+        assert sep.mode == "AF"
+
+    def test_aux_fluids_collected(self):
+        result = flat(
+            "fluid s, m, p, eff, w;\n"
+            "SEPARATE s MATRIX m USING p FOR 30 INTO eff AND w;"
+        )
+        assert set(result.aux_fluids) == {"m", "p"}
+        assert "m" not in result.input_fluids
+
+    def test_concentrate_default_keep(self):
+        result = flat(
+            "fluid a, b;\nMIX a AND b FOR 10;\nCONCENTRATE it AT 90 FOR 60;"
+        )
+        (conc,) = [s for s in result.statements if s.kind == "concentrate"]
+        assert conc.keep_fraction == Fraction(1, 2)
+
+    def test_concentrate_keep_clause(self):
+        result = flat(
+            "fluid a, b;\nMIX a AND b FOR 10;\n"
+            "CONCENTRATE it AT 90 FOR 60 KEEP 1 : 4;"
+        )
+        (conc,) = [s for s in result.statements if s.kind == "concentrate"]
+        assert conc.keep_fraction == Fraction(1, 4)
+
+
+class TestGuards:
+    def test_static_if_folds(self):
+        result = flat(
+            "fluid a, b;\nVAR n;\nn = 1;\n"
+            "IF n == 1 THEN\nMIX a AND b FOR 10;\n"
+            "ELSE\nMIX a AND b FOR 99;\nENDIF"
+        )
+        (mix,) = [s for s in result.statements if s.kind == "mix"]
+        assert mix.duration == 10
+        assert mix.guard is None
+
+    def test_dynamic_if_includes_both_paths(self):
+        result = flat(
+            "fluid a, b;\nVAR r;\n"
+            "MIX a AND b FOR 10;\nSENSE OPTICAL it INTO r;\n"
+            "IF r < 1 THEN\nMIX a AND b FOR 20;\n"
+            "ELSE\nMIX a AND b FOR 30;\nENDIF"
+        )
+        guarded = [s for s in result.statements if s.guard is not None]
+        assert len(guarded) == 2
+        (then_branch, else_branch) = guarded
+        assert then_branch.guard[0] == else_branch.guard[0]
+        assert then_branch.guard[1] is True
+        assert else_branch.guard[1] is False
+        assert result.dynamic_conditions
+        assert result.dynamic_condition_exprs
+
+    def test_results_collected_in_order(self):
+        from repro.assays import glucose
+
+        result = unroll(parse(glucose.SOURCE))
+        assert result.results == tuple(f"Result[{i}]" for i in range(1, 6))

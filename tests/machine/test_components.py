@@ -1,0 +1,183 @@
+"""Component tests: containers and functional units."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.components import (
+    Container,
+    Heater,
+    Mixer,
+    Reservoir,
+    Sensor,
+    Separator,
+)
+from repro.machine.errors import CapacityError, ComponentError, EmptyError
+from repro.machine.fluids import Mixture
+from repro.machine.separation import FractionalYield
+
+
+class TestContainer:
+    def test_deposit_and_draw(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.pure("a", 40))
+        taken = container.draw(10)
+        assert taken.volume == 10
+        assert container.volume == 30
+        assert container.free == 70
+
+    def test_overflow_raises(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.pure("a", 90))
+        with pytest.raises(CapacityError) as info:
+            container.deposit(Mixture.pure("a", 20))
+        assert info.value.component == "c"
+
+    def test_overdraw_raises(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.pure("a", 5))
+        with pytest.raises(EmptyError):
+            container.draw(6)
+
+    def test_drain(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.pure("a", 5))
+        drained = container.drain()
+        assert drained.volume == 5
+        assert container.is_empty
+
+    def test_discard(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.pure("a", 5))
+        assert container.discard() == 5
+        assert container.is_empty
+
+    def test_empty_deposit_noop(self):
+        container = Container("c", Fraction(100))
+        container.deposit(Mixture.empty())
+        assert container.is_empty
+
+
+class TestMixer:
+    def test_mix_counts(self):
+        mixer = Mixer("mixer1", Fraction(100))
+        mixer.deposit(Mixture.pure("a", 10))
+        mixer.mix(10)
+        mixer.mix(5)
+        assert mixer.mix_count == 2
+        assert mixer.total_mix_time == 15
+
+    def test_mix_empty_rejected(self):
+        with pytest.raises(ComponentError):
+            Mixer("mixer1", Fraction(100)).mix(10)
+
+    def test_mix_nonpositive_duration_rejected(self):
+        mixer = Mixer("mixer1", Fraction(100))
+        mixer.deposit(Mixture.pure("a", 10))
+        with pytest.raises(ComponentError):
+            mixer.mix(0)
+
+
+class TestHeater:
+    def test_incubate_records_log(self):
+        heater = Heater("heater1", Fraction(100))
+        heater.deposit(Mixture.pure("a", 10))
+        heater.incubate(37, 300)
+        assert heater.temperature == 37
+        assert heater.incubation_log == [(37, 300)]
+        assert heater.volume == 10  # flow conserving
+
+    def test_concentrate_reduces_volume(self):
+        heater = Heater("heater1", Fraction(100))
+        heater.deposit(Mixture.pure("a", 40))
+        lost = heater.concentrate(90, 60, Fraction(1, 4))
+        assert heater.volume == 10
+        assert lost == 30
+
+    def test_concentrate_bad_fraction(self):
+        heater = Heater("heater1", Fraction(100))
+        heater.deposit(Mixture.pure("a", 40))
+        with pytest.raises(ComponentError):
+            heater.concentrate(90, 60, Fraction(3, 2))
+
+    def test_incubate_empty_rejected(self):
+        with pytest.raises(ComponentError):
+            Heater("heater1", Fraction(100)).incubate(37, 10)
+
+
+class TestSeparator:
+    def make(self, fraction=Fraction(3, 10)):
+        return Separator(
+            "separator1",
+            Fraction(100),
+            modes=("AF",),
+            model=FractionalYield(fraction),
+        )
+
+    def test_separate_splits_to_outlets(self):
+        separator = self.make()
+        separator.deposit(Mixture.pure("sample", 50))
+        effluent, waste = separator.separate("AF", 30)
+        assert effluent == 15
+        assert waste == 35
+        assert separator.out1.volume == 15
+        assert separator.out2.volume == 35
+        assert separator.is_empty
+
+    def test_mode_check(self):
+        separator = self.make()
+        separator.deposit(Mixture.pure("sample", 50))
+        with pytest.raises(ComponentError):
+            separator.separate("LC", 30)
+
+    def test_pusher_and_matrix_consumed(self):
+        separator = self.make()
+        separator.pusher.deposit(Mixture.pure("buffer", 20))
+        separator.matrix.deposit(Mixture.pure("lectin", 30))
+        separator.deposit(Mixture.pure("sample", 50))
+        separator.separate("AF", 30)
+        assert separator.pusher.is_empty
+        assert separator.matrix.is_empty
+
+    def test_sub_ports(self):
+        separator = self.make()
+        assert separator.sub("matrix") is separator.matrix
+        assert separator.sub("out2") is separator.out2
+        with pytest.raises(ComponentError):
+            separator.sub("bogus")
+
+    def test_empty_separation_rejected(self):
+        with pytest.raises(ComponentError):
+            self.make().separate("AF", 30)
+
+
+class TestSensor:
+    def test_reading_uses_coefficients(self):
+        sensor = Sensor(
+            "sensor2",
+            Fraction(100),
+            senses=("OD",),
+            coefficients={"Glucose": Fraction(2)},
+        )
+        sensor.deposit(
+            Mixture({"Glucose": Fraction(10), "Reagent": Fraction(30)})
+        )
+        reading = sensor.read("OD")
+        assert reading == Fraction(1, 2)  # 2 * (10/40)
+        assert sensor.readings == [reading]
+
+    def test_reading_non_destructive(self):
+        sensor = Sensor("sensor2", Fraction(100), coefficients={})
+        sensor.deposit(Mixture.pure("a", 10))
+        sensor.read("OD")
+        assert sensor.volume == 10
+
+    def test_mode_check(self):
+        sensor = Sensor("sensor2", Fraction(100), senses=("OD",))
+        sensor.deposit(Mixture.pure("a", 10))
+        with pytest.raises(ComponentError):
+            sensor.read("FL")
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(ComponentError):
+            Sensor("sensor2", Fraction(100)).read("OD")

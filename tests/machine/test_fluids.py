@@ -1,0 +1,110 @@
+"""Mixture tests: exact composition tracking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.fluids import Mixture
+
+
+class TestConstruction:
+    def test_pure(self):
+        mixture = Mixture.pure("Glucose", 50)
+        assert mixture.volume == 50
+        assert mixture.concentration("Glucose") == 1
+
+    def test_empty(self):
+        assert Mixture.empty().is_empty
+        assert Mixture.empty().volume == 0
+
+    def test_zero_components_dropped(self):
+        mixture = Mixture({"a": Fraction(0), "b": Fraction(5)})
+        assert mixture.species() == ("b",)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Mixture({"a": Fraction(-1)})
+
+
+class TestMerge:
+    def test_merge_adds_components(self):
+        merged = Mixture.pure("a", 10).merge(Mixture.pure("b", 30))
+        assert merged.volume == 40
+        assert merged.concentration("a") == Fraction(1, 4)
+        assert merged.concentration("b") == Fraction(3, 4)
+
+    def test_merge_same_species(self):
+        merged = Mixture.pure("a", 10).merge(Mixture.pure("a", 5))
+        assert merged.amount("a") == 15
+
+    def test_merge_does_not_mutate(self):
+        left = Mixture.pure("a", 10)
+        left.merge(Mixture.pure("b", 1))
+        assert left.species() == ("a",)
+
+
+class TestTake:
+    def test_take_proportional(self):
+        mixture = Mixture({"a": Fraction(30), "b": Fraction(10)})
+        taken = mixture.take(20)
+        assert taken.volume == 20
+        assert taken.amount("a") == 15
+        assert taken.amount("b") == 5
+        assert mixture.volume == 20
+
+    def test_take_all(self):
+        mixture = Mixture.pure("a", 7)
+        taken = mixture.take_all()
+        assert taken.volume == 7
+        assert mixture.is_empty
+
+    def test_take_too_much_rejected(self):
+        with pytest.raises(ValueError):
+            Mixture.pure("a", 5).take(6)
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Mixture.pure("a", 5).take(-1)
+
+    def test_take_zero(self):
+        mixture = Mixture.pure("a", 5)
+        assert mixture.take(0).is_empty
+        assert mixture.volume == 5
+
+    def test_conservation_is_exact(self):
+        mixture = Mixture({"a": Fraction(1, 3), "b": Fraction(2, 7)})
+        total = mixture.volume
+        taken = mixture.take(total / 3)
+        assert taken.volume + mixture.volume == total
+
+    def test_split(self):
+        mixture = Mixture.pure("a", 10)
+        first, second = mixture.split([2, 3])
+        assert first.volume == 2 and second.volume == 3
+        assert mixture.volume == 5
+
+
+class TestTransforms:
+    def test_scaled(self):
+        mixture = Mixture({"a": Fraction(4), "b": Fraction(8)})
+        half = mixture.scaled(Fraction(1, 2))
+        assert half.amount("a") == 2
+        assert mixture.amount("a") == 4  # original untouched
+
+    def test_relabelled(self):
+        mixture = Mixture({"a": Fraction(4), "b": Fraction(8)})
+        product = mixture.relabelled("digest")
+        assert product.volume == 12
+        assert product.species() == ("digest",)
+
+    def test_concentration_of_absent_species(self):
+        assert Mixture.pure("a", 1).concentration("zz") == 0
+
+    def test_concentration_of_empty(self):
+        assert Mixture.empty().concentration("a") == 0
+
+    def test_approx_equal(self):
+        mixture = Mixture({"a": Fraction(1), "b": Fraction(2)})
+        assert mixture.approx_equal({"a": 1, "b": 2})
+        assert not mixture.approx_equal({"a": 1})
+        assert mixture.approx_equal({"a": 1, "b": Fraction(21, 10)}, tolerance=Fraction(2, 10))

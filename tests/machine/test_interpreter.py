@@ -1,0 +1,239 @@
+"""AIS interpreter tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.instructions import (
+    dry_add,
+    dry_mov,
+    dry_mul,
+    dry_sub,
+    incubate,
+    input_,
+    mix,
+    move,
+    move_abs,
+    output,
+    sense,
+    separate,
+)
+from repro.machine.errors import (
+    EmptyError,
+    MeteringError,
+    UnknownOperandError,
+)
+from repro.machine.interpreter import Machine
+from repro.machine.separation import FractionalYield
+from repro.machine.spec import AQUACORE_SPEC
+import dataclasses
+
+
+@pytest.fixture
+def machine():
+    spec = dataclasses.replace(
+        AQUACORE_SPEC,
+        extinction_coefficients={"Glucose": Fraction(2)},
+    )
+    m = Machine(spec)
+    m.bind_port("ip1", "Glucose")
+    m.bind_port("ip2", "Reagent")
+    return m
+
+
+def run(machine, instructions):
+    for index, instruction in enumerate(instructions):
+        machine.execute(instruction, index=index)
+
+
+class TestInputOutput:
+    def test_input_with_volume(self, machine):
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(40)))
+        assert machine.component("s1").volume == 40
+        assert machine.ports["ip1"].drawn == 40
+
+    def test_input_without_volume_fills_reservoir(self, machine):
+        machine.execute(input_("s1", "ip1"))
+        assert machine.component("s1").volume == 100
+
+    def test_unbound_port_rejected(self, machine):
+        with pytest.raises(UnknownOperandError):
+            machine.execute(input_("s1", "ip9"))
+
+    def test_finite_supply_exhausts(self, machine):
+        machine.bind_port("ip3", "Rare", supply=30)
+        machine.execute(input_("s1", "ip3", abs_volume=Fraction(20)))
+        with pytest.raises(EmptyError):
+            machine.execute(input_("s2", "ip3", abs_volume=Fraction(20)))
+
+    def test_output_tallies(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(40)),
+                output("op1", "s1"),
+            ],
+        )
+        assert machine.output_tally["op1"] == 40
+        assert machine.component("s1").is_empty
+
+
+class TestMove:
+    def test_metered_move(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(40)),
+                move_abs("mixer1", "s1", Fraction(15)),
+            ],
+        )
+        assert machine.component("mixer1").volume == 15
+        assert machine.component("s1").volume == 25
+
+    def test_drain_move(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(40)),
+                move("mixer1", "s1"),
+            ],
+        )
+        assert machine.component("s1").is_empty
+        assert machine.component("mixer1").volume == 40
+
+    def test_drain_from_empty_raises(self, machine):
+        with pytest.raises(EmptyError):
+            machine.execute(move("mixer1", "s1"))
+
+    def test_sub_least_count_move_rejected(self, machine):
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(40)))
+        with pytest.raises(MeteringError):
+            machine.execute(move_abs("mixer1", "s1", Fraction(1, 100)))
+
+    def test_resolver_supplies_volume(self, machine):
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(40)))
+        instruction = move("mixer1", "s1", 1, edge=("Glucose", "a"))
+        machine.execute(
+            instruction, resolver=lambda i: Fraction(12) if i.edge else None
+        )
+        assert machine.component("mixer1").volume == 12
+
+    def test_sensor_flushes_on_deposit(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(40)),
+                move_abs("sensor2", "s1", Fraction(10)),
+                move_abs("sensor2", "s1", Fraction(10)),
+            ],
+        )
+        assert machine.component("sensor2").volume == 10  # flushed, not 20
+
+
+class TestWetOperations:
+    def test_mix_and_sense(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(40)),
+                input_("s2", "ip2", abs_volume=Fraction(40)),
+                move_abs("mixer1", "s1", Fraction(10)),
+                move_abs("mixer1", "s2", Fraction(30)),
+                mix("mixer1", 10),
+                move("sensor2", "mixer1"),
+            ],
+        )
+        reading = machine.execute(sense("sensor2", "OD", "Result[1]"))
+        assert reading == Fraction(1, 2)  # 2 * 10/40
+        assert machine.results["Result[1]"] == Fraction(1, 2)
+
+    def test_incubate(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(20)),
+                move("heater1", "s1"),
+                incubate("heater1", 37, 300),
+            ],
+        )
+        heater = machine.component("heater1")
+        assert heater.temperature == 37
+        assert heater.volume == 20
+
+    def test_separate_reports_measurement(self, machine):
+        m = Machine(
+            AQUACORE_SPEC,
+            separation_models={"separator1": FractionalYield(Fraction(3, 10))},
+        )
+        m.bind_port("ip1", "sample")
+        run(
+            m,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(50)),
+                move("separator1", "s1"),
+            ],
+        )
+        measurement = m.execute(separate("separator1", "AF", 30))
+        assert measurement == 15
+        assert m.component("separator1.out1").volume == 15
+        assert m.component("separator1.out2").volume == 35
+
+    def test_wrong_unit_kind_rejected(self, machine):
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(20)))
+        machine.execute(move("heater1", "s1"))
+        from repro.machine.errors import ComponentError
+
+        with pytest.raises(ComponentError):
+            machine.execute(mix("heater1", 10))
+
+
+class TestDryOps:
+    def test_register_arithmetic(self, machine):
+        run(
+            machine,
+            [
+                dry_mov("temp", 1),
+                dry_mul("temp", 10),
+                dry_sub("temp", 1),
+                dry_mov("r0", "temp"),
+                dry_add("r0", 5),
+            ],
+        )
+        assert machine.registers["temp"] == 9
+        assert machine.registers["r0"] == 14
+
+    def test_dry_ops_not_counted_wet(self, machine):
+        machine.execute(dry_mov("r0", 1))
+        assert machine.trace.dry_instruction_count == 1
+        assert machine.trace.wet_instruction_count == 0
+
+
+class TestConservation:
+    def test_on_chip_volume_tracks_inputs_minus_outputs(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(60)),
+                input_("s2", "ip2", abs_volume=Fraction(40)),
+                move_abs("mixer1", "s1", Fraction(30)),
+                move_abs("mixer1", "s2", Fraction(10)),
+                mix("mixer1", 10),
+                output("op1", "mixer1"),
+            ],
+        )
+        total_in = Fraction(100)
+        total_out = machine.output_tally["op1"]
+        assert machine.total_onchip_volume() == total_in - total_out
+
+    def test_trace_counts(self, machine):
+        run(
+            machine,
+            [
+                input_("s1", "ip1", abs_volume=Fraction(60)),
+                move_abs("mixer1", "s1", Fraction(30)),
+                mix("mixer1", 10),
+            ],
+        )
+        assert machine.trace.wet_instruction_count == 3
+        assert len(machine.trace) == 3
+        assert "mix mixer1, 10" in machine.trace.render()

@@ -1,0 +1,90 @@
+"""Smaller machine behaviours: port bookkeeping, traces, hinted yields."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.instructions import input_, move, separate, sense
+from repro.machine.errors import UnknownOperandError
+from repro.machine.interpreter import Machine
+from repro.machine.separation import FractionalYield
+from repro.machine.spec import AQUACORE_SPEC
+
+
+class TestPorts:
+    def test_bind_ports_bulk(self):
+        machine = Machine(AQUACORE_SPEC)
+        machine.bind_ports({"ip1": "a", "ip2": "b"})
+        assert machine.ports["ip1"].species == "a"
+        assert machine.ports["ip2"].species == "b"
+
+    def test_bad_port_name(self):
+        machine = Machine(AQUACORE_SPEC)
+        with pytest.raises(UnknownOperandError):
+            machine.bind_port("zz9", "a")
+
+    def test_unknown_component(self):
+        machine = Machine(AQUACORE_SPEC)
+        with pytest.raises(UnknownOperandError):
+            machine.component("frobnicator7")
+
+    def test_subport_on_non_separator(self):
+        machine = Machine(AQUACORE_SPEC)
+        with pytest.raises(UnknownOperandError):
+            machine.component("mixer1.out1")
+
+
+class TestHintedYields:
+    def run_separation(self, machine, hint=None):
+        machine.bind_port("ip1", "feed")
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(40)))
+        machine.execute(move("separator1", "s1"))
+        meta = {} if hint is None else {"yield_fraction": hint}
+        instruction = separate("separator1", "AF", 30, meta=meta)
+        return machine.execute(instruction)
+
+    def test_hint_honoured_without_user_model(self):
+        machine = Machine(AQUACORE_SPEC)
+        effluent = self.run_separation(machine, hint=Fraction(1, 4))
+        assert effluent == 10  # 40 * 1/4
+
+    def test_user_model_wins_over_hint(self):
+        machine = Machine(
+            AQUACORE_SPEC,
+            separation_models={"separator1": FractionalYield(Fraction(3, 4))},
+        )
+        effluent = self.run_separation(machine, hint=Fraction(1, 4))
+        assert effluent == 30  # the installed chemistry, not the hint
+
+    def test_default_model_without_hint(self):
+        machine = Machine(AQUACORE_SPEC)
+        effluent = self.run_separation(machine)
+        assert effluent == 20  # FractionalYield(1/2) default
+
+    def test_hint_does_not_stick(self):
+        """The model swap is scoped to the hinted instruction."""
+        machine = Machine(AQUACORE_SPEC)
+        self.run_separation(machine, hint=Fraction(1, 4))
+        separator = machine.component("separator1")
+        from repro.machine.separation import FractionalYield as FY
+
+        assert isinstance(separator.model, FY)
+        assert separator.model.fraction == Fraction(1, 2)
+
+
+class TestTraceRendering:
+    def test_render_limit(self):
+        machine = Machine(AQUACORE_SPEC)
+        machine.bind_port("ip1", "a")
+        for __ in range(5):
+            machine.execute(input_("s1", "ip1", abs_volume=Fraction(1)))
+        text = machine.trace.render(limit=2)
+        assert "(3 more)" in text
+
+    def test_measurements_map(self):
+        machine = Machine(AQUACORE_SPEC)
+        machine.bind_port("ip1", "feed")
+        machine.execute(input_("s1", "ip1", abs_volume=Fraction(40)))
+        machine.execute(move("separator1", "s1"))
+        machine.execute(separate("separator1", "AF", 30), index=2)
+        assert machine.trace.measurements()[2] == 20

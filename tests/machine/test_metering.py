@@ -1,0 +1,43 @@
+"""Metering-pump tests: the least count lives here."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.limits import PAPER_LIMITS
+from repro.machine.errors import MeteringError
+from repro.machine.metering import MeteringPump
+
+
+class TestMeter:
+    def test_exact_multiple_passes(self):
+        pump = MeteringPump(PAPER_LIMITS)
+        assert pump.meter(Fraction(5, 10)) == Fraction(5, 10)
+
+    def test_below_least_count_rejected(self):
+        pump = MeteringPump(PAPER_LIMITS)
+        with pytest.raises(MeteringError) as info:
+            pump.meter(Fraction(5, 100))
+        assert info.value.least_count == PAPER_LIMITS.least_count
+
+    def test_non_multiple_quantised_by_default(self):
+        pump = MeteringPump(PAPER_LIMITS)
+        assert pump.meter(Fraction(123, 1000)) == Fraction(1, 10)
+
+    def test_strict_rejects_non_multiples(self):
+        pump = MeteringPump(PAPER_LIMITS, strict=True)
+        with pytest.raises(MeteringError):
+            pump.meter(Fraction(123, 1000))
+
+    def test_strict_accepts_multiples(self):
+        pump = MeteringPump(PAPER_LIMITS, strict=True)
+        assert pump.meter(Fraction(3, 10)) == Fraction(3, 10)
+
+
+class TestStatistics:
+    def test_record_accumulates(self):
+        pump = MeteringPump(PAPER_LIMITS)
+        pump.record(Fraction(10))
+        pump.record(Fraction(5))
+        assert pump.total_pumped == 15
+        assert pump.transfer_count == 2

@@ -1,0 +1,57 @@
+"""Separation-model tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.fluids import Mixture
+from repro.machine.separation import FractionalYield, SpeciesFilter
+
+
+class TestFractionalYield:
+    def test_splits_by_fraction(self):
+        model = FractionalYield(Fraction(1, 4))
+        effluent, waste = model.separate(Mixture.pure("a", 40))
+        assert effluent.volume == 10
+        assert waste.volume == 30
+
+    def test_composition_unchanged(self):
+        model = FractionalYield(Fraction(1, 2))
+        feed = Mixture({"a": Fraction(10), "b": Fraction(30)})
+        effluent, __ = model.separate(feed)
+        assert effluent.concentration("a") == Fraction(1, 4)
+
+    def test_extremes(self):
+        keep_all = FractionalYield(Fraction(1))
+        effluent, waste = keep_all.separate(Mixture.pure("a", 5))
+        assert effluent.volume == 5 and waste.volume == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            FractionalYield(Fraction(3, 2))
+
+
+class TestSpeciesFilter:
+    def test_keeps_listed_species(self):
+        model = SpeciesFilter(["glycan"], recovery=1)
+        feed = Mixture({"glycan": Fraction(10), "protein": Fraction(30)})
+        effluent, waste = model.separate(feed)
+        assert effluent.species() == ("glycan",)
+        assert waste.species() == ("protein",)
+
+    def test_recovery_rate(self):
+        model = SpeciesFilter(["glycan"], recovery=Fraction(9, 10))
+        feed = Mixture.pure("glycan", 10)
+        effluent, waste = model.separate(feed)
+        assert effluent.volume == 9
+        assert waste.volume == 1
+
+    def test_volume_conserved(self):
+        model = SpeciesFilter(["a", "b"], recovery=Fraction(7, 11))
+        feed = Mixture({"a": Fraction(3), "b": Fraction(5), "c": Fraction(9)})
+        effluent, waste = model.separate(feed)
+        assert effluent.volume + waste.volume == feed.volume
+
+    def test_invalid_recovery_rejected(self):
+        with pytest.raises(ValueError):
+            SpeciesFilter(["a"], recovery=2)

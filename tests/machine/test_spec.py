@@ -1,0 +1,84 @@
+"""Machine-spec tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.limits import HardwareLimits
+from repro.machine.spec import (
+    AQUACORE_SPEC,
+    AQUACORE_XL_SPEC,
+    FunctionalUnitSpec,
+    MachineSpec,
+)
+
+
+class TestAquacoreSpec:
+    def test_paper_units_present(self):
+        names = {u.name for u in AQUACORE_SPEC.functional_units}
+        assert {"mixer1", "heater1", "separator1", "separator2", "sensor2"} <= names
+
+    def test_mode_routing(self):
+        assert AQUACORE_SPEC.separator_for_mode("AF").name == "separator1"
+        assert AQUACORE_SPEC.separator_for_mode("LC").name == "separator2"
+        assert AQUACORE_SPEC.sensor_for_mode("OD").name == "sensor2"
+        assert AQUACORE_SPEC.sensor_for_mode("FL").name == "sensor1"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(KeyError):
+            AQUACORE_SPEC.separator_for_mode("XYZ")
+
+    def test_naming_schemes(self):
+        assert AQUACORE_SPEC.reservoir_names()[0] == "s1"
+        assert AQUACORE_SPEC.input_port_names()[0] == "ip1"
+        assert AQUACORE_SPEC.output_port_names()[-1].startswith("op")
+
+    def test_xl_is_larger(self):
+        assert AQUACORE_XL_SPEC.n_reservoirs > AQUACORE_SPEC.n_reservoirs
+
+
+class TestValidation:
+    def test_duplicate_unit_names_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                limits=AQUACORE_SPEC.limits,
+                n_reservoirs=4,
+                n_input_ports=4,
+                n_output_ports=1,
+                functional_units=(
+                    FunctionalUnitSpec("mixer1", "mixer"),
+                    FunctionalUnitSpec("mixer1", "mixer"),
+                ),
+            )
+
+    def test_unknown_unit_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitSpec("frobnicator1", "frobnicator")
+
+    def test_zero_reservoirs_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                limits=AQUACORE_SPEC.limits,
+                n_reservoirs=0,
+                n_input_ports=1,
+                n_output_ports=1,
+                functional_units=(),
+            )
+
+
+class TestDerived:
+    def test_capacity_defaults_to_machine_limit(self):
+        unit = AQUACORE_SPEC.unit("mixer1")
+        assert AQUACORE_SPEC.capacity_of(unit) == AQUACORE_SPEC.limits.max_capacity
+
+    def test_capacity_override(self):
+        unit = FunctionalUnitSpec("mixer9", "mixer", capacity=Fraction(42))
+        assert AQUACORE_SPEC.capacity_of(unit) == 42
+
+    def test_with_limits(self):
+        coarse = HardwareLimits(max_capacity=10, least_count=1)
+        spec = AQUACORE_SPEC.with_limits(coarse)
+        assert spec.limits is coarse
+        assert spec.n_reservoirs == AQUACORE_SPEC.n_reservoirs

@@ -1,0 +1,101 @@
+"""Property-based structural tests for the assay DAG, with networkx as an
+independent oracle."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assays import generators
+
+dag_seeds = st.integers(min_value=0, max_value=10_000)
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=6),   # inputs
+    st.integers(min_value=1, max_value=4),   # layers
+    st.integers(min_value=1, max_value=4),   # width
+)
+
+
+def random_dag(seed, shape, separator_probability=0.0):
+    n_inputs, n_layers, width = shape
+    return generators.layered_random_dag(
+        n_inputs,
+        n_layers,
+        width,
+        seed=seed,
+        separator_probability=separator_probability,
+    )
+
+
+def to_networkx(dag):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dag.node_ids())
+    graph.add_edges_from((e.src, e.dst) for e in dag.edges())
+    return graph
+
+
+class TestStructure:
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_always_acyclic(self, seed, shape):
+        dag = random_dag(seed, shape)
+        assert nx.is_directed_acyclic_graph(to_networkx(dag))
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_valid(self, seed, shape):
+        dag = random_dag(seed, shape)
+        order = dag.topological_order()
+        assert sorted(order) == sorted(dag.node_ids())
+        position = {node: i for i, node in enumerate(order)}
+        for edge in dag.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_inbound_fractions_sum_to_one(self, seed, shape):
+        dag = random_dag(seed, shape)
+        for node in dag.nodes():
+            inbound = [e for e in dag.in_edges(node.id) if not e.is_excess]
+            if inbound:
+                assert sum(e.fraction for e in inbound) == 1
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_ancestors_match_networkx(self, seed, shape):
+        dag = random_dag(seed, shape)
+        graph = to_networkx(dag)
+        for node_id in dag.node_ids():
+            assert set(dag.ancestors(node_id)) == nx.ancestors(graph, node_id)
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_descendants_match_networkx(self, seed, shape):
+        dag = random_dag(seed, shape)
+        graph = to_networkx(dag)
+        for node_id in dag.node_ids():
+            assert set(dag.descendants(node_id)) == nx.descendants(
+                graph, node_id
+            )
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, seed, shape):
+        dag = random_dag(seed, shape)
+        clone = dag.copy()
+        assert clone.node_ids() == dag.node_ids()
+        assert [
+            (e.src, e.dst, e.fraction) for e in clone.edges()
+        ] == [(e.src, e.dst, e.fraction) for e in dag.edges()]
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_subgraph_of_ancestors_closed(self, seed, shape):
+        """The ancestor closure of any node is a valid sub-DAG in which
+        every non-source node keeps all of its inbound edges."""
+        dag = random_dag(seed, shape)
+        outputs = dag.outputs()
+        target = outputs[0].id
+        members = set(dag.ancestors(target)) | {target}
+        sub = dag.subgraph(members)
+        for node_id in sub.node_ids():
+            assert sub.in_degree(node_id) == dag.in_degree(node_id)

@@ -1,0 +1,148 @@
+"""Property-based tests for DAGSolve's algebraic invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dagsolve import compute_vnorms, dispense
+from repro.core.errors import InfeasibleError, SolverError
+from repro.core.limits import PAPER_LIMITS, HardwareLimits
+from repro.core.lp import lp_solve
+from repro.assays import generators
+
+dag_seeds = st.integers(min_value=0, max_value=10_000)
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def random_dag(seed, shape, separator_probability=0.0):
+    return generators.layered_random_dag(
+        shape[0],
+        shape[1],
+        shape[2],
+        seed=seed,
+        max_ratio=9,
+        separator_probability=separator_probability,
+    )
+
+
+class TestBackwardPass:
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_unit_vnorm(self, seed, shape):
+        dag = random_dag(seed, shape)
+        vnorms = compute_vnorms(dag)
+        for node in dag.outputs():
+            assert vnorms.node_vnorm[node.id] == 1
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_flow_conservation(self, seed, shape):
+        """Production equals total use at every non-output node — the second
+        artificial constraint, exactly."""
+        dag = random_dag(seed, shape)
+        vnorms = compute_vnorms(dag)
+        for node in dag.nodes():
+            outbound = [e for e in dag.out_edges(node.id) if not e.is_excess]
+            if outbound:
+                used = sum(vnorms.edge_vnorm[e.key] for e in outbound)
+                assert vnorms.node_vnorm[node.id] == used
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_constraints_exact(self, seed, shape):
+        dag = random_dag(seed, shape)
+        vnorms = compute_vnorms(dag)
+        for node in dag.nodes():
+            inbound = [e for e in dag.in_edges(node.id) if not e.is_excess]
+            if not inbound:
+                continue
+            total = sum(vnorms.edge_vnorm[e.key] for e in inbound)
+            for edge in inbound:
+                assert vnorms.edge_vnorm[edge.key] == edge.fraction * total
+
+    @given(seed=dag_seeds, shape=shapes, factor=st.integers(2, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_vnorms_scale_linearly_with_targets(self, seed, shape, factor):
+        dag = random_dag(seed, shape)
+        base = compute_vnorms(dag)
+        targets = {node.id: Fraction(factor) for node in dag.outputs()}
+        scaled = compute_vnorms(dag, targets)
+        for node_id, value in base.node_vnorm.items():
+            assert scaled.node_vnorm[node_id] == value * factor
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_separators_respect_output_fraction(self, seed, shape):
+        dag = random_dag(seed, shape, separator_probability=0.3)
+        vnorms = compute_vnorms(dag)
+        for node in dag.nodes():
+            if node.output_fraction is None:
+                continue
+            if dag.in_degree(node.id) == 0:
+                continue
+            assert (
+                vnorms.node_vnorm[node.id]
+                == node.output_fraction * vnorms.node_input_vnorm[node.id]
+            )
+
+
+class TestDispense:
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, seed, shape):
+        dag = random_dag(seed, shape)
+        assignment = dispense(dag, compute_vnorms(dag), PAPER_LIMITS)
+        for node in dag.nodes():
+            load = max(
+                assignment.node_volume[node.id],
+                assignment.node_input_volume[node.id],
+            )
+            assert load <= PAPER_LIMITS.max_capacity
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_some_node_pinned_at_capacity(self, seed, shape):
+        """Unless a constrained input binds, the anchor sits exactly at the
+        machine maximum — DAGSolve wastes no headroom."""
+        dag = random_dag(seed, shape)
+        assignment = dispense(dag, compute_vnorms(dag), PAPER_LIMITS)
+        assert assignment.max_node_volume() == PAPER_LIMITS.max_capacity
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_dagsolve_feasible_implies_lp_feasible(self, seed, shape):
+        """DAGSolve's solution space is a subset of LP's: whenever DAGSolve
+        finds a feasible assignment, the LP must be satisfiable too."""
+        dag = random_dag(seed, shape)
+        assignment = dispense(dag, compute_vnorms(dag), PAPER_LIMITS)
+        if not assignment.feasible:
+            return
+        try:
+            lp = lp_solve(dag, PAPER_LIMITS, output_tolerance=None)
+        except (InfeasibleError, SolverError):
+            raise AssertionError(
+                "LP infeasible although DAGSolve found a feasible point"
+            )
+        assert lp.feasible
+
+    @given(
+        seed=dag_seeds,
+        shape=shapes,
+        capacity=st.integers(min_value=10, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_proportional_to_capacity(self, seed, shape, capacity):
+        dag = random_dag(seed, shape)
+        limits = HardwareLimits(
+            max_capacity=Fraction(capacity), least_count=Fraction(1, 10)
+        )
+        base = dispense(dag, compute_vnorms(dag), PAPER_LIMITS)
+        scaled = dispense(dag, compute_vnorms(dag), limits)
+        ratio = Fraction(capacity, 100)
+        for node_id, volume in base.node_volume.items():
+            assert scaled.node_volume[node_id] == volume * ratio

@@ -1,0 +1,70 @@
+"""Property-based tests for the Biostream binary mixing trees."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.biostream.mixtree import bits_for_tolerance, one_to_one_plan
+
+targets = st.fractions(
+    min_value=Fraction(1, 1000),
+    max_value=Fraction(999, 1000),
+    max_denominator=1000,
+)
+bit_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestPlanProperties:
+    @given(target=targets, bits=bit_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_error_bound(self, target, bits):
+        plan = one_to_one_plan(target, bits)
+        assert plan.error <= Fraction(1, 2 ** (bits + 1))
+
+    @given(target=targets, bits=bit_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_cost_bounded_by_bits(self, target, bits):
+        plan = one_to_one_plan(target, bits)
+        assert plan.mix_count <= bits
+
+    @given(target=targets, bits=bit_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_achieved_is_binary_fraction(self, target, bits):
+        plan = one_to_one_plan(target, bits)
+        assert (plan.achieved * 2 ** bits).denominator == 1
+
+    @given(target=targets, bits=bit_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_recurrence_reproduces_achieved(self, target, bits):
+        """Re-simulating the plan's steps lands exactly on `achieved`."""
+        plan = one_to_one_plan(target, bits)
+        assume(plan.steps)
+        concentration = Fraction(0)
+        for step in plan.steps:
+            bit = 1 if step.ingredient == "sample" else 0
+            concentration = (concentration + bit) / 2
+            assert step.concentration_after == concentration
+        assert concentration == plan.achieved
+
+    @given(target=targets, bits=bit_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_ingredient_accounting(self, target, bits):
+        plan = one_to_one_plan(target, bits)
+        assert plan.sample_units + plan.buffer_units == plan.mix_count
+        assert plan.discarded_units == max(0, plan.mix_count - 1)
+
+    @given(target=targets)
+    @settings(max_examples=200, deadline=None)
+    def test_tolerance_bits_suffice(self, target):
+        tolerance = Fraction(1, 50)
+        bits = bits_for_tolerance(target, tolerance)
+        plan = one_to_one_plan(target, bits)
+        assert plan.relative_error <= tolerance
+
+    @given(target=targets, bits=st.integers(min_value=2, max_value=14))
+    @settings(max_examples=200, deadline=None)
+    def test_more_bits_never_less_accurate(self, target, bits):
+        coarse = one_to_one_plan(target, bits)
+        fine = one_to_one_plan(target, bits + 2)
+        assert fine.error <= coarse.error

@@ -1,0 +1,83 @@
+"""Property-based tests for exact mixture arithmetic."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.fluids import Mixture
+
+volumes = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(1000), max_denominator=1000
+)
+species_names = st.sampled_from(["a", "b", "c", "d", "e"])
+compositions = st.dictionaries(species_names, volumes, min_size=1, max_size=5)
+
+
+class TestConservation:
+    @given(components=compositions, share=st.fractions(
+        min_value=Fraction(0), max_value=Fraction(1), max_denominator=97
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_take_conserves_volume_exactly(self, components, share):
+        mixture = Mixture(dict(components))
+        total = mixture.volume
+        taken = mixture.take(total * share)
+        assert taken.volume + mixture.volume == total
+
+    @given(components=compositions, share=st.fractions(
+        min_value=Fraction(0), max_value=Fraction(1), max_denominator=97
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_take_conserves_each_species(self, components, share):
+        mixture = Mixture(dict(components))
+        before = {s: mixture.amount(s) for s in mixture.species()}
+        taken = mixture.take(mixture.volume * share)
+        for species, amount in before.items():
+            assert taken.amount(species) + mixture.amount(species) == amount
+
+    @given(left=compositions, right=compositions)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_conserves(self, left, right):
+        a = Mixture(dict(left))
+        b = Mixture(dict(right))
+        merged = a.merge(b)
+        assert merged.volume == a.volume + b.volume
+
+    @given(components=compositions)
+    @settings(max_examples=100, deadline=None)
+    def test_concentrations_sum_to_one(self, components):
+        mixture = Mixture(dict(components))
+        assume(not mixture.is_empty)
+        total = sum(
+            mixture.concentration(species) for species in mixture.species()
+        )
+        assert total == 1
+
+
+class TestProportionality:
+    @given(components=compositions, share=st.fractions(
+        min_value=Fraction(1, 97), max_value=Fraction(96, 97),
+        max_denominator=97,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_take_preserves_concentrations(self, components, share):
+        mixture = Mixture(dict(components))
+        assume(mixture.volume > 0)
+        expected = {
+            species: mixture.concentration(species)
+            for species in mixture.species()
+        }
+        taken = mixture.take(mixture.volume * share)
+        for species, concentration in expected.items():
+            assert taken.concentration(species) == concentration
+            if not mixture.is_empty:
+                assert mixture.concentration(species) == concentration
+
+    @given(components=compositions, factor=st.fractions(
+        min_value=Fraction(0), max_value=Fraction(10), max_denominator=13
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_scaled_volume(self, components, factor):
+        mixture = Mixture(dict(components))
+        assert mixture.scaled(factor).volume == mixture.volume * factor

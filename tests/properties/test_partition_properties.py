@@ -1,0 +1,109 @@
+"""Property-based tests for the statically-unknown partitioner."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import NodeKind
+from repro.core.limits import PAPER_LIMITS
+from repro.core.partition import measurement_epochs, partition_unknown_volumes
+from repro.core.runtime_assign import RuntimePlanner
+from repro.assays import generators
+
+dag_seeds = st.integers(min_value=0, max_value=5_000)
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def unknown_dag(seed, shape):
+    """A random layered DAG where separators are unknown-volume."""
+    dag = generators.layered_random_dag(
+        shape[0],
+        shape[1],
+        shape[2],
+        seed=seed,
+        separator_probability=0.35,
+    )
+    for node in dag.nodes():
+        if node.kind is NodeKind.SEPARATE:
+            node.unknown_volume = True
+            node.output_fraction = None
+    dag.validate()
+    return dag
+
+
+class TestPartitionInvariants:
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=50, deadline=None)
+    def test_members_partition_the_nodes(self, seed, shape):
+        dag = unknown_dag(seed, shape)
+        result = partition_unknown_volumes(dag, PAPER_LIMITS)
+        member_lists = [set(p.members) for p in result.partitions]
+        union = set().union(*member_lists) if member_lists else set()
+        # split natural inputs disappear into constrained stubs; everything
+        # else appears in exactly one partition
+        missing = set(dag.node_ids()) - union
+        for node_id in missing:
+            assert dag.node(node_id).kind is NodeKind.INPUT
+        for first in range(len(member_lists)):
+            for second in range(first + 1, len(member_lists)):
+                assert not (member_lists[first] & member_lists[second])
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=50, deadline=None)
+    def test_shares_per_producer_sum_to_one(self, seed, shape):
+        dag = unknown_dag(seed, shape)
+        result = partition_unknown_volumes(dag, PAPER_LIMITS)
+        by_source = {}
+        for partition in result.partitions:
+            for spec in partition.constrained:
+                by_source.setdefault(spec.source, Fraction(0))
+                by_source[spec.source] += spec.share
+        for source, total in by_source.items():
+            assert total == 1, source
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=50, deadline=None)
+    def test_partitions_are_solvable(self, seed, shape):
+        """Every partition's Vnorms must be computable at compile time —
+        the whole point of the cut."""
+        dag = unknown_dag(seed, shape)
+        planner = RuntimePlanner(dag, PAPER_LIMITS)  # computes all Vnorms
+        assert set(planner.vnorms) == {
+            p.index for p in planner.partitions
+        }
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=50, deadline=None)
+    def test_epoch_monotone_along_edges(self, seed, shape):
+        dag = unknown_dag(seed, shape)
+        epochs = measurement_epochs(dag)
+        for edge in dag.edges():
+            if edge.is_excess:
+                continue
+            bump = 1 if dag.node(edge.src).unknown_volume else 0
+            assert epochs[edge.dst] >= epochs[edge.src] + bump
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_full_session_with_measurements(self, seed, shape):
+        """Providing every unknown node's measurement must allow every
+        partition to dispense."""
+        dag = unknown_dag(seed, shape)
+        planner = RuntimePlanner(dag, PAPER_LIMITS)
+        session = planner.session()
+        measurements = {
+            source: Fraction(10)
+            for source in planner.partitioned.measured_sources
+            if dag.node(source).unknown_volume
+        }
+        for source, volume in measurements.items():
+            session.record_measurement(source, volume)
+        for partition in planner.partitions:
+            if session.ready(partition.index):
+                assignment = session.assign(partition.index)
+                assert assignment.scale is not None

@@ -1,0 +1,88 @@
+"""Property-based tests for least-count quantisation and rounding."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.limits import HardwareLimits
+from repro.core.dagsolve import dagsolve
+from repro.core.rounding import max_ratio_error, round_assignment
+from repro.assays import generators
+
+volumes = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(200), max_denominator=10_000
+)
+least_counts = st.fractions(
+    min_value=Fraction(1, 100), max_value=Fraction(1), max_denominator=100
+)
+
+
+class TestQuantize:
+    @given(volume=volumes, least=least_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_result_is_multiple(self, volume, least):
+        limits = HardwareLimits(max_capacity=Fraction(1000), least_count=least)
+        quantised = limits.quantize(volume)
+        assert (quantised / least).denominator == 1
+
+    @given(volume=volumes, least=least_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_error_at_most_half_step(self, volume, least):
+        limits = HardwareLimits(max_capacity=Fraction(1000), least_count=least)
+        quantised = limits.quantize(volume)
+        assert abs(quantised - volume) <= least / 2
+
+    @given(steps=st.integers(min_value=0, max_value=10_000), least=least_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_multiples_are_fixed_points(self, steps, least):
+        limits = HardwareLimits(max_capacity=Fraction(20_000), least_count=least)
+        volume = steps * least
+        assert limits.quantize(volume) == volume
+
+    @given(volume=volumes, least=least_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_idempotent(self, volume, least):
+        limits = HardwareLimits(max_capacity=Fraction(1000), least_count=least)
+        once = limits.quantize(volume)
+        assert limits.quantize(once) == once
+
+    @given(a=volumes, b=volumes, least=least_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_monotone(self, a, b, least):
+        limits = HardwareLimits(max_capacity=Fraction(1000), least_count=least)
+        low, high = sorted((a, b))
+        assert limits.quantize(low) <= limits.quantize(high)
+
+
+class TestRoundedAssignments:
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_ratio_error_bounded_by_headroom(self, seed):
+        """With >= 100 least-count steps of headroom at every edge, rounding
+        perturbs ratios by at most ~1 part in 100."""
+        limits = HardwareLimits(
+            max_capacity=Fraction(100), least_count=Fraction(1, 10)
+        )
+        dag = generators.layered_random_dag(
+            4, 2, 2, seed=seed, max_ratio=5
+        )
+        assignment = dagsolve(dag, limits)
+        if not assignment.feasible:
+            return
+        rounded = round_assignment(assignment)
+        min_edge = min(assignment.edge_volume.values())
+        steps = min_edge / limits.least_count
+        bound = Fraction(1) / steps  # one step relative to smallest edge
+        assert max_ratio_error(rounded) <= 2 * bound
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_rounded_edges_are_multiples(self, seed):
+        limits = HardwareLimits(
+            max_capacity=Fraction(100), least_count=Fraction(1, 10)
+        )
+        dag = generators.layered_random_dag(4, 2, 2, seed=seed, max_ratio=5)
+        rounded = round_assignment(dagsolve(dag, limits))
+        for volume in rounded.edge_volume.values():
+            assert (volume / limits.least_count).denominator == 1

@@ -1,0 +1,78 @@
+"""Property-based topology tests, with networkx as the routing oracle."""
+
+import networkx as nx
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.errors import ComponentError
+from repro.machine.topology import ChannelTopology
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    ).filter(lambda pair: pair[0] != pair[1]),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build(edges):
+    topology = ChannelTopology("fuzz")
+    graph = nx.Graph()
+    for a, b in edges:
+        topology.add_channel(f"n{a}", f"n{b}")
+        graph.add_edge(f"n{a}", f"n{b}")
+    return topology, graph
+
+
+class TestAgainstNetworkx:
+    @given(edges=edge_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_hop_counts_match_shortest_paths(self, edges):
+        topology, graph = build(edges)
+        nodes = list(graph.nodes)
+        for a in nodes[:5]:
+            for b in nodes[:5]:
+                if nx.has_path(graph, a, b):
+                    assert topology.hops(a, b) == nx.shortest_path_length(
+                        graph, a, b
+                    )
+                else:
+                    assert not topology.is_routable(a, b)
+
+    @given(edges=edge_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_routes_are_walks(self, edges):
+        topology, graph = build(edges)
+        nodes = list(graph.nodes)
+        for a in nodes[:4]:
+            for b in nodes[:4]:
+                if not topology.is_routable(a, b):
+                    continue
+                path = topology.route(a, b)
+                assert path[0] == a and path[-1] == b
+                for u, v in zip(path, path[1:]):
+                    assert graph.has_edge(u, v)
+                assert len(set(path)) == len(path)  # simple path
+
+    @given(edges=edge_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_routing_is_symmetric_in_length(self, edges):
+        topology, graph = build(edges)
+        nodes = list(graph.nodes)
+        for a in nodes[:4]:
+            for b in nodes[:4]:
+                if topology.is_routable(a, b):
+                    assert topology.hops(a, b) == topology.hops(b, a)
+
+    @given(edges=edge_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_conflicts_reflexive_on_shared_routes(self, edges):
+        topology, graph = build(edges)
+        nodes = list(graph.nodes)
+        assume(len(nodes) >= 2)
+        a, b = nodes[0], nodes[1]
+        if topology.is_routable(a, b):
+            assert topology.conflicts((a, b), (a, b))
+            assert topology.conflicts((a, b), (b, a))

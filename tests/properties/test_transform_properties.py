@@ -1,0 +1,197 @@
+"""Property-based tests for the cascading and replication transforms."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cascading import cascade_mix, stage_factors
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import compute_vnorms
+from repro.core.replication import replicate_node
+
+ratios = st.integers(min_value=2, max_value=100_000)
+depths = st.integers(min_value=2, max_value=5)
+
+
+def skew_dag(ratio):
+    dag = AssayDAG()
+    dag.add_input("A")
+    dag.add_input("B")
+    dag.add_mix("M", {"A": 1, "B": ratio})
+    return dag
+
+
+class TestStageFactors:
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=150, deadline=None)
+    def test_product_exact(self, ratio, depth):
+        factors = stage_factors(Fraction(ratio + 1), depth)
+        product = Fraction(1)
+        for factor in factors:
+            product *= factor
+        assert product == ratio + 1
+
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=150, deadline=None)
+    def test_all_factors_exceed_one(self, ratio, depth):
+        for factor in stage_factors(Fraction(ratio + 1), depth):
+            assert factor > 1
+
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=150, deadline=None)
+    def test_deeper_means_milder(self, ratio, depth):
+        """The largest per-stage factor never grows with depth."""
+        shallow = max(stage_factors(Fraction(ratio + 1), depth))
+        deeper = max(stage_factors(Fraction(ratio + 1), depth + 1))
+        assert deeper <= shallow
+
+
+class TestCascadeSemantics:
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=80, deadline=None)
+    def test_overall_composition_preserved(self, ratio, depth):
+        """Following the cascade chain, the delivered mixture contains
+        exactly 1 part A per `ratio` parts B — the transform changes the
+        realisation, never the chemistry."""
+        dag = skew_dag(ratio)
+        cascaded, report = cascade_mix(
+            dag, "M", stage_factors(Fraction(ratio + 1), depth)
+        )
+        cascaded.validate()
+        # Walk the chain computing the A-concentration of each stage:
+        # mixing the previous concentrate (share s) with pure B dilutes
+        # A's concentration by exactly s.
+        concentration = {"A": Fraction(1), "B": Fraction(0)}
+        previous = "A"
+        for stage_id in list(report.intermediate_ids) + ["M"]:
+            inbound = {
+                e.src: e.fraction
+                for e in cascaded.in_edges(stage_id)
+                if not e.is_excess
+            }
+            assert set(inbound) == {previous, "B"}
+            assert sum(inbound.values()) == 1
+            concentration[stage_id] = (
+                inbound[previous] * concentration[previous]
+            )
+            previous = stage_id
+        assert concentration["M"] == Fraction(1, ratio + 1)
+
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=80, deadline=None)
+    def test_intermediate_vnorms_equal_final(self, ratio, depth):
+        dag = skew_dag(ratio)
+        cascaded, report = cascade_mix(
+            dag, "M", stage_factors(Fraction(ratio + 1), depth)
+        )
+        vnorms = compute_vnorms(cascaded)
+        for intermediate in report.intermediate_ids:
+            assert vnorms.node_vnorm[intermediate] == vnorms.node_vnorm["M"]
+
+    @given(ratio=ratios, depth=depths)
+    @settings(max_examples=80, deadline=None)
+    def test_excess_accounting(self, ratio, depth):
+        """Used + discarded == produced at every intermediate."""
+        dag = skew_dag(ratio)
+        cascaded, report = cascade_mix(
+            dag, "M", stage_factors(Fraction(ratio + 1), depth)
+        )
+        vnorms = compute_vnorms(cascaded)
+        for intermediate in report.intermediate_ids:
+            production = vnorms.node_vnorm[intermediate]
+            used = sum(
+                vnorms.edge_vnorm[e.key]
+                for e in cascaded.out_edges(intermediate)
+                if not e.is_excess
+            )
+            discarded = sum(
+                vnorms.edge_vnorm[e.key]
+                for e in cascaded.out_edges(intermediate)
+                if e.is_excess
+            )
+            assert used + discarded == production
+
+
+class TestReplicationSemantics:
+    @given(
+        uses=st.integers(min_value=2, max_value=24),
+        copies=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_total_load_conserved(self, uses, copies):
+        assume(copies <= uses)
+        dag = AssayDAG()
+        dag.add_input("stock")
+        for i in range(uses):
+            dag.add_input(f"r{i}")
+            dag.add_mix(f"m{i}", {"stock": 1, f"r{i}": i + 1})
+        before = compute_vnorms(dag).node_vnorm["stock"]
+        vnorms = compute_vnorms(dag)
+        weights = {
+            e.key: vnorms.edge_vnorm[e.key]
+            for e in dag.out_edges("stock")
+        }
+        replicated, report = replicate_node(
+            dag, "stock", copies, weights=weights
+        )
+        replicated.validate()
+        after = compute_vnorms(replicated)
+        total = sum(
+            after.node_vnorm[replica] for replica in report.replica_ids
+        )
+        assert total == before
+
+    @given(
+        uses=st.integers(min_value=2, max_value=24),
+        copies=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_max_replica_load_reduced(self, uses, copies):
+        assume(copies <= uses)
+        dag = AssayDAG()
+        dag.add_input("stock")
+        for i in range(uses):
+            dag.add_input(f"r{i}")
+            dag.add_mix(f"m{i}", {"stock": 1, f"r{i}": 1})
+        vnorms = compute_vnorms(dag)
+        weights = {
+            e.key: vnorms.edge_vnorm[e.key]
+            for e in dag.out_edges("stock")
+        }
+        replicated, report = replicate_node(
+            dag, "stock", copies, weights=weights
+        )
+        after = compute_vnorms(replicated)
+        peak = max(
+            after.node_vnorm[replica] for replica in report.replica_ids
+        )
+        assert peak < vnorms.node_vnorm["stock"]
+
+    @given(
+        uses=st.integers(min_value=2, max_value=24),
+        copies=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_use_served_exactly_once(self, uses, copies):
+        assume(copies <= uses)
+        dag = AssayDAG()
+        dag.add_input("stock")
+        for i in range(uses):
+            dag.add_input(f"r{i}")
+            dag.add_mix(f"m{i}", {"stock": 2, f"r{i}": 3})
+        replicated, report = replicate_node(dag, "stock", copies)
+        served = [
+            consumer
+            for bucket in report.distribution
+            for consumer in bucket
+        ]
+        assert sorted(served) == sorted(f"m{i}" for i in range(uses))
+        for consumer in served:
+            stock_edges = [
+                e
+                for e in replicated.in_edges(consumer)
+                if e.src.startswith("stock")
+            ]
+            assert len(stock_edges) == 1
+            assert stock_edges[0].fraction == Fraction(2, 5)

@@ -1,0 +1,36 @@
+"""Measurement-log tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.runtime.measurement import MeasurementLog
+
+
+class TestLog:
+    def test_records_in_order(self):
+        log = MeasurementLog()
+        log.record("sep1", 30)
+        log.record("sep2", Fraction(5, 2))
+        assert log.entries == [
+            ("sep1", Fraction(30)),
+            ("sep2", Fraction(5, 2)),
+        ]
+        assert len(log) == 2
+
+    def test_latest_keeps_most_recent(self):
+        log = MeasurementLog()
+        log.record("sep1", 30)
+        log.record("sep1", 12)
+        assert log.latest() == {"sep1": Fraction(12)}
+
+    def test_perturbation_hook(self):
+        log = MeasurementLog(perturb=lambda node, v: v / 2)
+        reported = log.record("sep1", 30)
+        assert reported == 15
+        assert log.entries == [("sep1", Fraction(15))]
+
+    def test_negative_after_perturbation_rejected(self):
+        log = MeasurementLog(perturb=lambda node, v: -v)
+        with pytest.raises(ValueError):
+            log.record("sep1", 1)
