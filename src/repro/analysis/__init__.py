@@ -1,0 +1,55 @@
+"""Fluid-safety static analysis over AIS programs.
+
+The paper's central premise is that fluids are **linear resources**: a
+use is destructive, so a fluid's volume must cover every direct and
+transitive use without violating the machine's max-capacity or
+least-count limits.  The seed surfaced violations only late — at
+DAGSolve/LP time or when the interpreter raised mid-run.  This package
+finds them *statically*, directly on the compiled (or hand-written)
+instruction stream:
+
+* :mod:`repro.analysis.state` — the abstract domain: per-location
+  ``EMPTY / HOLDS(fluids, volume-interval) / CONSUMED / UNKNOWN``;
+* :mod:`repro.analysis.dataflow` — one forward abstract-interpretation
+  pass recording pre-states, location accesses, and the value-flow
+  (def-use) graph from producers to output/sense sinks;
+* :mod:`repro.analysis.checks` — the check registry (use-after-consume,
+  double-fill, dead-fluid, static overflow/underflow, storage-less
+  operand misuse, dry/wet register clash, operand sanity);
+* :mod:`repro.analysis.lint` — the ``repro lint`` driver: text/JSON
+  rendering and severity-based exit codes.
+
+Library entry point::
+
+    from repro.analysis import analyze
+    diagnostics = analyze(compiled.program, compiled.spec)
+
+The same pass runs as an opt-in pipeline stage
+(``compile_assay(..., lint=True)``) and behind ``repro lint file.ais``.
+"""
+
+from .checks import AnalysisContext, Check, all_checks, analyze, check_codes, register
+from .dataflow import Access, AccessKind, ForwardAnalysis, Place, ValueFlow
+from .lint import LintReport, lint_program, lint_text
+from .state import AbsContent, AbstractState, ContentKind, VolumeInterval
+
+__all__ = [
+    "analyze",
+    "AnalysisContext",
+    "Check",
+    "register",
+    "all_checks",
+    "check_codes",
+    "ForwardAnalysis",
+    "Access",
+    "AccessKind",
+    "Place",
+    "ValueFlow",
+    "LintReport",
+    "lint_program",
+    "lint_text",
+    "AbsContent",
+    "AbstractState",
+    "ContentKind",
+    "VolumeInterval",
+]

@@ -1,0 +1,432 @@
+"""Forward dataflow over straight-line AIS programs.
+
+:class:`ForwardAnalysis` interprets a program once over the abstract
+domain of :mod:`repro.analysis.state`, recording
+
+* a **pre-state snapshot** per instruction (what every location held just
+  before it executed);
+* a flat list of :class:`Access` events — every read/write of a fluid
+  location, tagged with the abstract content *at access time* and the
+  moved volume interval;
+* a **value-flow graph** over instruction indices: ``input`` / ``mix`` /
+  ``separate`` instructions *produce* fluid values, transport carries the
+  producing indices along inside :class:`AbsContent.defs`, and ``output``
+  / ``sense`` instructions are sinks (outputs are split into *product*
+  and *waste* sinks — codegen's ``discard …`` outputs are waste).
+
+Checks in :mod:`repro.analysis.checks` consume these facts; they never
+re-implement transfer semantics.
+
+Guarded instructions (dynamic-IF branches included conservatively,
+Section 3.5) are interpreted weakly: a guarded drain leaves its source
+``UNKNOWN`` rather than ``CONSUMED``, and reads under a guard are marked
+so checks do not report definite violations for code the executor may
+skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir.instructions import Instruction, Opcode, Operand
+from ..ir.program import AISProgram
+from ..machine.spec import FU_KINDS, MachineSpec
+from .state import AbsContent, AbstractState, ContentKind, VolumeInterval
+
+__all__ = [
+    "Place",
+    "AccessKind",
+    "Access",
+    "ValueFlow",
+    "ForwardAnalysis",
+]
+
+#: separator wells addressable as ``unit.<sub>``.
+SEPARATOR_SUBPORTS = ("matrix", "pusher", "out1", "out2")
+
+
+@dataclass(frozen=True)
+class Place:
+    """A classified operand: where it points on the machine."""
+
+    text: str                 # canonical operand text, e.g. "separator1.out1"
+    base: str
+    sub: Optional[str]
+    kind: Optional[str]       # spec.component_kind(base); None = unknown name
+    capacity: Optional[Fraction]
+
+    @property
+    def is_subport(self) -> bool:
+        return self.sub is not None
+
+    @property
+    def is_valid(self) -> bool:
+        """Addresses a real fluid location (or port) on the machine."""
+        if self.kind is None:
+            return False
+        if self.sub is None:
+            return True
+        return self.kind == "separator" and self.sub in SEPARATOR_SUBPORTS
+
+    @property
+    def holds_fluid(self) -> bool:
+        """True for locations with state (not ports, not unknown names)."""
+        return self.is_valid and self.kind not in ("input-port", "output-port")
+
+
+@unique
+class AccessKind(Enum):
+    READ_METERED = "read-metered"   # move with a planned volume
+    READ_DRAIN = "read-drain"       # move with implicit whole volume
+    READ_OUTPUT = "read-output"     # output drains the source off-chip
+    READ_FEED = "read-feed"         # mix/incubate/concentrate/separate operand
+    READ_SENSE = "read-sense"       # non-destructive optical read
+    WRITE_FILL = "write-fill"       # input loading a location
+    WRITE_DEPOSIT = "write-deposit"  # move/move-abs destination
+    WRITE_PRODUCE = "write-produce"  # separate filling its outlet wells
+
+
+@dataclass(frozen=True)
+class Access:
+    """One touch of a fluid location by one instruction."""
+
+    index: int
+    place: Place
+    kind: AccessKind
+    before: AbsContent            # abstract content at access time
+    moved: Optional[VolumeInterval] = None
+    guarded: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind.value.startswith("read-")
+
+
+@dataclass
+class ValueFlow:
+    """Def-use graph over instruction indices."""
+
+    #: producing instruction -> human label ("input s1 (Glucose)").
+    producers: Dict[int, str]
+    #: fluid-flow edges: producing/consuming instruction adjacency.
+    edges: Dict[int, Set[int]]
+    #: sense instructions and product (non-discard) outputs.
+    product_sinks: Set[int]
+    #: codegen discard/excess/residue outputs.
+    waste_sinks: Set[int]
+
+    def reaches_product(self, index: int) -> bool:
+        """Does fluid produced at ``index`` transitively reach a sink?"""
+        seen: Set[int] = set()
+        stack = [index]
+        while stack:
+            node = stack.pop()
+            if node in self.product_sinks:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return False
+
+
+def is_waste_output(instruction: Instruction) -> bool:
+    """Codegen marks its housekeeping outputs; text round-trips keep the
+    ``discard …`` comment."""
+    if instruction.opcode is not Opcode.OUTPUT:
+        return False
+    meta = instruction.meta
+    if "discard" in meta or "excess" in meta or "residue" in meta:
+        return True
+    comment = instruction.comment or ""
+    return comment.startswith("discard")
+
+
+class ForwardAnalysis:
+    """One abstract-interpretation pass; all facts are computed eagerly."""
+
+    def __init__(self, program: AISProgram, spec: MachineSpec) -> None:
+        self.program = program
+        self.spec = spec
+        self.least_count = spec.limits.least_count
+        self.accesses: List[Access] = []
+        self.pre_states: List[Dict[str, AbsContent]] = []
+        self.flow = ValueFlow({}, {}, set(), set())
+        self.state = AbstractState()
+        self._place_cache: Dict[str, Place] = {}
+        self._run()
+
+    # ------------------------------------------------------------------
+    def place(self, operand: Operand) -> Place:
+        text = str(operand)
+        cached = self._place_cache.get(text)
+        if cached is None:
+            cached = Place(
+                text=text,
+                base=operand.base,
+                sub=operand.sub,
+                kind=self.spec.component_kind(operand.base),
+                capacity=self.spec.location_capacity(operand.base),
+            )
+            self._place_cache[text] = cached
+        return cached
+
+    def pre_state(self, index: int) -> Dict[str, AbsContent]:
+        return self.pre_states[index]
+
+    @property
+    def final_state(self) -> AbstractState:
+        return self.state
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        for index, instruction in enumerate(self.program):
+            self.pre_states.append(self.state.snapshot())
+            handler = {
+                Opcode.INPUT: self._step_input,
+                Opcode.OUTPUT: self._step_output,
+                Opcode.MOVE: self._step_move,
+                Opcode.MOVE_ABS: self._step_move,
+                Opcode.MIX: self._step_operate,
+                Opcode.INCUBATE: self._step_operate,
+                Opcode.CONCENTRATE: self._step_operate,
+                Opcode.SEPARATE: self._step_separate,
+                Opcode.SENSE: self._step_sense,
+                Opcode.DRY_MOV: self._step_dry,
+                Opcode.DRY_ADD: self._step_dry,
+                Opcode.DRY_SUB: self._step_dry,
+                Opcode.DRY_MUL: self._step_dry,
+            }[instruction.opcode]
+            handler(index, instruction)
+
+    # ------------------------------------------------------------------
+    def _guarded(self, instruction: Instruction) -> bool:
+        return instruction.meta.get("guard") is not None
+
+    def _access(
+        self,
+        index: int,
+        place: Place,
+        kind: AccessKind,
+        before: AbsContent,
+        *,
+        moved: Optional[VolumeInterval] = None,
+        guarded: bool = False,
+    ) -> None:
+        self.accesses.append(Access(index, place, kind, before, moved, guarded))
+
+    def _add_flow(self, sources: FrozenSet[int], target: int) -> None:
+        for source in sources:
+            self.flow.edges.setdefault(source, set()).add(target)
+
+    def _label(self, index: int, instruction: Instruction, what: str) -> None:
+        tag = f" ({instruction.comment})" if instruction.comment else ""
+        self.flow.producers[index] = f"{what}{tag}"
+
+    def _read_violated(self, content: AbsContent) -> bool:
+        return content.kind in (ContentKind.EMPTY, ContentKind.CONSUMED)
+
+    def _metered_interval(
+        self, source: AbsContent, abs_volume: Optional[Fraction]
+    ) -> VolumeInterval:
+        if abs_volume is not None:
+            return VolumeInterval.exact(abs_volume)
+        hi = source.volume.hi if source.kind is ContentKind.HOLDS else None
+        return VolumeInterval(self.least_count, hi)
+
+    # -- wet steps ------------------------------------------------------
+    def _step_input(self, index: int, instruction: Instruction) -> None:
+        guarded = self._guarded(instruction)
+        dst = self.place(instruction.dst)
+        src = self.place(instruction.src)
+        before = self.state.get(dst.text)
+        if instruction.abs_volume is not None:
+            moved = VolumeInterval.exact(instruction.abs_volume)
+        else:
+            moved = VolumeInterval.at_most(
+                dst.capacity if dst.capacity is not None
+                else self.spec.limits.max_capacity
+            )
+        # src is a port, stateless; record the access for operand checks.
+        self._access(index, src, AccessKind.READ_METERED, AbsContent.unknown(),
+                     moved=moved, guarded=guarded)
+        self._access(index, dst, AccessKind.WRITE_FILL, before,
+                     moved=moved, guarded=guarded)
+        if guarded:
+            moved = VolumeInterval(Fraction(0), moved.hi)
+        if dst.holds_fluid or dst.kind is None:
+            self.state.set(
+                dst.text,
+                before.deposit(moved, frozenset({index}), capacity=dst.capacity),
+            )
+        self._label(index, instruction, f"input {dst.text}")
+
+    def _step_output(self, index: int, instruction: Instruction) -> None:
+        guarded = self._guarded(instruction)
+        src = self.place(instruction.src)
+        before = self.state.get(src.text)
+        self._access(index, src, AccessKind.READ_OUTPUT, before, guarded=guarded)
+        self._add_flow(before.defs, index)
+        if is_waste_output(instruction):
+            self.flow.waste_sinks.add(index)
+        else:
+            self.flow.product_sinks.add(index)
+        if src.holds_fluid or src.kind is None:
+            if guarded or self._read_violated(before):
+                self.state.set(src.text, AbsContent.unknown())
+            else:
+                self.state.set(src.text, AbsContent.consumed(before.defs))
+
+    def _step_move(self, index: int, instruction: Instruction) -> None:
+        guarded = self._guarded(instruction)
+        src = self.place(instruction.src)
+        dst = self.place(instruction.dst)
+        src_before = self.state.get(src.text)
+        dst_before = self.state.get(dst.text)
+        is_drain = (
+            instruction.opcode is Opcode.MOVE
+            and instruction.rel_volume is None
+            and instruction.abs_volume is None
+        )
+        if is_drain:
+            moved = src_before.volume if (
+                src_before.kind is ContentKind.HOLDS
+            ) else VolumeInterval()
+            self._access(index, src, AccessKind.READ_DRAIN, src_before,
+                         moved=moved, guarded=guarded)
+        else:
+            moved = self._metered_interval(src_before, instruction.abs_volume)
+            self._access(index, src, AccessKind.READ_METERED, src_before,
+                         moved=moved, guarded=guarded)
+        self._access(index, dst, AccessKind.WRITE_DEPOSIT, dst_before,
+                     moved=moved, guarded=guarded)
+
+        # source post-state
+        if src.holds_fluid or src.kind is None:
+            if self._read_violated(src_before):
+                self.state.set(src.text, AbsContent.unknown())
+            elif is_drain:
+                self.state.set(
+                    src.text,
+                    AbsContent.unknown() if guarded
+                    else AbsContent.consumed(src_before.defs),
+                )
+            else:
+                self.state.set(src.text, src_before.after_metered_draw(moved))
+        # destination post-state
+        if dst.holds_fluid or dst.kind is None:
+            if guarded:
+                moved = VolumeInterval(Fraction(0), moved.hi)
+            self.state.set(
+                dst.text,
+                dst_before.deposit(
+                    moved,
+                    src_before.defs,
+                    capacity=dst.capacity,
+                    replace_contents=dst.kind == "sensor",
+                ),
+            )
+
+    def _step_operate(self, index: int, instruction: Instruction) -> None:
+        """mix / incubate / concentrate: in-place operation on a unit."""
+        guarded = self._guarded(instruction)
+        unit = self.place(instruction.dst)
+        before = self.state.get(unit.text)
+        self._access(index, unit, AccessKind.READ_FEED, before, guarded=guarded)
+        if instruction.opcode is Opcode.MIX:
+            # the homogenised mixture is a fresh value
+            self._add_flow(before.defs, index)
+            self._label(index, instruction, f"mix in {unit.text}")
+            content = before if before.kind is ContentKind.HOLDS else (
+                AbsContent.unknown()
+            )
+            self.state.set(
+                unit.text,
+                AbsContent.holding(content.volume, frozenset({index})),
+            )
+        elif instruction.opcode is Opcode.CONCENTRATE:
+            keep = instruction.meta.get("keep_fraction")
+            if before.kind is ContentKind.HOLDS:
+                volume = (
+                    before.volume.scaled(Fraction(keep))
+                    if keep is not None
+                    else VolumeInterval.at_most(
+                        before.volume.hi
+                    ) if before.volume.hi is not None else VolumeInterval()
+                )
+                self.state.set(
+                    unit.text, AbsContent.holding(volume, before.defs)
+                )
+        # incubate: volume conserving, nothing changes abstractly
+
+    def _step_separate(self, index: int, instruction: Instruction) -> None:
+        guarded = self._guarded(instruction)
+        unit = self.place(instruction.dst)
+        before = self.state.get(unit.text)
+        self._access(index, unit, AccessKind.READ_FEED, before, guarded=guarded)
+        contributing = set(before.defs)
+        feed_hi = before.volume.hi if before.kind is ContentKind.HOLDS else None
+        # matrix and pusher are spent driving the run
+        for well in ("matrix", "pusher"):
+            well_text = f"{unit.base}.{well}"
+            well_before = self.state.get(well_text)
+            contributing |= well_before.defs
+            if unit.kind == "separator":
+                self.state.set(
+                    well_text,
+                    AbsContent.unknown() if guarded
+                    else AbsContent.consumed(well_before.defs),
+                )
+        self._add_flow(frozenset(contributing), index)
+        self._label(index, instruction, f"separate.{instruction.mode} {unit.text}")
+        if unit.holds_fluid or unit.kind is None:
+            self.state.set(
+                unit.text,
+                AbsContent.unknown() if guarded or self._read_violated(before)
+                else AbsContent.consumed(before.defs),
+            )
+        # outlets are flushed at run start, then filled by this run
+        outlet_volume = (
+            VolumeInterval.at_most(feed_hi) if feed_hi is not None
+            else VolumeInterval()
+        )
+        for outlet in ("out1", "out2"):
+            outlet_text = f"{unit.base}.{outlet}"
+            outlet_place = self.place(Operand(unit.base, outlet))
+            self._access(
+                index, outlet_place, AccessKind.WRITE_PRODUCE,
+                self.state.get(outlet_text),
+                moved=outlet_volume, guarded=guarded,
+            )
+            self.state.set(
+                outlet_text,
+                AbsContent.holding(outlet_volume, frozenset({index})),
+            )
+
+    def _step_sense(self, index: int, instruction: Instruction) -> None:
+        guarded = self._guarded(instruction)
+        unit = self.place(instruction.dst)
+        before = self.state.get(unit.text)
+        self._access(index, unit, AccessKind.READ_SENSE, before, guarded=guarded)
+        self._add_flow(before.defs, index)
+        self.flow.product_sinks.add(index)
+        if instruction.result:
+            self.state.define_dry(instruction.result, index)
+        # non-destructive: the sample stays in the cell
+
+    # -- dry step -------------------------------------------------------
+    def _step_dry(self, index: int, instruction: Instruction) -> None:
+        if instruction.reg:
+            self.state.define_dry(instruction.reg, index)
+
+
+def analyze_forward(program: AISProgram, spec: MachineSpec) -> ForwardAnalysis:
+    """Convenience constructor mirroring the module docstring's naming."""
+    return ForwardAnalysis(program, spec)
+
+
+# re-exported convenience: which unit kinds exist (used by checks)
+UNIT_KINDS: Tuple[str, ...] = FU_KINDS

@@ -1,0 +1,120 @@
+"""Lint driver: the ``repro lint`` entry point as a library.
+
+Wraps :func:`repro.analysis.checks.analyze` with input handling (textual
+AIS listings or compiled programs), rendering (compiler-style text or
+JSON) and the severity-based exit-code policy:
+
+* ``0`` — clean, or notes only;
+* ``1`` — warnings;
+* ``2`` — errors (or the input failed to parse/compile).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.diagnostics import Diagnostic, DiagnosticSink, Severity
+from ..ir.parse import parse_ais
+from ..ir.program import AISProgram
+from ..machine.spec import AQUACORE_SPEC, MachineSpec
+from .checks import Check, analyze
+
+__all__ = ["LintReport", "lint_program", "lint_text"]
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting one program."""
+
+    program: str
+    machine: str
+    findings: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0, "note": 0}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    @property
+    def is_clean(self) -> bool:
+        """No warnings or errors (notes are informational)."""
+        return self.counts["error"] == 0 and self.counts["warning"] == 0
+
+    @property
+    def exit_code(self) -> int:
+        counts = self.counts
+        if counts["error"]:
+            return EXIT_ERRORS
+        if counts["warning"]:
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    def sink(self) -> DiagnosticSink:
+        sink = DiagnosticSink()
+        sink.extend(self.findings)
+        return sink
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        counts = self.counts
+        lines = [str(finding) for finding in self.findings]
+        summary = (
+            f"{self.program}: "
+            + (
+                "clean"
+                if not self.findings
+                else f"{counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['note']} note(s)"
+            )
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "machine": self.machine,
+            "clean": self.is_clean,
+            "counts": self.counts,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def lint_program(
+    program: AISProgram,
+    spec: MachineSpec = AQUACORE_SPEC,
+    *,
+    checks: Optional[Sequence[Check]] = None,
+) -> LintReport:
+    """Lint an in-memory program."""
+    return LintReport(
+        program=program.name,
+        machine=spec.name,
+        findings=analyze(program, spec, checks=checks),
+    )
+
+
+def lint_text(
+    text: str,
+    spec: MachineSpec = AQUACORE_SPEC,
+    *,
+    name: str = "program",
+    checks: Optional[Sequence[Check]] = None,
+) -> LintReport:
+    """Parse an AIS listing and lint it.
+
+    Raises:
+        AISParseError: when the text is not a well-formed listing.
+    """
+    return lint_program(parse_ais(text, name=name), spec, checks=checks)

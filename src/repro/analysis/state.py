@@ -1,0 +1,179 @@
+"""Abstract domain of the fluid-safety analyzer.
+
+Fluids are **linear resources**: every location (reservoir, functional
+unit, separator well) is abstracted to one of four content states —
+
+* ``EMPTY``     — never held fluid (the machine's initial state);
+* ``HOLDS``     — holds fluid, with a volume *interval* and the set of
+  defining instructions that contributed to the contents;
+* ``CONSUMED``  — held fluid that has since been fully moved out or
+  drained off-chip (the post-state of a whole-content ``move``/``output``
+  or a ``separate`` feed).  Reading a CONSUMED location is the
+  linear-type violation the paper's destructive-use model forbids;
+* ``UNKNOWN``   — the analyzer lost track (e.g. after reporting a
+  use-after-consume it deliberately degrades the location to UNKNOWN so
+  one root cause does not cascade into a wall of findings).
+
+Volumes are tracked as closed intervals ``[lo, hi]`` over exact
+:class:`~fractions.Fraction` nanoliters, with ``hi=None`` meaning
+unbounded; only statically-known quantities (``move-abs`` volumes,
+absolute input loads) tighten the bounds, so interval findings are
+*definite* — a ``static-overflow`` fires only when the lower bound alone
+already exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, unique
+from fractions import Fraction
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["VolumeInterval", "ContentKind", "AbsContent", "AbstractState"]
+
+
+@dataclass(frozen=True)
+class VolumeInterval:
+    """A closed interval of possible volumes; ``hi=None`` is unbounded."""
+
+    lo: Fraction = Fraction(0)
+    hi: Optional[Fraction] = None
+
+    @classmethod
+    def exact(cls, volume: Fraction) -> "VolumeInterval":
+        return cls(volume, volume)
+
+    @classmethod
+    def at_most(cls, volume: Fraction) -> "VolumeInterval":
+        return cls(Fraction(0), volume)
+
+    @classmethod
+    def zero(cls) -> "VolumeInterval":
+        return cls(Fraction(0), Fraction(0))
+
+    @property
+    def is_exact(self) -> bool:
+        return self.hi is not None and self.lo == self.hi
+
+    def add(self, other: "VolumeInterval") -> "VolumeInterval":
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return VolumeInterval(self.lo + other.lo, hi)
+
+    def subtract(self, other: "VolumeInterval") -> "VolumeInterval":
+        """Interval difference for a draw of ``other`` out of ``self``,
+        clamped at zero (a pump cannot leave negative residue)."""
+        lo = Fraction(0)
+        if self.hi is not None and other.hi is not None:
+            lo = max(Fraction(0), self.lo - other.hi)
+        hi = None
+        if self.hi is not None:
+            hi = max(Fraction(0), self.hi - other.lo)
+        return VolumeInterval(lo, hi)
+
+    def scaled(self, factor: Fraction) -> "VolumeInterval":
+        return VolumeInterval(
+            self.lo * factor, None if self.hi is None else self.hi * factor
+        )
+
+    def clamped(self, capacity: Optional[Fraction]) -> "VolumeInterval":
+        """Cap the upper bound at a physical capacity (a container can
+        never actually hold more; overflow is reported separately)."""
+        if capacity is None:
+            return self
+        hi = capacity if self.hi is None else min(self.hi, capacity)
+        return VolumeInterval(min(self.lo, capacity), hi)
+
+    def __str__(self) -> str:
+        hi = "inf" if self.hi is None else f"{float(self.hi):g}"
+        return f"[{float(self.lo):g}, {hi}]"
+
+
+@unique
+class ContentKind(Enum):
+    EMPTY = "empty"
+    HOLDS = "holds"
+    CONSUMED = "consumed"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class AbsContent:
+    """Abstract contents of one location."""
+
+    kind: ContentKind
+    volume: VolumeInterval = field(default_factory=VolumeInterval.zero)
+    #: indices of the instructions whose fluid contributed to the contents
+    #: (the def sites of the value-flow graph).
+    defs: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def empty(cls) -> "AbsContent":
+        return cls(ContentKind.EMPTY, VolumeInterval.zero())
+
+    @classmethod
+    def consumed(cls, defs: FrozenSet[int] = frozenset()) -> "AbsContent":
+        return cls(ContentKind.CONSUMED, VolumeInterval.zero(), defs)
+
+    @classmethod
+    def unknown(cls) -> "AbsContent":
+        return cls(ContentKind.UNKNOWN, VolumeInterval())
+
+    @classmethod
+    def holding(
+        cls, volume: VolumeInterval, defs: FrozenSet[int] = frozenset()
+    ) -> "AbsContent":
+        return cls(ContentKind.HOLDS, volume, defs)
+
+    @property
+    def may_hold_fluid(self) -> bool:
+        return self.kind in (ContentKind.HOLDS, ContentKind.UNKNOWN)
+
+    def deposit(
+        self,
+        moved: VolumeInterval,
+        defs: FrozenSet[int],
+        *,
+        capacity: Optional[Fraction] = None,
+        replace_contents: bool = False,
+    ) -> "AbsContent":
+        """The post-state of depositing ``moved`` into this location.
+
+        ``replace_contents`` models flow cells (sensors flush the previous
+        sample when a new one arrives).
+        """
+        if replace_contents or not self.may_hold_fluid:
+            return AbsContent.holding(moved.clamped(capacity), defs)
+        return AbsContent.holding(
+            self.volume.add(moved).clamped(capacity), self.defs | defs
+        )
+
+    def after_metered_draw(self, moved: VolumeInterval) -> "AbsContent":
+        """Residue after a partial draw: still HOLDS (rounded plans leave
+        sub-least-count residue behind), volume reduced, defs retained."""
+        if self.kind is not ContentKind.HOLDS:
+            return self
+        return replace(self, volume=self.volume.subtract(moved))
+
+
+class AbstractState:
+    """Per-location abstract contents plus the dry register file."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, AbsContent] = {}
+        #: dry register / sense-result names defined so far.
+        self.dry_defined: Dict[str, int] = {}
+
+    def get(self, location: str) -> AbsContent:
+        return self._locations.get(location, AbsContent.empty())
+
+    def set(self, location: str, content: AbsContent) -> None:
+        self._locations[location] = content
+
+    def locations(self) -> Dict[str, AbsContent]:
+        return dict(self._locations)
+
+    def snapshot(self) -> Dict[str, AbsContent]:
+        return dict(self._locations)
+
+    def define_dry(self, name: str, index: int) -> None:
+        self.dry_defined.setdefault(name, index)

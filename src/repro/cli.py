@@ -6,6 +6,9 @@ Usage (also via ``python -m repro``)::
     python -m repro dag      assay.fluid [--dot]    # the volume DAG
     python -m repro plan     assay.fluid            # volume assignment
     python -m repro compile  assay.fluid            # AIS listing
+    python -m repro lint     program.ais            # fluid-safety analysis
+        [--json] [--assay]                          # JSON report; lint an
+                                                    # assay source instead
     python -m repro run      assay.fluid            # execute on the model
         [--coeff SPECIES=VALUE ...]                 # optical coefficients
         [--sep-yield UNIT=FRACTION ...]             # separator models
@@ -209,6 +212,35 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import os
+
+    from .analysis import lint_program, lint_text
+    from .ir.parse import AISParseError
+
+    spec = MACHINES[args.machine]
+    source = _read_source(args.file)
+    default_name = (
+        "stdin"
+        if args.file == "-"
+        else os.path.splitext(os.path.basename(args.file))[0]
+    )
+    if args.assay:
+        compiled = compile_assay(source, spec=spec)
+        report = lint_program(compiled.program, spec)
+    else:
+        try:
+            report = lint_text(source, spec, name=default_name)
+        except AISParseError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def cmd_bench_regen(args) -> int:
     source = _read_source(args.file)
     dag = build_dag_from_flat(unroll(parse(source)))
@@ -296,6 +328,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.set_defaults(handler=cmd_compile)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the fluid-safety analyzer over an AIS listing",
+    )
+    p_lint.add_argument("file", help="AIS listing, or - for stdin")
+    p_lint.add_argument(
+        "--machine",
+        choices=sorted(MACHINES),
+        default="aquacore",
+        help="machine configuration (default: aquacore)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    p_lint.add_argument(
+        "--assay",
+        action="store_true",
+        help="treat the input as assay source: compile it, then lint "
+        "the generated program",
+    )
+    p_lint.set_defaults(handler=cmd_lint)
+
     p_run = sub.add_parser("run", help="execute on the AquaCore model")
     common(p_run, run_options=True)
     p_run.set_defaults(handler=cmd_run)
@@ -326,9 +380,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FrontendError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         try:
@@ -336,6 +387,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except (OSError, UnicodeDecodeError) as error:
+        # unreadable / missing / non-text input file
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

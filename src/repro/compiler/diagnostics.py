@@ -5,13 +5,18 @@ risk (a plan that needs run-time regeneration, a transform that grew the
 DAG, a constrained input whose Vnorm is tiny — the paper calls out
 glycomics' X2 = 1/204 as "a concern").  These surface as warnings rather
 than errors so callers can decide.
+
+The same :class:`Diagnostic`/:class:`DiagnosticSink` pair is the output
+format of the fluid-safety static analyzer (:mod:`repro.analysis`), which
+adds instruction/operand provenance; ``to_dict`` is the JSON shape
+``repro lint --json`` emits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, unique
-from typing import Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 __all__ = ["Severity", "Diagnostic", "DiagnosticSink"]
 
@@ -22,6 +27,11 @@ class Severity(Enum):
     WARNING = "warning"
     ERROR = "error"
 
+    @property
+    def rank(self) -> int:
+        """Total order: NOTE < WARNING < ERROR."""
+        return {"note": 0, "warning": 1, "error": 2}[self.value]
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -29,10 +39,33 @@ class Diagnostic:
     code: str       # short machine-readable tag, e.g. "underflow-risk"
     message: str
     node: Optional[str] = None
+    #: 0-based instruction index, for program-level (analyzer) findings.
+    instruction: Optional[int] = None
+    #: the operand the finding is about (e.g. "s3", "separator1.out1").
+    operand: Optional[str] = None
 
     def __str__(self) -> str:
-        where = f" [{self.node}]" if self.node else ""
+        where = ""
+        if self.node:
+            where = f" [{self.node}]"
+        elif self.instruction is not None:
+            where = f" [instr {self.instruction}]"
         return f"{self.severity.value}: {self.code}: {self.message}{where}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (``repro lint --json``)."""
+        payload: Dict[str, object] = {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.instruction is not None:
+            payload["instruction"] = self.instruction
+        if self.operand is not None:
+            payload["operand"] = self.operand
+        return payload
 
 
 @dataclass
@@ -47,6 +80,23 @@ class DiagnosticSink:
 
     def error(self, code: str, message: str, node: Optional[str] = None) -> None:
         self.items.append(Diagnostic(Severity.ERROR, code, message, node))
+
+    def extend(
+        self, diagnostics: Union["DiagnosticSink", Iterable[Diagnostic]]
+    ) -> None:
+        """Merge another sink (or any iterable of diagnostics) into this one."""
+        self.items.extend(diagnostics)
+
+    def filter(self, severity: Severity) -> List[Diagnostic]:
+        """All diagnostics of exactly the given severity."""
+        return [d for d in self.items if d.severity is severity]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The most severe level present, or ``None`` when empty."""
+        if not self.items:
+            return None
+        return max((d.severity for d in self.items), key=lambda s: s.rank)
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.items)

@@ -89,8 +89,14 @@ def compile_dag(
     manager: Optional[VolumeManager] = None,
     flat: Optional[FlatAssay] = None,
     source: Optional[str] = None,
+    lint: bool = False,
 ) -> CompiledAssay:
-    """Compile a volume DAG (hand-built or produced by the front end)."""
+    """Compile a volume DAG (hand-built or produced by the front end).
+
+    With ``lint=True``, the fluid-safety analyzer
+    (:func:`repro.analysis.analyze`) runs over the generated program and
+    its findings join the compiler's :class:`DiagnosticSink`.
+    """
     diagnostics = DiagnosticSink()
     limits = spec.limits
     manager = manager or VolumeManager(limits)
@@ -152,6 +158,11 @@ def compile_dag(
     program, allocation = generate(
         final_dag, spec, name=name or dag.name, aux_fluids=aux_fluids
     )
+    if lint:
+        # local import: repro.analysis imports this module's products
+        from ..analysis import analyze as lint_program
+
+        diagnostics.extend(lint_program(program, spec))
     return CompiledAssay(
         name=name or dag.name,
         program=program,
@@ -173,6 +184,7 @@ def compile_assay(
     *,
     spec: MachineSpec = AQUACORE_SPEC,
     manager: Optional[VolumeManager] = None,
+    lint: bool = False,
 ) -> CompiledAssay:
     """Compile assay source text end to end."""
     program_ast = parse(source)
@@ -187,4 +199,5 @@ def compile_assay(
         manager=manager,
         flat=flat,
         source=source,
+        lint=lint,
     )

@@ -4,11 +4,13 @@
 * :mod:`repro.ir.program` — program container and pretty printer;
 * :mod:`repro.ir.builder` — assay AST -> volume DAG lowering;
 * :mod:`repro.ir.regalloc` — reservoir (register) allocation;
+* :mod:`repro.ir.parse` — textual AIS listings back into programs;
 * :mod:`repro.ir.slicing` — backward slices over AIS programs (used by
   regeneration and by static replication).
 """
 
 from .builder import build_dag_from_flat
+from .parse import AISParseError, parse_ais
 from .instructions import (
     Instruction,
     Opcode,
@@ -53,6 +55,8 @@ __all__ = [
     "ReservoirAllocator",
     "ReservoirAssignment",
     "AllocationError",
+    "AISParseError",
+    "parse_ais",
     "backward_slice",
     "def_use_chains",
 ]

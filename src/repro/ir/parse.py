@@ -1,0 +1,234 @@
+"""Textual AIS parser: the inverse of :meth:`AISProgram.render`.
+
+Accepts the paper-style listing form emitted by the compiler::
+
+    glucose{
+      input s1, ip1 ;Glucose
+      move mixer1, s1, 1
+      mix mixer1, 10
+      move sensor2, mixer1
+      sense.OD sensor2, Result[1]
+    }
+
+plus a few conveniences for hand-written fixtures: the ``name{``/``}``
+wrapper is optional, blank lines and ``#`` comment lines are skipped, and
+``input`` accepts an optional third argument (an absolute load volume,
+which the renderer does not print but auxiliary loads carry internally).
+
+The parser is deliberately *syntactic*: it accepts any operand names and
+leaves semantic validation (does ``s1`` exist on the machine? is
+``mixer1`` actually a mixer?) to :mod:`repro.analysis`, so that the lint
+driver can report those problems as structured diagnostics instead of
+parse errors.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..core.limits import as_fraction
+from .instructions import (
+    SENSE_MODES,
+    SEPARATE_MODES,
+    Instruction,
+    Opcode,
+    Operand,
+)
+from .program import AISProgram
+
+__all__ = ["AISParseError", "parse_ais"]
+
+
+class AISParseError(ValueError):
+    """A line of AIS text could not be parsed."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(f"{prefix}{message}")
+        self.line_number = line_number
+
+
+_HEADER = re.compile(r"^\s*([A-Za-z_][\w.\-\[\]]*)\s*\{\s*$")
+_DRY_OPS = {
+    "dry-mov": Opcode.DRY_MOV,
+    "dry-add": Opcode.DRY_ADD,
+    "dry-sub": Opcode.DRY_SUB,
+    "dry-mul": Opcode.DRY_MUL,
+}
+
+
+def _split_line(line: str) -> Tuple[str, Optional[str]]:
+    """Split off the trailing ``;comment`` (the paper's fluid annotation)."""
+    body, semi, comment = line.partition(";")
+    return body.strip(), comment.strip() if semi else None
+
+
+def _fields(rest: str, line_number: int, mnemonic: str, count: int) -> List[str]:
+    fields = [field.strip() for field in rest.split(",")]
+    if len(fields) != count or not all(fields):
+        raise AISParseError(
+            f"{mnemonic} expects {count} comma-separated operands, "
+            f"got {rest!r}",
+            line_number,
+        )
+    return fields
+
+
+def _number(text: str, line_number: int, what: str) -> Fraction:
+    try:
+        return as_fraction(text)
+    except (ValueError, ZeroDivisionError):
+        raise AISParseError(f"bad {what} {text!r}", line_number) from None
+
+
+def _parse_instruction(body: str, comment: Optional[str], line_number: int) -> Instruction:
+    mnemonic, _, rest = body.partition(" ")
+    rest = rest.strip()
+    if not rest:
+        raise AISParseError(f"instruction {mnemonic!r} has no operands", line_number)
+
+    if mnemonic in _DRY_OPS:
+        reg, raw = _fields(rest, line_number, mnemonic, 2)
+        value: object = int(raw) if re.fullmatch(r"-?\d+", raw) else raw
+        return Instruction(_DRY_OPS[mnemonic], reg=reg, value=value, comment=comment)
+
+    if mnemonic == "input":
+        fields = [field.strip() for field in rest.split(",")]
+        if len(fields) == 3:
+            dst, src, volume = fields
+            return Instruction(
+                Opcode.INPUT,
+                dst=Operand.parse(dst),
+                src=Operand.parse(src),
+                abs_volume=_number(volume, line_number, "volume"),
+                comment=comment,
+            )
+        dst, src = _fields(rest, line_number, "input", 2)
+        return Instruction(
+            Opcode.INPUT, dst=Operand.parse(dst), src=Operand.parse(src),
+            comment=comment,
+        )
+    if mnemonic == "output":
+        dst, src = _fields(rest, line_number, "output", 2)
+        return Instruction(
+            Opcode.OUTPUT, dst=Operand.parse(dst), src=Operand.parse(src),
+            comment=comment,
+        )
+    if mnemonic == "move":
+        fields = [field.strip() for field in rest.split(",")]
+        if len(fields) == 3:
+            dst, src, rel = fields
+            return Instruction(
+                Opcode.MOVE,
+                dst=Operand.parse(dst),
+                src=Operand.parse(src),
+                rel_volume=_number(rel, line_number, "relative volume"),
+                comment=comment,
+            )
+        dst, src = _fields(rest, line_number, "move", 2)
+        return Instruction(
+            Opcode.MOVE, dst=Operand.parse(dst), src=Operand.parse(src),
+            comment=comment,
+        )
+    if mnemonic == "move-abs":
+        dst, src, volume = _fields(rest, line_number, "move-abs", 3)
+        return Instruction(
+            Opcode.MOVE_ABS,
+            dst=Operand.parse(dst),
+            src=Operand.parse(src),
+            abs_volume=_number(volume, line_number, "volume"),
+            comment=comment,
+        )
+    if mnemonic == "mix":
+        unit, duration = _fields(rest, line_number, "mix", 2)
+        return Instruction(
+            Opcode.MIX,
+            dst=Operand.parse(unit),
+            duration=_number(duration, line_number, "duration"),
+            comment=comment,
+        )
+    if mnemonic in ("incubate", "concentrate"):
+        unit, temperature, duration = _fields(rest, line_number, mnemonic, 3)
+        opcode = Opcode.INCUBATE if mnemonic == "incubate" else Opcode.CONCENTRATE
+        return Instruction(
+            opcode,
+            dst=Operand.parse(unit),
+            temperature=_number(temperature, line_number, "temperature"),
+            duration=_number(duration, line_number, "duration"),
+            comment=comment,
+        )
+    if mnemonic.startswith("separate."):
+        mode = mnemonic[len("separate."):]
+        if mode not in SEPARATE_MODES:
+            raise AISParseError(
+                f"unknown separation mode {mode!r} (expected one of "
+                f"{', '.join(SEPARATE_MODES)})",
+                line_number,
+            )
+        unit, duration = _fields(rest, line_number, mnemonic, 2)
+        return Instruction(
+            Opcode.SEPARATE,
+            dst=Operand.parse(unit),
+            mode=mode,
+            duration=_number(duration, line_number, "duration"),
+            comment=comment,
+        )
+    if mnemonic.startswith("sense."):
+        mode = mnemonic[len("sense."):]
+        if mode not in SENSE_MODES:
+            raise AISParseError(
+                f"unknown sense mode {mode!r} (expected one of "
+                f"{', '.join(SENSE_MODES)})",
+                line_number,
+            )
+        unit, result = _fields(rest, line_number, mnemonic, 2)
+        return Instruction(
+            Opcode.SENSE,
+            dst=Operand.parse(unit),
+            mode=mode,
+            result=result,
+            comment=comment,
+        )
+    raise AISParseError(f"unknown instruction {mnemonic!r}", line_number)
+
+
+def parse_ais(text: str, *, name: str = "program") -> AISProgram:
+    """Parse an AIS listing into an :class:`AISProgram`.
+
+    Raises:
+        AISParseError: on malformed lines (with the offending line number).
+    """
+    program_name = name
+    instructions: List[Instruction] = []
+    saw_header = False
+    saw_footer = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        header = _HEADER.match(stripped)
+        if header is not None and not saw_header and not instructions:
+            program_name = header.group(1)
+            saw_header = True
+            continue
+        if stripped == "}":
+            if saw_footer or not saw_header:
+                raise AISParseError("unexpected '}'", line_number)
+            saw_footer = True
+            continue
+        if saw_footer:
+            raise AISParseError("text after closing '}'", line_number)
+        body, comment = _split_line(stripped)
+        if not body:
+            continue  # pure ;comment line
+        instruction = _parse_instruction(body, comment, line_number)
+        try:
+            instruction.validate()
+        except ValueError as error:
+            raise AISParseError(str(error), line_number) from None
+        instructions.append(instruction)
+    if saw_header and not saw_footer:
+        raise AISParseError(f"missing closing '}}' for {program_name!r}")
+    return AISProgram(program_name, instructions)

@@ -118,6 +118,36 @@ class MachineSpec:
     def capacity_of(self, unit: FunctionalUnitSpec) -> Fraction:
         return unit.capacity or self.limits.max_capacity
 
+    # ------------------------------------------------------------------
+    def component_kind(self, name: str) -> Optional[str]:
+        """Classify an operand base name.
+
+        Returns ``"reservoir"``, ``"input-port"``, ``"output-port"``, a
+        functional-unit kind (``"mixer"``/``"heater"``/``"separator"``/
+        ``"sensor"``), or ``None`` for a name that addresses nothing on
+        this machine.
+        """
+        if name in self.reservoir_names():
+            return "reservoir"
+        if name in self.input_port_names():
+            return "input-port"
+        if name in self.output_port_names():
+            return "output-port"
+        for unit in self.functional_units:
+            if unit.name == name:
+                return unit.kind
+        return None
+
+    def location_capacity(self, name: str) -> Optional[Fraction]:
+        """Capacity of a fluid-holding location (sub-ports share their
+        unit's capacity); ``None`` for ports and unknown names."""
+        kind = self.component_kind(name)
+        if kind == "reservoir":
+            return self.limits.max_capacity
+        if kind in FU_KINDS:
+            return self.capacity_of(self.unit(name))
+        return None
+
     def with_limits(self, limits: HardwareLimits) -> "MachineSpec":
         """A copy of the spec with different hardware limits."""
         return MachineSpec(

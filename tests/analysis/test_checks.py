@@ -1,0 +1,215 @@
+"""Unit tests for the fluid-safety checks on hand-written broken programs."""
+
+from repro.analysis import analyze, check_codes, lint_text
+from repro.compiler.diagnostics import Severity
+from repro.ir.parse import parse_ais
+
+
+def codes_of(text: str):
+    return [d.code for d in lint_text(text).findings]
+
+
+def test_registry_covers_documented_codes():
+    expected = {
+        "use-after-consume",
+        "read-before-fill",
+        "double-fill",
+        "dead-fluid",
+        "static-overflow",
+        "static-underflow",
+        "insufficient-volume",
+        "storage-less-misuse",
+        "dry-wet-clash",
+        "unknown-operand",
+        "port-misuse",
+        "unit-kind-mismatch",
+    }
+    assert expected <= set(check_codes())
+
+
+def test_use_after_consume_on_drained_reservoir():
+    findings = lint_text(
+        "p{\n"
+        "  input s1, ip1 ;Sample\n"
+        "  move mixer1, s1\n"
+        "  move mixer2, s1, 1\n"
+        "}"
+    ).findings
+    codes = [d.code for d in findings]
+    assert "use-after-consume" in codes
+    finding = next(d for d in findings if d.code == "use-after-consume")
+    assert finding.severity is Severity.ERROR
+    assert finding.instruction == 2
+    assert finding.operand == "s1"
+
+
+def test_output_then_read_is_use_after_consume():
+    assert "use-after-consume" in codes_of(
+        "p{\n"
+        "  input s1, ip1 ;Sample\n"
+        "  output op1, s1\n"
+        "  move mixer1, s1, 1\n"
+        "}"
+    )
+
+
+def test_read_before_fill():
+    codes = codes_of("p{\n  move mixer1, s1, 1\n}")
+    assert codes == ["read-before-fill"]
+
+
+def test_cascade_suppression_reports_root_cause_once():
+    # Three reads of the same consumed reservoir: one error, not three.
+    findings = lint_text(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  move mixer1, s1\n"
+        "  move mixer2, s1, 1\n"
+        "  move mixer3, s1, 1\n"
+        "  mix mixer1, 10\n"
+        "}"
+    ).findings
+    assert sum(1 for d in findings if d.code == "use-after-consume") == 1
+
+
+def test_double_fill():
+    codes = codes_of(
+        "p{\n  input s1, ip1 ;A\n  input s1, ip2 ;B\n  output op1, s1\n}"
+    )
+    assert "double-fill" in codes
+
+
+def test_dead_fluid_requires_a_product_sink():
+    # s2 never reaches the output: flagged.
+    with_sink = codes_of(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  input s2, ip2 ;B\n"
+        "  output op1, s1\n"
+        "}"
+    )
+    assert "dead-fluid" in with_sink
+    # A program that delivers nothing off-chip (result parked on the
+    # machine, like the paper's Figure 2) must not drown in warnings.
+    no_sink = codes_of(
+        "p{\n  input s1, ip1 ;A\n  move mixer1, s1\n  mix mixer1, 10\n}"
+    )
+    assert "dead-fluid" not in no_sink
+
+
+def test_static_overflow_is_definite():
+    overflowing = codes_of(
+        "p{\n"
+        "  input s1, ip1, 100 ;A\n"
+        "  input s2, ip2, 100 ;B\n"
+        "  move-abs mixer1, s1, 80\n"
+        "  move-abs mixer1, s2, 80\n"
+        "  mix mixer1, 10\n"
+        "  output op1, mixer1\n"
+        "}"
+    )
+    assert "static-overflow" in overflowing
+    # Unknown relative volumes must NOT trigger it (no definite bound).
+    relative = codes_of(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  move mixer1, s1, 1\n"
+        "  mix mixer1, 10\n"
+        "  output op1, mixer1\n"
+        "}"
+    )
+    assert "static-overflow" not in relative
+
+
+def test_static_underflow_below_least_count():
+    assert "static-underflow" in codes_of(
+        "p{\n  input s1, ip1 ;A\n  move-abs mixer1, s1, 0.05\n}"
+    )
+
+
+def test_insufficient_volume():
+    assert "insufficient-volume" in codes_of(
+        "p{\n  input s1, ip1, 10 ;A\n  move-abs mixer1, s1, 50\n}"
+    )
+
+
+def test_storage_less_outlet_read_twice():
+    findings = lint_text(
+        "p{\n"
+        "  input s1, ip1 ;Sample\n"
+        "  move separator1, s1\n"
+        "  separate.AF separator1, 30\n"
+        "  move mixer1, separator1.out1\n"
+        "  move mixer2, separator1.out1\n"
+        "}"
+    ).findings
+    assert any(
+        d.code == "storage-less-misuse" and d.instruction == 4
+        for d in findings
+    )
+
+
+def test_storage_less_outlet_read_before_separate():
+    assert "storage-less-misuse" in codes_of(
+        "p{\n  move mixer1, separator1.out1, 1\n}"
+    )
+
+
+def test_dry_wet_clash():
+    codes = codes_of(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  dry-mov s1, 5\n"
+        "  output op1, s1\n"
+        "}"
+    )
+    assert "dry-wet-clash" in codes
+
+
+def test_unknown_operand_and_port_misuse():
+    codes = codes_of(
+        "p{\n  input s1, op1 ;A\n  move mixer1, s99, 1\n  output op1, s1\n}"
+    )
+    assert "port-misuse" in codes
+    assert "unknown-operand" in codes
+
+
+def test_unit_kind_mismatch():
+    codes = codes_of(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  move heater1, s1\n"
+        "  mix heater1, 10\n"
+        "  output op1, heater1\n"
+        "}"
+    )
+    assert "unit-kind-mismatch" in codes
+
+
+def test_sense_mode_mismatch():
+    codes = codes_of(
+        "p{\n"
+        "  input s1, ip1 ;A\n"
+        "  move sensor2, s1\n"
+        "  sense.FL sensor2, r\n"
+        "}"
+    )
+    assert "unit-kind-mismatch" in codes
+
+
+def test_analyze_accepts_parsed_program_directly():
+    program = parse_ais("p{\n  move mixer1, s1, 1\n}")
+    findings = analyze(program)
+    assert [d.code for d in findings] == ["read-before-fill"]
+
+
+def test_findings_sorted_by_instruction():
+    findings = lint_text(
+        "p{\n"
+        "  move mixer1, s1, 1\n"
+        "  move mixer2, s2, 1\n"
+        "  move mixer3, s3, 1\n"
+        "}"
+    ).findings
+    indices = [d.instruction for d in findings]
+    assert indices == sorted(indices)

@@ -1,0 +1,62 @@
+"""DiagnosticSink ergonomics: extend, filter, max_severity."""
+
+from repro.compiler.diagnostics import Diagnostic, DiagnosticSink, Severity
+
+
+def make(severity, code="x", message="m"):
+    return Diagnostic(severity=severity, code=code, message=message)
+
+
+def test_extend_from_iterable_and_sink():
+    sink = DiagnosticSink()
+    sink.extend([make(Severity.NOTE), make(Severity.WARNING)])
+    other = DiagnosticSink()
+    other.error("boom", "it broke")
+    sink.extend(other)
+    assert len(sink) == 3
+    assert sink.has_errors
+
+
+def test_filter_exact_severity():
+    sink = DiagnosticSink()
+    sink.extend(
+        [
+            make(Severity.NOTE, "n"),
+            make(Severity.ERROR, "e1"),
+            make(Severity.WARNING, "w"),
+            make(Severity.ERROR, "e2"),
+        ]
+    )
+    assert [d.code for d in sink.filter(Severity.ERROR)] == ["e1", "e2"]
+    assert [d.code for d in sink.filter(Severity.NOTE)] == ["n"]
+
+
+def test_max_severity():
+    sink = DiagnosticSink()
+    assert sink.max_severity is None
+    sink.note("n", "note")
+    assert sink.max_severity is Severity.NOTE
+    sink.warning("w", "warn")
+    assert sink.max_severity is Severity.WARNING
+    sink.error("e", "err")
+    assert sink.max_severity is Severity.ERROR
+
+
+def test_severity_rank_order():
+    assert Severity.NOTE.rank < Severity.WARNING.rank < Severity.ERROR.rank
+
+
+def test_diagnostic_to_dict_and_str():
+    diag = Diagnostic(
+        severity=Severity.ERROR,
+        code="use-after-consume",
+        message="bad read",
+        instruction=4,
+        operand="s1",
+    )
+    payload = diag.to_dict()
+    assert payload["severity"] == "error"
+    assert payload["code"] == "use-after-consume"
+    assert payload["instruction"] == 4
+    assert payload["operand"] == "s1"
+    assert "[instr 4]" in str(diag)
