@@ -26,8 +26,14 @@ Library entry point::
 
 The same pass runs as an opt-in pipeline stage
 (``compile_assay(..., lint=True)``) and behind ``repro lint file.ais``.
+
+The sibling :mod:`repro.analysis.certify` package audits the compiler's
+*output* instead — translation validation of the volume plan plus
+schedule-interference analysis — behind ``repro certify`` and
+``compile_assay(..., certify=True)``.
 """
 
+from .certify import CertificateReport, certify, certify_program
 from .checks import AnalysisContext, Check, all_checks, analyze, check_codes, register
 from .dataflow import Access, AccessKind, ForwardAnalysis, Place, ValueFlow
 from .lint import LintReport, lint_program, lint_text

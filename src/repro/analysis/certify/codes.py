@@ -1,0 +1,146 @@
+"""Stable diagnostic codes emitted by the plan-certificate verifier.
+
+Every finding the certifier produces carries one of these codes; tests,
+CI, and ``repro certify --json`` consumers match on them, so they are
+part of the tool's public contract.  ``PLAN-*`` codes come from the plan
+half (translation validation of the volume assignment against the
+re-derived IVol constraint system), ``SCHED-*`` codes from the schedule
+half (hardware-interference analysis over the emitted instruction
+stream).  The catalogue below is the single source of truth; the table
+in ``docs/ANALYSIS.md`` is generated from the same text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CodeInfo", "PLAN_CODES", "SCHED_CODES", "ALL_CODES"]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One stable diagnostic code: default severity and a one-line gloss."""
+
+    code: str
+    severity: str  # "error" | "warning" | "note" — the *default* severity
+    title: str
+
+
+def _catalogue(*entries: CodeInfo) -> Dict[str, CodeInfo]:
+    return {entry.code: entry for entry in entries}
+
+
+PLAN_CODES: Dict[str, CodeInfo] = _catalogue(
+    CodeInfo(
+        "PLAN-COVERAGE",
+        "error",
+        "the assignment is missing (or has a negative) volume for a DAG "
+        "node or edge",
+    ),
+    CodeInfo(
+        "PLAN-FLOW",
+        "error",
+        "flow conservation violated: a node's input, production, or use "
+        "totals disagree with its edge volumes",
+    ),
+    CodeInfo(
+        "PLAN-QUANT",
+        "error",
+        "a dispensed edge volume is not an integer multiple of the least "
+        "count (not expressible in IVol)",
+    ),
+    CodeInfo(
+        "PLAN-UNDERFLOW",
+        "error",
+        "a metered edge volume is below the least count",
+    ),
+    CodeInfo(
+        "PLAN-OVERFLOW",
+        "error",
+        "a node's held volume exceeds its capacity",
+    ),
+    CodeInfo(
+        "PLAN-MIN-VOLUME",
+        "error",
+        "a functional-unit minimum-load constraint is violated",
+    ),
+    CodeInfo(
+        "PLAN-BUDGET",
+        "error",
+        "draws from a constrained input exceed its measured available "
+        "volume",
+    ),
+    CodeInfo(
+        "PLAN-RATIO",
+        "error",
+        "a mix input deviates from its declared share by more than the "
+        "rounding tolerance",
+    ),
+    CodeInfo(
+        "PLAN-EXCESS",
+        "error",
+        "an excess edge's volume disagrees with its producer's surplus, "
+        "or a NOEXCESS fluid produces excess",
+    ),
+    CodeInfo(
+        "PLAN-SLICE",
+        "error",
+        "a replication or cascade slice is inconsistent with its origin "
+        "(recipe mismatch or broken stage chain)",
+    ),
+    CodeInfo(
+        "PLAN-DEFERRED",
+        "note",
+        "volumes are resolved at run time; plan certification limited to "
+        "the schedule half",
+    ),
+    CodeInfo(
+        "PLAN-WASTE",
+        "note",
+        "waste/optimality report: achieved output volume vs. the "
+        "unrounded equal-output bound",
+    ),
+)
+
+
+SCHED_CODES: Dict[str, CodeInfo] = _catalogue(
+    CodeInfo(
+        "SCHED-DOUBLE-BOOK",
+        "error",
+        "a transfer or operation deposits into a component that still "
+        "holds another live fluid",
+    ),
+    CodeInfo(
+        "SCHED-DRY-PUMP",
+        "error",
+        "a transfer or operation reads a component that holds nothing "
+        "(dry transport hazard)",
+    ),
+    CodeInfo(
+        "SCHED-PORT-CLASH",
+        "error",
+        "one input port sources two different fluids",
+    ),
+    CodeInfo(
+        "SCHED-UNROUTABLE",
+        "error",
+        "no channel route exists between a transfer's endpoints on the "
+        "chosen topology",
+    ),
+    CodeInfo(
+        "SCHED-ROUTE-THROUGH",
+        "warning",
+        "a transfer's route passes through a component that currently "
+        "holds a live fluid (wet transport hazard)",
+    ),
+    CodeInfo(
+        "SCHED-ROUTE-OVERLAP",
+        "error",
+        "two transfers scheduled to overlap in time contend for a shared "
+        "channel segment, pump, or junction",
+    ),
+)
+
+
+ALL_CODES: Dict[str, CodeInfo] = {**PLAN_CODES, **SCHED_CODES}

@@ -1,0 +1,165 @@
+"""Independent re-derivation of the IVol constraint system.
+
+This module rebuilds, from first principles, the demand model the paper's
+volume solvers work against: how much of every fluid one unit of final
+output requires, which node's capacity pins the global scale, and what
+output volume an ideal (unrounded, equal-proportion) plan could deliver.
+
+It deliberately does **not** import :mod:`repro.core.dagsolve`,
+:mod:`repro.core.lp`, or :mod:`repro.core.rounding` — the certifier's
+value as a translation validator comes from computing the same quantities
+through an independent implementation, so a bug in the solvers cannot
+silently agree with a bug here.  Only the shared IR (:mod:`repro.core.dag`)
+and the limits record are reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ...core.dag import AssayDAG, NodeKind
+from ...core.limits import HardwareLimits
+
+__all__ = ["ReferenceModel", "reference_model"]
+
+EdgeKey = Tuple[str, str]
+
+#: node kinds that act as fluid sources (drawn from a reservoir, never
+#: produced by an upstream operation).
+SOURCE_KINDS = (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT)
+
+
+@dataclass
+class ReferenceModel:
+    """The re-derived demand model for one assay DAG.
+
+    All quantities are *normalised*: they assume every final output
+    produces exactly one volume unit (the paper's first artificial
+    constraint).  ``production[n]`` is how much node ``n`` must produce,
+    ``load[n]`` how much enters it (they differ only for separators),
+    ``edge_demand[(s, d)]`` how much flows along each edge.  ``scale`` is
+    the largest multiplier the hardware permits — the minimum over all
+    nodes of ``capacity / held`` and over measured constrained inputs of
+    ``available / production`` — and ``output_bound`` the total output
+    volume an ideal unrounded equal-proportion plan would deliver at that
+    scale.
+    """
+
+    production: Dict[str, Fraction]
+    load: Dict[str, Fraction]
+    edge_demand: Dict[EdgeKey, Fraction]
+    scale: Fraction
+    output_bound: Fraction
+    #: the node whose capacity (or availability) pins ``scale``.
+    binding_node: Optional[str] = None
+
+    def held(self, node_id: str) -> Fraction:
+        """Peak normalised volume the node's location must hold."""
+        return max(self.production[node_id], self.load[node_id])
+
+
+def reference_model(dag: AssayDAG, limits: HardwareLimits) -> ReferenceModel:
+    """Re-derive normalised demands and the capacity-bound scale.
+
+    Walks the DAG once in reverse topological order: a final output needs
+    one unit; an intermediate must produce what its consumers draw plus
+    its statically-known excess share; the volume *entering* a node is its
+    production divided by its output fraction.  This mirrors the paper's
+    constraint classes 1-5 without reusing the solver code.
+
+    Raises:
+        repro.core.errors.DagError (via ``validate``/``topological_order``)
+        when the DAG is structurally broken — callers turn that into a
+        certification failure rather than a crash.
+    """
+    production: Dict[str, Fraction] = {}
+    load: Dict[str, Fraction] = {}
+    edge_demand: Dict[EdgeKey, Fraction] = {}
+
+    sink_ids = {
+        node.id
+        for node in dag.nodes()
+        if dag.out_degree(node.id) == 0 and node.kind is not NodeKind.EXCESS
+    }
+
+    for node_id in reversed(dag.topological_order()):
+        node = dag.node(node_id)
+        if node.kind is NodeKind.EXCESS:
+            continue  # derived from its producer below
+        drawn = Fraction(0)
+        for edge in dag.out_edges(node_id):
+            if not edge.is_excess:
+                drawn += edge_demand[edge.key]
+        if node_id in sink_ids:
+            produced = Fraction(1)
+        else:
+            # Flow conservation modulo the statically-known discard: the
+            # node makes what its consumers draw, plus the excess share.
+            produced = drawn / (1 - node.excess_fraction)
+        production[node_id] = produced
+        if node.excess_fraction > 0:
+            surplus = produced * node.excess_fraction
+            for edge in dag.out_edges(node_id):
+                if edge.is_excess:
+                    edge_demand[edge.key] = surplus
+                    production[edge.dst] = surplus
+                    load[edge.dst] = surplus
+        if node.kind in SOURCE_KINDS:
+            load[node_id] = produced
+            continue
+        if node.unknown_volume:
+            # A run-time-measured sink: the plan dispenses its *input*.
+            fraction_out = Fraction(1)
+        else:
+            fraction_out = node.output_fraction or Fraction(1)
+        entering = produced / fraction_out
+        load[node_id] = entering
+        for edge in dag.in_edges(node_id):
+            if not edge.is_excess:
+                edge_demand[edge.key] = edge.fraction * entering
+
+    # -- the scale the hardware permits ---------------------------------
+    scale: Optional[Fraction] = None
+    binding: Optional[str] = None
+    for node in dag.nodes():
+        held = max(
+            production.get(node.id, Fraction(0)),
+            load.get(node.id, Fraction(0)),
+        )
+        if held == 0:
+            continue
+        capacity = node.capacity or limits.max_capacity
+        bound = capacity / held
+        if scale is None or bound < scale:
+            scale, binding = bound, node.id
+    for node in dag.nodes():
+        if node.kind is not NodeKind.CONSTRAINED_INPUT:
+            continue
+        if node.available_volume is None:
+            continue
+        needed = production.get(node.id, Fraction(0))
+        if needed == 0:
+            continue
+        bound = node.available_volume / needed
+        if scale is None or bound < scale:
+            scale, binding = bound, node.id
+    if scale is None:
+        scale = Fraction(0)
+
+    outputs: List[str] = [
+        node.id for node in dag.nodes()
+        if node.id in sink_ids and node.kind not in SOURCE_KINDS
+    ]
+    output_bound = sum(
+        (production[node_id] * scale for node_id in outputs), Fraction(0)
+    )
+    return ReferenceModel(
+        production=production,
+        load=load,
+        edge_demand=edge_demand,
+        scale=scale,
+        output_bound=output_bound,
+        binding_node=binding,
+    )

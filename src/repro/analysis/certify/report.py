@@ -1,0 +1,229 @@
+"""Certificate assembly: the ``certify()`` / ``certify_program()`` API.
+
+``certify(compiled)`` runs both halves over a compiler result — plan
+certification against the final DAG and schedule interference over the
+emitted program — and packages the findings as a
+:class:`CertificateReport` with the same rendering, JSON schema and
+exit-code policy as the lint driver.  ``certify_program`` covers bare AIS
+listings (no plan to validate, schedule half only).
+
+The compiled assay is accessed duck-typed (``final_dag``, ``assignment``,
+``program``, ``spec``, ``allocation``, ``plan``, ``planner``) so this
+package never imports the compiler pipeline or the solver stack it
+audits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from ...compiler.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    report_payload,
+)
+from ...core.dag import NodeKind
+from ...ir.program import AISProgram
+from ...machine.spec import AQUACORE_SPEC, MachineSpec
+from ...machine.topology import ChannelTopology, bus_topology
+from .codes import PLAN_CODES
+from .plan import certify_plan
+from .schedule import OccupancyRecord, certify_schedule
+
+__all__ = ["CertificateReport", "certify", "certify_program"]
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+
+
+@dataclass
+class CertificateReport:
+    """The outcome of certifying one compiled assay (or bare program)."""
+
+    program: str
+    machine: str
+    findings: List[Diagnostic] = field(default_factory=list)
+    plan_checked: bool = False
+    schedule_checked: bool = False
+    metrics: Dict[str, float] = field(default_factory=dict)
+    occupancy: List[OccupancyRecord] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0, "note": 0}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    @property
+    def is_clean(self) -> bool:
+        """No warnings or errors (notes are informational)."""
+        counts = self.counts
+        return counts["error"] == 0 and counts["warning"] == 0
+
+    @property
+    def exit_code(self) -> int:
+        counts = self.counts
+        if counts["error"]:
+            return EXIT_ERRORS
+        if counts["warning"]:
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    def codes(self) -> List[str]:
+        return [finding.code for finding in self.findings]
+
+    def sink(self) -> DiagnosticSink:
+        sink = DiagnosticSink()
+        sink.extend(self.findings)
+        return sink
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        counts = self.counts
+        lines = [str(finding) for finding in self.findings]
+        halves = []
+        halves.append("plan" if self.plan_checked else "plan skipped")
+        halves.append(
+            "schedule" if self.schedule_checked else "schedule skipped"
+        )
+        verdict = (
+            "certified"
+            if self.is_clean
+            else f"{counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['note']} note(s)"
+        )
+        lines.append(f"{self.program}: {verdict} [{' + '.join(halves)}]")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return report_payload(
+            "certify",
+            self.program,
+            self.machine,
+            self.findings,
+            exit_code=self.exit_code,
+            extra_summary={
+                "plan_checked": self.plan_checked,
+                "schedule_checked": self.schedule_checked,
+                "metrics": self.metrics,
+            },
+        )
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _initial_occupancy(compiled: object) -> Dict[str, str]:
+    """Constrained inputs start the program already parked in reservoirs
+    (a previous partition left them; no ``input`` instruction loads
+    them)."""
+    initial: Dict[str, str] = {}
+    allocation = getattr(compiled, "allocation", None)
+    final_dag = getattr(compiled, "final_dag", None)
+    if allocation is None or final_dag is None:
+        return initial
+    for node in final_dag.nodes():
+        if node.kind is NodeKind.CONSTRAINED_INPUT:
+            reservoir = allocation.reservoir_of.get(node.id)
+            if reservoir is not None:
+                initial[reservoir] = node.id
+    return initial
+
+
+def certify(
+    compiled: object,
+    *,
+    spec: Optional[MachineSpec] = None,
+    topology: Optional[ChannelTopology] = None,
+    ratio_tolerance: Optional[Fraction] = None,
+    slots: Optional[Sequence[int]] = None,
+) -> CertificateReport:
+    """Certify a compiled assay: validate its plan, then its schedule.
+
+    Args:
+        compiled: a ``repro.compiler.CompiledAssay`` (accessed duck-typed:
+            ``final_dag``/``assignment``/``plan``/``planner``/``program``/
+            ``spec``/``allocation``).
+        spec: machine override; defaults to the spec the assay was
+            compiled for.
+        topology: channel graph for the schedule half; defaults to the
+            machine's bus topology.
+        ratio_tolerance: override for the plan half's per-edge mix-ratio
+            tolerance.
+        slots: optional concurrency schedule (see
+            :func:`~.schedule.certify_schedule`).
+    """
+    machine_spec = spec or compiled.spec
+    report = CertificateReport(
+        program=compiled.program.name, machine=machine_spec.name
+    )
+
+    assignment = getattr(compiled, "assignment", None)
+    plan = getattr(compiled, "plan", None)
+    if assignment is not None:
+        expect_feasible = not (
+            plan is not None and getattr(plan, "needs_regeneration", False)
+        )
+        findings, metrics = certify_plan(
+            compiled.final_dag,
+            assignment,
+            machine_spec.limits,
+            expect_feasible=expect_feasible,
+            ratio_tolerance=ratio_tolerance,
+        )
+        report.findings.extend(findings)
+        report.metrics = metrics
+        report.plan_checked = True
+    else:
+        report.findings.append(
+            Diagnostic(
+                Severity.NOTE,
+                "PLAN-DEFERRED",
+                PLAN_CODES["PLAN-DEFERRED"].title,
+            )
+        )
+
+    schedule_findings, occupancy = certify_schedule(
+        compiled.program,
+        machine_spec,
+        topology=topology or bus_topology(machine_spec),
+        initial=_initial_occupancy(compiled),
+        slots=slots,
+    )
+    report.findings.extend(schedule_findings)
+    report.occupancy = occupancy
+    report.schedule_checked = True
+    return report
+
+
+def certify_program(
+    program: AISProgram,
+    spec: MachineSpec = AQUACORE_SPEC,
+    *,
+    topology: Optional[ChannelTopology] = None,
+    initial: Optional[Dict[str, str]] = None,
+    slots: Optional[Sequence[int]] = None,
+) -> CertificateReport:
+    """Certify a bare AIS listing (schedule interference only).
+
+    Without a volume plan there is nothing for the plan half to validate;
+    hand-written listings get the full occupancy/routing analysis.
+    """
+    report = CertificateReport(program=program.name, machine=spec.name)
+    findings, occupancy = certify_schedule(
+        program,
+        spec,
+        topology=topology or bus_topology(spec),
+        initial=initial,
+        slots=slots,
+    )
+    report.findings.extend(findings)
+    report.occupancy = occupancy
+    report.schedule_checked = True
+    return report

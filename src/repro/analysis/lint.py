@@ -15,7 +15,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..compiler.diagnostics import Diagnostic, DiagnosticSink, Severity
+from ..compiler.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    report_payload,
+)
 from ..ir.parse import parse_ais
 from ..ir.program import AISProgram
 from ..machine.spec import AQUACORE_SPEC, MachineSpec
@@ -79,13 +84,15 @@ class LintReport:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "program": self.program,
-            "machine": self.machine,
-            "clean": self.is_clean,
-            "counts": self.counts,
-            "findings": [finding.to_dict() for finding in self.findings],
-        }
+        """The stable v1 report schema shared with ``repro certify``
+        (see :func:`repro.compiler.diagnostics.report_payload`)."""
+        return report_payload(
+            "lint",
+            self.program,
+            self.machine,
+            self.findings,
+            exit_code=self.exit_code,
+        )
 
     def render_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)

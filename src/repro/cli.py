@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     python -m repro lint     program.ais            # fluid-safety analysis
         [--json] [--assay]                          # JSON report; lint an
                                                     # assay source instead
+    python -m repro certify  program.ais            # plan-certificate verifier
+        [--json] [--assay] [--topology {bus,ring}]  # translation validation +
+                                                    # schedule interference
     python -m repro run      assay.fluid            # execute on the model
         [--coeff SPECIES=VALUE ...]                 # optical coefficients
         [--sep-yield UNIT=FRACTION ...]             # separator models
@@ -129,10 +132,14 @@ def cmd_plan(args) -> int:
         for node_id in compiled.final_dag.topological_order():
             if node_id in assignment.node_volume:
                 print(f"  {node_id}: {float(assignment.node_volume[node_id]):.4g}")
-        from .core.report import fluid_requirements
+        from .core.report import fluid_requirements, waste_breakdown
 
         print()
         print(fluid_requirements(assignment).render())
+        waste = waste_breakdown(assignment)
+        if waste.excess or waste.retained:
+            print()
+            print(waste.render())
     else:
         planner = compiled.planner
         print(
@@ -234,6 +241,39 @@ def cmd_lint(args) -> int:
         except AISParseError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+def cmd_certify(args) -> int:
+    import os
+
+    from .analysis.certify import certify, certify_program
+    from .ir.parse import AISParseError, parse_ais
+    from .machine.topology import bus_topology, ring_topology
+
+    spec = MACHINES[args.machine]
+    builder = {"bus": bus_topology, "ring": ring_topology}[args.topology]
+    topology = builder(spec)
+    source = _read_source(args.file)
+    default_name = (
+        "stdin"
+        if args.file == "-"
+        else os.path.splitext(os.path.basename(args.file))[0]
+    )
+    if args.assay:
+        compiled = compile_assay(source, spec=spec)
+        report = certify(compiled, topology=topology)
+    else:
+        try:
+            program = parse_ais(source, name=default_name)
+        except AISParseError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report = certify_program(program, spec, topology=topology)
     if args.json:
         print(report.render_json())
     else:
@@ -349,6 +389,34 @@ def build_parser() -> argparse.ArgumentParser:
         "the generated program",
     )
     p_lint.set_defaults(handler=cmd_lint)
+
+    p_certify = sub.add_parser(
+        "certify",
+        help="verify a compiled plan + schedule (translation validation)",
+    )
+    p_certify.add_argument("file", help="AIS listing, or - for stdin")
+    p_certify.add_argument(
+        "--machine",
+        choices=sorted(MACHINES),
+        default="aquacore",
+        help="machine configuration (default: aquacore)",
+    )
+    p_certify.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    p_certify.add_argument(
+        "--assay",
+        action="store_true",
+        help="treat the input as assay source: compile it, then certify "
+        "the volume plan and generated schedule",
+    )
+    p_certify.add_argument(
+        "--topology",
+        choices=("bus", "ring"),
+        default="bus",
+        help="channel topology for route/interference checks (default: bus)",
+    )
+    p_certify.set_defaults(handler=cmd_certify)
 
     p_run = sub.add_parser("run", help="execute on the AquaCore model")
     common(p_run, run_options=True)

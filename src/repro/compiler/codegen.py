@@ -237,6 +237,41 @@ class _Generator:
             "them (reservoir allocation should have parked one)"
         )
 
+    def _clear_outlet(self, unit: str) -> None:
+        """Evacuate a separator outlet before a new run flushes it.
+
+        The flow-cell model discards whatever sits in ``out1`` when the
+        next separation starts, so an unparked occupant must leave first:
+        a terminal product is delivered off-chip (it *is* the assay's
+        output), a spent intermediate is discarded, and a fluid with
+        remaining uses means reservoir allocation failed to park it —
+        clobbering it would silently corrupt downstream mixes.
+        """
+        outlet = f"{unit}.out1"
+        occupant = self.occupant.get(outlet)
+        if occupant is None:
+            return
+        if self.pending_uses.get(occupant, 0) > 0:
+            raise CodegenError(
+                f"separator {unit!r} reused while {occupant!r} (still "
+                f"needed {self.pending_uses[occupant]} more time(s)) sits "
+                "unparked in its outlet"
+            )
+        if self._use_count(occupant) == 0:
+            port = self.spec.output_port_names()[0]
+            comment = f"deliver {occupant} before reuse"
+            meta = {"node": occupant}
+        else:
+            port = self.waste_port
+            comment = f"discard spent {occupant}"
+            meta = {"discard": occupant}
+        self.program.append(
+            ais.output(port, outlet, comment=comment, meta=meta)
+        )
+        self._evict(outlet)
+        if self.location.get(occupant) == outlet:
+            del self.location[occupant]
+
     def _evict(self, unit: str) -> None:
         occupant = self.occupant.pop(unit, None)
         if occupant is not None and self.location.get(occupant) == unit:
@@ -390,6 +425,7 @@ class _Generator:
         mode = node.meta.get("mode", "AF")
         unit_spec = self.spec.separator_for_mode(mode)
         unit = unit_spec.name
+        self._clear_outlet(unit)
         matrix = node.meta.get("matrix")
         pusher = node.meta.get("pusher")
         for aux, well in ((matrix, "matrix"), (pusher, "pusher")):

@@ -18,7 +18,15 @@ from dataclasses import dataclass, field
 from enum import Enum, unique
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
-__all__ = ["Severity", "Diagnostic", "DiagnosticSink"]
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticSink",
+    "REPORT_SCHEMA_VERSION",
+    "severity_counts",
+    "exit_code_for",
+    "report_payload",
+]
 
 
 @unique
@@ -110,3 +118,69 @@ class DiagnosticSink:
 
     def render(self) -> str:
         return "\n".join(str(d) for d in self.items)
+
+
+# ---------------------------------------------------------------------------
+# shared JSON report schema (``repro lint --json`` / ``repro certify --json``)
+# ---------------------------------------------------------------------------
+#: bumped only on breaking changes to the payload shape below.
+REPORT_SCHEMA_VERSION = 1
+
+
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    """Tally diagnostics per severity level."""
+    counts = {"error": 0, "warning": 0, "note": 0}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts
+
+
+def exit_code_for(diagnostics: Iterable[Diagnostic]) -> int:
+    """The severity-based exit-code policy shared by lint and certify:
+    0 clean/notes, 1 warnings, 2 errors."""
+    counts = severity_counts(diagnostics)
+    if counts["error"]:
+        return 2
+    if counts["warning"]:
+        return 1
+    return 0
+
+
+def report_payload(
+    tool: str,
+    program: str,
+    machine: str,
+    diagnostics: Iterable[Diagnostic],
+    *,
+    exit_code: Optional[int] = None,
+    extra_summary: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The stable top-level JSON schema emitted by ``repro lint --json``
+    and ``repro certify --json`` (documented in docs/ANALYSIS.md)::
+
+        {"version": 1, "tool": ..., "program": ..., "machine": ...,
+         "diagnostics": [...], "summary": {"clean": ..., "errors": ...,
+         "warnings": ..., "notes": ..., "exit_code": ...}}
+
+    ``extra_summary`` lets a tool add keys under ``summary`` without
+    touching the stable ones.
+    """
+    items = list(diagnostics)
+    counts = severity_counts(items)
+    summary: Dict[str, object] = {
+        "clean": counts["error"] == 0 and counts["warning"] == 0,
+        "errors": counts["error"],
+        "warnings": counts["warning"],
+        "notes": counts["note"],
+        "exit_code": exit_code_for(items) if exit_code is None else exit_code,
+    }
+    if extra_summary:
+        summary.update(extra_summary)
+    return {
+        "version": REPORT_SCHEMA_VERSION,
+        "tool": tool,
+        "program": program,
+        "machine": machine,
+        "diagnostics": [diagnostic.to_dict() for diagnostic in items],
+        "summary": summary,
+    }

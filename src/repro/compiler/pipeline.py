@@ -90,12 +90,17 @@ def compile_dag(
     flat: Optional[FlatAssay] = None,
     source: Optional[str] = None,
     lint: bool = False,
+    certify: bool = False,
 ) -> CompiledAssay:
     """Compile a volume DAG (hand-built or produced by the front end).
 
     With ``lint=True``, the fluid-safety analyzer
     (:func:`repro.analysis.analyze`) runs over the generated program and
-    its findings join the compiler's :class:`DiagnosticSink`.
+    its findings join the compiler's :class:`DiagnosticSink`.  With
+    ``certify=True``, the plan-certificate verifier
+    (:func:`repro.analysis.certify.certify`) re-checks the volume plan
+    and instruction schedule after codegen — the compiler validating its
+    own translation — and its findings join the sink likewise.
     """
     diagnostics = DiagnosticSink()
     limits = spec.limits
@@ -163,7 +168,7 @@ def compile_dag(
         from ..analysis import analyze as lint_program
 
         diagnostics.extend(lint_program(program, spec))
-    return CompiledAssay(
+    compiled = CompiledAssay(
         name=name or dag.name,
         program=program,
         dag=dag,
@@ -177,6 +182,12 @@ def compile_dag(
         planner=planner,
         diagnostics=diagnostics,
     )
+    if certify:
+        # local import: repro.analysis imports this module's products
+        from ..analysis.certify import certify as certify_compiled
+
+        diagnostics.extend(certify_compiled(compiled).findings)
+    return compiled
 
 
 def compile_assay(
@@ -185,6 +196,7 @@ def compile_assay(
     spec: MachineSpec = AQUACORE_SPEC,
     manager: Optional[VolumeManager] = None,
     lint: bool = False,
+    certify: bool = False,
 ) -> CompiledAssay:
     """Compile assay source text end to end."""
     program_ast = parse(source)
@@ -200,4 +212,5 @@ def compile_assay(
         flat=flat,
         source=source,
         lint=lint,
+        certify=certify,
     )

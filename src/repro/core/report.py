@@ -17,7 +17,13 @@ from typing import Dict, List, Optional, Tuple
 from .dag import AssayDAG, NodeKind
 from .dagsolve import VolumeAssignment
 
-__all__ = ["FluidUsage", "FluidRequirements", "fluid_requirements"]
+__all__ = [
+    "FluidUsage",
+    "FluidRequirements",
+    "fluid_requirements",
+    "WasteBreakdown",
+    "waste_breakdown",
+]
 
 
 @dataclass(frozen=True)
@@ -114,4 +120,82 @@ def fluid_requirements(assignment: VolumeAssignment) -> FluidRequirements:
         outputs=outputs,
         total_loaded=total_loaded,
         total_delivered=total_delivered,
+    )
+
+
+@dataclass
+class WasteBreakdown:
+    """Where loaded reagent that is *not* delivered ends up.
+
+    Excess-production discards (the paper's "excess fluid" at partially
+    used intermediates) are itemised per node; the residual bucket covers
+    volume retained inside non-output sinks (parked intermediates, sensed
+    samples) rather than pumped to waste.
+    """
+
+    loaded: Fraction
+    delivered: Fraction
+    excess_by_node: Dict[str, Fraction]
+
+    @property
+    def excess(self) -> Fraction:
+        return sum(self.excess_by_node.values(), Fraction(0))
+
+    @property
+    def retained(self) -> Fraction:
+        """Loaded volume neither delivered nor discarded as excess."""
+        return max(self.loaded - self.delivered - self.excess, Fraction(0))
+
+    @property
+    def utilisation(self) -> Fraction:
+        if self.loaded == 0:
+            return Fraction(0)
+        return self.delivered / self.loaded
+
+    def render(self) -> str:
+        lines = [
+            f"waste breakdown ({float(self.loaded):.2f} nl loaded):",
+            f"  delivered: {float(self.delivered):8.2f} nl "
+            f"({float(self.utilisation) * 100:.1f}%)",
+            f"  excess:    {float(self.excess):8.2f} nl",
+        ]
+        for node, volume in sorted(
+            self.excess_by_node.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"    {node}: {float(volume):.2f} nl")
+        if self.retained:
+            lines.append(f"  retained:  {float(self.retained):8.2f} nl")
+        return "\n".join(lines)
+
+
+def waste_breakdown(assignment: VolumeAssignment) -> WasteBreakdown:
+    """Itemise discarded excess per producing node for an assignment."""
+    dag = assignment.dag
+    loaded = Fraction(0)
+    for node in dag.nodes():
+        if node.kind not in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            continue
+        for edge in dag.out_edges(node.id):
+            if not edge.is_excess:
+                loaded += assignment.edge_volume.get(edge.key, Fraction(0))
+
+    delivered = Fraction(0)
+    for node in dag.outputs():
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            continue
+        delivered += assignment.node_volume.get(node.id, Fraction(0))
+
+    excess_by_node: Dict[str, Fraction] = {}
+    for edge in dag.edges():
+        if not edge.is_excess:
+            continue
+        volume = assignment.edge_volume.get(edge.key, Fraction(0))
+        if volume > 0:
+            excess_by_node[edge.src] = (
+                excess_by_node.get(edge.src, Fraction(0)) + volume
+            )
+    return WasteBreakdown(
+        loaded=loaded,
+        delivered=delivered,
+        excess_by_node=excess_by_node,
     )

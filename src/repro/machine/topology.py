@@ -134,15 +134,39 @@ class ChannelTopology:
             for i in range(len(path) - 1)
         ]
 
-    def conflicts(self, first: Tuple[str, str], second: Tuple[str, str]) -> bool:
+    def shared_locations(
+        self, first: Tuple[str, str], second: Tuple[str, str]
+    ) -> Set[str]:
+        """Locations two transfers' routes have in common — the concrete
+        contention set behind :meth:`conflicts`."""
+        return set(self.route(*first)) & set(self.route(*second))
+
+    def conflicts(
+        self,
+        first: Tuple[str, str],
+        second: Tuple[str, str],
+        *,
+        allow_shared_endpoint: bool = False,
+    ) -> bool:
         """Would two simultaneous transfers contend for hardware?
 
         Transfers conflict when their routes share *any* location —
         a channel junction, a pump, or an endpoint can serve one stream at
         a time.  (On a bus topology every pair conflicts through the
         backbone, which is why AquaCore's wet path is serial.)
+
+        ``allow_shared_endpoint`` relaxes the one case where sharing is
+        deliberate: a location that is an endpoint of *both* transfers —
+        the hand-off point of a sequential pair like ``A -> B`` then
+        ``B -> C`` — is excluded from the contention set.  Interior route
+        locations still conflict even when excluded endpoints touch them.
         """
-        return bool(set(self.route(*first)) & set(self.route(*second)))
+        shared = self.shared_locations(first, second)
+        if allow_shared_endpoint and shared:
+            ends_first = {_canonical(first[0]), _canonical(first[1])}
+            ends_second = {_canonical(second[0]), _canonical(second[1])}
+            shared = shared - (ends_first & ends_second)
+        return bool(shared)
 
 
 def _all_locations(spec: MachineSpec) -> List[str]:

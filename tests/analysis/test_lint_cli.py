@@ -44,19 +44,23 @@ def test_lint_json_round_trips(capsys, fixture, expected_code):
     code = main(["lint", str(FIXTURES / fixture), "--json"])
     payload = json.loads(capsys.readouterr().out)
     assert code == EXIT_ERRORS
-    assert payload["clean"] is False
-    assert payload["counts"]["error"] >= 1
-    assert expected_code in [f["code"] for f in payload["findings"]]
-    finding = payload["findings"][0]
-    assert {"code", "severity", "message", "instruction"} <= set(finding)
+    assert payload["version"] == 1
+    assert payload["tool"] == "lint"
+    assert payload["summary"]["clean"] is False
+    assert payload["summary"]["errors"] >= 1
+    assert payload["summary"]["exit_code"] == EXIT_ERRORS
+    assert expected_code in [d["code"] for d in payload["diagnostics"]]
+    diagnostic = payload["diagnostics"][0]
+    assert {"code", "severity", "message", "instruction"} <= set(diagnostic)
 
 
 def test_lint_json_clean(capsys):
     code = main(["lint", str(FIXTURES / "clean_dilution.ais"), "--json"])
     payload = json.loads(capsys.readouterr().out)
     assert code == EXIT_CLEAN
-    assert payload["clean"] is True
-    assert payload["findings"] == []
+    assert payload["version"] == 1
+    assert payload["summary"]["clean"] is True
+    assert payload["diagnostics"] == []
     assert payload["machine"] == "aquacore"
 
 

@@ -67,3 +67,43 @@ class TestUtilisation:
         assert heaviest.fluid == "diluent"
         assert heaviest.draws == 12
         assert len(report.outputs) == 64
+
+
+class TestWasteBreakdown:
+    def test_flow_conserving_plan_has_no_waste(self, glucose_dag, limits):
+        from repro.core.report import waste_breakdown
+
+        breakdown = waste_breakdown(dagsolve(glucose_dag, limits))
+        assert breakdown.excess == 0
+        assert breakdown.retained == 0
+        assert breakdown.utilisation == 1
+        assert breakdown.delivered == breakdown.loaded
+
+    def test_cascaded_plan_itemises_excess_per_node(self):
+        from repro.core.cascading import cascade_mix, stage_factors
+        from repro.core.dag import AssayDAG
+        from repro.core.report import waste_breakdown
+
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_mix("M", {"A": 1, "B": 99})
+        cascaded, __ = cascade_mix(
+            dag, "M", stage_factors(Fraction(100), 2)
+        )
+        breakdown = waste_breakdown(dagsolve(cascaded, PAPER_LIMITS))
+        assert breakdown.excess > 0
+        assert breakdown.excess_by_node  # keyed by the producing stage
+        assert all(v > 0 for v in breakdown.excess_by_node.values())
+        assert breakdown.loaded == (
+            breakdown.delivered + breakdown.excess + breakdown.retained
+        )
+        assert breakdown.utilisation < 1
+
+    def test_render_is_readable(self, glucose_dag, limits):
+        from repro.core.report import waste_breakdown
+
+        text = waste_breakdown(dagsolve(glucose_dag, limits)).render()
+        assert "waste breakdown" in text
+        assert "delivered:" in text
+        assert "100.0%" in text

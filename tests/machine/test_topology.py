@@ -86,6 +86,44 @@ class TestConflicts:
         assert not topology.conflicts(("a", "b"), ("c", "d"))
         assert topology.conflicts(("a", "b"), ("b", "c"))
 
+    def test_shared_endpoint_handoff_allowed(self):
+        """A -> B then B -> C share only the hand-off point B: with
+        ``allow_shared_endpoint`` that deliberate sequential chaining is
+        not a conflict."""
+        topology = ChannelTopology("mini-ring")
+        for a, b in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")):
+            topology.add_channel(a, b)
+        assert topology.conflicts(("a", "b"), ("b", "c"))
+        assert not topology.conflicts(
+            ("a", "b"), ("b", "c"), allow_shared_endpoint=True
+        )
+
+    def test_shared_interior_still_conflicts(self):
+        """Relaxing endpoints must not forgive routes crossing through
+        a shared *interior* location."""
+        topology = ChannelTopology("star")
+        for leaf in ("a", "b", "c", "d"):
+            topology.add_channel(leaf, "hub")
+        # a->b and c->d both route through the hub interior.
+        assert topology.conflicts(
+            ("a", "b"), ("c", "d"), allow_shared_endpoint=True
+        )
+
+    def test_shared_endpoint_canonicalises_subwells(self):
+        topology = ChannelTopology("t")
+        topology.add_channel("mixer1", "separator1")
+        topology.add_channel("separator1", "s1")
+        assert not topology.conflicts(
+            ("mixer1", "separator1.matrix"),
+            ("separator1", "s1"),
+            allow_shared_endpoint=True,
+        )
+
+    def test_shared_locations_reports_contention_set(self):
+        topology = bus_topology(AQUACORE_SPEC)
+        shared = topology.shared_locations(("s1", "mixer1"), ("s2", "heater1"))
+        assert shared == {"__bus__"}
+
 
 class TestMachineIntegration:
     def test_bus_machine_runs_glucose(self):

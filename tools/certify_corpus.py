@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Compile every assay in the repo's corpus and certify the result.
+
+CI runs this after the test suite: the plan-certificate verifier
+(`repro.analysis.certify`) independently re-derives the paper's IVol
+constraint system and replays the emitted schedule for every compiled
+program in the corpus.  All of them must certify clean — zero errors
+and zero warnings.  The three paper benchmarks
+(Figures 12-14: glucose, glycomics, enzyme) additionally get a metrics
+smoke check: a plan half must actually have been certified (or
+explicitly deferred to run time) and the waste accounting must be
+self-consistent.
+
+Exits nonzero on any failure.
+
+Usage: PYTHONPATH=src python tools/certify_corpus.py [-v]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.certify import certify  # noqa: E402
+from repro.assays import (  # noqa: E402
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    paper_example,
+)
+from repro.compiler import compile_assay, compile_dag  # noqa: E402
+
+#: Figure 12-14 benchmarks that get the extra metrics smoke check.
+PAPER_BENCHMARKS = ("glucose", "glycomics", "enzyme")
+
+
+def custom_assay_source() -> str:
+    path = REPO / "examples" / "custom_assay.py"
+    spec = importlib.util.spec_from_file_location("custom_assay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def corpus():
+    yield "figure2", compile_assay(paper_example.SOURCE)
+    yield "glucose", compile_assay(glucose.SOURCE)
+    yield "glycomics", compile_assay(glycomics.SOURCE)
+    yield "enzyme", compile_assay(enzyme.SOURCE)
+    yield "elisa", compile_assay(extra.ELISA_SOURCE)
+    yield "bradford", compile_assay(extra.BRADFORD_SOURCE)
+    yield "pcr-prep", compile_assay(extra.PCR_PREP_SOURCE)
+    yield "custom-example", compile_assay(custom_assay_source())
+    yield "gen-enzyme-4", compile_dag(generators.enzyme_n(4))
+    yield "gen-dilution-6", compile_dag(generators.serial_dilution(6))
+    yield "gen-mixtree-3", compile_dag(generators.binary_mix_tree(3))
+
+
+def smoke_check(name: str, report) -> str | None:
+    """Extra consistency checks for the paper benchmarks."""
+    summary = report.to_dict()["summary"]
+    if not summary["schedule_checked"]:
+        return "schedule half was not certified"
+    if summary["plan_checked"]:
+        metrics = report.metrics
+        if metrics.get("delivered_nl", 0) <= 0:
+            return "certified plan delivers nothing"
+        if metrics["delivered_nl"] > metrics["loaded_nl"] + 1e-9:
+            return "delivered more than was loaded"
+        if not 0 <= metrics["utilisation"] <= 1:
+            return f"utilisation {metrics['utilisation']} out of range"
+    elif "PLAN-DEFERRED" not in report.codes():
+        return "plan half skipped without a PLAN-DEFERRED note"
+    return None
+
+
+def main(argv) -> int:
+    verbose = "-v" in argv
+    failures = 0
+    for name, compiled in corpus():
+        report = certify(compiled)
+        status = "certified" if report.is_clean else (
+            f"{report.counts['error']} error(s), "
+            f"{report.counts['warning']} warning(s)"
+        )
+        print(f"{name:16s} {status}")
+        if verbose or not report.is_clean:
+            for finding in report.findings:
+                print(f"  {finding}")
+        if not report.is_clean:
+            failures += 1
+            continue
+        if name in PAPER_BENCHMARKS:
+            problem = smoke_check(name, report)
+            if problem:
+                print(f"  metrics smoke check failed: {problem}")
+                failures += 1
+    if failures:
+        print(f"\n{failures} program(s) failed plan certification")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
