@@ -6,6 +6,11 @@ Usage (also via ``python -m repro``)::
     python -m repro dag      assay.fluid [--dot]    # the volume DAG
     python -m repro plan     assay.fluid            # volume assignment
     python -m repro compile  assay.fluid            # AIS listing
+        [--lint] [--certify]                        # run the analyzers on
+                                                    # the one compile
+    python -m repro compile  a.fluid b.fluid --batch --jobs 4 \
+        [--cache-dir DIR] [--stats-json PATH]       # batch pipeline with
+                                                    # content-addressed cache
     python -m repro lint     program.ais            # fluid-safety analysis
         [--json] [--assay]                          # JSON report; lint an
                                                     # assay source instead
@@ -70,19 +75,41 @@ def _spec(args) -> MachineSpec:
     return spec
 
 
+def _cli_options(args) -> dict:
+    return {
+        "use_lp": not args.no_lp,
+        "allow_cascading": not args.no_cascade,
+        "allow_replication": not args.no_replicate,
+    }
+
+
 def _manager(args, spec: MachineSpec) -> VolumeManager:
-    return VolumeManager(
-        spec.limits,
-        use_lp=not args.no_lp,
-        allow_cascading=not args.no_cascade,
-        allow_replication=not args.no_replicate,
-    )
+    return VolumeManager(spec.limits, **_cli_options(args))
 
 
-def _compile(args):
-    spec = _spec(args)
+def _compile(
+    args,
+    spec: Optional[MachineSpec] = None,
+    *,
+    lint: bool = False,
+    certify: bool = False,
+    cache=None,
+):
+    """Parse and compile ``args.file`` exactly once.
+
+    ``lint``/``certify`` piggyback on the same compile — one parse, one
+    volume plan, one codegen pass even when both analyses are requested.
+    Callers that already resolved the machine spec pass it in so it is not
+    rebuilt.
+    """
+    spec = spec if spec is not None else _spec(args)
     return compile_assay(
-        _read_source(args.file), spec=spec, manager=_manager(args, spec)
+        _read_source(args.file),
+        spec=spec,
+        manager=_manager(args, spec),
+        lint=lint,
+        certify=certify,
+        cache=cache,
     )
 
 
@@ -169,13 +196,31 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def _plan_cache(args):
+    """Build the PlanCache a compile invocation asked for (or None)."""
+    if args.cache_dir is None and not args.batch:
+        return None
+    from .compiler.cache import PlanCache
+
+    return PlanCache(
+        max_entries=args.cache_size, directory=args.cache_dir
+    )
+
+
 def cmd_compile(args) -> int:
+    args.file = args.files[0]
+    if args.batch or len(args.files) > 1:
+        return _cmd_compile_batch(args)
     if args.rolled:
         from .compiler.rolled import render_rolled_source
 
         print(render_rolled_source(_read_source(args.file)).render())
         return 0
-    compiled = _compile(args)
+    # one parse + one volume plan + one codegen pass, even when both
+    # analyzers are requested
+    compiled = _compile(
+        args, lint=args.lint, certify=args.certify, cache=_plan_cache(args)
+    )
     print(compiled.listing())
     if len(compiled.diagnostics):
         print(file=sys.stderr)
@@ -183,9 +228,55 @@ def cmd_compile(args) -> int:
     return 1 if compiled.diagnostics.has_errors else 0
 
 
-def cmd_run(args) -> int:
-    compiled = _compile(args)
+def _cmd_compile_batch(args) -> int:
+    import json
+    import os
+
+    from .compiler.batch import BatchJob, compile_many
+
+    if args.rolled:
+        raise SystemExit("--rolled is not available in batch mode")
     spec = _spec(args)
+    jobs = []
+    for path in args.files:
+        name = (
+            "stdin"
+            if path == "-"
+            else os.path.splitext(os.path.basename(path))[0]
+        )
+        jobs.append(BatchJob(name, source=_read_source(path)))
+    report = compile_many(
+        jobs,
+        spec=spec,
+        manager_options=_cli_options(args),
+        cache=_plan_cache(args),
+        max_workers=args.jobs,
+        lint=args.lint,
+        certify=args.certify,
+    )
+    print(report.render())
+    stats = report.to_dict()
+    cache_stats = stats["cache"]
+    print(
+        f"cache: {cache_stats['hits']} hit / {cache_stats['misses']} miss "
+        f"(rate {cache_stats['hit_rate']:.0%})"
+    )
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+    if report.failed or report.total_errors:
+        return 1
+    if args.certify and any(
+        r.certified_clean is False for r in report.results
+    ):
+        return 1
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = _spec(args)
+    compiled = _compile(args, spec)
     models = {}
     for item in args.sep_yield or ():
         unit, __, value = item.partition("=")
@@ -305,8 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, run_options=False):
-        p.add_argument("file", help="assay source file, or - for stdin")
+    def common(p, run_options=False, multi=False):
+        if multi:
+            p.add_argument(
+                "files",
+                nargs="+",
+                help="assay source file(s); - reads one from stdin",
+            )
+        else:
+            p.add_argument("file", help="assay source file, or - for stdin")
         p.add_argument(
             "--machine",
             choices=sorted(MACHINES),
@@ -359,12 +457,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.set_defaults(handler=cmd_plan)
 
     p_compile = sub.add_parser("compile", help="emit the AIS listing")
-    common(p_compile)
+    common(p_compile, multi=True)
     p_compile.add_argument(
         "--rolled",
         action="store_true",
         help="emit the loop-preserving listing (paper Figure 11b form) "
         "instead of the unrolled executable program",
+    )
+    p_compile.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the fluid-safety analyzer on the same compile",
+    )
+    p_compile.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the plan-certificate verifier on the same compile",
+    )
+    p_compile.add_argument(
+        "--batch",
+        action="store_true",
+        help="batch pipeline: fingerprint, dedupe, and cache every file "
+        "(implied by passing several files)",
+    )
+    p_compile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cold batch compiles (0 = auto)",
+    )
+    p_compile.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent plan-cache directory (content-addressed JSON)",
+    )
+    p_compile.add_argument(
+        "--cache-size",
+        type=int,
+        default=512,
+        metavar="N",
+        help="in-memory plan-cache entries (default: 512)",
+    )
+    p_compile.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write the batch report (hits/misses/latencies) as JSON",
     )
     p_compile.set_defaults(handler=cmd_compile)
 

@@ -5,18 +5,36 @@
 * :mod:`repro.compiler.pipeline` — the end-to-end driver
   (:func:`compile_assay`) producing a :class:`CompiledAssay`;
 * :mod:`repro.compiler.diagnostics` — structured warnings (underflow risk,
-  regeneration fallback, transforms applied).
+  regeneration fallback, transforms applied);
+* :mod:`repro.compiler.cache` — content-addressed plan cache (in-memory
+  LRU + optional on-disk store);
+* :mod:`repro.compiler.batch` — :func:`compile_many` batch driver with
+  fingerprint dedupe and process fan-out.
 """
 
+from .batch import BatchItemResult, BatchJob, BatchReport, compile_many
+from .cache import CacheStats, PlanCache
 from .codegen import CodegenError, execution_order, generate
 from .rolled import RolledListing, render_rolled, render_rolled_source
 from .diagnostics import Diagnostic, DiagnosticSink
-from .pipeline import CompiledAssay, compile_assay, compile_dag
+from .pipeline import (
+    CompiledAssay,
+    compile_assay,
+    compile_dag,
+    static_fingerprint,
+)
 
 __all__ = [
     "compile_assay",
     "compile_dag",
+    "compile_many",
+    "static_fingerprint",
     "CompiledAssay",
+    "BatchJob",
+    "BatchItemResult",
+    "BatchReport",
+    "PlanCache",
+    "CacheStats",
     "generate",
     "render_rolled",
     "render_rolled_source",

@@ -1,0 +1,337 @@
+"""Content-addressed plan cache: in-memory LRU + optional on-disk store.
+
+Real PLoC workloads recompile near-identical DAGs constantly — calibration
+sweeps, EnzymeN families, regeneration re-runs — so compiled
+:class:`~repro.core.hierarchy.VolumePlan` results are cached under a
+canonical content hash (:mod:`repro.core.fingerprint`) of the normalized
+DAG plus hardware limits, machine spec, and pipeline options.
+
+Three key namespaces share one store:
+
+* ``plan-<sha256>`` — a full compiled plan entry: the serialized
+  :class:`VolumePlan` (final DAG, attempts, transforms, exact-Fraction
+  assignment) plus the least-count-rounded assignment.  Built and decoded
+  by :func:`entry_from_plan` / :func:`plan_from_entry`.
+* ``vnorms-<sha256>`` — one memoized DAGSolve backward pass, keyed by the
+  *structural* fingerprint only; partitioned sub-DAGs and transformed
+  slices hit here independently of the enclosing assay.
+* ``src-<sha256>`` — raw source text (plus spec/options) mapped to its
+  compile fingerprint, letting the batch driver skip the whole frontend
+  on warm re-runs.
+
+Entries are JSON dicts end to end, so the memory and disk layers hold the
+same canonical bytes; a cache-served plan re-serializes byte-identically
+to the entry a fresh compile would have produced (enforced by the
+property test in ``tests/properties/test_cache_roundtrip.py``).  Disk
+writes are atomic (temp file + ``os.replace``), and unreadable or corrupt
+files degrade to misses.
+
+Plans whose DAGs carry non-serializable metadata (e.g. guard AST nodes on
+dynamically-conditioned assays) are reported *uncacheable* rather than
+stored lossily.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.dagsolve import VnormResult, VolumeAssignment
+from ..core.fingerprint import plan_key, source_key, vnorm_key
+from ..core.hierarchy import VolumePlan
+from ..core.serde import (
+    SERDE_VERSION,
+    SerdeError,
+    assignment_from_dict,
+    assignment_to_dict,
+    dumps_canonical,
+    plan_from_dict,
+    plan_to_dict,
+    vnorms_from_dict,
+    vnorms_to_dict,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "entry_from_plan",
+    "plan_from_entry",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by where the entry was found."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    uncacheable: int = 0
+    #: per-namespace hit/miss counts, e.g. {"plan": [3, 1], "vnorms": ...}
+    by_namespace: Dict[str, list] = field(default_factory=dict)
+
+    def _bucket(self, key: str) -> list:
+        namespace = key.split("-", 1)[0]
+        return self.by_namespace.setdefault(namespace, [0, 0])
+
+    def record_hit(self, key: str, *, from_disk: bool = False) -> None:
+        self.hits += 1
+        if from_disk:
+            self.disk_hits += 1
+        self._bucket(key)[0] += 1
+
+    def record_miss(self, key: str) -> None:
+        self.misses += 1
+        self._bucket(key)[1] += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "uncacheable": self.uncacheable,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_namespace": {
+                ns: {"hits": counts[0], "misses": counts[1]}
+                for ns, counts in sorted(self.by_namespace.items())
+            },
+        }
+
+
+class PlanCache:
+    """LRU-bounded in-memory cache with an optional on-disk second level.
+
+    Args:
+        max_entries: in-memory LRU bound (entries, across all namespaces).
+        directory: optional directory for the persistent level; created on
+            first write.  One ``<key>.json`` file per entry, written
+            atomically.  ``None`` keeps the cache purely in-memory.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        directory: Optional[str] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.directory = directory
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: live VnormResult objects alongside their serde dicts, so
+        #: in-process memo hits skip Fraction re-parsing.  Treated as
+        #: read-only by every consumer (dispense never mutates vnorms).
+        self._vnorm_objects: Dict[str, VnormResult] = {}
+
+    # ------------------------------------------------------------------
+    # generic keyed store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.record_hit(key)
+            return entry
+        entry = self._disk_read(key)
+        if entry is not None:
+            self._remember(key, entry)
+            self.stats.record_hit(key, from_disk=True)
+            return entry
+        self.stats.record_miss(key)
+        return None
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        self._remember(key, entry)
+        self._disk_write(key, entry)
+        self.stats.puts += 1
+
+    def contains(self, key: str) -> bool:
+        """Presence probe that does not touch LRU order or stats."""
+        if key in self._memory:
+            return True
+        path = self._disk_path(key)
+        return path is not None and os.path.exists(path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory level (the disk level survives)."""
+        self._memory.clear()
+        self._vnorm_objects.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _remember(self, key: str, entry: Dict[str, Any]) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            evicted, __ = self._memory.popitem(last=False)
+            self._vnorm_objects.pop(evicted, None)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk level
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _disk_read(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        return entry
+
+    def _disk_write(self, key: str, entry: Dict[str, Any]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+            )
+        except OSError:
+            return  # disk level unavailable; the memory level still works
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(dumps_canonical(entry))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # plan namespace
+    # ------------------------------------------------------------------
+    def get_plan(
+        self, fingerprint: str
+    ) -> Optional[Tuple[VolumePlan, Optional[VolumeAssignment]]]:
+        """Decode a cached plan; the rounded assignment shares its DAG."""
+        entry = self.get(plan_key(fingerprint))
+        if entry is None:
+            return None
+        try:
+            return plan_from_entry(entry)
+        except (SerdeError, KeyError, ValueError):
+            return None
+
+    def put_plan(
+        self,
+        fingerprint: str,
+        plan: VolumePlan,
+        rounded: Optional[VolumeAssignment],
+    ) -> bool:
+        """Store a compiled plan; returns False when it is uncacheable."""
+        try:
+            entry = entry_from_plan(plan, rounded, fingerprint)
+        except SerdeError:
+            self.stats.uncacheable += 1
+            return False
+        self.put(plan_key(fingerprint), entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # vnorm memo namespace
+    # ------------------------------------------------------------------
+    def memo_vnorms(self, dag, output_targets=None) -> VnormResult:
+        """DAGSolve backward pass, memoized by structural fingerprint."""
+        from ..core.dagsolve import compute_vnorms
+
+        key = vnorm_key(dag, output_targets)
+        cached = self._vnorm_objects.get(key)
+        if cached is not None:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+            self.stats.record_hit(key)
+            return cached
+        entry = self.get(key)
+        if entry is not None:
+            result = vnorms_from_dict(entry)
+            self._vnorm_objects[key] = result
+            return result
+        result = compute_vnorms(dag, output_targets)
+        self.put(key, vnorms_to_dict(result))
+        self._vnorm_objects[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # source fast-key namespace
+    # ------------------------------------------------------------------
+    def get_source_fingerprint(self, src_fingerprint: str) -> Optional[str]:
+        entry = self.get(source_key(src_fingerprint))
+        if entry is None:
+            return None
+        fingerprint = entry.get("fingerprint")
+        return fingerprint if isinstance(fingerprint, str) else None
+
+    def put_source_fingerprint(
+        self, src_fingerprint: str, compile_fp: str
+    ) -> None:
+        self.put(
+            source_key(src_fingerprint),
+            {"version": SERDE_VERSION, "fingerprint": compile_fp},
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry codec
+# ---------------------------------------------------------------------------
+def entry_from_plan(
+    plan: VolumePlan,
+    rounded: Optional[VolumeAssignment],
+    fingerprint: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The canonical cache entry for one compiled plan.
+
+    Raises :class:`~repro.core.serde.SerdeError` when the plan cannot be
+    serialized losslessly (callers should then skip caching).
+    """
+    entry: Dict[str, Any] = {
+        "version": SERDE_VERSION,
+        "plan": plan_to_dict(plan),
+        "rounded": (
+            assignment_to_dict(rounded) if rounded is not None else None
+        ),
+    }
+    if fingerprint is not None:
+        entry["fingerprint"] = fingerprint
+    return entry
+
+
+def plan_from_entry(
+    entry: Dict[str, Any],
+) -> Tuple[VolumePlan, Optional[VolumeAssignment]]:
+    """Decode an entry; plan and rounded assignment share one DAG object."""
+    if entry.get("version") != SERDE_VERSION:
+        raise SerdeError(
+            f"unsupported cache entry version {entry.get('version')!r}"
+        )
+    plan = plan_from_dict(entry["plan"])
+    rounded = None
+    if entry.get("rounded") is not None:
+        rounded = assignment_from_dict(entry["rounded"], plan.dag)
+    return plan, rounded

@@ -22,7 +22,7 @@ volume-management stages this paper adds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.dag import AssayDAG
 from ..core.dagsolve import VolumeAssignment
@@ -40,7 +40,15 @@ from ..machine.spec import AQUACORE_SPEC, MachineSpec
 from .codegen import generate
 from .diagnostics import DiagnosticSink
 
-__all__ = ["CompiledAssay", "compile_assay", "compile_dag"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import PlanCache
+
+__all__ = [
+    "CompiledAssay",
+    "compile_assay",
+    "compile_dag",
+    "static_fingerprint",
+]
 
 
 @dataclass
@@ -80,6 +88,52 @@ def _has_unknown_flows(dag: AssayDAG) -> bool:
     )
 
 
+def static_fingerprint(
+    dag: AssayDAG, spec: MachineSpec, manager: VolumeManager
+) -> str:
+    """The content address of one static compile request."""
+    from ..core.fingerprint import compile_fingerprint
+
+    return compile_fingerprint(
+        dag, spec.limits, spec, manager.options_dict()
+    )
+
+
+def _plan_static(
+    dag: AssayDAG,
+    spec: MachineSpec,
+    manager: VolumeManager,
+    cache,
+):
+    """Run (or restore) the volume-management hierarchy for a static DAG.
+
+    Returns ``(plan, rounded_assignment, cache_hit)``.  A cache hit
+    restores both through exact serde; a miss runs the hierarchy, rounds,
+    and stores the pair under the compile fingerprint.
+    """
+    if cache is None:
+        plan = manager.plan(dag)
+        rounded = (
+            round_assignment(plan.assignment)
+            if plan.assignment is not None
+            else None
+        )
+        return plan, rounded, False
+    fingerprint = static_fingerprint(dag, spec, manager)
+    restored = cache.get_plan(fingerprint)
+    if restored is not None:
+        plan, rounded = restored
+        return plan, rounded, True
+    plan = manager.plan(dag)
+    rounded = (
+        round_assignment(plan.assignment)
+        if plan.assignment is not None
+        else None
+    )
+    cache.put_plan(fingerprint, plan, rounded)
+    return plan, rounded, False
+
+
 def compile_dag(
     dag: AssayDAG,
     *,
@@ -91,6 +145,7 @@ def compile_dag(
     source: Optional[str] = None,
     lint: bool = False,
     certify: bool = False,
+    cache: Optional["PlanCache"] = None,
 ) -> CompiledAssay:
     """Compile a volume DAG (hand-built or produced by the front end).
 
@@ -101,10 +156,21 @@ def compile_dag(
     (:func:`repro.analysis.certify.certify`) re-checks the volume plan
     and instruction schedule after codegen — the compiler validating its
     own translation — and its findings join the sink likewise.
+
+    With a ``cache`` (:class:`repro.compiler.cache.PlanCache`), the volume
+    -management stage is served content-addressed: the DAG, hardware
+    limits, machine spec, and manager options are fingerprinted, and a hit
+    restores the plan plus the rounded assignment through exact-Fraction
+    serde instead of re-running the hierarchy.  Codegen and the optional
+    analyses always run, so the produced listing is byte-identical either
+    way.  Subproblem Vnorm passes (partitions, transform rounds) are
+    memoized through the same cache.
     """
     diagnostics = DiagnosticSink()
     limits = spec.limits
     manager = manager or VolumeManager(limits)
+    if cache is not None and manager.cache is None:
+        manager.cache = cache
     dag.validate()
 
     plan: Optional[VolumePlan] = None
@@ -113,7 +179,7 @@ def compile_dag(
     final_dag = dag
 
     if _has_unknown_flows(dag):
-        planner = RuntimePlanner(dag, limits)
+        planner = RuntimePlanner(dag, limits, cache=cache)
         diagnostics.note(
             "runtime-assignment",
             f"{planner.n_partitions} partitions; final dispensing deferred "
@@ -133,8 +199,13 @@ def compile_dag(
                         node=spec_input.node_id,
                     )
     else:
-        plan = manager.plan(dag)
+        plan, assignment, cache_hit = _plan_static(dag, spec, manager, cache)
         final_dag = plan.dag
+        if cache_hit:
+            diagnostics.note(
+                "plan-cache",
+                "volume plan served from the content-addressed cache",
+            )
         for report in plan.transforms:
             diagnostics.note("transform", str(report))
         if plan.assignment is None:
@@ -143,7 +214,6 @@ def compile_dag(
                 "the hierarchy produced no volume assignment at all",
             )
         else:
-            assignment = round_assignment(plan.assignment)
             error = max_ratio_error(assignment)
             if error > 0:
                 diagnostics.note(
@@ -197,6 +267,7 @@ def compile_assay(
     manager: Optional[VolumeManager] = None,
     lint: bool = False,
     certify: bool = False,
+    cache: Optional["PlanCache"] = None,
 ) -> CompiledAssay:
     """Compile assay source text end to end."""
     program_ast = parse(source)
@@ -213,4 +284,5 @@ def compile_assay(
         source=source,
         lint=lint,
         certify=certify,
+        cache=cache,
     )

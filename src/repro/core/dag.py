@@ -193,6 +193,11 @@ class AssayDAG:
         self._edges: Dict[Tuple[str, str], Edge] = {}
         self._out: Dict[str, List[Tuple[str, str]]] = {}
         self._in: Dict[str, List[Tuple[str, str]]] = {}
+        #: memoized topological order; None until computed, dropped on any
+        #: structural mutation.  DAGSolve/LP/certify all walk the same
+        #: frozen DAG repeatedly, so the Kahn pass would otherwise rerun
+        #: on every pass.
+        self._topo_cache: Optional[List[str]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -200,6 +205,7 @@ class AssayDAG:
     def add_node(self, node: Node) -> Node:
         if node.id in self._nodes:
             raise DagError(f"duplicate node id {node.id!r}")
+        self._topo_cache = None
         self._nodes[node.id] = node
         self._out[node.id] = []
         self._in[node.id] = []
@@ -214,6 +220,7 @@ class AssayDAG:
             raise DagError(f"self-loop on {edge.src!r}")
         if edge.key in self._edges:
             raise DagError(f"parallel edge {edge.src!r}->{edge.dst!r}")
+        self._topo_cache = None
         self._edges[edge.key] = edge
         self._out[edge.src].append(edge.key)
         self._in[edge.dst].append(edge.key)
@@ -280,6 +287,7 @@ class AssayDAG:
         key = (src, dst)
         if key not in self._edges:
             raise DagError(f"no edge {src!r}->{dst!r}")
+        self._topo_cache = None
         edge = self._edges.pop(key)
         self._out[src].remove(key)
         self._in[dst].remove(key)
@@ -293,6 +301,7 @@ class AssayDAG:
             self.remove_edge(*key)
         for key in list(self._out[node_id]):
             self.remove_edge(*key)
+        self._topo_cache = None
         del self._in[node_id]
         del self._out[node_id]
         return self._nodes.pop(node_id)
@@ -387,7 +396,11 @@ class AssayDAG:
         """Kahn's algorithm; raises :class:`CycleError` on cycles.
 
         Ties are broken by insertion order so results are deterministic.
+        The order is memoized until the next structural mutation; callers
+        receive a fresh list each time, so mutating the result is safe.
         """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         indegree = {node_id: len(self._in[node_id]) for node_id in self._nodes}
         ready = [node_id for node_id in self._nodes if indegree[node_id] == 0]
         order: List[str] = []
@@ -403,7 +416,8 @@ class AssayDAG:
         if len(order) != len(self._nodes):
             stuck = sorted(set(self._nodes) - set(order))
             raise CycleError(f"assay graph has a cycle through {stuck}")
-        return order
+        self._topo_cache = order
+        return list(order)
 
     def reverse_topological_order(self) -> List[str]:
         return list(reversed(self.topological_order()))

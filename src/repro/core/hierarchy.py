@@ -26,7 +26,7 @@ from typing import List, Mapping, Optional, Sequence, Union
 
 from .cascading import CascadeReport, cascade_extreme_mixes, find_extreme_mixes
 from .dag import AssayDAG
-from .dagsolve import VolumeAssignment, Violation, dagsolve
+from .dagsolve import VolumeAssignment, Violation, dagsolve, dispense
 from .errors import (
     InfeasibleError,
     ResourceExhaustedError,
@@ -111,6 +111,12 @@ class VolumeManager:
         output_tolerance: LP's optional output-to-output band.
         max_rounds: transform-and-retry iterations before giving up.
         max_total_nodes: PLoC resource budget for replication growth.
+        cache: optional Vnorm memo — any object with a
+            ``memo_vnorms(dag, output_targets=None) -> VnormResult`` method
+            (in practice :class:`repro.compiler.cache.PlanCache`).  When
+            set, the DAGSolve backward pass is served from the memo for
+            structurally-identical DAGs, so partitioned sub-DAGs and
+            transformed slices hit independently of the enclosing assay.
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class VolumeManager:
         output_tolerance: Optional[float] = 0.1,
         max_rounds: int = 4,
         max_total_nodes: Optional[int] = None,
+        cache=None,
     ) -> None:
         self.limits = limits
         self.use_lp = use_lp
@@ -131,6 +138,18 @@ class VolumeManager:
         self.output_tolerance = output_tolerance
         self.max_rounds = max_rounds
         self.max_total_nodes = max_total_nodes
+        self.cache = cache
+
+    def options_dict(self) -> dict:
+        """The planning-relevant knobs, for cache fingerprinting."""
+        return {
+            "use_lp": self.use_lp,
+            "allow_cascading": self.allow_cascading,
+            "allow_replication": self.allow_replication,
+            "output_tolerance": self.output_tolerance,
+            "max_rounds": self.max_rounds,
+            "max_total_nodes": self.max_total_nodes,
+        }
 
     # ------------------------------------------------------------------
     def plan(
@@ -146,7 +165,12 @@ class VolumeManager:
 
         for round_number in range(1, self.max_rounds + 1):
             # -- stage 1: DAGSolve -----------------------------------
-            assignment = dagsolve(current, self.limits, output_targets)
+            if self.cache is not None:
+                current.validate()
+                vnorms = self.cache.memo_vnorms(current, output_targets)
+                assignment = dispense(current, vnorms, self.limits)
+            else:
+                assignment = dagsolve(current, self.limits, output_targets)
             violations = assignment.violations()
             attempts.append(
                 Attempt(

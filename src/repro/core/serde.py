@@ -1,0 +1,421 @@
+"""Exact JSON serialization for DAGs, assignments, and volume plans.
+
+The plan cache (:mod:`repro.compiler.cache`) stores compiled
+:class:`~repro.core.hierarchy.VolumePlan` results content-addressed by DAG
+fingerprint, both in memory and on disk.  Everything that round-trips
+through the cache must come back *byte-identical* after re-serialization,
+so this module defines one canonical JSON form:
+
+* every :class:`fractions.Fraction` is encoded as the exact string
+  ``"numerator/denominator"`` — no floats, no precision loss;
+* node and edge **insertion order is preserved** (lists, not sorted maps),
+  because :meth:`AssayDAG.topological_order` breaks ties by insertion order
+  and codegen iterates in that order — a round-tripped DAG must compile to
+  the identical listing;
+* free-form ``meta`` values are encoded with a small tagged scheme
+  (fractions, tuples) and **refused** (:class:`SerdeError`) when a value
+  cannot round-trip losslessly (e.g. guard AST objects) — the cache layer
+  treats such plans as uncacheable rather than serving corrupted ones.
+
+Canonical bytes are produced by :func:`dumps_canonical` (sorted keys,
+minimal separators); the byte-identity property test in
+``tests/properties/test_cache_roundtrip.py`` pins serialize/deserialize/
+re-serialize as the identity on bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from .cascading import CascadeReport
+from .dag import AssayDAG, Edge, Node, NodeKind
+from .dagsolve import VnormResult, Violation, VolumeAssignment
+from .errors import VolumeError
+from .hierarchy import Attempt, VolumePlan
+from .limits import HardwareLimits
+from .replication import ReplicationReport
+
+__all__ = [
+    "SerdeError",
+    "SERDE_VERSION",
+    "dumps_canonical",
+    "fraction_to_str",
+    "fraction_from_str",
+    "dag_to_dict",
+    "dag_from_dict",
+    "limits_to_dict",
+    "limits_from_dict",
+    "vnorms_to_dict",
+    "vnorms_from_dict",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+]
+
+#: bump when the serialized form changes incompatibly; embedded in every
+#: cache fingerprint so stale on-disk entries miss instead of mis-decoding.
+SERDE_VERSION = 1
+
+
+class SerdeError(VolumeError):
+    """A value cannot be serialized losslessly."""
+
+
+def dumps_canonical(obj: Any) -> str:
+    """The one canonical JSON text for a serde dict (sorted keys, compact)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# scalars
+# ---------------------------------------------------------------------------
+def fraction_to_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def fraction_from_str(text: str) -> Fraction:
+    numerator, __, denominator = text.partition("/")
+    return Fraction(int(numerator), int(denominator))
+
+
+def _opt_fraction(value: Optional[Fraction]) -> Optional[str]:
+    return None if value is None else fraction_to_str(value)
+
+
+def _opt_fraction_back(value: Optional[str]) -> Optional[Fraction]:
+    return None if value is None else fraction_from_str(value)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one free-form (``meta``) value; raises :class:`SerdeError`
+    on anything that cannot round-trip exactly."""
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    if isinstance(value, float):
+        return {"$float": repr(value)}
+    if isinstance(value, Fraction):
+        return {"$frac": fraction_to_str(value)}
+    if isinstance(value, tuple):
+        return {"$tuple": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerdeError(f"non-string dict key {key!r}")
+            if key.startswith("$"):
+                raise SerdeError(f"reserved key {key!r}")
+            encoded[key] = encode_value(item)
+        return encoded
+    raise SerdeError(f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$frac" in value:
+            return fraction_from_str(value["$frac"])
+        if "$tuple" in value:
+            return tuple(decode_value(item) for item in value["$tuple"])
+        if "$float" in value:
+            return float(value["$float"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# limits
+# ---------------------------------------------------------------------------
+def limits_to_dict(limits: HardwareLimits) -> Dict[str, str]:
+    return {
+        "max_capacity": fraction_to_str(limits.max_capacity),
+        "least_count": fraction_to_str(limits.least_count),
+    }
+
+
+def limits_from_dict(data: Dict[str, str]) -> HardwareLimits:
+    return HardwareLimits(
+        max_capacity=fraction_from_str(data["max_capacity"]),
+        least_count=fraction_from_str(data["least_count"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# DAG
+# ---------------------------------------------------------------------------
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    return {
+        "id": node.id,
+        "kind": node.kind.value,
+        "ratio": list(node.ratio) if node.ratio is not None else None,
+        "output_fraction": _opt_fraction(node.output_fraction),
+        "unknown_volume": node.unknown_volume,
+        "excess_fraction": fraction_to_str(node.excess_fraction),
+        "min_volume": _opt_fraction(node.min_volume),
+        "capacity": _opt_fraction(node.capacity),
+        "no_excess": node.no_excess,
+        "available_volume": _opt_fraction(node.available_volume),
+        "label": node.label,
+        "meta": encode_value(node.meta),
+    }
+
+
+def _node_from_dict(data: Dict[str, Any]) -> Node:
+    return Node(
+        id=data["id"],
+        kind=NodeKind(data["kind"]),
+        ratio=tuple(data["ratio"]) if data["ratio"] is not None else None,
+        output_fraction=_opt_fraction_back(data["output_fraction"]),
+        unknown_volume=data["unknown_volume"],
+        excess_fraction=fraction_from_str(data["excess_fraction"]),
+        min_volume=_opt_fraction_back(data["min_volume"]),
+        capacity=_opt_fraction_back(data["capacity"]),
+        no_excess=data["no_excess"],
+        available_volume=_opt_fraction_back(data["available_volume"]),
+        label=data["label"],
+        meta=decode_value(data["meta"]),
+    )
+
+
+def dag_to_dict(dag: AssayDAG) -> Dict[str, Any]:
+    """Serialize a DAG, preserving node and edge insertion order."""
+    return {
+        "name": dag.name,
+        "nodes": [_node_to_dict(node) for node in dag.nodes()],
+        "edges": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                "fraction": fraction_to_str(edge.fraction),
+                "is_excess": edge.is_excess,
+            }
+            for edge in dag.edges()
+        ],
+    }
+
+
+def dag_from_dict(data: Dict[str, Any]) -> AssayDAG:
+    dag = AssayDAG(data["name"])
+    for node_data in data["nodes"]:
+        dag.add_node(_node_from_dict(node_data))
+    for edge_data in data["edges"]:
+        dag.add_edge(
+            Edge(
+                edge_data["src"],
+                edge_data["dst"],
+                fraction_from_str(edge_data["fraction"]),
+                is_excess=edge_data["is_excess"],
+            )
+        )
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# Vnorms / assignments
+# ---------------------------------------------------------------------------
+def _edge_map_to_list(edge_map) -> List[List[Any]]:
+    return [
+        [src, dst, fraction_to_str(value)]
+        for (src, dst), value in edge_map.items()
+    ]
+
+
+def _edge_map_from_list(items) -> Dict[Tuple[str, str], Fraction]:
+    return {
+        (src, dst): fraction_from_str(value) for src, dst, value in items
+    }
+
+
+def _node_map_to_dict(node_map) -> Dict[str, str]:
+    return {node_id: fraction_to_str(v) for node_id, v in node_map.items()}
+
+
+def _node_map_from_dict(data) -> Dict[str, Fraction]:
+    return {node_id: fraction_from_str(v) for node_id, v in data.items()}
+
+
+def vnorms_to_dict(vnorms: VnormResult) -> Dict[str, Any]:
+    return {
+        "node_vnorm": _node_map_to_dict(vnorms.node_vnorm),
+        "node_input_vnorm": _node_map_to_dict(vnorms.node_input_vnorm),
+        "edge_vnorm": _edge_map_to_list(vnorms.edge_vnorm),
+        "nodes_visited": vnorms.nodes_visited,
+        "edges_visited": vnorms.edges_visited,
+    }
+
+
+def vnorms_from_dict(data: Dict[str, Any]) -> VnormResult:
+    return VnormResult(
+        node_vnorm=_node_map_from_dict(data["node_vnorm"]),
+        node_input_vnorm=_node_map_from_dict(data["node_input_vnorm"]),
+        edge_vnorm=_edge_map_from_list(data["edge_vnorm"]),
+        nodes_visited=data["nodes_visited"],
+        edges_visited=data["edges_visited"],
+    )
+
+
+def assignment_to_dict(assignment: VolumeAssignment) -> Dict[str, Any]:
+    """Serialize an assignment *without* its DAG (stored once per plan)."""
+    return {
+        "node_volume": _node_map_to_dict(assignment.node_volume),
+        "node_input_volume": _node_map_to_dict(assignment.node_input_volume),
+        "edge_volume": _edge_map_to_list(assignment.edge_volume),
+        "scale": _opt_fraction(assignment.scale),
+        "method": assignment.method,
+        "vnorms": (
+            vnorms_to_dict(assignment.vnorms)
+            if assignment.vnorms is not None
+            else None
+        ),
+        "tolerance": fraction_to_str(assignment.tolerance),
+        "meta": encode_value(assignment.meta),
+        "limits": limits_to_dict(assignment.limits),
+    }
+
+
+def assignment_from_dict(
+    data: Dict[str, Any], dag: AssayDAG
+) -> VolumeAssignment:
+    return VolumeAssignment(
+        dag=dag,
+        limits=limits_from_dict(data["limits"]),
+        node_volume=_node_map_from_dict(data["node_volume"]),
+        node_input_volume=_node_map_from_dict(data["node_input_volume"]),
+        edge_volume=_edge_map_from_list(data["edge_volume"]),
+        scale=_opt_fraction_back(data["scale"]),
+        method=data["method"],
+        vnorms=(
+            vnorms_from_dict(data["vnorms"])
+            if data["vnorms"] is not None
+            else None
+        ),
+        tolerance=fraction_from_str(data["tolerance"]),
+        meta=decode_value(data["meta"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
+    return {
+        "kind": violation.kind,
+        "subject": violation.subject,
+        "volume": fraction_to_str(violation.volume),
+        "bound": fraction_to_str(violation.bound),
+    }
+
+
+def _violation_from_dict(data: Dict[str, Any]) -> Violation:
+    return Violation(
+        kind=data["kind"],
+        subject=data["subject"],
+        volume=fraction_from_str(data["volume"]),
+        bound=fraction_from_str(data["bound"]),
+    )
+
+
+def _attempt_to_dict(attempt: Attempt) -> Dict[str, Any]:
+    return {
+        "stage": attempt.stage,
+        "round": attempt.round,
+        "succeeded": attempt.succeeded,
+        "detail": attempt.detail,
+        "violations": [_violation_to_dict(v) for v in attempt.violations],
+    }
+
+
+def _attempt_from_dict(data: Dict[str, Any]) -> Attempt:
+    return Attempt(
+        stage=data["stage"],
+        round=data["round"],
+        succeeded=data["succeeded"],
+        detail=data["detail"],
+        violations=tuple(
+            _violation_from_dict(v) for v in data["violations"]
+        ),
+    )
+
+
+def _transform_to_dict(report) -> Dict[str, Any]:
+    if isinstance(report, CascadeReport):
+        return {
+            "kind": "cascade",
+            "node": report.node,
+            "depth": report.depth,
+            "factors": [fraction_to_str(f) for f in report.factors],
+            "intermediate_ids": list(report.intermediate_ids),
+        }
+    if isinstance(report, ReplicationReport):
+        return {
+            "kind": "replicate",
+            "node": report.node,
+            "copies": report.copies,
+            "replica_ids": list(report.replica_ids),
+            "distribution": [list(group) for group in report.distribution],
+        }
+    raise SerdeError(f"unknown transform report {type(report).__name__}")
+
+
+def _transform_from_dict(data: Dict[str, Any]):
+    if data["kind"] == "cascade":
+        return CascadeReport(
+            node=data["node"],
+            depth=data["depth"],
+            factors=tuple(fraction_from_str(f) for f in data["factors"]),
+            intermediate_ids=tuple(data["intermediate_ids"]),
+        )
+    if data["kind"] == "replicate":
+        return ReplicationReport(
+            node=data["node"],
+            copies=data["copies"],
+            replica_ids=tuple(data["replica_ids"]),
+            distribution=tuple(
+                tuple(group) for group in data["distribution"]
+            ),
+        )
+    raise SerdeError(f"unknown transform kind {data['kind']!r}")
+
+
+def plan_to_dict(plan: VolumePlan) -> Dict[str, Any]:
+    """Serialize a :class:`VolumePlan` (including its final DAG)."""
+    return {
+        "version": SERDE_VERSION,
+        "dag": dag_to_dict(plan.dag),
+        "status": plan.status,
+        "assignment": (
+            assignment_to_dict(plan.assignment)
+            if plan.assignment is not None
+            else None
+        ),
+        "attempts": [_attempt_to_dict(a) for a in plan.attempts],
+        "transforms": [_transform_to_dict(t) for t in plan.transforms],
+    }
+
+
+def plan_from_dict(
+    data: Dict[str, Any], dag: Optional[AssayDAG] = None
+) -> VolumePlan:
+    """Reconstruct a plan; pass ``dag`` to share an already-decoded DAG."""
+    if data.get("version") != SERDE_VERSION:
+        raise SerdeError(
+            f"unsupported plan serde version {data.get('version')!r}"
+        )
+    if dag is None:
+        dag = dag_from_dict(data["dag"])
+    return VolumePlan(
+        dag=dag,
+        assignment=(
+            assignment_from_dict(data["assignment"], dag)
+            if data["assignment"] is not None
+            else None
+        ),
+        status=data["status"],
+        attempts=[_attempt_from_dict(a) for a in data["attempts"]],
+        transforms=[_transform_from_dict(t) for t in data["transforms"]],
+    )

@@ -1,0 +1,225 @@
+"""The content-addressed plan cache: LRU, disk level, namespaces."""
+
+import pytest
+
+from repro.assays import enzyme, glycomics, paper_example
+from repro.compiler.cache import PlanCache, entry_from_plan, plan_from_entry
+from repro.compiler.pipeline import compile_dag, static_fingerprint
+from repro.core.hierarchy import VolumeManager
+from repro.core.limits import PAPER_LIMITS
+from repro.core.rounding import round_assignment
+from repro.core.serde import dumps_canonical
+from repro.machine.spec import AQUACORE_SPEC
+
+
+def planned(dag):
+    plan = VolumeManager(PAPER_LIMITS).plan(dag)
+    rounded = round_assignment(plan.assignment)
+    return plan, rounded
+
+
+class TestStore:
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("plan-a", {"v": 1})
+        cache.put("plan-b", {"v": 2})
+        cache.put("plan-c", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get("plan-a") is None
+        assert cache.get("plan-c") == {"v": 3}
+        assert cache.stats.evictions == 1
+
+    def test_lru_order_updated_on_get(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("plan-a", {"v": 1})
+        cache.put("plan-b", {"v": 2})
+        cache.get("plan-a")             # a becomes most recent
+        cache.put("plan-c", {"v": 3})   # evicts b
+        assert cache.get("plan-a") == {"v": 1}
+        assert cache.get("plan-b") is None
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        PlanCache(directory=directory).put("plan-x", {"v": 42})
+        fresh = PlanCache(directory=directory)
+        assert fresh.get("plan-x") == {"v": 42}
+        assert fresh.stats.disk_hits == 1
+
+    def test_disk_survives_memory_clear(self, tmp_path):
+        cache = PlanCache(directory=str(tmp_path))
+        cache.put("plan-x", {"v": 1})
+        cache.clear_memory()
+        assert len(cache) == 0
+        assert cache.get("plan-x") == {"v": 1}
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = PlanCache(directory=str(tmp_path))
+        (tmp_path / "plan-bad.json").write_text("{not json")
+        assert cache.get("plan-bad") is None
+        assert cache.stats.misses == 1
+
+    def test_contains_does_not_touch_stats(self, tmp_path):
+        cache = PlanCache(directory=str(tmp_path))
+        cache.put("plan-x", {"v": 1})
+        assert cache.contains("plan-x")
+        assert not cache.contains("plan-y")
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_stats_by_namespace(self):
+        cache = PlanCache()
+        cache.put("plan-a", {})
+        cache.get("plan-a")
+        cache.get("vnorms-zzz")
+        stats = cache.stats.to_dict()
+        assert stats["by_namespace"]["plan"] == {"hits": 1, "misses": 0}
+        assert stats["by_namespace"]["vnorms"] == {"hits": 0, "misses": 1}
+
+
+class TestPlanNamespace:
+    def test_round_trip(self):
+        dag = paper_example.build_dag()
+        plan, rounded = planned(dag)
+        cache = PlanCache()
+        assert cache.put_plan("f" * 64, plan, rounded)
+        restored_plan, restored_rounded = cache.get_plan("f" * 64)
+        assert restored_plan.status == plan.status
+        assert restored_plan.assignment.node_volume == (
+            plan.assignment.node_volume
+        )
+        assert restored_rounded.node_volume == rounded.node_volume
+        assert restored_rounded.dag is restored_plan.dag
+
+    def test_uncacheable_plan_reports_false(self):
+        dag = paper_example.build_dag()
+        dag.node("A").meta["guard"] = object()   # not serializable
+        plan, rounded = planned(dag)
+        cache = PlanCache()
+        assert not cache.put_plan("f" * 64, plan, rounded)
+        assert cache.stats.uncacheable == 1
+        assert cache.get_plan("f" * 64) is None
+
+    def test_entry_bytes_stable(self):
+        """The same plan serializes to the same canonical bytes twice."""
+        dag = enzyme.build_dag()
+        plan, rounded = planned(dag)
+        a = dumps_canonical(entry_from_plan(plan, rounded))
+        b = dumps_canonical(entry_from_plan(*plan_from_entry(
+            entry_from_plan(plan, rounded)
+        )))
+        assert a == b
+
+
+class TestPipelineIntegration:
+    def test_warm_compile_listing_identical(self):
+        cache = PlanCache()
+        dag = paper_example.build_dag()
+        cold = compile_dag(dag, cache=cache)
+        warm = compile_dag(paper_example.build_dag(), cache=cache)
+        assert warm.listing() == cold.listing()
+        assert any(
+            d.code == "plan-cache" for d in warm.diagnostics.items
+        )
+        assert not any(
+            d.code == "plan-cache" for d in cold.diagnostics.items
+        )
+
+    def test_warm_plan_volumes_exact(self):
+        cache = PlanCache()
+        dag = enzyme.build_dag()
+        cold = compile_dag(dag, cache=cache)
+        warm = compile_dag(enzyme.build_dag(), cache=cache)
+        assert warm.plan.assignment.node_volume == (
+            cold.plan.assignment.node_volume
+        )
+        assert warm.assignment.node_volume == cold.assignment.node_volume
+
+    def test_cached_plan_certifies(self):
+        from repro.analysis.certify import certify
+
+        cache = PlanCache()
+        compile_dag(enzyme.build_dag(), cache=cache)
+        warm = compile_dag(enzyme.build_dag(), cache=cache)
+        report = certify(warm)
+        assert report.counts["error"] == 0, report.render_text()
+        assert report.counts["warning"] == 0, report.render_text()
+
+    def test_option_delta_misses(self):
+        cache = PlanCache()
+        dag = paper_example.build_dag()
+        compile_dag(dag, cache=cache)
+        manager = VolumeManager(PAPER_LIMITS, use_lp=False)
+        recompiled = compile_dag(
+            paper_example.build_dag(), manager=manager, cache=cache
+        )
+        assert not any(
+            d.code == "plan-cache" for d in recompiled.diagnostics.items
+        )
+
+    def test_static_fingerprint_matches_manual(self):
+        from repro.core.fingerprint import compile_fingerprint
+
+        dag = paper_example.build_dag()
+        manager = VolumeManager(PAPER_LIMITS)
+        assert static_fingerprint(dag, AQUACORE_SPEC, manager) == (
+            compile_fingerprint(
+                dag, AQUACORE_SPEC.limits, AQUACORE_SPEC,
+                manager.options_dict(),
+            )
+        )
+
+    def test_runtime_partition_vnorms_memoized(self):
+        cache = PlanCache()
+        compile_dag(glycomics.build_dag(), cache=cache)
+        misses = cache.stats.to_dict()["by_namespace"]["vnorms"]["misses"]
+        compile_dag(glycomics.build_dag(), cache=cache)
+        stats = cache.stats.to_dict()["by_namespace"]["vnorms"]
+        assert misses > 0
+        assert stats["hits"] >= misses      # second compile all served
+        assert stats["misses"] == misses
+
+    def test_disk_cache_serves_new_process_state(self, tmp_path):
+        """A fresh PlanCache over the same directory restores the plan."""
+        directory = str(tmp_path)
+        cold = compile_dag(
+            enzyme.build_dag(), cache=PlanCache(directory=directory)
+        )
+        fresh = PlanCache(directory=directory)
+        warm = compile_dag(enzyme.build_dag(), cache=fresh)
+        assert fresh.stats.disk_hits >= 1
+        assert warm.listing() == cold.listing()
+
+
+class TestVnormMemo:
+    def test_memo_returns_equal_result(self):
+        from repro.core.dagsolve import compute_vnorms
+
+        cache = PlanCache()
+        dag = paper_example.build_dag()
+        memo = cache.memo_vnorms(dag)
+        direct = compute_vnorms(dag)
+        assert memo.node_vnorm == direct.node_vnorm
+
+    def test_second_call_hits(self):
+        cache = PlanCache()
+        dag = paper_example.build_dag()
+        first = cache.memo_vnorms(dag)
+        second = cache.memo_vnorms(paper_example.build_dag())
+        assert second is first      # live-object side table
+        assert cache.stats.hits == 1
+
+
+class TestErrors:
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_unwritable_directory_degrades(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")      # a file where the dir should be
+        cache = PlanCache(directory=str(blocker / "sub"))
+        try:
+            cache.put("plan-x", {"v": 1})
+        except OSError:
+            pytest.fail("disk failure must not raise")
+        assert cache.get("plan-x") == {"v": 1}   # memory level still works

@@ -126,3 +126,80 @@ class TestBenchRegen:
         out = capsys.readouterr().out
         assert "regenerations without volume management: 2" in out
         assert "Reagent: 2" in out
+
+
+class TestCompileAnalyzers:
+    def test_lint_and_certify_on_one_compile(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--lint", "--certify"]) == 0
+        captured = capsys.readouterr()
+        assert "input s1" in captured.out          # the listing still prints
+        assert "PLAN-WASTE" in captured.err        # certify note reported
+
+    def test_single_file_with_cache_dir(self, glucose_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["compile", glucose_file, "--cache-dir", cache_dir]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert main(
+            ["compile", glucose_file, "--cache-dir", cache_dir]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert warm.splitlines()[0] == cold.splitlines()[0]
+        import os
+
+        assert any(
+            name.startswith("plan-") for name in os.listdir(cache_dir)
+        )
+
+
+class TestCompileBatch:
+    def test_batch_reports_statuses(self, glucose_file, tmp_path, capsys):
+        other = tmp_path / "glucose2.fluid"
+        other.write_text(glucose.SOURCE)
+        assert main(
+            ["compile", glucose_file, str(other), "--batch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out and "deduped" in out
+        assert "cache:" in out
+
+    def test_batch_warm_run_hits(self, glucose_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["compile", glucose_file, "--batch", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert " hit " in capsys.readouterr().out
+
+    def test_batch_stats_json(self, glucose_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            [
+                "compile", glucose_file, "--batch",
+                "--stats-json", str(stats_path),
+            ]
+        ) == 0
+        data = json.loads(stats_path.read_text())
+        assert data["jobs"] == 1
+        assert data["results"][0]["status"] == "compiled"
+
+    def test_batch_failure_exit_code(self, glucose_file, tmp_path, capsys):
+        bad = tmp_path / "bad.fluid"
+        bad.write_text("assay nope {")
+        assert main(
+            ["compile", glucose_file, str(bad), "--batch"]
+        ) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_batch_certify_flag(self, glucose_file, capsys):
+        assert main(
+            ["compile", glucose_file, "--batch", "--certify"]
+        ) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_rolled_rejected_in_batch(self, glucose_file):
+        with pytest.raises(SystemExit):
+            main(["compile", glucose_file, "--batch", "--rolled"])

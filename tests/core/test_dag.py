@@ -216,3 +216,51 @@ class TestDot:
             assert f'"{node.id}"' in dot
         assert '"A" -> "K"' in dot
         assert dot.startswith("digraph")
+
+
+class TestTopologicalOrderCache:
+    def test_repeated_calls_return_equal_fresh_lists(self):
+        dag = paper_example.build_dag()
+        first = dag.topological_order()
+        second = dag.topological_order()
+        assert first == second
+        assert first is not second          # callers may mutate their copy
+        first.reverse()
+        assert dag.topological_order() == second
+
+    def test_add_node_invalidates(self):
+        dag = paper_example.build_dag()
+        before = dag.topological_order()
+        dag.add_mix("tail", {"M": 1})
+        after = dag.topological_order()
+        assert "tail" in after
+        assert "tail" not in before
+
+    def test_add_edge_invalidates(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_input("B")
+        dag.add_node(Node("M", NodeKind.MIX, ratio=(1, 1)))
+        dag.add_edge(Edge("A", "M", Fraction(1, 2)))
+        order = dag.topological_order()
+        assert order.index("A") < order.index("M")
+        dag.add_edge(Edge("B", "M", Fraction(1, 2)))
+        order = dag.topological_order()
+        assert order.index("B") < order.index("M")
+
+    def test_remove_invalidates(self):
+        dag = AssayDAG()
+        dag.add_input("A")
+        dag.add_mix("M", {"A": 1})
+        dag.topological_order()
+        dag.remove_edge("A", "M")
+        dag.remove_node("M")
+        assert dag.topological_order() == ["A"]
+
+    def test_copy_and_subgraph_not_poisoned(self):
+        dag = paper_example.build_dag()
+        dag.topological_order()
+        clone = dag.copy()
+        clone.add_mix("extra", {"M": 1})
+        assert "extra" in clone.topological_order()
+        assert "extra" not in dag.topological_order()

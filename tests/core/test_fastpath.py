@@ -76,3 +76,36 @@ class TestAgainstExactSolver:
         fast = fast_dagsolve(fig2_dag, PAPER_LIMITS, {"M": 2.0, "N": 1.0})
         node_vnorm, __, __ = fast_vnorms(fig2_dag, {"M": 2.0, "N": 1.0})
         assert node_vnorm["K"] == pytest.approx(4 / 3)
+
+
+class TestPreparedContext:
+    def test_context_solve_matches_fresh_solve(self):
+        from repro.core.fastpath import prepare_fast
+
+        dag = enzyme.build_dag(4)
+        context = prepare_fast(dag)
+        fresh = fast_dagsolve(dag, PAPER_LIMITS)
+        reused = fast_dagsolve(context, PAPER_LIMITS)
+        assert reused.node_volume == fresh.node_volume
+        assert reused.edge_volume == fresh.edge_volume
+
+    def test_context_reusable_across_calls(self):
+        from repro.core.fastpath import fast_vnorms, prepare_fast
+
+        dag = paper_example.build_dag()
+        context = prepare_fast(dag)
+        a = fast_dagsolve(context, PAPER_LIMITS)
+        b = fast_dagsolve(context, PAPER_LIMITS)
+        assert a.node_volume == b.node_volume
+        vn1 = fast_vnorms(context, None)
+        vn2 = fast_vnorms(dag, None)
+        assert vn1[0] == vn2[0]
+
+    def test_agrees_with_exact_solver(self):
+        from repro.core.fastpath import prepare_fast
+
+        dag = glucose.build_dag()
+        exact = dagsolve(dag, PAPER_LIMITS)
+        approx = fast_dagsolve(prepare_fast(dag), PAPER_LIMITS)
+        for node_id, volume in exact.node_volume.items():
+            assert abs(float(volume) - approx.node_volume[node_id]) < 1e-6

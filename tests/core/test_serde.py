@@ -1,0 +1,143 @@
+"""Exact JSON serialization of DAGs, assignments, and plans."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assays import paper_example
+from repro.core.dag import AssayDAG
+from repro.core.dagsolve import dagsolve
+from repro.core.hierarchy import VolumeManager
+from repro.core.limits import PAPER_LIMITS
+from repro.core.rounding import round_assignment
+from repro.core.serde import (
+    SerdeError,
+    assignment_from_dict,
+    assignment_to_dict,
+    dag_from_dict,
+    dag_to_dict,
+    decode_value,
+    dumps_canonical,
+    encode_value,
+    fraction_from_str,
+    fraction_to_str,
+    limits_from_dict,
+    limits_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    vnorms_from_dict,
+    vnorms_to_dict,
+)
+
+
+class TestValues:
+    def test_fraction_round_trip(self):
+        for value in (Fraction(1, 3), Fraction(-7, 2), Fraction(0)):
+            assert fraction_from_str(fraction_to_str(value)) == value
+
+    def test_tagged_values_round_trip(self):
+        for value in (
+            Fraction(22, 7),
+            (1, "two", Fraction(3, 4)),
+            {"nested": [Fraction(1, 2), None, True]},
+            3.25,
+            "plain",
+            7,
+        ):
+            assert decode_value(encode_value(value)) == value
+
+    def test_non_serializable_raises(self):
+        with pytest.raises(SerdeError):
+            encode_value(object())
+
+    def test_canonical_dump_is_stable(self):
+        a = dumps_canonical({"b": 1, "a": [2, 3]})
+        b = dumps_canonical({"a": [2, 3], "b": 1})
+        assert a == b
+
+
+class TestDagRoundTrip:
+    def test_figure2(self):
+        dag = paper_example.build_dag()
+        clone = dag_from_dict(dag_to_dict(dag))
+        assert dag_to_dict(clone) == dag_to_dict(dag)
+        assert clone.name == dag.name
+        assert clone.topological_order() == dag.topological_order()
+        for node_id in dag.node_ids():
+            original, copy = dag.node(node_id), clone.node(node_id)
+            assert original.kind is copy.kind
+            assert original.output_fraction == copy.output_fraction
+
+    def test_insertion_order_preserved(self):
+        dag = AssayDAG("order")
+        dag.add_input("Z")
+        dag.add_input("A")
+        dag.add_mix("M", {"Z": 1, "A": 1})
+        clone = dag_from_dict(dag_to_dict(dag))
+        assert [n.id for n in clone.nodes()] == [n.id for n in dag.nodes()]
+
+    def test_unserializable_meta_raises(self):
+        dag = AssayDAG("meta")
+        node = dag.add_input("A")
+        node.meta["guard"] = object()
+        with pytest.raises(SerdeError):
+            dag_to_dict(dag)
+
+
+class TestLimitsAndResults:
+    def test_limits_round_trip(self):
+        clone = limits_from_dict(limits_to_dict(PAPER_LIMITS))
+        assert clone == PAPER_LIMITS
+
+    def test_assignment_round_trip_is_exact(self):
+        dag = paper_example.build_dag()
+        assignment = dagsolve(dag, PAPER_LIMITS)
+        data = assignment_to_dict(assignment)
+        clone = assignment_from_dict(data, dag)
+        assert clone.node_volume == assignment.node_volume
+        assert clone.edge_volume == assignment.edge_volume
+        assert assignment_to_dict(clone) == data
+
+    def test_vnorms_round_trip(self):
+        from repro.core.dagsolve import compute_vnorms
+
+        vnorms = compute_vnorms(paper_example.build_dag())
+        clone = vnorms_from_dict(vnorms_to_dict(vnorms))
+        assert clone.node_vnorm == vnorms.node_vnorm
+        assert vnorms_to_dict(clone) == vnorms_to_dict(vnorms)
+
+
+class TestPlanRoundTrip:
+    def test_plan_with_transforms(self):
+        from repro.assays import enzyme
+
+        dag = enzyme.build_dag()
+        plan = VolumeManager(PAPER_LIMITS).plan(dag)
+        assert plan.transforms, "enzyme should cascade/replicate"
+        data = plan_to_dict(plan)
+        clone = plan_from_dict(data)
+        assert clone.status == plan.status
+        assert len(clone.attempts) == len(plan.attempts)
+        assert len(clone.transforms) == len(plan.transforms)
+        assert clone.assignment.node_volume == plan.assignment.node_volume
+        assert plan_to_dict(clone) == data
+
+    def test_rounded_assignment_shares_decoded_dag(self):
+        dag = paper_example.build_dag()
+        plan = VolumeManager(PAPER_LIMITS).plan(dag)
+        rounded = round_assignment(plan.assignment)
+        data = plan_to_dict(plan)
+        clone = plan_from_dict(data)
+        restored = assignment_from_dict(
+            assignment_to_dict(rounded), clone.dag
+        )
+        assert restored.dag is clone.dag
+        assert restored.node_volume == rounded.node_volume
+
+    def test_version_mismatch_rejected(self):
+        dag = paper_example.build_dag()
+        plan = VolumeManager(PAPER_LIMITS).plan(dag)
+        data = plan_to_dict(plan)
+        data["version"] = 999
+        with pytest.raises(SerdeError):
+            plan_from_dict(data)

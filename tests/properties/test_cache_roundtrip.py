@@ -1,0 +1,74 @@
+"""Property: a cache-served plan is byte-identical to a fresh compile.
+
+The acceptance bar for the plan cache — for any DAG the pipeline can
+compile, the cache entry produced by a fresh compile of fingerprint F,
+decoded and re-encoded (one full serde round trip, exactly what a disk
+hit performs), must re-serialize to the same canonical bytes.  And a
+warm compile through the cache must produce the same listing and the
+same exact volumes as the cold compile it was seeded from.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assays import generators
+from repro.compiler import compile_dag
+from repro.compiler.cache import PlanCache, entry_from_plan, plan_from_entry
+from repro.core.hierarchy import VolumeManager
+from repro.core.limits import PAPER_LIMITS
+from repro.core.rounding import round_assignment
+from repro.core.serde import dumps_canonical
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+def random_dag(seed: int):
+    return generators.layered_random_dag(4, 2, 2, seed=seed, max_ratio=6)
+
+
+class TestEntryByteIdentity:
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_serde_round_trip_is_byte_identical(self, seed):
+        dag = random_dag(seed)
+        plan = VolumeManager(PAPER_LIMITS).plan(dag)
+        rounded = (
+            round_assignment(plan.assignment)
+            if plan.assignment is not None
+            else None
+        )
+        entry = entry_from_plan(plan, rounded, "f" * 64)
+        decoded = plan_from_entry(entry)
+        re_encoded = entry_from_plan(*decoded, "f" * 64)
+        assert dumps_canonical(re_encoded) == dumps_canonical(entry)
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_warm_compile_equals_cold_compile(self, seed):
+        cache = PlanCache()
+        cold = compile_dag(random_dag(seed), cache=cache)
+        warm = compile_dag(random_dag(seed), cache=cache)
+        assert warm.listing() == cold.listing()
+        if cold.plan is not None and cold.plan.assignment is not None:
+            assert warm.plan.assignment.node_volume == (
+                cold.plan.assignment.node_volume
+            )
+            assert warm.plan.assignment.edge_volume == (
+                cold.plan.assignment.edge_volume
+            )
+            assert warm.assignment.node_volume == (
+                cold.assignment.node_volume
+            )
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_cache_entry_stable_across_disk_round_trip(self, seed, tmp_path_factory):
+        import json
+        import pathlib
+
+        directory = tmp_path_factory.mktemp("cache")
+        cache = PlanCache(directory=str(directory))
+        compile_dag(random_dag(seed), cache=cache)
+        for path in pathlib.Path(directory).glob("plan-*.json"):
+            on_disk = path.read_text()
+            assert dumps_canonical(json.loads(on_disk)) == on_disk

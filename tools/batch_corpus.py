@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Batch-compile the repo's corpus through the plan cache, cold then warm.
+
+CI's cache smoke job: runs :func:`repro.compiler.batch.compile_many` over
+the assay corpus twice against one shared :class:`PlanCache` —
+
+* **cold** with ``--jobs`` worker processes and ``certify=True``: every
+  program must compile and certify clean (a certify regression fails the
+  job even though this is "only" the cache smoke test);
+* **warm**: every static program must be served from the cache (status
+  ``hit``), and with ``certify=True`` again the restored plans must still
+  certify clean — a cache round-trip that broke a plan fails here.
+
+Exits nonzero on any compile failure, certify regression, or missing
+warm hit.
+
+Usage: PYTHONPATH=src python tools/batch_corpus.py [--jobs N] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.assays import (  # noqa: E402
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    paper_example,
+)
+from repro.compiler.batch import BatchJob, compile_many  # noqa: E402
+from repro.compiler.cache import PlanCache  # noqa: E402
+
+
+def custom_assay_source() -> str:
+    path = REPO / "examples" / "custom_assay.py"
+    spec = importlib.util.spec_from_file_location("custom_assay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def corpus_jobs() -> list:
+    return [
+        BatchJob("figure2", source=paper_example.SOURCE),
+        BatchJob("glucose", source=glucose.SOURCE),
+        BatchJob("glycomics", source=glycomics.SOURCE),
+        BatchJob("enzyme", source=enzyme.SOURCE),
+        BatchJob("elisa", source=extra.ELISA_SOURCE),
+        BatchJob("bradford", source=extra.BRADFORD_SOURCE),
+        BatchJob("pcr-prep", source=extra.PCR_PREP_SOURCE),
+        BatchJob("custom-example", source=custom_assay_source()),
+        BatchJob("gen-enzyme-4", dag=generators.enzyme_n(4)),
+        BatchJob("gen-dilution-6", dag=generators.serial_dilution(6)),
+        BatchJob("gen-mixtree-3", dag=generators.binary_mix_tree(3)),
+    ]
+
+
+def check_report(label: str, report, *, expect_hits: bool) -> int:
+    failures = 0
+    for result in report.results:
+        if result.status == "failed":
+            print(f"  {label}: {result.name} failed: {result.detail}")
+            failures += 1
+        elif result.errors:
+            print(f"  {label}: {result.name} has {result.errors} error(s)")
+            failures += 1
+        elif result.certified_clean is False:
+            print(f"  {label}: {result.name} failed plan certification")
+            failures += 1
+        elif (
+            expect_hits
+            and result.cacheable
+            and result.status not in ("hit", "deduped")
+        ):
+            # runtime-deferred plans (plan_status == "runtime") are not
+            # cacheable and legitimately recompile warm
+            print(
+                f"  {label}: {result.name} missed the warm cache "
+                f"(status {result.status})"
+            )
+            failures += 1
+    return failures
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    cache = PlanCache()
+    jobs = corpus_jobs()
+
+    cold = compile_many(
+        jobs, cache=cache, max_workers=args.jobs, certify=True
+    )
+    print(f"cold (jobs={args.jobs}):")
+    print(cold.render())
+    failures = check_report("cold", cold, expect_hits=False)
+
+    warm = compile_many(jobs, cache=cache, certify=True)
+    print("\nwarm (certified):")
+    print(warm.render())
+    failures += check_report("warm", warm, expect_hits=True)
+
+    stats = cache.stats.to_dict()
+    print(
+        f"\ncache: {stats['hits']} hit / {stats['misses']} miss "
+        f"(rate {stats['hit_rate']:.0%}), "
+        f"{stats['uncacheable']} uncacheable"
+    )
+    if args.verbose:
+        import json
+
+        print(json.dumps(stats, indent=2))
+    if failures:
+        print(f"\n{failures} batch-cache check(s) failed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
