@@ -21,6 +21,9 @@ Usage (also via ``python -m repro``)::
         [--coeff SPECIES=VALUE ...]                 # optical coefficients
         [--sep-yield UNIT=FRACTION ...]             # separator models
     python -m repro bench-regen assay.fluid         # naive regeneration count
+    python -m repro stress   assay.fluid            # seeded fault injection
+        [--seeds N] [--fault-rate R] [--json]       # survival matrix over N
+        [--kinds CSV] [--budget NL]                 # deterministic scenarios
 
 Common options: ``--machine {aquacore,aquacore-xl}``, ``--no-lp``,
 ``--no-cascade``, ``--no-replicate``.  Pass ``-`` to read from stdin.
@@ -387,6 +390,37 @@ def cmd_bench_regen(args) -> int:
     return 0
 
 
+def cmd_stress(args) -> int:
+    from .machine.faults import parse_kinds
+    from .runtime.stress import stress_compiled
+
+    spec = _spec(args)
+    compiled = _compile(args, spec)
+    try:
+        kinds = parse_kinds(args.kinds.split(",")) if args.kinds else None
+    except ValueError as error:
+        raise SystemExit(f"--kinds: {error}") from None
+    try:
+        budget = as_fraction(args.budget) if args.budget else None
+    except ValueError:
+        raise SystemExit(
+            f"--budget expects a volume in nl, got {args.budget!r}"
+        ) from None
+    report = stress_compiled(
+        compiled,
+        seeds=args.seeds,
+        fault_rate=args.fault_rate,
+        **({"kinds": kinds} if kinds is not None else {}),
+        budget=budget,
+        machine_factory=lambda: Machine(spec),
+    )
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.survived == len(report.scenarios) else 1
+
+
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -574,6 +608,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="count pure volume exhaustion only (the Table 2 flavour)",
     )
     p_regen.set_defaults(handler=cmd_bench_regen)
+
+    p_stress = sub.add_parser(
+        "stress",
+        help="run the assay under seeded fault injection and report "
+        "a survival matrix",
+    )
+    common(p_stress)
+    p_stress.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of deterministic fault scenarios (seed k for "
+        "scenario k; default: 10)",
+    )
+    p_stress.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.05,
+        metavar="R",
+        help="per-(kind, attempt) fault probability (default: 0.05)",
+    )
+    p_stress.add_argument(
+        "--kinds",
+        metavar="CSV",
+        help="comma-separated fault kinds to enable (default: all; see "
+        "docs/ROBUSTNESS.md for the taxonomy)",
+    )
+    p_stress.add_argument(
+        "--budget",
+        metavar="NL",
+        help="global regeneration budget in extra input volume (nl)",
+    )
+    p_stress.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON report"
+    )
+    p_stress.set_defaults(handler=cmd_stress)
 
     return parser
 

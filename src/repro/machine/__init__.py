@@ -24,6 +24,17 @@ from .errors import (
     EmptyError,
     MachineError,
     MeteringError,
+    RegenerationExhausted,
+    TransportError,
+)
+from .faults import (
+    ALL_KINDS,
+    LOSS_KINDS,
+    PERTURBING_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ScheduledFault,
 )
 from .fluids import Mixture
 from .interpreter import Machine
@@ -31,7 +42,7 @@ from .metering import MeteringPump
 from .separation import FractionalYield, SeparationModel, SpeciesFilter
 from .spec import AQUACORE_SPEC, AQUACORE_XL_SPEC, FunctionalUnitSpec, MachineSpec
 from .topology import ChannelTopology, bus_topology, ring_topology
-from .trace import ExecutionTrace, TraceEvent
+from .trace import ExecutionTrace, FaultEvent, RecoveryEvent, TraceEvent
 
 __all__ = [
     "MachineSpec",
@@ -55,9 +66,20 @@ __all__ = [
     "ring_topology",
     "ExecutionTrace",
     "TraceEvent",
+    "FaultEvent",
+    "RecoveryEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "ScheduledFault",
+    "ALL_KINDS",
+    "LOSS_KINDS",
+    "PERTURBING_KINDS",
     "MachineError",
     "ComponentError",
     "CapacityError",
     "EmptyError",
     "MeteringError",
+    "TransportError",
+    "RegenerationExhausted",
 ]

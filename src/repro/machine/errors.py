@@ -13,6 +13,8 @@ __all__ = [
     "CapacityError",
     "EmptyError",
     "MeteringError",
+    "TransportError",
+    "RegenerationExhausted",
     "UnknownOperandError",
 ]
 
@@ -56,6 +58,35 @@ class MeteringError(MachineError):
         super().__init__(message)
         self.requested = requested
         self.least_count = least_count
+
+
+class TransportError(MachineError):
+    """A transient transport/valve failure blocked a transfer.
+
+    Unlike :class:`EmptyError` no fluid state changed: the move never
+    started.  Retrying the same instruction may succeed; the executor does
+    exactly that, bounded by its retry policy.
+    """
+
+    def __init__(self, message, *, component=None):
+        super().__init__(message)
+        self.component = component
+
+
+class RegenerationExhausted(MachineError):
+    """Regeneration could not restore a fluid and was abandoned.
+
+    Raised by the executor when a backward slice cannot make progress: the
+    producing source is permanently empty, the per-location attempt cap was
+    hit, or the global extra-input-volume budget ran out.  ``location``
+    names the failing node so diagnostics can point at the culprit.
+    """
+
+    def __init__(self, message, *, location=None, attempts=0, reason=""):
+        super().__init__(message)
+        self.location = location
+        self.attempts = attempts
+        self.reason = reason
 
 
 class UnknownOperandError(MachineError):

@@ -33,8 +33,10 @@ from .errors import (
     ComponentError,
     EmptyError,
     MachineError,
+    TransportError,
     UnknownOperandError,
 )
+from .faults import FaultInjector
 from .fluids import Mixture
 from .metering import MeteringPump
 from .separation import SeparationModel
@@ -83,6 +85,7 @@ class Machine:
         separation_models: Optional[Dict[str, SeparationModel]] = None,
         strict_metering: bool = False,
         topology: Optional["ChannelTopology"] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.spec = spec
         #: optional channel graph; when set, transfers are route-checked
@@ -91,10 +94,15 @@ class Machine:
         self.limits: HardwareLimits = spec.limits
         self.pump = MeteringPump(spec.limits, strict=strict_metering)
         self.trace = ExecutionTrace()
+        #: optional deterministic fault source (see repro.machine.faults).
+        self.injector: Optional[FaultInjector] = None
         self.results: Dict[str, Fraction] = {}
         self.registers: Dict[str, int] = {}
         self.ports: Dict[str, PortBinding] = {}
         self.output_tally: Dict[str, Fraction] = {}
+        #: what was actually shipped per output port (full mixtures, so
+        #: tests can compare final product concentration vectors).
+        self.output_mixtures: Dict[str, Mixture] = {}
         #: fluid discarded by flushes (sensor cells, separator outlets).
         self.waste_tally: Fraction = Fraction(0)
         self._components: Dict[str, Container] = {}
@@ -126,10 +134,22 @@ class Machine:
                     coefficients=dict(spec.extinction_coefficients),
                 )
             self._components[unit.name] = component
+        if injector is not None:
+            self.install_injector(injector)
 
     # ------------------------------------------------------------------
     # configuration
     # ------------------------------------------------------------------
+    def install_injector(self, injector: FaultInjector) -> None:
+        """Attach a deterministic fault source to this machine.
+
+        The injector is shared with the metering pump (drift faults) and
+        records every fired fault into this machine's trace.
+        """
+        self.injector = injector
+        self.pump.injector = injector
+        injector.install(self.trace, self.limits.least_count)
+
     def bind_port(
         self, port: str, species: str, supply: Optional[Number] = None
     ) -> None:
@@ -206,6 +226,8 @@ class Machine:
         index: int = -1,
     ) -> Optional[Fraction]:
         """Execute one instruction; returns its measurement, if any."""
+        if self.injector is not None:
+            self.injector.begin(index)
         op = instruction.opcode
         handler = {
             Opcode.INPUT: self._exec_input,
@@ -286,6 +308,31 @@ class Machine:
             wet=instruction.is_wet,
         )
 
+    # -- fault hooks ------------------------------------------------------
+    def _fault_transport(self, instruction) -> None:
+        """Raise :class:`TransportError` when a transient valve/transport
+        fault blocks this transfer attempt (no fluid has moved yet)."""
+        if self.injector is None:
+            return
+        location = str(instruction.src)
+        if self.injector.transport_blocked(location):
+            raise TransportError(
+                f"transient transport failure moving {instruction.src} "
+                f"-> {instruction.dst}",
+                component=location,
+            )
+
+    def _fault_depletion(self, src: Container) -> None:
+        """Spill the source's contents when a depletion fault fires; the
+        subsequent draw then underflows and triggers regeneration."""
+        if self.injector is None:
+            return
+        if self.injector.depleted(src.name):
+            lost = src.discard()
+            if lost > 0:
+                self.waste_tally += lost
+                self.injector.record_depletion(src.name, lost)
+
     # -- wet handlers ---------------------------------------------------
     def _exec_input(self, instruction, resolver, index):
         self._check_route(instruction.src, instruction.dst)
@@ -295,6 +342,7 @@ class Machine:
             raise UnknownOperandError(
                 f"input port {port!r} is not bound to a fluid"
             )
+        self._fault_transport(instruction)
         volume = self._resolve_volume(instruction, resolver)
         dst = self.component(instruction.dst)
         if volume is None:
@@ -305,7 +353,7 @@ class Machine:
         if volume < self.limits.least_count:
             self._record(instruction, index, volume=Fraction(0), note="already full")
             return None
-        metered = self.pump.meter(volume)
+        metered = self.pump.meter(volume, headroom=dst.free)
         dst.deposit(binding.draw(metered, port))
         self.pump.record(metered)
         self._record(instruction, index, volume=metered)
@@ -314,11 +362,15 @@ class Machine:
     def _exec_output(self, instruction, resolver, index):
         self._check_route(instruction.src, instruction.dst)
         src = self.component(instruction.src)
+        self._fault_transport(instruction)
         removed = src.drain()
         port = str(instruction.dst)
         self.output_tally[port] = (
             self.output_tally.get(port, Fraction(0)) + removed.volume
         )
+        if not removed.is_empty:
+            merged = self.output_mixtures.get(port, Mixture.empty())
+            self.output_mixtures[port] = merged.merge(removed)
         self._record(instruction, index, volume=removed.volume)
         return None
 
@@ -326,6 +378,8 @@ class Machine:
         self._check_route(instruction.src, instruction.dst)
         src = self.component(instruction.src)
         dst = self.component(instruction.dst)
+        self._fault_transport(instruction)
+        self._fault_depletion(src)
         volume = self._resolve_volume(instruction, resolver)
         note = ""
         if volume is None:
@@ -338,7 +392,12 @@ class Machine:
                     available=Fraction(0),
                 )
         else:
-            metered = self.pump.meter(volume)
+            # upward metering drift is capped by the destination's free
+            # space (a flushed-on-deposit sensor frees its whole cell).
+            headroom = dst.capacity if isinstance(dst, Sensor) else dst.free
+            metered = self.pump.meter(volume, headroom=headroom)
+            if self.injector is not None:
+                metered = self.injector.dispense_shortfall(metered)
             moved = src.draw(metered)
         if isinstance(dst, Sensor) and not dst.is_empty:
             flushed = dst.discard()
@@ -415,6 +474,8 @@ class Machine:
         if not isinstance(unit, Sensor):
             raise ComponentError(f"{instruction.dst} is not a sensor")
         reading = unit.read(instruction.mode)
+        if self.injector is not None:
+            reading = self.injector.misread(reading, unit.name)
         self.results[instruction.result] = reading
         self._record(instruction, index, measurement=reading)
         return reading

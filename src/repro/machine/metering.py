@@ -17,9 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import TYPE_CHECKING, Optional
 
 from ..core.limits import HardwareLimits, Number, as_fraction
 from .errors import MeteringError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
 
 __all__ = ["MeteringPump"]
 
@@ -33,17 +37,25 @@ class MeteringPump:
         strict: reject non-multiple volumes instead of quantising them.
         total_pumped: lifetime volume moved (for trace statistics).
         transfer_count: number of transfers effected.
+        injector: optional fault source applying ± least-count drift to
+            every metered volume (see :mod:`repro.machine.faults`).
     """
 
     limits: HardwareLimits
     strict: bool = False
     total_pumped: Fraction = Fraction(0)
     transfer_count: int = 0
+    injector: Optional["FaultInjector"] = None
 
-    def meter(self, volume: Number) -> Fraction:
+    def meter(
+        self, volume: Number, *, headroom: Optional[Fraction] = None
+    ) -> Fraction:
         """Validate/quantise a requested transfer volume.
 
-        Returns the volume that will actually move.
+        Returns the volume that will actually move — with an injected
+        metering-drift fault applied when a :class:`FaultInjector` is
+        installed and fires.  ``headroom`` caps upward drift at the free
+        space of the destination (the pump backpressures).
 
         Raises:
             MeteringError: if the request is below the least count, or is
@@ -59,16 +71,20 @@ class MeteringPump:
                 least_count=least,
             )
         steps = requested / least
-        if steps.denominator == 1:
-            return requested
-        if self.strict:
-            raise MeteringError(
-                f"transfer of {float(requested):.6g} nl is not a multiple "
-                f"of the least count {float(least):.6g} nl",
-                requested=requested,
-                least_count=least,
+        if steps.denominator != 1:
+            if self.strict:
+                raise MeteringError(
+                    f"transfer of {float(requested):.6g} nl is not a "
+                    f"multiple of the least count {float(least):.6g} nl",
+                    requested=requested,
+                    least_count=least,
+                )
+            requested = self.limits.quantize(requested)
+        if self.injector is not None:
+            requested = self.injector.metering_drift(
+                requested, headroom=headroom
             )
-        return self.limits.quantize(requested)
+        return requested
 
     def record(self, volume: Fraction) -> None:
         self.total_pumped += volume

@@ -4,15 +4,49 @@ Each executed instruction appends a :class:`TraceEvent` carrying the moved
 volumes and any measurement produced.  Benchmarks use traces to count wet
 instructions (the costly resource: "fluidic instructions take seconds to
 execute"), and tests use them to assert conservation of volume.
+
+Fault injection (:mod:`repro.machine.faults`) and the hardened executor
+weave two further record kinds into the same timeline:
+
+* :class:`FaultEvent` — an injected hardware misbehaviour (metering drift,
+  dispense shortfall, reservoir depletion, sensor misread, transient
+  transport failure);
+* :class:`RecoveryEvent` — what the runtime did about it (an instruction
+  retry, or a Biostream-style regeneration of a backward slice).
+
+Both carry ``seq`` (the position in the instruction event stream at the
+moment they happened) and ``clock`` (the simulated wet-path time), so the
+full interleaving is reconstructible.  The whole trace round-trips through
+:meth:`ExecutionTrace.to_dict` / :meth:`ExecutionTrace.from_dict` with
+exact :class:`~fractions.Fraction` values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-__all__ = ["TraceEvent", "ExecutionTrace"]
+__all__ = ["TraceEvent", "FaultEvent", "RecoveryEvent", "ExecutionTrace"]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def _frac(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _unfrac(text: str) -> Fraction:
+    numerator, __, denominator = text.partition("/")
+    return Fraction(int(numerator), int(denominator or "1"))
+
+
+def _opt_frac(value: Optional[Fraction]) -> Optional[str]:
+    return None if value is None else _frac(value)
+
+
+def _opt_unfrac(text: Optional[str]) -> Optional[Fraction]:
+    return None if text is None else _unfrac(text)
 
 
 @dataclass(frozen=True)
@@ -28,6 +62,8 @@ class TraceEvent:
     #: simulated wet-path wall time this instruction took (0 for dry ops —
     #: electronic control is "orders of magnitude faster", Section 2.1).
     seconds: Fraction = Fraction(0)
+    #: cumulative simulated time at completion of this instruction.
+    clock: Fraction = Fraction(0)
 
     def __str__(self) -> str:
         extra = ""
@@ -39,12 +75,132 @@ class TraceEvent:
             extra += f"  ({self.note})"
         return f"{self.index:4d}: {self.text}{extra}"
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "opcode": self.opcode,
+            "text": self.text,
+            "volume": _opt_frac(self.volume),
+            "measurement": _opt_frac(self.measurement),
+            "note": self.note,
+            "seconds": _frac(self.seconds),
+            "clock": _frac(self.clock),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            index=data["index"],
+            opcode=data["opcode"],
+            text=data["text"],
+            volume=_opt_unfrac(data.get("volume")),
+            measurement=_opt_unfrac(data.get("measurement")),
+            note=data.get("note", ""),
+            seconds=_unfrac(data.get("seconds", "0/1")),
+            clock=_unfrac(data.get("clock", "0/1")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected hardware fault."""
+
+    index: int              # instruction index the fault hit
+    kind: str               # FaultKind value, e.g. "reservoir-depletion"
+    location: str = ""      # component / operand it struck
+    #: kind-specific size: volume lost (depletion), delta applied (drift /
+    #: shortfall, in nl), relative misread delta; None for transport.
+    magnitude: Optional[Fraction] = None
+    note: str = ""
+    seq: int = 0            # len(trace.events) when the fault fired
+    clock: Fraction = Fraction(0)
+
+    def __str__(self) -> str:
+        extra = f" at {self.location}" if self.location else ""
+        if self.magnitude is not None:
+            extra += f" [{float(self.magnitude):.4g}]"
+        if self.note:
+            extra += f" ({self.note})"
+        return f"fault@{self.index}: {self.kind}{extra}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "location": self.location,
+            "magnitude": _opt_frac(self.magnitude),
+            "note": self.note,
+            "seq": self.seq,
+            "clock": _frac(self.clock),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            index=data["index"],
+            kind=data["kind"],
+            location=data.get("location", ""),
+            magnitude=_opt_unfrac(data.get("magnitude")),
+            note=data.get("note", ""),
+            seq=data.get("seq", 0),
+            clock=_unfrac(data.get("clock", "0/1")),
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action the runtime took."""
+
+    index: int              # instruction index being recovered
+    action: str             # "retry" | "regeneration"
+    location: str = ""      # the exhausted / blocked location
+    attempts: int = 1       # how many recoveries this location/index has had
+    #: extra input volume drawn while re-executing the backward slice
+    #: (regeneration only) — the quantity the budget caps.
+    extra_volume: Optional[Fraction] = None
+    note: str = ""
+    seq: int = 0
+    clock: Fraction = Fraction(0)
+
+    def __str__(self) -> str:
+        extra = f" of {self.location}" if self.location else ""
+        if self.extra_volume is not None:
+            extra += f" [+{float(self.extra_volume):.4g} nl]"
+        return f"recovery@{self.index}: {self.action}{extra} (attempt {self.attempts})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "action": self.action,
+            "location": self.location,
+            "attempts": self.attempts,
+            "extra_volume": _opt_frac(self.extra_volume),
+            "note": self.note,
+            "seq": self.seq,
+            "clock": _frac(self.clock),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RecoveryEvent":
+        return cls(
+            index=data["index"],
+            action=data["action"],
+            location=data.get("location", ""),
+            attempts=data.get("attempts", 1),
+            extra_volume=_opt_unfrac(data.get("extra_volume")),
+            note=data.get("note", ""),
+            seq=data.get("seq", 0),
+            clock=_unfrac(data.get("clock", "0/1")),
+        )
+
 
 @dataclass
 class ExecutionTrace:
     """Accumulated events plus summary statistics."""
 
     events: List[TraceEvent] = field(default_factory=list)
+    faults: List[FaultEvent] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
     wet_instruction_count: int = 0
     dry_instruction_count: int = 0
     regeneration_count: int = 0
@@ -53,14 +209,30 @@ class ExecutionTrace:
     total_seconds: Fraction = Fraction(0)
 
     def record(self, event: TraceEvent, *, wet: bool) -> None:
-        self.events.append(event)
         self.total_seconds += event.seconds
+        self.events.append(replace(event, clock=self.total_seconds))
         if wet:
             self.wet_instruction_count += 1
             if event.volume is not None:
                 self.total_fluid_moved += event.volume
         else:
             self.dry_instruction_count += 1
+
+    def record_fault(self, event: FaultEvent) -> FaultEvent:
+        """Stamp a fault with the current timeline position and keep it."""
+        stamped = replace(
+            event, seq=len(self.events), clock=self.total_seconds
+        )
+        self.faults.append(stamped)
+        return stamped
+
+    def record_recovery(self, event: RecoveryEvent) -> RecoveryEvent:
+        """Stamp a recovery with the current timeline position and keep it."""
+        stamped = replace(
+            event, seq=len(self.events), clock=self.total_seconds
+        )
+        self.recoveries.append(stamped)
+        return stamped
 
     def measurements(self) -> Dict[int, Fraction]:
         return {
@@ -75,6 +247,36 @@ class ExecutionTrace:
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more)")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact, JSON-able snapshot of the whole trace."""
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "events": [e.to_dict() for e in self.events],
+            "faults": [e.to_dict() for e in self.faults],
+            "recoveries": [e.to_dict() for e in self.recoveries],
+            "wet_instruction_count": self.wet_instruction_count,
+            "dry_instruction_count": self.dry_instruction_count,
+            "regeneration_count": self.regeneration_count,
+            "total_fluid_moved": _frac(self.total_fluid_moved),
+            "total_seconds": _frac(self.total_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionTrace":
+        return cls(
+            events=[TraceEvent.from_dict(e) for e in data.get("events", ())],
+            faults=[FaultEvent.from_dict(e) for e in data.get("faults", ())],
+            recoveries=[
+                RecoveryEvent.from_dict(e)
+                for e in data.get("recoveries", ())
+            ],
+            wet_instruction_count=data.get("wet_instruction_count", 0),
+            dry_instruction_count=data.get("dry_instruction_count", 0),
+            regeneration_count=data.get("regeneration_count", 0),
+            total_fluid_moved=_unfrac(data.get("total_fluid_moved", "0/1")),
+            total_seconds=_unfrac(data.get("total_seconds", "0/1")),
+        )
 
     def __len__(self) -> int:
         return len(self.events)

@@ -7,19 +7,34 @@
 * :mod:`repro.runtime.regeneration` — the *no-volume-management* baseline
   the paper's Table 2 regeneration counts assume, plus slice re-execution;
 * :mod:`repro.runtime.measurement` — the on-line volume measurement log
-  feeding the Section 3.5 run-time assigner.
+  feeding the Section 3.5 run-time assigner;
+* :mod:`repro.runtime.stress` — the seeded fault-injection harness behind
+  ``repro stress``: survival matrices over deterministic fault scenarios.
 """
 
-from .executor import AssayExecutor, ExecutionResult, PlanResolver, RuntimeResolver
+from .executor import (
+    AssayExecutor,
+    ExecutionResult,
+    FailureReport,
+    PlanResolver,
+    RetryPolicy,
+    RuntimeResolver,
+)
 from .measurement import MeasurementLog
 from .regeneration import NaiveExecutionReport, naive_regeneration_count
+from .stress import ScenarioOutcome, StressReport, stress_compiled
 
 __all__ = [
     "AssayExecutor",
     "ExecutionResult",
+    "FailureReport",
+    "RetryPolicy",
     "PlanResolver",
     "RuntimeResolver",
     "MeasurementLog",
     "naive_regeneration_count",
     "NaiveExecutionReport",
+    "ScenarioOutcome",
+    "StressReport",
+    "stress_compiled",
 ]

@@ -15,27 +15,50 @@ on a :class:`~repro.machine.Machine`:
 * a move that finds its source exhausted triggers **regeneration**: the
   backward slice of that location is re-executed (paper Section 1), the
   trigger is counted, and the move retries.
+
+Recovery is *bounded* by a :class:`RetryPolicy`: per-instruction
+regeneration attempts, per-location regeneration counts, transient
+transport retries, and (optionally) a global regeneration budget in extra
+input volume.  When a bound is hit the executor raises
+:class:`~repro.machine.errors.RegenerationExhausted` naming the failing
+node — or, with ``capture_failures=True``, degrades gracefully into a
+structured :attr:`ExecutionResult.failure_report` instead of an exception
+(the mode the ``repro stress`` harness runs in).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..compiler.pipeline import CompiledAssay
-from ..core.errors import PartitionError
+from ..core.errors import PartitionError, VolumeError
 from ..core.limits import as_fraction
 from ..core.runtime_assign import RuntimeSession
 from ..ir.instructions import Instruction, Opcode
 from ..ir.slicing import slice_for_location
 from ..lang.ast import BinOp, Compare, Expr, Index, Name, Num
-from ..machine.errors import EmptyError, MachineError
+from ..machine.errors import (
+    EmptyError,
+    MachineError,
+    RegenerationExhausted,
+    TransportError,
+)
+from ..machine.faults import FaultInjector
+from ..machine.fluids import Mixture
 from ..machine.interpreter import Machine
-from ..machine.trace import ExecutionTrace
+from ..machine.trace import ExecutionTrace, RecoveryEvent
 from .measurement import MeasurementLog
 
-__all__ = ["PlanResolver", "RuntimeResolver", "AssayExecutor", "ExecutionResult"]
+__all__ = [
+    "PlanResolver",
+    "RuntimeResolver",
+    "AssayExecutor",
+    "ExecutionResult",
+    "RetryPolicy",
+    "FailureReport",
+]
 
 
 class PlanResolver:
@@ -113,6 +136,57 @@ class RuntimeResolver:
         return None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the executor's recovery behaviour.
+
+    Attributes:
+        max_attempts: regeneration-then-retry rounds per instruction.
+        max_transient_retries: transport-failure retries per attempt.
+        max_location_regenerations: regenerations of any single location
+            before it is declared permanently exhausted.
+        max_regenerations: global regeneration cap for the whole run.
+        regeneration_budget: cap on the *extra input volume* (nl) drawn
+            from ports while re-executing backward slices; ``None`` means
+            unbounded.  This is the run-time analogue of the paper's
+            input-volume cost of regeneration (Table 2).
+    """
+
+    max_attempts: int = 8
+    max_transient_retries: int = 4
+    max_location_regenerations: int = 64
+    max_regenerations: int = 10_000
+    regeneration_budget: Optional[Fraction] = None
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Structured description of an execution that could not complete."""
+
+    instruction_index: int
+    instruction: str
+    error_kind: str                 # exception class name
+    message: str
+    location: Optional[str] = None  # failing node/component, when known
+    regenerations: int = 0
+    transient_retries: int = 0
+    regeneration_volume: Fraction = Fraction(0)
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "instruction_index": self.instruction_index,
+            "instruction": self.instruction,
+            "error_kind": self.error_kind,
+            "message": self.message,
+            "location": self.location,
+            "regenerations": self.regenerations,
+            "transient_retries": self.transient_retries,
+            "regeneration_volume_nl": float(self.regeneration_volume),
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+        }
+
+
 @dataclass
 class ExecutionResult:
     """What one assay execution produced."""
@@ -123,6 +197,15 @@ class ExecutionResult:
     measurements: MeasurementLog
     regenerations: int = 0
     skipped_guarded: int = 0
+    transient_retries: int = 0
+    #: extra input volume drawn by regeneration slices (the budgeted cost).
+    regeneration_volume: Fraction = Fraction(0)
+    #: present iff the run could not complete (capture_failures mode).
+    failure_report: Optional[FailureReport] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failure_report is None
 
     @property
     def readings(self) -> Dict[str, float]:
@@ -140,14 +223,24 @@ class AssayExecutor:
         measurement_log: Optional[MeasurementLog] = None,
         allow_regeneration: bool = True,
         max_regenerations: int = 10_000,
+        policy: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        capture_failures: bool = False,
     ) -> None:
         self.compiled = compiled
         self.machine = machine or Machine(compiled.spec)
+        if injector is not None:
+            self.machine.install_injector(injector)
         self.measurements = measurement_log or MeasurementLog()
         self.allow_regeneration = allow_regeneration
-        self.max_regenerations = max_regenerations
+        self.policy = policy or RetryPolicy(max_regenerations=max_regenerations)
+        self.max_regenerations = self.policy.max_regenerations
+        self.capture_failures = capture_failures
         self.regenerations = 0
         self.skipped_guarded = 0
+        self.transient_retries = 0
+        self.regeneration_volume = Fraction(0)
+        self._location_regenerations: Dict[str, int] = {}
         self._bind_ports()
         if compiled.is_static:
             if compiled.assignment is None:
@@ -234,12 +327,19 @@ class AssayExecutor:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         program = self.compiled.program
+        failure: Optional[FailureReport] = None
         for index, instruction in enumerate(program):
             sense_guard = instruction.meta.get("guard")
             if sense_guard is not None and not self._guard_allows(instruction):
                 self.skipped_guarded += 1
                 continue
-            self._execute_with_regeneration(index, instruction)
+            try:
+                self._execute_with_regeneration(index, instruction)
+            except (MachineError, VolumeError) as error:
+                if not self.capture_failures:
+                    raise
+                failure = self._failure_report(index, instruction, error)
+                break
         return ExecutionResult(
             machine=self.machine,
             trace=self.machine.trace,
@@ -247,32 +347,62 @@ class AssayExecutor:
             measurements=self.measurements,
             regenerations=self.regenerations,
             skipped_guarded=self.skipped_guarded,
+            transient_retries=self.transient_retries,
+            regeneration_volume=self.regeneration_volume,
+            failure_report=failure,
         )
+
+    def _failure_report(
+        self, index: int, instruction: Instruction, error: Exception
+    ) -> FailureReport:
+        location = getattr(error, "location", None) or getattr(
+            error, "component", None
+        )
+        injector = self.machine.injector
+        return FailureReport(
+            instruction_index=index,
+            instruction=instruction.render(),
+            error_kind=type(error).__name__,
+            message=str(error),
+            location=location,
+            regenerations=self.regenerations,
+            transient_retries=self.transient_retries,
+            regeneration_volume=self.regeneration_volume,
+            faults_injected=dict(injector.injected) if injector else {},
+        )
+
+    def _total_drawn(self) -> Fraction:
+        return sum(
+            (binding.drawn for binding in self.machine.ports.values()),
+            Fraction(0),
+        )
+
+    def _attempt(self, index: int, instruction: Instruction):
+        """One machine execution, with bounded transient-failure retries."""
+        retries = 0
+        while True:
+            try:
+                return self.machine.execute(
+                    instruction, resolver=self.resolver, index=index
+                )
+            except TransportError as error:
+                retries += 1
+                self.transient_retries += 1
+                if retries > self.policy.max_transient_retries:
+                    raise
+                self.machine.trace.record_recovery(
+                    RecoveryEvent(
+                        index=index,
+                        action="retry",
+                        location=error.component or "",
+                        attempts=retries,
+                    )
+                )
 
     def _execute_with_regeneration(
         self, index: int, instruction: Instruction
     ) -> None:
-        attempts = 0
-        while True:
-            try:
-                measurement = self.machine.execute(
-                    instruction, resolver=self.resolver, index=index
-                )
-            except EmptyError as error:
-                if not self.allow_regeneration:
-                    raise
-                attempts += 1
-                if (
-                    attempts > 8
-                    or self.regenerations >= self.max_regenerations
-                ):
-                    raise MachineError(
-                        f"regeneration could not satisfy instruction "
-                        f"{index} ({instruction.render()}): {error}"
-                    ) from error
-                self._regenerate(index, error)
-                continue
-            break
+        measurement = self._recovering_attempt(index, instruction)
         if measurement is not None and instruction.opcode is Opcode.SEPARATE:
             node_id = instruction.meta.get("node")
             if node_id is not None:
@@ -280,25 +410,178 @@ class AssayExecutor:
                 if isinstance(self.resolver, RuntimeResolver):
                     self.resolver.record_measurement(node_id, reported)
 
+    def _recovering_attempt(self, index: int, instruction: Instruction):
+        """Execute one instruction, regenerating exhausted sources.
+
+        The regeneration loop is re-entrant: a slice re-execution whose
+        *own* source is exhausted regenerates that source recursively
+        (bounded by the policy caps and a cycle guard), so a chain of dry
+        intermediate cells recovers instead of giving up at depth one.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._attempt(index, instruction)
+            except EmptyError as error:
+                if not self.allow_regeneration:
+                    raise
+                attempts += 1
+                if attempts > self.policy.max_attempts:
+                    raise RegenerationExhausted(
+                        f"instruction {index} ({instruction.render()}) still "
+                        f"failing after {attempts - 1} regeneration "
+                        f"attempts: {error}",
+                        location=error.component,
+                        attempts=attempts - 1,
+                        reason="max-attempts",
+                    ) from error
+                if self.regenerations >= self.policy.max_regenerations:
+                    raise RegenerationExhausted(
+                        f"global regeneration cap "
+                        f"{self.policy.max_regenerations} reached at "
+                        f"instruction {index} ({instruction.render()})",
+                        location=error.component,
+                        attempts=attempts,
+                        reason="max-regenerations",
+                    ) from error
+                self._regenerate(index, error)
+
+    def _slice_deposit_locations(self, slice_indices) -> set:
+        """Locations the slice deposits into via non-clamping transfers.
+
+        ``input`` refills are deliberately excluded: they clamp to the
+        destination's free space (a top-up), so they can never stack into
+        an overflow — and that top-up is exactly how under-provisioned
+        reservoirs recover.
+        """
+        deposited = set()
+        for slice_index in slice_indices:
+            instruction = self.compiled.program[slice_index]
+            if instruction.opcode in (Opcode.MOVE, Opcode.MOVE_ABS):
+                deposited.add(str(instruction.dst))
+            elif instruction.opcode is Opcode.SEPARATE:
+                base = instruction.dst.base
+                deposited.update((f"{base}.out1", f"{base}.out2"))
+        return deposited
+
+    def _spill(self, location: str) -> None:
+        try:
+            component = self.machine.component(location)
+        except MachineError:
+            return
+        residual = component.discard()
+        if residual > 0:
+            self.machine.waste_tally += residual
+
     def _regenerate(self, index: int, error: EmptyError) -> None:
-        """Re-execute the backward slice producing the exhausted location."""
+        """Re-execute the backward slice producing the exhausted location.
+
+        Bounded and diagnosed: a location that keeps exhausting beyond the
+        policy's per-location cap, an input port whose finite supply is
+        spent, or a budget overrun all raise
+        :class:`RegenerationExhausted` naming the failing node instead of
+        looping.
+        """
         location = error.component
         if location is None:
-            raise MachineError(f"cannot regenerate: {error}") from error
+            raise RegenerationExhausted(
+                f"cannot regenerate: {error}", reason="unknown-location"
+            ) from error
+        if location in self.machine.ports:
+            # Regeneration re-executes on-chip producers; it cannot mint
+            # new off-chip input fluid.
+            raise RegenerationExhausted(
+                f"input port {location!r} supply exhausted: {error}",
+                location=location,
+                attempts=self._location_regenerations.get(location, 0),
+                reason="source-exhausted",
+            ) from error
+        count = self._location_regenerations.get(location, 0) + 1
+        self._location_regenerations[location] = count
+        if count > self.policy.max_location_regenerations:
+            raise RegenerationExhausted(
+                f"{location!r} exhausted again after "
+                f"{count - 1} regenerations; giving up",
+                location=location,
+                attempts=count - 1,
+                reason="location-cap",
+            ) from error
         slice_indices = slice_for_location(
             self.compiled.program.instructions, location, index
         )
         if not slice_indices:
-            raise MachineError(
+            raise RegenerationExhausted(
                 f"no producing slice found for {location!r}; cannot "
-                "regenerate"
+                "regenerate",
+                location=location,
+                attempts=count,
+                reason="no-slice",
             ) from error
+        drawn_before = self._total_drawn()
+        volume_before = self.regeneration_volume
         self.regenerations += 1
         self.machine.trace.regeneration_count += 1
-        for slice_index in slice_indices:
-            instruction = self.compiled.program[slice_index]
-            if not self._guard_allows(instruction):
+        deposited = self._slice_deposit_locations(slice_indices)
+        if location in deposited:
+            # The slice re-deposits the target's contents from scratch at
+            # full planned volumes, so any under-filled residue (a
+            # dispense shortfall, say) must be spilled first or the
+            # refill overflows the cell.  An input-only target keeps its
+            # residue and recovers by topping up instead.
+            self._spill(location)
+        # Every other location the slice deposits into is only *transited*:
+        # the slice recreates its historical contents and drains them
+        # onward toward the target.  Whatever those cells hold NOW belongs
+        # to later definitions that downstream instructions still need —
+        # park it aside, run the slice against empty cells (the def-use
+        # closure recreates every intermediate it reads), then put it
+        # back, spilling any surplus the slice left behind.
+        snapshots: Dict[str, Mixture] = {}
+        for name in sorted(deposited - {location}):
+            try:
+                component = self.machine.component(name)
+            except MachineError:
                 continue
-            self.machine.execute(
-                instruction, resolver=self.resolver, index=slice_index
+            snapshots[name] = Mixture(dict(component.contents.components))
+            component.contents = Mixture.empty()
+        try:
+            # Recursion terminates: a nested regeneration triggered at
+            # slice_index regenerates against the strict prefix
+            # program[:slice_index], and every slice index is < `index`.
+            for slice_index in slice_indices:
+                instruction = self.compiled.program[slice_index]
+                if not self._guard_allows(instruction):
+                    continue
+                self._recovering_attempt(slice_index, instruction)
+        finally:
+            for name, saved in snapshots.items():
+                component = self.machine.component(name)
+                surplus = component.discard()
+                if surplus > 0:
+                    self.machine.waste_tally += surplus
+                component.contents = saved
+        # Extra input attributable to THIS regeneration: total new draws
+        # minus what nested regenerations already booked.
+        nested = self.regeneration_volume - volume_before
+        extra = (self._total_drawn() - drawn_before) - nested
+        self.regeneration_volume += extra
+        self.machine.trace.record_recovery(
+            RecoveryEvent(
+                index=index,
+                action="regeneration",
+                location=location,
+                attempts=count,
+                extra_volume=extra,
+            )
+        )
+        budget = self.policy.regeneration_budget
+        if budget is not None and self.regeneration_volume > budget:
+            raise RegenerationExhausted(
+                f"regeneration budget exceeded: "
+                f"{float(self.regeneration_volume):.6g} nl of extra input "
+                f"drawn against a budget of {float(budget):.6g} nl "
+                f"(regenerating {location!r})",
+                location=location,
+                attempts=count,
+                reason="budget",
             )

@@ -1,0 +1,198 @@
+"""The deterministic fault model: plans, rolls, and injector hooks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.machine.faults import (
+    ALL_KINDS,
+    LOSS_KINDS,
+    PERTURBING_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ScheduledFault,
+    parse_kinds,
+)
+from repro.machine.trace import ExecutionTrace
+
+LEAST = Fraction(1, 10)
+
+
+def installed(plan: FaultPlan) -> FaultInjector:
+    injector = FaultInjector(plan)
+    injector.install(ExecutionTrace(), LEAST)
+    return injector
+
+
+class TestTaxonomy:
+    def test_partition(self):
+        assert LOSS_KINDS | PERTURBING_KINDS == ALL_KINDS
+        assert not LOSS_KINDS & PERTURBING_KINDS
+
+    def test_parse_kinds(self):
+        assert parse_kinds(["metering-drift", " sensor-misread "]) == frozenset(
+            {FaultKind.METERING_DRIFT, FaultKind.SENSOR_MISREAD}
+        )
+        assert parse_kinds(["", "  "]) == frozenset()
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_kinds(["gremlins"])
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_rolls(self):
+        a = FaultPlan.seeded(42, 0.3)
+        b = FaultPlan.seeded(42, 0.3)
+        rolls_a = [
+            a.roll(kind, index, occ)
+            for kind in sorted(ALL_KINDS, key=lambda k: k.value)
+            for index in range(40)
+            for occ in (1, 2)
+        ]
+        rolls_b = [
+            b.roll(kind, index, occ)
+            for kind in sorted(ALL_KINDS, key=lambda k: k.value)
+            for index in range(40)
+            for occ in (1, 2)
+        ]
+        assert rolls_a == rolls_b
+        assert any(r is not None for r in rolls_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.seeded(1, 0.3)
+        b = FaultPlan.seeded(2, 0.3)
+        rolls = lambda p: [  # noqa: E731
+            p.roll(FaultKind.METERING_DRIFT, i, 1) for i in range(60)
+        ]
+        assert rolls(a) != rolls(b)
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan.none()
+        for kind in ALL_KINDS:
+            for index in range(50):
+                assert plan.roll(kind, index, 1) is None
+
+    def test_rate_one_always_fires_enabled_kinds(self):
+        plan = FaultPlan.seeded(
+            7, 1.0, kinds={FaultKind.TRANSPORT_FAILURE}
+        )
+        assert plan.roll(FaultKind.TRANSPORT_FAILURE, 3, 1) is not None
+        # disabled kinds stay quiet even at rate 1
+        assert plan.roll(FaultKind.METERING_DRIFT, 3, 1) is None
+
+    def test_magnitude_ranges(self):
+        plan = FaultPlan.seeded(11, 1.0)
+        for index in range(30):
+            drift = plan.roll(FaultKind.METERING_DRIFT, index, 1)
+            assert drift.magnitude in (Fraction(-1), Fraction(1))
+            short = plan.roll(FaultKind.DISPENSE_SHORTFALL, index, 1)
+            assert 1 <= short.magnitude <= plan.max_shortfall_counts
+            misread = plan.roll(FaultKind.SENSOR_MISREAD, index, 1)
+            assert abs(misread.magnitude) == plan.misread_relative
+
+    def test_explicit_schedule_overrides_rate(self):
+        plan = FaultPlan(
+            schedule=(
+                ScheduledFault(5, FaultKind.TRANSPORT_FAILURE, occurrence=2),
+            )
+        )
+        assert plan.rate == 0.0
+        assert plan.roll(FaultKind.TRANSPORT_FAILURE, 5, 1) is None
+        assert plan.roll(FaultKind.TRANSPORT_FAILURE, 5, 2) is not None
+        assert plan.roll(FaultKind.TRANSPORT_FAILURE, 6, 2) is None
+
+
+class TestInjectorHooks:
+    def test_occurrence_counting(self):
+        injector = installed(FaultPlan.none())
+        injector.begin(3)
+        injector.begin(3)
+        injector.begin(4)
+        injector.begin(3)
+        assert injector._attempts == {3: 3, 4: 1}
+
+    def test_zero_fault_injector_is_a_no_op(self):
+        injector = installed(FaultPlan.none())
+        injector.begin(0)
+        assert not injector.transport_blocked("s1")
+        assert not injector.depleted("s1")
+        volume = Fraction(5)
+        assert injector.metering_drift(volume) == volume
+        assert injector.dispense_shortfall(volume) == volume
+        assert injector.misread(Fraction(3, 2), "sensor1") == Fraction(3, 2)
+        assert injector.injected == {}
+        assert injector.trace.faults == []
+
+    def scheduled(self, kind, index=0, occurrence=1, magnitude=None):
+        return installed(
+            FaultPlan(
+                schedule=(
+                    ScheduledFault(index, kind, occurrence, magnitude),
+                )
+            )
+        )
+
+    def test_metering_drift_applies_and_records(self):
+        injector = self.scheduled(
+            FaultKind.METERING_DRIFT, magnitude=Fraction(1)
+        )
+        injector.begin(0)
+        assert injector.metering_drift(Fraction(5)) == Fraction(5) + LEAST
+        assert injector.injected == {"metering-drift": 1}
+        [event] = injector.trace.faults
+        assert event.kind == "metering-drift"
+        assert event.magnitude == LEAST
+
+    def test_metering_drift_clamps_to_headroom(self):
+        injector = self.scheduled(
+            FaultKind.METERING_DRIFT, magnitude=Fraction(1)
+        )
+        injector.begin(0)
+        # no headroom for +1 count: the drift clamps into a no-op and
+        # records nothing (nothing observable happened)
+        volume = Fraction(5)
+        assert injector.metering_drift(volume, headroom=volume) == volume
+        assert injector.injected == {}
+
+    def test_metering_drift_floor_is_least_count(self):
+        injector = self.scheduled(
+            FaultKind.METERING_DRIFT, magnitude=Fraction(-1)
+        )
+        injector.begin(0)
+        assert injector.metering_drift(LEAST) == LEAST  # clamped no-op
+        assert injector.injected == {}
+
+    def test_dispense_shortfall(self):
+        injector = self.scheduled(
+            FaultKind.DISPENSE_SHORTFALL, magnitude=Fraction(2)
+        )
+        injector.begin(0)
+        assert injector.dispense_shortfall(Fraction(5)) == Fraction(5) - 2 * LEAST
+        assert injector.injected == {"dispense-shortfall": 1}
+
+    def test_misread_is_relative(self):
+        injector = self.scheduled(
+            FaultKind.SENSOR_MISREAD, magnitude=Fraction(1, 20)
+        )
+        injector.begin(0)
+        reading = Fraction(2)
+        assert injector.misread(reading, "sensor1") == reading * Fraction(21, 20)
+        [event] = injector.trace.faults
+        assert event.location == "sensor1"
+
+    def test_depletion_decision_and_record_are_separate(self):
+        injector = self.scheduled(FaultKind.RESERVOIR_DEPLETION)
+        injector.begin(0)
+        assert injector.depleted("s2")
+        assert injector.injected == {}  # decision alone records nothing
+        injector.record_depletion("s2", Fraction(9))
+        assert injector.injected == {"reservoir-depletion": 1}
+        [event] = injector.trace.faults
+        assert event.location == "s2"
+        assert event.magnitude == Fraction(9)
+
+    def test_transport_blocked_records(self):
+        injector = self.scheduled(FaultKind.TRANSPORT_FAILURE)
+        injector.begin(0)
+        assert injector.transport_blocked("mixer1")
+        assert injector.injected == {"transport-failure": 1}

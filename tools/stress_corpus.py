@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Run the whole assay corpus under seeded fault injection.
+
+CI runs this after the test suite: every corpus assay is executed under
+``--seeds`` deterministic fault scenarios (default 12) at ``--rate``
+(default 0.08).  A scenario is allowed to *fail* — recovery is bounded by
+design — but every failure must surface as a structured
+``FailureReport``; an unhandled exception escaping the harness fails the
+sweep.  The sweep also asserts determinism: each corpus entry is stressed
+twice and the two canonical JSON reports must be byte-identical.
+
+Usage: PYTHONPATH=src python tools/stress_corpus.py [-v] [--seeds N] [--rate R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.assays import (  # noqa: E402
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    paper_example,
+)
+from repro.compiler import compile_assay, compile_dag  # noqa: E402
+from repro.runtime.stress import stress_compiled  # noqa: E402
+
+
+def custom_assay_source() -> str:
+    path = REPO / "examples" / "custom_assay.py"
+    spec = importlib.util.spec_from_file_location("custom_assay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def corpus():
+    yield "figure2", compile_assay(paper_example.SOURCE)
+    yield "glucose", compile_assay(glucose.SOURCE)
+    yield "glycomics", compile_assay(glycomics.SOURCE)
+    yield "enzyme", compile_assay(enzyme.SOURCE)
+    yield "elisa", compile_assay(extra.ELISA_SOURCE)
+    yield "bradford", compile_assay(extra.BRADFORD_SOURCE)
+    yield "pcr-prep", compile_assay(extra.PCR_PREP_SOURCE)
+    yield "custom-example", compile_assay(custom_assay_source())
+    yield "gen-enzyme-4", compile_dag(generators.enzyme_n(4))
+    yield "gen-dilution-6", compile_dag(generators.serial_dilution(6))
+    yield "gen-mixtree-3", compile_dag(generators.binary_mix_tree(3))
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-v", action="store_true", dest="verbose")
+    parser.add_argument("--seeds", type=int, default=12)
+    parser.add_argument("--rate", type=float, default=0.08)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name, compiled in corpus():
+        try:
+            report = stress_compiled(
+                compiled, seeds=args.seeds, fault_rate=args.rate
+            )
+            repeat = stress_compiled(
+                compiled, seeds=args.seeds, fault_rate=args.rate
+            )
+        except Exception as error:  # noqa: BLE001 — the property under test
+            print(f"{name:16s} UNHANDLED {type(error).__name__}: {error}")
+            failures += 1
+            continue
+        if report.render_json() != repeat.render_json():
+            print(f"{name:16s} NONDETERMINISTIC report")
+            failures += 1
+            continue
+        total = len(report.scenarios)
+        print(
+            f"{name:16s} {report.survived}/{total} survived, "
+            f"{sum(report.faults_by_kind().values())} faults injected, "
+            f"{sum(report.recoveries_by_action().values())} recoveries"
+        )
+        if args.verbose:
+            for line in report.render_text().splitlines()[1:]:
+                print("  " + line)
+    if failures:
+        print(f"\n{failures} corpus entr(ies) failed the stress sweep")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
