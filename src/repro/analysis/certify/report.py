@@ -21,10 +21,15 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
 
 from ...compiler.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
     Diagnostic,
     DiagnosticSink,
     Severity,
+    exit_code_for,
     report_payload,
+    severity_counts,
 )
 from ...core.dag import NodeKind
 from ...ir.program import AISProgram
@@ -34,11 +39,14 @@ from .codes import PLAN_CODES
 from .plan import certify_plan
 from .schedule import OccupancyRecord, certify_schedule
 
-__all__ = ["CertificateReport", "certify", "certify_program"]
-
-EXIT_CLEAN = 0
-EXIT_WARNINGS = 1
-EXIT_ERRORS = 2
+__all__ = [
+    "CertificateReport",
+    "certify",
+    "certify_program",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+]
 
 
 @dataclass
@@ -55,10 +63,7 @@ class CertificateReport:
 
     @property
     def counts(self) -> Dict[str, int]:
-        counts = {"error": 0, "warning": 0, "note": 0}
-        for finding in self.findings:
-            counts[finding.severity.value] += 1
-        return counts
+        return severity_counts(self.findings)
 
     @property
     def is_clean(self) -> bool:
@@ -68,12 +73,8 @@ class CertificateReport:
 
     @property
     def exit_code(self) -> int:
-        counts = self.counts
-        if counts["error"]:
-            return EXIT_ERRORS
-        if counts["warning"]:
-            return EXIT_WARNINGS
-        return EXIT_CLEAN
+        """Shared severity table (repro.compiler.diagnostics)."""
+        return exit_code_for(self.findings)
 
     def codes(self) -> List[str]:
         return [finding.code for finding in self.findings]

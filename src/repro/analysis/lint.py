@@ -16,21 +16,28 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..compiler.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
     Diagnostic,
     DiagnosticSink,
-    Severity,
+    exit_code_for,
     report_payload,
+    severity_counts,
 )
 from ..ir.parse import parse_ais
 from ..ir.program import AISProgram
 from ..machine.spec import AQUACORE_SPEC, MachineSpec
 from .checks import Check, analyze
 
-__all__ = ["LintReport", "lint_program", "lint_text"]
-
-EXIT_CLEAN = 0
-EXIT_WARNINGS = 1
-EXIT_ERRORS = 2
+__all__ = [
+    "LintReport",
+    "lint_program",
+    "lint_text",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+]
 
 
 @dataclass
@@ -43,10 +50,7 @@ class LintReport:
 
     @property
     def counts(self) -> Dict[str, int]:
-        counts = {"error": 0, "warning": 0, "note": 0}
-        for finding in self.findings:
-            counts[finding.severity.value] += 1
-        return counts
+        return severity_counts(self.findings)
 
     @property
     def is_clean(self) -> bool:
@@ -55,12 +59,8 @@ class LintReport:
 
     @property
     def exit_code(self) -> int:
-        counts = self.counts
-        if counts["error"]:
-            return EXIT_ERRORS
-        if counts["warning"]:
-            return EXIT_WARNINGS
-        return EXIT_CLEAN
+        """Shared severity table (repro.compiler.diagnostics)."""
+        return exit_code_for(self.findings)
 
     def sink(self) -> DiagnosticSink:
         sink = DiagnosticSink()

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``)::
     python -m repro compile  assay.fluid            # AIS listing
         [--lint] [--certify]                        # run the analyzers on
                                                     # the one compile
+        [--time-passes] [--explain]                 # per-pass timing table /
+        [--stats-json PATH]                         # pass plan + events JSON
     python -m repro compile  a.fluid b.fluid --batch --jobs 4 \
         [--cache-dir DIR] [--stats-json PATH]       # batch pipeline with
                                                     # content-addressed cache
@@ -33,18 +35,22 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .compiler import compile_assay
+from .compiler.passes import (
+    CompileContext,
+    PassEventBus,
+    events_payload,
+    front_end,
+    render_timing_table,
+    run_compile,
+)
 from .core.hierarchy import VolumeManager
 from .core.limits import as_fraction
-from .ir.builder import build_dag_from_flat
 from .lang.errors import FrontendError
-from .lang.parser import parse
-from .lang.semantic import analyze
-from .lang.unroll import unroll
 from .machine.interpreter import Machine
 from .machine.separation import FractionalYield
 from .machine.spec import AQUACORE_SPEC, AQUACORE_XL_SPEC, MachineSpec
@@ -64,7 +70,7 @@ def _read_source(path: str) -> str:
 
 
 def _spec(args) -> MachineSpec:
-    spec = MACHINES[args.machine]
+    spec = MACHINES[getattr(args, "machine", "aquacore")]
     if getattr(args, "coeff", None):
         coefficients = {}
         for item in args.coeff:
@@ -80,39 +86,68 @@ def _spec(args) -> MachineSpec:
 
 def _cli_options(args) -> dict:
     return {
-        "use_lp": not args.no_lp,
-        "allow_cascading": not args.no_cascade,
-        "allow_replication": not args.no_replicate,
+        "use_lp": not getattr(args, "no_lp", False),
+        "allow_cascading": not getattr(args, "no_cascade", False),
+        "allow_replication": not getattr(args, "no_replicate", False),
     }
 
 
-def _manager(args, spec: MachineSpec) -> VolumeManager:
-    return VolumeManager(spec.limits, **_cli_options(args))
+@dataclasses.dataclass
+class Invocation:
+    """One CLI request, resolved exactly once.
 
-
-def _compile(
-    args,
-    spec: Optional[MachineSpec] = None,
-    *,
-    lint: bool = False,
-    certify: bool = False,
-    cache=None,
-):
-    """Parse and compile ``args.file`` exactly once.
-
-    ``lint``/``certify`` piggyback on the same compile — one parse, one
-    volume plan, one codegen pass even when both analyses are requested.
-    Callers that already resolved the machine spec pass it in so it is not
-    rebuilt.
+    Every source-taking subcommand shares this preamble: read the file
+    (or stdin), resolve the machine spec and volume-manager knobs, and
+    compute the default program name.  The compile itself always goes
+    through the one pass manager (:func:`repro.compiler.passes.run_compile`).
     """
-    spec = spec if spec is not None else _spec(args)
-    return compile_assay(
-        _read_source(args.file),
-        spec=spec,
-        manager=_manager(args, spec),
-        lint=lint,
-        certify=certify,
-        cache=cache,
+
+    path: str
+    source: str
+    spec: MachineSpec
+    options: dict
+
+    @property
+    def default_name(self) -> str:
+        if self.path == "-":
+            return "stdin"
+        return os.path.splitext(os.path.basename(self.path))[0]
+
+    def manager(self) -> VolumeManager:
+        return VolumeManager(self.spec.limits, **self.options)
+
+    def front_end(self) -> CompileContext:
+        """Frontend passes only: parse, unroll, build + validate the DAG."""
+        return front_end(source=self.source, spec=self.spec)
+
+    def compile(
+        self,
+        *,
+        lint: bool = False,
+        certify: bool = False,
+        cache=None,
+        bus: Optional[PassEventBus] = None,
+    ) -> CompileContext:
+        """Full compile through the pass manager; returns the context."""
+        return run_compile(
+            source=self.source,
+            spec=self.spec,
+            manager=self.manager(),
+            lint=lint,
+            certify=certify,
+            cache=cache,
+            bus=bus,
+        )
+
+
+def _invocation(args, path: Optional[str] = None) -> Invocation:
+    """Build the shared front-end preamble from parsed CLI args."""
+    file_path = path if path is not None else args.file
+    return Invocation(
+        path=file_path,
+        source=_read_source(file_path),
+        spec=_spec(args),
+        options=_cli_options(args),
     )
 
 
@@ -120,11 +155,9 @@ def _compile(
 # subcommands
 # ---------------------------------------------------------------------------
 def cmd_check(args) -> int:
-    source = _read_source(args.file)
-    program = parse(source)
-    symbols = analyze(program)
-    flat = unroll(program, symbols)
-    print(f"{program.name}: OK")
+    ctx = _invocation(args).front_end()
+    flat = ctx.flat
+    print(f"{ctx.ast.name}: OK")
     print(f"  {len(flat.statements)} wet operations after unrolling")
     print(f"  inputs: {', '.join(flat.input_fluids) or '(none)'}")
     if flat.aux_fluids:
@@ -135,9 +168,7 @@ def cmd_check(args) -> int:
 
 
 def cmd_dag(args) -> int:
-    source = _read_source(args.file)
-    flat = unroll(parse(source))
-    dag = build_dag_from_flat(flat)
+    dag = _invocation(args).front_end().dag
     if args.dot:
         print(dag.to_dot())
         return 0
@@ -154,7 +185,7 @@ def cmd_dag(args) -> int:
 
 
 def cmd_plan(args) -> int:
-    compiled = _compile(args)
+    compiled = _invocation(args).compile().compiled
     if compiled.is_static:
         print(compiled.plan.summary())
         assignment = compiled.assignment
@@ -213,27 +244,58 @@ def _plan_cache(args):
 def cmd_compile(args) -> int:
     args.file = args.files[0]
     if args.batch or len(args.files) > 1:
+        if args.time_passes or args.explain:
+            raise SystemExit(
+                "--time-passes/--explain instrument a single compile; "
+                "batch statistics go to --stats-json"
+            )
         return _cmd_compile_batch(args)
     if args.rolled:
         from .compiler.rolled import render_rolled_source
 
         print(render_rolled_source(_read_source(args.file)).render())
         return 0
+    instrumented = args.time_passes or args.explain or bool(args.stats_json)
+    bus = PassEventBus(fingerprints=True) if instrumented else None
+    inv = _invocation(args)
     # one parse + one volume plan + one codegen pass, even when both
     # analyzers are requested
-    compiled = _compile(
-        args, lint=args.lint, certify=args.certify, cache=_plan_cache(args)
+    ctx = inv.compile(
+        lint=args.lint,
+        certify=args.certify,
+        cache=_plan_cache(args),
+        bus=bus,
     )
+    compiled = ctx.compiled
     print(compiled.listing())
     if len(compiled.diagnostics):
         print(file=sys.stderr)
         print(compiled.diagnostics.render(), file=sys.stderr)
+    if args.explain:
+        print(file=sys.stderr)
+        print(ctx.pass_manager.explain(ctx), file=sys.stderr)
+    if args.time_passes:
+        print(file=sys.stderr)
+        print(render_timing_table(bus), file=sys.stderr)
+    if args.stats_json:
+        import json
+
+        payload = events_payload(
+            bus,
+            program=compiled.name,
+            machine=inv.spec.name,
+            fingerprint=ctx.compile_fingerprint() if ctx.is_static else None,
+        )
+        if ctx.cache is not None:
+            payload["cache"] = ctx.cache.stats.to_dict()
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 1 if compiled.diagnostics.has_errors else 0
 
 
 def _cmd_compile_batch(args) -> int:
     import json
-    import os
 
     from .compiler.batch import BatchJob, compile_many
 
@@ -278,8 +340,9 @@ def _cmd_compile_batch(args) -> int:
 
 
 def cmd_run(args) -> int:
-    spec = _spec(args)
-    compiled = _compile(args, spec)
+    inv = _invocation(args)
+    spec = inv.spec
+    compiled = inv.compile().compiled
     models = {}
     for item in args.sep_yield or ():
         unit, __, value = item.partition("=")
@@ -314,24 +377,17 @@ def cmd_run(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    import os
-
     from .analysis import lint_program, lint_text
     from .ir.parse import AISParseError
 
-    spec = MACHINES[args.machine]
-    source = _read_source(args.file)
-    default_name = (
-        "stdin"
-        if args.file == "-"
-        else os.path.splitext(os.path.basename(args.file))[0]
-    )
+    inv = _invocation(args)
+    spec = inv.spec
     if args.assay:
-        compiled = compile_assay(source, spec=spec)
+        compiled = inv.compile().compiled
         report = lint_program(compiled.program, spec)
     else:
         try:
-            report = lint_text(source, spec, name=default_name)
+            report = lint_text(inv.source, spec, name=inv.default_name)
         except AISParseError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -343,27 +399,20 @@ def cmd_lint(args) -> int:
 
 
 def cmd_certify(args) -> int:
-    import os
-
     from .analysis.certify import certify, certify_program
     from .ir.parse import AISParseError, parse_ais
     from .machine.topology import bus_topology, ring_topology
 
-    spec = MACHINES[args.machine]
+    inv = _invocation(args)
+    spec = inv.spec
     builder = {"bus": bus_topology, "ring": ring_topology}[args.topology]
     topology = builder(spec)
-    source = _read_source(args.file)
-    default_name = (
-        "stdin"
-        if args.file == "-"
-        else os.path.splitext(os.path.basename(args.file))[0]
-    )
     if args.assay:
-        compiled = compile_assay(source, spec=spec)
+        compiled = inv.compile().compiled
         report = certify(compiled, topology=topology)
     else:
         try:
-            program = parse_ais(source, name=default_name)
+            program = parse_ais(inv.source, name=inv.default_name)
         except AISParseError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -376,9 +425,9 @@ def cmd_certify(args) -> int:
 
 
 def cmd_bench_regen(args) -> int:
-    source = _read_source(args.file)
-    dag = build_dag_from_flat(unroll(parse(source)))
-    spec = MACHINES[args.machine]
+    inv = _invocation(args)
+    dag = inv.front_end().dag
+    spec = inv.spec
     report = naive_regeneration_count(
         dag, spec.limits, respect_least_count=not args.ignore_least_count
     )
@@ -394,8 +443,9 @@ def cmd_stress(args) -> int:
     from .machine.faults import parse_kinds
     from .runtime.stress import stress_compiled
 
-    spec = _spec(args)
-    compiled = _compile(args, spec)
+    inv = _invocation(args)
+    spec = inv.spec
+    compiled = inv.compile().compiled
     try:
         kinds = parse_kinds(args.kinds.split(",")) if args.kinds else None
     except ValueError as error:
@@ -536,7 +586,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--stats-json",
         metavar="PATH",
-        help="write the batch report (hits/misses/latencies) as JSON",
+        help="write compile statistics as JSON: the batch report "
+        "(hits/misses/latencies) in batch mode, per-pass events for a "
+        "single compile",
+    )
+    p_compile.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print a per-pass wall/CPU timing table to stderr "
+        "(single compile only)",
+    )
+    p_compile.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the resolved pass plan and which hierarchy attempt "
+        "won to stderr (single compile only)",
     )
     p_compile.set_defaults(handler=cmd_compile)
 

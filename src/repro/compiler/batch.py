@@ -41,12 +41,10 @@ from ..core.fingerprint import (
 from ..core.hierarchy import VolumeManager
 from ..core.serde import SerdeError, dag_from_dict, dag_to_dict
 from ..lang.errors import FrontendError
-from ..lang.parser import parse
-from ..lang.semantic import analyze
-from ..lang.unroll import unroll
 from ..machine.spec import AQUACORE_SPEC, MachineSpec
 from .cache import PlanCache, entry_from_plan
-from .diagnostics import Severity
+from .diagnostics import Severity, severity_counts
+from .passes import front_end_dag
 from .pipeline import compile_dag
 
 __all__ = ["BatchJob", "BatchItemResult", "BatchReport", "compile_many"]
@@ -187,13 +185,8 @@ class BatchReport:
 # worker side
 # ---------------------------------------------------------------------------
 def _severity_counts(diagnostics) -> Dict[str, int]:
-    counts = {"error": 0, "warning": 0}
-    for item in diagnostics.items:
-        if item.severity is Severity.ERROR:
-            counts["error"] += 1
-        elif item.severity is Severity.WARNING:
-            counts["warning"] += 1
-    return counts
+    """Error/warning tallies via the shared severity table."""
+    return severity_counts(diagnostics.items)
 
 
 def _compile_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -258,15 +251,8 @@ def _compile_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 # parent side
 # ---------------------------------------------------------------------------
 def _frontend(job: BatchJob):
-    """Parse a source job to (dag, aux_fluids); dag jobs pass through."""
-    if job.dag is not None:
-        return job.dag, tuple(job.aux_fluids)
-    program_ast = parse(job.source)
-    symbols = analyze(program_ast)
-    flat = unroll(program_ast, symbols)
-    from ..ir.builder import build_dag_from_flat
-
-    return build_dag_from_flat(flat), tuple(flat.aux_fluids)
+    """Run the pass-manager front end to (dag, aux_fluids)."""
+    return front_end_dag(job.source, job.dag, job.aux_fluids)
 
 
 def _result_from_summary(
@@ -365,8 +351,8 @@ def compile_many(
                         )
                         continue
         try:
+            # the front-end passes validate the DAG on the way through
             dag, aux_fluids = _frontend(job)
-            dag.validate()
             fingerprint = compile_fingerprint(
                 dag, spec.limits, spec, options
             )

@@ -23,10 +23,29 @@ __all__ = [
     "Diagnostic",
     "DiagnosticSink",
     "REPORT_SCHEMA_VERSION",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+    "EXIT_FATAL",
+    "SEVERITY_EXIT_CODES",
     "severity_counts",
     "exit_code_for",
     "report_payload",
 ]
+
+# ---------------------------------------------------------------------------
+# the one severity / exit-code table
+# ---------------------------------------------------------------------------
+# Shared by ``repro lint``, ``repro certify``, the compiler's diagnostic
+# sink, and the pass-manager events; pinned by
+# tests/compiler/test_severity_table.py.  The ordering NOTE < WARNING <
+# ERROR is :attr:`Severity.rank`.
+EXIT_CLEAN = 0      # no findings, or notes only
+EXIT_WARNINGS = 1   # warnings, no errors
+EXIT_ERRORS = 2     # at least one error
+#: unusable input (parse/compile failure) — deliberately the same value
+#: as EXIT_ERRORS: callers gate on "nonzero means not clean".
+EXIT_FATAL = 2
 
 
 @unique
@@ -135,15 +154,23 @@ def severity_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
     return counts
 
 
+#: severity of the worst finding -> process exit code (None = no findings).
+SEVERITY_EXIT_CODES: Dict[Optional[Severity], int] = {
+    None: EXIT_CLEAN,
+    Severity.NOTE: EXIT_CLEAN,
+    Severity.WARNING: EXIT_WARNINGS,
+    Severity.ERROR: EXIT_ERRORS,
+}
+
+
 def exit_code_for(diagnostics: Iterable[Diagnostic]) -> int:
-    """The severity-based exit-code policy shared by lint and certify:
-    0 clean/notes, 1 warnings, 2 errors."""
-    counts = severity_counts(diagnostics)
-    if counts["error"]:
-        return 2
-    if counts["warning"]:
-        return 1
-    return 0
+    """The severity-based exit-code policy shared by lint, certify, and
+    the pass-manager drivers: 0 clean/notes, 1 warnings, 2 errors."""
+    worst: Optional[Severity] = None
+    for diagnostic in diagnostics:
+        if worst is None or diagnostic.severity.rank > worst.rank:
+            worst = diagnostic.severity
+    return SEVERITY_EXIT_CODES[worst]
 
 
 def report_payload(

@@ -1,0 +1,92 @@
+"""Instrumented pass-manager: the one compilation driver.
+
+The pipeline of paper Figure 6 — parse, unroll, lower, partition,
+DAGSolve, LP fallback, cascade/replicate transforms, rounding, codegen,
+plus the optional analyzers — is expressed as typed passes run by a
+:class:`PassManager` over a shared :class:`CompileContext`.  Every pass
+run emits a structured :class:`PassEvent` (timing, fingerprints, cache
+interaction, diagnostics delta) to a pluggable :class:`PassEventBus`,
+surfaced as ``repro compile --time-passes`` / ``--explain``.
+
+Entry points:
+
+* :func:`run_compile` — full compile; behind ``compile_assay`` /
+  ``compile_dag`` / ``compile_many`` and every CLI command;
+* :func:`front_end` — source -> validated DAG only;
+* :func:`run_hierarchy` — just the volume-management loop (behind
+  :meth:`repro.core.hierarchy.VolumeManager.plan`).
+
+See ``docs/ARCHITECTURE.md`` for the pass graph and a guide to writing
+new passes.
+"""
+
+from .context import CompileContext, HierarchyState
+from .events import (
+    PASS_EVENT_SCHEMA_VERSION,
+    PassEvent,
+    PassEventBus,
+    events_payload,
+    render_timing_table,
+)
+from .manager import OK, Pass, PassManager, PassOutcome, run_instrumented
+from .stages import (
+    Assemble,
+    BuildDAG,
+    CascadeTransform,
+    CertifyPass,
+    Codegen,
+    DAGSolvePass,
+    HierarchyLoop,
+    LintPass,
+    LPFallback,
+    ParseSource,
+    Partition,
+    PlanDiagnostics,
+    ReplicateTransform,
+    RestorePlan,
+    Round,
+    Unroll,
+    default_passes,
+    front_end,
+    front_end_dag,
+    frontend_passes,
+    run_compile,
+    run_hierarchy,
+)
+
+__all__ = [
+    "CompileContext",
+    "HierarchyState",
+    "PASS_EVENT_SCHEMA_VERSION",
+    "PassEvent",
+    "PassEventBus",
+    "events_payload",
+    "render_timing_table",
+    "OK",
+    "Pass",
+    "PassManager",
+    "PassOutcome",
+    "run_instrumented",
+    "ParseSource",
+    "Unroll",
+    "BuildDAG",
+    "Partition",
+    "RestorePlan",
+    "DAGSolvePass",
+    "LPFallback",
+    "CascadeTransform",
+    "ReplicateTransform",
+    "HierarchyLoop",
+    "Round",
+    "PlanDiagnostics",
+    "Codegen",
+    "LintPass",
+    "Assemble",
+    "CertifyPass",
+    "default_passes",
+    "frontend_passes",
+    "front_end",
+    "front_end_dag",
+    "run_compile",
+    "run_hierarchy",
+]

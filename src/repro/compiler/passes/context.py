@@ -1,0 +1,130 @@
+"""The compile context: one mutable record threaded through every pass.
+
+A :class:`CompileContext` carries the *request* (source text or prebuilt
+DAG, machine spec, volume-manager knobs, plan cache, analyzer switches),
+the *working state* passes hand to each other (flat assay, DAG, hierarchy
+attempts, volume plan), and the *instrumentation* (diagnostic sink and
+pass-event bus).  Passes communicate exclusively through the context —
+there is no other side channel — which is what lets the manager time,
+fingerprint, and cache each stage uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
+
+from ...core.dag import AssayDAG
+from ...core.dagsolve import VolumeAssignment
+from ...core.hierarchy import Attempt, TransformReport, VolumeManager, VolumePlan
+from ...machine.spec import AQUACORE_SPEC, MachineSpec
+from ..diagnostics import DiagnosticSink
+from .events import NULL_BUS, PassEventBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...core.runtime_assign import RuntimePlanner
+    from ...ir.program import AISProgram
+    from ...ir.regalloc import ReservoirAssignment
+    from ...lang.unroll import FlatAssay
+    from ..cache import PlanCache
+    from ..pipeline import CompiledAssay
+
+__all__ = ["CompileContext", "HierarchyState"]
+
+
+@dataclass
+class HierarchyState:
+    """Working state of the Figure 6 loop (owned by the hierarchy passes)."""
+
+    current: AssayDAG
+    attempts: List[Attempt] = field(default_factory=list)
+    transforms: List[TransformReport] = field(default_factory=list)
+    best: Optional[VolumeAssignment] = None
+    round: int = 0
+    #: set by a stage that produced a feasible plan; ends the loop.
+    plan: Optional[VolumePlan] = None
+    #: set by a transform stage that rewrote the DAG this round.
+    transformed: bool = False
+
+
+@dataclass
+class CompileContext:
+    """Everything one compilation carries between passes."""
+
+    # ---- request ------------------------------------------------------
+    source: Optional[str] = None
+    dag: Optional[AssayDAG] = None
+    name: Optional[str] = None
+    aux_fluids: Sequence[str] = ()
+    spec: MachineSpec = AQUACORE_SPEC
+    manager: Optional[VolumeManager] = None
+    cache: Optional["PlanCache"] = None
+    lint: bool = False
+    certify: bool = False
+    output_targets: Optional[Mapping[str, object]] = None
+
+    # ---- working state ------------------------------------------------
+    ast: Optional[object] = None        # lang AST (ParseSource product)
+    symbols: Optional[object] = None    # semantic symbol table
+    flat: Optional["FlatAssay"] = None
+    hierarchy: Optional[HierarchyState] = None
+    #: compile fingerprint, computed once a cache pass needs it.
+    fingerprint: Optional[str] = None
+    #: the plan stage was satisfied by a cache entry (prefix skip).
+    plan_restored: bool = False
+
+    # ---- results ------------------------------------------------------
+    plan: Optional[VolumePlan] = None
+    assignment: Optional[VolumeAssignment] = None      # rounded, static
+    planner: Optional["RuntimePlanner"] = None
+    program: Optional["AISProgram"] = None
+    allocation: Optional["ReservoirAssignment"] = None
+    compiled: Optional["CompiledAssay"] = None
+
+    # ---- instrumentation ---------------------------------------------
+    diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
+    events: PassEventBus = NULL_BUS
+    #: the manager that ran this context (set by run_compile/front_end so
+    #: callers can render ``explain`` output against the resolved plan).
+    pass_manager: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.source is None and self.dag is None:
+            raise ValueError("CompileContext needs source text or a DAG")
+        if self.manager is None:
+            self.manager = VolumeManager(self.spec.limits)
+
+    # ------------------------------------------------------------------
+    @property
+    def limits(self):
+        return self.spec.limits
+
+    @property
+    def is_static(self) -> bool:
+        """True when no runtime planner took over volume assignment."""
+        return self.planner is None
+
+    @property
+    def final_dag(self) -> Optional[AssayDAG]:
+        """The DAG codegen runs over: post-transform when a plan exists."""
+        if self.plan is not None:
+            return self.plan.dag
+        return self.dag
+
+    @property
+    def resolved_name(self) -> str:
+        if self.name:
+            return self.name
+        if self.dag is not None:
+            return self.dag.name
+        return "assay"
+
+    def compile_fingerprint(self) -> str:
+        """The content address of this request (memoized on the context)."""
+        if self.fingerprint is None:
+            from ...core.fingerprint import compile_fingerprint
+
+            self.fingerprint = compile_fingerprint(
+                self.dag, self.limits, self.spec, self.manager.options_dict()
+            )
+        return self.fingerprint

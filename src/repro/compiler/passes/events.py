@@ -1,0 +1,196 @@
+"""Structured pass events: what the compiler did, stage by stage.
+
+Every pass the :class:`~repro.compiler.passes.manager.PassManager` runs
+emits one :class:`PassEvent` — name, round (for hierarchy stages), wall
+and CPU time, input/output content fingerprints, cache interaction, and
+how many diagnostics the pass added — to a pluggable :class:`PassEventBus`.
+
+The bus mirrors the run-time trace machinery
+(:class:`repro.machine.trace.ExecutionTrace`): a flat, append-only record
+of structured events that round-trips through ``to_dict`` and renders as
+a human table.  Subscribers (``bus.subscribe``) receive each event as it
+is emitted, so external tooling — a tracer, a progress bar, a metrics
+exporter — can tap the compile without touching the passes themselves.
+
+``repro compile --time-passes`` prints :func:`render_timing_table`;
+``--stats-json`` writes :func:`events_payload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "PASS_EVENT_SCHEMA_VERSION",
+    "PassEvent",
+    "PassEventBus",
+    "NULL_BUS",
+    "events_payload",
+    "render_timing_table",
+]
+
+#: bumped only on breaking changes to the event payload shape.
+PASS_EVENT_SCHEMA_VERSION = 1
+
+#: event statuses: the pass ran ("ok"/"failed"), was configured out or had
+#: nothing to do ("skipped"), or was satisfied wholesale by a cache entry
+#: ("cached").
+STATUSES = ("ok", "failed", "skipped", "cached")
+
+
+@dataclass(frozen=True)
+class PassEvent:
+    """One pass execution (or deliberate non-execution)."""
+
+    name: str
+    status: str                       # see STATUSES
+    #: hierarchy round for the Figure 6 loop stages, None elsewhere.
+    round: Optional[int] = None
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    #: content fingerprint of the pass's main input / output artifact
+    #: (computed only when the bus asks for fingerprints — they cost a
+    #: canonical serialization each).
+    fingerprint_in: Optional[str] = None
+    fingerprint_out: Optional[str] = None
+    #: "hit" / "miss" / "store" when the pass talked to the plan cache.
+    cache: Optional[str] = None
+    #: diagnostics the pass added to the sink while running.
+    diagnostics: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "wall_ms": round(self.wall_s * 1000, 4),
+            "cpu_ms": round(self.cpu_s * 1000, 4),
+            "diagnostics": self.diagnostics,
+        }
+        if self.round is not None:
+            payload["round"] = self.round
+        if self.fingerprint_in is not None:
+            payload["fingerprint_in"] = self.fingerprint_in
+        if self.fingerprint_out is not None:
+            payload["fingerprint_out"] = self.fingerprint_out
+        if self.cache is not None:
+            payload["cache"] = self.cache
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    def __str__(self) -> str:
+        where = f"[{self.round}] " if self.round is not None else ""
+        extra = f" ({self.cache})" if self.cache else ""
+        return (
+            f"{where}{self.name}: {self.status} "
+            f"{self.wall_s * 1000:.2f} ms{extra}"
+        )
+
+
+class PassEventBus:
+    """Append-only event record plus fan-out to live subscribers.
+
+    Args:
+        fingerprints: ask passes to compute input/output content
+            fingerprints for their events.  Off by default — fingerprints
+            cost a canonical serialization per pass, which plain compiles
+            should not pay.
+    """
+
+    def __init__(self, *, fingerprints: bool = False) -> None:
+        self.events: List[PassEvent] = []
+        self.fingerprints = fingerprints
+        self._subscribers: List[Callable[[PassEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[PassEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, event: PassEvent) -> PassEvent:
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def ran(self) -> List[PassEvent]:
+        """Events for passes that actually executed."""
+        return [e for e in self.events if e.status in ("ok", "failed")]
+
+    def total_wall_s(self) -> float:
+        return sum(e.wall_s for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class _NullBus(PassEventBus):
+    """A bus that drops everything: the zero-overhead default."""
+
+    def emit(self, event: PassEvent) -> PassEvent:  # noqa: D102
+        return event
+
+
+#: shared do-nothing bus for un-instrumented compiles.
+NULL_BUS = _NullBus()
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def events_payload(bus: PassEventBus, **extra: Any) -> Dict[str, Any]:
+    """The stable JSON shape of one instrumented compile
+    (``repro compile --time-passes --stats-json``)."""
+    payload: Dict[str, Any] = {
+        "version": PASS_EVENT_SCHEMA_VERSION,
+        "tool": "compile",
+        "passes": [event.to_dict() for event in bus.events],
+        "total_wall_ms": round(bus.total_wall_s() * 1000, 4),
+    }
+    payload.update(extra)
+    return payload
+
+
+def render_timing_table(bus: PassEventBus) -> str:
+    """The ``--time-passes`` human table (one row per event)."""
+    rows = []
+    for event in bus.events:
+        name = event.name if event.round is None else (
+            f"{event.name} (round {event.round})"
+        )
+        rows.append(
+            (
+                name,
+                event.status,
+                f"{event.wall_s * 1000:.2f}",
+                f"{event.cpu_s * 1000:.2f}",
+                event.cache or "-",
+                str(event.diagnostics),
+            )
+        )
+    headers = ("pass", "status", "wall ms", "cpu ms", "cache", "diags")
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rows)) if rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(w) if col in (2, 3) else cell.ljust(w)
+                for col, (cell, w) in enumerate(zip(row, widths))
+            ).rstrip()
+        )
+    lines.append(
+        f"total: {bus.total_wall_s() * 1000:.2f} ms over "
+        f"{len(bus.ran())} executed pass(es)"
+    )
+    return "\n".join(lines)

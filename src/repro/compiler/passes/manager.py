@@ -1,0 +1,212 @@
+"""The pass manager: typed passes, uniform instrumentation, explain mode.
+
+A :class:`Pass` is one stage of compilation — it reads and mutates the
+:class:`~repro.compiler.passes.context.CompileContext` and reports a
+:class:`PassOutcome`.  The :class:`PassManager` runs a configured pass
+list in order and wraps every run in the same instrumentation: wall and
+CPU timing, optional input/output fingerprints, diagnostic-count deltas,
+and a structured :class:`~repro.compiler.passes.events.PassEvent` on the
+context's bus.  Pass-level caching falls out of the same shape: a pass
+whose product is already available (a restored plan, a memoized Vnorm
+table) reports ``cached``/``skipped`` and the manager records the prefix
+that never ran.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .context import CompileContext
+from .events import PassEvent
+
+__all__ = ["Pass", "PassOutcome", "PassManager", "run_instrumented"]
+
+
+@dataclass(frozen=True)
+class PassOutcome:
+    """What one pass reports back to the manager."""
+
+    status: str = "ok"            # "ok" | "failed" | "cached"
+    cache: Optional[str] = None   # "hit" | "miss" | "store"
+    detail: str = ""
+
+
+#: the outcome most passes return.
+OK = PassOutcome()
+
+
+class Pass:
+    """One compilation stage.
+
+    Subclasses set :attr:`name` and implement :meth:`run`.  Override
+    :meth:`applicable` for passes that only run under some configurations
+    (the manager emits a ``skipped`` event with the reason instead of
+    calling :meth:`run`), and :meth:`fingerprint_in` /
+    :meth:`fingerprint_out` to describe the artifact the pass transforms
+    (only consulted when the bus asks for fingerprints).
+    """
+
+    #: stable pass name used in events, ``--explain``, and tests.
+    name: str = "pass"
+
+    def applicable(self, ctx: CompileContext) -> bool:
+        return True
+
+    def skip_reason(self, ctx: CompileContext) -> str:
+        """Why :meth:`applicable` said no (for the skipped event)."""
+        return ""
+
+    def run(self, ctx: CompileContext) -> PassOutcome:
+        raise NotImplementedError
+
+    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+        return None
+
+    def fingerprint_out(self, ctx: CompileContext) -> Optional[str]:
+        return None
+
+    def children(self) -> Sequence["Pass"]:
+        """Sub-passes of a composite (the hierarchy loop's stages)."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line summary for ``--explain`` (first docstring line)."""
+        doc = (self.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.name
+
+
+def run_instrumented(
+    pass_: Pass, ctx: CompileContext, *, round: Optional[int] = None
+) -> PassEvent:
+    """Run one pass under the standard instrumentation contract.
+
+    Times wall and CPU clocks, captures input/output fingerprints when the
+    bus asks for them, counts the diagnostics the pass added, and emits
+    exactly one :class:`PassEvent` — including when the pass is skipped or
+    raises.  Used by :class:`PassManager` for top-level passes and by
+    composite passes (the hierarchy loop) for their round-stamped stages.
+    """
+    bus = ctx.events
+    if not pass_.applicable(ctx):
+        return bus.emit(
+            PassEvent(
+                name=pass_.name,
+                status="skipped",
+                round=round,
+                detail=pass_.skip_reason(ctx),
+            )
+        )
+    fp_in = pass_.fingerprint_in(ctx) if bus.fingerprints else None
+    before = len(ctx.diagnostics)
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    try:
+        outcome = pass_.run(ctx)
+    except Exception:
+        bus.emit(
+            PassEvent(
+                name=pass_.name,
+                status="failed",
+                round=round,
+                wall_s=time.perf_counter() - wall,
+                cpu_s=time.process_time() - cpu,
+                fingerprint_in=fp_in,
+                diagnostics=len(ctx.diagnostics) - before,
+            )
+        )
+        raise
+    return bus.emit(
+        PassEvent(
+            name=pass_.name,
+            status=outcome.status,
+            round=round,
+            wall_s=time.perf_counter() - wall,
+            cpu_s=time.process_time() - cpu,
+            fingerprint_in=fp_in,
+            fingerprint_out=(
+                pass_.fingerprint_out(ctx) if bus.fingerprints else None
+            ),
+            cache=outcome.cache,
+            diagnostics=len(ctx.diagnostics) - before,
+            detail=outcome.detail,
+        )
+    )
+
+
+class PassManager:
+    """Run a pass plan over a context with uniform instrumentation."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        self.passes: List[Pass] = list(passes)
+
+    def plan_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: CompileContext) -> CompileContext:
+        for pass_ in self.passes:
+            self.run_pass(pass_, ctx)
+        return ctx
+
+    def run_pass(self, pass_: Pass, ctx: CompileContext) -> PassEvent:
+        """Run one pass with timing/fingerprint/event instrumentation."""
+        return run_instrumented(pass_, ctx)
+
+    # ------------------------------------------------------------------
+    def explain(self, ctx: Optional[CompileContext] = None) -> str:
+        """The resolved pass plan, one line per pass.
+
+        With a context that has been run, each line also reports what
+        actually happened (ran / skipped / cached and the winning
+        hierarchy attempt); without one it is the static plan.
+        """
+        by_name = {}
+        if ctx is not None:
+            for event in ctx.events:
+                by_name.setdefault(event.name, []).append(event)
+
+        def describe(pass_: Pass, indent: str) -> str:
+            line = f"{indent}{pass_.name:<12} {pass_.describe()}"
+            events = by_name.get(pass_.name)
+            if events:
+                last = events[-1]
+                note = last.status
+                if last.cache:
+                    note += f", cache {last.cache}"
+                if len(events) > 1:
+                    note += f", {len(events)} runs"
+                line += f"  [{note}]"
+            return line
+
+        lines = ["pass plan:"]
+        for pass_ in self.passes:
+            lines.append(describe(pass_, "  "))
+            for child in pass_.children():
+                lines.append(describe(child, "    . "))
+        if ctx is not None and ctx.plan is not None:
+            winner = next(
+                (a for a in reversed(ctx.plan.attempts) if a.succeeded), None
+            )
+            if winner is not None:
+                lines.append(
+                    f"hierarchy: {ctx.plan.status!r} won at round "
+                    f"{winner.round} ({winner.stage})"
+                )
+            else:
+                lines.append(
+                    f"hierarchy: no attempt succeeded; status "
+                    f"{ctx.plan.status!r}"
+                )
+            if ctx.plan_restored:
+                lines.append(
+                    "plan served from the content-addressed cache "
+                    "(hierarchy prefix skipped)"
+                )
+        elif ctx is not None and ctx.planner is not None:
+            lines.append(
+                f"hierarchy: deferred to runtime planner "
+                f"({ctx.planner.n_partitions} partitions)"
+            )
+        return "\n".join(lines)

@@ -1,22 +1,18 @@
-"""End-to-end compilation: assay source -> AIS + volume plan.
+"""Legacy compilation entry points (thin shims over the pass manager).
 
-The driver mirrors a conventional compiler (paper Section 4.1: "the usual
-steps of parsing, intermediate representation, register allocation, and
-code generation are similar to those of a conventional compiler"), plus the
-volume-management stages this paper adds:
+The end-to-end flow — parse, unroll, lower, the Figure 6 volume-management
+hierarchy, rounding, codegen, optional analyzers — lives in
+:mod:`repro.compiler.passes` as an instrumented pass pipeline.  This
+module keeps the original surface:
 
-1. lex/parse/semantic analysis (:mod:`repro.lang`);
-2. loop unrolling and constant folding (:mod:`repro.lang.unroll`);
-3. lowering to the volume DAG (:mod:`repro.ir.builder`);
-4. volume management:
-   * statically-known assays run the Figure 6 hierarchy
-     (:class:`~repro.core.hierarchy.VolumeManager`) and round the result to
-     least-count multiples;
-   * assays with unknown-volume operations are partitioned and get a
-     :class:`~repro.core.runtime_assign.RuntimePlanner`, deferring only the
-     final dispensing to run time;
-5. reservoir allocation and code generation (:mod:`repro.compiler.codegen`)
-   over the *final* (possibly cascaded/replicated) DAG.
+* :class:`CompiledAssay` — the caller-facing result record (produced by
+  the ``Assemble`` pass);
+* :func:`compile_dag` / :func:`compile_assay` — **deprecated shims** that
+  forward to :func:`repro.compiler.passes.run_compile`.  They produce
+  byte-identical results to the pass-manager path (enforced by the
+  golden-equivalence suite) and exist so existing callers and scripts
+  keep working; new code should call ``run_compile`` and keep the
+  returned context (events, explain output, pass plan).
 """
 
 from __future__ import annotations
@@ -27,21 +23,16 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from ..core.dag import AssayDAG
 from ..core.dagsolve import VolumeAssignment
 from ..core.hierarchy import VolumeManager, VolumePlan
-from ..core.limits import HardwareLimits
-from ..core.rounding import max_ratio_error, round_assignment
 from ..core.runtime_assign import RuntimePlanner
-from ..ir.builder import build_dag_from_flat
 from ..ir.program import AISProgram
 from ..ir.regalloc import ReservoirAssignment
-from ..lang.parser import parse
-from ..lang.semantic import analyze
-from ..lang.unroll import FlatAssay, unroll
+from ..lang.unroll import FlatAssay
 from ..machine.spec import AQUACORE_SPEC, MachineSpec
-from .codegen import generate
 from .diagnostics import DiagnosticSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import PlanCache
+    from .passes.events import PassEventBus
 
 __all__ = [
     "CompiledAssay",
@@ -81,13 +72,6 @@ class CompiledAssay:
         return self.program.render()
 
 
-def _has_unknown_flows(dag: AssayDAG) -> bool:
-    return any(
-        node.unknown_volume and dag.out_degree(node.id) > 0
-        for node in dag.nodes()
-    )
-
-
 def static_fingerprint(
     dag: AssayDAG, spec: MachineSpec, manager: VolumeManager
 ) -> str:
@@ -97,41 +81,6 @@ def static_fingerprint(
     return compile_fingerprint(
         dag, spec.limits, spec, manager.options_dict()
     )
-
-
-def _plan_static(
-    dag: AssayDAG,
-    spec: MachineSpec,
-    manager: VolumeManager,
-    cache,
-):
-    """Run (or restore) the volume-management hierarchy for a static DAG.
-
-    Returns ``(plan, rounded_assignment, cache_hit)``.  A cache hit
-    restores both through exact serde; a miss runs the hierarchy, rounds,
-    and stores the pair under the compile fingerprint.
-    """
-    if cache is None:
-        plan = manager.plan(dag)
-        rounded = (
-            round_assignment(plan.assignment)
-            if plan.assignment is not None
-            else None
-        )
-        return plan, rounded, False
-    fingerprint = static_fingerprint(dag, spec, manager)
-    restored = cache.get_plan(fingerprint)
-    if restored is not None:
-        plan, rounded = restored
-        return plan, rounded, True
-    plan = manager.plan(dag)
-    rounded = (
-        round_assignment(plan.assignment)
-        if plan.assignment is not None
-        else None
-    )
-    cache.put_plan(fingerprint, plan, rounded)
-    return plan, rounded, False
 
 
 def compile_dag(
@@ -146,118 +95,33 @@ def compile_dag(
     lint: bool = False,
     certify: bool = False,
     cache: Optional["PlanCache"] = None,
+    bus: Optional["PassEventBus"] = None,
 ) -> CompiledAssay:
     """Compile a volume DAG (hand-built or produced by the front end).
 
-    With ``lint=True``, the fluid-safety analyzer
-    (:func:`repro.analysis.analyze`) runs over the generated program and
-    its findings join the compiler's :class:`DiagnosticSink`.  With
-    ``certify=True``, the plan-certificate verifier
-    (:func:`repro.analysis.certify.certify`) re-checks the volume plan
-    and instruction schedule after codegen — the compiler validating its
-    own translation — and its findings join the sink likewise.
+    .. deprecated:: use :func:`repro.compiler.passes.run_compile`; this
+       shim forwards to it and returns only the :class:`CompiledAssay`.
 
-    With a ``cache`` (:class:`repro.compiler.cache.PlanCache`), the volume
-    -management stage is served content-addressed: the DAG, hardware
-    limits, machine spec, and manager options are fingerprinted, and a hit
-    restores the plan plus the rounded assignment through exact-Fraction
-    serde instead of re-running the hierarchy.  Codegen and the optional
-    analyses always run, so the produced listing is byte-identical either
-    way.  Subproblem Vnorm passes (partitions, transform rounds) are
-    memoized through the same cache.
+    With ``lint=True``/``certify=True`` the analyzers run as passes on the
+    same compile; with a ``cache`` the volume-management prefix is served
+    content-addressed (listings stay byte-identical either way).  An
+    optional ``bus`` receives the per-pass events.
     """
-    diagnostics = DiagnosticSink()
-    limits = spec.limits
-    manager = manager or VolumeManager(limits)
-    if cache is not None and manager.cache is None:
-        manager.cache = cache
-    dag.validate()
+    from .passes import run_compile
 
-    plan: Optional[VolumePlan] = None
-    planner: Optional[RuntimePlanner] = None
-    assignment: Optional[VolumeAssignment] = None
-    final_dag = dag
-
-    if _has_unknown_flows(dag):
-        planner = RuntimePlanner(dag, limits, cache=cache)
-        diagnostics.note(
-            "runtime-assignment",
-            f"{planner.n_partitions} partitions; final dispensing deferred "
-            "to run time for measured volumes",
-        )
-        for partition in planner.partitions:
-            vnorms = planner.vnorms[partition.index]
-            peak = vnorms.max_vnorm()
-            for spec_input in partition.constrained:
-                vnorm = vnorms.node_vnorm.get(spec_input.node_id)
-                if vnorm is not None and peak > 0 and vnorm / peak < 1 / 100:
-                    diagnostics.warning(
-                        "underflow-risk",
-                        f"constrained input {spec_input.node_id} has Vnorm "
-                        f"{vnorm} (tiny relative to its partition); low "
-                        "measured volumes will trigger regeneration",
-                        node=spec_input.node_id,
-                    )
-    else:
-        plan, assignment, cache_hit = _plan_static(dag, spec, manager, cache)
-        final_dag = plan.dag
-        if cache_hit:
-            diagnostics.note(
-                "plan-cache",
-                "volume plan served from the content-addressed cache",
-            )
-        for report in plan.transforms:
-            diagnostics.note("transform", str(report))
-        if plan.assignment is None:
-            diagnostics.error(
-                "no-volume-assignment",
-                "the hierarchy produced no volume assignment at all",
-            )
-        else:
-            error = max_ratio_error(assignment)
-            if error > 0:
-                diagnostics.note(
-                    "rounding-error",
-                    f"least-count rounding perturbs mix ratios by up to "
-                    f"{float(error) * 100:.3f}%",
-                )
-            residual = assignment.violations()
-            if plan.needs_regeneration or residual:
-                diagnostics.warning(
-                    "regeneration-fallback",
-                    "no feasible static assignment; execution will rely on "
-                    "regeneration "
-                    f"({len(residual)} residual violations)",
-                )
-
-    program, allocation = generate(
-        final_dag, spec, name=name or dag.name, aux_fluids=aux_fluids
-    )
-    if lint:
-        # local import: repro.analysis imports this module's products
-        from ..analysis import analyze as lint_program
-
-        diagnostics.extend(lint_program(program, spec))
-    compiled = CompiledAssay(
-        name=name or dag.name,
-        program=program,
-        dag=dag,
-        final_dag=final_dag,
-        spec=spec,
-        allocation=allocation,
+    return run_compile(
         source=source,
+        dag=dag,
+        spec=spec,
+        name=name,
+        aux_fluids=aux_fluids,
+        manager=manager,
         flat=flat,
-        plan=plan,
-        assignment=assignment,
-        planner=planner,
-        diagnostics=diagnostics,
-    )
-    if certify:
-        # local import: repro.analysis imports this module's products
-        from ..analysis.certify import certify as certify_compiled
-
-        diagnostics.extend(certify_compiled(compiled).findings)
-    return compiled
+        cache=cache,
+        lint=lint,
+        certify=certify,
+        bus=bus,
+    ).compiled
 
 
 def compile_assay(
@@ -268,21 +132,21 @@ def compile_assay(
     lint: bool = False,
     certify: bool = False,
     cache: Optional["PlanCache"] = None,
+    bus: Optional["PassEventBus"] = None,
 ) -> CompiledAssay:
-    """Compile assay source text end to end."""
-    program_ast = parse(source)
-    symbols = analyze(program_ast)
-    flat = unroll(program_ast, symbols)
-    dag = build_dag_from_flat(flat)
-    return compile_dag(
-        dag,
-        spec=spec,
-        name=flat.name,
-        aux_fluids=flat.aux_fluids,
-        manager=manager,
-        flat=flat,
+    """Compile assay source text end to end.
+
+    .. deprecated:: use :func:`repro.compiler.passes.run_compile`; this
+       shim forwards to it and returns only the :class:`CompiledAssay`.
+    """
+    from .passes import run_compile
+
+    return run_compile(
         source=source,
+        spec=spec,
+        manager=manager,
+        cache=cache,
         lint=lint,
         certify=certify,
-        cache=cache,
-    )
+        bus=bus,
+    ).compiled

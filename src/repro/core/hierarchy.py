@@ -21,21 +21,14 @@ benchmarks and callers can see *why* a plan ended up where it did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import List, Mapping, Optional, Sequence, Union
 
-from .cascading import CascadeReport, cascade_extreme_mixes, find_extreme_mixes
+from .cascading import CascadeReport
 from .dag import AssayDAG
-from .dagsolve import VolumeAssignment, Violation, dagsolve, dispense
-from .errors import (
-    InfeasibleError,
-    ResourceExhaustedError,
-    SolverError,
-    VolumeError,
-)
+from .dagsolve import VolumeAssignment, Violation
+from .errors import VolumeError
 from .limits import HardwareLimits, Number
-from .lp import lp_solve
-from .replication import ReplicationReport, iterative_replication
+from .replication import ReplicationReport
 
 __all__ = ["Attempt", "VolumePlan", "VolumeManager"]
 
@@ -157,119 +150,18 @@ class VolumeManager:
         dag: AssayDAG,
         output_targets: Optional[Mapping[str, Number]] = None,
     ) -> VolumePlan:
-        """Run the hierarchy and return a :class:`VolumePlan`."""
-        attempts: List[Attempt] = []
-        transforms: List[TransformReport] = []
-        current = dag
-        best: Optional[VolumeAssignment] = None
+        """Run the hierarchy and return a :class:`VolumePlan`.
 
-        for round_number in range(1, self.max_rounds + 1):
-            # -- stage 1: DAGSolve -----------------------------------
-            if self.cache is not None:
-                current.validate()
-                vnorms = self.cache.memo_vnorms(current, output_targets)
-                assignment = dispense(current, vnorms, self.limits)
-            else:
-                assignment = dagsolve(current, self.limits, output_targets)
-            violations = assignment.violations()
-            attempts.append(
-                Attempt(
-                    "dagsolve",
-                    round_number,
-                    not violations,
-                    detail="; ".join(str(v) for v in violations[:3]),
-                    violations=tuple(violations),
-                )
-            )
-            if not violations:
-                return VolumePlan(
-                    current, assignment, "dagsolve", attempts, transforms
-                )
-            best = self._better(best, assignment)
+        The flowchart itself lives in the pass manager
+        (:mod:`repro.compiler.passes.stages`: ``DAGSolvePass`` ->
+        ``LPFallback`` -> ``CascadeTransform`` -> ``ReplicateTransform``
+        inside ``HierarchyLoop``); this method is the un-instrumented
+        front door for callers that plan a DAG outside a full compile.
+        """
+        # local import: the pass machinery consumes this module's types
+        from ..compiler.passes.stages import run_hierarchy
 
-            # -- stage 2: LP ------------------------------------------
-            if self.use_lp:
-                try:
-                    lp_assignment = lp_solve(
-                        current,
-                        self.limits,
-                        output_tolerance=self.output_tolerance,
-                    )
-                except (InfeasibleError, SolverError) as error:
-                    attempts.append(
-                        Attempt("lp", round_number, False, detail=str(error))
-                    )
-                else:
-                    lp_violations = lp_assignment.violations()
-                    attempts.append(
-                        Attempt(
-                            "lp",
-                            round_number,
-                            not lp_violations,
-                            violations=tuple(lp_violations),
-                        )
-                    )
-                    if not lp_violations:
-                        return VolumePlan(
-                            current, lp_assignment, "lp", attempts, transforms
-                        )
-                    best = self._better(best, lp_assignment)
-
-            # -- stage 3: transforms ----------------------------------
-            transformed = False
-            if self.allow_cascading and find_extreme_mixes(
-                current, self.limits
-            ):
-                try:
-                    current, reports = cascade_extreme_mixes(
-                        current, self.limits
-                    )
-                except (VolumeError, ResourceExhaustedError) as error:
-                    attempts.append(
-                        Attempt(
-                            "cascade", round_number, False, detail=str(error)
-                        )
-                    )
-                else:
-                    transforms.extend(reports)
-                    attempts.append(
-                        Attempt(
-                            "cascade",
-                            round_number,
-                            True,
-                            detail="; ".join(str(r) for r in reports),
-                        )
-                    )
-                    transformed = bool(reports)
-            if not transformed and self.allow_replication:
-                try:
-                    current, reports = iterative_replication(
-                        current,
-                        self.limits,
-                        max_total_nodes=self.max_total_nodes,
-                    )
-                except (VolumeError, ResourceExhaustedError) as error:
-                    attempts.append(
-                        Attempt(
-                            "replicate", round_number, False, detail=str(error)
-                        )
-                    )
-                else:
-                    transforms.extend(reports)
-                    attempts.append(
-                        Attempt(
-                            "replicate",
-                            round_number,
-                            True,
-                            detail="; ".join(str(r) for r in reports),
-                        )
-                    )
-                    transformed = bool(reports)
-            if not transformed:
-                break  # nothing left to try; fall through to regeneration
-
-        status = "regeneration" if best is not None else "failed"
-        return VolumePlan(current, best, status, attempts, transforms)
+        return run_hierarchy(dag, self, output_targets)
 
     # ------------------------------------------------------------------
     @staticmethod

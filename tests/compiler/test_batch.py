@@ -84,7 +84,7 @@ class TestWarm:
         def boom(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("frontend ran on a warm source job")
 
-        monkeypatch.setattr("repro.compiler.batch.parse", boom)
+        monkeypatch.setattr("repro.compiler.passes.stages.parse", boom)
         warm = compile_many(source_jobs(), cache=cache)
         assert warm.hits == 2
 

@@ -153,6 +153,52 @@ class TestCompileAnalyzers:
         )
 
 
+class TestCompileInstrumentation:
+    def test_time_passes_table(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--time-passes"]) == 0
+        captured = capsys.readouterr()
+        assert "input s1" in captured.out           # listing untouched
+        assert "wall ms" in captured.err            # table on stderr
+        assert "codegen" in captured.err
+        assert "total:" in captured.err
+
+    def test_explain_pass_plan(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--explain"]) == 0
+        err = capsys.readouterr().err
+        assert "pass plan:" in err
+        assert "hierarchy" in err
+        assert "won at round 1" in err
+
+    def test_single_compile_stats_json(self, glucose_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "passes.json"
+        assert main(
+            ["compile", glucose_file, "--stats-json", str(stats_path)]
+        ) == 0
+        data = json.loads(stats_path.read_text())
+        assert data["program"] == "glucose"
+        names = [entry["name"] for entry in data["passes"]]
+        assert "parse" in names and "codegen" in names
+        assert all("wall_ms" in entry for entry in data["passes"])
+
+    def test_warm_cache_shows_prefix_skip(self, glucose_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["compile", glucose_file, "--cache-dir", cache_dir,
+                "--time-passes"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "cached" in err and "hit" in err
+
+    def test_instrumentation_rejected_in_batch(self, glucose_file):
+        with pytest.raises(SystemExit):
+            main(["compile", glucose_file, "--batch", "--time-passes"])
+        with pytest.raises(SystemExit):
+            main(["compile", glucose_file, "--batch", "--explain"])
+
+
 class TestCompileBatch:
     def test_batch_reports_statuses(self, glucose_file, tmp_path, capsys):
         other = tmp_path / "glucose2.fluid"

@@ -1,0 +1,48 @@
+"""Property: pass-level cache hits never change output fingerprints.
+
+For any DAG the pipeline can compile, a warm compile that restores the
+volume plan from the cache (skipping the hierarchy + rounding prefix)
+must emit the same codegen output fingerprint — and the same listing —
+as the cold compile that seeded the cache.  The pass events are the
+witness: the warm run must actually take the cached path, not recompute.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assays import generators
+from repro.compiler.cache import PlanCache
+from repro.compiler.passes import PassEventBus, run_compile
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+def random_dag(seed: int):
+    return generators.layered_random_dag(4, 2, 2, seed=seed, max_ratio=6)
+
+
+def compile_instrumented(seed: int, cache: PlanCache):
+    bus = PassEventBus(fingerprints=True)
+    ctx = run_compile(dag=random_dag(seed), cache=cache, bus=bus)
+    return ctx, {event.name: event for event in bus.events}
+
+
+class TestCacheHitFingerprintInvariance:
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_warm_fingerprints_match_cold(self, seed):
+        cache = PlanCache()
+        cold_ctx, cold = compile_instrumented(seed, cache)
+        warm_ctx, warm = compile_instrumented(seed, cache)
+
+        # the warm run really took the cached path
+        assert cold["restore-plan"].cache == "miss"
+        assert warm["restore-plan"].status == "cached"
+        assert warm["restore-plan"].cache == "hit"
+        assert warm["hierarchy"].status == "skipped"
+        assert warm["round"].status == "skipped"
+
+        # ... and the outputs are indistinguishable
+        assert warm["codegen"].fingerprint_out == cold["codegen"].fingerprint_out
+        assert warm_ctx.compiled.listing() == cold_ctx.compiled.listing()
+        assert warm_ctx.compile_fingerprint() == cold_ctx.compile_fingerprint()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Pass-manager smoke: shim equivalence + per-pass timings over the corpus.
+
+CI's ``--time-passes`` smoke job.  For every assay in the corpus this
+compiles twice —
+
+* through the **deprecated shims** (``compile_assay`` / ``compile_dag``),
+  exactly what pre-pass-manager callers see;
+* through the **instrumented pass manager**
+  (:func:`repro.compiler.passes.run_compile`) with an event bus;
+
+— and fails if any AIS listing is not byte-identical or any volume-plan
+summary diverges (a shim that drifted from the pass pipeline).  Per-pass
+wall/CPU timings for the instrumented runs are aggregated and written as
+JSON (uploaded as a CI artifact) so pass-level regressions are visible
+over time.
+
+Usage: PYTHONPATH=src python tools/passes_corpus.py [--out PATH] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.assays import (  # noqa: E402
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    paper_example,
+)
+from repro.compiler import compile_assay, compile_dag  # noqa: E402
+from repro.compiler.passes import (  # noqa: E402
+    PASS_EVENT_SCHEMA_VERSION,
+    PassEventBus,
+    render_timing_table,
+    run_compile,
+)
+
+
+def custom_assay_source() -> str:
+    path = REPO / "examples" / "custom_assay.py"
+    spec = importlib.util.spec_from_file_location("custom_assay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def corpus():
+    """(name, kwargs-for-one-compile) pairs covering source + DAG entries."""
+    entries = [
+        ("figure2", {"source": paper_example.SOURCE}),
+        ("glucose", {"source": glucose.SOURCE}),
+        ("glycomics", {"source": glycomics.SOURCE}),
+        ("enzyme", {"source": enzyme.SOURCE}),
+        ("elisa", {"source": extra.ELISA_SOURCE}),
+        ("bradford", {"source": extra.BRADFORD_SOURCE}),
+        ("pcr-prep", {"source": extra.PCR_PREP_SOURCE}),
+        ("custom-example", {"source": custom_assay_source()}),
+        ("gen-enzyme-4", {"dag": generators.enzyme_n(4)}),
+        ("gen-dilution-6", {"dag": generators.serial_dilution(6)}),
+        ("gen-mixtree-3", {"dag": generators.binary_mix_tree(3)}),
+        ("gen-fanout-4x3", {"dag": generators.fanout_chain(4, 3)}),
+    ]
+    return entries
+
+
+def legacy_compile(name, kwargs):
+    if "source" in kwargs:
+        return compile_assay(kwargs["source"])
+    return compile_dag(kwargs["dag"])
+
+
+def plan_summary(compiled):
+    return compiled.plan.summary() if compiled.plan is not None else None
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO / "pass-timings.json"),
+        help="where to write the aggregated per-pass timing JSON",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    divergences = 0
+    timings = {}
+    programs = []
+    for name, kwargs in corpus():
+        legacy = legacy_compile(name, kwargs)
+        bus = PassEventBus(fingerprints=True)
+        ctx = run_compile(bus=bus, **kwargs)
+        managed = ctx.compiled
+
+        if legacy.listing() != managed.listing():
+            print(f"  {name}: LISTING DIVERGED between shim and pass manager")
+            divergences += 1
+        if plan_summary(legacy) != plan_summary(managed):
+            print(f"  {name}: PLAN SUMMARY DIVERGED")
+            divergences += 1
+
+        per_pass = {}
+        for event in bus.ran():
+            record = timings.setdefault(
+                event.name, {"runs": 0, "wall_ms": 0.0, "cpu_ms": 0.0}
+            )
+            record["runs"] += 1
+            record["wall_ms"] += event.wall_s * 1000
+            record["cpu_ms"] += event.cpu_s * 1000
+            per_pass[event.name] = round(event.wall_s * 1000, 4)
+        programs.append(
+            {
+                "name": name,
+                "static": managed.is_static,
+                "wall_ms": round(bus.total_wall_s() * 1000, 4),
+                "passes": per_pass,
+            }
+        )
+        print(
+            f"  {name}: ok ({len(bus.ran())} passes, "
+            f"{bus.total_wall_s() * 1000:.1f} ms)"
+        )
+        if args.verbose:
+            print(render_timing_table(bus))
+
+    for record in timings.values():
+        record["wall_ms"] = round(record["wall_ms"], 4)
+        record["cpu_ms"] = round(record["cpu_ms"], 4)
+    payload = {
+        "version": PASS_EVENT_SCHEMA_VERSION,
+        "programs": programs,
+        "per_pass_totals": dict(sorted(timings.items())),
+        "divergences": divergences,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nper-pass timings written to {out}")
+
+    if divergences:
+        print(f"FAILED: {divergences} shim divergence(s)")
+        return 1
+    print(f"all {len(programs)} corpus programs byte-identical across paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
