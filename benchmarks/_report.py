@@ -9,12 +9,11 @@ the paper's tables and figures in one shot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
 
-Value = Union[int, float, str, None]
+Value = int | float | str | None
 
 #: experiment id -> rows; populated by the benchmark modules.
-RESULTS: Dict[str, List["Row"]] = {}
+RESULTS: dict[str, list["Row"]] = {}
 
 
 @dataclass
@@ -50,7 +49,7 @@ def record(
 
 
 def render_all() -> str:
-    lines: List[str] = []
+    lines: list[str] = []
     for experiment in sorted(RESULTS):
         rows = RESULTS[experiment]
         width = max(len(row.metric) for row in rows)

@@ -31,12 +31,18 @@ The sibling :mod:`repro.analysis.certify` package audits the compiler's
 *output* instead — translation validation of the volume plan plus
 schedule-interference analysis — behind ``repro certify`` and
 ``compile_assay(..., certify=True)``.
+
+The sibling :mod:`repro.analysis.sourceflow` package analyses the
+*rolled* program instead of the unrolling: a CFG over the checked AST
+and an interval fixpoint with widening, whose SRC-* verdicts hold for
+every loop bound — behind ``repro lint --source``.
 """
 
 from .certify import CertificateReport, certify, certify_program
 from .checks import AnalysisContext, Check, all_checks, analyze, check_codes, register
 from .dataflow import Access, AccessKind, ForwardAnalysis, Place, ValueFlow
 from .lint import LintReport, lint_program, lint_text
+from .sourceflow import SourceReport, verify_program, verify_source
 from .state import AbsContent, AbstractState, ContentKind, VolumeInterval
 
 __all__ = [
@@ -54,6 +60,9 @@ __all__ = [
     "LintReport",
     "lint_program",
     "lint_text",
+    "SourceReport",
+    "verify_program",
+    "verify_source",
     "AbsContent",
     "AbstractState",
     "ContentKind",

@@ -13,7 +13,6 @@ in ``docs/ANALYSIS.md`` is generated from the same text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 __all__ = ["CodeInfo", "PLAN_CODES", "SCHED_CODES", "ALL_CODES"]
 
@@ -27,11 +26,11 @@ class CodeInfo:
     title: str
 
 
-def _catalogue(*entries: CodeInfo) -> Dict[str, CodeInfo]:
+def _catalogue(*entries: CodeInfo) -> dict[str, CodeInfo]:
     return {entry.code: entry for entry in entries}
 
 
-PLAN_CODES: Dict[str, CodeInfo] = _catalogue(
+PLAN_CODES: dict[str, CodeInfo] = _catalogue(
     CodeInfo(
         "PLAN-COVERAGE",
         "error",
@@ -104,7 +103,7 @@ PLAN_CODES: Dict[str, CodeInfo] = _catalogue(
 )
 
 
-SCHED_CODES: Dict[str, CodeInfo] = _catalogue(
+SCHED_CODES: dict[str, CodeInfo] = _catalogue(
     CodeInfo(
         "SCHED-DOUBLE-BOOK",
         "error",
@@ -143,4 +142,4 @@ SCHED_CODES: Dict[str, CodeInfo] = _catalogue(
 )
 
 
-ALL_CODES: Dict[str, CodeInfo] = {**PLAN_CODES, **SCHED_CODES}
+ALL_CODES: dict[str, CodeInfo] = {**PLAN_CODES, **SCHED_CODES}

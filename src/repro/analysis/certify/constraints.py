@@ -17,14 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 from ...core.dag import AssayDAG, NodeKind
 from ...core.limits import HardwareLimits
 
 __all__ = ["ReferenceModel", "reference_model"]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 #: node kinds that act as fluid sources (drawn from a reservoir, never
 #: produced by an upstream operation).
@@ -47,13 +46,13 @@ class ReferenceModel:
     scale.
     """
 
-    production: Dict[str, Fraction]
-    load: Dict[str, Fraction]
-    edge_demand: Dict[EdgeKey, Fraction]
+    production: dict[str, Fraction]
+    load: dict[str, Fraction]
+    edge_demand: dict[EdgeKey, Fraction]
     scale: Fraction
     output_bound: Fraction
     #: the node whose capacity (or availability) pins ``scale``.
-    binding_node: Optional[str] = None
+    binding_node: str | None = None
 
     def held(self, node_id: str) -> Fraction:
         """Peak normalised volume the node's location must hold."""
@@ -74,9 +73,9 @@ def reference_model(dag: AssayDAG, limits: HardwareLimits) -> ReferenceModel:
         when the DAG is structurally broken — callers turn that into a
         certification failure rather than a crash.
     """
-    production: Dict[str, Fraction] = {}
-    load: Dict[str, Fraction] = {}
-    edge_demand: Dict[EdgeKey, Fraction] = {}
+    production: dict[str, Fraction] = {}
+    load: dict[str, Fraction] = {}
+    edge_demand: dict[EdgeKey, Fraction] = {}
 
     sink_ids = {
         node.id
@@ -121,8 +120,8 @@ def reference_model(dag: AssayDAG, limits: HardwareLimits) -> ReferenceModel:
                 edge_demand[edge.key] = edge.fraction * entering
 
     # -- the scale the hardware permits ---------------------------------
-    scale: Optional[Fraction] = None
-    binding: Optional[str] = None
+    scale: Fraction | None = None
+    binding: str | None = None
     for node in dag.nodes():
         held = max(
             production.get(node.id, Fraction(0)),
@@ -148,7 +147,7 @@ def reference_model(dag: AssayDAG, limits: HardwareLimits) -> ReferenceModel:
     if scale is None:
         scale = Fraction(0)
 
-    outputs: List[str] = [
+    outputs: list[str] = [
         node.id for node in dag.nodes()
         if node.id in sink_ids and node.kind not in SOURCE_KINDS
     ]

@@ -27,7 +27,6 @@ needs no import from the solver stack it audits.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 from ...compiler.diagnostics import Diagnostic, Severity
 from ...core.dag import AssayDAG, Node, NodeKind
@@ -37,7 +36,7 @@ from .constraints import SOURCE_KINDS, reference_model
 
 __all__ = ["certify_plan"]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 #: codes that report *feasibility* of the plan; when the compiler already
 #: declared the plan infeasible (regeneration fallback), these downgrade
@@ -74,24 +73,24 @@ class _PlanChecker:
         limits: HardwareLimits,
         *,
         expect_feasible: bool = True,
-        ratio_tolerance: Optional[Fraction] = None,
+        ratio_tolerance: Fraction | None = None,
     ) -> None:
         self.dag = dag
         self.limits = limits
         self.expect_feasible = expect_feasible
         self.ratio_tolerance = ratio_tolerance
-        self.node_volume: Dict[str, Fraction] = dict(assignment.node_volume)
-        self.node_input_volume: Dict[str, Fraction] = dict(
+        self.node_volume: dict[str, Fraction] = dict(assignment.node_volume)
+        self.node_input_volume: dict[str, Fraction] = dict(
             assignment.node_input_volume
         )
-        self.edge_volume: Dict[EdgeKey, Fraction] = dict(
+        self.edge_volume: dict[EdgeKey, Fraction] = dict(
             assignment.edge_volume
         )
         self.slack: Fraction = as_fraction(
             getattr(assignment, "tolerance", 0) or 0
         )
-        self.findings: List[Diagnostic] = []
-        self.metrics: Dict[str, float] = {}
+        self.findings: list[Diagnostic] = []
+        self.metrics: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def emit(
@@ -99,8 +98,8 @@ class _PlanChecker:
         code: str,
         message: str,
         *,
-        node: Optional[str] = None,
-        operand: Optional[str] = None,
+        node: str | None = None,
+        operand: str | None = None,
     ) -> None:
         severity = _SEVERITIES[PLAN_CODES[code].severity]
         if code in _FEASIBILITY_CODES and not self.expect_feasible:
@@ -110,7 +109,7 @@ class _PlanChecker:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> Tuple[List[Diagnostic], Dict[str, float]]:
+    def run(self) -> tuple[list[Diagnostic], dict[str, float]]:
         if not self._check_structure():
             return self.findings, self.metrics
         covered = self._check_coverage()
@@ -389,7 +388,7 @@ class _PlanChecker:
             if cascade_of is not None and node.kind is NodeKind.MIX:
                 self._check_cascade_stage(node, str(cascade_of))
 
-    def _recipe(self, node_id: str) -> List[Tuple[str, Fraction]]:
+    def _recipe(self, node_id: str) -> list[tuple[str, Fraction]]:
         """Inbound (source, share) pairs, sources canonicalised so that a
         replicated predecessor matches its original."""
         recipe = []
@@ -509,8 +508,8 @@ def certify_plan(
     limits: HardwareLimits,
     *,
     expect_feasible: bool = True,
-    ratio_tolerance: Optional[Fraction] = None,
-) -> Tuple[List[Diagnostic], Dict[str, float]]:
+    ratio_tolerance: Fraction | None = None,
+) -> tuple[list[Diagnostic], dict[str, float]]:
     """Certify a volume assignment against the re-derived constraints.
 
     Args:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ...compiler.diagnostics import (
     EXIT_CLEAN,
@@ -55,14 +55,14 @@ class CertificateReport:
 
     program: str
     machine: str
-    findings: List[Diagnostic] = field(default_factory=list)
+    findings: list[Diagnostic] = field(default_factory=list)
     plan_checked: bool = False
     schedule_checked: bool = False
-    metrics: Dict[str, float] = field(default_factory=dict)
-    occupancy: List[OccupancyRecord] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+    occupancy: list[OccupancyRecord] = field(default_factory=list)
 
     @property
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         return severity_counts(self.findings)
 
     @property
@@ -76,7 +76,7 @@ class CertificateReport:
         """Shared severity table (repro.compiler.diagnostics)."""
         return exit_code_for(self.findings)
 
-    def codes(self) -> List[str]:
+    def codes(self) -> list[str]:
         return [finding.code for finding in self.findings]
 
     def sink(self) -> DiagnosticSink:
@@ -102,7 +102,7 @@ class CertificateReport:
         lines.append(f"{self.program}: {verdict} [{' + '.join(halves)}]")
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         return report_payload(
             "certify",
             self.program,
@@ -120,11 +120,11 @@ class CertificateReport:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
-def _initial_occupancy(compiled: object) -> Dict[str, str]:
+def _initial_occupancy(compiled: object) -> dict[str, str]:
     """Constrained inputs start the program already parked in reservoirs
     (a previous partition left them; no ``input`` instruction loads
     them)."""
-    initial: Dict[str, str] = {}
+    initial: dict[str, str] = {}
     allocation = getattr(compiled, "allocation", None)
     final_dag = getattr(compiled, "final_dag", None)
     if allocation is None or final_dag is None:
@@ -140,10 +140,10 @@ def _initial_occupancy(compiled: object) -> Dict[str, str]:
 def certify(
     compiled: object,
     *,
-    spec: Optional[MachineSpec] = None,
-    topology: Optional[ChannelTopology] = None,
-    ratio_tolerance: Optional[Fraction] = None,
-    slots: Optional[Sequence[int]] = None,
+    spec: MachineSpec | None = None,
+    topology: ChannelTopology | None = None,
+    ratio_tolerance: Fraction | None = None,
+    slots: Sequence[int] | None = None,
 ) -> CertificateReport:
     """Certify a compiled assay: validate its plan, then its schedule.
 
@@ -207,9 +207,9 @@ def certify_program(
     program: AISProgram,
     spec: MachineSpec = AQUACORE_SPEC,
     *,
-    topology: Optional[ChannelTopology] = None,
-    initial: Optional[Dict[str, str]] = None,
-    slots: Optional[Sequence[int]] = None,
+    topology: ChannelTopology | None = None,
+    initial: dict[str, str] | None = None,
+    slots: Sequence[int] | None = None,
 ) -> CertificateReport:
     """Certify a bare AIS listing (schedule interference only).
 

@@ -32,7 +32,7 @@ since whether they execute is decided at run time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from ...compiler.diagnostics import Diagnostic, Severity
 from ...ir.instructions import Instruction, Opcode, Operand
@@ -48,7 +48,7 @@ __all__ = ["OccupancyRecord", "certify_schedule"]
 class _Hold:
     """One location's current content."""
 
-    fluids: Set[str] = field(default_factory=set)
+    fluids: set[str] = field(default_factory=set)
     #: "filling" while ingredients accumulate (or a sample awaits
     #: sensing); "product" once an operation completed in place or a
     #: fluid was parked in a reservoir.
@@ -65,7 +65,7 @@ class OccupancyRecord:
     """One completed occupancy interval, for reporting and benchmarks."""
 
     location: str
-    fluids: Tuple[str, ...]
+    fluids: tuple[str, ...]
     start: int  # instruction index that filled the location
     end: int    # instruction index that released it
 
@@ -75,19 +75,19 @@ class _ScheduleChecker:
         self,
         program: AISProgram,
         spec: MachineSpec,
-        topology: Optional[ChannelTopology],
+        topology: ChannelTopology | None,
         *,
-        initial: Optional[Dict[str, str]] = None,
-        slots: Optional[Sequence[int]] = None,
+        initial: dict[str, str] | None = None,
+        slots: Sequence[int] | None = None,
     ) -> None:
         self.program = program
         self.spec = spec
         self.topology = topology
         self.slots = slots
-        self.holds: Dict[str, _Hold] = {}
-        self.port_fluid: Dict[str, str] = {}
-        self.findings: List[Diagnostic] = []
-        self.records: List[OccupancyRecord] = []
+        self.holds: dict[str, _Hold] = {}
+        self.port_fluid: dict[str, str] = {}
+        self.findings: list[Diagnostic] = []
+        self.records: list[OccupancyRecord] = []
         for location, fluid in (initial or {}).items():
             self.holds[location] = _Hold({fluid}, state="product", start=-1)
 
@@ -99,7 +99,7 @@ class _ScheduleChecker:
         message: str,
         *,
         index: int,
-        operand: Optional[str] = None,
+        operand: str | None = None,
     ) -> None:
         self.findings.append(
             Diagnostic(
@@ -108,7 +108,7 @@ class _ScheduleChecker:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> Tuple[List[Diagnostic], List[OccupancyRecord]]:
+    def run(self) -> tuple[list[Diagnostic], list[OccupancyRecord]]:
         for index, instruction in enumerate(self.program.instructions):
             if not instruction.is_wet:
                 continue
@@ -332,7 +332,7 @@ class _ScheduleChecker:
                 guarded=guarded or unknown_src,
             )
 
-    def _port_source(self, operand: Optional[Operand]) -> bool:
+    def _port_source(self, operand: Operand | None) -> bool:
         if operand is None:
             return False
         return self.spec.component_kind(operand.base) == "input-port"
@@ -415,7 +415,7 @@ class _ScheduleChecker:
     def _check_slot_overlaps(self) -> None:
         if self.slots is None or self.topology is None:
             return
-        transfers: Dict[int, List[Tuple[int, str, str]]] = {}
+        transfers: dict[int, list[tuple[int, str, str]]] = {}
         for index, instruction in enumerate(self.program.instructions):
             if instruction.opcode not in (
                 Opcode.INPUT,
@@ -463,10 +463,10 @@ def certify_schedule(
     program: AISProgram,
     spec: MachineSpec,
     *,
-    topology: Optional[ChannelTopology] = None,
-    initial: Optional[Dict[str, str]] = None,
-    slots: Optional[Sequence[int]] = None,
-) -> Tuple[List[Diagnostic], List[OccupancyRecord]]:
+    topology: ChannelTopology | None = None,
+    initial: dict[str, str] | None = None,
+    slots: Sequence[int] | None = None,
+) -> tuple[list[Diagnostic], list[OccupancyRecord]]:
     """Check an instruction schedule for hardware interference.
 
     Args:

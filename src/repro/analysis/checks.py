@@ -40,7 +40,7 @@ New checks subclass :class:`Check` and register with :func:`register`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Type
+from collections.abc import Iterator, Sequence
 
 from ..compiler.diagnostics import Diagnostic, Severity
 from ..ir.instructions import Instruction, Opcode
@@ -75,7 +75,7 @@ class AnalysisContext:
     forward: ForwardAnalysis
     #: names that live in the dry register file (dry-op registers and
     #: operands, sense result variables).
-    dry_names: Dict[str, int] = field(default_factory=dict)
+    dry_names: dict[str, int] = field(default_factory=dict)
 
     def instruction(self, index: int) -> Instruction:
         return self.program[index]
@@ -104,8 +104,8 @@ class Check:
         code: str,
         message: str,
         *,
-        instruction: Optional[int] = None,
-        operand: Optional[str] = None,
+        instruction: int | None = None,
+        operand: str | None = None,
     ) -> Diagnostic:
         assert code in self.codes, f"{self.name} emitted unregistered {code}"
         return Diagnostic(
@@ -113,19 +113,19 @@ class Check:
         )
 
 
-_REGISTRY: List[Type[Check]] = []
+_REGISTRY: list[type[Check]] = []
 
 
-def register(check_class: Type[Check]) -> Type[Check]:
+def register(check_class: type[Check]) -> type[Check]:
     _REGISTRY.append(check_class)
     return check_class
 
 
-def all_checks() -> List[Check]:
+def all_checks() -> list[Check]:
     return [check_class() for check_class in _REGISTRY]
 
 
-def check_codes() -> Dict[str, str]:
+def check_codes() -> dict[str, str]:
     """code -> owning check name, for documentation and tooling."""
     return {
         code: check_class.name
@@ -465,7 +465,7 @@ class OperandCheck(Check):
     }
 
     def run(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
-        seen: Set[tuple] = set()
+        seen: set[tuple] = set()
         for index, instruction in enumerate(ctx.program):
             if not instruction.is_wet:
                 continue
@@ -564,8 +564,8 @@ class OperandCheck(Check):
 
 
 # ---------------------------------------------------------------------------
-def _collect_dry_names(program: AISProgram) -> Dict[str, int]:
-    names: Dict[str, int] = {}
+def _collect_dry_names(program: AISProgram) -> dict[str, int]:
+    names: dict[str, int] = {}
     for index, instruction in enumerate(program):
         if not instruction.is_wet:
             if instruction.reg:
@@ -584,8 +584,8 @@ def analyze(
     program: AISProgram,
     spec: MachineSpec = AQUACORE_SPEC,
     *,
-    checks: Optional[Sequence[Check]] = None,
-) -> List[Diagnostic]:
+    checks: Sequence[Check] | None = None,
+) -> list[Diagnostic]:
     """Run the fluid-safety analyzer; the library entry point.
 
     Returns diagnostics sorted by program position (then severity), so
@@ -598,7 +598,7 @@ def analyze(
         forward=forward,
         dry_names=_collect_dry_names(program),
     )
-    findings: List[Diagnostic] = []
+    findings: list[Diagnostic] = []
     for check in checks if checks is not None else all_checks():
         findings.extend(check.run(ctx))
     findings.sort(

@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum, unique
 from fractions import Fraction
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..ir.instructions import Instruction, Opcode, Operand
 from ..ir.program import AISProgram
@@ -54,9 +53,9 @@ class Place:
 
     text: str                 # canonical operand text, e.g. "separator1.out1"
     base: str
-    sub: Optional[str]
-    kind: Optional[str]       # spec.component_kind(base); None = unknown name
-    capacity: Optional[Fraction]
+    sub: str | None
+    kind: str | None       # spec.component_kind(base); None = unknown name
+    capacity: Fraction | None
 
     @property
     def is_subport(self) -> bool:
@@ -97,7 +96,7 @@ class Access:
     place: Place
     kind: AccessKind
     before: AbsContent            # abstract content at access time
-    moved: Optional[VolumeInterval] = None
+    moved: VolumeInterval | None = None
     guarded: bool = False
 
     @property
@@ -110,17 +109,17 @@ class ValueFlow:
     """Def-use graph over instruction indices."""
 
     #: producing instruction -> human label ("input s1 (Glucose)").
-    producers: Dict[int, str]
+    producers: dict[int, str]
     #: fluid-flow edges: producing/consuming instruction adjacency.
-    edges: Dict[int, Set[int]]
+    edges: dict[int, set[int]]
     #: sense instructions and product (non-discard) outputs.
-    product_sinks: Set[int]
+    product_sinks: set[int]
     #: codegen discard/excess/residue outputs.
-    waste_sinks: Set[int]
+    waste_sinks: set[int]
 
     def reaches_product(self, index: int) -> bool:
         """Does fluid produced at ``index`` transitively reach a sink?"""
-        seen: Set[int] = set()
+        seen: set[int] = set()
         stack = [index]
         while stack:
             node = stack.pop()
@@ -152,11 +151,11 @@ class ForwardAnalysis:
         self.program = program
         self.spec = spec
         self.least_count = spec.limits.least_count
-        self.accesses: List[Access] = []
-        self.pre_states: List[Dict[str, AbsContent]] = []
+        self.accesses: list[Access] = []
+        self.pre_states: list[dict[str, AbsContent]] = []
         self.flow = ValueFlow({}, {}, set(), set())
         self.state = AbstractState()
-        self._place_cache: Dict[str, Place] = {}
+        self._place_cache: dict[str, Place] = {}
         self._run()
 
     # ------------------------------------------------------------------
@@ -174,7 +173,7 @@ class ForwardAnalysis:
             self._place_cache[text] = cached
         return cached
 
-    def pre_state(self, index: int) -> Dict[str, AbsContent]:
+    def pre_state(self, index: int) -> dict[str, AbsContent]:
         return self.pre_states[index]
 
     @property
@@ -213,12 +212,12 @@ class ForwardAnalysis:
         kind: AccessKind,
         before: AbsContent,
         *,
-        moved: Optional[VolumeInterval] = None,
+        moved: VolumeInterval | None = None,
         guarded: bool = False,
     ) -> None:
         self.accesses.append(Access(index, place, kind, before, moved, guarded))
 
-    def _add_flow(self, sources: FrozenSet[int], target: int) -> None:
+    def _add_flow(self, sources: frozenset[int], target: int) -> None:
         for source in sources:
             self.flow.edges.setdefault(source, set()).add(target)
 
@@ -230,7 +229,7 @@ class ForwardAnalysis:
         return content.kind in (ContentKind.EMPTY, ContentKind.CONSUMED)
 
     def _metered_interval(
-        self, source: AbsContent, abs_volume: Optional[Fraction]
+        self, source: AbsContent, abs_volume: Fraction | None
     ) -> VolumeInterval:
         if abs_volume is not None:
             return VolumeInterval.exact(abs_volume)
@@ -429,4 +428,4 @@ def analyze_forward(program: AISProgram, spec: MachineSpec) -> ForwardAnalysis:
 
 
 # re-exported convenience: which unit kinds exist (used by checks)
-UNIT_KINDS: Tuple[str, ...] = FU_KINDS
+UNIT_KINDS: tuple[str, ...] = FU_KINDS

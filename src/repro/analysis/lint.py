@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..compiler.diagnostics import (
     EXIT_CLEAN,
@@ -46,10 +46,10 @@ class LintReport:
 
     program: str
     machine: str
-    findings: List[Diagnostic] = field(default_factory=list)
+    findings: list[Diagnostic] = field(default_factory=list)
 
     @property
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         return severity_counts(self.findings)
 
     @property
@@ -83,7 +83,7 @@ class LintReport:
         lines.append(summary)
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """The stable v1 report schema shared with ``repro certify``
         (see :func:`repro.compiler.diagnostics.report_payload`)."""
         return report_payload(
@@ -102,7 +102,7 @@ def lint_program(
     program: AISProgram,
     spec: MachineSpec = AQUACORE_SPEC,
     *,
-    checks: Optional[Sequence[Check]] = None,
+    checks: Sequence[Check] | None = None,
 ) -> LintReport:
     """Lint an in-memory program."""
     return LintReport(
@@ -117,7 +117,7 @@ def lint_text(
     spec: MachineSpec = AQUACORE_SPEC,
     *,
     name: str = "program",
-    checks: Optional[Sequence[Check]] = None,
+    checks: Sequence[Check] | None = None,
 ) -> LintReport:
     """Parse an AIS listing and lint it.
 

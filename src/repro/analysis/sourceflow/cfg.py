@@ -1,0 +1,218 @@
+"""Control-flow graph over the *rolled* (source-level) AST.
+
+The unrolled pipeline flattens every FOR/WHILE/IF into straight-line
+AIS before analysing it, so its cost — and its verdict — depends on the
+concrete trip counts.  This module instead builds a conventional CFG
+directly from the checked AST:
+
+* leaf statements accumulate into basic blocks;
+* a FOR/WHILE statement gets a dedicated *head* block with a ``taken``
+  edge into the body and an ``exit`` edge past the loop, plus a back
+  edge from the body's last block to the head;
+* an IF ends the current block (the block's ``branch`` field holds the
+  statement so the engine can prune statically-decided arms) and both
+  arm chains meet again at a join block.
+
+Block ids are assigned in construction order, which is a topological
+order of the acyclic quotient (back edges always point to an older
+block), so iterating blocks by id is a reverse-postorder — the worklist
+engine relies on this for fast convergence.
+
+Every leaf statement also receives a stable integer *statement id*
+(used as the def-site token inside :class:`repro.analysis.state.AbsContent`)
+and a record of its enclosing loops, so the checks can reason about
+"does this definition re-execute?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...lang import ast
+from ...lang.semantic import SymbolTable, analyze
+
+__all__ = ["BasicBlock", "LoopInfo", "SourceCFG", "build_cfg"]
+
+#: statements that sit inside basic blocks (everything except control flow)
+LeafStmt = (
+    ast.FluidDecl,
+    ast.VarDecl,
+    ast.Assign,
+    ast.MixExpr,  # a bare MIX statement (result lands in ``it``)
+    ast.SenseStmt,
+    ast.SeparateStmt,
+    ast.IncubateStmt,
+    ast.ConcentrateStmt,
+    ast.OutputStmt,
+)
+
+
+@dataclass
+class LoopInfo:
+    """One FOR or WHILE loop of the program."""
+
+    kind: str  # "for" | "while"
+    stmt: ast.ForStmt | ast.WhileStmt
+    head: int  # block id of the loop head
+    body_entry: int  # first block of the body (the ``taken`` target)
+    exit: int  # block following the loop (the fall-through target)
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of leaf statements."""
+
+    id: int
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    #: set when this block is a loop head (its successors are then
+    #: exactly ``[body_entry, exit]``).
+    loop: LoopInfo | None = None
+    #: set when this block ends at an IF (successors are then exactly
+    #: ``[then_entry, else_entry]``).
+    branch: ast.IfStmt | None = None
+
+
+@dataclass
+class SourceCFG:
+    """The control-flow graph plus per-statement metadata."""
+
+    program: ast.Program
+    symbols: SymbolTable
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+    loops: list[LoopInfo]
+    #: stable def-site token per leaf statement (keyed by object identity).
+    stmt_ids: dict[int, int]
+    #: leaf statement object per def-site token (inverse of ``stmt_ids``).
+    stmt_by_id: dict[int, ast.Stmt]
+    #: enclosing loops (outermost first) per leaf statement token.
+    enclosing_loops: dict[int, tuple[LoopInfo, ...]]
+    #: whether the statement sits under any IF arm (conditional execution).
+    under_branch: dict[int, bool]
+
+    def stmt_id(self, stmt: ast.Stmt) -> int:
+        return self.stmt_ids[id(stmt)]
+
+    def rpo(self) -> list[int]:
+        """Reverse-postorder over forward edges == construction order."""
+        return [block.id for block in self.blocks]
+
+
+class _Builder:
+    def __init__(self, program: ast.Program, symbols: SymbolTable) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.blocks: list[BasicBlock] = []
+        self.loops: list[LoopInfo] = []
+        self.stmt_ids: dict[int, int] = {}
+        self.stmt_by_id: dict[int, ast.Stmt] = {}
+        self.enclosing_loops: dict[int, tuple[LoopInfo, ...]] = {}
+        self.under_branch: dict[int, bool] = {}
+        self.loop_stack: list[LoopInfo] = []
+        self.branch_depth = 0
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.append(dst)
+        self.blocks[dst].preds.append(src)
+
+    def register(self, stmt: ast.Stmt) -> None:
+        token = len(self.stmt_ids)
+        self.stmt_ids[id(stmt)] = token
+        self.stmt_by_id[token] = stmt
+        self.enclosing_loops[token] = tuple(self.loop_stack)
+        self.under_branch[token] = self.branch_depth > 0
+
+    def build_body(self, body: list[ast.Stmt], current: BasicBlock) -> BasicBlock:
+        """Lower ``body`` starting in ``current``; return the block that
+        control falls out of."""
+        for stmt in body:
+            if isinstance(stmt, LeafStmt):
+                self.register(stmt)
+                current.stmts.append(stmt)
+            elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+                head = self.new_block()
+                self.edge(current.id, head.id)
+                body_entry = self.new_block()
+                kind = "for" if isinstance(stmt, ast.ForStmt) else "while"
+                info = LoopInfo(
+                    kind=kind,
+                    stmt=stmt,
+                    head=head.id,
+                    body_entry=body_entry.id,
+                    exit=-1,  # patched below
+                )
+                head.loop = info
+                self.loops.append(info)
+                # taken edge first: the engine reads succs as [taken, exit]
+                self.edge(head.id, body_entry.id)
+                self.loop_stack.append(info)
+                body_end = self.build_body(stmt.body, body_entry)
+                self.loop_stack.pop()
+                self.edge(body_end.id, head.id)  # back edge
+                info.back_edges.append((body_end.id, head.id))
+                exit_block = self.new_block()
+                info.exit = exit_block.id
+                self.edge(head.id, exit_block.id)
+                current = exit_block
+            elif isinstance(stmt, ast.IfStmt):
+                current.branch = stmt
+                then_entry = self.new_block()
+                self.edge(current.id, then_entry.id)
+                self.branch_depth += 1
+                then_end = self.build_body(stmt.then_body, then_entry)
+                if stmt.else_body:
+                    else_entry = self.new_block()
+                    self.edge(current.id, else_entry.id)
+                    else_end = self.build_body(stmt.else_body, else_entry)
+                else:
+                    # no else: the fall-through arm is an empty block so
+                    # the branch still has exactly two successors
+                    else_entry = self.new_block()
+                    self.edge(current.id, else_entry.id)
+                    else_end = else_entry
+                self.branch_depth -= 1
+                join = self.new_block()
+                self.edge(then_end.id, join.id)
+                self.edge(else_end.id, join.id)
+                current = join
+            else:  # pragma: no cover - parser produces no other nodes
+                raise TypeError(f"unexpected statement {type(stmt).__name__}")
+        return current
+
+    def build(self) -> SourceCFG:
+        entry = self.new_block()
+        last = self.build_body(self.program.body, entry)
+        return SourceCFG(
+            program=self.program,
+            symbols=self.symbols,
+            blocks=self.blocks,
+            entry=entry.id,
+            exit=last.id,
+            loops=self.loops,
+            stmt_ids=self.stmt_ids,
+            stmt_by_id=self.stmt_by_id,
+            enclosing_loops=self.enclosing_loops,
+            under_branch=self.under_branch,
+        )
+
+
+def build_cfg(
+    program: ast.Program, symbols: SymbolTable | None = None
+) -> SourceCFG:
+    """Build the CFG of a checked program.
+
+    ``symbols`` may be passed when semantic analysis already ran (the
+    pass-manager path); otherwise it is derived here.
+    """
+    if symbols is None:
+        symbols = analyze(program)
+    return _Builder(program, symbols).build()

@@ -1,0 +1,312 @@
+"""Abstract domain of the source-level parametric verifier.
+
+Three layers, all with explicit ⊤/⊥, join, widening and narrowing:
+
+* :class:`IntInterval` — dry integers (loop counters, dilution registers,
+  ratios, subscripts) as intervals over ``int`` with ``None`` meaning the
+  respective infinity.  Widening (after the engine's delay) sends a bound
+  that is still moving to its extreme, which is what makes loop-carried
+  registers such as the enzyme assay's ``temp = temp * 10`` converge for
+  *every* trip count.
+* :class:`DryVal` — an interval plus two qualifiers: ``maybe_unset``
+  (absent on some path) and ``runtime`` (holds a sensed value, which the
+  unrolled pipeline cannot evaluate statically).  A name missing from the
+  environment entirely is *definitely* unassigned.
+* fluid cells — reuse :class:`repro.analysis.state.AbsContent` (extended
+  with ``join``/``widen`` for this engine).  Each scalar fluid is one
+  cell with strong updates; a fluid *bank* (``s3(i)`` in the rolled
+  listing, ``Diluted_Inhibitor[4]`` at source level) is **smashed** into
+  one summary cell with weak updates, so the verdict is independent of
+  the bank's extent.  The pseudo-cell ``__it__`` models the ``it``
+  register (strong updates; excluded from single-assignment checks).
+
+⊥ is uniformly represented by *absence*: an unreachable block has no
+state at all, an unbound variable has no entry in ``dry``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..state import AbsContent
+
+__all__ = ["IT_CELL", "IntInterval", "DryVal", "SourceState"]
+
+#: the abstract cell modelling the ``it`` register.
+IT_CELL = "__it__"
+
+Bound = int | None  # None = the infinity of the respective direction
+
+
+def _as_real(bound: Bound, *, sign: int) -> float | int:
+    """Finite bounds stay exact ints; ``None`` becomes ±inf for math."""
+    if bound is None:
+        return math.inf * sign
+    return bound
+
+
+def _as_bound(value: float | int | Fraction) -> Bound:
+    if isinstance(value, float) and math.isinf(value):
+        return None
+    if isinstance(value, Fraction):
+        return math.floor(value)
+    return int(value)
+
+
+@dataclass(frozen=True)
+class IntInterval:
+    """A closed integer interval; ``lo=None`` is -inf, ``hi=None`` +inf.
+
+    The empty interval (⊥) is never materialised — an unreachable value
+    is simply absent from the environment.
+    """
+
+    lo: Bound = None
+    hi: Bound = None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def const(cls, value: int) -> "IntInterval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "IntInterval":
+        return cls(None, None)
+
+    # -- predicates -----------------------------------------------------
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def contains(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        return self.hi is None or value <= self.hi
+
+    def intersects(self, lo: int, hi: int) -> bool:
+        """True when the interval meets the closed range ``[lo, hi]``."""
+        if self.hi is not None and self.hi < lo:
+            return False
+        return self.lo is None or self.lo <= hi
+
+    def within(self, lo: int, hi: int) -> bool:
+        """True when the interval lies entirely inside ``[lo, hi]``."""
+        if self.lo is None or self.lo < lo:
+            return False
+        return self.hi is not None and self.hi <= hi
+
+    # -- arithmetic -----------------------------------------------------
+    def add(self, other: "IntInterval") -> "IntInterval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return IntInterval(lo, hi)
+
+    def sub(self, other: "IntInterval") -> "IntInterval":
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return IntInterval(lo, hi)
+
+    def mul(self, other: "IntInterval") -> "IntInterval":
+        products = []
+        for a in (_as_real(self.lo, sign=-1), _as_real(self.hi, sign=1)):
+            for b in (_as_real(other.lo, sign=-1), _as_real(other.hi, sign=1)):
+                # inf * 0 contributes 0 to the hull (exact for endpoints)
+                products.append(0 if (a == 0 or b == 0) else a * b)
+        return IntInterval(_as_bound(min(products)), _as_bound(max(products)))
+
+    def floordiv(self, other: "IntInterval") -> "IntInterval":
+        """Sound hull of ``self // other`` for a sign-definite divisor;
+        callers handle a divisor straddling zero (→ ⊤) themselves."""
+        if other.contains(0):
+            return IntInterval.top()
+        quotients: list[float | Fraction] = []
+        for a in (_as_real(self.lo, sign=-1), _as_real(self.hi, sign=1)):
+            for b in (_as_real(other.lo, sign=-1), _as_real(other.hi, sign=1)):
+                if isinstance(a, float) and math.isinf(a):
+                    if isinstance(b, float) and math.isinf(b):
+                        quotients.append(math.copysign(math.inf, a * b))
+                    else:
+                        quotients.append(math.copysign(math.inf, a * b))
+                elif isinstance(b, float) and math.isinf(b):
+                    # finite / inf approaches 0 from one side; floor covers it
+                    quotients.append(Fraction(0))
+                else:
+                    quotients.append(Fraction(int(a), int(b)))
+        lo = min(quotients)
+        hi = max(quotients)
+        return IntInterval(
+            None if isinstance(lo, float) else math.floor(lo),
+            None if isinstance(hi, float) else math.floor(hi),
+        )
+
+    def compare(self, op: str, other: "IntInterval") -> bool | None:
+        """Decide ``self op other`` when every concretisation agrees;
+        ``None`` when the verdict depends on the concrete values."""
+        a_lo = _as_real(self.lo, sign=-1)
+        a_hi = _as_real(self.hi, sign=1)
+        b_lo = _as_real(other.lo, sign=-1)
+        b_hi = _as_real(other.hi, sign=1)
+        if op == "<":
+            if a_hi < b_lo:
+                return True
+            if a_lo >= b_hi:
+                return False
+            return None
+        if op == "<=":
+            if a_hi <= b_lo:
+                return True
+            if a_lo > b_hi:
+                return False
+            return None
+        if op == ">":
+            return other.compare("<", self)
+        if op == ">=":
+            return other.compare("<=", self)
+        if op == "==":
+            if self.is_singleton and other.is_singleton and self.lo == other.lo:
+                return True
+            if a_hi < b_lo or b_hi < a_lo:
+                return False
+            return None
+        if op == "!=":
+            verdict = self.compare("==", other)
+            return None if verdict is None else not verdict
+        raise ValueError(f"unknown comparison {op!r}")
+
+    # -- lattice --------------------------------------------------------
+    def join(self, other: "IntInterval") -> "IntInterval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return IntInterval(lo, hi)
+
+    def widen(self, other: "IntInterval") -> "IntInterval":
+        """Widen ``self`` (old) by ``other`` (new), with 0 as the one
+        threshold below (loop counters and dilution registers are almost
+        always nonnegative, and the landing point keeps subscripts
+        checkable)."""
+        lo = self.lo
+        if lo is not None and (other.lo is None or other.lo < lo):
+            lo = 0 if (other.lo is not None and other.lo >= 0) else None
+        hi = self.hi
+        if hi is not None and (other.hi is None or other.hi > hi):
+            hi = None
+        return IntInterval(lo, hi)
+
+    def narrow(self, other: "IntInterval") -> "IntInterval":
+        """Refine bounds that widening sent to infinity from ``other``."""
+        lo = other.lo if self.lo is None else self.lo
+        hi = other.hi if self.hi is None else self.hi
+        if lo is not None and hi is not None and lo > hi:
+            return self
+        return IntInterval(lo, hi)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class DryVal:
+    """Abstract value of one dry variable (or smashed dry array)."""
+
+    value: IntInterval
+    #: unbound on at least one path into the current point.
+    maybe_unset: bool = False
+    #: holds a sensed (run-time) value; not statically evaluable.
+    runtime: bool = False
+
+    def join(self, other: "DryVal") -> "DryVal":
+        return DryVal(
+            self.value.join(other.value),
+            self.maybe_unset or other.maybe_unset,
+            self.runtime or other.runtime,
+        )
+
+    def widen(self, other: "DryVal") -> "DryVal":
+        return DryVal(
+            self.value.widen(other.value),
+            self.maybe_unset or other.maybe_unset,
+            self.runtime or other.runtime,
+        )
+
+    def narrow(self, other: "DryVal") -> "DryVal":
+        return DryVal(
+            self.value.narrow(other.value),
+            self.maybe_unset and other.maybe_unset,
+            self.runtime or other.runtime,
+        )
+
+
+@dataclass
+class SourceState:
+    """One abstract machine state at a CFG program point.
+
+    ``dry`` maps variable names (and smashed dry-array base names) to
+    :class:`DryVal`; a missing name is *definitely* unassigned.  ``cells``
+    maps fluid cell keys to :class:`AbsContent`; a missing cell is
+    definitely EMPTY (never filled).  Unreachable program points carry no
+    state at all (⊥).
+    """
+
+    dry: dict[str, DryVal] = field(default_factory=dict)
+    cells: dict[str, AbsContent] = field(default_factory=dict)
+
+    def copy(self) -> "SourceState":
+        return SourceState(dict(self.dry), dict(self.cells))
+
+    # -- cells ----------------------------------------------------------
+    def cell(self, key: str) -> AbsContent:
+        return self.cells.get(key, AbsContent.empty())
+
+    def set_cell(self, key: str, content: AbsContent) -> None:
+        """Strong update (scalar fluids and the ``it`` register)."""
+        self.cells[key] = content
+
+    def weak_set_cell(self, key: str, content: AbsContent) -> None:
+        """Weak update (summarised banks: the cell may denote any member,
+        so the old contents stay possible)."""
+        self.cells[key] = self.cell(key).join(content)
+
+    # -- lattice --------------------------------------------------------
+    def _merge(self, other: "SourceState", op: str) -> "SourceState":
+        dry: dict[str, DryVal] = {}
+        for name in self.dry.keys() | other.dry.keys():
+            mine = self.dry.get(name)
+            theirs = other.dry.get(name)
+            if mine is None:
+                assert theirs is not None
+                dry[name] = DryVal(theirs.value, True, theirs.runtime)
+            elif theirs is None:
+                dry[name] = DryVal(mine.value, True, mine.runtime)
+            else:
+                dry[name] = getattr(mine, op)(theirs)
+        cells: dict[str, AbsContent] = {}
+        for key in self.cells.keys() | other.cells.keys():
+            cells[key] = getattr(self.cell(key), op)(other.cell(key))
+        return SourceState(dry, cells)
+
+    def join(self, other: "SourceState") -> "SourceState":
+        return self._merge(other, "join")
+
+    def widen(self, other: "SourceState") -> "SourceState":
+        return self._merge(other, "widen")
+
+    def narrow(self, other: "SourceState") -> "SourceState":
+        dry = {
+            name: (
+                val.narrow(other.dry[name]) if name in other.dry else val
+            )
+            for name, val in self.dry.items()
+        }
+        return SourceState(dry, dict(self.cells))

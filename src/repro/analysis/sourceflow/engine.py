@@ -1,0 +1,787 @@
+"""Worklist fixpoint engine of the source-level verifier.
+
+The engine runs a classic interval abstract interpretation over the
+:class:`~repro.analysis.sourceflow.cfg.SourceCFG`:
+
+1. **Fixpoint** — chaotic iteration in reverse-postorder sweeps.  Loop
+   heads join their entry and back-edge states for the first
+   ``WIDEN_DELAY`` sweeps (letting short chains converge exactly), then
+   *widen*, which jumps any still-moving bound to its extreme and
+   guarantees termination for every trip count — including WHILE loops
+   whose bound is only a hint.
+2. **Narrowing** — one descending sweep that refines bounds widening
+   threw to infinity.  A single decreasing iteration from a
+   post-fixpoint stays above the least fixpoint, so soundness is kept.
+3. **Reporting** — a final pass over the *stable* invariants that
+   replays each reachable block once and records :class:`FactLog`
+   entries (reads, defines, ratio/index/bound evaluations…).  Facts are
+   collected only from the converged states, so a diagnostic describes
+   the invariant, not some transient iterate — and the pass runs once
+   per *syntactic* statement, which is what makes source-level lint
+   O(1) in the trip count.
+
+Statically decided branches prune edges: an IF whose condition is
+definite only propagates state into the taken arm, and a FOR that can
+never run contributes ⊥ to its body, so code the unroller would drop is
+not analysed either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...lang import ast
+from ...machine.spec import MachineSpec
+from ..state import AbsContent, VolumeInterval
+from .cfg import BasicBlock, SourceCFG
+from .domain import IT_CELL, DryVal, IntInterval, SourceState
+
+__all__ = ["FactLog", "WIDEN_DELAY", "MAX_SWEEPS", "run_fixpoint"]
+
+#: sweeps of plain joins before widening kicks in at loop heads.
+WIDEN_DELAY = 3
+#: hard ceiling on sweeps — the widened lattice converges in a handful;
+#: hitting this means a bug in the transfer functions, not a big program.
+MAX_SWEEPS = 64
+
+
+# ---------------------------------------------------------------------------
+# facts — everything the checks need, harvested from the converged states
+# ---------------------------------------------------------------------------
+@dataclass
+class CellRead:
+    line: int
+    cell: str
+    display: str
+    pre: AbsContent
+    op: str
+    sink: bool
+
+
+@dataclass
+class CellDefine:
+    line: int
+    cell: str
+    display: str
+    pre: AbsContent
+    token: int
+    op: str
+    summarized: bool
+    #: bank targets only: every subscript is a statically-known constant.
+    singleton_index: bool
+
+
+@dataclass
+class RatioFact:
+    line: int
+    parts: list[IntInterval]
+    no_excess: bool
+    n_operands: int
+
+
+@dataclass
+class IndexFact:
+    line: int
+    base: str
+    dims: tuple[int, ...]
+    indices: list[IntInterval]
+
+
+@dataclass
+class DryReadFact:
+    line: int
+    name: str
+    definite: bool
+
+
+@dataclass
+class RuntimeFact:
+    line: int
+    name: str
+
+
+@dataclass
+class DivFact:
+    line: int
+    definite: bool
+
+
+@dataclass
+class HintFact:
+    line: int
+    definite: bool
+
+
+@dataclass
+class FractionFact:
+    line: int
+    which: str  # "YIELD" | "KEEP"
+    definite: bool
+
+
+@dataclass
+class AuxFact:
+    line: int
+    name: str
+    pre: AbsContent
+
+
+@dataclass
+class AliasFact:
+    line: int
+    display: str
+    definite: bool
+
+
+@dataclass
+class FactLog:
+    """The converged invariants, flattened into checkable facts."""
+
+    reads: list[CellRead] = field(default_factory=list)
+    defines: list[CellDefine] = field(default_factory=list)
+    ratios: list[RatioFact] = field(default_factory=list)
+    indexes: list[IndexFact] = field(default_factory=list)
+    dry_reads: list[DryReadFact] = field(default_factory=list)
+    runtime_uses: list[RuntimeFact] = field(default_factory=list)
+    divisions: list[DivFact] = field(default_factory=list)
+    hints: list[HintFact] = field(default_factory=list)
+    fractions: list[FractionFact] = field(default_factory=list)
+    aux_loads: list[AuxFact] = field(default_factory=list)
+    aliases: list[AliasFact] = field(default_factory=list)
+    #: (line, name): a SENSE result stored into a loop counter.
+    clashes: list[tuple[int, str]] = field(default_factory=list)
+    #: def-site tokens whose fluid (transitively) reached an OUTPUT/SENSE.
+    sunk: set[int] = field(default_factory=set)
+    #: cell -> def-site tokens of reachable definitions.
+    def_sites: dict[str, set[int]] = field(default_factory=dict)
+    #: the program delivers something off-chip / senses something.
+    has_sink: bool = False
+    #: loop head block id -> trip-count interval at the converged state.
+    loop_trips: dict[int, IntInterval] = field(default_factory=dict)
+    #: fixpoint instrumentation.
+    sweeps: int = 0
+    converged: bool = True
+    reachable_blocks: int = 0
+
+
+# ---------------------------------------------------------------------------
+# dry-expression evaluation over the interval domain
+# ---------------------------------------------------------------------------
+class _Eval:
+    """Evaluate a dry expression against one abstract state.
+
+    ``static`` context mirrors :meth:`_Unroller.eval_dry` — an unbound or
+    sensed (run-time) value is an error the unroller would raise.  In
+    ``condition`` context the unroller falls back to a run-time guard
+    instead, so the same situation just yields ⊤ with a taint flag.
+    """
+
+    def __init__(
+        self,
+        state: SourceState,
+        cfg: SourceCFG,
+        facts: FactLog | None,
+        *,
+        context: str = "static",
+    ) -> None:
+        self.state = state
+        self.cfg = cfg
+        self.facts = facts
+        self.condition = context == "condition"
+        self.tainted = False
+
+    def eval(self, expr: ast.Expr, line: int) -> IntInterval:
+        if isinstance(expr, ast.Num):
+            return IntInterval.const(expr.value)
+        if isinstance(expr, ast.Name):
+            return self._read(expr.ident, expr.line or line)
+        if isinstance(expr, ast.Index):
+            indices = [self.eval(index, line) for index in expr.indices]
+            dims = self.cfg.symbols.dims_of(expr.base)
+            if self.facts is not None and dims:
+                self.facts.indexes.append(
+                    IndexFact(expr.line or line, expr.base, dims, indices)
+                )
+            return self._read(expr.base, expr.line or line)
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, line)
+            right = self.eval(expr.right, line)
+            if expr.op == "+":
+                return left.add(right)
+            if expr.op == "-":
+                return left.sub(right)
+            if expr.op == "*":
+                return left.mul(right)
+            if (
+                right.contains(0)
+                and not self.tainted
+                and not self.condition
+                and self.facts is not None
+            ):
+                self.facts.divisions.append(
+                    DivFact(expr.line or line, right.is_singleton)
+                )
+            return left.floordiv(right)
+        if isinstance(expr, ast.Compare):
+            verdict = self.eval(expr.left, line).compare(
+                expr.op, self.eval(expr.right, line)
+            )
+            if self.tainted:
+                verdict = None
+            if verdict is None:
+                return IntInterval(0, 1)
+            return IntInterval.const(int(verdict))
+        # ``it`` is a wet register; semantic analysis rejects it in dry
+        # positions, so a checked AST never reaches this line.
+        self.tainted = True
+        return IntInterval.top()
+
+    def _read(self, name: str, line: int) -> IntInterval:
+        val = self.state.dry.get(name)
+        if val is None:
+            if self.condition:
+                self.tainted = True
+            elif self.facts is not None:
+                self.facts.dry_reads.append(DryReadFact(line, name, True))
+            return IntInterval.top()
+        if val.runtime:
+            self.tainted = True
+            if not self.condition and self.facts is not None:
+                self.facts.runtime_uses.append(RuntimeFact(line, name))
+            return IntInterval.top()
+        if val.maybe_unset:
+            if self.condition:
+                self.tainted = True
+            elif self.facts is not None:
+                self.facts.dry_reads.append(DryReadFact(line, name, False))
+        return val.value
+
+    def verdict(self, expr: ast.Expr, line: int) -> bool | None:
+        """Tri-state truth of a condition: matches the unroller's
+        ``try_eval_dry`` + ``verdict == 0`` protocol."""
+        value = self.eval(expr, line)
+        if self.tainted:
+            return None
+        if value.is_singleton and value.lo == 0:
+            return False
+        if not value.contains(0):
+            return True
+        return None
+
+
+# ---------------------------------------------------------------------------
+# statement transfer functions
+# ---------------------------------------------------------------------------
+@dataclass
+class _Operand:
+    cell: str
+    display: str
+    bank: bool
+    indices: list[IntInterval]
+
+    @property
+    def singleton(self) -> bool:
+        return bool(self.indices) and all(
+            iv.is_singleton for iv in self.indices
+        )
+
+
+class _Transfer:
+    def __init__(
+        self, cfg: SourceCFG, spec: MachineSpec, facts: FactLog | None
+    ) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        self.facts = facts
+        self.capacity = spec.limits.max_capacity
+
+    # -- helpers --------------------------------------------------------
+    def _static(
+        self, state: SourceState, expr: ast.Expr, line: int
+    ) -> IntInterval:
+        return _Eval(state, self.cfg, self.facts).eval(expr, line)
+
+    def resolve(
+        self, state: SourceState, operand: ast.Expr, line: int
+    ) -> _Operand:
+        """Resolve a wet operand to its abstract cell."""
+        if isinstance(operand, ast.ItRef):
+            return _Operand(IT_CELL, "it", False, [])
+        if isinstance(operand, ast.Name):
+            return _Operand(operand.ident, operand.ident, False, [])
+        assert isinstance(operand, ast.Index)
+        evaluator = _Eval(state, self.cfg, self.facts)
+        indices = [evaluator.eval(index, line) for index in operand.indices]
+        dims = self.cfg.symbols.dims_of(operand.base)
+        if self.facts is not None and dims:
+            self.facts.indexes.append(
+                IndexFact(operand.line or line, operand.base, dims, indices)
+            )
+        rendered = ", ".join(
+            str(iv.lo) if iv.is_singleton else "?" for iv in indices
+        )
+        return _Operand(
+            operand.base, f"{operand.base}[{rendered}]", True, indices
+        )
+
+    def read(
+        self,
+        state: SourceState,
+        operand: _Operand,
+        line: int,
+        op: str,
+        *,
+        sink: bool = False,
+    ) -> AbsContent:
+        pre = state.cell(operand.cell)
+        if self.facts is not None:
+            self.facts.reads.append(
+                CellRead(line, operand.cell, operand.display, pre, op, sink)
+            )
+            if sink:
+                self.facts.sunk |= pre.defs
+                self.facts.has_sink = True
+        return pre
+
+    def define(
+        self,
+        state: SourceState,
+        operand: _Operand,
+        line: int,
+        token: int,
+        op: str,
+        content: AbsContent,
+    ) -> None:
+        pre = state.cell(operand.cell)
+        if self.facts is not None:
+            self.facts.defines.append(
+                CellDefine(
+                    line,
+                    operand.cell,
+                    operand.display,
+                    pre,
+                    token,
+                    op,
+                    operand.bank,
+                    operand.bank and operand.singleton,
+                )
+            )
+            self.facts.def_sites.setdefault(operand.cell, set()).add(token)
+        if operand.bank:
+            state.weak_set_cell(operand.cell, content)
+        else:
+            state.set_cell(operand.cell, content)
+
+    # -- statements -----------------------------------------------------
+    def stmt(self, state: SourceState, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.FluidDecl, ast.VarDecl)):
+            return
+        if isinstance(stmt, ast.Assign):
+            self.assign(state, stmt)
+        elif isinstance(stmt, ast.MixExpr):
+            self.mix(state, stmt, owner=stmt, target=None)
+        elif isinstance(stmt, ast.SenseStmt):
+            self.sense(state, stmt)
+        elif isinstance(stmt, ast.SeparateStmt):
+            self.separate(state, stmt)
+        elif isinstance(stmt, (ast.IncubateStmt, ast.ConcentrateStmt)):
+            self.heat(state, stmt)
+        elif isinstance(stmt, ast.OutputStmt):
+            operand = self.resolve(state, stmt.operand, stmt.line)
+            self.read(state, operand, stmt.line, "OUTPUT", sink=True)
+        else:  # pragma: no cover - CFG only feeds leaf statements here
+            raise TypeError(f"unexpected statement {type(stmt).__name__}")
+
+    def assign(self, state: SourceState, stmt: ast.Assign) -> None:
+        if isinstance(stmt.value, ast.MixExpr):
+            self.mix(state, stmt.value, owner=stmt, target=stmt.target)
+            return
+        value = self._static(state, stmt.value, stmt.line)
+        target = stmt.target
+        if isinstance(target, ast.Index):
+            evaluator = _Eval(state, self.cfg, self.facts)
+            indices = [
+                evaluator.eval(index, stmt.line) for index in target.indices
+            ]
+            dims = self.cfg.symbols.dims_of(target.base)
+            if self.facts is not None and dims:
+                self.facts.indexes.append(
+                    IndexFact(stmt.line, target.base, dims, indices)
+                )
+            # smashed dry array: weak update
+            old = state.dry.get(target.base)
+            new = DryVal(value)
+            state.dry[target.base] = new if old is None else old.join(new)
+        else:
+            state.dry[target.ident] = DryVal(value)
+
+    def mix(
+        self,
+        state: SourceState,
+        expr: ast.MixExpr,
+        *,
+        owner: ast.Stmt,
+        target: ast.Target | None,
+    ) -> None:
+        token = self.cfg.stmt_id(owner)
+        operands = [
+            self.resolve(state, operand, expr.line)
+            for operand in expr.operands
+        ]
+        self._alias_facts(expr.line, operands)
+        defs = frozenset([token])
+        for operand in operands:
+            pre = self.read(state, operand, expr.line, "MIX")
+            defs |= pre.defs
+        if expr.ratios is not None:
+            parts = [
+                self._static(state, ratio, expr.line)
+                for ratio in expr.ratios
+            ]
+            bases = {operand.cell for operand in operands}
+            if target is not None:
+                bases.add(
+                    target.ident
+                    if isinstance(target, ast.Name)
+                    else target.base
+                )
+            if self.facts is not None:
+                self.facts.ratios.append(
+                    RatioFact(
+                        expr.line,
+                        parts,
+                        bool(bases & self.cfg.symbols.no_excess),
+                        len(operands),
+                    )
+                )
+        self._static(state, expr.duration, expr.line)
+        content = AbsContent.holding(
+            VolumeInterval.at_most(self.capacity), defs
+        )
+        if target is not None:
+            resolved = self.resolve(state, target, expr.line)
+            self.define(state, resolved, expr.line, token, "MIX", content)
+        elif self.facts is not None:
+            # a bare MIX lands in ``it`` only; record the def site so
+            # dead-fluid reachability still covers it (but the checks
+            # never treat the ``it`` register as single-assignment)
+            self.facts.defines.append(
+                CellDefine(
+                    expr.line, IT_CELL, "it", state.cell(IT_CELL), token,
+                    "MIX", False, False,
+                )
+            )
+            self.facts.def_sites.setdefault(IT_CELL, set()).add(token)
+        state.set_cell(IT_CELL, content)
+
+    def _alias_facts(self, line: int, operands: list[_Operand]) -> None:
+        if self.facts is None:
+            return
+        for i, first in enumerate(operands):
+            for second in operands[i + 1 :]:
+                if first.cell != second.cell:
+                    continue
+                if not first.bank:
+                    # the same scalar (or ``it``) twice: every
+                    # concretisation violates MIX-operand distinctness
+                    self.facts.aliases.append(
+                        AliasFact(line, first.display, True)
+                    )
+                elif (
+                    first.singleton
+                    and second.singleton
+                    and [iv.lo for iv in first.indices]
+                    == [iv.lo for iv in second.indices]
+                ):
+                    self.facts.aliases.append(
+                        AliasFact(line, first.display, True)
+                    )
+                elif all(
+                    b.lo is None
+                    or b.hi is None
+                    or a.intersects(b.lo, b.hi)
+                    for a, b in zip(first.indices, second.indices)
+                ):
+                    self.facts.aliases.append(
+                        AliasFact(line, first.display, False)
+                    )
+
+    def sense(self, state: SourceState, stmt: ast.SenseStmt) -> None:
+        operand = self.resolve(state, stmt.operand, stmt.line)
+        self.read(state, operand, stmt.line, "SENSE", sink=True)
+        target = stmt.target
+        base = target.ident if isinstance(target, ast.Name) else target.base
+        if isinstance(target, ast.Index):
+            evaluator = _Eval(state, self.cfg, self.facts)
+            indices = [
+                evaluator.eval(index, stmt.line) for index in target.indices
+            ]
+            dims = self.cfg.symbols.dims_of(base)
+            if self.facts is not None and dims:
+                self.facts.indexes.append(
+                    IndexFact(stmt.line, base, dims, indices)
+                )
+        if base in self.cfg.symbols.loop_vars and self.facts is not None:
+            self.facts.clashes.append((stmt.line, base))
+        sensed = DryVal(IntInterval.top(), runtime=True)
+        if isinstance(target, ast.Index):
+            old = state.dry.get(base)
+            state.dry[base] = sensed if old is None else old.join(sensed)
+        else:
+            state.dry[base] = sensed
+
+    def separate(self, state: SourceState, stmt: ast.SeparateStmt) -> None:
+        operand = self.resolve(state, stmt.operand, stmt.line)
+        pre = self.read(state, operand, stmt.line, "SEPARATE")
+        token = self.cfg.stmt_id(stmt)
+        if self.facts is not None:
+            for name in (stmt.matrix, stmt.pusher):
+                self.facts.aux_loads.append(
+                    AuxFact(stmt.line, name, state.cell(name))
+                )
+        self._static(state, stmt.duration, stmt.line)
+        if stmt.yield_hint is not None:
+            self._fraction(state, stmt.yield_hint, stmt.line, "YIELD")
+        content = AbsContent.holding(
+            VolumeInterval.at_most(self.capacity),
+            frozenset([token]) | pre.defs,
+        )
+        effluent = _Operand(stmt.effluent, stmt.effluent, False, [])
+        self.define(state, effluent, stmt.line, token, "SEPARATE", content)
+        state.set_cell(IT_CELL, content)
+        state.set_cell(stmt.waste, AbsContent.consumed(frozenset([token])))
+
+    def _fraction(
+        self,
+        state: SourceState,
+        pair: tuple[ast.Expr, ast.Expr],
+        line: int,
+        which: str,
+    ) -> None:
+        numerator = self._static(state, pair[0], line)
+        denominator = self._static(state, pair[1], line)
+        # the unroller demands 0 < numerator <= denominator
+        num_pos = numerator.compare(">", IntInterval.const(0))
+        num_le_den = numerator.compare("<=", denominator)
+        if self.facts is None:
+            return
+        if num_pos is False or num_le_den is False:
+            self.facts.fractions.append(FractionFact(line, which, True))
+        elif num_pos is None or num_le_den is None:
+            self.facts.fractions.append(FractionFact(line, which, False))
+
+    def heat(
+        self,
+        state: SourceState,
+        stmt: ast.IncubateStmt | ast.ConcentrateStmt,
+    ) -> None:
+        is_concentrate = isinstance(stmt, ast.ConcentrateStmt)
+        op = "CONCENTRATE" if is_concentrate else "INCUBATE"
+        operand = self.resolve(state, stmt.operand, stmt.line)
+        pre = self.read(state, operand, stmt.line, op)
+        self._static(state, stmt.temperature, stmt.line)
+        self._static(state, stmt.duration, stmt.line)
+        if is_concentrate and stmt.keep is not None:
+            self._fraction(state, stmt.keep, stmt.line, "KEEP")
+        token = self.cfg.stmt_id(stmt)
+        content = AbsContent.holding(
+            VolumeInterval.at_most(self.capacity),
+            frozenset([token]) | pre.defs,
+        )
+        if self.facts is not None:
+            self.facts.defines.append(
+                CellDefine(
+                    stmt.line, IT_CELL, "it", state.cell(IT_CELL), token,
+                    op, False, False,
+                )
+            )
+            self.facts.def_sites.setdefault(IT_CELL, set()).add(token)
+        state.set_cell(IT_CELL, content)
+
+
+# ---------------------------------------------------------------------------
+# the fixpoint engine
+# ---------------------------------------------------------------------------
+class _Engine:
+    def __init__(self, cfg: SourceCFG, spec: MachineSpec) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        #: edge (src, dst) -> state flowing along it (absent = ⊥).
+        self.edge_states: dict[tuple[int, int], SourceState] = {}
+        self.in_states: dict[int, SourceState] = {}
+        self.visits: dict[int, int] = {}
+
+    # -- state plumbing -------------------------------------------------
+    def block_in(self, block: BasicBlock) -> SourceState | None:
+        state: SourceState | None = None
+        if block.id == self.cfg.entry:
+            state = SourceState()
+        for pred in block.preds:
+            incoming = self.edge_states.get((pred, block.id))
+            if incoming is None:
+                continue
+            state = incoming.copy() if state is None else state.join(incoming)
+        return state
+
+    def apply_out(self, block: BasicBlock, state: SourceState) -> None:
+        for edge, out in self.flow_out(block, state, None).items():
+            if out is None:
+                self.edge_states.pop(edge, None)
+            else:
+                self.edge_states[edge] = out
+
+    def flow_out(
+        self,
+        block: BasicBlock,
+        state: SourceState,
+        facts: FactLog | None,
+    ) -> dict[tuple[int, int], SourceState | None]:
+        """Run the block's statements and compute per-edge out states."""
+        transfer = _Transfer(self.cfg, self.spec, facts)
+        post = state.copy()
+        for stmt in block.stmts:
+            transfer.stmt(post, stmt)
+        edges: dict[tuple[int, int], SourceState | None] = {}
+        if block.loop is not None:
+            taken, fallthrough = self.loop_edges(block, post, facts)
+            edges[(block.id, block.loop.body_entry)] = taken
+            edges[(block.id, block.loop.exit)] = fallthrough
+        elif block.branch is not None:
+            then_id, else_id = block.succs
+            evaluator = _Eval(post, self.cfg, None, context="condition")
+            verdict = evaluator.verdict(
+                block.branch.condition, block.branch.line
+            )
+            edges[(block.id, then_id)] = (
+                None if verdict is False else post.copy()
+            )
+            edges[(block.id, else_id)] = (
+                None if verdict is True else post.copy()
+            )
+        else:
+            for succ in block.succs:
+                edges[(block.id, succ)] = post.copy()
+        return edges
+
+    def loop_edges(
+        self,
+        block: BasicBlock,
+        state: SourceState,
+        facts: FactLog | None,
+    ) -> tuple[SourceState | None, SourceState | None]:
+        info = block.loop
+        assert info is not None
+        if info.kind == "for":
+            stmt = info.stmt
+            assert isinstance(stmt, ast.ForStmt)
+            evaluator = _Eval(state, self.cfg, facts)
+            start = evaluator.eval(stmt.start, stmt.line)
+            stop = evaluator.eval(stmt.stop, stmt.line)
+            runs = start.compare("<=", stop)
+            trips_lo = 0
+            if runs is True and start.hi is not None and stop.lo is not None:
+                trips_lo = max(0, stop.lo - start.hi + 1)
+            trips_hi: int | None = None
+            if start.lo is not None and stop.hi is not None:
+                trips_hi = max(0, stop.hi - start.lo + 1)
+            if facts is not None:
+                facts.loop_trips[block.id] = IntInterval(trips_lo, trips_hi)
+            taken: SourceState | None = None
+            if runs is not False and (trips_hi is None or trips_hi > 0):
+                taken = state.copy()
+                # the counter stays inside [start.lo, stop.hi] on every
+                # iteration — a flat abstraction that needs no widening
+                taken.dry[stmt.var] = DryVal(IntInterval(start.lo, stop.hi))
+            fallthrough = state.copy()
+            if runs is not False:
+                final = DryVal(IntInterval(start.lo, stop.hi))
+                prev = fallthrough.dry.get(stmt.var)
+                if trips_lo >= 1:
+                    fallthrough.dry[stmt.var] = final
+                elif prev is None:
+                    fallthrough.dry[stmt.var] = DryVal(
+                        final.value, maybe_unset=True
+                    )
+                else:
+                    fallthrough.dry[stmt.var] = prev.join(final)
+            return taken, fallthrough
+        stmt = info.stmt
+        assert isinstance(stmt, ast.WhileStmt)
+        evaluator = _Eval(state, self.cfg, facts)
+        hint = evaluator.eval(stmt.hint, stmt.line)
+        if facts is not None:
+            definite_neg = hint.hi is not None and hint.hi < 0
+            if definite_neg or hint.lo is None or hint.lo < 0:
+                facts.hints.append(HintFact(stmt.line, definite_neg))
+        condition = _Eval(state, self.cfg, None, context="condition")
+        verdict = condition.verdict(stmt.condition, stmt.line)
+        no_trips = hint.hi is not None and hint.hi <= 0
+        taken = None
+        if verdict is not False and not no_trips:
+            taken = state.copy()
+        if facts is not None:
+            trips_lo = 0
+            if verdict is True and hint.lo is not None:
+                trips_lo = max(0, hint.lo)
+            facts.loop_trips[block.id] = IntInterval(
+                trips_lo, None if hint.hi is None else max(0, hint.hi)
+            )
+        return taken, state.copy()
+
+    # -- driver ---------------------------------------------------------
+    def run(self) -> FactLog:
+        facts = FactLog()
+        sweeps = 0
+        changed = True
+        while changed and sweeps < MAX_SWEEPS:
+            sweeps += 1
+            changed = False
+            for block in self.cfg.blocks:
+                new_in = self.block_in(block)
+                if new_in is None:
+                    continue
+                old_in = self.in_states.get(block.id)
+                if block.loop is not None and old_in is not None:
+                    self.visits[block.id] = self.visits.get(block.id, 0) + 1
+                    if self.visits[block.id] > WIDEN_DELAY:
+                        new_in = old_in.widen(new_in)
+                    else:
+                        new_in = old_in.join(new_in)
+                if old_in is not None and new_in == old_in:
+                    continue
+                changed = True
+                self.in_states[block.id] = new_in
+                self.apply_out(block, new_in)
+        facts.converged = not changed
+        facts.sweeps = sweeps
+
+        # one descending sweep: loop heads narrow their widened invariant
+        # against a fresh join of the converged predecessor states, and
+        # the refinement propagates forward through the sweep
+        for block in self.cfg.blocks:
+            fresh = self.block_in(block)
+            if fresh is None:
+                self.in_states.pop(block.id, None)
+                continue
+            stable = self.in_states.get(block.id)
+            if block.loop is not None and stable is not None:
+                refined = stable.narrow(fresh)
+            else:
+                refined = fresh
+            self.in_states[block.id] = refined
+            self.apply_out(block, refined)
+
+        # reporting pass: replay every reachable block once against its
+        # converged in-state, recording facts
+        for block in self.cfg.blocks:
+            state = self.in_states.get(block.id)
+            if state is None:
+                continue
+            facts.reachable_blocks += 1
+            self.flow_out(block, state, facts)
+        return facts
+
+
+def run_fixpoint(cfg: SourceCFG, spec: MachineSpec) -> FactLog:
+    """Iterate the CFG to a post-fixpoint and harvest the facts."""
+    return _Engine(cfg, spec).run()

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum, unique
 from fractions import Fraction
-from typing import Dict, FrozenSet, Optional
 
 __all__ = ["VolumeInterval", "ContentKind", "AbsContent", "AbstractState"]
 
@@ -37,7 +36,7 @@ class VolumeInterval:
     """A closed interval of possible volumes; ``hi=None`` is unbounded."""
 
     lo: Fraction = Fraction(0)
-    hi: Optional[Fraction] = None
+    hi: Fraction | None = None
 
     @classmethod
     def exact(cls, volume: Fraction) -> "VolumeInterval":
@@ -75,13 +74,40 @@ class VolumeInterval:
             self.lo * factor, None if self.hi is None else self.hi * factor
         )
 
-    def clamped(self, capacity: Optional[Fraction]) -> "VolumeInterval":
+    def clamped(self, capacity: Fraction | None) -> "VolumeInterval":
         """Cap the upper bound at a physical capacity (a container can
         never actually hold more; overflow is reported separately)."""
         if capacity is None:
             return self
         hi = capacity if self.hi is None else min(self.hi, capacity)
         return VolumeInterval(min(self.lo, capacity), hi)
+
+    # ------------------------------------------------------------------
+    # lattice operators (used by the source-level fixpoint engine,
+    # repro.analysis.sourceflow; ⊥ is represented by absence of state)
+    # ------------------------------------------------------------------
+    def join(self, other: "VolumeInterval") -> "VolumeInterval":
+        """Least upper bound: the interval hull of the two operands."""
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return VolumeInterval(min(self.lo, other.lo), hi)
+
+    def widen(self, other: "VolumeInterval") -> "VolumeInterval":
+        """Standard interval widening of ``self`` (old) by ``other`` (new):
+        any bound still moving jumps to its extreme (0 below — volumes are
+        nonnegative — and unbounded above), guaranteeing the ascending
+        chain stabilises."""
+        lo = self.lo if other.lo >= self.lo else Fraction(0)
+        hi = self.hi
+        if hi is not None and (other.hi is None or other.hi > hi):
+            hi = None
+        return VolumeInterval(lo, hi)
+
+    def narrow(self, other: "VolumeInterval") -> "VolumeInterval":
+        """One narrowing step: recover bounds that widening threw away
+        (only bounds at their extreme are refined from ``other``)."""
+        lo = other.lo if self.lo == Fraction(0) else self.lo
+        hi = other.hi if self.hi is None else self.hi
+        return VolumeInterval(lo, hi)
 
     def __str__(self) -> str:
         hi = "inf" if self.hi is None else f"{float(self.hi):g}"
@@ -104,14 +130,14 @@ class AbsContent:
     volume: VolumeInterval = field(default_factory=VolumeInterval.zero)
     #: indices of the instructions whose fluid contributed to the contents
     #: (the def sites of the value-flow graph).
-    defs: FrozenSet[int] = frozenset()
+    defs: frozenset[int] = frozenset()
 
     @classmethod
     def empty(cls) -> "AbsContent":
         return cls(ContentKind.EMPTY, VolumeInterval.zero())
 
     @classmethod
-    def consumed(cls, defs: FrozenSet[int] = frozenset()) -> "AbsContent":
+    def consumed(cls, defs: frozenset[int] = frozenset()) -> "AbsContent":
         return cls(ContentKind.CONSUMED, VolumeInterval.zero(), defs)
 
     @classmethod
@@ -120,7 +146,7 @@ class AbsContent:
 
     @classmethod
     def holding(
-        cls, volume: VolumeInterval, defs: FrozenSet[int] = frozenset()
+        cls, volume: VolumeInterval, defs: frozenset[int] = frozenset()
     ) -> "AbsContent":
         return cls(ContentKind.HOLDS, volume, defs)
 
@@ -131,9 +157,9 @@ class AbsContent:
     def deposit(
         self,
         moved: VolumeInterval,
-        defs: FrozenSet[int],
+        defs: frozenset[int],
         *,
-        capacity: Optional[Fraction] = None,
+        capacity: Fraction | None = None,
         replace_contents: bool = False,
     ) -> "AbsContent":
         """The post-state of depositing ``moved`` into this location.
@@ -154,14 +180,35 @@ class AbsContent:
             return self
         return replace(self, volume=self.volume.subtract(moved))
 
+    # ------------------------------------------------------------------
+    # lattice operators.  ``UNKNOWN`` doubles as ⊤ (two disagreeing
+    # definite states join to it); ⊥ is represented by absence of state
+    # in the source-level environment (an unreachable location).
+    # ------------------------------------------------------------------
+    def join(self, other: "AbsContent") -> "AbsContent":
+        """Least upper bound.  Def sites are provenance metadata and
+        accumulate monotonically even through ⊤."""
+        kind = self.kind if self.kind is other.kind else ContentKind.UNKNOWN
+        return AbsContent(
+            kind, self.volume.join(other.volume), self.defs | other.defs
+        )
+
+    def widen(self, other: "AbsContent") -> "AbsContent":
+        """Widening of ``self`` (old) by ``other`` (new): the content
+        lattice is finite so only the volume interval needs widening."""
+        kind = self.kind if self.kind is other.kind else ContentKind.UNKNOWN
+        return AbsContent(
+            kind, self.volume.widen(other.volume), self.defs | other.defs
+        )
+
 
 class AbstractState:
     """Per-location abstract contents plus the dry register file."""
 
     def __init__(self) -> None:
-        self._locations: Dict[str, AbsContent] = {}
+        self._locations: dict[str, AbsContent] = {}
         #: dry register / sense-result names defined so far.
-        self.dry_defined: Dict[str, int] = {}
+        self.dry_defined: dict[str, int] = {}
 
     def get(self, location: str) -> AbsContent:
         return self._locations.get(location, AbsContent.empty())
@@ -169,10 +216,10 @@ class AbstractState:
     def set(self, location: str, content: AbsContent) -> None:
         self._locations[location] = content
 
-    def locations(self) -> Dict[str, AbsContent]:
+    def locations(self) -> dict[str, AbsContent]:
         return dict(self._locations)
 
-    def snapshot(self) -> Dict[str, AbsContent]:
+    def snapshot(self) -> dict[str, AbsContent]:
         return dict(self._locations)
 
     def define_dry(self, name: str, index: int) -> None:

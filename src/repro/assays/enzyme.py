@@ -27,7 +27,6 @@ combination mixes.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List
 
 from ..core.dag import AssayDAG
 
@@ -86,7 +85,7 @@ END
 REAGENTS = ("inhibitor", "enzyme", "substrate")
 
 
-def dilution_ratios(n_dilutions: int) -> List[int]:
+def dilution_ratios(n_dilutions: int) -> list[int]:
     """Diluent parts of the serial dilutions: 1, 9, 99, 999, ...
 
     (``inhibitor_diluent`` starts at 1, so the first mix is 1:1; ``temp``

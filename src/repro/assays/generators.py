@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
-from typing import List, Optional
 
 from ..core.dag import AssayDAG, NodeKind
 from . import enzyme
@@ -34,7 +33,7 @@ def enzyme_n(n_dilutions: int) -> AssayDAG:
 
 
 def serial_dilution(
-    steps: int, factor: int = 10, *, name: Optional[str] = None
+    steps: int, factor: int = 10, *, name: str | None = None
 ) -> AssayDAG:
     """A classic serial-dilution ladder: each stage dilutes the previous
     concentrate ``1:(factor-1)`` and is also sensed (used twice)."""
@@ -53,7 +52,7 @@ def serial_dilution(
     return dag
 
 
-def binary_mix_tree(depth: int, *, name: Optional[str] = None) -> AssayDAG:
+def binary_mix_tree(depth: int, *, name: str | None = None) -> AssayDAG:
     """A complete binary tree of 1:1 mixes over ``2**depth`` inputs."""
     if depth < 1:
         raise ValueError("depth must be >= 1")
@@ -63,7 +62,7 @@ def binary_mix_tree(depth: int, *, name: Optional[str] = None) -> AssayDAG:
     ]
     counter = 0
     while len(level) > 1:
-        next_level: List[str] = []
+        next_level: list[str] = []
         for left, right in zip(level[::2], level[1::2]):
             counter += 1
             node = dag.add_mix(f"m{counter}", {left: 1, right: 1})
@@ -74,7 +73,7 @@ def binary_mix_tree(depth: int, *, name: Optional[str] = None) -> AssayDAG:
 
 
 def fanout_chain(
-    uses: int, chain: int = 2, *, name: Optional[str] = None
+    uses: int, chain: int = 2, *, name: str | None = None
 ) -> AssayDAG:
     """One stock fluid mixed with ``uses`` distinct reagents, each result
     pushed through a short unary chain — a 'numerous uses' stress shape."""
@@ -101,7 +100,7 @@ def layered_random_dag(
     seed: int,
     max_ratio: int = 20,
     separator_probability: float = 0.0,
-    name: Optional[str] = None,
+    name: str | None = None,
 ) -> AssayDAG:
     """A random layered assay DAG with integer mix ratios.
 
@@ -117,7 +116,7 @@ def layered_random_dag(
     pool = [dag.add_input(f"in{i}").id for i in range(n_inputs)]
     counter = 0
     for layer in range(n_layers):
-        new_ids: List[str] = []
+        new_ids: list[str] = []
         for slot in range(layer_width):
             counter += 1
             node_id = f"n{layer}_{slot}"

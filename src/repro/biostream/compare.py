@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List
 
 from ..core.dag import AssayDAG, NodeKind
 from ..core.limits import Number, as_fraction
@@ -35,7 +34,7 @@ class AssayMixCost:
     #: unit volumes of working fluid discarded by excess production
     discarded_units: int = 0
     #: per-node breakdown: node id -> (mixes, discarded)
-    per_node: Dict[str, tuple] = field(default_factory=dict)
+    per_node: dict[str, tuple] = field(default_factory=dict)
     #: worst relative concentration error introduced by approximation
     worst_error: Fraction = Fraction(0)
 
@@ -61,7 +60,7 @@ def ais_mix_cost(dag: AssayDAG) -> AssayMixCost:
     excess nodes."""
     mixes = 0
     discarded = 0
-    per_node: Dict[str, tuple] = {}
+    per_node: dict[str, tuple] = {}
     for node, __ in _mix_nodes(dag):
         mixes += 1
         node_discard = 1 if node.excess_fraction > 0 else 0
@@ -91,7 +90,7 @@ def biostream_mix_cost(
     total_mixes = 0
     total_discarded = 0
     worst_error = Fraction(0)
-    per_node: Dict[str, tuple] = {}
+    per_node: dict[str, tuple] = {}
     for node, inbound in _mix_nodes(dag):
         node_mixes = 0
         node_discarded = 0

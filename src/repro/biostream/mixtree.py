@@ -20,7 +20,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Tuple
 
 from ..core.limits import Number, as_fraction
 
@@ -47,7 +46,7 @@ class OneToOnePlan:
 
     target: Fraction
     achieved: Fraction
-    steps: Tuple[MixStep, ...]
+    steps: tuple[MixStep, ...]
 
     @property
     def mix_count(self) -> int:
@@ -119,7 +118,7 @@ def one_to_one_plan(target: Number, bits: int) -> OneToOnePlan:
     # are no-ops and are skipped, so dilute targets cost ~log2(1/c) mixes.
     first_one = bit_list.index(1)
     concentration = Fraction(0)
-    steps: List[MixStep] = []
+    steps: list[MixStep] = []
     for index in range(first_one, bits):
         bit = bit_list[index]
         concentration = (concentration + bit) / 2

@@ -14,8 +14,9 @@ Usage (also via ``python -m repro``)::
         [--cache-dir DIR] [--stats-json PATH]       # batch pipeline with
                                                     # content-addressed cache
     python -m repro lint     program.ais            # fluid-safety analysis
-        [--json] [--assay]                          # JSON report; lint an
-                                                    # assay source instead
+        [--json] [--assay] [--source]               # JSON report; lint an
+                                                    # assay source / verify
+                                                    # the rolled program
     python -m repro certify  program.ais            # plan-certificate verifier
         [--json] [--assay] [--topology {bus,ring}]  # translation validation +
                                                     # schedule interference
@@ -38,7 +39,7 @@ import dataclasses
 import os
 import sys
 from fractions import Fraction
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .compiler.passes import (
     CompileContext,
@@ -65,7 +66,7 @@ MACHINES = {"aquacore": AQUACORE_SPEC, "aquacore-xl": AQUACORE_XL_SPEC}
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return handle.read()
 
 
@@ -125,8 +126,9 @@ class Invocation:
         *,
         lint: bool = False,
         certify: bool = False,
+        source_lint: bool = False,
         cache=None,
-        bus: Optional[PassEventBus] = None,
+        bus: PassEventBus | None = None,
     ) -> CompileContext:
         """Full compile through the pass manager; returns the context."""
         return run_compile(
@@ -135,12 +137,13 @@ class Invocation:
             manager=self.manager(),
             lint=lint,
             certify=certify,
+            source_lint=source_lint,
             cache=cache,
             bus=bus,
         )
 
 
-def _invocation(args, path: Optional[str] = None) -> Invocation:
+def _invocation(args, path: str | None = None) -> Invocation:
     """Build the shared front-end preamble from parsed CLI args."""
     file_path = path if path is not None else args.file
     return Invocation(
@@ -263,6 +266,7 @@ def cmd_compile(args) -> int:
     ctx = inv.compile(
         lint=args.lint,
         certify=args.certify,
+        source_lint=args.source_lint,
         cache=_plan_cache(args),
         bus=bus,
     )
@@ -301,6 +305,8 @@ def _cmd_compile_batch(args) -> int:
 
     if args.rolled:
         raise SystemExit("--rolled is not available in batch mode")
+    if args.source_lint:
+        raise SystemExit("--source-lint is not available in batch mode")
     spec = _spec(args)
     jobs = []
     for path in args.files:
@@ -382,7 +388,11 @@ def cmd_lint(args) -> int:
 
     inv = _invocation(args)
     spec = inv.spec
-    if args.assay:
+    if args.source:
+        from .analysis import verify_source
+
+        report = verify_source(inv.source, spec, name=inv.default_name)
+    elif args.assay:
         compiled = inv.compile().compiled
         report = lint_program(compiled.program, spec)
     else:
@@ -559,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the plan-certificate verifier on the same compile",
     )
     p_compile.add_argument(
+        "--source-lint",
+        action="store_true",
+        help="run the source-level parametric verifier (fixpoint over the "
+        "rolled program) before unrolling",
+    )
+    p_compile.add_argument(
         "--batch",
         action="store_true",
         help="batch pipeline: fingerprint, dedupe, and cache every file "
@@ -623,6 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat the input as assay source: compile it, then lint "
         "the generated program",
+    )
+    p_lint.add_argument(
+        "--source",
+        action="store_true",
+        help="treat the input as assay source and verify the *rolled* "
+        "program: one fixpoint whose SRC-* verdicts hold for every "
+        "loop bound (no unrolling, no compile)",
     )
     p_lint.set_defaults(handler=cmd_lint)
 
@@ -713,7 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

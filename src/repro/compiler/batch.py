@@ -29,7 +29,8 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any
+from collections.abc import Mapping, Sequence
 
 from ..core.dag import AssayDAG
 from ..core.errors import VolumeError
@@ -55,8 +56,8 @@ class BatchJob:
     """One unit of batch work: assay source text or a prebuilt DAG."""
 
     name: str
-    source: Optional[str] = None
-    dag: Optional[AssayDAG] = None
+    source: str | None = None
+    dag: AssayDAG | None = None
     aux_fluids: Sequence[str] = ()
 
     def __post_init__(self) -> None:
@@ -75,16 +76,16 @@ class BatchItemResult:
     #: "deduped" (identical fingerprint compiled earlier in this batch),
     #: "failed" (frontend or compile error).
     status: str
-    fingerprint: Optional[str] = None
+    fingerprint: str | None = None
     elapsed_s: float = 0.0
-    plan_status: Optional[str] = None
+    plan_status: str | None = None
     cacheable: bool = True
     errors: int = 0
     warnings: int = 0
-    certified_clean: Optional[bool] = None
+    certified_clean: bool | None = None
     detail: str = ""
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "status": self.status,
@@ -103,10 +104,10 @@ class BatchItemResult:
 class BatchReport:
     """Everything one :func:`compile_many` run produced."""
 
-    results: List[BatchItemResult] = field(default_factory=list)
+    results: list[BatchItemResult] = field(default_factory=list)
     workers: int = 1
     wall_s: float = 0.0
-    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    cache_stats: dict[str, Any] = field(default_factory=dict)
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.results if r.status == status)
@@ -137,7 +138,7 @@ class BatchReport:
         done = len(self.results) - self.failed
         return done / self.wall_s if self.wall_s > 0 else 0.0
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         elapsed = [r.elapsed_s for r in self.results] or [0.0]
         return {
             "jobs": len(self.results),
@@ -184,12 +185,12 @@ class BatchReport:
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-def _severity_counts(diagnostics) -> Dict[str, int]:
+def _severity_counts(diagnostics) -> dict[str, int]:
     """Error/warning tallies via the shared severity table."""
     return severity_counts(diagnostics.items)
 
 
-def _compile_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _compile_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Compile one serialized job; runs in a worker process (or inline).
 
     The payload carries the already-built DAG in serde form, so workers
@@ -226,7 +227,7 @@ def _compile_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         except SerdeError:
             cacheable = False
     counts = _severity_counts(compiled.diagnostics)
-    certified_clean: Optional[bool] = None
+    certified_clean: bool | None = None
     if payload["certify"]:
         certified_clean = not any(
             item.code.startswith(("PLAN-", "SCHED-"))
@@ -256,7 +257,7 @@ def _frontend(job: BatchJob):
 
 
 def _result_from_summary(
-    name: str, status: str, fingerprint: str, summary: Dict[str, Any]
+    name: str, status: str, fingerprint: str, summary: dict[str, Any]
 ) -> BatchItemResult:
     return BatchItemResult(
         name=name,
@@ -283,12 +284,12 @@ def compile_many(
     jobs: Sequence[BatchJob],
     *,
     spec: MachineSpec = AQUACORE_SPEC,
-    manager_options: Optional[Mapping[str, object]] = None,
-    cache: Optional[PlanCache] = None,
+    manager_options: Mapping[str, object] | None = None,
+    cache: PlanCache | None = None,
     max_workers: int = 1,
     lint: bool = False,
     certify: bool = False,
-    materialize_hits: Optional[bool] = None,
+    materialize_hits: bool | None = None,
 ) -> BatchReport:
     """Compile a fleet of assays with dedupe, caching, and fan-out.
 
@@ -326,14 +327,14 @@ def compile_many(
     ).options_dict()
     started = time.perf_counter()
 
-    results: List[Optional[BatchItemResult]] = [None] * len(jobs)
+    results: list[BatchItemResult | None] = [None] * len(jobs)
     #: fingerprint -> list of (job index, name); first entry compiles.
-    pending: "Dict[str, List[int]]" = {}
-    payloads: Dict[str, Dict[str, Any]] = {}
+    pending: "dict[str, list[int]]" = {}
+    payloads: dict[str, dict[str, Any]] = {}
 
     for index, job in enumerate(jobs):
         item_started = time.perf_counter()
-        src_fp: Optional[str] = None
+        src_fp: str | None = None
         if job.source is not None:
             src_fp = source_fingerprint(job.source, spec, options)
             if not materialize_hits:
@@ -444,13 +445,13 @@ def _serve_hit(
     aux_fluids,
     fingerprint: str,
     spec: MachineSpec,
-    options: Dict[str, object],
+    options: dict[str, object],
     cache: PlanCache,
     lint: bool,
     certify: bool,
     materialize: bool,
     item_started: float,
-) -> Optional[BatchItemResult]:
+) -> BatchItemResult | None:
     """Serve one warm job; returns None if the entry turned out unusable
     (caller then treats the job as cold)."""
     if not materialize:
@@ -487,7 +488,7 @@ def _serve_hit(
             detail=str(error),
         )
     counts = _severity_counts(compiled.diagnostics)
-    certified_clean: Optional[bool] = None
+    certified_clean: bool | None = None
     if certify:
         certified_clean = not any(
             item.code.startswith(("PLAN-", "SCHED-"))

@@ -38,7 +38,7 @@ import os
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any
 
 from ..core.dagsolve import VnormResult, VolumeAssignment
 from ..core.fingerprint import plan_key, source_key, vnorm_key
@@ -74,7 +74,7 @@ class CacheStats:
     disk_hits: int = 0
     uncacheable: int = 0
     #: per-namespace hit/miss counts, e.g. {"plan": [3, 1], "vnorms": ...}
-    by_namespace: Dict[str, list] = field(default_factory=dict)
+    by_namespace: dict[str, list] = field(default_factory=dict)
 
     def _bucket(self, key: str) -> list:
         namespace = key.split("-", 1)[0]
@@ -95,7 +95,7 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -124,23 +124,23 @@ class PlanCache:
     def __init__(
         self,
         max_entries: int = 512,
-        directory: Optional[str] = None,
+        directory: str | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.directory = directory
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memory: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
         #: live VnormResult objects alongside their serde dicts, so
         #: in-process memo hits skip Fraction re-parsing.  Treated as
         #: read-only by every consumer (dispense never mutates vnorms).
-        self._vnorm_objects: Dict[str, VnormResult] = {}
+        self._vnorm_objects: dict[str, VnormResult] = {}
 
     # ------------------------------------------------------------------
     # generic keyed store
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str) -> dict[str, Any] | None:
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
@@ -154,7 +154,7 @@ class PlanCache:
         self.stats.record_miss(key)
         return None
 
-    def put(self, key: str, entry: Dict[str, Any]) -> None:
+    def put(self, key: str, entry: dict[str, Any]) -> None:
         self._remember(key, entry)
         self._disk_write(key, entry)
         self.stats.puts += 1
@@ -174,7 +174,7 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _remember(self, key: str, entry: Dict[str, Any]) -> None:
+    def _remember(self, key: str, entry: dict[str, Any]) -> None:
         self._memory[key] = entry
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
@@ -185,17 +185,17 @@ class PlanCache:
     # ------------------------------------------------------------------
     # disk level
     # ------------------------------------------------------------------
-    def _disk_path(self, key: str) -> Optional[str]:
+    def _disk_path(self, key: str) -> str | None:
         if self.directory is None:
             return None
         return os.path.join(self.directory, f"{key}.json")
 
-    def _disk_read(self, key: str) -> Optional[Dict[str, Any]]:
+    def _disk_read(self, key: str) -> dict[str, Any] | None:
         path = self._disk_path(key)
         if path is None:
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
             return None
@@ -203,7 +203,7 @@ class PlanCache:
             return None
         return entry
 
-    def _disk_write(self, key: str, entry: Dict[str, Any]) -> None:
+    def _disk_write(self, key: str, entry: dict[str, Any]) -> None:
         path = self._disk_path(key)
         if path is None:
             return
@@ -229,7 +229,7 @@ class PlanCache:
     # ------------------------------------------------------------------
     def get_plan(
         self, fingerprint: str
-    ) -> Optional[Tuple[VolumePlan, Optional[VolumeAssignment]]]:
+    ) -> tuple[VolumePlan, VolumeAssignment | None] | None:
         """Decode a cached plan; the rounded assignment shares its DAG."""
         entry = self.get(plan_key(fingerprint))
         if entry is None:
@@ -243,7 +243,7 @@ class PlanCache:
         self,
         fingerprint: str,
         plan: VolumePlan,
-        rounded: Optional[VolumeAssignment],
+        rounded: VolumeAssignment | None,
     ) -> bool:
         """Store a compiled plan; returns False when it is uncacheable."""
         try:
@@ -281,7 +281,7 @@ class PlanCache:
     # ------------------------------------------------------------------
     # source fast-key namespace
     # ------------------------------------------------------------------
-    def get_source_fingerprint(self, src_fingerprint: str) -> Optional[str]:
+    def get_source_fingerprint(self, src_fingerprint: str) -> str | None:
         entry = self.get(source_key(src_fingerprint))
         if entry is None:
             return None
@@ -302,15 +302,15 @@ class PlanCache:
 # ---------------------------------------------------------------------------
 def entry_from_plan(
     plan: VolumePlan,
-    rounded: Optional[VolumeAssignment],
-    fingerprint: Optional[str] = None,
-) -> Dict[str, Any]:
+    rounded: VolumeAssignment | None,
+    fingerprint: str | None = None,
+) -> dict[str, Any]:
     """The canonical cache entry for one compiled plan.
 
     Raises :class:`~repro.core.serde.SerdeError` when the plan cannot be
     serialized losslessly (callers should then skip caching).
     """
-    entry: Dict[str, Any] = {
+    entry: dict[str, Any] = {
         "version": SERDE_VERSION,
         "plan": plan_to_dict(plan),
         "rounded": (
@@ -323,8 +323,8 @@ def entry_from_plan(
 
 
 def plan_from_entry(
-    entry: Dict[str, Any],
-) -> Tuple[VolumePlan, Optional[VolumeAssignment]]:
+    entry: dict[str, Any],
+) -> tuple[VolumePlan, VolumeAssignment | None]:
     """Decode an entry; plan and rounded assignment share one DAG object."""
     if entry.get("version") != SERDE_VERSION:
         raise SerdeError(

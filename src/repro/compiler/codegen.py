@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.dag import AssayDAG, Edge, Node, NodeKind
 from ..ir import instructions as ais
@@ -44,7 +44,7 @@ class CodegenError(Exception):
     """Instruction selection failed (unit conflict, missing metadata...)."""
 
 
-def execution_order(dag: AssayDAG) -> List[str]:
+def execution_order(dag: AssayDAG) -> list[str]:
     """Topological order with ties broken by source sequence number.
 
     Transformed nodes (cascade stages, replicas) inherit their ancestor's
@@ -52,7 +52,7 @@ def execution_order(dag: AssayDAG) -> List[str]:
     to the original program order.
     """
 
-    def seq_key(node: Node) -> Tuple[float, int, str]:
+    def seq_key(node: Node) -> tuple[float, int, str]:
         seq = node.meta.get("seq")
         if seq is None:
             seq = 10 ** 9  # hand-built DAGs: fall back to insertion order
@@ -60,11 +60,11 @@ def execution_order(dag: AssayDAG) -> List[str]:
         return (float(seq), int(stage), node.id)
 
     indegree = {node.id: dag.in_degree(node.id) for node in dag.nodes()}
-    heap: List[Tuple[Tuple[float, int, str], str]] = []
+    heap: list[tuple[tuple[float, int, str], str]] = []
     for node in dag.nodes():
         if indegree[node.id] == 0:
             heapq.heappush(heap, (seq_key(node), node.id))
-    order: List[str] = []
+    order: list[str] = []
     while heap:
         __, node_id = heapq.heappop(heap)
         order.append(node_id)
@@ -83,7 +83,7 @@ class _Generator:
         dag: AssayDAG,
         spec: MachineSpec,
         *,
-        name: Optional[str] = None,
+        name: str | None = None,
         aux_fluids: Sequence[str] = (),
         aux_volume: Fraction = AUX_LOAD_VOLUME,
         storage_less: bool = True,
@@ -103,17 +103,17 @@ class _Generator:
         )
         self.program = AISProgram(self.name, machine=spec.name)
         #: node id -> operand string where its fluid currently sits.
-        self.location: Dict[str, str] = {}
+        self.location: dict[str, str] = {}
         #: unit name -> node id currently occupying it (storage-less holds).
-        self.occupant: Dict[str, Optional[str]] = {}
+        self.occupant: dict[str, str | None] = {}
         #: remaining consumer count per produced node.
-        self.pending_uses: Dict[str, int] = {}
+        self.pending_uses: dict[str, int] = {}
         self.mixers = [u.name for u in spec.units_of_kind("mixer")]
         self.heaters = [u.name for u in spec.units_of_kind("heater")]
         if not self.mixers or not self.heaters:
             raise CodegenError("machine needs at least one mixer and heater")
         self.waste_port = spec.output_port_names()[-1]
-        self._aux_loaded: Dict[str, bool] = {}
+        self._aux_loaded: dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     def run(self) -> AISProgram:
@@ -192,8 +192,8 @@ class _Generator:
 
     def _free_unit(
         self,
-        candidates: List[str],
-        needed_sources: List[str],
+        candidates: list[str],
+        needed_sources: list[str],
         *,
         allow_in_place: bool = False,
     ) -> str:
@@ -347,7 +347,7 @@ class _Generator:
                 instruction.meta.setdefault("guard", guard)
         self.post_production(node)
 
-    def _ratio_parts(self, node: Node, inbound: List[Edge]) -> List[Fraction]:
+    def _ratio_parts(self, node: Node, inbound: list[Edge]) -> list[Fraction]:
         if node.ratio is not None and len(node.ratio) == len(inbound):
             return [Fraction(part) for part in node.ratio]
         # Transformed nodes: print the normalised fractions scaled to the
@@ -526,7 +526,7 @@ class _Generator:
                     meta={"node": node.id, "guard": request.get("guard")},
                 )
             )
-        for request in outputs:
+        for _request in outputs:
             location = self.location.get(node.id)
             if location is None:
                 raise CodegenError(f"output fluid {node.id!r} has no location")
@@ -543,11 +543,11 @@ def generate(
     dag: AssayDAG,
     spec: MachineSpec = AQUACORE_SPEC,
     *,
-    name: Optional[str] = None,
+    name: str | None = None,
     aux_fluids: Sequence[str] = (),
     aux_volume: Fraction = AUX_LOAD_VOLUME,
     storage_less: bool = True,
-) -> Tuple[AISProgram, ReservoirAssignment]:
+) -> tuple[AISProgram, ReservoirAssignment]:
     """Generate an AIS program for a volume DAG.
 
     Returns the program and the reservoir assignment it assumes.

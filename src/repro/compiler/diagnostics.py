@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, unique
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from collections.abc import Iterable, Iterator
 
 __all__ = [
     "Severity",
@@ -65,11 +65,11 @@ class Diagnostic:
     severity: Severity
     code: str       # short machine-readable tag, e.g. "underflow-risk"
     message: str
-    node: Optional[str] = None
+    node: str | None = None
     #: 0-based instruction index, for program-level (analyzer) findings.
-    instruction: Optional[int] = None
+    instruction: int | None = None
     #: the operand the finding is about (e.g. "s3", "separator1.out1").
-    operand: Optional[str] = None
+    operand: str | None = None
 
     def __str__(self) -> str:
         where = ""
@@ -79,9 +79,9 @@ class Diagnostic:
             where = f" [instr {self.instruction}]"
         return f"{self.severity.value}: {self.code}: {self.message}{where}"
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serialisable form (``repro lint --json``)."""
-        payload: Dict[str, object] = {
+        payload: dict[str, object] = {
             "severity": self.severity.value,
             "code": self.code,
             "message": self.message,
@@ -97,29 +97,29 @@ class Diagnostic:
 
 @dataclass
 class DiagnosticSink:
-    items: List[Diagnostic] = field(default_factory=list)
+    items: list[Diagnostic] = field(default_factory=list)
 
-    def note(self, code: str, message: str, node: Optional[str] = None) -> None:
+    def note(self, code: str, message: str, node: str | None = None) -> None:
         self.items.append(Diagnostic(Severity.NOTE, code, message, node))
 
-    def warning(self, code: str, message: str, node: Optional[str] = None) -> None:
+    def warning(self, code: str, message: str, node: str | None = None) -> None:
         self.items.append(Diagnostic(Severity.WARNING, code, message, node))
 
-    def error(self, code: str, message: str, node: Optional[str] = None) -> None:
+    def error(self, code: str, message: str, node: str | None = None) -> None:
         self.items.append(Diagnostic(Severity.ERROR, code, message, node))
 
     def extend(
-        self, diagnostics: Union["DiagnosticSink", Iterable[Diagnostic]]
+        self, diagnostics: "DiagnosticSink" | Iterable[Diagnostic]
     ) -> None:
         """Merge another sink (or any iterable of diagnostics) into this one."""
         self.items.extend(diagnostics)
 
-    def filter(self, severity: Severity) -> List[Diagnostic]:
+    def filter(self, severity: Severity) -> list[Diagnostic]:
         """All diagnostics of exactly the given severity."""
         return [d for d in self.items if d.severity is severity]
 
     @property
-    def max_severity(self) -> Optional[Severity]:
+    def max_severity(self) -> Severity | None:
         """The most severe level present, or ``None`` when empty."""
         if not self.items:
             return None
@@ -146,7 +146,7 @@ class DiagnosticSink:
 REPORT_SCHEMA_VERSION = 1
 
 
-def severity_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
     """Tally diagnostics per severity level."""
     counts = {"error": 0, "warning": 0, "note": 0}
     for diagnostic in diagnostics:
@@ -155,7 +155,7 @@ def severity_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
 
 
 #: severity of the worst finding -> process exit code (None = no findings).
-SEVERITY_EXIT_CODES: Dict[Optional[Severity], int] = {
+SEVERITY_EXIT_CODES: dict[Severity | None, int] = {
     None: EXIT_CLEAN,
     Severity.NOTE: EXIT_CLEAN,
     Severity.WARNING: EXIT_WARNINGS,
@@ -166,7 +166,7 @@ SEVERITY_EXIT_CODES: Dict[Optional[Severity], int] = {
 def exit_code_for(diagnostics: Iterable[Diagnostic]) -> int:
     """The severity-based exit-code policy shared by lint, certify, and
     the pass-manager drivers: 0 clean/notes, 1 warnings, 2 errors."""
-    worst: Optional[Severity] = None
+    worst: Severity | None = None
     for diagnostic in diagnostics:
         if worst is None or diagnostic.severity.rank > worst.rank:
             worst = diagnostic.severity
@@ -179,9 +179,9 @@ def report_payload(
     machine: str,
     diagnostics: Iterable[Diagnostic],
     *,
-    exit_code: Optional[int] = None,
-    extra_summary: Optional[Dict[str, object]] = None,
-) -> Dict[str, object]:
+    exit_code: int | None = None,
+    extra_summary: dict[str, object] | None = None,
+) -> dict[str, object]:
     """The stable top-level JSON schema emitted by ``repro lint --json``
     and ``repro certify --json`` (documented in docs/ANALYSIS.md)::
 
@@ -194,7 +194,7 @@ def report_payload(
     """
     items = list(diagnostics)
     counts = severity_counts(items)
-    summary: Dict[str, object] = {
+    summary: dict[str, object] = {
         "clean": counts["error"] == 0 and counts["warning"] == 0,
         "errors": counts["error"],
         "warnings": counts["warning"],

@@ -45,6 +45,7 @@ from .stages import (
     ReplicateTransform,
     RestorePlan,
     Round,
+    SourceLintPass,
     Unroll,
     default_passes,
     front_end,
@@ -68,6 +69,7 @@ __all__ = [
     "PassOutcome",
     "run_instrumented",
     "ParseSource",
+    "SourceLintPass",
     "Unroll",
     "BuildDAG",
     "Partition",

@@ -12,7 +12,8 @@ fingerprint, and cache each stage uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING
+from collections.abc import Mapping, Sequence
 
 from ...core.dag import AssayDAG
 from ...core.dagsolve import VolumeAssignment
@@ -37,12 +38,12 @@ class HierarchyState:
     """Working state of the Figure 6 loop (owned by the hierarchy passes)."""
 
     current: AssayDAG
-    attempts: List[Attempt] = field(default_factory=list)
-    transforms: List[TransformReport] = field(default_factory=list)
-    best: Optional[VolumeAssignment] = None
+    attempts: list[Attempt] = field(default_factory=list)
+    transforms: list[TransformReport] = field(default_factory=list)
+    best: VolumeAssignment | None = None
     round: int = 0
     #: set by a stage that produced a feasible plan; ends the loop.
-    plan: Optional[VolumePlan] = None
+    plan: VolumePlan | None = None
     #: set by a transform stage that rewrote the DAG this round.
     transformed: bool = False
 
@@ -52,41 +53,42 @@ class CompileContext:
     """Everything one compilation carries between passes."""
 
     # ---- request ------------------------------------------------------
-    source: Optional[str] = None
-    dag: Optional[AssayDAG] = None
-    name: Optional[str] = None
+    source: str | None = None
+    dag: AssayDAG | None = None
+    name: str | None = None
     aux_fluids: Sequence[str] = ()
     spec: MachineSpec = AQUACORE_SPEC
-    manager: Optional[VolumeManager] = None
-    cache: Optional["PlanCache"] = None
+    manager: VolumeManager | None = None
+    cache: "PlanCache" | None = None
     lint: bool = False
     certify: bool = False
-    output_targets: Optional[Mapping[str, object]] = None
+    source_lint: bool = False
+    output_targets: Mapping[str, object] | None = None
 
     # ---- working state ------------------------------------------------
-    ast: Optional[object] = None        # lang AST (ParseSource product)
-    symbols: Optional[object] = None    # semantic symbol table
-    flat: Optional["FlatAssay"] = None
-    hierarchy: Optional[HierarchyState] = None
+    ast: object | None = None        # lang AST (ParseSource product)
+    symbols: object | None = None    # semantic symbol table
+    flat: "FlatAssay" | None = None
+    hierarchy: HierarchyState | None = None
     #: compile fingerprint, computed once a cache pass needs it.
-    fingerprint: Optional[str] = None
+    fingerprint: str | None = None
     #: the plan stage was satisfied by a cache entry (prefix skip).
     plan_restored: bool = False
 
     # ---- results ------------------------------------------------------
-    plan: Optional[VolumePlan] = None
-    assignment: Optional[VolumeAssignment] = None      # rounded, static
-    planner: Optional["RuntimePlanner"] = None
-    program: Optional["AISProgram"] = None
-    allocation: Optional["ReservoirAssignment"] = None
-    compiled: Optional["CompiledAssay"] = None
+    plan: VolumePlan | None = None
+    assignment: VolumeAssignment | None = None      # rounded, static
+    planner: "RuntimePlanner" | None = None
+    program: "AISProgram" | None = None
+    allocation: "ReservoirAssignment" | None = None
+    compiled: "CompiledAssay" | None = None
 
     # ---- instrumentation ---------------------------------------------
     diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
     events: PassEventBus = NULL_BUS
     #: the manager that ran this context (set by run_compile/front_end so
     #: callers can render ``explain`` output against the resolved plan).
-    pass_manager: Optional[object] = None
+    pass_manager: object | None = None
 
     def __post_init__(self) -> None:
         if self.source is None and self.dag is None:
@@ -105,7 +107,7 @@ class CompileContext:
         return self.planner is None
 
     @property
-    def final_dag(self) -> Optional[AssayDAG]:
+    def final_dag(self) -> AssayDAG | None:
         """The DAG codegen runs over: post-transform when a plan exists."""
         if self.plan is not None:
             return self.plan.dag

@@ -19,7 +19,8 @@ exporter — can tap the compile without touching the passes themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any
+from collections.abc import Callable
 
 __all__ = [
     "PASS_EVENT_SCHEMA_VERSION",
@@ -46,22 +47,22 @@ class PassEvent:
     name: str
     status: str                       # see STATUSES
     #: hierarchy round for the Figure 6 loop stages, None elsewhere.
-    round: Optional[int] = None
+    round: int | None = None
     wall_s: float = 0.0
     cpu_s: float = 0.0
     #: content fingerprint of the pass's main input / output artifact
     #: (computed only when the bus asks for fingerprints — they cost a
     #: canonical serialization each).
-    fingerprint_in: Optional[str] = None
-    fingerprint_out: Optional[str] = None
+    fingerprint_in: str | None = None
+    fingerprint_out: str | None = None
     #: "hit" / "miss" / "store" when the pass talked to the plan cache.
-    cache: Optional[str] = None
+    cache: str | None = None
     #: diagnostics the pass added to the sink while running.
     diagnostics: int = 0
     detail: str = ""
 
-    def to_dict(self) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "name": self.name,
             "status": self.status,
             "wall_ms": round(self.wall_s * 1000, 4),
@@ -100,9 +101,9 @@ class PassEventBus:
     """
 
     def __init__(self, *, fingerprints: bool = False) -> None:
-        self.events: List[PassEvent] = []
+        self.events: list[PassEvent] = []
         self.fingerprints = fingerprints
-        self._subscribers: List[Callable[[PassEvent], None]] = []
+        self._subscribers: list[Callable[[PassEvent], None]] = []
 
     def subscribe(self, callback: Callable[[PassEvent], None]) -> None:
         self._subscribers.append(callback)
@@ -114,7 +115,7 @@ class PassEventBus:
         return event
 
     # ------------------------------------------------------------------
-    def ran(self) -> List[PassEvent]:
+    def ran(self) -> list[PassEvent]:
         """Events for passes that actually executed."""
         return [e for e in self.events if e.status in ("ok", "failed")]
 
@@ -142,10 +143,10 @@ NULL_BUS = _NullBus()
 # ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
-def events_payload(bus: PassEventBus, **extra: Any) -> Dict[str, Any]:
+def events_payload(bus: PassEventBus, **extra: Any) -> dict[str, Any]:
     """The stable JSON shape of one instrumented compile
     (``repro compile --time-passes --stats-json``)."""
-    payload: Dict[str, Any] = {
+    payload: dict[str, Any] = {
         "version": PASS_EVENT_SCHEMA_VERSION,
         "tool": "compile",
         "passes": [event.to_dict() for event in bus.events],

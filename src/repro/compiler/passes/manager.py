@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .context import CompileContext
 from .events import PassEvent
@@ -29,7 +29,7 @@ class PassOutcome:
     """What one pass reports back to the manager."""
 
     status: str = "ok"            # "ok" | "failed" | "cached"
-    cache: Optional[str] = None   # "hit" | "miss" | "store"
+    cache: str | None = None   # "hit" | "miss" | "store"
     detail: str = ""
 
 
@@ -61,10 +61,10 @@ class Pass:
     def run(self, ctx: CompileContext) -> PassOutcome:
         raise NotImplementedError
 
-    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_in(self, ctx: CompileContext) -> str | None:
         return None
 
-    def fingerprint_out(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_out(self, ctx: CompileContext) -> str | None:
         return None
 
     def children(self) -> Sequence["Pass"]:
@@ -78,7 +78,7 @@ class Pass:
 
 
 def run_instrumented(
-    pass_: Pass, ctx: CompileContext, *, round: Optional[int] = None
+    pass_: Pass, ctx: CompileContext, *, round: int | None = None
 ) -> PassEvent:
     """Run one pass under the standard instrumentation contract.
 
@@ -139,9 +139,9 @@ class PassManager:
     """Run a pass plan over a context with uniform instrumentation."""
 
     def __init__(self, passes: Sequence[Pass]) -> None:
-        self.passes: List[Pass] = list(passes)
+        self.passes: list[Pass] = list(passes)
 
-    def plan_names(self) -> List[str]:
+    def plan_names(self) -> list[str]:
         return [p.name for p in self.passes]
 
     # ------------------------------------------------------------------
@@ -155,7 +155,7 @@ class PassManager:
         return run_instrumented(pass_, ctx)
 
     # ------------------------------------------------------------------
-    def explain(self, ctx: Optional[CompileContext] = None) -> str:
+    def explain(self, ctx: CompileContext | None = None) -> str:
         """The resolved pass plan, one line per pass.
 
         With a context that has been run, each line also reports what

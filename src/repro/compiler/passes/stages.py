@@ -2,7 +2,11 @@
 
 Front end::
 
-    ParseSource -> Unroll -> BuildDAG
+    ParseSource -> [SourceLintPass] -> Unroll -> BuildDAG
+
+(``SourceLintPass`` is the opt-in rolled-program verifier from
+:mod:`repro.analysis.sourceflow`; it runs before unrolling so its
+verdicts are independent of concrete trip counts.)
 
 Volume management (one pass each for the hierarchy's boxes)::
 
@@ -27,7 +31,7 @@ that stop at the DAG.  The legacy entry points in
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ...core.cascading import cascade_extreme_mixes, find_extreme_mixes
 from ...core.dag import AssayDAG
@@ -54,6 +58,7 @@ from .manager import OK, Pass, PassManager, PassOutcome
 
 __all__ = [
     "ParseSource",
+    "SourceLintPass",
     "Unroll",
     "BuildDAG",
     "Partition",
@@ -81,7 +86,7 @@ def _sha256(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _dag_fingerprint(dag: Optional[AssayDAG]) -> Optional[str]:
+def _dag_fingerprint(dag: AssayDAG | None) -> str | None:
     if dag is None:
         return None
     from ...core.fingerprint import fingerprint_dag
@@ -112,13 +117,45 @@ class ParseSource(Pass):
             return "DAG supplied directly"
         return "pre-unrolled input"
 
-    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_in(self, ctx: CompileContext) -> str | None:
         return _sha256(ctx.source) if ctx.source is not None else None
 
     def run(self, ctx: CompileContext) -> PassOutcome:
         ctx.ast = parse(ctx.source)
         ctx.symbols = analyze(ctx.ast)
         return OK
+
+
+class SourceLintPass(Pass):
+    """Parametric fluid-safety verification over the *rolled* AST.
+
+    Runs the :mod:`repro.analysis.sourceflow` fixpoint (interval
+    abstract interpretation with widening) before unrolling, so its
+    verdicts hold for every loop bound at O(program size) cost.
+    """
+
+    name = "source-lint"
+
+    def applicable(self, ctx: CompileContext) -> bool:
+        return ctx.source_lint and ctx.ast is not None
+
+    def skip_reason(self, ctx: CompileContext) -> str:
+        if not ctx.source_lint:
+            return "source lint not requested"
+        return "no AST (DAG or flat assay supplied directly)"
+
+    def run(self, ctx: CompileContext) -> PassOutcome:
+        # local import: repro.analysis imports the compiler's products
+        from ...analysis.sourceflow import verify_program
+
+        report = verify_program(ctx.ast, ctx.spec, symbols=ctx.symbols)
+        ctx.diagnostics.extend(report.findings)
+        return PassOutcome(
+            detail=(
+                f"{len(report.findings)} finding(s), "
+                f"{report.stats['sweeps']} sweep(s)"
+            )
+        )
 
 
 class Unroll(Pass):
@@ -144,7 +181,7 @@ class BuildDAG(Pass):
 
     name = "build-dag"
 
-    def fingerprint_out(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_out(self, ctx: CompileContext) -> str | None:
         return _dag_fingerprint(ctx.dag)
 
     def run(self, ctx: CompileContext) -> PassOutcome:
@@ -219,7 +256,7 @@ class RestorePlan(Pass):
             return "runtime-deferred assay"
         return "no plan cache configured"
 
-    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_in(self, ctx: CompileContext) -> str | None:
         return ctx.compile_fingerprint()
 
     def run(self, ctx: CompileContext) -> PassOutcome:
@@ -244,7 +281,7 @@ class DAGSolvePass(Pass):
     def run(self, ctx: CompileContext) -> PassOutcome:
         state = ctx.hierarchy
         manager = ctx.manager
-        cache_note: Optional[str] = None
+        cache_note: str | None = None
         if manager.cache is not None:
             state.current.validate()
             hits_before = manager.cache.stats.hits
@@ -433,10 +470,10 @@ class HierarchyLoop(Pass):
             return "runtime-deferred assay"
         return "plan served from cache"
 
-    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_in(self, ctx: CompileContext) -> str | None:
         return _dag_fingerprint(ctx.dag)
 
-    def fingerprint_out(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_out(self, ctx: CompileContext) -> str | None:
         return _dag_fingerprint(ctx.plan.dag if ctx.plan else None)
 
     def run(self, ctx: CompileContext) -> PassOutcome:
@@ -549,10 +586,10 @@ class Codegen(Pass):
 
     name = "codegen"
 
-    def fingerprint_in(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_in(self, ctx: CompileContext) -> str | None:
         return _dag_fingerprint(ctx.final_dag)
 
-    def fingerprint_out(self, ctx: CompileContext) -> Optional[str]:
+    def fingerprint_out(self, ctx: CompileContext) -> str | None:
         if ctx.program is None:
             return None
         return _sha256(ctx.program.render())
@@ -635,14 +672,14 @@ class CertifyPass(Pass):
 # ---------------------------------------------------------------------------
 # pass plans + drivers
 # ---------------------------------------------------------------------------
-def frontend_passes() -> List[Pass]:
+def frontend_passes() -> list[Pass]:
     """Source -> validated DAG (what ``repro check``/``repro dag`` need)."""
     return [ParseSource(), Unroll(), BuildDAG()]
 
 
-def default_passes() -> List[Pass]:
+def default_passes() -> list[Pass]:
     """The full compile pipeline, front end through certification."""
-    return frontend_passes() + [
+    return [ParseSource(), SourceLintPass(), Unroll(), BuildDAG()] + [
         Partition(),
         RestorePlan(),
         HierarchyLoop(),
@@ -657,11 +694,11 @@ def default_passes() -> List[Pass]:
 
 def front_end(
     *,
-    source: Optional[str] = None,
-    dag: Optional[AssayDAG] = None,
+    source: str | None = None,
+    dag: AssayDAG | None = None,
     spec: MachineSpec = AQUACORE_SPEC,
-    manager: Optional[VolumeManager] = None,
-    bus: Optional[PassEventBus] = None,
+    manager: VolumeManager | None = None,
+    bus: PassEventBus | None = None,
 ) -> CompileContext:
     """Run only the front end; returns the context (flat + validated DAG)."""
     ctx = CompileContext(source=source, dag=dag, spec=spec, manager=manager)
@@ -673,10 +710,10 @@ def front_end(
 
 
 def front_end_dag(
-    source: Optional[str] = None,
-    dag: Optional[AssayDAG] = None,
+    source: str | None = None,
+    dag: AssayDAG | None = None,
     aux_fluids: Sequence[str] = (),
-) -> Tuple[AssayDAG, Tuple[str, ...]]:
+) -> tuple[AssayDAG, tuple[str, ...]]:
     """Parse (or pass through) to a validated ``(dag, aux_fluids)`` pair."""
     if dag is not None:
         dag.validate()
@@ -687,18 +724,19 @@ def front_end_dag(
 
 def run_compile(
     *,
-    source: Optional[str] = None,
-    dag: Optional[AssayDAG] = None,
+    source: str | None = None,
+    dag: AssayDAG | None = None,
     spec: MachineSpec = AQUACORE_SPEC,
-    name: Optional[str] = None,
+    name: str | None = None,
     aux_fluids: Sequence[str] = (),
-    manager: Optional[VolumeManager] = None,
+    manager: VolumeManager | None = None,
     flat=None,
     cache=None,
     lint: bool = False,
     certify: bool = False,
-    bus: Optional[PassEventBus] = None,
-    passes: Optional[Sequence[Pass]] = None,
+    source_lint: bool = False,
+    bus: PassEventBus | None = None,
+    passes: Sequence[Pass] | None = None,
 ) -> CompileContext:
     """Compile through the one instrumented pass manager.
 
@@ -717,6 +755,7 @@ def run_compile(
         cache=cache,
         lint=lint,
         certify=certify,
+        source_lint=source_lint,
         flat=flat,
     )
     if bus is not None:
@@ -734,7 +773,7 @@ def run_hierarchy(
     dag: AssayDAG,
     manager: VolumeManager,
     output_targets=None,
-    bus: Optional[PassEventBus] = None,
+    bus: PassEventBus | None = None,
 ) -> VolumePlan:
     """Run just the Figure 6 hierarchy loop over a DAG.
 

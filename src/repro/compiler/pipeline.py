@@ -18,7 +18,8 @@ module keeps the original surface:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING
+from collections.abc import Sequence
 
 from ..core.dag import AssayDAG
 from ..core.dagsolve import VolumeAssignment
@@ -52,11 +53,11 @@ class CompiledAssay:
     final_dag: AssayDAG               # after transforms (== dag when none)
     spec: MachineSpec
     allocation: ReservoirAssignment
-    source: Optional[str] = None
-    flat: Optional[FlatAssay] = None
-    plan: Optional[VolumePlan] = None             # static case
-    assignment: Optional[VolumeAssignment] = None  # rounded, static case
-    planner: Optional[RuntimePlanner] = None      # statically-unknown case
+    source: str | None = None
+    flat: FlatAssay | None = None
+    plan: VolumePlan | None = None             # static case
+    assignment: VolumeAssignment | None = None  # rounded, static case
+    planner: RuntimePlanner | None = None      # statically-unknown case
     diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
 
     @property
@@ -87,15 +88,15 @@ def compile_dag(
     dag: AssayDAG,
     *,
     spec: MachineSpec = AQUACORE_SPEC,
-    name: Optional[str] = None,
+    name: str | None = None,
     aux_fluids: Sequence[str] = (),
-    manager: Optional[VolumeManager] = None,
-    flat: Optional[FlatAssay] = None,
-    source: Optional[str] = None,
+    manager: VolumeManager | None = None,
+    flat: FlatAssay | None = None,
+    source: str | None = None,
     lint: bool = False,
     certify: bool = False,
-    cache: Optional["PlanCache"] = None,
-    bus: Optional["PassEventBus"] = None,
+    cache: "PlanCache" | None = None,
+    bus: "PassEventBus" | None = None,
 ) -> CompiledAssay:
     """Compile a volume DAG (hand-built or produced by the front end).
 
@@ -128,11 +129,11 @@ def compile_assay(
     source: str,
     *,
     spec: MachineSpec = AQUACORE_SPEC,
-    manager: Optional[VolumeManager] = None,
+    manager: VolumeManager | None = None,
     lint: bool = False,
     certify: bool = False,
-    cache: Optional["PlanCache"] = None,
-    bus: Optional["PassEventBus"] = None,
+    cache: "PlanCache" | None = None,
+    bus: "PassEventBus" | None = None,
 ) -> CompiledAssay:
     """Compile assay source text end to end.
 

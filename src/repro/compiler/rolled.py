@@ -19,7 +19,6 @@ reference — the two agree on the wet work performed, which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
 
 from ..lang.ast import (
     Assign,
@@ -57,11 +56,11 @@ class RolledListing:
     """The rolled listing plus its resource bookkeeping."""
 
     name: str
-    lines: List[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
     #: fluid name -> reservoir (scalars) or bank base (arrays, printed
     #: as ``s3(i)``)
-    reservoir_of: Dict[str, str] = field(default_factory=dict)
-    input_ports: Dict[str, str] = field(default_factory=dict)
+    reservoir_of: dict[str, str] = field(default_factory=dict)
+    input_ports: dict[str, str] = field(default_factory=dict)
     loop_count: int = 0
     dry_instruction_count: int = 0
     wet_instruction_count: int = 0
@@ -83,9 +82,9 @@ class _RolledGenerator:
         self._next_port = 1
         self._next_temp = 0
         self._loop_depth = 0
-        self.it_location: Optional[str] = None
+        self.it_location: str | None = None
         #: short register aliases, like the paper's ``inh_dil``
-        self.register_alias: Dict[str, str] = {}
+        self.register_alias: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # resources
@@ -134,7 +133,7 @@ class _RolledGenerator:
     # ------------------------------------------------------------------
     # dry expression compilation
     # ------------------------------------------------------------------
-    def dry_operand(self, expression: Expr) -> Optional[str]:
+    def dry_operand(self, expression: Expr) -> str | None:
         """A directly-referencable dry operand, or None if it needs code."""
         if isinstance(expression, Num):
             return str(expression.value)
@@ -428,7 +427,7 @@ def _fluid_used(body, name: str) -> bool:
     return False
 
 
-def render_rolled(program: Program, symbols: Optional[SymbolTable] = None) -> RolledListing:
+def render_rolled(program: Program, symbols: SymbolTable | None = None) -> RolledListing:
     """Generate the rolled listing for a parsed assay."""
     if symbols is None:
         symbols = analyze(program)

@@ -28,7 +28,6 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 from math import ceil
-from typing import Dict, List, Optional, Tuple
 
 from .dag import AssayDAG, Edge, Node, NodeKind
 from .errors import DagError, RatioError, ResourceExhaustedError
@@ -50,8 +49,8 @@ class CascadeReport:
 
     node: str
     depth: int
-    factors: Tuple[Fraction, ...]
-    intermediate_ids: Tuple[str, ...]
+    factors: tuple[Fraction, ...]
+    intermediate_ids: tuple[str, ...]
 
     def __str__(self) -> str:
         chain = " -> ".join(f"1:{factor - 1}" for factor in self.factors)
@@ -91,7 +90,7 @@ def find_extreme_mixes(
     limits: HardwareLimits,
     *,
     slack: Fraction = Fraction(1),
-) -> List[str]:
+) -> list[str]:
     """All mix nodes with an extreme minor share, in topological order."""
     return [
         node_id
@@ -100,7 +99,7 @@ def find_extreme_mixes(
     ]
 
 
-def stage_factors(total_factor: Fraction, depth: int) -> List[Fraction]:
+def stage_factors(total_factor: Fraction, depth: int) -> list[Fraction]:
     """Split an overall dilution factor into ``depth`` per-stage factors.
 
     The product of the returned factors equals ``total_factor`` exactly.
@@ -122,7 +121,7 @@ def stage_factors(total_factor: Fraction, depth: int) -> List[Fraction]:
         1, ceil(math.log2(float(total_factor)) - 1e-12)
     )
     depth = min(depth, max_depth)
-    factors: List[Fraction] = []
+    factors: list[Fraction] = []
     remaining = Fraction(total_factor)
     for stage in range(depth - 1):
         stages_left = depth - stage
@@ -143,7 +142,7 @@ def stage_factors(total_factor: Fraction, depth: int) -> List[Fraction]:
 
 def _pick_depth(
     total_factor: Fraction, limits: HardwareLimits, max_depth: int
-) -> Tuple[int, List[Fraction]]:
+) -> tuple[int, list[Fraction]]:
     """Iterative deepening: smallest depth whose stages all fit the range."""
     for depth in range(2, max_depth + 1):
         factors = stage_factors(total_factor, depth)
@@ -158,8 +157,8 @@ def _pick_depth(
 def cascade_mix(
     dag: AssayDAG,
     node_id: str,
-    factors: List[Fraction],
-) -> Tuple[AssayDAG, CascadeReport]:
+    factors: list[Fraction],
+) -> tuple[AssayDAG, CascadeReport]:
     """Rewrite a two-input mix into a cascade with the given stage factors.
 
     The original node keeps its id (so downstream consumers are untouched)
@@ -201,7 +200,7 @@ def cascade_mix(
     new_dag.remove_edge(minor.src, node_id)
     new_dag.remove_edge(major.src, node_id)
 
-    intermediates: List[str] = []
+    intermediates: list[str] = []
     concentrate = minor.src
     for stage, factor in enumerate(factors):
         is_last = stage == len(factors) - 1
@@ -262,13 +261,13 @@ def cascade_extreme_mixes(
     *,
     slack: Fraction = Fraction(1),
     max_depth: int = 8,
-) -> Tuple[AssayDAG, List[CascadeReport]]:
+) -> tuple[AssayDAG, list[CascadeReport]]:
     """Cascade every extreme mix in the DAG (Figure 6's left-to-right arrow).
 
     Returns the rewritten DAG and one report per rewritten node; the DAG is
     returned unchanged (same object) when nothing is extreme.
     """
-    reports: List[CascadeReport] = []
+    reports: list[CascadeReport] = []
     current = dag
     for node_id in find_extreme_mixes(dag, limits, slack=slack):
         minor = _minor_edge(current, node_id)

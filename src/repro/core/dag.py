@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum, unique
 from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from .errors import CycleError, DagError, RatioError
 from .limits import Number, as_fraction
@@ -70,7 +70,7 @@ class NodeKind(Enum):
         return f"NodeKind.{self.name}"
 
 
-def fractions_from_ratio(ratio: Sequence[Number]) -> List[Fraction]:
+def fractions_from_ratio(ratio: Sequence[Number]) -> list[Fraction]:
     """Convert a mix ratio such as ``(1, 4)`` into fractions ``[1/5, 4/5]``.
 
     Raises:
@@ -113,16 +113,16 @@ class Node:
 
     id: str
     kind: NodeKind
-    ratio: Optional[Tuple[int, ...]] = None
-    output_fraction: Optional[Fraction] = Fraction(1)
+    ratio: tuple[int, ...] | None = None
+    output_fraction: Fraction | None = Fraction(1)
     unknown_volume: bool = False
     excess_fraction: Fraction = Fraction(0)
-    min_volume: Optional[Fraction] = None
-    capacity: Optional[Fraction] = None
+    min_volume: Fraction | None = None
+    capacity: Fraction | None = None
     no_excess: bool = False
-    available_volume: Optional[Fraction] = None
-    label: Optional[str] = None
-    meta: Dict[str, object] = field(default_factory=dict)
+    available_volume: Fraction | None = None
+    label: str | None = None
+    meta: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.output_fraction is not None:
@@ -172,7 +172,7 @@ class Edge:
             )
 
     @property
-    def key(self) -> Tuple[str, str]:
+    def key(self) -> tuple[str, str]:
         return (self.src, self.dst)
 
     def copy(self) -> "Edge":
@@ -189,15 +189,15 @@ class AssayDAG:
 
     def __init__(self, name: str = "assay") -> None:
         self.name = name
-        self._nodes: Dict[str, Node] = {}
-        self._edges: Dict[Tuple[str, str], Edge] = {}
-        self._out: Dict[str, List[Tuple[str, str]]] = {}
-        self._in: Dict[str, List[Tuple[str, str]]] = {}
+        self._nodes: dict[str, Node] = {}
+        self._edges: dict[tuple[str, str], Edge] = {}
+        self._out: dict[str, list[tuple[str, str]]] = {}
+        self._in: dict[str, list[tuple[str, str]]] = {}
         #: memoized topological order; None until computed, dropped on any
         #: structural mutation.  DAGSolve/LP/certify all walk the same
         #: frozen DAG repeatedly, so the Kahn pass would otherwise rerun
         #: on every pass.
-        self._topo_cache: Optional[List[str]] = None
+        self._topo_cache: list[str] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -227,7 +227,7 @@ class AssayDAG:
         return edge
 
     # -- convenience constructors used by the assay library and tests -----
-    def add_input(self, node_id: str, *, label: Optional[str] = None, **kwargs) -> Node:
+    def add_input(self, node_id: str, *, label: str | None = None, **kwargs) -> Node:
         """Add a source fluid (no inbound edges)."""
         return self.add_node(
             Node(node_id, NodeKind.INPUT, label=label or node_id, **kwargs)
@@ -236,9 +236,9 @@ class AssayDAG:
     def add_mix(
         self,
         node_id: str,
-        parts: Mapping[str, Number] | Sequence[Tuple[str, Number]],
+        parts: Mapping[str, Number] | Sequence[tuple[str, Number]],
         *,
-        label: Optional[str] = None,
+        label: str | None = None,
         **kwargs,
     ) -> Node:
         """Add a mix of existing nodes in the given integer ratio.
@@ -266,7 +266,7 @@ class AssayDAG:
         kind: NodeKind = NodeKind.HEAT,
         output_fraction: Number = 1,
         unknown_volume: bool = False,
-        label: Optional[str] = None,
+        label: str | None = None,
         **kwargs,
     ) -> Node:
         """Add a single-input operation (incubate, separate, sense, ...)."""
@@ -341,22 +341,22 @@ class AssayDAG:
     def nodes(self) -> Iterator[Node]:
         return iter(list(self._nodes.values()))
 
-    def node_ids(self) -> List[str]:
+    def node_ids(self) -> list[str]:
         return list(self._nodes)
 
     def edges(self) -> Iterator[Edge]:
         return iter(list(self._edges.values()))
 
-    def in_edges(self, node_id: str) -> List[Edge]:
+    def in_edges(self, node_id: str) -> list[Edge]:
         return [self._edges[key] for key in self._in[node_id]]
 
-    def out_edges(self, node_id: str) -> List[Edge]:
+    def out_edges(self, node_id: str) -> list[Edge]:
         return [self._edges[key] for key in self._out[node_id]]
 
-    def predecessors(self, node_id: str) -> List[str]:
+    def predecessors(self, node_id: str) -> list[str]:
         return [src for (src, __) in self._in[node_id]]
 
-    def successors(self, node_id: str) -> List[str]:
+    def successors(self, node_id: str) -> list[str]:
         return [dst for (__, dst) in self._out[node_id]]
 
     def in_degree(self, node_id: str) -> int:
@@ -365,7 +365,7 @@ class AssayDAG:
     def out_degree(self, node_id: str) -> int:
         return len(self._out[node_id])
 
-    def inputs(self) -> List[Node]:
+    def inputs(self) -> list[Node]:
         """Source nodes: INPUT and CONSTRAINED_INPUT kinds plus any node
         without inbound edges."""
         return [
@@ -374,7 +374,7 @@ class AssayDAG:
             if not self._in[node.id]
         ]
 
-    def outputs(self) -> List[Node]:
+    def outputs(self) -> list[Node]:
         """Sink nodes (no outbound edges), excluding excess sinks.
 
         The paper's DAGSolve normalises these to ``Vnorm = 1``.  Excess
@@ -386,13 +386,13 @@ class AssayDAG:
             if not self._out[node.id] and node.kind is not NodeKind.EXCESS
         ]
 
-    def excess_nodes(self) -> List[Node]:
+    def excess_nodes(self) -> list[Node]:
         return [n for n in self._nodes.values() if n.kind is NodeKind.EXCESS]
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
-    def topological_order(self) -> List[str]:
+    def topological_order(self) -> list[str]:
         """Kahn's algorithm; raises :class:`CycleError` on cycles.
 
         Ties are broken by insertion order so results are deterministic.
@@ -403,7 +403,7 @@ class AssayDAG:
             return list(self._topo_cache)
         indegree = {node_id: len(self._in[node_id]) for node_id in self._nodes}
         ready = [node_id for node_id in self._nodes if indegree[node_id] == 0]
-        order: List[str] = []
+        order: list[str] = []
         cursor = 0
         while cursor < len(ready):
             node_id = ready[cursor]
@@ -419,10 +419,10 @@ class AssayDAG:
         self._topo_cache = order
         return list(order)
 
-    def reverse_topological_order(self) -> List[str]:
+    def reverse_topological_order(self) -> list[str]:
         return list(reversed(self.topological_order()))
 
-    def ancestors(self, node_id: str) -> List[str]:
+    def ancestors(self, node_id: str) -> list[str]:
         """All transitive predecessors of ``node_id`` (the DAG-level backward
         slice), in no particular order, excluding ``node_id`` itself."""
         self.node(node_id)
@@ -436,7 +436,7 @@ class AssayDAG:
             stack.extend(self.predecessors(current))
         return list(seen)
 
-    def descendants(self, node_id: str) -> List[str]:
+    def descendants(self, node_id: str) -> list[str]:
         """All transitive successors of ``node_id``, excluding itself."""
         self.node(node_id)
         seen: set[str] = set()
@@ -511,7 +511,7 @@ class AssayDAG:
     # ------------------------------------------------------------------
     # copying / rendering
     # ------------------------------------------------------------------
-    def copy(self, name: Optional[str] = None) -> "AssayDAG":
+    def copy(self, name: str | None = None) -> "AssayDAG":
         clone = AssayDAG(name or self.name)
         for node in self._nodes.values():
             clone.add_node(node.copy())
@@ -519,7 +519,7 @@ class AssayDAG:
             clone.add_edge(edge.copy())
         return clone
 
-    def subgraph(self, node_ids: Iterable[str], name: Optional[str] = None) -> "AssayDAG":
+    def subgraph(self, node_ids: Iterable[str], name: str | None = None) -> "AssayDAG":
         """Induced subgraph over ``node_ids`` (copies nodes and inner edges)."""
         keep = set(node_ids)
         missing = keep - set(self._nodes)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 from .dag import AssayDAG, Node, NodeKind
 from .errors import (
@@ -47,7 +47,7 @@ __all__ = [
     "dagsolve",
 ]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 
 @dataclass
@@ -61,9 +61,9 @@ class VnormResult:
     capacity constraint (paper Figure 3 bounds ``K = r + s``).
     """
 
-    node_vnorm: Dict[str, Fraction]
-    node_input_vnorm: Dict[str, Fraction]
-    edge_vnorm: Dict[EdgeKey, Fraction]
+    node_vnorm: dict[str, Fraction]
+    node_input_vnorm: dict[str, Fraction]
+    edge_vnorm: dict[EdgeKey, Fraction]
     #: number of node and edge visits; used by tests to certify linearity.
     nodes_visited: int = 0
     edges_visited: int = 0
@@ -109,16 +109,16 @@ class VolumeAssignment:
 
     dag: AssayDAG
     limits: HardwareLimits
-    node_volume: Dict[str, Fraction]
-    node_input_volume: Dict[str, Fraction]
-    edge_volume: Dict[EdgeKey, Fraction]
-    scale: Optional[Fraction] = None
+    node_volume: dict[str, Fraction]
+    node_input_volume: dict[str, Fraction]
+    edge_volume: dict[EdgeKey, Fraction]
+    scale: Fraction | None = None
     method: str = "dagsolve"
-    vnorms: Optional[VnormResult] = None
+    vnorms: VnormResult | None = None
     #: feasibility slack for float-based solvers (LP/ILP); exact methods
     #: keep it at 0 so their checks stay strict.
     tolerance: Fraction = Fraction(0)
-    meta: Dict[str, object] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
 
     # -- inspection ----------------------------------------------------
     def min_edge_volume(self) -> Fraction:
@@ -126,7 +126,7 @@ class VolumeAssignment:
             raise VolumeError("assignment has no edges")
         return min(self.edge_volume.values())
 
-    def min_edge(self) -> Tuple[EdgeKey, Fraction]:
+    def min_edge(self) -> tuple[EdgeKey, Fraction]:
         key = min(self.edge_volume, key=self.edge_volume.__getitem__)
         return key, self.edge_volume[key]
 
@@ -136,14 +136,14 @@ class VolumeAssignment:
             for n in self.node_volume
         )
 
-    def violations(self) -> List[Violation]:
+    def violations(self) -> list[Violation]:
         """All least-count, capacity and FU-minimum violations.
 
         Excess edges are exempt from the least-count check: the discarded
         share never needs to be metered separately — it simply stays behind
         in the functional unit.
         """
-        found: List[Violation] = []
+        found: list[Violation] = []
         slack = self.tolerance
         for edge in self.dag.edges():
             volume = self.edge_volume[edge.key]
@@ -196,7 +196,7 @@ class VolumeAssignment:
             )
         return self
 
-    def as_floats(self) -> Dict[str, Dict[str, float]]:
+    def as_floats(self) -> dict[str, dict[str, float]]:
         """Float view for reporting (nodes and edges, nl)."""
         return {
             "nodes": {n: float(v) for n, v in self.node_volume.items()},
@@ -219,7 +219,7 @@ def _check_solvable(dag: AssayDAG) -> None:
 
 def compute_vnorms(
     dag: AssayDAG,
-    output_targets: Optional[Mapping[str, Number]] = None,
+    output_targets: Mapping[str, Number] | None = None,
 ) -> VnormResult:
     """Backward pass of DAGSolve (paper Figure 4, lines 2-7).
 
@@ -234,7 +234,7 @@ def compute_vnorms(
     """
     dag.validate()
     _check_solvable(dag)
-    targets: Dict[str, Fraction] = {}
+    targets: dict[str, Fraction] = {}
     if output_targets:
         targets = {n: as_fraction(v) for n, v in output_targets.items()}
         for node_id, value in targets.items():
@@ -249,9 +249,9 @@ def compute_vnorms(
             f"output targets given for non-output nodes {sorted(unknown_targets)}"
         )
 
-    node_vnorm: Dict[str, Fraction] = {}
-    node_input_vnorm: Dict[str, Fraction] = {}
-    edge_vnorm: Dict[EdgeKey, Fraction] = {}
+    node_vnorm: dict[str, Fraction] = {}
+    node_input_vnorm: dict[str, Fraction] = {}
+    edge_vnorm: dict[EdgeKey, Fraction] = {}
     nodes_visited = 0
     edges_visited = 0
 
@@ -312,14 +312,14 @@ def compute_vnorms(
     )
 
 
-def _constrained_scale(dag: AssayDAG, vnorms: VnormResult) -> Optional[Fraction]:
+def _constrained_scale(dag: AssayDAG, vnorms: VnormResult) -> Fraction | None:
     """Scale cap imposed by measured constrained inputs (Section 3.5).
 
     Each CONSTRAINED_INPUT node with a measured ``available_volume`` caps the
     global scale at ``available / Vnorm``; the dispensing pass takes the
     minimum over all such caps and the capacity-derived default.
     """
-    cap: Optional[Fraction] = None
+    cap: Fraction | None = None
     for node in dag.nodes():
         if node.kind is not NodeKind.CONSTRAINED_INPUT:
             continue
@@ -397,7 +397,7 @@ def scale_for_required_outputs(
     :meth:`VolumeAssignment.violations` — meeting the requirement may
     overflow, in which case static replication is needed upstream.
     """
-    scale: Optional[Fraction] = None
+    scale: Fraction | None = None
     output_ids = {node.id for node in dag.outputs()}
     for node_id, required in required_outputs.items():
         if node_id not in output_ids:
@@ -429,7 +429,7 @@ def scale_for_required_outputs(
 def dagsolve(
     dag: AssayDAG,
     limits: HardwareLimits,
-    output_targets: Optional[Mapping[str, Number]] = None,
+    output_targets: Mapping[str, Number] | None = None,
     *,
     strict: bool = False,
 ) -> VolumeAssignment:

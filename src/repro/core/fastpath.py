@@ -25,7 +25,7 @@ bare :class:`AssayDAG` still works and builds a throwaway context.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from collections.abc import Mapping
 
 from .dag import AssayDAG, NodeKind
 from .errors import DagError, VolumeError
@@ -39,21 +39,21 @@ __all__ = [
     "fast_dagsolve",
 ]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 
 @dataclass
 class FastAssignment:
     """Float volume assignment (node production / input side, edges)."""
 
-    node_volume: Dict[str, float]
-    node_input_volume: Dict[str, float]
-    edge_volume: Dict[EdgeKey, float]
+    node_volume: dict[str, float]
+    node_input_volume: dict[str, float]
+    edge_volume: dict[EdgeKey, float]
     scale: float
-    min_edge: Optional[Tuple[EdgeKey, float]] = None
+    min_edge: tuple[EdgeKey, float] | None = None
     #: feasibility with a small relative epsilon for float error.
     feasible: bool = True
-    violations: List[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
 
 
 class FastContext:
@@ -149,23 +149,23 @@ def prepare_fast(dag: AssayDAG) -> FastContext:
     return FastContext(dag)
 
 
-def _context(dag_or_context: Union[AssayDAG, FastContext]) -> FastContext:
+def _context(dag_or_context: AssayDAG | FastContext) -> FastContext:
     if isinstance(dag_or_context, FastContext):
         return dag_or_context
     return FastContext(dag_or_context)
 
 
 def fast_vnorms(
-    dag: Union[AssayDAG, FastContext],
-    output_targets: Optional[Mapping[str, float]] = None,
-) -> Tuple[Dict[str, float], Dict[str, float], Dict[EdgeKey, float]]:
+    dag: AssayDAG | FastContext,
+    output_targets: Mapping[str, float] | None = None,
+) -> tuple[dict[str, float], dict[str, float], dict[EdgeKey, float]]:
     """Backward pass over floats; same semantics as
     :func:`repro.core.dagsolve.compute_vnorms`."""
     context = _context(dag)
     targets = {k: float(v) for k, v in (output_targets or {}).items()}
-    node_vnorm: Dict[str, float] = {}
-    node_input: Dict[str, float] = {}
-    edge_vnorm: Dict[EdgeKey, float] = {}
+    node_vnorm: dict[str, float] = {}
+    node_input: dict[str, float] = {}
+    edge_vnorm: dict[EdgeKey, float] = {}
     for (
         node_id,
         is_output,
@@ -202,9 +202,9 @@ def fast_vnorms(
 
 
 def fast_dagsolve(
-    dag: Union[AssayDAG, FastContext],
+    dag: AssayDAG | FastContext,
     limits: HardwareLimits,
-    output_targets: Optional[Mapping[str, float]] = None,
+    output_targets: Mapping[str, float] | None = None,
     *,
     epsilon: float = 1e-9,
 ) -> FastAssignment:
@@ -234,8 +234,8 @@ def fast_dagsolve(
     node_input_volume = {k: v * scale for k, v in node_input.items()}
     edge_volume = {k: v * scale for k, v in edge_vnorm.items()}
 
-    violations: List[str] = []
-    min_edge: Optional[Tuple[EdgeKey, float]] = None
+    violations: list[str] = []
+    min_edge: tuple[EdgeKey, float] | None = None
     tolerance = least * epsilon + epsilon
     for key, src, dst in context.check_edges:
         volume = edge_volume[key]

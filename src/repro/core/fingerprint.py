@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import hashlib
 from fractions import Fraction
-from typing import Any, Dict, Mapping, Optional
+from typing import Any
+from collections.abc import Mapping
 
 from .dag import AssayDAG
 from .limits import HardwareLimits, Number, as_fraction
@@ -69,7 +70,7 @@ def _fingerprint_meta(meta: Mapping[str, object]) -> Any:
     try:
         return encode_value(dict(meta))
     except SerdeError:
-        out: Dict[str, Any] = {}
+        out: dict[str, Any] = {}
         for key, value in meta.items():
             try:
                 out[str(key)] = encode_value(value)
@@ -78,7 +79,7 @@ def _fingerprint_meta(meta: Mapping[str, object]) -> Any:
         return out
 
 
-def canonical_dag_form(dag: AssayDAG) -> Dict[str, Any]:
+def canonical_dag_form(dag: AssayDAG) -> dict[str, Any]:
     """Order-independent content form: nodes sorted by id, edges by key.
 
     The DAG's *name* is excluded — ``enzyme.p0`` and a structurally equal
@@ -136,7 +137,7 @@ def structural_fingerprint(dag: AssayDAG) -> str:
     return _digest({"v": SERDE_VERSION, "nodes": nodes, "edges": edges})
 
 
-def spec_form(spec) -> Dict[str, Any]:
+def spec_form(spec) -> dict[str, Any]:
     """Canonical form of a :class:`~repro.machine.spec.MachineSpec`."""
     return {
         "name": spec.name,
@@ -172,9 +173,9 @@ def spec_form(spec) -> Dict[str, Any]:
     }
 
 
-def options_form(options: Optional[Mapping[str, object]]) -> Dict[str, Any]:
+def options_form(options: Mapping[str, object] | None) -> dict[str, Any]:
     """Canonical form of an options mapping (bools, numbers, strings)."""
-    out: Dict[str, Any] = {}
+    out: dict[str, Any] = {}
     for key, value in (options or {}).items():
         if isinstance(value, Fraction):
             out[str(key)] = fraction_to_str(value)
@@ -193,7 +194,7 @@ def compile_fingerprint(
     dag: AssayDAG,
     limits: HardwareLimits,
     spec=None,
-    options: Optional[Mapping[str, object]] = None,
+    options: Mapping[str, object] | None = None,
 ) -> str:
     """The full content address of one compile request."""
     return _digest(
@@ -210,7 +211,7 @@ def compile_fingerprint(
 def source_fingerprint(
     source: str,
     spec=None,
-    options: Optional[Mapping[str, object]] = None,
+    options: Mapping[str, object] | None = None,
 ) -> str:
     """Content address of raw assay *source text* plus spec and options.
 
@@ -229,8 +230,8 @@ def source_fingerprint(
 
 
 def _targets_form(
-    output_targets: Optional[Mapping[str, Number]],
-) -> Dict[str, str]:
+    output_targets: Mapping[str, Number] | None,
+) -> dict[str, str]:
     return {
         str(node_id): fraction_to_str(as_fraction(value))
         for node_id, value in sorted((output_targets or {}).items())
@@ -242,7 +243,7 @@ def _targets_form(
 # ---------------------------------------------------------------------------
 def vnorm_key(
     dag: AssayDAG,
-    output_targets: Optional[Mapping[str, Number]] = None,
+    output_targets: Mapping[str, Number] | None = None,
 ) -> str:
     """Cache key for a memoized Vnorm backward pass."""
     digest = _digest(

@@ -21,7 +21,7 @@ benchmarks and callers can see *why* a plan ended up where it did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Union
+from collections.abc import Mapping, Sequence
 
 from .cascading import CascadeReport
 from .dag import AssayDAG
@@ -32,7 +32,7 @@ from .replication import ReplicationReport
 
 __all__ = ["Attempt", "VolumePlan", "VolumeManager"]
 
-TransformReport = Union[CascadeReport, ReplicationReport]
+TransformReport = CascadeReport | ReplicationReport
 
 
 @dataclass(frozen=True)
@@ -62,10 +62,10 @@ class VolumePlan:
     """
 
     dag: AssayDAG
-    assignment: Optional[VolumeAssignment]
+    assignment: VolumeAssignment | None
     status: str  # "dagsolve" | "lp" | "regeneration" | "failed"
-    attempts: List[Attempt] = field(default_factory=list)
-    transforms: List[TransformReport] = field(default_factory=list)
+    attempts: list[Attempt] = field(default_factory=list)
+    transforms: list[TransformReport] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
@@ -119,9 +119,9 @@ class VolumeManager:
         use_lp: bool = True,
         allow_cascading: bool = True,
         allow_replication: bool = True,
-        output_tolerance: Optional[float] = 0.1,
+        output_tolerance: float | None = 0.1,
         max_rounds: int = 4,
-        max_total_nodes: Optional[int] = None,
+        max_total_nodes: int | None = None,
         cache=None,
     ) -> None:
         self.limits = limits
@@ -148,7 +148,7 @@ class VolumeManager:
     def plan(
         self,
         dag: AssayDAG,
-        output_targets: Optional[Mapping[str, Number]] = None,
+        output_targets: Mapping[str, Number] | None = None,
     ) -> VolumePlan:
         """Run the hierarchy and return a :class:`VolumePlan`.
 
@@ -166,7 +166,7 @@ class VolumeManager:
     # ------------------------------------------------------------------
     @staticmethod
     def _better(
-        current: Optional[VolumeAssignment], candidate: VolumeAssignment
+        current: VolumeAssignment | None, candidate: VolumeAssignment
     ) -> VolumeAssignment:
         """Keep the attempt with the largest minimum dispensed volume."""
         if current is None:

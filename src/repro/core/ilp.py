@@ -14,7 +14,6 @@ for "hours".
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
 
 import numpy as np
 from scipy.optimize import LinearConstraint, milp
@@ -33,7 +32,7 @@ __all__ = ["ilp_solve", "solve_model_ilp"]
 def solve_model_ilp(
     model: LPModel,
     *,
-    time_limit: Optional[float] = None,
+    time_limit: float | None = None,
 ) -> VolumeAssignment:
     """Solve the integer (IVol) variant of a built model.
 
@@ -111,8 +110,8 @@ def ilp_solve(
     dag: AssayDAG,
     limits: HardwareLimits,
     *,
-    output_tolerance: Optional[float] = 0.1,
-    time_limit: Optional[float] = None,
+    output_tolerance: float | None = 0.1,
+    time_limit: float | None = None,
 ) -> VolumeAssignment:
     """Build and solve the IVol ILP for ``dag``."""
     model = build_lp_model(dag, limits, output_tolerance=output_tolerance)

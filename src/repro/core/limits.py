@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Union
 
 __all__ = ["HardwareLimits", "PAPER_LIMITS", "as_fraction"]
 
-Number = Union[int, float, str, Fraction]
+Number = int | float | str | Fraction
 
 
 def as_fraction(value: Number) -> Fraction:

@@ -13,7 +13,6 @@ hierarchy can fall back from one to the other transparently.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -26,16 +25,16 @@ from .lpmodel import LPModel, build_lp_model
 
 __all__ = ["lp_solve", "solve_model", "assignment_from_edge_volumes"]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 
 def assignment_from_edge_volumes(
     dag: AssayDAG,
     limits: HardwareLimits,
-    edge_volume: Dict[EdgeKey, Fraction],
+    edge_volume: dict[EdgeKey, Fraction],
     *,
     method: str,
-    meta: Optional[Dict[str, object]] = None,
+    meta: dict[str, object] | None = None,
     tolerance: Fraction = Fraction(0),
 ) -> VolumeAssignment:
     """Derive node volumes from edge volumes and package an assignment.
@@ -46,8 +45,8 @@ def assignment_from_edge_volumes(
     slack, DAGSolve as an explicit edge — this keeps the two representations
     interchangeable).
     """
-    node_volume: Dict[str, Fraction] = {}
-    node_input_volume: Dict[str, Fraction] = {}
+    node_volume: dict[str, Fraction] = {}
+    node_input_volume: dict[str, Fraction] = {}
     volumes = dict(edge_volume)
     for node in dag.nodes():
         if node.kind is NodeKind.EXCESS:
@@ -138,7 +137,7 @@ def lp_solve(
     dag: AssayDAG,
     limits: HardwareLimits,
     *,
-    output_tolerance: Optional[float] = 0.1,
+    output_tolerance: float | None = 0.1,
     dagsolve_constraints: bool = False,
 ) -> VolumeAssignment:
     """Build and solve the RVol LP for ``dag``.

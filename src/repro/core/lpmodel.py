@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import sparse
@@ -50,7 +50,7 @@ from .limits import HardwareLimits
 
 __all__ = ["ConstraintRow", "LPModel", "build_lp_model"]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 #: Constraint-class labels, matching the paper's numbering.
 CLASS_MIN_VOLUME = "min-volume"
@@ -84,16 +84,16 @@ class LPModel:
 
     dag: AssayDAG
     limits: HardwareLimits
-    var_index: Dict[EdgeKey, int]
+    var_index: dict[EdgeKey, int]
     objective: np.ndarray
     a_ub: sparse.csr_matrix
     b_ub: np.ndarray
     a_eq: sparse.csr_matrix
     b_eq: np.ndarray
-    bounds: List[Tuple[float, Optional[float]]]
-    rows_ub: List[ConstraintRow]
-    rows_eq: List[ConstraintRow]
-    meta: Dict[str, object] = field(default_factory=dict)
+    bounds: list[tuple[float, float | None]]
+    rows_ub: list[ConstraintRow]
+    rows_eq: list[ConstraintRow]
+    meta: dict[str, object] = field(default_factory=dict)
 
     @property
     def n_variables(self) -> int:
@@ -108,8 +108,8 @@ class LPModel:
         """
         return len(self.rows_ub) + len(self.rows_eq) + self.n_variables
 
-    def counts_by_class(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {CLASS_MIN_VOLUME: self.n_variables}
+    def counts_by_class(self) -> dict[str, int]:
+        counts: dict[str, int] = {CLASS_MIN_VOLUME: self.n_variables}
         for row in list(self.rows_ub) + list(self.rows_eq):
             counts[row.cls] = counts.get(row.cls, 0) + 1
         return counts
@@ -126,15 +126,15 @@ class _MatrixBuilder:
 
     def __init__(self, n_vars: int) -> None:
         self.n_vars = n_vars
-        self.data: List[float] = []
-        self.rows: List[int] = []
-        self.cols: List[int] = []
-        self.rhs: List[float] = []
-        self.labels: List[ConstraintRow] = []
+        self.data: list[float] = []
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.rhs: list[float] = []
+        self.labels: list[ConstraintRow] = []
 
     def add_row(
         self,
-        coefficients: Sequence[Tuple[int, Fraction]],
+        coefficients: Sequence[tuple[int, Fraction]],
         rhs: Fraction,
         cls: str,
         description: str,
@@ -151,7 +151,7 @@ class _MatrixBuilder:
         self.rhs.append(float(rhs))
         self.labels.append(ConstraintRow(cls, description, equality))
 
-    def matrices(self) -> Tuple[sparse.csr_matrix, np.ndarray]:
+    def matrices(self) -> tuple[sparse.csr_matrix, np.ndarray]:
         matrix = sparse.coo_matrix(
             (self.data, (self.rows, self.cols)),
             shape=(len(self.rhs), self.n_vars),
@@ -163,7 +163,7 @@ def build_lp_model(
     dag: AssayDAG,
     limits: HardwareLimits,
     *,
-    output_tolerance: Optional[float] = 0.1,
+    output_tolerance: float | None = 0.1,
     dagsolve_constraints: bool = False,
     min_volume_bounds: bool = True,
 ) -> LPModel:
@@ -196,19 +196,19 @@ def build_lp_model(
     # already allow discarding surplus production, so cascaded DAGs are
     # modelled without their excess edges.
     edges = [edge for edge in dag.edges() if not edge.is_excess]
-    var_index: Dict[EdgeKey, int] = {
+    var_index: dict[EdgeKey, int] = {
         edge.key: i for i, edge in enumerate(edges)
     }
     n_vars = len(var_index)
 
-    def out_vars(node_id: str) -> List[Tuple[int, Edge]]:
+    def out_vars(node_id: str) -> list[tuple[int, Edge]]:
         return [
             (var_index[e.key], e)
             for e in dag.out_edges(node_id)
             if not e.is_excess
         ]
 
-    def in_vars(node_id: str) -> List[Tuple[int, Edge]]:
+    def in_vars(node_id: str) -> list[tuple[int, Edge]]:
         return [
             (var_index[e.key], e)
             for e in dag.in_edges(node_id)
@@ -219,7 +219,7 @@ def build_lp_model(
     eq = _MatrixBuilder(n_vars)
 
     # -- class 1: minimum volume, as variable lower bounds ----------------
-    bounds: List[Tuple[float, Optional[float]]] = []
+    bounds: list[tuple[float, float | None]] = []
     for edge in edges:
         if not min_volume_bounds:
             bounds.append((0.0, float(limits.max_capacity)))
@@ -322,7 +322,7 @@ def build_lp_model(
             objective[i] -= float(fraction_out)  # linprog minimises
 
     # -- class 6: relative output-to-output -------------------------------
-    def output_volume_coefficients(node_id: str) -> List[Tuple[int, Fraction]]:
+    def output_volume_coefficients(node_id: str) -> list[tuple[int, Fraction]]:
         node = dag.node(node_id)
         fraction_out = node.output_fraction or Fraction(1)
         return [(i, fraction_out) for i, __ in in_vars(node_id)]

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 from .dag import AssayDAG, Edge, Node, NodeKind
 from .errors import PartitionError
@@ -60,7 +59,7 @@ class ConstrainedInputSpec:
     partition: int
     source: str
     share: Fraction
-    static_available: Optional[Fraction] = None
+    static_available: Fraction | None = None
 
     @property
     def needs_measurement(self) -> bool:
@@ -74,10 +73,10 @@ class Partition:
     index: int
     epoch: int
     dag: AssayDAG
-    constrained: List[ConstrainedInputSpec] = field(default_factory=list)
+    constrained: list[ConstrainedInputSpec] = field(default_factory=list)
     #: original node ids contained in this partition (constrained inputs
     #: excluded — they are synthetic).
-    members: Tuple[str, ...] = ()
+    members: tuple[str, ...] = ()
 
     @property
     def is_static(self) -> bool:
@@ -91,11 +90,11 @@ class PartitionedAssay:
     """The partitioning result: ordered partitions plus bookkeeping."""
 
     original: AssayDAG
-    partitions: List[Partition]
-    epoch_of: Dict[str, int]
+    partitions: list[Partition]
+    epoch_of: dict[str, int]
     #: producers whose run-time production must be recorded/measured for
     #: later partitions: unknown-volume nodes and cross-epoch exporters.
-    measured_sources: Tuple[str, ...] = ()
+    measured_sources: tuple[str, ...] = ()
 
     @property
     def n_partitions(self) -> int:
@@ -108,14 +107,14 @@ class PartitionedAssay:
         raise PartitionError(f"node {node_id!r} not in any partition")
 
 
-def measurement_epochs(dag: AssayDAG) -> Dict[str, int]:
+def measurement_epochs(dag: AssayDAG) -> dict[str, int]:
     """Measurement depth of every node.
 
     Inputs start at epoch 0; crossing an unknown-volume node increments the
     epoch.  A node's epoch is the maximum over its inbound paths, because it
     cannot be dispensed before *all* the measurements it depends on exist.
     """
-    epochs: Dict[str, int] = {}
+    epochs: dict[str, int] = {}
     for node_id in dag.topological_order():
         node = dag.node(node_id)
         best = 0
@@ -128,8 +127,8 @@ def measurement_epochs(dag: AssayDAG) -> Dict[str, int]:
 
 
 def _consumer_epochs(
-    dag: AssayDAG, epochs: Dict[str, int], node_id: str
-) -> List[int]:
+    dag: AssayDAG, epochs: dict[str, int], node_id: str
+) -> list[int]:
     return [
         epochs[edge.dst]
         for edge in dag.out_edges(node_id)
@@ -152,7 +151,7 @@ def partition_unknown_volumes(
     # ------------------------------------------------------------------
     # Decide which producers must be cut.
     # ------------------------------------------------------------------
-    cut_producers: Dict[str, str] = {}  # producer id -> reason
+    cut_producers: dict[str, str] = {}  # producer id -> reason
     for node in dag.nodes():
         if node.kind is NodeKind.EXCESS:
             continue
@@ -183,7 +182,7 @@ def partition_unknown_volumes(
     # Build the cut graph: remove severed edges, add constrained inputs.
     # ------------------------------------------------------------------
     work = dag.copy(f"{dag.name}.partitioned")
-    specs: List[ConstrainedInputSpec] = []
+    specs: list[ConstrainedInputSpec] = []
     for producer_id, reason in cut_producers.items():
         uses = [
             edge
@@ -195,7 +194,7 @@ def partition_unknown_volumes(
         # of a partition's uses into one constrained input; epochs are a
         # conservative stand-in for partitions at this point — the final
         # per-component grouping happens below).
-        by_epoch: Dict[int, List[Edge]] = {}
+        by_epoch: dict[int, list[Edge]] = {}
         for edge in uses:
             by_epoch.setdefault(epochs[edge.dst], []).append(edge)
         for epoch, edges in sorted(by_epoch.items()):
@@ -239,7 +238,7 @@ def partition_unknown_volumes(
     # ------------------------------------------------------------------
     # Weakly-connected components of the cut graph are the partitions.
     # ------------------------------------------------------------------
-    parent: Dict[str, str] = {n: n for n in work.node_ids()}
+    parent: dict[str, str] = {n: n for n in work.node_ids()}
 
     def find(x: str) -> str:
         while parent[x] != x:
@@ -255,12 +254,12 @@ def partition_unknown_volumes(
     for edge in work.edges():
         union(edge.src, edge.dst)
 
-    groups: Dict[str, List[str]] = {}
+    groups: dict[str, list[str]] = {}
     for node_id in work.node_ids():
         groups.setdefault(find(node_id), []).append(node_id)
 
     spec_by_stub = {spec.node_id: spec for spec in specs}
-    partitions: List[Partition] = []
+    partitions: list[Partition] = []
     ordered_groups = sorted(
         groups.values(),
         key=lambda members: (

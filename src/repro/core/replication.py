@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 from math import ceil
-from typing import Dict, List, Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 from .dag import AssayDAG, Edge, Node, NodeKind
 from .dagsolve import compute_vnorms, dispense
@@ -39,7 +39,7 @@ __all__ = [
     "iterative_replication",
 ]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 
 @dataclass(frozen=True)
@@ -48,9 +48,9 @@ class ReplicationReport:
 
     node: str
     copies: int
-    replica_ids: Tuple[str, ...]
+    replica_ids: tuple[str, ...]
     #: consumer node ids served by each replica, in replica order.
-    distribution: Tuple[Tuple[str, ...], ...]
+    distribution: tuple[tuple[str, ...], ...]
 
     def __str__(self) -> str:
         return f"replicate {self.node} x{self.copies}"
@@ -74,8 +74,8 @@ def _check_replicable(dag: AssayDAG, node_id: str) -> Node:
 
 
 def _balanced_partition(
-    items: List[Tuple[EdgeKey, Fraction]], bins: int
-) -> List[List[EdgeKey]]:
+    items: list[tuple[EdgeKey, Fraction]], bins: int
+) -> list[list[EdgeKey]]:
     """Longest-processing-time greedy partition of weighted uses.
 
     This realises the paper's "distribute the original outbound uses as
@@ -83,7 +83,7 @@ def _balanced_partition(
     symmetric workloads (like the enzyme assay's three reagent fans) come
     out perfectly even.
     """
-    buckets: List[List[EdgeKey]] = [[] for __ in range(bins)]
+    buckets: list[list[EdgeKey]] = [[] for __ in range(bins)]
     loads = [Fraction(0)] * bins
     for key, weight in sorted(items, key=lambda kv: (-kv[1], kv[0])):
         target = min(range(bins), key=lambda b: (loads[b], b))
@@ -97,8 +97,8 @@ def replicate_node(
     node_id: str,
     copies: int,
     *,
-    weights: Optional[Mapping[EdgeKey, Fraction]] = None,
-) -> Tuple[AssayDAG, ReplicationReport]:
+    weights: Mapping[EdgeKey, Fraction] | None = None,
+) -> tuple[AssayDAG, ReplicationReport]:
     """Copy ``node_id`` ``copies`` times and distribute its uses evenly.
 
     The original node acts as replica 1; fresh nodes ``<id>.rep2``, ... are
@@ -176,8 +176,8 @@ def iterative_replication(
     limits: HardwareLimits,
     *,
     max_rounds: int = 8,
-    max_total_nodes: Optional[int] = None,
-) -> Tuple[AssayDAG, List[ReplicationReport]]:
+    max_total_nodes: int | None = None,
+) -> tuple[AssayDAG, list[ReplicationReport]]:
     """Replicate binding nodes until DAGSolve stops underflowing.
 
     Each round recomputes Vnorms, finds the node whose capacity bound pins
@@ -189,7 +189,7 @@ def iterative_replication(
     the PLoC's resources; in such cases, compilation fails".
     """
     current = dag
-    reports: List[ReplicationReport] = []
+    reports: list[ReplicationReport] = []
     for __ in range(max_rounds):
         vnorms = compute_vnorms(current)
         assignment = dispense(current, vnorms, limits)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 from .dag import AssayDAG, NodeKind
 from .dagsolve import VolumeAssignment
@@ -49,8 +48,8 @@ class FluidUsage:
 class FluidRequirements:
     """The bench-side view of a plan."""
 
-    inputs: List[FluidUsage]
-    outputs: Dict[str, Fraction]
+    inputs: list[FluidUsage]
+    outputs: dict[str, Fraction]
     total_loaded: Fraction
     total_delivered: Fraction
 
@@ -82,7 +81,7 @@ class FluidRequirements:
 def fluid_requirements(assignment: VolumeAssignment) -> FluidRequirements:
     """Summarise an assignment per input fluid and per output product."""
     dag = assignment.dag
-    inputs: List[FluidUsage] = []
+    inputs: list[FluidUsage] = []
     total_loaded = Fraction(0)
     for node in dag.nodes():
         if node.kind is not NodeKind.INPUT:
@@ -107,7 +106,7 @@ def fluid_requirements(assignment: VolumeAssignment) -> FluidRequirements:
         )
     inputs.sort(key=lambda usage: (-usage.total, usage.fluid))
 
-    outputs: Dict[str, Fraction] = {}
+    outputs: dict[str, Fraction] = {}
     total_delivered = Fraction(0)
     for node in dag.outputs():
         if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
@@ -135,7 +134,7 @@ class WasteBreakdown:
 
     loaded: Fraction
     delivered: Fraction
-    excess_by_node: Dict[str, Fraction]
+    excess_by_node: dict[str, Fraction]
 
     @property
     def excess(self) -> Fraction:
@@ -185,7 +184,7 @@ def waste_breakdown(assignment: VolumeAssignment) -> WasteBreakdown:
             continue
         delivered += assignment.node_volume.get(node.id, Fraction(0))
 
-    excess_by_node: Dict[str, Fraction] = {}
+    excess_by_node: dict[str, Fraction] = {}
     for edge in dag.edges():
         if not edge.is_excess:
             continue

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Tuple
 
 from .dag import AssayDAG, NodeKind
 from .dagsolve import VolumeAssignment
@@ -44,7 +43,7 @@ __all__ = [
     "mean_ratio_error",
 ]
 
-EdgeKey = Tuple[str, str]
+EdgeKey = tuple[str, str]
 
 
 @dataclass(frozen=True)
@@ -80,7 +79,7 @@ def round_assignment(assignment: VolumeAssignment) -> VolumeAssignment:
     """
     limits = assignment.limits
     dag = assignment.dag
-    rounded: Dict[EdgeKey, Fraction] = {}
+    rounded: dict[EdgeKey, Fraction] = {}
     for edge in dag.edges():
         if edge.is_excess:
             continue
@@ -99,9 +98,9 @@ def round_assignment(assignment: VolumeAssignment) -> VolumeAssignment:
 
 def _repair_deficits(
     dag: AssayDAG,
-    rounded: Dict[EdgeKey, Fraction],
+    rounded: dict[EdgeKey, Fraction],
     limits: HardwareLimits,
-    exact: Dict[EdgeKey, Fraction],
+    exact: dict[EdgeKey, Fraction],
 ) -> None:
     """Shave outbound edges until every node's uses fit its production.
 
@@ -174,7 +173,7 @@ def round_assignment_ratio_preserving(
     limits = assignment.limits
     dag = assignment.dag
     least = limits.least_count
-    rounded: Dict[EdgeKey, Fraction] = {}
+    rounded: dict[EdgeKey, Fraction] = {}
     for node in dag.nodes():
         inbound = [e for e in dag.in_edges(node.id) if not e.is_excess]
         if not inbound:
@@ -182,8 +181,8 @@ def round_assignment_ratio_preserving(
         exact = {e.key: assignment.edge_volume[e.key] for e in inbound}
         fractions = {e.key: e.fraction for e in inbound}
         exact_total_steps = sum(exact.values(), Fraction(0)) / least
-        floors: Dict[EdgeKey, int] = {}
-        benefits: List[Tuple[Fraction, EdgeKey]] = []
+        floors: dict[EdgeKey, int] = {}
+        benefits: list[tuple[Fraction, EdgeKey]] = []
         for key, volume in exact.items():
             steps = volume / least
             whole = steps.numerator // steps.denominator
@@ -198,7 +197,7 @@ def round_assignment_ratio_preserving(
         benefits.sort(key=lambda item: (-item[0], item[1]))
         base_total = sum(floors.values())
 
-        best_choice: Dict[EdgeKey, int] = dict(floors)
+        best_choice: dict[EdgeKey, int] = dict(floors)
         best_score = None
         for leftover in range(len(inbound) + 1):
             candidate = dict(floors)
@@ -232,14 +231,14 @@ def round_assignment_ratio_preserving(
     return result
 
 
-def ratio_errors(assignment: VolumeAssignment) -> List[RatioError]:
+def ratio_errors(assignment: VolumeAssignment) -> list[RatioError]:
     """Relative mix-ratio deviations introduced by (rounded) volumes.
 
     For every multi-input node the achieved input shares are compared with
     the declared edge fractions.  Exact assignments (DAGSolve before
     rounding) produce an empty list.
     """
-    errors: List[RatioError] = []
+    errors: list[RatioError] = []
     for node in assignment.dag.nodes():
         if node.kind is NodeKind.EXCESS:
             continue

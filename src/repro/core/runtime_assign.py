@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional
+from collections.abc import Mapping
 
 from .dag import AssayDAG, NodeKind
 from .dagsolve import VnormResult, VolumeAssignment, compute_vnorms, dispense
@@ -57,7 +57,7 @@ class RuntimePlanner:
         # memoized by structural fingerprint — a sub-DAG shared with
         # another assay (or a previous compile of this one) hits
         # independently of the enclosing assay.
-        self.vnorms: Dict[int, VnormResult] = {
+        self.vnorms: dict[int, VnormResult] = {
             partition.index: (
                 cache.memo_vnorms(partition.dag)
                 if cache is not None
@@ -67,7 +67,7 @@ class RuntimePlanner:
         }
 
     @property
-    def partitions(self) -> List[Partition]:
+    def partitions(self) -> list[Partition]:
         return self.partitioned.partitions
 
     @property
@@ -84,8 +84,8 @@ class RuntimeSession:
 
     planner: RuntimePlanner
     #: measured or derived production volumes by original node id.
-    productions: Dict[str, Fraction] = field(default_factory=dict)
-    assignments: Dict[int, VolumeAssignment] = field(default_factory=dict)
+    productions: dict[str, Fraction] = field(default_factory=dict)
+    assignments: dict[int, VolumeAssignment] = field(default_factory=dict)
 
     def record_measurement(self, node_id: str, volume: Number) -> None:
         """Record the run-time measured output of an unknown-volume node."""
@@ -106,7 +106,7 @@ class RuntimeSession:
             for spec in partition.constrained
         )
 
-    def missing_measurements(self, index: int) -> List[str]:
+    def missing_measurements(self, index: int) -> list[str]:
         partition = self._partition(index)
         return [
             spec.source
@@ -145,8 +145,8 @@ class RuntimeSession:
         return assignment
 
     def assign_all(
-        self, measurements: Optional[Mapping[str, Number]] = None
-    ) -> Dict[int, VolumeAssignment]:
+        self, measurements: Mapping[str, Number] | None = None
+    ) -> dict[int, VolumeAssignment]:
         """Assign every partition in order, given all measurements upfront.
 
         Convenient for tests and for simulators that model separators with

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from .cascading import CascadeReport
 from .dag import AssayDAG, Edge, Node, NodeKind
@@ -81,11 +81,11 @@ def fraction_from_str(text: str) -> Fraction:
     return Fraction(int(numerator), int(denominator))
 
 
-def _opt_fraction(value: Optional[Fraction]) -> Optional[str]:
+def _opt_fraction(value: Fraction | None) -> str | None:
     return None if value is None else fraction_to_str(value)
 
 
-def _opt_fraction_back(value: Optional[str]) -> Optional[Fraction]:
+def _opt_fraction_back(value: str | None) -> Fraction | None:
     return None if value is None else fraction_from_str(value)
 
 
@@ -131,14 +131,14 @@ def decode_value(value: Any) -> Any:
 # ---------------------------------------------------------------------------
 # limits
 # ---------------------------------------------------------------------------
-def limits_to_dict(limits: HardwareLimits) -> Dict[str, str]:
+def limits_to_dict(limits: HardwareLimits) -> dict[str, str]:
     return {
         "max_capacity": fraction_to_str(limits.max_capacity),
         "least_count": fraction_to_str(limits.least_count),
     }
 
 
-def limits_from_dict(data: Dict[str, str]) -> HardwareLimits:
+def limits_from_dict(data: dict[str, str]) -> HardwareLimits:
     return HardwareLimits(
         max_capacity=fraction_from_str(data["max_capacity"]),
         least_count=fraction_from_str(data["least_count"]),
@@ -148,7 +148,7 @@ def limits_from_dict(data: Dict[str, str]) -> HardwareLimits:
 # ---------------------------------------------------------------------------
 # DAG
 # ---------------------------------------------------------------------------
-def _node_to_dict(node: Node) -> Dict[str, Any]:
+def _node_to_dict(node: Node) -> dict[str, Any]:
     return {
         "id": node.id,
         "kind": node.kind.value,
@@ -165,7 +165,7 @@ def _node_to_dict(node: Node) -> Dict[str, Any]:
     }
 
 
-def _node_from_dict(data: Dict[str, Any]) -> Node:
+def _node_from_dict(data: dict[str, Any]) -> Node:
     return Node(
         id=data["id"],
         kind=NodeKind(data["kind"]),
@@ -182,7 +182,7 @@ def _node_from_dict(data: Dict[str, Any]) -> Node:
     )
 
 
-def dag_to_dict(dag: AssayDAG) -> Dict[str, Any]:
+def dag_to_dict(dag: AssayDAG) -> dict[str, Any]:
     """Serialize a DAG, preserving node and edge insertion order."""
     return {
         "name": dag.name,
@@ -199,7 +199,7 @@ def dag_to_dict(dag: AssayDAG) -> Dict[str, Any]:
     }
 
 
-def dag_from_dict(data: Dict[str, Any]) -> AssayDAG:
+def dag_from_dict(data: dict[str, Any]) -> AssayDAG:
     dag = AssayDAG(data["name"])
     for node_data in data["nodes"]:
         dag.add_node(_node_from_dict(node_data))
@@ -218,28 +218,28 @@ def dag_from_dict(data: Dict[str, Any]) -> AssayDAG:
 # ---------------------------------------------------------------------------
 # Vnorms / assignments
 # ---------------------------------------------------------------------------
-def _edge_map_to_list(edge_map) -> List[List[Any]]:
+def _edge_map_to_list(edge_map) -> list[list[Any]]:
     return [
         [src, dst, fraction_to_str(value)]
         for (src, dst), value in edge_map.items()
     ]
 
 
-def _edge_map_from_list(items) -> Dict[Tuple[str, str], Fraction]:
+def _edge_map_from_list(items) -> dict[tuple[str, str], Fraction]:
     return {
         (src, dst): fraction_from_str(value) for src, dst, value in items
     }
 
 
-def _node_map_to_dict(node_map) -> Dict[str, str]:
+def _node_map_to_dict(node_map) -> dict[str, str]:
     return {node_id: fraction_to_str(v) for node_id, v in node_map.items()}
 
 
-def _node_map_from_dict(data) -> Dict[str, Fraction]:
+def _node_map_from_dict(data) -> dict[str, Fraction]:
     return {node_id: fraction_from_str(v) for node_id, v in data.items()}
 
 
-def vnorms_to_dict(vnorms: VnormResult) -> Dict[str, Any]:
+def vnorms_to_dict(vnorms: VnormResult) -> dict[str, Any]:
     return {
         "node_vnorm": _node_map_to_dict(vnorms.node_vnorm),
         "node_input_vnorm": _node_map_to_dict(vnorms.node_input_vnorm),
@@ -249,7 +249,7 @@ def vnorms_to_dict(vnorms: VnormResult) -> Dict[str, Any]:
     }
 
 
-def vnorms_from_dict(data: Dict[str, Any]) -> VnormResult:
+def vnorms_from_dict(data: dict[str, Any]) -> VnormResult:
     return VnormResult(
         node_vnorm=_node_map_from_dict(data["node_vnorm"]),
         node_input_vnorm=_node_map_from_dict(data["node_input_vnorm"]),
@@ -259,7 +259,7 @@ def vnorms_from_dict(data: Dict[str, Any]) -> VnormResult:
     )
 
 
-def assignment_to_dict(assignment: VolumeAssignment) -> Dict[str, Any]:
+def assignment_to_dict(assignment: VolumeAssignment) -> dict[str, Any]:
     """Serialize an assignment *without* its DAG (stored once per plan)."""
     return {
         "node_volume": _node_map_to_dict(assignment.node_volume),
@@ -279,7 +279,7 @@ def assignment_to_dict(assignment: VolumeAssignment) -> Dict[str, Any]:
 
 
 def assignment_from_dict(
-    data: Dict[str, Any], dag: AssayDAG
+    data: dict[str, Any], dag: AssayDAG
 ) -> VolumeAssignment:
     return VolumeAssignment(
         dag=dag,
@@ -302,7 +302,7 @@ def assignment_from_dict(
 # ---------------------------------------------------------------------------
 # plans
 # ---------------------------------------------------------------------------
-def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
+def _violation_to_dict(violation: Violation) -> dict[str, Any]:
     return {
         "kind": violation.kind,
         "subject": violation.subject,
@@ -311,7 +311,7 @@ def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
     }
 
 
-def _violation_from_dict(data: Dict[str, Any]) -> Violation:
+def _violation_from_dict(data: dict[str, Any]) -> Violation:
     return Violation(
         kind=data["kind"],
         subject=data["subject"],
@@ -320,7 +320,7 @@ def _violation_from_dict(data: Dict[str, Any]) -> Violation:
     )
 
 
-def _attempt_to_dict(attempt: Attempt) -> Dict[str, Any]:
+def _attempt_to_dict(attempt: Attempt) -> dict[str, Any]:
     return {
         "stage": attempt.stage,
         "round": attempt.round,
@@ -330,7 +330,7 @@ def _attempt_to_dict(attempt: Attempt) -> Dict[str, Any]:
     }
 
 
-def _attempt_from_dict(data: Dict[str, Any]) -> Attempt:
+def _attempt_from_dict(data: dict[str, Any]) -> Attempt:
     return Attempt(
         stage=data["stage"],
         round=data["round"],
@@ -342,7 +342,7 @@ def _attempt_from_dict(data: Dict[str, Any]) -> Attempt:
     )
 
 
-def _transform_to_dict(report) -> Dict[str, Any]:
+def _transform_to_dict(report) -> dict[str, Any]:
     if isinstance(report, CascadeReport):
         return {
             "kind": "cascade",
@@ -362,7 +362,7 @@ def _transform_to_dict(report) -> Dict[str, Any]:
     raise SerdeError(f"unknown transform report {type(report).__name__}")
 
 
-def _transform_from_dict(data: Dict[str, Any]):
+def _transform_from_dict(data: dict[str, Any]):
     if data["kind"] == "cascade":
         return CascadeReport(
             node=data["node"],
@@ -382,7 +382,7 @@ def _transform_from_dict(data: Dict[str, Any]):
     raise SerdeError(f"unknown transform kind {data['kind']!r}")
 
 
-def plan_to_dict(plan: VolumePlan) -> Dict[str, Any]:
+def plan_to_dict(plan: VolumePlan) -> dict[str, Any]:
     """Serialize a :class:`VolumePlan` (including its final DAG)."""
     return {
         "version": SERDE_VERSION,
@@ -399,7 +399,7 @@ def plan_to_dict(plan: VolumePlan) -> Dict[str, Any]:
 
 
 def plan_from_dict(
-    data: Dict[str, Any], dag: Optional[AssayDAG] = None
+    data: dict[str, Any], dag: AssayDAG | None = None
 ) -> VolumePlan:
     """Reconstruct a plan; pass ``dag`` to share an already-decoded DAG."""
     if data.get("version") != SERDE_VERSION:

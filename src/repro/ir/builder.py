@@ -25,7 +25,6 @@ Every node's ``meta`` carries what codegen needs: ``seq`` (program order),
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 from ..core.dag import AssayDAG, Edge, Node, NodeKind, fractions_from_ratio
 from ..lang.errors import SemanticError
@@ -38,7 +37,7 @@ def build_dag_from_flat(flat: FlatAssay) -> AssayDAG:
     """Build the volume-management DAG for an unrolled assay."""
     dag = AssayDAG(flat.name)
     #: fluid key -> current node id (versioned under dynamic guards)
-    version: Dict[str, str] = {}
+    version: dict[str, str] = {}
 
     for key in flat.input_fluids:
         dag.add_input(key, label=key, meta={"seq": -1})
@@ -73,7 +72,7 @@ def build_dag_from_flat(flat: FlatAssay) -> AssayDAG:
 
         if statement.kind == "mix":
             sources = [resolve(key, statement.line) for key in statement.operands]
-            ratios = statement.ratios or tuple([1] * len(sources))
+            ratios = statement.ratios or (1,) * len(sources)
             node_id = fresh_id(statement.target)
             node = dag.add_node(
                 Node(
@@ -132,7 +131,7 @@ def build_dag_from_flat(flat: FlatAssay) -> AssayDAG:
 
         elif statement.kind == "sense":
             node_id = resolve(statement.operands[0], statement.line)
-            senses: List[dict] = dag.node(node_id).meta.setdefault("senses", [])
+            senses: list[dict] = dag.node(node_id).meta.setdefault("senses", [])
             senses.append(
                 {
                     "mode": statement.mode,
@@ -144,7 +143,7 @@ def build_dag_from_flat(flat: FlatAssay) -> AssayDAG:
 
         elif statement.kind == "output":
             node_id = resolve(statement.operands[0], statement.line)
-            outputs: List[dict] = dag.node(node_id).meta.setdefault("outputs", [])
+            outputs: list[dict] = dag.node(node_id).meta.setdefault("outputs", [])
             outputs.append({"seq": statement.seq, "guard": statement.guard})
 
         else:  # pragma: no cover - unroller emits no other kinds

@@ -32,7 +32,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum, unique
 from fractions import Fraction
-from typing import Dict, Optional, Tuple, Union
 
 from ..core.limits import Number, as_fraction
 
@@ -89,7 +88,7 @@ class Operand:
     """A location: component id plus optional sub-port."""
 
     base: str
-    sub: Optional[str] = None
+    sub: str | None = None
 
     @classmethod
     def parse(cls, text: str) -> "Operand":
@@ -102,7 +101,7 @@ class Operand:
         return self.base if self.sub is None else f"{self.base}.{self.sub}"
 
 
-def _operand(value: Union[str, Operand]) -> Operand:
+def _operand(value: str | Operand) -> Operand:
     return value if isinstance(value, Operand) else Operand.parse(value)
 
 
@@ -117,19 +116,19 @@ class Instruction:
     """
 
     opcode: Opcode
-    dst: Optional[Operand] = None
-    src: Optional[Operand] = None
-    rel_volume: Optional[Fraction] = None
-    abs_volume: Optional[Fraction] = None
-    temperature: Optional[Fraction] = None
-    duration: Optional[Fraction] = None
-    mode: Optional[str] = None       # separate/sense flavour
-    result: Optional[str] = None     # sense destination variable
-    reg: Optional[str] = None        # dry ops: target register
-    value: Optional[Union[int, str]] = None  # dry ops: immediate or register
-    comment: Optional[str] = None
-    edge: Optional[Tuple[str, str]] = None
-    meta: Dict[str, object] = field(default_factory=dict)
+    dst: Operand | None = None
+    src: Operand | None = None
+    rel_volume: Fraction | None = None
+    abs_volume: Fraction | None = None
+    temperature: Fraction | None = None
+    duration: Fraction | None = None
+    mode: str | None = None       # separate/sense flavour
+    result: str | None = None     # sense destination variable
+    reg: str | None = None        # dry ops: target register
+    value: int | str | None = None  # dry ops: immediate or register
+    comment: str | None = None
+    edge: tuple[str, str] | None = None
+    meta: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -217,7 +216,7 @@ class Instruction:
         return self.render()
 
 
-def _num(value: Optional[Fraction]) -> str:
+def _num(value: Fraction | None) -> str:
     if value is None:
         return "?"
     return str(value.numerator) if value.denominator == 1 else str(value)
@@ -226,22 +225,22 @@ def _num(value: Optional[Fraction]) -> str:
 # ----------------------------------------------------------------------
 # factory helpers
 # ----------------------------------------------------------------------
-def input_(dst: Union[str, Operand], port: Union[str, Operand], **kwargs) -> Instruction:
+def input_(dst: str | Operand, port: str | Operand, **kwargs) -> Instruction:
     instr = Instruction(Opcode.INPUT, dst=_operand(dst), src=_operand(port), **kwargs)
     instr.validate()
     return instr
 
 
-def output(port: Union[str, Operand], src: Union[str, Operand], **kwargs) -> Instruction:
+def output(port: str | Operand, src: str | Operand, **kwargs) -> Instruction:
     instr = Instruction(Opcode.OUTPUT, dst=_operand(port), src=_operand(src), **kwargs)
     instr.validate()
     return instr
 
 
 def move(
-    dst: Union[str, Operand],
-    src: Union[str, Operand],
-    rel_volume: Optional[Number] = None,
+    dst: str | Operand,
+    src: str | Operand,
+    rel_volume: Number | None = None,
     **kwargs,
 ) -> Instruction:
     instr = Instruction(
@@ -256,8 +255,8 @@ def move(
 
 
 def move_abs(
-    dst: Union[str, Operand],
-    src: Union[str, Operand],
+    dst: str | Operand,
+    src: str | Operand,
     volume: Number,
     **kwargs,
 ) -> Instruction:
@@ -272,7 +271,7 @@ def move_abs(
     return instr
 
 
-def mix(unit: Union[str, Operand], duration: Number, **kwargs) -> Instruction:
+def mix(unit: str | Operand, duration: Number, **kwargs) -> Instruction:
     instr = Instruction(
         Opcode.MIX, dst=_operand(unit), duration=as_fraction(duration), **kwargs
     )
@@ -281,7 +280,7 @@ def mix(unit: Union[str, Operand], duration: Number, **kwargs) -> Instruction:
 
 
 def incubate(
-    unit: Union[str, Operand], temperature: Number, duration: Number, **kwargs
+    unit: str | Operand, temperature: Number, duration: Number, **kwargs
 ) -> Instruction:
     instr = Instruction(
         Opcode.INCUBATE,
@@ -295,7 +294,7 @@ def incubate(
 
 
 def concentrate(
-    unit: Union[str, Operand], temperature: Number, duration: Number, **kwargs
+    unit: str | Operand, temperature: Number, duration: Number, **kwargs
 ) -> Instruction:
     instr = Instruction(
         Opcode.CONCENTRATE,
@@ -309,7 +308,7 @@ def concentrate(
 
 
 def separate(
-    unit: Union[str, Operand], mode: str, duration: Number, **kwargs
+    unit: str | Operand, mode: str, duration: Number, **kwargs
 ) -> Instruction:
     instr = Instruction(
         Opcode.SEPARATE,
@@ -323,7 +322,7 @@ def separate(
 
 
 def sense(
-    unit: Union[str, Operand], mode: str, result: str, **kwargs
+    unit: str | Operand, mode: str, result: str, **kwargs
 ) -> Instruction:
     instr = Instruction(
         Opcode.SENSE, dst=_operand(unit), mode=mode, result=result, **kwargs
@@ -332,23 +331,23 @@ def sense(
     return instr
 
 
-def _dry(opcode: Opcode, reg: str, value: Union[int, str]) -> Instruction:
+def _dry(opcode: Opcode, reg: str, value: int | str) -> Instruction:
     instr = Instruction(opcode, reg=reg, value=value)
     instr.validate()
     return instr
 
 
-def dry_mov(reg: str, value: Union[int, str]) -> Instruction:
+def dry_mov(reg: str, value: int | str) -> Instruction:
     return _dry(Opcode.DRY_MOV, reg, value)
 
 
-def dry_add(reg: str, value: Union[int, str]) -> Instruction:
+def dry_add(reg: str, value: int | str) -> Instruction:
     return _dry(Opcode.DRY_ADD, reg, value)
 
 
-def dry_sub(reg: str, value: Union[int, str]) -> Instruction:
+def dry_sub(reg: str, value: int | str) -> Instruction:
     return _dry(Opcode.DRY_SUB, reg, value)
 
 
-def dry_mul(reg: str, value: Union[int, str]) -> Instruction:
+def dry_mul(reg: str, value: int | str) -> Instruction:
     return _dry(Opcode.DRY_MUL, reg, value)

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import re
 from fractions import Fraction
-from typing import List, Optional, Tuple
 
 from ..core.limits import as_fraction
 from .instructions import (
@@ -44,7 +43,7 @@ __all__ = ["AISParseError", "parse_ais"]
 class AISParseError(ValueError):
     """A line of AIS text could not be parsed."""
 
-    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+    def __init__(self, message: str, line_number: int | None = None) -> None:
         prefix = f"line {line_number}: " if line_number is not None else ""
         super().__init__(f"{prefix}{message}")
         self.line_number = line_number
@@ -59,13 +58,13 @@ _DRY_OPS = {
 }
 
 
-def _split_line(line: str) -> Tuple[str, Optional[str]]:
+def _split_line(line: str) -> tuple[str, str | None]:
     """Split off the trailing ``;comment`` (the paper's fluid annotation)."""
     body, semi, comment = line.partition(";")
     return body.strip(), comment.strip() if semi else None
 
 
-def _fields(rest: str, line_number: int, mnemonic: str, count: int) -> List[str]:
+def _fields(rest: str, line_number: int, mnemonic: str, count: int) -> list[str]:
     fields = [field.strip() for field in rest.split(",")]
     if len(fields) != count or not all(fields):
         raise AISParseError(
@@ -83,7 +82,7 @@ def _number(text: str, line_number: int, what: str) -> Fraction:
         raise AISParseError(f"bad {what} {text!r}", line_number) from None
 
 
-def _parse_instruction(body: str, comment: Optional[str], line_number: int) -> Instruction:
+def _parse_instruction(body: str, comment: str | None, line_number: int) -> Instruction:
     mnemonic, _, rest = body.partition(" ")
     rest = rest.strip()
     if not rest:
@@ -201,7 +200,7 @@ def parse_ais(text: str, *, name: str = "program") -> AISProgram:
         AISParseError: on malformed lines (with the offending line number).
     """
     program_name = name
-    instructions: List[Instruction] = []
+    instructions: list[Instruction] = []
     saw_header = False
     saw_footer = False
     for line_number, raw in enumerate(text.splitlines(), start=1):

@@ -10,7 +10,7 @@ DAG nodes/edges (used by the volume-plan resolver and by regeneration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 from .instructions import Instruction, Opcode
 
@@ -22,14 +22,14 @@ class AISProgram:
     """A compiled assay."""
 
     name: str
-    instructions: List[Instruction] = field(default_factory=list)
+    instructions: list[Instruction] = field(default_factory=list)
     #: fluid name -> input port id (e.g. {"Glucose": "ip1"}).
-    input_ports: Dict[str, str] = field(default_factory=dict)
+    input_ports: dict[str, str] = field(default_factory=dict)
     #: machine spec name the reservoir allocation assumed.
-    machine: Optional[str] = None
+    machine: str | None = None
     #: declared result variables (flattened array cells included).
-    results: Tuple[str, ...] = ()
-    meta: Dict[str, object] = field(default_factory=dict)
+    results: tuple[str, ...] = ()
+    meta: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def append(self, instruction: Instruction) -> Instruction:
@@ -51,13 +51,13 @@ class AISProgram:
         return self.instructions[index]
 
     # ------------------------------------------------------------------
-    def wet_instructions(self) -> List[Instruction]:
+    def wet_instructions(self) -> list[Instruction]:
         return [i for i in self.instructions if i.is_wet]
 
     def count(self, opcode: Opcode) -> int:
         return sum(1 for i in self.instructions if i.opcode is opcode)
 
-    def moves_for_edge(self, edge: Tuple[str, str]) -> List[int]:
+    def moves_for_edge(self, edge: tuple[str, str]) -> list[int]:
         """Indices of instructions dispensing the given DAG edge."""
         return [
             index

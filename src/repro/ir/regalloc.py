@@ -22,7 +22,7 @@ Allocation is a linear scan over the execution order of the volume DAG:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from ..core.dag import AssayDAG, NodeKind
 from ..machine.spec import MachineSpec
@@ -39,17 +39,17 @@ class ReservoirAssignment:
     """Result of allocation: where every fluid lives."""
 
     #: DAG node id -> reservoir id, for fluids that are parked.
-    reservoir_of: Dict[str, str] = field(default_factory=dict)
+    reservoir_of: dict[str, str] = field(default_factory=dict)
     #: input fluid node id -> input port id.
-    port_of: Dict[str, str] = field(default_factory=dict)
+    port_of: dict[str, str] = field(default_factory=dict)
     #: auxiliary fluids (separator matrix/pusher loads): name -> (reservoir, port).
-    aux: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    aux: dict[str, tuple[str, str]] = field(default_factory=dict)
     #: node ids whose product never touches a reservoir.
-    storage_less: Set[str] = field(default_factory=set)
+    storage_less: set[str] = field(default_factory=set)
     #: peak number of simultaneously-occupied reservoirs.
     peak_usage: int = 0
 
-    def location_of(self, node_id: str) -> Optional[str]:
+    def location_of(self, node_id: str) -> str | None:
         return self.reservoir_of.get(node_id)
 
 
@@ -93,7 +93,7 @@ class ReservoirAllocator:
         free = list(self.spec.reservoir_names())
         free_ports = list(self.spec.input_port_names())
         result = ReservoirAssignment()
-        in_use: Dict[str, str] = {}  # node id -> reservoir
+        in_use: dict[str, str] = {}  # node id -> reservoir
 
         def take_reservoir(owner: str) -> str:
             if not free:
@@ -145,7 +145,7 @@ class ReservoirAllocator:
             result.aux[name] = (reservoir, port)
 
         # -- walk the execution order ------------------------------------
-        events: List[Tuple[int, str]] = sorted(
+        events: list[tuple[int, str]] = sorted(
             ((position[n.id], n.id) for n in dag.nodes()),
             key=lambda item: item[0],
         )

@@ -30,7 +30,7 @@ def-use chains model both.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from .instructions import Instruction, Opcode, Operand
 
@@ -45,7 +45,7 @@ def _loc(operand: Operand) -> Location:
 
 def _reads_writes(
     instruction: Instruction,
-) -> Tuple[List[Location], List[Location], List[Location]]:
+) -> tuple[list[Location], list[Location], list[Location]]:
     """(reads, writes, kills) of one instruction.
 
     ``kills`` are locations fully drained (their previous definition dies);
@@ -88,11 +88,11 @@ def _reads_writes(
     return [], [], []  # dry ops do not touch fluid state
 
 
-def def_use_chains(program: Sequence[Instruction]) -> List[List[int]]:
+def def_use_chains(program: Sequence[Instruction]) -> list[list[int]]:
     """For each instruction, the indices of the instructions that produced
     the fluid it reads (its direct dependences)."""
-    last_writer: Dict[Location, int] = {}
-    chains: List[List[int]] = []
+    last_writer: dict[Location, int] = {}
+    chains: list[list[int]] = []
     for index, instruction in enumerate(program):
         reads, writes, kills = _reads_writes(instruction)
         deps = sorted(
@@ -112,14 +112,14 @@ def def_use_chains(program: Sequence[Instruction]) -> List[List[int]]:
 
 def backward_slice(
     program: Sequence[Instruction], index: int
-) -> List[int]:
+) -> list[int]:
     """Indices of the transitive producers of instruction ``index``
     (inclusive), in program order — the code to re-execute to regenerate
     that instruction's inputs."""
     if not (0 <= index < len(program)):
         raise IndexError(index)
     chains = def_use_chains(program)
-    needed: Set[int] = set()
+    needed: set[int] = set()
     stack = [index]
     while stack:
         current = stack.pop()
@@ -132,10 +132,10 @@ def backward_slice(
 
 def slice_for_location(
     program: Sequence[Instruction], location: Location, before: int
-) -> List[int]:
+) -> list[int]:
     """Backward slice that regenerates the contents of ``location`` as they
     stood just before instruction ``before``."""
-    last_writer: Dict[Location, int] = {}
+    last_writer: dict[Location, int] = {}
     for index in range(before):
         __, writes, kills = _reads_writes(program[index])
         for written in kills:

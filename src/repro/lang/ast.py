@@ -10,7 +10,7 @@ fluid or a dry variable is resolved by :mod:`repro.lang.semantic`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 __all__ = [
     "Expr",
@@ -63,7 +63,7 @@ class Index:
     """``base[i]`` or ``base[i][j]...`` — arrays of fluids or dry vars."""
 
     base: str
-    indices: Tuple["Expr", ...]
+    indices: tuple["Expr", ...]
     line: int = 0
 
     def __str__(self) -> str:
@@ -102,8 +102,8 @@ class Compare:
         return f"({self.left} {self.op} {self.right})"
 
 
-Expr = Union[Num, Name, Index, ItRef, BinOp, Compare]
-Target = Union[Name, Index]
+Expr = Num | Name | Index | ItRef | BinOp | Compare
+Target = Name | Index
 
 
 # ----------------------------------------------------------------------
@@ -118,16 +118,16 @@ class FluidDecl:
     volume manager will refuse to cascade mixes producing it.
     """
 
-    names: List[Tuple[str, Tuple[int, ...]]]  # (name, array dims)
+    names: list[tuple[str, tuple[int, ...]]]  # (name, array dims)
     line: int = 0
-    no_excess: List[str] = field(default_factory=list)
+    no_excess: list[str] = field(default_factory=list)
 
 
 @dataclass
 class VarDecl:
     """``VAR i, Result[5], RESULT[4][4][4];``"""
 
-    names: List[Tuple[str, Tuple[int, ...]]]
+    names: list[tuple[str, tuple[int, ...]]]
     line: int = 0
 
 
@@ -139,8 +139,8 @@ class MixExpr:
     side of an assignment.  Without RATIOS the mix is equal parts.
     """
 
-    operands: List[Expr]
-    ratios: Optional[List[Expr]]
+    operands: list[Expr]
+    ratios: list[Expr] | None
     duration: Expr
     line: int = 0
 
@@ -150,7 +150,7 @@ class Assign:
     """``target = expr;`` — dry assignment or fluid definition (MIX rhs)."""
 
     target: Target
-    value: Union[Expr, MixExpr]
+    value: Expr | MixExpr
     line: int = 0
 
 
@@ -181,7 +181,7 @@ class SeparateStmt:
     duration: Expr
     effluent: str
     waste: str
-    yield_hint: Optional[Tuple[Expr, Expr]] = None
+    yield_hint: tuple[Expr, Expr] | None = None
     line: int = 0
 
 
@@ -203,7 +203,7 @@ class ConcentrateStmt:
     operand: Expr
     temperature: Expr
     duration: Expr
-    keep: Optional[Tuple[Expr, Expr]] = None
+    keep: tuple[Expr, Expr] | None = None
     line: int = 0
 
 
@@ -222,7 +222,7 @@ class ForStmt:
     var: str
     start: Expr
     stop: Expr
-    body: List["Stmt"]
+    body: list["Stmt"]
     line: int = 0
 
 
@@ -233,7 +233,7 @@ class WhileStmt:
 
     condition: Expr
     hint: Expr
-    body: List["Stmt"]
+    body: list["Stmt"]
     line: int = 0
 
 
@@ -246,29 +246,29 @@ class IfStmt:
     """
 
     condition: Expr
-    then_body: List["Stmt"]
-    else_body: List["Stmt"] = field(default_factory=list)
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
     line: int = 0
 
 
-Stmt = Union[
-    FluidDecl,
-    VarDecl,
-    Assign,
-    MixExpr,
-    SenseStmt,
-    SeparateStmt,
-    IncubateStmt,
-    ConcentrateStmt,
-    OutputStmt,
-    ForStmt,
-    WhileStmt,
-    IfStmt,
-]
+Stmt = (
+    FluidDecl
+    | VarDecl
+    | Assign
+    | MixExpr
+    | SenseStmt
+    | SeparateStmt
+    | IncubateStmt
+    | ConcentrateStmt
+    | OutputStmt
+    | ForStmt
+    | WhileStmt
+    | IfStmt
+)
 
 
 @dataclass
 class Program:
     name: str
-    body: List[Stmt]
+    body: list[Stmt]
     line: int = 0

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 __all__ = ["FrontendError", "LexError", "ParseError", "SemanticError"]
 
@@ -10,7 +9,7 @@ __all__ = ["FrontendError", "LexError", "ParseError", "SemanticError"]
 class FrontendError(Exception):
     """Base class for assay-language errors with source locations."""
 
-    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
         location = ""
         if line is not None:
             location = f"line {line}"

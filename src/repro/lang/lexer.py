@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, unique
-from typing import Iterator, List, Optional
+from collections.abc import Iterator
 
 from .errors import LexError
 
@@ -107,9 +107,9 @@ class Token:
         return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
 
 
-def tokenize(source: str) -> List[Token]:
+def tokenize(source: str) -> list[Token]:
     """Tokenize a whole assay; always ends with one EOF token."""
-    tokens: List[Token] = []
+    tokens: list[Token] = []
     line = 1
     column = 1
     i = 0

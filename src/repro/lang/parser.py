@@ -33,7 +33,6 @@ The grammar (statement keywords dispatch the alternatives)::
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from .ast import (
     Assign,
@@ -73,7 +72,7 @@ _SENSE_MODES = {"OPTICAL": "OD", "FLUORESCENCE": "FL"}
 
 
 class Parser:
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.position = 0
 
@@ -118,12 +117,12 @@ class Parser:
             )
         return self.advance()
 
-    def accept_symbol(self, symbol: str) -> Optional[Token]:
+    def accept_symbol(self, symbol: str) -> Token | None:
         if self.current.is_symbol(symbol):
             return self.advance()
         return None
 
-    def accept_keyword(self, *names: str) -> Optional[Token]:
+    def accept_keyword(self, *names: str) -> Token | None:
         if self.current.is_keyword(*names):
             return self.advance()
         return None
@@ -144,8 +143,8 @@ class Parser:
             )
         return Program(name, body, start.line)
 
-    def parse_block(self, terminators: Tuple[str, ...]) -> List[Stmt]:
-        body: List[Stmt] = []
+    def parse_block(self, terminators: tuple[str, ...]) -> list[Stmt]:
+        body: list[Stmt] = []
         while True:
             token = self.current
             if token.kind is TokenKind.EOF:
@@ -194,11 +193,11 @@ class Parser:
 
     def parse_declaration(self, cls) -> Stmt:
         keyword = self.advance()
-        names: List[Tuple[str, Tuple[int, ...]]] = []
-        no_excess: List[str] = []
+        names: list[tuple[str, tuple[int, ...]]] = []
+        no_excess: list[str] = []
         while True:
             ident = self.expect_ident()
-            dims: List[int] = []
+            dims: list[int] = []
             while self.accept_symbol("["):
                 size = self.current
                 if size.kind is not TokenKind.NUMBER:
@@ -237,7 +236,7 @@ class Parser:
 
     def parse_target(self):
         ident = self.expect_ident()
-        indices: List[Expr] = []
+        indices: list[Expr] = []
         while self.accept_symbol("["):
             indices.append(self.parse_expression())
             self.expect_symbol("]")
@@ -252,7 +251,7 @@ class Parser:
             operands.append(self.parse_operand())
         if len(operands) < 2:
             raise ParseError("MIX needs at least two operands", keyword.line)
-        ratios: Optional[List[Expr]] = None
+        ratios: list[Expr] | None = None
         if self.accept_keyword("IN"):
             self.expect_keyword("RATIOS")
             ratios = [self.parse_expression()]
@@ -373,7 +372,7 @@ class Parser:
         condition = self.parse_condition()
         self.expect_keyword("THEN")
         then_body = self.parse_block(("ELSE", "ENDIF"))
-        else_body: List[Stmt] = []
+        else_body: list[Stmt] = []
         if self.accept_keyword("ELSE"):
             else_body = self.parse_block(("ENDIF",))
         self.expect_keyword("ENDIF")

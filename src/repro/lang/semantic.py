@@ -15,7 +15,6 @@ Loop variables are implicitly dry and scoped to their loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple, Union
 
 from .ast import (
     Assign,
@@ -49,11 +48,11 @@ __all__ = ["SymbolTable", "analyze"]
 class SymbolTable:
     """Declared names with their kind and array dimensionality."""
 
-    fluids: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
-    variables: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
-    loop_vars: Set[str] = field(default_factory=set)
+    fluids: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    variables: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    loop_vars: set[str] = field(default_factory=set)
     #: fluids whose excess production is disallowed (NOEXCESS).
-    no_excess: Set[str] = field(default_factory=set)
+    no_excess: set[str] = field(default_factory=set)
 
     def kind_of(self, name: str) -> str:
         if name in self.fluids:
@@ -68,7 +67,7 @@ class SymbolTable:
     def is_var(self, name: str) -> bool:
         return name in self.variables or name in self.loop_vars
 
-    def dims_of(self, name: str) -> Tuple[int, ...]:
+    def dims_of(self, name: str) -> tuple[int, ...]:
         if name in self.fluids:
             return self.fluids[name]
         if name in self.variables:
@@ -90,7 +89,7 @@ class _Analyzer:
         return self.symbols
 
     # ------------------------------------------------------------------
-    def declare(self, decl: Union[FluidDecl, VarDecl]) -> None:
+    def declare(self, decl: FluidDecl | VarDecl) -> None:
         table = (
             self.symbols.fluids
             if isinstance(decl, FluidDecl)

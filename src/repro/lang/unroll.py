@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple, Union
 
 from .ast import (
     Assign,
@@ -47,7 +46,7 @@ from .semantic import SymbolTable, analyze
 __all__ = ["FlatStatement", "FlatAssay", "unroll"]
 
 #: (condition id, which branch) — set on statements under a dynamic IF.
-Guard = Tuple[str, bool]
+Guard = tuple[str, bool]
 
 
 @dataclass
@@ -63,19 +62,19 @@ class FlatStatement:
     kind: str
     seq: int
     line: int
-    target: Optional[str] = None
-    operands: Tuple[str, ...] = ()
-    ratios: Optional[Tuple[int, ...]] = None
-    duration: Optional[int] = None
-    temperature: Optional[int] = None
-    mode: Optional[str] = None          # separate/sense flavour
-    matrix: Optional[str] = None
-    pusher: Optional[str] = None
-    waste: Optional[str] = None
-    yield_fraction: Optional[Fraction] = None
-    keep_fraction: Optional[Fraction] = None
-    result: Optional[str] = None        # flattened sense target
-    guard: Optional[Guard] = None
+    target: str | None = None
+    operands: tuple[str, ...] = ()
+    ratios: tuple[int, ...] | None = None
+    duration: int | None = None
+    temperature: int | None = None
+    mode: str | None = None          # separate/sense flavour
+    matrix: str | None = None
+    pusher: str | None = None
+    waste: str | None = None
+    yield_fraction: Fraction | None = None
+    keep_fraction: Fraction | None = None
+    result: str | None = None        # flattened sense target
+    guard: Guard | None = None
     #: target fluid was declared NOEXCESS (cascading must not discard it)
     no_excess: bool = False
 
@@ -85,37 +84,37 @@ class FlatAssay:
     """The unrolled straight-line assay."""
 
     name: str
-    statements: List[FlatStatement]
+    statements: list[FlatStatement]
     symbols: SymbolTable
     #: canonical keys of fluids that are *primary inputs* (never defined).
-    input_fluids: Tuple[str, ...]
+    input_fluids: tuple[str, ...]
     #: matrix/pusher fluids (loaded whole, outside the volume DAG).
-    aux_fluids: Tuple[str, ...]
+    aux_fluids: tuple[str, ...]
     #: flattened sense-result names, in program order.
-    results: Tuple[str, ...]
+    results: tuple[str, ...]
     #: dynamic IF conditions: id -> human-readable text.
-    dynamic_conditions: Dict[str, str] = field(default_factory=dict)
+    dynamic_conditions: dict[str, str] = field(default_factory=dict)
     #: dynamic IF conditions: id -> the Compare AST, for run-time evaluation.
-    dynamic_condition_exprs: Dict[str, Expr] = field(default_factory=dict)
+    dynamic_condition_exprs: dict[str, Expr] = field(default_factory=dict)
 
 
 class _Unroller:
     def __init__(self, program: Program, symbols: SymbolTable) -> None:
         self.program = program
         self.symbols = symbols
-        self.env: Dict[str, int] = {}
-        self.array_env: Dict[Tuple[str, Tuple[int, ...]], int] = {}
-        self.defined_fluids: Dict[str, int] = {}  # key -> defining seq
-        self.used_inputs: List[str] = []
-        self.aux_fluids: List[str] = []
+        self.env: dict[str, int] = {}
+        self.array_env: dict[tuple[str, tuple[int, ...]], int] = {}
+        self.defined_fluids: dict[str, int] = {}  # key -> defining seq
+        self.used_inputs: list[str] = []
+        self.aux_fluids: list[str] = []
         self.waste_fluids: set[str] = set()
-        self.statements: List[FlatStatement] = []
-        self.results: List[str] = []
-        self.dynamic_conditions: Dict[str, str] = {}
-        self.dynamic_condition_exprs: Dict[str, Expr] = {}
-        self.it: Optional[str] = None
+        self.statements: list[FlatStatement] = []
+        self.results: list[str] = []
+        self.dynamic_conditions: dict[str, str] = {}
+        self.dynamic_condition_exprs: dict[str, Expr] = {}
+        self.it: str | None = None
         self.seq = 0
-        self.guard: Optional[Guard] = None
+        self.guard: Guard | None = None
 
     # ------------------------------------------------------------------
     # dry evaluation
@@ -170,7 +169,7 @@ class _Unroller:
             )
         raise SemanticError(f"cannot evaluate {expression} statically", line)
 
-    def try_eval_dry(self, expression: Expr, line: int) -> Optional[int]:
+    def try_eval_dry(self, expression: Expr, line: int) -> int | None:
         """Dry-evaluate if possible; None when the value is run-time-only
         (e.g. it reads an unset sense result)."""
         try:
@@ -182,7 +181,7 @@ class _Unroller:
     # fluid reference resolution
     # ------------------------------------------------------------------
     @staticmethod
-    def flat_name(base: str, indices: Tuple[int, ...]) -> str:
+    def flat_name(base: str, indices: tuple[int, ...]) -> str:
         return base + "".join(f"[{i}]" for i in indices)
 
     def resolve_fluid(self, operand: Expr, line: int) -> str:
@@ -215,7 +214,7 @@ class _Unroller:
             self.used_inputs.append(key)  # a primary input fluid
         return key
 
-    def resolve_target(self, target: Union[Name, Index], line: int) -> str:
+    def resolve_target(self, target: Name | Index, line: int) -> str:
         if isinstance(target, Name):
             return target.ident
         indices = tuple(self.eval_dry(i, line) for i in target.indices)
@@ -279,8 +278,8 @@ class _Unroller:
             hint = self.eval_dry(statement.hint, statement.line)
             if hint < 0:
                 raise SemanticError("WHILE hint must be >= 0", statement.line)
-            dynamic_id: Optional[str] = None
-            for iteration in range(hint):
+            dynamic_id: str | None = None
+            for _iteration in range(hint):
                 verdict = self.try_eval_dry(statement.condition, statement.line)
                 if verdict == 0:
                     break
@@ -378,7 +377,7 @@ class _Unroller:
             )
         self.defined_fluids[key] = self.seq
 
-    def mix(self, expression: MixExpr, target: Optional[str]) -> None:
+    def mix(self, expression: MixExpr, target: str | None) -> None:
         operands = tuple(
             self.resolve_fluid(operand, expression.line)
             for operand in expression.operands
@@ -387,7 +386,7 @@ class _Unroller:
             raise SemanticError(
                 "MIX operands must be distinct fluids", expression.line
             )
-        ratios: Optional[Tuple[int, ...]] = None
+        ratios: tuple[int, ...] | None = None
         if expression.ratios is not None:
             ratios = tuple(
                 self.eval_dry(ratio, expression.line)
@@ -447,7 +446,7 @@ class _Unroller:
                 )
             self.aux_fluids.append(name)
         duration = self.eval_dry(statement.duration, statement.line)
-        yield_fraction: Optional[Fraction] = None
+        yield_fraction: Fraction | None = None
         if statement.yield_hint is not None:
             numerator = self.eval_dry(statement.yield_hint[0], statement.line)
             denominator = self.eval_dry(statement.yield_hint[1], statement.line)
@@ -479,7 +478,7 @@ class _Unroller:
         operand = self.resolve_fluid(statement.operand, statement.line)
         temperature = self.eval_dry(statement.temperature, statement.line)
         duration = self.eval_dry(statement.duration, statement.line)
-        keep: Optional[Fraction] = None
+        keep: Fraction | None = None
         if kind == "concentrate":
             keep = Fraction(1, 2)
             if statement.keep is not None:
@@ -507,7 +506,7 @@ class _Unroller:
         self.it = key
 
 
-def unroll(program: Program, symbols: Optional[SymbolTable] = None) -> FlatAssay:
+def unroll(program: Program, symbols: SymbolTable | None = None) -> FlatAssay:
     """Unroll and flatten a parsed assay.
 
     Runs semantic analysis first when no symbol table is supplied.

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
 
 from ..core.limits import HardwareLimits, Number, as_fraction
 from .errors import CapacityError, ComponentError, EmptyError
@@ -121,8 +120,8 @@ class Heater(Container):
 
     def __init__(self, name: str, capacity: Fraction) -> None:
         super().__init__(name, capacity)
-        self.temperature: Optional[Fraction] = None
-        self.incubation_log: list[Tuple[Fraction, Fraction]] = []
+        self.temperature: Fraction | None = None
+        self.incubation_log: list[tuple[Fraction, Fraction]] = []
 
     def incubate(self, temperature: Number, duration: Number) -> None:
         if self.is_empty:
@@ -156,8 +155,8 @@ class Separator(Container):
         name: str,
         capacity: Fraction,
         *,
-        modes: Tuple[str, ...] = (),
-        model: Optional[SeparationModel] = None,
+        modes: tuple[str, ...] = (),
+        model: SeparationModel | None = None,
     ) -> None:
         super().__init__(name, capacity)
         self.modes = modes
@@ -181,7 +180,7 @@ class Separator(Container):
                 f"{self.name}: no sub-port {port!r}"
             ) from None
 
-    def separate(self, mode: str, duration: Number) -> Tuple[Fraction, Fraction]:
+    def separate(self, mode: str, duration: Number) -> tuple[Fraction, Fraction]:
         """Run the separation; effluent -> out1, waste -> out2.
 
         Returns (effluent volume, waste volume) — the effluent volume is
@@ -223,8 +222,8 @@ class Sensor(Container):
         name: str,
         capacity: Fraction,
         *,
-        senses: Tuple[str, ...] = (),
-        coefficients: Optional[Dict[str, Fraction]] = None,
+        senses: tuple[str, ...] = (),
+        coefficients: dict[str, Fraction] | None = None,
     ) -> None:
         super().__init__(name, capacity)
         self.senses = senses

@@ -59,7 +59,7 @@ import random
 from dataclasses import dataclass
 from enum import Enum
 from fractions import Fraction
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from collections.abc import Iterable
 
 from .trace import ExecutionTrace, FaultEvent
 
@@ -84,16 +84,16 @@ class FaultKind(str, Enum):
     TRANSPORT_FAILURE = "transport-failure"
 
 
-ALL_KINDS: FrozenSet[FaultKind] = frozenset(FaultKind)
+ALL_KINDS: frozenset[FaultKind] = frozenset(FaultKind)
 #: recoverable volume-loss faults: recovery restores exact semantics.
-LOSS_KINDS: FrozenSet[FaultKind] = frozenset(
+LOSS_KINDS: frozenset[FaultKind] = frozenset(
     {FaultKind.RESERVOIR_DEPLETION, FaultKind.TRANSPORT_FAILURE}
 )
 #: value-perturbing faults: reported in the trace, not corrected.
-PERTURBING_KINDS: FrozenSet[FaultKind] = ALL_KINDS - LOSS_KINDS
+PERTURBING_KINDS: frozenset[FaultKind] = ALL_KINDS - LOSS_KINDS
 
 
-def parse_kinds(names: Iterable[str]) -> FrozenSet[FaultKind]:
+def parse_kinds(names: Iterable[str]) -> frozenset[FaultKind]:
     """Parse kind names (CLI ``--kinds`` values) into a kind set."""
     kinds = set()
     for name in names:
@@ -124,7 +124,7 @@ class ScheduledFault:
     occurrence: int = 1
     #: kind-specific size in least counts (drift sign, shortfall depth) or
     #: relative delta (misread); None picks the seeded default.
-    magnitude: Optional[Fraction] = None
+    magnitude: Fraction | None = None
 
 
 @dataclass(frozen=True)
@@ -142,8 +142,8 @@ class FaultPlan:
 
     seed: int = 0
     rate: float = 0.0
-    kinds: FrozenSet[FaultKind] = ALL_KINDS
-    schedule: Tuple[ScheduledFault, ...] = ()
+    kinds: frozenset[FaultKind] = ALL_KINDS
+    schedule: tuple[ScheduledFault, ...] = ()
     misread_relative: Fraction = Fraction(1, 20)
     max_shortfall_counts: int = 2
 
@@ -170,7 +170,7 @@ class FaultPlan:
 
     def roll(
         self, kind: FaultKind, index: int, occurrence: int
-    ) -> Optional[ScheduledFault]:
+    ) -> ScheduledFault | None:
         """Decide whether ``kind`` fires at (``index``, ``occurrence``)."""
         for entry in self.schedule:
             if (
@@ -188,7 +188,7 @@ class FaultPlan:
             index, kind, occurrence, magnitude=self._magnitude(kind, rng)
         )
 
-    def _magnitude(self, kind: FaultKind, rng: random.Random) -> Optional[Fraction]:
+    def _magnitude(self, kind: FaultKind, rng: random.Random) -> Fraction | None:
         if kind is FaultKind.METERING_DRIFT:
             return Fraction(rng.choice((-1, 1)))          # ± one least count
         if kind is FaultKind.DISPENSE_SHORTFALL:
@@ -197,7 +197,7 @@ class FaultPlan:
             return rng.choice((-1, 1)) * self.misread_relative
         return None                                       # depletion / transport
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         return {
             "seed": self.seed,
             "rate": self.rate,
@@ -217,10 +217,10 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        self.trace: Optional[ExecutionTrace] = None
+        self.trace: ExecutionTrace | None = None
         self.least: Fraction = Fraction(0)
-        self.injected: Dict[str, int] = {}
-        self._attempts: Dict[int, int] = {}
+        self.injected: dict[str, int] = {}
+        self._attempts: dict[int, int] = {}
         self._index: int = -1
         self._occurrence: int = 0
         self._location: str = ""
@@ -239,7 +239,7 @@ class FaultInjector:
         self._location = location
 
     # ------------------------------------------------------------------
-    def _fire(self, kind: FaultKind) -> Optional[ScheduledFault]:
+    def _fire(self, kind: FaultKind) -> ScheduledFault | None:
         return self.plan.roll(kind, self._index, self._occurrence)
 
     def _record(
@@ -247,7 +247,7 @@ class FaultInjector:
         kind: FaultKind,
         *,
         location: str = "",
-        magnitude: Optional[Fraction] = None,
+        magnitude: Fraction | None = None,
         note: str = "",
     ) -> None:
         self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
@@ -290,7 +290,7 @@ class FaultInjector:
         )
 
     def metering_drift(
-        self, volume: Fraction, *, headroom: Optional[Fraction] = None
+        self, volume: Fraction, *, headroom: Fraction | None = None
     ) -> Fraction:
         """Apply ± least-count drift to a metered volume.
 

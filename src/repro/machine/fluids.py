@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, Mapping, Tuple
+from collections.abc import Iterable, Mapping
 
 from ..core.limits import Number, as_fraction
 
@@ -27,10 +27,10 @@ class Mixture:
     :attr:`volume`.  The empty mixture has no components.
     """
 
-    components: Dict[str, Fraction] = field(default_factory=dict)
+    components: dict[str, Fraction] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        clean: Dict[str, Fraction] = {}
+        clean: dict[str, Fraction] = {}
         for species, volume in self.components.items():
             value = as_fraction(volume)
             if value < 0:
@@ -60,7 +60,7 @@ class Mixture:
     def is_empty(self) -> bool:
         return not self.components
 
-    def species(self) -> Tuple[str, ...]:
+    def species(self) -> tuple[str, ...]:
         return tuple(sorted(self.components))
 
     def concentration(self, species: str) -> Fraction:
@@ -104,8 +104,8 @@ class Mixture:
             self.components = {}
             return taken
         share = requested / total
-        taken: Dict[str, Fraction] = {}
-        remaining: Dict[str, Fraction] = {}
+        taken: dict[str, Fraction] = {}
+        remaining: dict[str, Fraction] = {}
         for species, amount in self.components.items():
             part = amount * share
             taken[species] = part
@@ -116,7 +116,7 @@ class Mixture:
     def take_all(self) -> "Mixture":
         return self.take(self.volume)
 
-    def split(self, volumes: Iterable[Number]) -> Tuple["Mixture", ...]:
+    def split(self, volumes: Iterable[Number]) -> tuple["Mixture", ...]:
         """Split off several portions in sequence (mutates self)."""
         return tuple(self.take(volume) for volume in volumes)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
 
 from ..core.limits import HardwareLimits, Number, as_fraction
 from ..ir.instructions import Instruction, Opcode, Operand
@@ -46,7 +46,7 @@ from .trace import ExecutionTrace, TraceEvent
 __all__ = ["Machine", "PortBinding", "VolumeResolver"]
 
 #: maps an instruction to its planned absolute volume (None = drain all).
-VolumeResolver = Callable[[Instruction], Optional[Fraction]]
+VolumeResolver = Callable[[Instruction], Fraction | None]
 
 
 @dataclass
@@ -58,7 +58,7 @@ class PortBinding:
     """
 
     species: str
-    supply: Optional[Fraction] = None
+    supply: Fraction | None = None
     drawn: Fraction = Fraction(0)
 
     def draw(self, volume: Fraction, port: str) -> Mixture:
@@ -82,10 +82,10 @@ class Machine:
         self,
         spec: MachineSpec = AQUACORE_SPEC,
         *,
-        separation_models: Optional[Dict[str, SeparationModel]] = None,
+        separation_models: dict[str, SeparationModel] | None = None,
         strict_metering: bool = False,
-        topology: Optional["ChannelTopology"] = None,
-        injector: Optional[FaultInjector] = None,
+        topology: "ChannelTopology" | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.spec = spec
         #: optional channel graph; when set, transfers are route-checked
@@ -95,17 +95,17 @@ class Machine:
         self.pump = MeteringPump(spec.limits, strict=strict_metering)
         self.trace = ExecutionTrace()
         #: optional deterministic fault source (see repro.machine.faults).
-        self.injector: Optional[FaultInjector] = None
-        self.results: Dict[str, Fraction] = {}
-        self.registers: Dict[str, int] = {}
-        self.ports: Dict[str, PortBinding] = {}
-        self.output_tally: Dict[str, Fraction] = {}
+        self.injector: FaultInjector | None = None
+        self.results: dict[str, Fraction] = {}
+        self.registers: dict[str, int] = {}
+        self.ports: dict[str, PortBinding] = {}
+        self.output_tally: dict[str, Fraction] = {}
         #: what was actually shipped per output port (full mixtures, so
         #: tests can compare final product concentration vectors).
-        self.output_mixtures: Dict[str, Mixture] = {}
+        self.output_mixtures: dict[str, Mixture] = {}
         #: fluid discarded by flushes (sensor cells, separator outlets).
         self.waste_tally: Fraction = Fraction(0)
-        self._components: Dict[str, Container] = {}
+        self._components: dict[str, Container] = {}
         capacity = spec.limits.max_capacity
         for name in spec.reservoir_names():
             self._components[name] = Reservoir(name, capacity)
@@ -151,7 +151,7 @@ class Machine:
         injector.install(self.trace, self.limits.least_count)
 
     def bind_port(
-        self, port: str, species: str, supply: Optional[Number] = None
+        self, port: str, species: str, supply: Number | None = None
     ) -> None:
         if port not in self.spec.input_port_names():
             raise UnknownOperandError(f"no input port {port!r}")
@@ -159,7 +159,7 @@ class Machine:
             species, None if supply is None else as_fraction(supply)
         )
 
-    def bind_ports(self, bindings: Dict[str, str]) -> None:
+    def bind_ports(self, bindings: dict[str, str]) -> None:
         """Bind several ports at once (fluid-species by port id)."""
         for port, species in bindings.items():
             self.bind_port(port, species)
@@ -167,7 +167,7 @@ class Machine:
     # ------------------------------------------------------------------
     # component access
     # ------------------------------------------------------------------
-    def component(self, operand: Union[str, Operand]) -> Container:
+    def component(self, operand: str | Operand) -> Container:
         if isinstance(operand, str):
             operand = Operand.parse(operand)
         base = self._components.get(operand.base)
@@ -183,7 +183,7 @@ class Machine:
             )
         return base.sub(operand.sub)
 
-    def reservoirs(self) -> Dict[str, Reservoir]:
+    def reservoirs(self) -> dict[str, Reservoir]:
         return {
             name: comp
             for name, comp in self._components.items()
@@ -211,7 +211,7 @@ class Machine:
         self,
         program: AISProgram,
         *,
-        resolver: Optional[VolumeResolver] = None,
+        resolver: VolumeResolver | None = None,
     ) -> ExecutionTrace:
         """Execute a whole program; returns the accumulated trace."""
         for index, instruction in enumerate(program):
@@ -222,9 +222,9 @@ class Machine:
         self,
         instruction: Instruction,
         *,
-        resolver: Optional[VolumeResolver] = None,
+        resolver: VolumeResolver | None = None,
         index: int = -1,
-    ) -> Optional[Fraction]:
+    ) -> Fraction | None:
         """Execute one instruction; returns its measurement, if any."""
         if self.injector is not None:
             self.injector.begin(index)
@@ -250,8 +250,8 @@ class Machine:
     def _resolve_volume(
         self,
         instruction: Instruction,
-        resolver: Optional[VolumeResolver],
-    ) -> Optional[Fraction]:
+        resolver: VolumeResolver | None,
+    ) -> Fraction | None:
         if instruction.abs_volume is not None:
             return instruction.abs_volume
         if resolver is not None:
@@ -291,8 +291,8 @@ class Machine:
         instruction: Instruction,
         index: int,
         *,
-        volume: Optional[Fraction] = None,
-        measurement: Optional[Fraction] = None,
+        volume: Fraction | None = None,
+        measurement: Fraction | None = None,
         note: str = "",
     ) -> None:
         self.trace.record(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..core.limits import HardwareLimits, Number, as_fraction
 from .errors import MeteringError
@@ -45,10 +45,10 @@ class MeteringPump:
     strict: bool = False
     total_pumped: Fraction = Fraction(0)
     transfer_count: int = 0
-    injector: Optional["FaultInjector"] = None
+    injector: "FaultInjector" | None = None
 
     def meter(
-        self, volume: Number, *, headroom: Optional[Fraction] = None
+        self, volume: Number, *, headroom: Fraction | None = None
     ) -> Fraction:
         """Validate/quantise a requested transfer volume.
 

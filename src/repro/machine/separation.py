@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import FrozenSet, Iterable, Protocol, Tuple
+from typing import Protocol
+from collections.abc import Iterable
 
 from ..core.limits import Number, as_fraction
 from .fluids import Mixture
@@ -30,7 +31,7 @@ __all__ = ["SeparationModel", "FractionalYield", "SpeciesFilter"]
 class SeparationModel(Protocol):
     """Strategy: split an input mixture into (effluent, waste)."""
 
-    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+    def separate(self, mixture: Mixture) -> tuple[Mixture, Mixture]:
         """Return the effluent and waste mixtures; volumes must sum to the
         input volume."""
         ...  # pragma: no cover - protocol
@@ -48,7 +49,7 @@ class FractionalYield:
             raise ValueError(f"yield fraction must be in [0, 1], got {value}")
         object.__setattr__(self, "fraction", value)
 
-    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+    def separate(self, mixture: Mixture) -> tuple[Mixture, Mixture]:
         working = Mixture(dict(mixture.components))
         effluent = working.take(working.volume * self.fraction)
         return effluent, working
@@ -62,7 +63,7 @@ class SpeciesFilter:
     species in the effluent.
     """
 
-    keep: FrozenSet[str]
+    keep: frozenset[str]
     recovery: Fraction = Fraction(1)
 
     def __init__(self, keep: Iterable[str], recovery: Number = 1) -> None:
@@ -72,7 +73,7 @@ class SpeciesFilter:
             raise ValueError(f"recovery must be in [0, 1], got {rate}")
         object.__setattr__(self, "recovery", rate)
 
-    def separate(self, mixture: Mixture) -> Tuple[Mixture, Mixture]:
+    def separate(self, mixture: Mixture) -> tuple[Mixture, Mixture]:
         effluent = {}
         waste = {}
         for species, amount in mixture.components.items():

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 from ..core.limits import PAPER_LIMITS, HardwareLimits, Number, as_fraction
 
@@ -38,12 +38,12 @@ class FunctionalUnitSpec:
 
     name: str
     kind: str
-    capacity: Optional[Fraction] = None  # None: machine default
-    min_volume: Optional[Fraction] = None
+    capacity: Fraction | None = None  # None: machine default
+    min_volume: Fraction | None = None
     #: for separators: which AIS flavours this unit implements (CE/SIZE/AF/LC)
-    modes: Tuple[str, ...] = ()
+    modes: tuple[str, ...] = ()
     #: for sensors: which AIS flavours (OD/FL)
-    senses: Tuple[str, ...] = ()
+    senses: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in FU_KINDS:
@@ -63,7 +63,7 @@ class MachineSpec:
     n_reservoirs: int
     n_input_ports: int
     n_output_ports: int
-    functional_units: Tuple[FunctionalUnitSpec, ...]
+    functional_units: tuple[FunctionalUnitSpec, ...]
     #: species -> extinction coefficient for the optical-density model;
     #: unlisted species read as 0 (optically transparent).
     extinction_coefficients: Mapping[str, Fraction] = field(
@@ -84,13 +84,13 @@ class MachineSpec:
             raise ValueError("duplicate functional unit names")
 
     # ------------------------------------------------------------------
-    def reservoir_names(self) -> Tuple[str, ...]:
+    def reservoir_names(self) -> tuple[str, ...]:
         return tuple(f"s{i}" for i in range(1, self.n_reservoirs + 1))
 
-    def input_port_names(self) -> Tuple[str, ...]:
+    def input_port_names(self) -> tuple[str, ...]:
         return tuple(f"ip{i}" for i in range(1, self.n_input_ports + 1))
 
-    def output_port_names(self) -> Tuple[str, ...]:
+    def output_port_names(self) -> tuple[str, ...]:
         return tuple(f"op{i}" for i in range(1, self.n_output_ports + 1))
 
     def unit(self, name: str) -> FunctionalUnitSpec:
@@ -99,7 +99,7 @@ class MachineSpec:
                 return candidate
         raise KeyError(f"no functional unit {name!r} in machine {self.name!r}")
 
-    def units_of_kind(self, kind: str) -> Tuple[FunctionalUnitSpec, ...]:
+    def units_of_kind(self, kind: str) -> tuple[FunctionalUnitSpec, ...]:
         return tuple(u for u in self.functional_units if u.kind == kind)
 
     def separator_for_mode(self, mode: str) -> FunctionalUnitSpec:
@@ -119,7 +119,7 @@ class MachineSpec:
         return unit.capacity or self.limits.max_capacity
 
     # ------------------------------------------------------------------
-    def component_kind(self, name: str) -> Optional[str]:
+    def component_kind(self, name: str) -> str | None:
         """Classify an operand base name.
 
         Returns ``"reservoir"``, ``"input-port"``, ``"output-port"``, a
@@ -138,7 +138,7 @@ class MachineSpec:
                 return unit.kind
         return None
 
-    def location_capacity(self, name: str) -> Optional[Fraction]:
+    def location_capacity(self, name: str) -> Fraction | None:
         """Capacity of a fluid-holding location (sub-ports share their
         unit's capacity); ``None`` for ports and unknown names."""
         kind = self.component_kind(name)

@@ -27,14 +27,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
 
 from .errors import ComponentError
 from .spec import MachineSpec
 
 __all__ = ["ChannelTopology", "bus_topology", "ring_topology"]
 
-Segment = Tuple[str, str]
+Segment = tuple[str, str]
 
 
 def _canonical(location: str) -> str:
@@ -47,8 +47,8 @@ class ChannelTopology:
     """Undirected channel graph with BFS routing and a route cache."""
 
     name: str
-    adjacency: Dict[str, Set[str]] = field(default_factory=dict)
-    _route_cache: Dict[Tuple[str, str], Optional[Tuple[str, ...]]] = field(
+    adjacency: dict[str, set[str]] = field(default_factory=dict)
+    _route_cache: dict[tuple[str, str], tuple[str, ...] | None] = field(
         default_factory=dict, repr=False
     )
 
@@ -65,7 +65,7 @@ class ChannelTopology:
         self.adjacency[b].add(a)
         self._route_cache.clear()
 
-    def locations(self) -> List[str]:
+    def locations(self) -> list[str]:
         return sorted(self.adjacency)
 
     @property
@@ -73,7 +73,7 @@ class ChannelTopology:
         return sum(len(peers) for peers in self.adjacency.values()) // 2
 
     # ------------------------------------------------------------------
-    def route(self, src: str, dst: str) -> Tuple[str, ...]:
+    def route(self, src: str, dst: str) -> tuple[str, ...]:
         """Shortest location path ``src .. dst`` (inclusive).
 
         Raises :class:`ComponentError` when no channel path exists —
@@ -104,10 +104,10 @@ class ChannelTopology:
         except ComponentError:
             return False
 
-    def _bfs(self, a: str, b: str) -> Optional[Tuple[str, ...]]:
+    def _bfs(self, a: str, b: str) -> tuple[str, ...] | None:
         if a not in self.adjacency or b not in self.adjacency:
             return None
-        previous: Dict[str, str] = {}
+        previous: dict[str, str] = {}
         queue = deque([a])
         seen = {a}
         while queue:
@@ -125,7 +125,7 @@ class ChannelTopology:
         return None
 
     # ------------------------------------------------------------------
-    def segments_of(self, src: str, dst: str) -> List[Segment]:
+    def segments_of(self, src: str, dst: str) -> list[Segment]:
         """The channel segments of a route, as sorted endpoint pairs —
         the unit of conflict for any future parallel scheduler."""
         path = self.route(src, dst)
@@ -135,16 +135,16 @@ class ChannelTopology:
         ]
 
     def shared_locations(
-        self, first: Tuple[str, str], second: Tuple[str, str]
-    ) -> Set[str]:
+        self, first: tuple[str, str], second: tuple[str, str]
+    ) -> set[str]:
         """Locations two transfers' routes have in common — the concrete
         contention set behind :meth:`conflicts`."""
         return set(self.route(*first)) & set(self.route(*second))
 
     def conflicts(
         self,
-        first: Tuple[str, str],
-        second: Tuple[str, str],
+        first: tuple[str, str],
+        second: tuple[str, str],
         *,
         allow_shared_endpoint: bool = False,
     ) -> bool:
@@ -169,7 +169,7 @@ class ChannelTopology:
         return bool(shared)
 
 
-def _all_locations(spec: MachineSpec) -> List[str]:
+def _all_locations(spec: MachineSpec) -> list[str]:
     locations = list(spec.reservoir_names())
     locations += [unit.name for unit in spec.functional_units]
     locations += list(spec.input_port_names())

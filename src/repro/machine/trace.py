@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 __all__ = ["TraceEvent", "FaultEvent", "RecoveryEvent", "ExecutionTrace"]
 
@@ -41,11 +41,11 @@ def _unfrac(text: str) -> Fraction:
     return Fraction(int(numerator), int(denominator or "1"))
 
 
-def _opt_frac(value: Optional[Fraction]) -> Optional[str]:
+def _opt_frac(value: Fraction | None) -> str | None:
     return None if value is None else _frac(value)
 
 
-def _opt_unfrac(text: Optional[str]) -> Optional[Fraction]:
+def _opt_unfrac(text: str | None) -> Fraction | None:
     return None if text is None else _unfrac(text)
 
 
@@ -56,8 +56,8 @@ class TraceEvent:
     index: int              # instruction index in the program (or -1 ad hoc)
     opcode: str
     text: str               # rendered instruction
-    volume: Optional[Fraction] = None   # volume moved / produced
-    measurement: Optional[Fraction] = None  # sense reading or separation yield
+    volume: Fraction | None = None   # volume moved / produced
+    measurement: Fraction | None = None  # sense reading or separation yield
     note: str = ""
     #: simulated wet-path wall time this instruction took (0 for dry ops —
     #: electronic control is "orders of magnitude faster", Section 2.1).
@@ -75,7 +75,7 @@ class TraceEvent:
             extra += f"  ({self.note})"
         return f"{self.index:4d}: {self.text}{extra}"
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "index": self.index,
             "opcode": self.opcode,
@@ -88,7 +88,7 @@ class TraceEvent:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
         return cls(
             index=data["index"],
             opcode=data["opcode"],
@@ -110,7 +110,7 @@ class FaultEvent:
     location: str = ""      # component / operand it struck
     #: kind-specific size: volume lost (depletion), delta applied (drift /
     #: shortfall, in nl), relative misread delta; None for transport.
-    magnitude: Optional[Fraction] = None
+    magnitude: Fraction | None = None
     note: str = ""
     seq: int = 0            # len(trace.events) when the fault fired
     clock: Fraction = Fraction(0)
@@ -123,7 +123,7 @@ class FaultEvent:
             extra += f" ({self.note})"
         return f"fault@{self.index}: {self.kind}{extra}"
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "index": self.index,
             "kind": self.kind,
@@ -135,7 +135,7 @@ class FaultEvent:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
         return cls(
             index=data["index"],
             kind=data["kind"],
@@ -157,7 +157,7 @@ class RecoveryEvent:
     attempts: int = 1       # how many recoveries this location/index has had
     #: extra input volume drawn while re-executing the backward slice
     #: (regeneration only) — the quantity the budget caps.
-    extra_volume: Optional[Fraction] = None
+    extra_volume: Fraction | None = None
     note: str = ""
     seq: int = 0
     clock: Fraction = Fraction(0)
@@ -168,7 +168,7 @@ class RecoveryEvent:
             extra += f" [+{float(self.extra_volume):.4g} nl]"
         return f"recovery@{self.index}: {self.action}{extra} (attempt {self.attempts})"
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "index": self.index,
             "action": self.action,
@@ -181,7 +181,7 @@ class RecoveryEvent:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "RecoveryEvent":
+    def from_dict(cls, data: dict[str, Any]) -> "RecoveryEvent":
         return cls(
             index=data["index"],
             action=data["action"],
@@ -198,9 +198,9 @@ class RecoveryEvent:
 class ExecutionTrace:
     """Accumulated events plus summary statistics."""
 
-    events: List[TraceEvent] = field(default_factory=list)
-    faults: List[FaultEvent] = field(default_factory=list)
-    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    faults: list[FaultEvent] = field(default_factory=list)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
     wet_instruction_count: int = 0
     dry_instruction_count: int = 0
     regeneration_count: int = 0
@@ -234,21 +234,21 @@ class ExecutionTrace:
         self.recoveries.append(stamped)
         return stamped
 
-    def measurements(self) -> Dict[int, Fraction]:
+    def measurements(self) -> dict[int, Fraction]:
         return {
             e.index: e.measurement
             for e in self.events
             if e.measurement is not None
         }
 
-    def render(self, limit: Optional[int] = None) -> str:
+    def render(self, limit: int | None = None) -> str:
         events = self.events if limit is None else self.events[:limit]
         lines = [str(e) for e in events]
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more)")
         return "\n".join(lines)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Exact, JSON-able snapshot of the whole trace."""
         return {
             "version": TRACE_SCHEMA_VERSION,
@@ -263,7 +263,7 @@ class ExecutionTrace:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionTrace":
+    def from_dict(cls, data: dict[str, Any]) -> "ExecutionTrace":
         return cls(
             events=[TraceEvent.from_dict(e) for e in data.get("events", ())],
             faults=[FaultEvent.from_dict(e) for e in data.get("faults", ())],

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from ..compiler.pipeline import CompiledAssay
 from ..core.errors import PartitionError, VolumeError
@@ -67,7 +67,7 @@ class PlanResolver:
     def __init__(self, assignment) -> None:
         self.assignment = assignment
 
-    def __call__(self, instruction: Instruction) -> Optional[Fraction]:
+    def __call__(self, instruction: Instruction) -> Fraction | None:
         if instruction.edge is not None:
             return self.assignment.edge_volume.get(instruction.edge)
         if (
@@ -88,9 +88,9 @@ class RuntimeResolver:
         self.session: RuntimeSession = self.planner.session()
         partitioned = self.planner.partitioned
         #: original node id -> partition index
-        self.partition_of: Dict[str, int] = {}
+        self.partition_of: dict[str, int] = {}
         #: (source, consumer-partition) -> constrained stub id
-        self.stub_of: Dict[Tuple[str, int], str] = {}
+        self.stub_of: dict[tuple[str, int], str] = {}
         for partition in partitioned.partitions:
             for member in partition.members:
                 self.partition_of[member] = partition.index
@@ -113,7 +113,7 @@ class RuntimeResolver:
             self.session.assign(index)
         return self.session.assignments[index]
 
-    def __call__(self, instruction: Instruction) -> Optional[Fraction]:
+    def __call__(self, instruction: Instruction) -> Fraction | None:
         if instruction.edge is not None:
             src, dst = instruction.edge
             index = self.partition_of.get(dst)
@@ -156,7 +156,7 @@ class RetryPolicy:
     max_transient_retries: int = 4
     max_location_regenerations: int = 64
     max_regenerations: int = 10_000
-    regeneration_budget: Optional[Fraction] = None
+    regeneration_budget: Fraction | None = None
 
 
 @dataclass(frozen=True)
@@ -167,13 +167,13 @@ class FailureReport:
     instruction: str
     error_kind: str                 # exception class name
     message: str
-    location: Optional[str] = None  # failing node/component, when known
+    location: str | None = None  # failing node/component, when known
     regenerations: int = 0
     transient_retries: int = 0
     regeneration_volume: Fraction = Fraction(0)
-    faults_injected: Dict[str, int] = field(default_factory=dict)
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "instruction_index": self.instruction_index,
             "instruction": self.instruction,
@@ -193,7 +193,7 @@ class ExecutionResult:
 
     machine: Machine
     trace: ExecutionTrace
-    results: Dict[str, Fraction]
+    results: dict[str, Fraction]
     measurements: MeasurementLog
     regenerations: int = 0
     skipped_guarded: int = 0
@@ -201,14 +201,14 @@ class ExecutionResult:
     #: extra input volume drawn by regeneration slices (the budgeted cost).
     regeneration_volume: Fraction = Fraction(0)
     #: present iff the run could not complete (capture_failures mode).
-    failure_report: Optional[FailureReport] = None
+    failure_report: FailureReport | None = None
 
     @property
     def succeeded(self) -> bool:
         return self.failure_report is None
 
     @property
-    def readings(self) -> Dict[str, float]:
+    def readings(self) -> dict[str, float]:
         return {name: float(value) for name, value in self.results.items()}
 
 
@@ -218,13 +218,13 @@ class AssayExecutor:
     def __init__(
         self,
         compiled: CompiledAssay,
-        machine: Optional[Machine] = None,
+        machine: Machine | None = None,
         *,
-        measurement_log: Optional[MeasurementLog] = None,
+        measurement_log: MeasurementLog | None = None,
         allow_regeneration: bool = True,
         max_regenerations: int = 10_000,
-        policy: Optional[RetryPolicy] = None,
-        injector: Optional[FaultInjector] = None,
+        policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
         capture_failures: bool = False,
     ) -> None:
         self.compiled = compiled
@@ -240,7 +240,7 @@ class AssayExecutor:
         self.skipped_guarded = 0
         self.transient_retries = 0
         self.regeneration_volume = Fraction(0)
-        self._location_regenerations: Dict[str, int] = {}
+        self._location_regenerations: dict[str, int] = {}
         self._bind_ports()
         if compiled.is_static:
             if compiled.assignment is None:
@@ -284,7 +284,7 @@ class AssayExecutor:
             return True
         return bool(verdict) == wanted
 
-    def _eval_condition(self, expression: Expr) -> Optional[bool]:
+    def _eval_condition(self, expression: Expr) -> bool | None:
         value = self._eval_expr(expression)
         return None if value is None else bool(value)
 
@@ -327,7 +327,7 @@ class AssayExecutor:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         program = self.compiled.program
-        failure: Optional[FailureReport] = None
+        failure: FailureReport | None = None
         for index, instruction in enumerate(program):
             sense_guard = instruction.meta.get("guard")
             if sense_guard is not None and not self._guard_allows(instruction):
@@ -536,7 +536,7 @@ class AssayExecutor:
         # park it aside, run the slice against empty cells (the def-use
         # closure recreates every intermediate it reads), then put it
         # back, spilling any surplus the slice left behind.
-        snapshots: Dict[str, Mixture] = {}
+        snapshots: dict[str, Mixture] = {}
         for name in sorted(deposited - {location}):
             try:
                 component = self.machine.component(name)

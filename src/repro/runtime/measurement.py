@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from ..core.limits import Number, as_fraction
 
@@ -26,8 +26,8 @@ Perturbation = Callable[[str, Fraction], Fraction]
 class MeasurementLog:
     """Ordered record of run-time volume measurements."""
 
-    perturb: Optional[Perturbation] = None
-    entries: List[Tuple[str, Fraction]] = field(default_factory=list)
+    perturb: Perturbation | None = None
+    entries: list[tuple[str, Fraction]] = field(default_factory=list)
 
     def record(self, node_id: str, volume: Number) -> Fraction:
         """Record a measurement; returns the (possibly perturbed) reading."""
@@ -39,7 +39,7 @@ class MeasurementLog:
         self.entries.append((node_id, value))
         return value
 
-    def latest(self) -> Dict[str, Fraction]:
+    def latest(self) -> dict[str, Fraction]:
         """Most recent reading per node."""
         return dict(self.entries)
 

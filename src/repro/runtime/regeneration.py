@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Set
 
 from ..core.dag import AssayDAG, NodeKind
 from ..core.errors import VolumeError
@@ -49,11 +48,11 @@ class NaiveExecutionReport:
 
     regeneration_count: int
     #: regenerations per fluid (node id -> count)
-    per_fluid: Dict[str, int] = field(default_factory=dict)
+    per_fluid: dict[str, int] = field(default_factory=dict)
     #: wet operations executed, including re-executions
     operations_executed: int = 0
     #: fluids whose regeneration could not fix the shortfall
-    hard_failures: List[str] = field(default_factory=list)
+    hard_failures: list[str] = field(default_factory=list)
     #: simulated fluid-path time spent, including re-executions (transfers
     #: at 1 s each plus each operation's declared duration)
     wet_seconds: Fraction = Fraction(0)
@@ -75,8 +74,8 @@ def naive_regeneration_count(
         max_triggers: safety valve against pathological assays.
     """
     dag.validate()
-    available: Dict[str, Fraction] = {}
-    failed: Set[str] = set()
+    available: dict[str, Fraction] = {}
+    failed: set[str] = set()
     report = NaiveExecutionReport(0)
     min_useful = limits.least_count if respect_least_count else Fraction(0)
 
@@ -115,7 +114,7 @@ def naive_regeneration_count(
         while True:
             # the largest ratio-respecting draw possible right now
             total = capacity
-            limiting: Optional[str] = None
+            limiting: str | None = None
             for edge in inbound:
                 src_available = available.get(edge.src, Fraction(0))
                 bound = src_available / edge.fraction

@@ -19,7 +19,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any
+from collections.abc import Callable, Iterable
 
 from ..compiler.pipeline import CompiledAssay
 from ..machine.faults import ALL_KINDS, FaultInjector, FaultKind, FaultPlan
@@ -41,14 +42,14 @@ class ScenarioOutcome:
     transient_retries: int = 0
     regeneration_volume: Fraction = Fraction(0)
     wet_instructions: int = 0
-    faults_injected: Dict[str, int] = field(default_factory=dict)
-    recoveries: Dict[str, int] = field(default_factory=dict)
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    recoveries: dict[str, int] = field(default_factory=dict)
     #: exact match of every sensor reading against the fault-free run
     #: (None when the scenario failed before completing).
-    readings_match: Optional[bool] = None
-    failure: Optional[FailureReport] = None
+    readings_match: bool | None = None
+    failure: FailureReport | None = None
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "seed": self.seed,
             "survived": self.survived,
@@ -69,12 +70,12 @@ class StressReport:
 
     assay: str
     fault_rate: float
-    kinds: List[str]
+    kinds: list[str]
     seeds: int
-    budget: Optional[Fraction]
+    budget: Fraction | None
     baseline_wet_instructions: int
     baseline_regenerations: int
-    scenarios: List[ScenarioOutcome] = field(default_factory=list)
+    scenarios: list[ScenarioOutcome] = field(default_factory=list)
 
     # -- aggregates -----------------------------------------------------
     @property
@@ -85,29 +86,29 @@ class StressReport:
     def survival_rate(self) -> float:
         return self.survived / len(self.scenarios) if self.scenarios else 1.0
 
-    def faults_by_kind(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
+    def faults_by_kind(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
         for scenario in self.scenarios:
             for kind, count in scenario.faults_injected.items():
                 totals[kind] = totals.get(kind, 0) + count
         return dict(sorted(totals.items()))
 
-    def recoveries_by_action(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
+    def recoveries_by_action(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
         for scenario in self.scenarios:
             for action, count in scenario.recoveries.items():
                 totals[action] = totals.get(action, 0) + count
         return dict(sorted(totals.items()))
 
-    def terminal_errors(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
+    def terminal_errors(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
         for scenario in self.scenarios:
             if scenario.failure is not None:
                 kind = scenario.failure.error_kind
                 totals[kind] = totals.get(kind, 0) + 1
         return dict(sorted(totals.items()))
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "version": 1,
             "assay": self.assay,
@@ -179,10 +180,10 @@ class StressReport:
 # ---------------------------------------------------------------------------
 def _run_once(
     compiled: CompiledAssay,
-    machine_factory: Optional[MachineFactory],
+    machine_factory: MachineFactory | None,
     *,
-    injector: Optional[FaultInjector] = None,
-    policy: Optional[RetryPolicy] = None,
+    injector: FaultInjector | None = None,
+    policy: RetryPolicy | None = None,
 ) -> ExecutionResult:
     machine = machine_factory() if machine_factory is not None else None
     executor = AssayExecutor(
@@ -201,9 +202,9 @@ def stress_compiled(
     seeds: int = 10,
     fault_rate: float = 0.05,
     kinds: Iterable[FaultKind] = ALL_KINDS,
-    budget: Optional[Fraction] = None,
-    policy: Optional[RetryPolicy] = None,
-    machine_factory: Optional[MachineFactory] = None,
+    budget: Fraction | None = None,
+    policy: RetryPolicy | None = None,
+    machine_factory: MachineFactory | None = None,
 ) -> StressReport:
     """Run ``compiled`` under ``seeds`` deterministic fault scenarios.
 
@@ -247,7 +248,7 @@ def stress_compiled(
         result = _run_once(
             compiled, machine_factory, injector=injector, policy=base_policy
         )
-        readings_match: Optional[bool] = None
+        readings_match: bool | None = None
         if result.succeeded and baseline_results is not None:
             readings_match = dict(result.results) == baseline_results
         report.scenarios.append(
@@ -267,8 +268,8 @@ def stress_compiled(
     return report
 
 
-def _count_recoveries(result: ExecutionResult) -> Dict[str, int]:
-    counts: Dict[str, int] = {}
+def _count_recoveries(result: ExecutionResult) -> dict[str, int]:
+    counts: dict[str, int] = {}
     for event in result.trace.recoveries:
         counts[event.action] = counts.get(event.action, 0) + 1
     return counts

@@ -1,0 +1,110 @@
+"""Shape of the CFG built straight from the checked AST."""
+
+from repro.analysis.sourceflow import build_cfg
+from repro.lang import ast
+from repro.lang.parser import parse
+
+LOOP_AND_BRANCH = """\
+ASSAY shapes
+START
+fluid a, b, r;
+fluid bank[4];
+VAR i, n;
+n = 2;
+FOR i FROM 1 TO 4 START
+bank[i] = MIX a AND b IN RATIOS 1 : 3 FOR 10;
+OUTPUT it;
+ENDFOR
+IF n < 3 THEN
+r = MIX a AND b FOR 10;
+ELSE
+r = MIX b AND a FOR 10;
+ENDIF
+OUTPUT r;
+END
+"""
+
+WHILE_SOURCE = """\
+ASSAY spin
+START
+fluid a, b, r;
+VAR x;
+x = 1;
+WHILE x < 100 HINT 20 START
+x = x * 2;
+ENDWHILE
+r = MIX a AND b FOR 10;
+OUTPUT r;
+END
+"""
+
+
+def test_straight_line_is_one_block():
+    cfg = build_cfg(parse("ASSAY s\nSTART\nfluid a, b, r;\n"
+                          "r = MIX a AND b FOR 10;\nOUTPUT r;\nEND\n"))
+    assert len(cfg.loops) == 0
+    assert cfg.blocks[cfg.entry].stmts  # decls + mix + output all in entry
+    assert cfg.entry == cfg.exit
+
+
+def test_loop_head_has_taken_then_exit_successors():
+    cfg = build_cfg(parse(LOOP_AND_BRANCH))
+    assert len(cfg.loops) == 1
+    loop = cfg.loops[0]
+    assert loop.kind == "for"
+    head = cfg.blocks[loop.head]
+    assert head.loop is loop
+    assert head.succs == [loop.body_entry, loop.exit]
+    assert loop.back_edges  # the body flows back to the head
+
+
+def test_branch_block_has_two_arms():
+    cfg = build_cfg(parse(LOOP_AND_BRANCH))
+    branch_blocks = [b for b in cfg.blocks if b.branch is not None]
+    assert len(branch_blocks) == 1
+    assert len(branch_blocks[0].succs) == 2
+
+
+def test_statement_tokens_are_stable_and_complete():
+    cfg = build_cfg(parse(LOOP_AND_BRANCH))
+    leaf_count = sum(len(block.stmts) for block in cfg.blocks)
+    assert len(cfg.stmt_ids) == leaf_count
+    for token, stmt in cfg.stmt_by_id.items():
+        assert cfg.stmt_id(stmt) == token
+
+
+def test_enclosing_loops_and_under_branch():
+    cfg = build_cfg(parse(LOOP_AND_BRANCH))
+    in_loop = [
+        token
+        for token, loops in cfg.enclosing_loops.items()
+        if loops
+    ]
+    assert in_loop  # the bank mix + OUTPUT sit inside the FOR
+    for token in in_loop:
+        assert cfg.enclosing_loops[token][0].kind == "for"
+    under = [t for t, flag in cfg.under_branch.items() if flag]
+    # both IF arms' mixes are conditional; nothing in the loop is
+    assert len(under) == 2
+    assert not set(under) & set(in_loop)
+
+
+def test_rpo_back_edges_point_backwards():
+    cfg = build_cfg(parse(WHILE_SOURCE))
+    order = {block_id: pos for pos, block_id in enumerate(cfg.rpo())}
+    for loop in cfg.loops:
+        for src, dst in loop.back_edges:
+            assert order[dst] < order[src]
+    # every forward edge goes forwards in the order
+    back = {edge for loop in cfg.loops for edge in loop.back_edges}
+    for block in cfg.blocks:
+        for succ in block.succs:
+            if (block.id, succ) not in back:
+                assert order[succ] > order[block.id]
+
+
+def test_while_loop_shape():
+    cfg = build_cfg(parse(WHILE_SOURCE))
+    assert [loop.kind for loop in cfg.loops] == ["while"]
+    head = cfg.blocks[cfg.loops[0].head]
+    assert isinstance(head.loop.stmt, ast.WhileStmt)

@@ -1,0 +1,163 @@
+"""``repro lint --source`` + the ``source-lint`` pipeline pass."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.passes import (
+    PassEventBus,
+    SourceLintPass,
+    default_passes,
+    render_timing_table,
+    run_compile,
+)
+
+CLEAN = """\
+ASSAY dilute
+START
+fluid reagent, diluent, product;
+product = MIX reagent AND diluent IN RATIOS 1 : 3 FOR 10;
+OUTPUT product;
+END
+"""
+
+BROKEN = """\
+ASSAY broken
+START
+fluid a, b, r;
+VAR i;
+FOR i FROM 1 TO 4 START
+r = MIX a AND b IN RATIOS 1 : 1 FOR 10;
+ENDFOR
+OUTPUT r;
+END
+"""
+
+# warning-only: flagged by the verifier, but compiles fine downstream
+DEAD_FLUID = """\
+ASSAY wasteful
+START
+fluid a, b, r, s;
+r = MIX a AND b FOR 10;
+s = MIX a AND b FOR 10;
+OUTPUT s;
+END
+"""
+
+
+@pytest.fixture
+def clean_path(tmp_path):
+    path = tmp_path / "clean.fluid"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def broken_path(tmp_path):
+    path = tmp_path / "broken.fluid"
+    path.write_text(BROKEN)
+    return str(path)
+
+
+@pytest.fixture
+def dead_fluid_path(tmp_path):
+    path = tmp_path / "wasteful.fluid"
+    path.write_text(DEAD_FLUID)
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# repro lint --source
+# ---------------------------------------------------------------------------
+def test_lint_source_clean(capsys, clean_path):
+    code = main(["lint", "--source", clean_path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified for all loop bounds" in out
+
+
+def test_lint_source_broken_exits_2(capsys, broken_path):
+    code = main(["lint", "--source", broken_path])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "SRC-DOUBLE-FILL" in out
+
+
+def test_lint_source_warning_exits_1(capsys, dead_fluid_path):
+    code = main(["lint", "--source", dead_fluid_path])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SRC-DEAD-FLUID" in out
+
+
+def test_lint_source_json_schema(capsys, broken_path):
+    code = main(["lint", "--source", "--json", broken_path])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["version"] == 1
+    assert payload["tool"] == "sourceflow"
+    assert payload["program"] == "broken"
+    assert payload["summary"]["clean"] is False
+    assert payload["summary"]["errors"] >= 1
+    assert payload["summary"]["exit_code"] == 2
+    fixpoint = payload["summary"]["fixpoint"]
+    assert fixpoint["converged"] is True
+    assert fixpoint["sweeps"] >= 1
+    assert fixpoint["loops"] == 1
+    assert "SRC-DOUBLE-FILL" in [d["code"] for d in payload["diagnostics"]]
+
+
+def test_lint_source_front_end_error_exits_2(capsys, tmp_path):
+    path = tmp_path / "bad.fluid"
+    path.write_text("ASSAY broken\nSTART\nMIX nope AND\n")
+    code = main(["lint", "--source", str(path)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error" in err
+
+
+# ---------------------------------------------------------------------------
+# the source-lint pass in the pipeline
+# ---------------------------------------------------------------------------
+def test_source_lint_pass_is_registered():
+    names = [type(p).__name__ for p in default_passes()]
+    assert names.index("SourceLintPass") == names.index("ParseSource") + 1
+    assert any(isinstance(p, SourceLintPass) for p in default_passes())
+
+
+def test_source_lint_pass_skipped_by_default():
+    bus = PassEventBus()
+    run_compile(source=CLEAN, bus=bus)
+    event = next(e for e in bus.events if e.name == "source-lint")
+    assert event.status == "skipped"
+
+
+def test_source_lint_pass_runs_and_reports():
+    bus = PassEventBus()
+    ctx = run_compile(source=DEAD_FLUID, source_lint=True, bus=bus)
+    event = next(e for e in bus.events if e.name == "source-lint")
+    assert event.status == "ok"
+    assert "SRC-DEAD-FLUID" in ctx.diagnostics.render()
+    assert "source-lint" in [e.name for e in bus.ran()]
+    # the timing table (--time-passes) covers the new pass
+    assert "source-lint" in render_timing_table(bus)
+
+
+def test_compile_source_lint_surfaces_findings(capsys, dead_fluid_path):
+    code = main(["compile", dead_fluid_path, "--source-lint"])
+    captured = capsys.readouterr()
+    assert code == 0  # warnings do not fail the compile
+    assert "SRC-DEAD-FLUID" in captured.err
+
+
+def test_compile_source_lint_clean(capsys, clean_path):
+    code = main(["compile", clean_path, "--source-lint"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "SRC-" not in captured.err
+
+
+def test_compile_source_lint_rejected_in_batch_mode(tmp_path, clean_path):
+    with pytest.raises(SystemExit, match="batch"):
+        main(["compile", clean_path, clean_path, "--source-lint"])

@@ -1,0 +1,161 @@
+"""Lattice laws of the source-level abstract domain.
+
+The fixpoint engine's termination and soundness rest on a handful of
+algebraic facts about :mod:`repro.analysis.sourceflow.domain` — join is
+an upper bound, widening jumps to a bound that can only be refined
+finitely often, narrowing never widens — checked here directly.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sourceflow import DryVal, IntInterval, SourceState
+from repro.analysis.state import AbsContent, ContentKind, VolumeInterval
+
+
+class TestIntInterval:
+    def test_const_and_top(self):
+        assert IntInterval.const(4).is_singleton
+        assert IntInterval.top().is_top
+        assert IntInterval.top().contains(-(10**9))
+
+    def test_contains_within_intersects(self):
+        iv = IntInterval(1, 5)
+        assert iv.contains(1) and iv.contains(5) and not iv.contains(6)
+        assert iv.within(0, 5) and not iv.within(2, 5)
+        assert iv.intersects(5, 9) and not iv.intersects(6, 9)
+
+    def test_arithmetic(self):
+        a, b = IntInterval(1, 3), IntInterval(2, 4)
+        assert a.add(b) == IntInterval(3, 7)
+        assert a.sub(b) == IntInterval(-3, 1)
+        assert a.mul(b) == IntInterval(2, 12)
+
+    def test_mul_with_infinity(self):
+        unbounded = IntInterval(0, None)
+        assert unbounded.mul(IntInterval.const(3)) == IntInterval(0, None)
+        # inf * 0 must collapse to 0, not NaN
+        assert unbounded.mul(IntInterval.const(0)) == IntInterval.const(0)
+
+    def test_floordiv(self):
+        assert IntInterval(7, 7).floordiv(IntInterval.const(2)) == IntInterval(3, 3)
+        # divisor straddling zero -> no verdict at all
+        assert IntInterval(4, 4).floordiv(IntInterval(-1, 1)).is_top
+
+    def test_compare_is_tri_state(self):
+        lo, hi = IntInterval(1, 2), IntInterval(5, 9)
+        assert lo.compare("<", hi) is True
+        assert hi.compare("<", lo) is False
+        assert lo.compare("<", IntInterval(2, 9)) is None
+
+    def test_join_is_upper_bound(self):
+        a, b = IntInterval(1, 3), IntInterval(5, 9)
+        joined = a.join(b)
+        for value in (1, 3, 5, 9):
+            assert joined.contains(value)
+
+    def test_widen_jumps_to_infinity(self):
+        old, grown = IntInterval(1, 3), IntInterval(1, 4)
+        widened = old.widen(grown)
+        assert widened.hi is None  # growing bound -> +inf
+        assert widened.lo == 1  # stable bound kept
+        # dropping low bound first widens to the 0 threshold, then -inf
+        assert IntInterval(1, 3).widen(IntInterval(0, 3)).lo == 0
+        assert IntInterval(0, 3).widen(IntInterval(-1, 3)).lo is None
+
+    def test_widen_is_stationary_on_stable_input(self):
+        iv = IntInterval(1, 3)
+        assert iv.widen(iv) == iv
+
+    def test_narrow_refines_only_infinite_bounds(self):
+        widened = IntInterval(1, None)
+        assert widened.narrow(IntInterval(1, 9)) == IntInterval(1, 9)
+        # finite bounds stay: narrowing never widens and never oscillates
+        assert IntInterval(1, 9).narrow(IntInterval(2, 5)) == IntInterval(1, 9)
+
+
+class TestDryVal:
+    def test_join_merges_flags(self):
+        a = DryVal(IntInterval.const(1))
+        b = DryVal(IntInterval.const(5), maybe_unset=True)
+        joined = a.join(b)
+        assert joined.maybe_unset
+        assert joined.value.contains(1) and joined.value.contains(5)
+
+    def test_widen_keeps_runtime_taint(self):
+        tainted = DryVal(IntInterval.top(), runtime=True)
+        grown = DryVal(IntInterval(0, 8))
+        assert tainted.widen(grown).runtime
+
+
+class TestSourceState:
+    def test_missing_cell_is_empty(self):
+        state = SourceState()
+        assert state.cell("x").kind is ContentKind.EMPTY
+
+    def test_strong_vs_weak_update(self):
+        state = SourceState()
+        held = AbsContent.holding(VolumeInterval.exact(Fraction(10)), {1})
+        state.set_cell("x", held)
+        assert state.cell("x").kind is ContentKind.HOLDS
+        state.weak_set_cell("x", AbsContent.empty())
+        # weak update joins with the old content: kind is now uncertain
+        assert state.cell("x").kind is ContentKind.UNKNOWN
+
+    def test_join_marks_one_sided_dry_names_maybe_unset(self):
+        left, right = SourceState(), SourceState()
+        left.dry["n"] = DryVal(IntInterval.const(3))
+        joined = left.join(right)
+        assert joined.dry["n"].maybe_unset
+
+    def test_join_unions_definition_tokens(self):
+        left, right = SourceState(), SourceState()
+        left.set_cell("x", AbsContent.holding(VolumeInterval.exact(Fraction(5)), {1}))
+        right.set_cell("x", AbsContent.holding(VolumeInterval.exact(Fraction(7)), {2}))
+        assert left.join(right).cell("x").defs == frozenset({1, 2})
+
+
+class TestStateLattice:
+    def test_volume_interval_join_hull(self):
+        a = VolumeInterval.exact(Fraction(5))
+        b = VolumeInterval.exact(Fraction(9))
+        joined = a.join(b)
+        assert joined.lo == 5 and joined.hi == 9
+
+    def test_volume_interval_widen_respects_nonnegativity(self):
+        old = VolumeInterval(Fraction(5), Fraction(10))
+        grown = VolumeInterval(Fraction(3), Fraction(12))
+        widened = old.widen(grown)
+        assert widened.lo == 0  # volumes cannot go negative
+        assert widened.hi is None
+
+    def test_abs_content_join_same_kind(self):
+        a = AbsContent.holding(VolumeInterval.exact(Fraction(5)), {1})
+        b = AbsContent.holding(VolumeInterval.exact(Fraction(9)), {2})
+        joined = a.join(b)
+        assert joined.kind is ContentKind.HOLDS
+        assert joined.defs == frozenset({1, 2})
+
+    def test_abs_content_join_kind_conflict_is_unknown(self):
+        held = AbsContent.holding(VolumeInterval.exact(Fraction(5)), {1})
+        assert held.join(AbsContent.consumed({2})).kind is ContentKind.UNKNOWN
+
+
+@pytest.mark.parametrize(
+    "old, grown",
+    [
+        (IntInterval(1, 3), IntInterval(0, 5)),
+        (IntInterval(0, None), IntInterval(-2, None)),
+        (IntInterval.top(), IntInterval.top()),
+    ],
+)
+def test_widening_terminates(old, grown):
+    """Iterated widening reaches a fixed point in finitely many steps."""
+    current = old
+    for _step in range(4):
+        nxt = current.widen(current.join(grown))
+        if nxt == current:
+            break
+        current = nxt
+    assert current.widen(current.join(grown)) == current

@@ -1,0 +1,109 @@
+"""Shared corpus discovery for the ``tools/*_corpus.py`` CI jobs.
+
+Every corpus sweep used to carry its own copy of the repo bootstrap, the
+``examples/custom_assay.py`` loader, and the corpus listing; they drifted
+one entry at a time.  This module is the single source of truth:
+
+* importing it puts ``src/`` on ``sys.path`` (the tools run from a
+  checkout, not an installed package);
+* :func:`corpus_entries` is the canonical ``(name, kwargs)`` listing —
+  ``kwargs`` holds either ``source`` text or a freshly built ``dag``;
+* :func:`compiled_corpus` / :func:`batch_jobs` / :func:`source_corpus`
+  adapt that listing to what each sweep consumes.
+
+Generator-backed DAG entries are rebuilt on every call so sweeps can
+mutate their copy freely.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+from collections.abc import Iterator
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.assays import (  # noqa: E402
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    paper_example,
+)
+
+__all__ = [
+    "REPO",
+    "PAPER_BENCHMARKS",
+    "custom_assay_source",
+    "corpus_entries",
+    "source_corpus",
+    "compiled_corpus",
+    "batch_jobs",
+]
+
+#: Figure 12-14 benchmarks that get extra metrics smoke checks.
+PAPER_BENCHMARKS = ("glucose", "glycomics", "enzyme")
+
+
+def custom_assay_source() -> str:
+    """The example walkthrough's assay source (not an importable module)."""
+    path = REPO / "examples" / "custom_assay.py"
+    spec = importlib.util.spec_from_file_location("custom_assay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SOURCE
+
+
+def corpus_entries(*, include_fanout: bool = False) -> list:
+    """The canonical ``(name, kwargs)`` corpus listing.
+
+    ``kwargs`` carries either ``{"source": text}`` or ``{"dag": built}``
+    — exactly what :func:`repro.compiler.passes.run_compile` accepts.
+    ``include_fanout`` adds the wider synthetic fan-out DAG only the
+    pass-timing sweep wants.
+    """
+    entries = [
+        ("figure2", {"source": paper_example.SOURCE}),
+        ("glucose", {"source": glucose.SOURCE}),
+        ("glycomics", {"source": glycomics.SOURCE}),
+        ("enzyme", {"source": enzyme.SOURCE}),
+        ("elisa", {"source": extra.ELISA_SOURCE}),
+        ("bradford", {"source": extra.BRADFORD_SOURCE}),
+        ("pcr-prep", {"source": extra.PCR_PREP_SOURCE}),
+        ("custom-example", {"source": custom_assay_source()}),
+        ("gen-enzyme-4", {"dag": generators.enzyme_n(4)}),
+        ("gen-dilution-6", {"dag": generators.serial_dilution(6)}),
+        ("gen-mixtree-3", {"dag": generators.binary_mix_tree(3)}),
+    ]
+    if include_fanout:
+        entries.append(("gen-fanout-4x3", {"dag": generators.fanout_chain(4, 3)}))
+    return entries
+
+
+def source_corpus() -> Iterator[tuple[str, str]]:
+    """Just the entries that exist as assay *source* (rolled programs)."""
+    for name, kwargs in corpus_entries():
+        if "source" in kwargs:
+            yield name, kwargs["source"]
+
+
+def compiled_corpus() -> Iterator[tuple[str, object]]:
+    """``(name, CompiledAssay)`` pairs via the deprecated-shim entry points."""
+    from repro.compiler import compile_assay, compile_dag
+
+    for name, kwargs in corpus_entries():
+        if "source" in kwargs:
+            yield name, compile_assay(kwargs["source"])
+        else:
+            yield name, compile_dag(kwargs["dag"])
+
+
+def batch_jobs() -> list:
+    """The corpus as :class:`repro.compiler.batch.BatchJob` instances."""
+    from repro.compiler.batch import BatchJob
+
+    return [BatchJob(name, **kwargs) for name, kwargs in corpus_entries()]

@@ -20,47 +20,12 @@ Usage: PYTHONPATH=src python tools/batch_corpus.py [--jobs N] [-v]
 from __future__ import annotations
 
 import argparse
-import importlib.util
-import pathlib
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO / "src"))
+from _corpus import batch_jobs
 
-from repro.assays import (  # noqa: E402
-    enzyme,
-    extra,
-    generators,
-    glucose,
-    glycomics,
-    paper_example,
-)
-from repro.compiler.batch import BatchJob, compile_many  # noqa: E402
-from repro.compiler.cache import PlanCache  # noqa: E402
-
-
-def custom_assay_source() -> str:
-    path = REPO / "examples" / "custom_assay.py"
-    spec = importlib.util.spec_from_file_location("custom_assay", path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module.SOURCE
-
-
-def corpus_jobs() -> list:
-    return [
-        BatchJob("figure2", source=paper_example.SOURCE),
-        BatchJob("glucose", source=glucose.SOURCE),
-        BatchJob("glycomics", source=glycomics.SOURCE),
-        BatchJob("enzyme", source=enzyme.SOURCE),
-        BatchJob("elisa", source=extra.ELISA_SOURCE),
-        BatchJob("bradford", source=extra.BRADFORD_SOURCE),
-        BatchJob("pcr-prep", source=extra.PCR_PREP_SOURCE),
-        BatchJob("custom-example", source=custom_assay_source()),
-        BatchJob("gen-enzyme-4", dag=generators.enzyme_n(4)),
-        BatchJob("gen-dilution-6", dag=generators.serial_dilution(6)),
-        BatchJob("gen-mixtree-3", dag=generators.binary_mix_tree(3)),
-    ]
+from repro.compiler.batch import compile_many
+from repro.compiler.cache import PlanCache
 
 
 def check_report(label: str, report, *, expect_hits: bool) -> int:
@@ -97,7 +62,7 @@ def main(argv) -> int:
     args = parser.parse_args(argv)
 
     cache = PlanCache()
-    jobs = corpus_jobs()
+    jobs = batch_jobs()
 
     cold = compile_many(
         jobs, cache=cache, max_workers=args.jobs, certify=True

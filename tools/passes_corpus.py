@@ -21,56 +21,19 @@ Usage: PYTHONPATH=src python tools/passes_corpus.py [--out PATH] [-v]
 from __future__ import annotations
 
 import argparse
-import importlib.util
 import json
 import pathlib
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO / "src"))
+from _corpus import REPO, corpus_entries
 
-from repro.assays import (  # noqa: E402
-    enzyme,
-    extra,
-    generators,
-    glucose,
-    glycomics,
-    paper_example,
-)
-from repro.compiler import compile_assay, compile_dag  # noqa: E402
-from repro.compiler.passes import (  # noqa: E402
+from repro.compiler import compile_assay, compile_dag
+from repro.compiler.passes import (
     PASS_EVENT_SCHEMA_VERSION,
     PassEventBus,
     render_timing_table,
     run_compile,
 )
-
-
-def custom_assay_source() -> str:
-    path = REPO / "examples" / "custom_assay.py"
-    spec = importlib.util.spec_from_file_location("custom_assay", path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module.SOURCE
-
-
-def corpus():
-    """(name, kwargs-for-one-compile) pairs covering source + DAG entries."""
-    entries = [
-        ("figure2", {"source": paper_example.SOURCE}),
-        ("glucose", {"source": glucose.SOURCE}),
-        ("glycomics", {"source": glycomics.SOURCE}),
-        ("enzyme", {"source": enzyme.SOURCE}),
-        ("elisa", {"source": extra.ELISA_SOURCE}),
-        ("bradford", {"source": extra.BRADFORD_SOURCE}),
-        ("pcr-prep", {"source": extra.PCR_PREP_SOURCE}),
-        ("custom-example", {"source": custom_assay_source()}),
-        ("gen-enzyme-4", {"dag": generators.enzyme_n(4)}),
-        ("gen-dilution-6", {"dag": generators.serial_dilution(6)}),
-        ("gen-mixtree-3", {"dag": generators.binary_mix_tree(3)}),
-        ("gen-fanout-4x3", {"dag": generators.fanout_chain(4, 3)}),
-    ]
-    return entries
 
 
 def legacy_compile(name, kwargs):
@@ -96,7 +59,7 @@ def main(argv) -> int:
     divergences = 0
     timings = {}
     programs = []
-    for name, kwargs in corpus():
+    for name, kwargs in corpus_entries(include_fanout=True):
         legacy = legacy_compile(name, kwargs)
         bus = PassEventBus(fingerprints=True)
         ctx = run_compile(bus=bus, **kwargs)

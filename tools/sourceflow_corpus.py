@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Source-verify every rolled assay in the repo's corpus.
+
+CI runs this after the test suite: the source-level parametric verifier
+(:mod:`repro.analysis.sourceflow`) runs its fixpoint over every corpus
+assay that exists as rolled source.  Each one must
+
+* converge (widening terminated the fixpoint before the sweep ceiling),
+* verify **clean for all loop bounds** — zero errors and zero warnings
+  (``possible`` notes from bank summarization are reported but
+  tolerated),
+
+so a new assay or an engine change that breaks parametric verification
+fails CI here.  Exits nonzero on any error/warning or non-convergence.
+
+Usage: PYTHONPATH=src python tools/sourceflow_corpus.py [-v]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _corpus import source_corpus
+
+from repro.analysis import verify_source
+
+
+def main(argv) -> int:
+    verbose = "-v" in argv
+    failures = 0
+    for name, source in source_corpus():
+        report = verify_source(source, name=name)
+        stats = report.stats
+        if not stats["converged"]:
+            print(f"{name:16s} FIXPOINT DID NOT CONVERGE")
+            failures += 1
+            continue
+        counts = report.counts
+        status = (
+            f"verified for all loop bounds ({stats['sweeps']} sweeps, "
+            f"{stats['loops']} loops)"
+            if report.is_clean
+            else f"{counts['error']} error(s), {counts['warning']} warning(s)"
+        )
+        print(f"{name:16s} {status}")
+        if verbose or not report.is_clean:
+            for finding in report.findings:
+                print(f"  {finding}")
+        if not report.is_clean:
+            failures += 1
+    if failures:
+        print(f"\n{failures} assay(s) failed source-level verification")
+        return 1
+    print("\nall rolled corpus assays verified for all loop bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,45 +15,11 @@ Usage: PYTHONPATH=src python tools/stress_corpus.py [-v] [--seeds N] [--rate R]
 from __future__ import annotations
 
 import argparse
-import importlib.util
-import pathlib
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parents[1]
-sys.path.insert(0, str(REPO / "src"))
+from _corpus import compiled_corpus
 
-from repro.assays import (  # noqa: E402
-    enzyme,
-    extra,
-    generators,
-    glucose,
-    glycomics,
-    paper_example,
-)
-from repro.compiler import compile_assay, compile_dag  # noqa: E402
-from repro.runtime.stress import stress_compiled  # noqa: E402
-
-
-def custom_assay_source() -> str:
-    path = REPO / "examples" / "custom_assay.py"
-    spec = importlib.util.spec_from_file_location("custom_assay", path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module.SOURCE
-
-
-def corpus():
-    yield "figure2", compile_assay(paper_example.SOURCE)
-    yield "glucose", compile_assay(glucose.SOURCE)
-    yield "glycomics", compile_assay(glycomics.SOURCE)
-    yield "enzyme", compile_assay(enzyme.SOURCE)
-    yield "elisa", compile_assay(extra.ELISA_SOURCE)
-    yield "bradford", compile_assay(extra.BRADFORD_SOURCE)
-    yield "pcr-prep", compile_assay(extra.PCR_PREP_SOURCE)
-    yield "custom-example", compile_assay(custom_assay_source())
-    yield "gen-enzyme-4", compile_dag(generators.enzyme_n(4))
-    yield "gen-dilution-6", compile_dag(generators.serial_dilution(6))
-    yield "gen-mixtree-3", compile_dag(generators.binary_mix_tree(3))
+from repro.runtime.stress import stress_compiled
 
 
 def main(argv) -> int:
@@ -64,7 +30,7 @@ def main(argv) -> int:
     args = parser.parse_args(argv)
 
     failures = 0
-    for name, compiled in corpus():
+    for name, compiled in compiled_corpus():
         try:
             report = stress_compiled(
                 compiled, seeds=args.seeds, fault_rate=args.rate
