@@ -36,12 +36,19 @@ The sibling :mod:`repro.analysis.sourceflow` package analyses the
 *rolled* program instead of the unrolling: a CFG over the checked AST
 and an interval fixpoint with widening, whose SRC-* verdicts hold for
 every loop bound — behind ``repro lint --source``.
+
+The sibling :mod:`repro.analysis.races` package is the *concurrency*
+oracle: happens-before + lockset interference analysis over one program
+or a merged multi-assay schedule, whose RACE-* verdicts hold for every
+interleaving the barriers admit — behind ``repro lint --races`` and
+``analyze_races([a, b], spec)``.
 """
 
 from .certify import CertificateReport, certify, certify_program
 from .checks import AnalysisContext, Check, all_checks, analyze, check_codes, register
 from .dataflow import Access, AccessKind, ForwardAnalysis, Place, ValueFlow
 from .lint import LintReport, lint_program, lint_text
+from .races import RaceReport, analyze_races, race_text
 from .sourceflow import SourceReport, verify_program, verify_source
 from .state import AbsContent, AbstractState, ContentKind, VolumeInterval
 
@@ -60,6 +67,9 @@ __all__ = [
     "LintReport",
     "lint_program",
     "lint_text",
+    "RaceReport",
+    "analyze_races",
+    "race_text",
     "SourceReport",
     "verify_program",
     "verify_source",

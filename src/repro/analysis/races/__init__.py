@@ -1,0 +1,196 @@
+"""Static race / interference detection over AIS schedules.
+
+The certifier (:mod:`repro.analysis.certify`) *replays* one concrete
+schedule — a dynamic check that proves nothing about other interleavings.
+This package is the static counterpart, and the safety oracle a
+multi-assay scheduler calls **before** committing to an interleaving:
+
+* :mod:`repro.analysis.races.hb` — happens-before construction (program
+  order, fluid dataflow, explicit barriers) and may-happen-in-parallel
+  (MHP) queries via barrier epochs;
+* :mod:`repro.analysis.races.resources` — lockset-style resource access
+  extraction from the shared dataflow facts (reservoirs, storage wells,
+  input ports, functional units), with per-program reservoir namespacing
+  for re-bankable storage;
+* :mod:`repro.analysis.races.detector` — the classification engine:
+  safe / definite race (``RACE-WW``, ``RACE-RW``, ``RACE-PORT``,
+  ``RACE-ROUTE``) / possible race (``RACE-BANK``, ``RACE-GUARDED``,
+  ``RACE-ORDER``), plus route contention via
+  :meth:`~repro.machine.topology.ChannelTopology.conflicts`;
+* :mod:`repro.analysis.races.codes` — the stable RACE-* catalogue.
+
+Library entry point — the scheduler oracle::
+
+    from repro.analysis.races import analyze_races
+    report = analyze_races([compiled_a.program, compiled_b.program], spec)
+    if report.counts["error"] == 0:
+        ...  # every interleaving the barriers admit is interference-free
+
+A single program answers the *schedule-sensitivity* question instead
+(which conflicting pairs rest on emission order alone); those findings
+are notes, never errors — the serial schedule itself is sound.  The same
+analysis runs behind ``repro lint --races [--json]`` and as an opt-in
+compile pass (``repro compile --race-check``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ...compiler.diagnostics import (
+    Diagnostic,
+    exit_code_for,
+    report_payload,
+    severity_counts,
+)
+from ...ir.parse import parse_ais
+from ...ir.program import AISProgram
+from ...machine.spec import AQUACORE_SPEC, MachineSpec
+from ...machine.topology import ChannelTopology
+from .codes import RACE_CODES
+from .detector import RaceDetector
+from .hb import Barrier, BarrierOrder, DataflowOrder
+
+__all__ = [
+    "RACE_CODES",
+    "Barrier",
+    "BarrierOrder",
+    "DataflowOrder",
+    "RaceReport",
+    "analyze_races",
+    "race_text",
+]
+
+
+@dataclass
+class RaceReport:
+    """The outcome of one race-detection run."""
+
+    program: str
+    machine: str
+    findings: list[Diagnostic] = field(default_factory=list)
+    #: MHP statistics (the ``summary.mhp`` block of the JSON report).
+    mhp: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return severity_counts(self.findings)
+
+    @property
+    def is_clean(self) -> bool:
+        """No warnings or errors (notes are informational)."""
+        counts = self.counts
+        return counts["error"] == 0 and counts["warning"] == 0
+
+    @property
+    def exit_code(self) -> int:
+        """Shared severity table (repro.compiler.diagnostics)."""
+        return exit_code_for(self.findings)
+
+    def codes(self) -> set[str]:
+        return {finding.code for finding in self.findings}
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        counts = self.counts
+        lines = [str(finding) for finding in self.findings]
+        lines.append(
+            f"{self.program}: "
+            + (
+                "race-free"
+                if not self.findings
+                else f"{counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['note']} note(s)"
+            )
+            + (
+                f" [{self.mhp.get('mhp_pairs', 0)} MHP pair(s) over "
+                f"{self.mhp.get('programs', 1)} program(s)]"
+            )
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """The stable v1 report schema shared with ``repro lint`` and
+        ``repro certify`` plus a ``summary.mhp`` block."""
+        return report_payload(
+            "races",
+            self.program,
+            self.machine,
+            self.findings,
+            exit_code=self.exit_code,
+            extra_summary={"mhp": dict(self.mhp)},
+        )
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def analyze_races(
+    programs: AISProgram | Sequence[AISProgram],
+    spec: MachineSpec = AQUACORE_SPEC,
+    *,
+    topology: ChannelTopology | None = None,
+    barriers: Sequence[Barrier] = (),
+    share_storage: bool = False,
+    name: str | None = None,
+) -> RaceReport:
+    """Statically detect races over one program or a merged schedule.
+
+    Args:
+        programs: one AIS program, or several independently-compiled
+            programs to be run concurrently (the scheduler-oracle form).
+        spec: machine description for component classification.
+        topology: channel graph for route-contention findings.  Opt-in:
+            on the stock bus every transfer pair contends through the
+            backbone, so the default answers the re-banking question.
+        barriers: synchronization points — each a tuple of per-program
+            instruction cut indices; instructions before the cut in one
+            program happen before instructions at/after it in every
+            other.  An empty sequence means fully concurrent.
+        share_storage: treat same-named reservoirs in different programs
+            as the same physical cell (the literal merged schedule).
+            Default ``False`` namespaces them per program — a scheduler
+            re-banks storage — and adds the ``RACE-BANK`` capacity note.
+        name: report title; defaults to the joined program names.
+
+    Returns:
+        a :class:`RaceReport`; ``counts["error"] == 0`` certifies every
+        interleaving the barriers admit as interference-free.
+    """
+    if isinstance(programs, AISProgram):
+        programs = [programs]
+    programs = list(programs)
+    if not programs:
+        raise ValueError("analyze_races needs at least one program")
+    detector = RaceDetector(
+        programs=programs,
+        spec=spec,
+        topology=topology,
+        barriers=barriers,
+        share_storage=share_storage,
+    ).run()
+    return RaceReport(
+        program=name or "+".join(program.name for program in programs),
+        machine=spec.name,
+        findings=detector.findings,
+        mhp=detector.mhp,
+    )
+
+
+def race_text(
+    text: str,
+    spec: MachineSpec = AQUACORE_SPEC,
+    *,
+    name: str = "program",
+    topology: ChannelTopology | None = None,
+) -> RaceReport:
+    """Parse an AIS listing and race-check it (the CLI path).
+
+    Raises:
+        AISParseError: when the text is not a well-formed listing.
+    """
+    return analyze_races(
+        parse_ais(text, name=name), spec, topology=topology
+    )

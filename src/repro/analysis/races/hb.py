@@ -1,0 +1,175 @@
+"""Happens-before graphs and may-happen-in-parallel (MHP) queries.
+
+Two orderings back the race detector, one per analysis mode:
+
+**Merged mode** (:class:`BarrierOrder`) — several independently-compiled
+programs run concurrently.  Within one program, program order is total
+(the AIS stream is straight-line), so intra-program pairs never happen
+in parallel.  Across programs the only ordering is explicit **barriers**:
+a barrier is a tuple of per-program cut indices ``b``, meaning every
+instruction *before* ``b[p]`` in program ``p`` happens before every
+instruction *at or after* ``b[q]`` in program ``q``.  Rather than
+enumerate the exists-a-barrier condition per pair, each instruction gets
+an **epoch** — the number of barriers already crossed at its position:
+
+    ``epoch_p(i) < epoch_q(j)  =>  (p, i) happens-before (q, j)``
+
+for *arbitrary* barrier sets (a counting argument: some barrier is
+crossed by ``j`` but not by ``i``), and pairs in equal epochs are
+conservatively MHP — exact when the barrier cuts are monotone, an
+over-approximation (sound: never misses a race) otherwise.
+
+**Single mode** (:class:`DataflowOrder`) — one serial program, where
+program order makes every pair trivially ordered and MHP vacuous.  The
+interesting question is the opposite one: which conflicting pairs are
+ordered *only* by the incidental emission order, not by fluid dataflow?
+Those are exactly the pairs a scheduler may not reorder without
+re-banking — surfaced as schedule-sensitive ``RACE-ORDER`` notes.  The
+dataflow order is built from the value-flow graph (producer ->
+consumer), read-after-write chains per location, and fences (``sense``
+results feed dynamic guards, so a sense orders everything around it);
+reachability is one backward sweep over bitsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ...ir.instructions import Opcode
+from ...ir.program import AISProgram
+from ..dataflow import AccessKind, ForwardAnalysis
+from ..state import ContentKind
+
+__all__ = ["Barrier", "BarrierOrder", "DataflowOrder"]
+
+#: one synchronization point: per-program instruction cut indices.
+Barrier = tuple[int, ...]
+
+
+class BarrierOrder:
+    """Epoch-based happens-before over a merged program list."""
+
+    def __init__(
+        self,
+        programs: Sequence[AISProgram],
+        barriers: Sequence[Barrier] = (),
+    ) -> None:
+        for barrier in barriers:
+            if len(barrier) != len(programs):
+                raise ValueError(
+                    f"barrier {barrier!r} must carry one cut index per "
+                    f"program ({len(programs)} expected)"
+                )
+        self.programs = list(programs)
+        self.barriers = [tuple(b) for b in barriers]
+        #: per program: instruction index -> epoch number.
+        self._epochs: list[list[int]] = [
+            self._program_epochs(p, len(program.instructions))
+            for p, program in enumerate(self.programs)
+        ]
+
+    def _program_epochs(self, p: int, length: int) -> list[int]:
+        cuts = sorted(barrier[p] for barrier in self.barriers)
+        epochs, crossed = [], 0
+        for index in range(length):
+            while crossed < len(cuts) and cuts[crossed] <= index:
+                crossed += 1
+            epochs.append(crossed)
+        return epochs
+
+    def epoch(self, program: int, index: int) -> int:
+        return self._epochs[program][index]
+
+    def mhp(self, p: int, i: int, q: int, j: int) -> bool:
+        """May (p, i) and (q, j) happen in parallel?"""
+        if p == q:
+            return False  # program order is total within one stream
+        return self._epochs[p][i] == self._epochs[q][j]
+
+    def mhp_pair_count(self) -> tuple[int, int]:
+        """``(cross_pairs, mhp_pairs)`` over wet instructions, counted
+        per epoch without pair enumeration."""
+        per_epoch: list[dict[int, int]] = []
+        for p, program in enumerate(self.programs):
+            counts: dict[int, int] = {}
+            for index, instruction in enumerate(program.instructions):
+                if instruction.is_wet:
+                    epoch = self._epochs[p][index]
+                    counts[epoch] = counts.get(epoch, 0) + 1
+            per_epoch.append(counts)
+        cross = mhp = 0
+        for p in range(len(per_epoch)):
+            for q in range(p + 1, len(per_epoch)):
+                total_p = sum(per_epoch[p].values())
+                total_q = sum(per_epoch[q].values())
+                cross += total_p * total_q
+                for epoch, count in per_epoch[p].items():
+                    mhp += count * per_epoch[q].get(epoch, 0)
+        return cross, mhp
+
+
+class DataflowOrder:
+    """Fluid-dataflow ordering of one serial program (bitset closure)."""
+
+    def __init__(self, program: AISProgram, analysis: ForwardAnalysis) -> None:
+        n = len(program.instructions)
+        successors: list[set[int]] = [set() for _ in range(n)]
+        # value flow: producer -> consumer
+        for source, targets in analysis.flow.edges.items():
+            for target in targets:
+                if source < target:
+                    successors[source].add(target)
+        # access chains per location, broken at fresh-session boundaries:
+        # a deposit into a location whose previous content was drained or
+        # consumed starts a *new* occupancy session — only the accident
+        # of emission order separates it from the previous one, which is
+        # exactly the schedule-sensitivity the detector reports.
+        by_location: dict[str, list[tuple[int, bool, ContentKind]]] = {}
+        for access in analysis.accesses:
+            by_location.setdefault(access.place.text, []).append(
+                (
+                    access.index,
+                    access.kind is not AccessKind.READ_SENSE,
+                    access.before.kind,
+                )
+            )
+        for events in by_location.values():
+            last_write: int | None = None
+            for index, is_write, before in events:
+                if before in (ContentKind.EMPTY, ContentKind.CONSUMED):
+                    last_write = None  # the location was free: new session
+                if last_write is not None and last_write < index:
+                    successors[last_write].add(index)
+                if is_write:
+                    last_write = index
+        # fences: sense readings feed dynamic guards; explicit barriers
+        fences = [
+            index
+            for index, instruction in enumerate(program.instructions)
+            if instruction.opcode is Opcode.SENSE
+            or instruction.meta.get("barrier")
+        ]
+        previous = None
+        for fence in fences:
+            start = 0 if previous is None else previous
+            for index in range(start, fence):
+                successors[index].add(fence)
+            for index in range(fence + 1, n):
+                successors[fence].add(index)
+            previous = fence
+        # backward transitive closure (all edges point forward)
+        reach = [0] * n
+        for index in range(n - 1, -1, -1):
+            mask = 1 << index
+            for successor in successors[index]:
+                mask |= reach[successor]
+            reach[index] = mask
+        self._reach = reach
+
+    def ordered(self, i: int, j: int) -> bool:
+        """Is the earlier instruction ordered before the later one by
+        dataflow (not merely by emission order)?"""
+        if i == j:
+            return True
+        lo, hi = (i, j) if i < j else (j, i)
+        return bool(self._reach[lo] >> hi & 1)

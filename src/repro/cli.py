@@ -6,7 +6,7 @@ Usage (also via ``python -m repro``)::
     python -m repro dag      assay.fluid [--dot]    # the volume DAG
     python -m repro plan     assay.fluid            # volume assignment
     python -m repro compile  assay.fluid            # AIS listing
-        [--lint] [--certify]                        # run the analyzers on
+        [--lint] [--certify] [--race-check]         # run the analyzers on
                                                     # the one compile
         [--time-passes] [--explain]                 # per-pass timing table /
         [--stats-json PATH]                         # pass plan + events JSON
@@ -17,6 +17,8 @@ Usage (also via ``python -m repro``)::
         [--json] [--assay] [--source]               # JSON report; lint an
                                                     # assay source / verify
                                                     # the rolled program
+        [--races [--topology {bus,ring}]]           # static race detector
+                                                    # (HB + lockset, RACE-*)
     python -m repro certify  program.ais            # plan-certificate verifier
         [--json] [--assay] [--topology {bus,ring}]  # translation validation +
                                                     # schedule interference
@@ -127,6 +129,7 @@ class Invocation:
         lint: bool = False,
         certify: bool = False,
         source_lint: bool = False,
+        race_check: bool = False,
         cache=None,
         bus: PassEventBus | None = None,
     ) -> CompileContext:
@@ -138,6 +141,7 @@ class Invocation:
             lint=lint,
             certify=certify,
             source_lint=source_lint,
+            race_check=race_check,
             cache=cache,
             bus=bus,
         )
@@ -267,6 +271,7 @@ def cmd_compile(args) -> int:
         lint=args.lint,
         certify=args.certify,
         source_lint=args.source_lint,
+        race_check=args.race_check,
         cache=_plan_cache(args),
         bus=bus,
     )
@@ -307,6 +312,8 @@ def _cmd_compile_batch(args) -> int:
         raise SystemExit("--rolled is not available in batch mode")
     if args.source_lint:
         raise SystemExit("--source-lint is not available in batch mode")
+    if args.race_check:
+        raise SystemExit("--race-check is not available in batch mode")
     spec = _spec(args)
     jobs = []
     for path in args.files:
@@ -382,13 +389,43 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _lint_topology(args, spec):
+    """The optional channel topology a ``lint --races`` run asked for."""
+    if not getattr(args, "topology", None):
+        return None
+    from .machine.topology import bus_topology, ring_topology
+
+    builder = {"bus": bus_topology, "ring": ring_topology}[args.topology]
+    return builder(spec)
+
+
 def cmd_lint(args) -> int:
     from .analysis import lint_program, lint_text
     from .ir.parse import AISParseError
 
     inv = _invocation(args)
     spec = inv.spec
-    if args.source:
+    if args.races:
+        from .analysis import analyze_races, race_text
+
+        topology = _lint_topology(args, spec)
+        if args.assay:
+            compiled = inv.compile().compiled
+            report = analyze_races(
+                compiled.program, spec, topology=topology
+            )
+        else:
+            try:
+                report = race_text(
+                    inv.source,
+                    spec,
+                    name=inv.default_name,
+                    topology=topology,
+                )
+            except AISParseError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+    elif args.source:
         from .analysis import verify_source
 
         report = verify_source(inv.source, spec, name=inv.default_name)
@@ -575,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
         "rolled program) before unrolling",
     )
     p_compile.add_argument(
+        "--race-check",
+        action="store_true",
+        help="run the static race detector on the generated schedule "
+        "(schedule-sensitive pairs and RACE-* findings)",
+    )
+    p_compile.add_argument(
         "--batch",
         action="store_true",
         help="batch pipeline: fingerprint, dedupe, and cache every file "
@@ -646,6 +689,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat the input as assay source and verify the *rolled* "
         "program: one fixpoint whose SRC-* verdicts hold for every "
         "loop bound (no unrolling, no compile)",
+    )
+    p_lint.add_argument(
+        "--races",
+        action="store_true",
+        help="run the static race detector instead: happens-before + "
+        "lockset interference analysis reporting RACE-* findings and "
+        "a summary.mhp block (combine with --assay to compile first)",
+    )
+    p_lint.add_argument(
+        "--topology",
+        choices=("bus", "ring"),
+        help="with --races: channel topology for route-contention "
+        "findings (omitted = occupancy/re-banking analysis only)",
     )
     p_lint.set_defaults(handler=cmd_lint)
 

@@ -42,6 +42,7 @@ from .stages import (
     ParseSource,
     Partition,
     PlanDiagnostics,
+    RaceCheckPass,
     ReplicateTransform,
     RestorePlan,
     Round,
@@ -85,6 +86,7 @@ __all__ = [
     "LintPass",
     "Assemble",
     "CertifyPass",
+    "RaceCheckPass",
     "default_passes",
     "frontend_passes",
     "front_end",

@@ -63,6 +63,7 @@ class CompileContext:
     lint: bool = False
     certify: bool = False
     source_lint: bool = False
+    race_check: bool = False
     output_targets: Mapping[str, object] | None = None
 
     # ---- working state ------------------------------------------------

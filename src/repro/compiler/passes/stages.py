@@ -74,6 +74,7 @@ __all__ = [
     "LintPass",
     "Assemble",
     "CertifyPass",
+    "RaceCheckPass",
     "default_passes",
     "frontend_passes",
     "front_end",
@@ -669,6 +670,38 @@ class CertifyPass(Pass):
         return OK
 
 
+class RaceCheckPass(Pass):
+    """Static race detection over the generated schedule (repro.analysis.races).
+
+    On a single compile this reports *schedule-sensitive* pairs —
+    conflicting accesses ordered only by emission order, which a
+    scheduler may not reorder — as notes, plus any definite RACE-*
+    errors the happens-before analysis can prove.
+    """
+
+    name = "race-check"
+
+    def applicable(self, ctx: CompileContext) -> bool:
+        return ctx.race_check
+
+    def skip_reason(self, ctx: CompileContext) -> str:
+        return "race check not requested"
+
+    def run(self, ctx: CompileContext) -> PassOutcome:
+        # local import: repro.analysis imports the compiler's products
+        from ...analysis.races import analyze_races
+
+        report = analyze_races(ctx.program, ctx.spec)
+        ctx.diagnostics.extend(report.findings)
+        return PassOutcome(
+            detail=(
+                f"{len(report.findings)} finding(s), "
+                f"{report.mhp.get('mhp_pairs', 0)} schedule-sensitive "
+                "pair(s)"
+            )
+        )
+
+
 # ---------------------------------------------------------------------------
 # pass plans + drivers
 # ---------------------------------------------------------------------------
@@ -689,6 +722,7 @@ def default_passes() -> list[Pass]:
         LintPass(),
         Assemble(),
         CertifyPass(),
+        RaceCheckPass(),
     ]
 
 
@@ -735,6 +769,7 @@ def run_compile(
     lint: bool = False,
     certify: bool = False,
     source_lint: bool = False,
+    race_check: bool = False,
     bus: PassEventBus | None = None,
     passes: Sequence[Pass] | None = None,
 ) -> CompileContext:
@@ -756,6 +791,7 @@ def run_compile(
         lint=lint,
         certify=certify,
         source_lint=source_lint,
+        race_check=race_check,
         flat=flat,
     )
     if bus is not None:

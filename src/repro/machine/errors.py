@@ -7,6 +7,8 @@ these describe *execution* failures.  The runtime maps :class:`EmptyError`
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 __all__ = [
     "MachineError",
     "ComponentError",
@@ -30,7 +32,14 @@ class ComponentError(MachineError):
 class CapacityError(MachineError):
     """A transfer would exceed the destination's capacity (overflow)."""
 
-    def __init__(self, message, *, component=None, requested=None, capacity=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        component: str | None = None,
+        requested: Fraction | None = None,
+        capacity: Fraction | None = None,
+    ) -> None:
         super().__init__(message)
         self.component = component
         self.requested = requested
@@ -44,7 +53,14 @@ class EmptyError(MachineError):
     executor catches it and triggers regeneration.
     """
 
-    def __init__(self, message, *, component=None, requested=None, available=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        component: str | None = None,
+        requested: Fraction | None = None,
+        available: Fraction | None = None,
+    ) -> None:
         super().__init__(message)
         self.component = component
         self.requested = requested
@@ -54,7 +70,13 @@ class EmptyError(MachineError):
 class MeteringError(MachineError):
     """A transfer fell below the pump's least count (underflow)."""
 
-    def __init__(self, message, *, requested=None, least_count=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: Fraction | None = None,
+        least_count: Fraction | None = None,
+    ) -> None:
         super().__init__(message)
         self.requested = requested
         self.least_count = least_count
@@ -68,7 +90,9 @@ class TransportError(MachineError):
     exactly that, bounded by its retry policy.
     """
 
-    def __init__(self, message, *, component=None):
+    def __init__(
+        self, message: str, *, component: str | None = None
+    ) -> None:
         super().__init__(message)
         self.component = component
 
@@ -82,7 +106,14 @@ class RegenerationExhausted(MachineError):
     names the failing node so diagnostics can point at the culprit.
     """
 
-    def __init__(self, message, *, location=None, attempts=0, reason=""):
+    def __init__(
+        self,
+        message: str,
+        *,
+        location: str | None = None,
+        attempts: int = 0,
+        reason: str = "",
+    ) -> None:
         super().__init__(message)
         self.location = location
         self.attempts = attempts

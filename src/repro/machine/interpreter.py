@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import TYPE_CHECKING, cast
 from collections.abc import Callable, Iterable, Sequence
 
 from ..core.limits import HardwareLimits, Number, as_fraction
@@ -42,6 +43,9 @@ from .metering import MeteringPump
 from .separation import SeparationModel
 from .spec import AQUACORE_SPEC, MachineSpec
 from .trace import ExecutionTrace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .topology import ChannelTopology
 
 __all__ = ["Machine", "PortBinding", "VolumeResolver"]
 
@@ -260,7 +264,7 @@ class Machine:
                 return as_fraction(resolved)
         return None
 
-    def _check_route(self, src, dst) -> int:
+    def _check_route(self, src: object, dst: object) -> int:
         """Hop count of a transfer; 1 when no topology is installed.
 
         Raises :class:`ComponentError` for physically unroutable moves.
@@ -309,7 +313,7 @@ class Machine:
         )
 
     # -- fault hooks ------------------------------------------------------
-    def _fault_transport(self, instruction) -> None:
+    def _fault_transport(self, instruction: Instruction) -> None:
         """Raise :class:`TransportError` when a transient valve/transport
         fault blocks this transfer attempt (no fluid has moved yet)."""
         if self.injector is None:
@@ -334,7 +338,13 @@ class Machine:
                 self.injector.record_depletion(src.name, lost)
 
     # -- wet handlers ---------------------------------------------------
-    def _exec_input(self, instruction, resolver, index):
+    def _exec_input(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.src is not None and instruction.dst is not None
         self._check_route(instruction.src, instruction.dst)
         port = instruction.src.base
         binding = self.ports.get(port)
@@ -359,7 +369,13 @@ class Machine:
         self._record(instruction, index, volume=metered)
         return None
 
-    def _exec_output(self, instruction, resolver, index):
+    def _exec_output(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.src is not None and instruction.dst is not None
         self._check_route(instruction.src, instruction.dst)
         src = self.component(instruction.src)
         self._fault_transport(instruction)
@@ -374,7 +390,13 @@ class Machine:
         self._record(instruction, index, volume=removed.volume)
         return None
 
-    def _exec_move(self, instruction, resolver, index):
+    def _exec_move(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.src is not None and instruction.dst is not None
         self._check_route(instruction.src, instruction.dst)
         src = self.component(instruction.src)
         dst = self.component(instruction.dst)
@@ -408,7 +430,13 @@ class Machine:
         self._record(instruction, index, volume=moved.volume, note=note)
         return None
 
-    def _exec_mix(self, instruction, resolver, index):
+    def _exec_mix(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.dst is not None and instruction.duration is not None
         unit = self.component(instruction.dst)
         if not isinstance(unit, Mixer):
             raise ComponentError(f"{instruction.dst} is not a mixer")
@@ -416,12 +444,22 @@ class Machine:
         self._record(instruction, index, volume=unit.volume)
         return None
 
-    def _exec_heat(self, instruction, resolver, index):
+    def _exec_heat(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.dst is not None
+        assert instruction.temperature is not None
+        assert instruction.duration is not None
         unit = self.component(instruction.dst)
         if not isinstance(unit, Heater):
             raise ComponentError(f"{instruction.dst} is not a heater")
         if instruction.opcode is Opcode.CONCENTRATE:
-            keep = as_fraction(instruction.meta.get("keep_fraction", Fraction(1, 2)))
+            keep = as_fraction(
+                cast(Number, instruction.meta.get("keep_fraction", Fraction(1, 2)))
+            )
             lost = unit.concentrate(
                 instruction.temperature, instruction.duration, keep
             )
@@ -434,7 +472,14 @@ class Machine:
             self._record(instruction, index, volume=unit.volume)
         return None
 
-    def _exec_separate(self, instruction, resolver, index):
+    def _exec_separate(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.dst is not None
+        assert instruction.mode is not None and instruction.duration is not None
         unit = self.component(instruction.dst)
         if not isinstance(unit, Separator):
             raise ComponentError(f"{instruction.dst} is not a separator")
@@ -450,7 +495,7 @@ class Machine:
             from .separation import FractionalYield
 
             saved_model = unit.model
-            unit.model = FractionalYield(as_fraction(hint))
+            unit.model = FractionalYield(as_fraction(cast(Number, hint)))
         try:
             effluent, waste = unit.separate(
                 instruction.mode, instruction.duration
@@ -469,7 +514,14 @@ class Machine:
         )
         return effluent
 
-    def _exec_sense(self, instruction, resolver, index):
+    def _exec_sense(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
+        assert instruction.dst is not None
+        assert instruction.mode is not None and instruction.result is not None
         unit = self.component(instruction.dst)
         if not isinstance(unit, Sensor):
             raise ComponentError(f"{instruction.dst} is not a sensor")
@@ -481,8 +533,14 @@ class Machine:
         return reading
 
     # -- dry handler ------------------------------------------------------
-    def _exec_dry(self, instruction, resolver, index):
+    def _exec_dry(
+        self,
+        instruction: Instruction,
+        resolver: VolumeResolver | None,
+        index: int,
+    ) -> Fraction | None:
         value = instruction.value
+        assert value is not None and instruction.reg is not None
         operand = (
             self.registers.get(str(value), 0)
             if isinstance(value, str)

@@ -51,6 +51,13 @@ class ChannelTopology:
     _route_cache: dict[tuple[str, str], tuple[str, ...] | None] = field(
         default_factory=dict, repr=False
     )
+    #: memoized pairwise contention verdicts — the race detector asks the
+    #: same ``conflicts`` question for every may-happen-in-parallel
+    #: transfer pair, so the matrix is a hot path.  Invalidated whenever a
+    #: channel is added.
+    _conflict_cache: dict[
+        tuple[tuple[str, str], tuple[str, str], bool], bool
+    ] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     def add_location(self, location: str) -> None:
@@ -64,6 +71,7 @@ class ChannelTopology:
         self.adjacency[a].add(b)
         self.adjacency[b].add(a)
         self._route_cache.clear()
+        self._conflict_cache.clear()
 
     def locations(self) -> list[str]:
         return sorted(self.adjacency)
@@ -160,13 +168,38 @@ class ChannelTopology:
         the hand-off point of a sequential pair like ``A -> B`` then
         ``B -> C`` — is excluded from the contention set.  Interior route
         locations still conflict even when excluded endpoints touch them.
+
+        Verdicts are memoized per (pair, pair, flag) on the topology
+        object; ``add_channel`` invalidates the memo.  Unroutable
+        endpoint pairs raise without being cached (the route cache
+        already makes the repeat raise cheap).
         """
+        key = self._conflict_key(first, second, allow_shared_endpoint)
+        cached = self._conflict_cache.get(key)
+        if cached is not None:
+            return cached
         shared = self.shared_locations(first, second)
         if allow_shared_endpoint and shared:
             ends_first = {_canonical(first[0]), _canonical(first[1])}
             ends_second = {_canonical(second[0]), _canonical(second[1])}
             shared = shared - (ends_first & ends_second)
-        return bool(shared)
+        verdict = bool(shared)
+        self._conflict_cache[key] = verdict
+        return verdict
+
+    @staticmethod
+    def _conflict_key(
+        first: tuple[str, str],
+        second: tuple[str, str],
+        allow_shared_endpoint: bool,
+    ) -> tuple[tuple[str, str], tuple[str, str], bool]:
+        """Canonical, symmetric memo key: sub-wells route as their unit
+        and ``conflicts(a, b)`` equals ``conflicts(b, a)``."""
+        a = (_canonical(first[0]), _canonical(first[1]))
+        b = (_canonical(second[0]), _canonical(second[1]))
+        if b < a:
+            a, b = b, a
+        return (a, b, allow_shared_endpoint)
 
 
 def _all_locations(spec: MachineSpec) -> list[str]:

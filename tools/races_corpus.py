@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Static race detection sweep over the repo's assay corpus.
+
+CI runs this after the test suite, in three phases:
+
+1. **Intra-program sweep** — every compiled corpus program must be free
+   of ``RACE-*`` errors and warnings on its own serial schedule
+   (schedule-sensitivity notes are informational and allowed).
+2. **Merged-schedule oracle** — pairs of independently-compiled assays
+   that share functional units must be *flagged* when merged with no
+   barriers, and must verify race-free once a serializing barrier
+   orders one entirely before the other.
+3. **Differential gate** — for deterministic interleavings of each
+   merged pair, every ``SCHED-*`` error the dynamic certifier finds in
+   the replayed merge (beyond the programs' solo replays) must be
+   subsumed by a static ``RACE-*`` finding on the same resource: the
+   static detector never misses what the dynamic oracle can see.
+
+Exits nonzero on any failure.
+
+Usage: PYTHONPATH=src python tools/races_corpus.py [-v]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _corpus import compiled_corpus
+
+from repro.analysis.certify import certify_schedule
+from repro.analysis.races import analyze_races
+from repro.ir.program import AISProgram
+
+#: corpus pairs merged in phase 2/3 (all share mixer/sensor hardware).
+MERGE_PAIRS = (
+    ("glucose", "enzyme"),
+    ("glucose", "glycomics"),
+    ("figure2", "glucose"),
+    ("elisa", "bradford"),
+)
+
+#: deterministic interleaving patterns: at step k, take from program
+#: ``pattern[k % len(pattern)]`` (falling back when one side runs dry).
+PATTERNS = (
+    (0, 1),          # strict alternation
+    (0, 0, 1),       # 2:1 bias
+    (1, 1, 0),       # reversed bias
+)
+
+
+def interleave(a: AISProgram, b: AISProgram, pattern) -> AISProgram:
+    merged = AISProgram(name=f"{a.name}|{b.name}", machine=a.machine)
+    streams = [list(a.instructions), list(b.instructions)]
+    cursor = [0, 0]
+    step = 0
+    while cursor[0] < len(streams[0]) or cursor[1] < len(streams[1]):
+        choice = pattern[step % len(pattern)]
+        if cursor[choice] >= len(streams[choice]):
+            choice = 1 - choice
+        merged.append(streams[choice][cursor[choice]])
+        cursor[choice] += 1
+        step += 1
+    return merged
+
+
+def error_bases(diagnostics) -> set:
+    return {
+        (d.code, (d.operand or "").split(".")[0])
+        for d in diagnostics
+        if d.severity.value == "error"
+    }
+
+
+def sweep_intra(programs, spec, verbose: bool) -> int:
+    failures = 0
+    print("-- intra-program sweep (serial schedules must be race-free) --")
+    for name, program in programs.items():
+        report = analyze_races(program, spec)
+        counts = report.counts
+        status = (
+            "race-free" if not report.findings
+            else f"{counts['error']} error(s), {counts['note']} note(s)"
+        )
+        print(
+            f"{name:16s} {status:24s} "
+            f"[{report.mhp['mhp_pairs']} schedule-sensitive pair(s)]"
+        )
+        if verbose:
+            for finding in report.findings:
+                print(f"  {finding}")
+        if counts["error"] or counts["warning"]:
+            for finding in report.findings:
+                print(f"  {finding}")
+            failures += 1
+    return failures
+
+
+def sweep_merged(programs, spec) -> int:
+    failures = 0
+    print("\n-- merged-schedule oracle (flag unfenced, pass fenced) --")
+    for left, right in MERGE_PAIRS:
+        a, b = programs[left], programs[right]
+        unfenced = analyze_races([a, b], spec)
+        fenced = analyze_races(
+            [a, b], spec, barriers=[(len(a.instructions), 0)]
+        )
+        ok = unfenced.counts["error"] > 0 and fenced.counts["error"] == 0
+        print(
+            f"{left}+{right}: unfenced {unfenced.counts['error']} "
+            f"error(s) over {unfenced.mhp['mhp_pairs']} MHP pair(s); "
+            f"fenced {fenced.counts['error']} error(s)"
+            + ("" if ok else "  <-- FAIL")
+        )
+        if unfenced.counts["error"] == 0:
+            print("  expected interference in the unfenced merge")
+            failures += 1
+        if fenced.counts["error"] != 0:
+            for finding in fenced.findings:
+                print(f"  {finding}")
+            failures += 1
+    return failures
+
+
+def sweep_differential(programs, spec) -> int:
+    failures = 0
+    print("\n-- differential gate (static subsumes dynamic replay) --")
+    for left, right in MERGE_PAIRS:
+        a, b = programs[left], programs[right]
+        solo = error_bases(certify_schedule(a, spec)[0])
+        solo |= error_bases(certify_schedule(b, spec)[0])
+        static = analyze_races([a, b], spec, share_storage=True)
+        static_bases = {
+            (f.operand or "").split(".")[0] for f in static.findings
+        }
+        escapes = []
+        for pattern in PATTERNS:
+            merged = interleave(a, b, pattern)
+            dynamic = error_bases(certify_schedule(merged, spec)[0])
+            for code, base in sorted(dynamic - solo):
+                if base not in static_bases:
+                    escapes.append((pattern, code, base))
+        print(
+            f"{left}+{right}: {len(PATTERNS)} interleaving(s), "
+            f"{len(escapes)} escape(s)"
+        )
+        for pattern, code, base in escapes:
+            print(f"  pattern {pattern}: dynamic {code} on {base!r} "
+                  "has no static RACE-* counterpart")
+        failures += bool(escapes)
+    return failures
+
+
+def main(argv) -> int:
+    verbose = "-v" in argv
+    programs = {}
+    spec = None
+    for name, compiled in compiled_corpus():
+        programs[name] = compiled.program
+        spec = compiled.spec
+    failures = sweep_intra(programs, spec, verbose)
+    failures += sweep_merged(programs, spec)
+    failures += sweep_differential(programs, spec)
+    if failures:
+        print(f"\n{failures} race-detection sweep failure(s)")
+        return 1
+    print("\nall race-detection sweeps passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
