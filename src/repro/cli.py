@@ -8,8 +8,9 @@ Usage (also via ``python -m repro``)::
     python -m repro compile  assay.fluid            # AIS listing
         [--lint] [--certify] [--race-check]         # run the analyzers on
                                                     # the one compile
-        [--time-passes] [--explain]                 # per-pass timing table /
-        [--stats-json PATH]                         # pass plan + events JSON
+        [--time-passes] [--explain] [--profile]     # per-pass timing table /
+        [--stats-json PATH]                         # cProfile hotspots /
+                                                    # pass plan + events JSON
     python -m repro compile  a.fluid b.fluid --batch --jobs 4 \
         [--cache-dir DIR] [--stats-json PATH]       # batch pipeline with
                                                     # content-addressed cache
@@ -130,6 +131,7 @@ class Invocation:
         certify: bool = False,
         source_lint: bool = False,
         race_check: bool = False,
+        profile: bool = False,
         cache=None,
         bus: PassEventBus | None = None,
     ) -> CompileContext:
@@ -142,6 +144,7 @@ class Invocation:
             certify=certify,
             source_lint=source_lint,
             race_check=race_check,
+            profile=profile,
             cache=cache,
             bus=bus,
         )
@@ -251,10 +254,10 @@ def _plan_cache(args):
 def cmd_compile(args) -> int:
     args.file = args.files[0]
     if args.batch or len(args.files) > 1:
-        if args.time_passes or args.explain:
+        if args.time_passes or args.explain or args.profile:
             raise SystemExit(
-                "--time-passes/--explain instrument a single compile; "
-                "batch statistics go to --stats-json"
+                "--time-passes/--explain/--profile instrument a single "
+                "compile; batch statistics go to --stats-json"
             )
         return _cmd_compile_batch(args)
     if args.rolled:
@@ -262,7 +265,12 @@ def cmd_compile(args) -> int:
 
         print(render_rolled_source(_read_source(args.file)).render())
         return 0
-    instrumented = args.time_passes or args.explain or bool(args.stats_json)
+    instrumented = (
+        args.time_passes
+        or args.explain
+        or args.profile
+        or bool(args.stats_json)
+    )
     bus = PassEventBus(fingerprints=True) if instrumented else None
     inv = _invocation(args)
     # one parse + one volume plan + one codegen pass, even when both
@@ -272,6 +280,7 @@ def cmd_compile(args) -> int:
         certify=args.certify,
         source_lint=args.source_lint,
         race_check=args.race_check,
+        profile=args.profile,
         cache=_plan_cache(args),
         bus=bus,
     )
@@ -286,6 +295,11 @@ def cmd_compile(args) -> int:
     if args.time_passes:
         print(file=sys.stderr)
         print(render_timing_table(bus), file=sys.stderr)
+    if args.profile:
+        from .compiler.passes.events import render_profile_table
+
+        print(file=sys.stderr)
+        print(render_profile_table(bus), file=sys.stderr)
     if args.stats_json:
         import json
 
@@ -297,6 +311,10 @@ def cmd_compile(args) -> int:
         )
         if ctx.cache is not None:
             payload["cache"] = ctx.cache.stats.to_dict()
+        if args.profile:
+            from .compiler.passes.events import profile_payload
+
+            payload["profile"] = profile_payload(bus)
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -660,6 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the resolved pass plan and which hierarchy attempt "
         "won to stderr (single compile only)",
+    )
+    p_compile.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each pass under cProfile and print its top cumulative "
+        "hotspots to stderr; with --stats-json the hotspots land under "
+        'the "profile" key (single compile only)',
     )
     p_compile.set_defaults(handler=cmd_compile)
 

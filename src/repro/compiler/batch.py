@@ -15,6 +15,10 @@ traffic, not one at a time.  :func:`compile_many` is that driver:
    processes (``max_workers``); workers receive the serialized DAG (no
    re-parsing) and return serialized plan entries, which the parent
    deposits in the shared :class:`~repro.compiler.cache.PlanCache`.
+   Fan-out runs on the process-wide *persistent* pool
+   (:mod:`repro.compiler.pool`): workers are spawned once with the
+   compiler stack pre-imported and a read-mostly cache handle, then
+   reused by every subsequent batch.
 
 With ``lint``/``certify`` (or ``materialize_hits=True``), warm hits are
 re-materialized through :func:`~repro.compiler.pipeline.compile_dag` so
@@ -47,6 +51,7 @@ from .cache import PlanCache, entry_from_plan
 from .diagnostics import Severity, severity_counts
 from .passes import front_end_dag
 from .pipeline import compile_dag
+from .pool import pool_map, worker_cache
 
 __all__ = ["BatchJob", "BatchItemResult", "BatchReport", "compile_many"]
 
@@ -210,6 +215,10 @@ def _compile_payload(payload: dict[str, Any]) -> dict[str, Any]:
             manager=manager,
             lint=payload["lint"],
             certify=payload["certify"],
+            # inside a persistent-pool worker this is a read-mostly handle
+            # over the parent's cache directory (vnorm memo + plan prefix
+            # hits); inline it is None, exactly as before.
+            cache=worker_cache(),
         )
     except (FrontendError, VolumeError) as error:
         return {
@@ -273,10 +282,15 @@ def _result_from_summary(
 
 
 def default_workers() -> int:
-    """A sensible worker count for ``--jobs 0`` (auto)."""
+    """A sensible worker count for ``--jobs 0`` (auto).
+
+    Respects the CPU *affinity mask* (cgroup/container quota), not the
+    raw host core count; falls back to ``os.cpu_count()`` on platforms
+    without ``sched_getaffinity`` or when the mask is unreadable.
+    """
     try:
         return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
         return max(1, os.cpu_count() or 1)
 
 
@@ -290,6 +304,7 @@ def compile_many(
     lint: bool = False,
     certify: bool = False,
     materialize_hits: bool | None = None,
+    persistent_pool: bool = True,
 ) -> BatchReport:
     """Compile a fleet of assays with dedupe, caching, and fan-out.
 
@@ -307,6 +322,9 @@ def compile_many(
             materialization).
         materialize_hits: force warm hits through codegen even without
             the analyzers; default False unless lint/certify.
+        persistent_pool: fan out on the process-wide warm worker pool
+            (:mod:`repro.compiler.pool`), reused across ``compile_many``
+            calls; ``False`` restores the per-batch throwaway executor.
 
     Returns:
         A :class:`BatchReport`; no exception escapes per-job compilation
@@ -398,10 +416,17 @@ def compile_many(
     order = list(pending)
     if order:
         if max_workers > 1 and len(order) > 1:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                summaries = list(
-                    pool.map(_compile_payload, [payloads[fp] for fp in order])
+            items = [payloads[fp] for fp in order]
+            if persistent_pool:
+                summaries = pool_map(
+                    _compile_payload,
+                    items,
+                    max_workers=max_workers,
+                    cache_dir=cache.directory,
                 )
+            else:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    summaries = list(pool.map(_compile_payload, items))
         else:
             summaries = [_compile_payload(payloads[fp]) for fp in order]
         for fingerprint, summary in zip(order, summaries):

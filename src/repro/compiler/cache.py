@@ -258,8 +258,13 @@ class PlanCache:
     # vnorm memo namespace
     # ------------------------------------------------------------------
     def memo_vnorms(self, dag, output_targets=None) -> VnormResult:
-        """DAGSolve backward pass, memoized by structural fingerprint."""
-        from ..core.dagsolve import compute_vnorms
+        """DAGSolve backward pass, memoized by structural fingerprint.
+
+        Misses are computed by the integer-scaled exact solver
+        (:mod:`repro.core.intsolve`), whose Fractions are bit-identical
+        to the reference pass — the serde entry is unaffected.
+        """
+        from ..core.intsolve import exact_vnorms
 
         key = vnorm_key(dag, output_targets)
         cached = self._vnorm_objects.get(key)
@@ -273,7 +278,7 @@ class PlanCache:
             result = vnorms_from_dict(entry)
             self._vnorm_objects[key] = result
             return result
-        result = compute_vnorms(dag, output_targets)
+        result = exact_vnorms(dag, output_targets)
         self.put(key, vnorms_to_dict(result))
         self._vnorm_objects[key] = result
         return result

@@ -46,6 +46,12 @@ class HierarchyState:
     plan: VolumePlan | None = None
     #: set by a transform stage that rewrote the DAG this round.
     transformed: bool = False
+    #: incremental LP model builder, created by the first LP attempt and
+    #: reused across retry rounds so unchanged row bundles are not rebuilt.
+    lp_builder: object | None = None
+    #: previous LP solution in the previous model's variable order, offered
+    #: to the solver as a warm start on the next attempt.
+    lp_warm: list[float] | None = None
 
 
 @dataclass
@@ -64,6 +70,9 @@ class CompileContext:
     certify: bool = False
     source_lint: bool = False
     race_check: bool = False
+    #: wrap each leaf pass in its own cProfile session; the hotspots ride
+    #: on the pass events (``--profile``).
+    profile: bool = False
     output_targets: Mapping[str, object] | None = None
 
     # ---- working state ------------------------------------------------

@@ -28,6 +28,8 @@ __all__ = [
     "PassEventBus",
     "NULL_BUS",
     "events_payload",
+    "profile_payload",
+    "render_profile_table",
     "render_timing_table",
 ]
 
@@ -60,6 +62,10 @@ class PassEvent:
     #: diagnostics the pass added to the sink while running.
     diagnostics: int = 0
     detail: str = ""
+    #: top cProfile hotspots when the compile ran with profiling: a tuple
+    #: of ``{"func", "calls", "tottime_ms", "cumtime_ms"}`` dicts ordered
+    #: by cumulative time (empty without ``--profile``).
+    profile: tuple = ()
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -79,6 +85,8 @@ class PassEvent:
             payload["cache"] = self.cache
         if self.detail:
             payload["detail"] = self.detail
+        if self.profile:
+            payload["profile"] = [dict(entry) for entry in self.profile]
         return payload
 
     def __str__(self) -> str:
@@ -154,6 +162,46 @@ def events_payload(bus: PassEventBus, **extra: Any) -> dict[str, Any]:
     }
     payload.update(extra)
     return payload
+
+
+def profile_payload(bus: PassEventBus) -> list[dict[str, Any]]:
+    """Per-pass hotspot lists for ``--stats-json``'s ``"profile"`` key."""
+    payload = []
+    for event in bus.events:
+        if not event.profile:
+            continue
+        entry: dict[str, Any] = {
+            "pass": event.name,
+            "hotspots": [dict(h) for h in event.profile],
+        }
+        if event.round is not None:
+            entry["round"] = event.round
+        payload.append(entry)
+    return payload
+
+
+def render_profile_table(bus: PassEventBus) -> str:
+    """The ``--profile`` human report: top hotspots under each pass."""
+    lines = ["per-pass cProfile hotspots (cumulative):"]
+    any_rows = False
+    for event in bus.events:
+        if not event.profile:
+            continue
+        any_rows = True
+        name = event.name if event.round is None else (
+            f"{event.name} (round {event.round})"
+        )
+        lines.append(f"  {name}  [{event.wall_s * 1000:.2f} ms]")
+        for spot in event.profile:
+            lines.append(
+                f"    {spot['cumtime_ms']:9.3f} ms cum  "
+                f"{spot['tottime_ms']:9.3f} ms self  "
+                f"{spot['calls']:>8} calls  {spot['func']}"
+            )
+    if not any_rows:
+        lines.append("  (no profiled passes — did the compile run "
+                     "with profiling enabled?)")
+    return "\n".join(lines)
 
 
 def render_timing_table(bus: PassEventBus) -> str:

@@ -77,6 +77,40 @@ class Pass:
         return doc.splitlines()[0] if doc else self.name
 
 
+#: hotspots reported per profiled pass (cumulative-time order).
+PROFILE_TOP_N = 10
+
+
+def _profile_hotspots(profiler, top_n: int = PROFILE_TOP_N) -> tuple:
+    """The top-N cumulative hotspots of one profiled pass run."""
+    import os
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = sorted(
+        stats.stats.items(),
+        key=lambda item: (-item[1][3], item[0]),
+    )
+    top = []
+    for (filename, lineno, funcname), (__, ncalls, tt, ct, ___) in rows:
+        if funcname in ("<built-in method builtins.exec>",):
+            continue
+        where = funcname
+        if filename and filename != "~":
+            where = f"{os.path.basename(filename)}:{lineno}:{funcname}"
+        top.append(
+            {
+                "func": where,
+                "calls": int(ncalls),
+                "tottime_ms": round(tt * 1000, 3),
+                "cumtime_ms": round(ct * 1000, 3),
+            }
+        )
+        if len(top) >= top_n:
+            break
+    return tuple(top)
+
+
 def run_instrumented(
     pass_: Pass, ctx: CompileContext, *, round: int | None = None
 ) -> PassEvent:
@@ -87,6 +121,11 @@ def run_instrumented(
     exactly one :class:`PassEvent` — including when the pass is skipped or
     raises.  Used by :class:`PassManager` for top-level passes and by
     composite passes (the hierarchy loop) for their round-stamped stages.
+
+    With ``ctx.profile`` set, each *leaf* pass runs under its own
+    :mod:`cProfile` session and the event carries the top cumulative
+    hotspots.  Composite passes (``children()`` non-empty) are never
+    profiled directly — their stages are, which avoids nesting profilers.
     """
     bus = ctx.events
     if not pass_.applicable(ctx):
@@ -99,11 +138,19 @@ def run_instrumented(
             )
         )
     fp_in = pass_.fingerprint_in(ctx) if bus.fingerprints else None
+    profiler = None
+    if ctx.profile and not pass_.children():
+        import cProfile
+
+        profiler = cProfile.Profile()
     before = len(ctx.diagnostics)
     wall = time.perf_counter()
     cpu = time.process_time()
     try:
-        outcome = pass_.run(ctx)
+        if profiler is not None:
+            outcome = profiler.runcall(pass_.run, ctx)
+        else:
+            outcome = pass_.run(ctx)
     except Exception:
         bus.emit(
             PassEvent(
@@ -114,6 +161,11 @@ def run_instrumented(
                 cpu_s=time.process_time() - cpu,
                 fingerprint_in=fp_in,
                 diagnostics=len(ctx.diagnostics) - before,
+                profile=(
+                    _profile_hotspots(profiler)
+                    if profiler is not None
+                    else ()
+                ),
             )
         )
         raise
@@ -131,6 +183,9 @@ def run_instrumented(
             cache=outcome.cache,
             diagnostics=len(ctx.diagnostics) - before,
             detail=outcome.detail,
+            profile=(
+                _profile_hotspots(profiler) if profiler is not None else ()
+            ),
         )
     )
 

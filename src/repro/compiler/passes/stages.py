@@ -35,7 +35,8 @@ from collections.abc import Sequence
 
 from ...core.cascading import cascade_extreme_mixes, find_extreme_mixes
 from ...core.dag import AssayDAG
-from ...core.dagsolve import dagsolve, dispense
+from ...core.dagsolve import dispense
+from ...core.intsolve import exact_dagsolve
 from ...core.errors import (
     InfeasibleError,
     ResourceExhaustedError,
@@ -43,7 +44,8 @@ from ...core.errors import (
     VolumeError,
 )
 from ...core.hierarchy import Attempt, VolumeManager, VolumePlan
-from ...core.lp import lp_solve
+from ...core.lp import solve_model
+from ...core.lpdelta import IncrementalLPBuilder
 from ...core.replication import iterative_replication
 from ...core.rounding import max_ratio_error, round_assignment
 from ...ir.builder import build_dag_from_flat
@@ -275,7 +277,12 @@ class RestorePlan(Pass):
 
 
 class DAGSolvePass(Pass):
-    """DAGSolve: linear Vnorm back-propagation + forward dispensing."""
+    """DAGSolve: linear Vnorm back-propagation + forward dispensing.
+
+    Runs the integer-scaled exact solver (:mod:`repro.core.intsolve`);
+    its flat per-DAG context is cached on the DAG, so retry rounds over
+    an untransformed graph skip the adjacency walk entirely.
+    """
 
     name = "dagsolve"
 
@@ -294,7 +301,7 @@ class DAGSolvePass(Pass):
             )
             assignment = dispense(state.current, vnorms, manager.limits)
         else:
-            assignment = dagsolve(
+            assignment = exact_dagsolve(
                 state.current, manager.limits, ctx.output_targets
             )
         violations = assignment.violations()
@@ -323,7 +330,14 @@ class DAGSolvePass(Pass):
 
 
 class LPFallback(Pass):
-    """LP fallback: strictly more general, used when DAGSolve fails."""
+    """LP fallback: strictly more general, used when DAGSolve fails.
+
+    Retry rounds share one :class:`~repro.core.lpdelta.
+    IncrementalLPBuilder` (held on the hierarchy state), so a transform
+    that rewrites a few nodes only pays row construction for the
+    rewritten neighborhood; the previous round's solution is offered to
+    the solver as a warm start.
+    """
 
     name = "lp"
 
@@ -336,23 +350,34 @@ class LPFallback(Pass):
     def run(self, ctx: CompileContext) -> PassOutcome:
         state = ctx.hierarchy
         manager = ctx.manager
-        try:
-            assignment = lp_solve(
-                state.current,
+        if state.lp_builder is None:
+            state.lp_builder = IncrementalLPBuilder(
                 manager.limits,
                 output_tolerance=manager.output_tolerance,
             )
+        try:
+            model = state.lp_builder.build(state.current)
+            assignment = solve_model(model, warm_start=state.lp_warm)
         except (InfeasibleError, SolverError) as error:
             state.attempts.append(
                 Attempt("lp", state.round, False, detail=str(error))
             )
             return PassOutcome(status="failed", detail=str(error))
+        stats = state.lp_builder.last_stats
+        reuse_note = (
+            f"lp-model {stats['reused']}/{stats['nodes']} row bundle(s) "
+            "reused"
+        )
+        state.lp_warm = [
+            float(assignment.edge_volume[key]) for key in model.var_index
+        ]
         violations = assignment.violations()
         state.attempts.append(
             Attempt(
                 "lp",
                 state.round,
                 not violations,
+                detail=reuse_note,
                 violations=tuple(violations),
             )
         )
@@ -364,9 +389,11 @@ class LPFallback(Pass):
                 state.attempts,
                 state.transforms,
             )
-            return PassOutcome(detail="feasible")
+            return PassOutcome(detail=f"feasible; {reuse_note}")
         state.best = VolumeManager._better(state.best, assignment)
-        return PassOutcome(detail=f"{len(violations)} violation(s)")
+        return PassOutcome(
+            detail=f"{len(violations)} violation(s); {reuse_note}"
+        )
 
 
 class CascadeTransform(Pass):
@@ -770,6 +797,7 @@ def run_compile(
     certify: bool = False,
     source_lint: bool = False,
     race_check: bool = False,
+    profile: bool = False,
     bus: PassEventBus | None = None,
     passes: Sequence[Pass] | None = None,
 ) -> CompileContext:
@@ -792,6 +820,7 @@ def run_compile(
         certify=certify,
         source_lint=source_lint,
         race_check=race_check,
+        profile=profile,
         flat=flat,
     )
     if bus is not None:

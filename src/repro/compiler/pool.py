@@ -1,0 +1,134 @@
+"""Persistent worker pool for batch compilation fan-out.
+
+:func:`~repro.compiler.batch.compile_many` used to spin up a fresh
+``ProcessPoolExecutor`` for every batch, so each call paid worker
+startup — interpreter boot (under spawn), ``repro`` + scipy imports,
+allocator warm-up — before compiling anything.  Under traffic the batch
+driver is invoked repeatedly with small batches, which made cold-spawn
+overhead a first-order cost.
+
+This module keeps **one warm pool per process**:
+
+* :func:`get_pool` returns the live executor, creating it on first use
+  (or when the requested worker count / cache directory changes).  The
+  pool's initializer pre-imports the compiler stack so the first task a
+  worker receives does not pay import latency, and opens a read-mostly
+  :class:`~repro.compiler.cache.PlanCache` handle over the parent's
+  cache *directory* when there is one — workers then serve their own
+  vnorm-memo and plan-prefix hits from disk.  (Disk writes are atomic
+  and canonical, so concurrent writers are safe by construction.)
+* :func:`pool_map` maps a function over payloads on the warm pool and
+  degrades gracefully: a ``BrokenProcessPool`` (a worker was OOM-killed
+  or crashed) tears the pool down and falls back to inline execution,
+  so a batch never fails outright because of pool state.
+* :func:`shutdown_pool` disposes the pool; it is registered with
+  :mod:`atexit` so interpreter shutdown reaps the workers.
+
+The worker-side cache handle is exposed via :func:`worker_cache`; in
+the parent process (inline compiles, ``max_workers == 1``) it is simply
+``None``.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+__all__ = [
+    "get_pool",
+    "pool_map",
+    "pool_stats",
+    "shutdown_pool",
+    "worker_cache",
+]
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_KEY: tuple[int, str | None] | None = None
+_STATS = {"created": 0, "reused": 0, "broken": 0}
+
+#: set inside worker processes by the initializer; None in the parent.
+_WORKER_CACHE = None
+
+
+def _warm_worker(cache_dir: str | None) -> None:
+    """Pool initializer: preload the compiler stack, open the cache.
+
+    Runs once per worker process.  The imports cover everything
+    :func:`repro.compiler.batch._compile_payload` touches (parser,
+    pass pipeline, scipy's linprog), so the first real task starts hot.
+    """
+    import repro.compiler.batch  # noqa: F401  (pulls pipeline + passes)
+    import repro.core.lp  # noqa: F401  (pulls scipy.optimize)
+
+    global _WORKER_CACHE
+    if cache_dir is not None:
+        from .cache import PlanCache
+
+        _WORKER_CACHE = PlanCache(directory=cache_dir)
+
+
+def worker_cache():
+    """The worker-local :class:`PlanCache`, or None outside a worker."""
+    return _WORKER_CACHE
+
+
+def get_pool(
+    max_workers: int, cache_dir: str | None = None
+) -> ProcessPoolExecutor:
+    """The process-wide warm pool, (re)created only when the shape changes.
+
+    A pool is identified by ``(max_workers, cache_dir)``; asking for a
+    different shape shuts the old pool down first, so there is never
+    more than one alive.
+    """
+    global _POOL, _POOL_KEY
+    key = (max_workers, cache_dir)
+    if _POOL is not None and _POOL_KEY == key:
+        _STATS["reused"] += 1
+        return _POOL
+    shutdown_pool()
+    _POOL = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_warm_worker,
+        initargs=(cache_dir,),
+    )
+    _POOL_KEY = key
+    _STATS["created"] += 1
+    return _POOL
+
+
+def pool_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any] | Iterable[Any],
+    *,
+    max_workers: int,
+    cache_dir: str | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``items`` on the warm pool, inline on breakage."""
+    items = list(items)
+    pool = get_pool(max_workers, cache_dir)
+    try:
+        return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        _STATS["broken"] += 1
+        shutdown_pool()
+        return [fn(item) for item in items]
+
+
+def pool_stats() -> dict[str, int]:
+    """Lifetime pool counters (created / reused / broken), for reporting."""
+    return dict(_STATS)
+
+
+def shutdown_pool() -> None:
+    """Dispose the warm pool (workers exit); safe to call when absent."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        pool, _POOL, _POOL_KEY = _POOL, None, None
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)

@@ -198,6 +198,17 @@ class AssayDAG:
         #: frozen DAG repeatedly, so the Kahn pass would otherwise rerun
         #: on every pass.
         self._topo_cache: list[str] | None = None
+        #: structure-derived caches (e.g. the integer solver's flat
+        #: :class:`repro.core.intsolve.ExactContext`), cleared together
+        #: with the topological order on any structural mutation.  Entries
+        #: must not bake in mutable node attributes such as ``capacity``
+        #: or ``available_volume``.
+        self._derived: dict[str, object] = {}
+
+    def _invalidate_structure(self) -> None:
+        self._topo_cache = None
+        if self._derived:
+            self._derived.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -205,7 +216,7 @@ class AssayDAG:
     def add_node(self, node: Node) -> Node:
         if node.id in self._nodes:
             raise DagError(f"duplicate node id {node.id!r}")
-        self._topo_cache = None
+        self._invalidate_structure()
         self._nodes[node.id] = node
         self._out[node.id] = []
         self._in[node.id] = []
@@ -220,7 +231,7 @@ class AssayDAG:
             raise DagError(f"self-loop on {edge.src!r}")
         if edge.key in self._edges:
             raise DagError(f"parallel edge {edge.src!r}->{edge.dst!r}")
-        self._topo_cache = None
+        self._invalidate_structure()
         self._edges[edge.key] = edge
         self._out[edge.src].append(edge.key)
         self._in[edge.dst].append(edge.key)
@@ -287,7 +298,7 @@ class AssayDAG:
         key = (src, dst)
         if key not in self._edges:
             raise DagError(f"no edge {src!r}->{dst!r}")
-        self._topo_cache = None
+        self._invalidate_structure()
         edge = self._edges.pop(key)
         self._out[src].remove(key)
         self._in[dst].remove(key)
@@ -301,7 +312,7 @@ class AssayDAG:
             self.remove_edge(*key)
         for key in list(self._out[node_id]):
             self.remove_edge(*key)
-        self._topo_cache = None
+        self._invalidate_structure()
         del self._in[node_id]
         del self._out[node_id]
         return self._nodes.pop(node_id)

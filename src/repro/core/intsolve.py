@@ -1,0 +1,428 @@
+"""Integer-scaled exact DAGSolve: the production hot path.
+
+:mod:`repro.core.dagsolve` is the readable reference implementation — it
+walks the DAG's dict-of-dicts adjacency and does every step in
+:class:`fractions.Fraction`, which means a gcd normalization on each of
+the O(E) multiplications and divisions of the backward pass.  Profiling a
+cold compile shows those gcd calls *are* the DAGSolve pass.
+
+This module keeps the arithmetic exact but does it in plain machine
+integers under a lazily-grown common denominator:
+
+* every Vnorm is stored as ``int_value == true_value * M`` for one shared
+  scaling factor ``M`` (morally the running LCM of the ratio denominators
+  — volumes become integers in units of ``1/M``);
+* a division ``v * p / q`` that would be inexact first grows ``M`` by
+  ``q // gcd(v * p, q)`` (multiplying every stored value by the same
+  factor), after which the division is exact by construction;
+* results materialize as ``Fraction(int_value, M)``, whose normalization
+  makes them **bit-identical** to the reference solver's Fractions — the
+  golden-equivalence and serde suites pin this.
+
+The flat-adjacency layout mirrors :class:`repro.core.fastpath.FastContext`
+(the float runtime assigner): an :class:`ExactContext` is built once per
+DAG — reverse-topological row tuples with pre-resolved edge keys and
+ratio numerators/denominators — and cached on the DAG itself, invalidated
+by the same structural mutations that drop the memoized topological
+order.  Hierarchy attempts, the Vnorm memo, and the runtime planner all
+reuse the context instead of re-walking ``dag.node()``/``in_edges()``.
+
+Mutable *non-structural* node attributes (``capacity``,
+``available_volume`` — the runtime assigner sets the latter between
+solves) are deliberately **not** baked into the rows: the dispensing pass
+reads them from live :class:`~repro.core.dag.Node` references at solve
+time, exactly like the reference forward pass.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from collections.abc import Mapping
+
+from .dag import AssayDAG, NodeKind
+from .dagsolve import VnormResult, VolumeAssignment, _check_solvable
+from .errors import DagError, VolumeError
+from .limits import HardwareLimits, Number, as_fraction
+
+__all__ = [
+    "ExactContext",
+    "exact_context",
+    "exact_vnorms",
+    "exact_dagsolve",
+]
+
+EdgeKey = tuple[str, str]
+
+_CONTEXT_KEY = "exact-context"
+
+
+def _fraction(num: int, den: int, _new=object.__new__, _gcd=gcd) -> Fraction:
+    """``Fraction(num, den)`` for a known-positive ``den``.
+
+    Result materialization dominates the solve once the integer passes are
+    this cheap, and ``Fraction.__new__``'s type dispatch is most of that
+    cost.  Both arguments are plain ints here and ``den`` (a scale product)
+    is always positive, so reduce by gcd and fill the slots directly — the
+    canonical form is identical to the public constructor's.
+    """
+    g = _gcd(num, den)
+    if g > 1:
+        num //= g
+        den //= g
+    f = _new(Fraction)
+    f._numerator = num
+    f._denominator = den
+    return f
+
+
+class ExactContext:
+    """Flat, reverse-topological view of one DAG for the integer solver.
+
+    ``rows`` holds one tuple per non-EXCESS node, in the exact visit order
+    of the reference backward pass::
+
+        (node_id, is_output,
+         keep_num, keep_den,          # 1 - excess_fraction
+         in_edges,                    # ((edge_key, frac_num, frac_den), ...)
+         out_keys,                    # non-excess out-edge keys (summed)
+         excess_out,                  # ((edge_key, excess_node_id), ...)
+         ex_num, ex_den,              # excess_fraction
+         is_input, fo_num, fo_den)    # output_fraction (1 when unknown)
+
+    ``checks`` holds ``(node_id, node_ref, is_constrained)`` per node (all
+    kinds, EXCESS included) for the dispensing pass; capacity and
+    available volume are read from ``node_ref`` at solve time.
+    """
+
+    __slots__ = (
+        "dag",
+        "rows",
+        "checks",
+        "output_ids",
+        "nodes_visited",
+        "edges_visited",
+    )
+
+    def __init__(self, dag: AssayDAG) -> None:
+        dag.validate()
+        _check_solvable(dag)
+        self.dag = dag
+        self.output_ids = frozenset(node.id for node in dag.outputs())
+        rows = []
+        nodes_visited = 0
+        edges_visited = 0
+        for node_id in dag.reverse_topological_order():
+            node = dag.node(node_id)
+            if node.kind is NodeKind.EXCESS:
+                continue
+            nodes_visited += 1
+            out_keys = []
+            excess_out = []
+            for edge in dag.out_edges(node_id):
+                if edge.is_excess:
+                    excess_out.append((edge.key, edge.dst))
+                else:
+                    out_keys.append(edge.key)
+                    edges_visited += 1
+            edges_visited += len(excess_out)
+            keep = 1 - node.excess_fraction
+            is_input = node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT)
+            in_edges: tuple = ()
+            fo_num = fo_den = 1
+            if not is_input:
+                if node.unknown_volume:
+                    fraction_out = Fraction(1)
+                else:
+                    fraction_out = node.output_fraction
+                    if fraction_out is None or fraction_out <= 0:
+                        raise DagError(
+                            f"node {node_id!r} lacks a positive output_fraction"
+                        )
+                fo_num = fraction_out.numerator
+                fo_den = fraction_out.denominator
+                in_edges = tuple(
+                    (e.key, e.fraction.numerator, e.fraction.denominator)
+                    for e in dag.in_edges(node_id)
+                )
+                edges_visited += len(in_edges)
+            rows.append(
+                (
+                    node_id,
+                    node_id in self.output_ids,
+                    keep.numerator,
+                    keep.denominator,
+                    in_edges,
+                    tuple(out_keys),
+                    tuple(excess_out),
+                    node.excess_fraction.numerator,
+                    node.excess_fraction.denominator,
+                    is_input,
+                    fo_num,
+                    fo_den,
+                )
+            )
+        self.rows = tuple(rows)
+        self.checks = tuple(
+            (node.id, node, node.kind is NodeKind.CONSTRAINED_INPUT)
+            for node in dag.nodes()
+        )
+        self.nodes_visited = nodes_visited
+        self.edges_visited = edges_visited
+
+
+def exact_context(dag: AssayDAG) -> ExactContext:
+    """The DAG's cached :class:`ExactContext` (built on first use).
+
+    The cache lives in ``dag._derived`` and is dropped by the same
+    structural mutations that invalidate the memoized topological order,
+    so hierarchy attempts and runtime sessions over a frozen DAG pay the
+    adjacency walk exactly once.
+    """
+    context = dag._derived.get(_CONTEXT_KEY)
+    if context is None:
+        context = ExactContext(dag)
+        dag._derived[_CONTEXT_KEY] = context
+    return context
+
+
+def _validated_targets(
+    context: ExactContext,
+    output_targets: Mapping[str, Number] | None,
+) -> dict[str, Fraction]:
+    targets: dict[str, Fraction] = {}
+    if output_targets:
+        targets = {n: as_fraction(v) for n, v in output_targets.items()}
+        for node_id, value in targets.items():
+            if value <= 0:
+                raise VolumeError(
+                    f"output target for {node_id!r} must be positive"
+                )
+        unknown_targets = set(targets) - set(context.output_ids)
+        if unknown_targets:
+            raise DagError(
+                f"output targets given for non-output nodes "
+                f"{sorted(unknown_targets)}"
+            )
+    return targets
+
+
+def _solve_ints(
+    context: ExactContext,
+    targets: dict[str, Fraction],
+) -> tuple[dict[str, int], dict[str, int], dict[EdgeKey, int], int]:
+    """The backward pass over integers; returns (vn, vin, edge, M)."""
+    node_vn: dict[str, int] = {}
+    node_in: dict[str, int] = {}
+    edge_vn: dict[EdgeKey, int] = {}
+    scale = 1
+
+    def rescale(grow: int) -> None:
+        nonlocal scale
+        scale *= grow
+        for table in (node_vn, node_in, edge_vn):
+            for key in table:
+                table[key] *= grow
+
+    # Every division below follows the same grow-then-redo pattern: when
+    # ``product / den`` would be inexact, grow M so the dividend (re-read
+    # from its table, which rescale() just multiplied) divides evenly.
+    for (
+        node_id,
+        is_output,
+        keep_num,
+        keep_den,
+        in_edges,
+        out_keys,
+        excess_out,
+        ex_num,
+        ex_den,
+        is_input,
+        fo_num,
+        fo_den,
+    ) in context.rows:
+        if is_output:
+            target = targets.get(node_id)
+            if target is None:
+                production = scale
+            else:
+                tn, td = target.numerator, target.denominator
+                product = scale * tn
+                if product % td:
+                    rescale(td // gcd(product, td))
+                    product = scale * tn
+                production = product // td
+        else:
+            used = 0
+            for key in out_keys:
+                used += edge_vn[key]
+            # production = used / keep  ==  used * keep_den / keep_num
+            product = used * keep_den
+            if product % keep_num:
+                rescale(keep_num // gcd(product, keep_num))
+                used = 0
+                for key in out_keys:
+                    used += edge_vn[key]
+                product = used * keep_den
+            production = product // keep_num
+        node_vn[node_id] = production
+        if ex_num:
+            # excess_amount = production * excess_fraction
+            product = production * ex_num
+            if product % ex_den:
+                rescale(ex_den // gcd(product, ex_den))
+                production = node_vn[node_id]
+                product = production * ex_num
+            excess_amount = product // ex_den
+            for key, excess_id in excess_out:
+                edge_vn[key] = excess_amount
+                node_vn[excess_id] = excess_amount
+                node_in[excess_id] = excess_amount
+        if is_input:
+            node_in[node_id] = production
+            continue
+        # input_total = production / fraction_out
+        product = production * fo_den
+        if product % fo_num:
+            rescale(fo_num // gcd(product, fo_num))
+            production = node_vn[node_id]
+            product = production * fo_den
+        input_total = product // fo_num
+        node_in[node_id] = input_total
+        for key, frac_num, frac_den in in_edges:
+            product = input_total * frac_num
+            if product % frac_den:
+                rescale(frac_den // gcd(product, frac_den))
+                input_total = node_in[node_id]
+                product = input_total * frac_num
+            edge_vn[key] = product // frac_den
+
+    return node_vn, node_in, edge_vn, scale
+
+
+def exact_vnorms(
+    dag: AssayDAG,
+    output_targets: Mapping[str, Number] | None = None,
+) -> VnormResult:
+    """Backward pass of DAGSolve over scaled integers.
+
+    Drop-in replacement for :func:`repro.core.dagsolve.compute_vnorms`:
+    same validation errors, and a :class:`VnormResult` whose Fractions
+    (and visit counters) are bit-identical to the reference pass.
+    """
+    context = exact_context(dag)
+    targets = _validated_targets(context, output_targets)
+    node_vn, node_in, edge_vn, scale = _solve_ints(context, targets)
+    return VnormResult(
+        node_vnorm={n: _fraction(v, scale) for n, v in node_vn.items()},
+        node_input_vnorm={
+            n: _fraction(v, scale) for n, v in node_in.items()
+        },
+        edge_vnorm={k: _fraction(v, scale) for k, v in edge_vn.items()},
+        nodes_visited=context.nodes_visited,
+        edges_visited=context.edges_visited,
+    )
+
+
+def _min_ratio(
+    best: tuple[int, int] | None, num: int, den: int
+) -> tuple[int, int]:
+    """min over positive rationals held as (num, den) pairs."""
+    if best is None or num * best[1] < best[0] * den:
+        return (num, den)
+    return best
+
+
+def exact_dagsolve(
+    dag: AssayDAG,
+    limits: HardwareLimits,
+    output_targets: Mapping[str, Number] | None = None,
+    *,
+    strict: bool = False,
+) -> VolumeAssignment:
+    """Both DAGSolve passes over scaled integers.
+
+    Drop-in replacement for :func:`repro.core.dagsolve.dagsolve`; the
+    returned :class:`VolumeAssignment` (volumes, scale, embedded Vnorms)
+    is bit-identical to the reference implementation's.
+    """
+    context = exact_context(dag)
+    targets = _validated_targets(context, output_targets)
+    node_vn, node_in, edge_vn, scale = _solve_ints(context, targets)
+
+    max_load = 0
+    for node_id in node_vn:
+        load = node_vn[node_id]
+        other = node_in[node_id]
+        if other > load:
+            load = other
+        if load > max_load:
+            max_load = load
+    if max_load <= 0:
+        raise VolumeError("DAG has no positive Vnorm; nothing to dispense")
+
+    # forward pass: anchor the largest load at its capacity --------------
+    max_capacity: Fraction = limits.max_capacity
+    best: tuple[int, int] | None = None
+    for node_id, node, __ in context.checks:
+        capacity = node.capacity or max_capacity
+        load = node_vn[node_id]
+        other = node_in[node_id]
+        if other > load:
+            load = other
+        if load == 0:
+            continue
+        # bound = capacity / (load / M) = (cap_num * M) / (cap_den * load)
+        best = _min_ratio(
+            best, capacity.numerator * scale, capacity.denominator * load
+        )
+    assert best is not None
+    for node_id, node, is_constrained in context.checks:
+        if not is_constrained:
+            continue
+        available = node.available_volume
+        if available is None:
+            raise DagError(
+                f"constrained input {node_id!r} has no measured volume; "
+                "set node.available_volume before dispensing"
+            )
+        vnorm = node_vn[node_id]
+        if vnorm == 0:
+            continue
+        best = _min_ratio(
+            best, available.numerator * scale, available.denominator * vnorm
+        )
+    scale_num, scale_den = best
+    scale_fraction = Fraction(scale_num, scale_den)
+
+    denominator = scale * scale_den
+    assignment = VolumeAssignment(
+        dag=dag,
+        limits=limits,
+        node_volume={
+            n: _fraction(v * scale_num, denominator)
+            for n, v in node_vn.items()
+        },
+        node_input_volume={
+            n: _fraction(v * scale_num, denominator)
+            for n, v in node_in.items()
+        },
+        edge_volume={
+            k: _fraction(v * scale_num, denominator)
+            for k, v in edge_vn.items()
+        },
+        scale=scale_fraction,
+        method="dagsolve",
+        vnorms=VnormResult(
+            node_vnorm={n: _fraction(v, scale) for n, v in node_vn.items()},
+            node_input_vnorm={
+                n: _fraction(v, scale) for n, v in node_in.items()
+            },
+            edge_vnorm={k: _fraction(v, scale) for k, v in edge_vn.items()},
+            nodes_visited=context.nodes_visited,
+            edges_visited=context.edges_visited,
+        ),
+    )
+    if strict:
+        assignment.require_feasible()
+    return assignment

@@ -82,8 +82,20 @@ def assignment_from_edge_volumes(
     )
 
 
-def solve_model(model: LPModel, *, method: str = "highs") -> VolumeAssignment:
+def solve_model(
+    model: LPModel,
+    *,
+    method: str = "highs",
+    warm_start: "list[float] | None" = None,
+) -> VolumeAssignment:
     """Solve a built :class:`LPModel` and package the result.
+
+    ``warm_start`` is the previous attempt's solution in ``var_index``
+    order (what the hierarchy retry loop has on hand).  scipy's HiGHS
+    backends do not accept an ``x0`` guess, so today the vector is only
+    recorded — honestly, as ``meta["warm_start"]["applied"] = False`` —
+    but the plumbing means a basis-reusing backend (e.g. ``highspy``)
+    can be dropped in without touching the callers.
 
     Raises:
         InfeasibleError: HiGHS proved the constraint system infeasible.
@@ -93,6 +105,23 @@ def solve_model(model: LPModel, *, method: str = "highs") -> VolumeAssignment:
     b_ub = model.b_ub if model.b_ub.size else None
     a_eq = model.a_eq if model.a_eq.shape[0] else None
     b_eq = model.b_eq if model.b_eq.size else None
+    warm_meta: dict[str, object] | None = None
+    if warm_start is not None:
+        if len(warm_start) != len(model.var_index):
+            warm_meta = {
+                "provided": True,
+                "applied": False,
+                "reason": (
+                    f"stale vector: {len(warm_start)} values for "
+                    f"{len(model.var_index)} variables"
+                ),
+            }
+        else:
+            warm_meta = {
+                "provided": True,
+                "applied": False,
+                "reason": "scipy's HiGHS interface ignores x0 guesses",
+            }
     result = linprog(
         model.objective,
         A_ub=a_ub,
@@ -115,6 +144,18 @@ def solve_model(model: LPModel, *, method: str = "highs") -> VolumeAssignment:
         key: Fraction(str(float(result.x[i])))
         for key, i in model.var_index.items()
     }
+    meta: dict[str, object] = {
+        "objective": -float(result.fun),
+        "n_constraints": model.n_constraints,
+        "constraint_classes": model.counts_by_class(),
+        "iterations": int(getattr(result, "nit", 0)),
+        "dagsolve_constraints": model.meta.get("dagsolve_constraints", False),
+    }
+    if warm_meta is not None:
+        meta["warm_start"] = warm_meta
+    incremental = model.meta.get("incremental")
+    if incremental is not None:
+        meta["incremental"] = dict(incremental)
     return assignment_from_edge_volumes(
         model.dag,
         model.limits,
@@ -123,13 +164,7 @@ def solve_model(model: LPModel, *, method: str = "highs") -> VolumeAssignment:
         # HiGHS works in doubles: allow a relative 1e-7 feasibility slack so
         # exact-fraction checks do not flag float fuzz as violations.
         tolerance=model.limits.max_capacity * Fraction(1, 10_000_000),
-        meta={
-            "objective": -float(result.fun),
-            "n_constraints": model.n_constraints,
-            "constraint_classes": model.counts_by_class(),
-            "iterations": int(getattr(result, "nit", 0)),
-            "dagsolve_constraints": model.meta.get("dagsolve_constraints", False),
-        },
+        meta=meta,
     )
 
 

@@ -1,0 +1,497 @@
+"""Incremental LP model construction for hierarchy retries.
+
+Profiling the Figure 6 loop shows the LP stage's cost is dominated by
+*model construction*, not the HiGHS solve: :func:`~repro.core.lpmodel.
+build_lp_model` re-derives every constraint row — Fraction arithmetic,
+label strings, float conversion — from scratch on every attempt, even
+though a cascade or replication rewrite touches only a small neighborhood
+of the DAG.
+
+:class:`IncrementalLPBuilder` splits the model into **per-node row
+bundles** cached by a structural signature of the node (kind, capacity,
+minimum, output fraction, exact in/out edge keys and ratios).  A retry
+build walks the DAG once: nodes whose signature is unchanged reuse their
+bundle verbatim — coefficients already resolved to floats, keyed by edge
+key rather than column index, so they survive variable renumbering — and
+only rewritten neighborhoods pay row construction.  The global pieces
+(variable order, class-1 bounds, validation) are memoized per DAG object
+in ``AssayDAG._derived`` (cleared by the same structural-mutation hooks
+as the topo cache), and the objective plus the class-6 output-to-output
+band are cached on the builder keyed by a signature of the output set.
+
+The assembled :class:`~repro.core.lpmodel.LPModel` is **identical** to
+what :func:`build_lp_model` produces — same row order, same sparse
+matrices, same labels — so the solver sees the same problem and the
+compiled plan stays byte-identical (pinned by ``tests/core/
+test_lpdelta.py`` and the golden-equivalence suite).  Reuse counts are
+exposed via :attr:`IncrementalLPBuilder.last_stats` and surface in the
+hierarchy's attempt log and pass events.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from .dag import AssayDAG, NodeKind
+from .errors import DagError
+from .limits import HardwareLimits
+from .lpmodel import (
+    CLASS_CAPACITY,
+    CLASS_FLOW_CONSERVATION,
+    CLASS_MIN_VOLUME,
+    CLASS_NON_DEFICIT,
+    CLASS_OUTPUT_EQUAL,
+    CLASS_OUTPUT_TO_OUTPUT,
+    CLASS_RATIO,
+    ConstraintRow,
+    LPModel,
+)
+
+__all__ = ["IncrementalLPBuilder"]
+
+EdgeKey = tuple[str, str]
+
+#: one cached row: float coefficients keyed by edge, float rhs, label.
+_Row = tuple[tuple[tuple[EdgeKey, float], ...], float, ConstraintRow]
+
+
+class _FloatAssembler:
+    """Rebuilds :class:`~repro.core.lpmodel._MatrixBuilder` output from
+    pre-floated rows (same COO construction order, so identical CSR)."""
+
+    def __init__(self, n_vars: int) -> None:
+        self.n_vars = n_vars
+        self.data: list[float] = []
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.rhs: list[float] = []
+        self.labels: list[ConstraintRow] = []
+
+    def add(self, row: _Row, var_index: dict[EdgeKey, int]) -> None:
+        coefficients, rhs, label = row
+        row_index = len(self.rhs)
+        for key, value in coefficients:
+            self.rows.append(row_index)
+            self.cols.append(var_index[key])
+            self.data.append(value)
+        self.rhs.append(rhs)
+        self.labels.append(label)
+
+    def matrices(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        matrix = sparse.coo_matrix(
+            (self.data, (self.rows, self.cols)),
+            shape=(len(self.rhs), self.n_vars),
+        ).tocsr()
+        return matrix, np.asarray(self.rhs, dtype=float)
+
+
+def _row(
+    coefficients: list[tuple[EdgeKey, Fraction]],
+    rhs: Fraction,
+    cls: str,
+    description: str,
+    *,
+    equality: bool,
+) -> _Row:
+    return (
+        tuple(
+            (key, float(value)) for key, value in coefficients if value != 0
+        ),
+        float(rhs),
+        ConstraintRow(cls, description, equality),
+    )
+
+
+class IncrementalLPBuilder:
+    """Build RVol LP models with per-node row-bundle caching.
+
+    One builder is threaded through one hierarchy run (it assumes the
+    same ``limits`` and options for every build); :meth:`build` may be
+    called with any DAG — typically the loop's current graph, which
+    differs from the previous round's only where a transform rewrote it.
+    """
+
+    def __init__(
+        self,
+        limits: HardwareLimits,
+        *,
+        output_tolerance: float | None = 0.1,
+        dagsolve_constraints: bool = False,
+        min_volume_bounds: bool = True,
+    ) -> None:
+        self.limits = limits
+        self.output_tolerance = output_tolerance
+        self.dagsolve_constraints = dagsolve_constraints
+        self.min_volume_bounds = min_volume_bounds
+        #: node id -> (signature, ub rows, eq rows)
+        self._bundles: dict[str, tuple[Any, list[_Row], list[_Row]]] = {}
+        #: (tail signature, objective pairs, class-6 ub rows, eq rows)
+        self._tail: tuple[Any, list, list[_Row], list[_Row]] | None = None
+        #: reuse counters of the most recent :meth:`build`.
+        self.last_stats: dict[str, int] = {"nodes": 0, "reused": 0}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _structure(dag: AssayDAG) -> dict[str, tuple]:
+        """Per-node adjacency snapshot, memoized per DAG object.
+
+        For each non-EXCESS node id: ``(inbound edges, outbound edges,
+        inbound (key, fraction) signature, outbound key signature,
+        is_sink)`` with excess edges filtered out.  Lives in
+        ``dag._derived`` so structural mutators invalidate it; edge
+        ratios are baked in, exactly like the exact-solver context.
+        """
+        table = dag._derived.get("lp-structure")
+        if table is None:
+            table = {}
+            for node in dag.nodes():
+                if node.kind is NodeKind.EXCESS:
+                    continue
+                inbound = tuple(
+                    e for e in dag.in_edges(node.id) if not e.is_excess
+                )
+                outbound = tuple(
+                    e for e in dag.out_edges(node.id) if not e.is_excess
+                )
+                table[node.id] = (
+                    inbound,
+                    outbound,
+                    tuple((e.key, e.fraction) for e in inbound),
+                    tuple(e.key for e in outbound),
+                    dag.out_degree(node.id) == 0,
+                )
+            dag._derived["lp-structure"] = table
+        return table
+
+    def _signature(self, node, entry: tuple) -> Any:
+        """Everything the node's rows depend on (beyond builder config)."""
+        available = (
+            node.available_volume
+            if node.kind is NodeKind.CONSTRAINED_INPUT
+            else None
+        )
+        return (
+            node.kind,
+            node.capacity,
+            node.min_volume,
+            available,
+            node.output_fraction,
+            entry[4],
+            entry[2],
+            entry[3],
+        )
+
+    def _node_bundle(
+        self, node, entry: tuple, output_ids: set[str]
+    ) -> tuple[list[_Row], list[_Row]]:
+        """The node's ub/eq rows, mirroring ``build_lp_model`` exactly."""
+        limits = self.limits
+        inbound, outbound = entry[0], entry[1]
+        is_source = node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT)
+        ub: list[_Row] = []
+        eq: list[_Row] = []
+
+        capacity = node.capacity or limits.max_capacity
+        if is_source:
+            if node.kind is NodeKind.CONSTRAINED_INPUT:
+                if node.available_volume is not None:
+                    capacity = min(capacity, node.available_volume)
+            if outbound:
+                ub.append(
+                    _row(
+                        [(e.key, Fraction(1)) for e in outbound],
+                        Fraction(capacity),
+                        CLASS_CAPACITY,
+                        f"{node.id}: total draw <= {capacity}",
+                        equality=False,
+                    )
+                )
+        elif inbound:
+            ub.append(
+                _row(
+                    [(e.key, Fraction(1)) for e in inbound],
+                    Fraction(capacity),
+                    CLASS_CAPACITY,
+                    f"{node.id}: total input <= {capacity}",
+                    equality=False,
+                )
+            )
+            if node.min_volume is not None and len(inbound) > 1:
+                ub.append(
+                    _row(
+                        [(e.key, Fraction(-1)) for e in inbound],
+                        -Fraction(node.min_volume),
+                        CLASS_MIN_VOLUME,
+                        f"{node.id}: total input >= {node.min_volume}",
+                        equality=False,
+                    )
+                )
+
+        if not is_source and node.id not in output_ids and outbound:
+            fraction_out = node.output_fraction or Fraction(1)
+            coefficients = [(e.key, Fraction(1)) for e in outbound]
+            coefficients += [(e.key, -fraction_out) for e in inbound]
+            ub.append(
+                _row(
+                    coefficients,
+                    Fraction(0),
+                    CLASS_NON_DEFICIT,
+                    f"{node.id}: use <= {fraction_out} * input",
+                    equality=False,
+                )
+            )
+            if self.dagsolve_constraints:
+                eq.append(
+                    _row(
+                        coefficients,
+                        Fraction(0),
+                        CLASS_FLOW_CONSERVATION,
+                        f"{node.id}: use == {fraction_out} * input",
+                        equality=True,
+                    )
+                )
+
+        if len(inbound) > 1:
+            anchor_edge = inbound[0]
+            for other_edge in inbound[1:]:
+                eq.append(
+                    _row(
+                        [
+                            (anchor_edge.key, other_edge.fraction),
+                            (other_edge.key, -anchor_edge.fraction),
+                        ],
+                        Fraction(0),
+                        CLASS_RATIO,
+                        (
+                            f"{node.id}: {anchor_edge.src} vs "
+                            f"{other_edge.src} in ratio "
+                            f"{anchor_edge.fraction}:{other_edge.fraction}"
+                        ),
+                        equality=True,
+                    )
+                )
+        return ub, eq
+
+    def _tail_rows(
+        self, dag: AssayDAG, structure: dict[str, tuple], output_nodes: list
+    ) -> tuple[list, list[_Row], list[_Row]]:
+        """Objective pairs plus the class-6 band, cached by output set."""
+
+        def in_signature(node_id: str) -> tuple:
+            entry = structure.get(node_id)
+            if entry is not None:
+                return entry[2]
+            return tuple(
+                (e.key, e.fraction)
+                for e in dag.in_edges(node_id)
+                if not e.is_excess
+            )
+
+        signature = tuple(
+            (
+                n.id,
+                n.kind,
+                n.output_fraction,
+                in_signature(n.id),
+                dag.in_degree(n.id),
+            )
+            for n in output_nodes
+        )
+        cached = self._tail
+        if cached is not None and cached[0] == signature:
+            return cached[1], cached[2], cached[3]
+
+        objective_pairs: list[tuple[EdgeKey, float]] = []
+        for node in output_nodes:
+            if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+                continue
+            fraction_out = node.output_fraction or Fraction(1)
+            for e in dag.in_edges(node.id):
+                if not e.is_excess:
+                    objective_pairs.append((e.key, float(fraction_out)))
+
+        def output_volume_coefficients(
+            node_id: str,
+        ) -> list[tuple[EdgeKey, Fraction]]:
+            node = dag.node(node_id)
+            fraction_out = node.output_fraction or Fraction(1)
+            return [
+                (e.key, fraction_out)
+                for e in dag.in_edges(node_id)
+                if not e.is_excess
+            ]
+
+        ub_rows: list[_Row] = []
+        eq_rows: list[_Row] = []
+        real_outputs = [
+            n.id
+            for n in output_nodes
+            if n.kind not in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT)
+            and dag.in_degree(n.id) > 0
+        ]
+        if len(real_outputs) > 1:
+            anchor = real_outputs[0]
+            anchor_coefficients = output_volume_coefficients(anchor)
+            for other in real_outputs[1:]:
+                other_coefficients = output_volume_coefficients(other)
+                if self.output_tolerance is not None:
+                    low = Fraction(str(1 - self.output_tolerance))
+                    high = Fraction(str(1 + self.output_tolerance))
+                    ub_rows.append(
+                        _row(
+                            [(k, low * c) for k, c in other_coefficients]
+                            + [(k, -c) for k, c in anchor_coefficients],
+                            Fraction(0),
+                            CLASS_OUTPUT_TO_OUTPUT,
+                            f"{low} * V({other}) <= V({anchor})",
+                            equality=False,
+                        )
+                    )
+                    ub_rows.append(
+                        _row(
+                            [(k, c) for k, c in anchor_coefficients]
+                            + [
+                                (k, -high * c)
+                                for k, c in other_coefficients
+                            ],
+                            Fraction(0),
+                            CLASS_OUTPUT_TO_OUTPUT,
+                            f"V({anchor}) <= {high} * V({other})",
+                            equality=False,
+                        )
+                    )
+                if self.dagsolve_constraints:
+                    eq_rows.append(
+                        _row(
+                            [(k, c) for k, c in anchor_coefficients]
+                            + [(k, -c) for k, c in other_coefficients],
+                            Fraction(0),
+                            CLASS_OUTPUT_EQUAL,
+                            f"V({anchor}) == V({other})",
+                            equality=True,
+                        )
+                    )
+        self._tail = (signature, objective_pairs, ub_rows, eq_rows)
+        return objective_pairs, ub_rows, eq_rows
+
+    # ------------------------------------------------------------------
+    def build(self, dag: AssayDAG) -> LPModel:
+        """Assemble the model, reusing cached bundles where possible."""
+        derived = dag._derived
+        if "lp-valid" not in derived:
+            dag.validate()
+            for node in dag.nodes():
+                if node.unknown_volume and dag.out_degree(node.id) > 0:
+                    raise DagError(
+                        f"node {node.id!r} has unknown output volume and "
+                        "downstream uses; partition the DAG before building "
+                        "the LP"
+                    )
+            derived["lp-valid"] = True
+
+        limits = self.limits
+        cached_vars = derived.get("lp-varindex")
+        if cached_vars is None:
+            edges = tuple(e for e in dag.edges() if not e.is_excess)
+            cached_vars = (
+                edges,
+                {edge.key: i for i, edge in enumerate(edges)},
+            )
+            derived["lp-varindex"] = cached_vars
+        edges, base_index = cached_vars
+        var_index: dict[EdgeKey, int] = dict(base_index)
+        n_vars = len(var_index)
+
+        bounds_key = (
+            "lp-bounds",
+            limits.least_count,
+            limits.max_capacity,
+            self.min_volume_bounds,
+        )
+        cached_bounds = derived.get(bounds_key)
+        if cached_bounds is None:
+            cached_bounds = []
+            max_capacity_f = float(limits.max_capacity)
+            least_count = limits.least_count
+            for edge in edges:
+                if not self.min_volume_bounds:
+                    cached_bounds.append((0.0, max_capacity_f))
+                    continue
+                lo = least_count
+                dst = dag.node(edge.dst)
+                if (
+                    dst.min_volume is not None
+                    and dag.in_degree(edge.dst) == 1
+                ):
+                    lo = max(lo, dst.min_volume)
+                cached_bounds.append((float(lo), max_capacity_f))
+            derived[bounds_key] = cached_bounds
+        bounds: list[tuple[float, float | None]] = list(cached_bounds)
+
+        structure = self._structure(dag)
+        output_nodes = list(dag.outputs())
+        output_ids = {n.id for n in output_nodes}
+
+        ub = _FloatAssembler(n_vars)
+        eq = _FloatAssembler(n_vars)
+        nodes_seen = 0
+        reused = 0
+        live: set[str] = set()
+        bundles = self._bundles
+        for node in dag.nodes():
+            entry = structure.get(node.id)
+            if entry is None:  # EXCESS
+                continue
+            nodes_seen += 1
+            live.add(node.id)
+            signature = self._signature(node, entry)
+            cached = bundles.get(node.id)
+            if cached is not None and cached[0] == signature:
+                __, ub_rows, eq_rows = cached
+                reused += 1
+            else:
+                ub_rows, eq_rows = self._node_bundle(node, entry, output_ids)
+                bundles[node.id] = (signature, ub_rows, eq_rows)
+            for row in ub_rows:
+                ub.add(row, var_index)
+            for row in eq_rows:
+                eq.add(row, var_index)
+        for stale in set(bundles) - live:
+            del bundles[stale]
+        self.last_stats = {"nodes": nodes_seen, "reused": reused}
+
+        # objective + class 6 depend on the global output set; cached by
+        # a signature of the outputs' ratios and inbound edges.
+        tail_rows = self._tail_rows(dag, structure, output_nodes)
+        objective = np.zeros(n_vars)
+        for key, value in tail_rows[0]:
+            objective[var_index[key]] -= value
+        for row in tail_rows[1]:
+            ub.add(row, var_index)
+        for row in tail_rows[2]:
+            eq.add(row, var_index)
+
+        a_ub, b_ub = ub.matrices()
+        a_eq, b_eq = eq.matrices()
+        return LPModel(
+            dag=dag,
+            limits=limits,
+            var_index=var_index,
+            objective=objective,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            rows_ub=ub.labels,
+            rows_eq=eq.labels,
+            meta={
+                "output_tolerance": self.output_tolerance,
+                "dagsolve_constraints": self.dagsolve_constraints,
+                "incremental": dict(self.last_stats),
+            },
+        )

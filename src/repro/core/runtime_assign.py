@@ -29,8 +29,9 @@ from fractions import Fraction
 from collections.abc import Mapping
 
 from .dag import AssayDAG, NodeKind
-from .dagsolve import VnormResult, VolumeAssignment, compute_vnorms, dispense
+from .dagsolve import VnormResult, VolumeAssignment, dispense
 from .errors import PartitionError
+from .intsolve import exact_vnorms
 from .limits import HardwareLimits, Number, as_fraction
 from .partition import Partition, PartitionedAssay, partition_unknown_volumes
 
@@ -61,7 +62,7 @@ class RuntimePlanner:
             partition.index: (
                 cache.memo_vnorms(partition.dag)
                 if cache is not None
-                else compute_vnorms(partition.dag)
+                else exact_vnorms(partition.dag)
             )
             for partition in self.partitioned.partitions
         }

@@ -192,11 +192,36 @@ class TestCompileInstrumentation:
         err = capsys.readouterr().err
         assert "cached" in err and "hit" in err
 
+    def test_profile_hotspot_table(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "input s1" in captured.out           # listing untouched
+        assert "cProfile hotspots" in captured.err  # report on stderr
+        assert "ms cum" in captured.err
+
+    def test_profile_stats_json(self, glucose_file, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            ["compile", glucose_file, "--profile",
+             "--stats-json", str(stats_path)]
+        ) == 0
+        data = json.loads(stats_path.read_text())
+        assert data["profile"], "stats JSON should carry hotspot entries"
+        entry = data["profile"][0]
+        assert {"pass", "hotspots"} <= set(entry)
+        assert {"func", "calls", "tottime_ms", "cumtime_ms"} <= set(
+            entry["hotspots"][0]
+        )
+
     def test_instrumentation_rejected_in_batch(self, glucose_file):
         with pytest.raises(SystemExit):
             main(["compile", glucose_file, "--batch", "--time-passes"])
         with pytest.raises(SystemExit):
             main(["compile", glucose_file, "--batch", "--explain"])
+        with pytest.raises(SystemExit):
+            main(["compile", glucose_file, "--batch", "--profile"])
 
 
 class TestCompileBatch:

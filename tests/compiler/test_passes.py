@@ -153,3 +153,48 @@ class TestEventContract:
         assert "pass plan:" in text
         assert "hierarchy" in text
         assert "dagsolve" in text
+
+
+class TestProfileMode:
+    """``profile=True``: leaf passes carry cProfile hotspots on their
+    events; composite passes never nest a profiler."""
+
+    def test_leaf_events_carry_hotspots(self):
+        bus = PassEventBus()
+        run_compile(source=glucose.SOURCE, bus=bus, profile=True)
+        profiled = [e for e in bus.events if e.profile]
+        assert profiled, "no pass carried profile hotspots"
+        for event in profiled:
+            assert event.name != "hierarchy"  # composite: stages only
+            for spot in event.profile:
+                assert {"func", "calls", "tottime_ms", "cumtime_ms"} <= set(
+                    spot
+                )
+        # the hierarchy loop's stages are profiled individually
+        assert any(e.round is not None for e in profiled)
+
+    def test_profile_off_leaves_events_clean(self):
+        bus = PassEventBus()
+        run_compile(source=glucose.SOURCE, bus=bus)
+        assert all(not e.profile for e in bus.events)
+
+    def test_payload_and_table_render(self):
+        from repro.compiler.passes.events import (
+            profile_payload,
+            render_profile_table,
+        )
+
+        bus = PassEventBus()
+        run_compile(source=glucose.SOURCE, bus=bus, profile=True)
+        payload = profile_payload(bus)
+        assert payload and all(
+            {"pass", "hotspots"} <= set(entry) for entry in payload
+        )
+        table = render_profile_table(bus)
+        assert "cProfile hotspots" in table
+        assert "ms cum" in table
+
+    def test_profiled_compile_matches_unprofiled(self):
+        plain = run_compile(source=glucose.SOURCE)
+        profiled = run_compile(source=glucose.SOURCE, profile=True)
+        assert profiled.compiled.listing() == plain.compiled.listing()

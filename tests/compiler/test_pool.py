@@ -1,0 +1,121 @@
+"""The persistent worker pool: reuse, byte-identity, graceful degradation."""
+
+import os
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.assays import generators, glucose, paper_example
+from repro.compiler import pool as pool_module
+from repro.compiler.batch import BatchJob, compile_many, default_workers
+from repro.compiler.cache import PlanCache
+from repro.compiler.pool import get_pool, pool_map, pool_stats, shutdown_pool
+
+
+def fleet():
+    return [
+        BatchJob("fig2", source=paper_example.SOURCE),
+        BatchJob("glucose", source=glucose.SOURCE),
+        BatchJob("dilution", dag=generators.serial_dilution(5)),
+    ]
+
+
+class TestWarmReuse:
+    def test_pool_survives_across_batches(self):
+        shutdown_pool()
+        before = pool_stats()
+        compile_many(fleet(), cache=PlanCache(), max_workers=2)
+        compile_many(fleet(), cache=PlanCache(), max_workers=2)
+        after = pool_stats()
+        assert after["created"] == before["created"] + 1
+        assert after["reused"] >= before["reused"] + 1
+        shutdown_pool()
+
+    def test_shape_change_recreates(self):
+        shutdown_pool()
+        before = pool_stats()["created"]
+        first = get_pool(2)
+        assert get_pool(2) is first
+        second = get_pool(3)
+        assert second is not first
+        assert pool_stats()["created"] == before + 2
+        shutdown_pool()
+
+    def test_opt_out_uses_fresh_executor(self):
+        shutdown_pool()
+        before = pool_stats()
+        report = compile_many(
+            fleet(), cache=PlanCache(), max_workers=2, persistent_pool=False
+        )
+        assert report.failed == 0
+        assert pool_stats() == before
+
+    def test_pooled_cache_entries_byte_identical(self, tmp_path):
+        """Disk entries written through pool workers equal inline ones."""
+        shutdown_pool()
+        inline_dir = tmp_path / "inline"
+        pooled_dir = tmp_path / "pooled"
+        compile_many(
+            fleet(), cache=PlanCache(directory=str(inline_dir)), max_workers=1
+        )
+        compile_many(
+            fleet(), cache=PlanCache(directory=str(pooled_dir)), max_workers=2
+        )
+        shutdown_pool()
+
+        def artifacts(directory):
+            # workers may additionally persist vnorms memo entries that the
+            # inline path keeps in memory; the compiled artifacts are the
+            # byte-identity claim
+            return sorted(
+                name
+                for name in os.listdir(directory)
+                if name.startswith(("plan-", "src-"))
+            )
+
+        inline = artifacts(inline_dir)
+        pooled = artifacts(pooled_dir)
+        assert inline == pooled
+        for name in inline:
+            assert (inline_dir / name).read_bytes() == (
+                pooled_dir / name
+            ).read_bytes(), f"cache entry {name} differs"
+
+
+class _BrokenExecutor:
+    def map(self, fn, items):
+        raise BrokenProcessPool("worker died")
+
+
+class TestDegradation:
+    def test_broken_pool_falls_back_inline(self, monkeypatch):
+        shutdown_pool()
+        monkeypatch.setattr(
+            pool_module, "get_pool", lambda workers, cache_dir=None: (
+                _BrokenExecutor()
+            )
+        )
+        before = pool_stats()["broken"]
+        assert pool_map(str, [1, 2, 3], max_workers=2) == ["1", "2", "3"]
+        assert pool_stats()["broken"] == before + 1
+
+
+class TestDefaultWorkers:
+    def test_respects_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        assert default_workers() == 2
+
+    def test_unreadable_mask_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("mask unreadable")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert default_workers() == 3
+
+    def test_never_below_one(self, monkeypatch):
+        def boom(pid):
+            raise OSError
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1

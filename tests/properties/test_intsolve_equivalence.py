@@ -1,0 +1,173 @@
+"""Property-based equivalence: the integer-scaled exact solver vs Fraction.
+
+:mod:`repro.core.intsolve` replaces the reference DAGSolve passes with
+least-count-scaled integer arithmetic; these properties pin the contract
+that made the swap safe — over random layered DAGs (including extreme mix
+ratios and separators), every Fraction it returns, every visit counter,
+every violation verdict, and every validation error is exactly what the
+reference implementation produces.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assays import generators
+from repro.core.dagsolve import compute_vnorms, dagsolve
+from repro.core.errors import DagError, VolumeError
+from repro.core.intsolve import exact_context, exact_dagsolve, exact_vnorms
+from repro.core.limits import PAPER_LIMITS
+
+dag_seeds = st.integers(min_value=0, max_value=10_000)
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+def random_dag(seed, shape, *, max_ratio=9, separator_probability=0.0):
+    return generators.layered_random_dag(
+        shape[0],
+        shape[1],
+        shape[2],
+        seed=seed,
+        max_ratio=max_ratio,
+        separator_probability=separator_probability,
+    )
+
+
+def assert_same_vnorms(reference, fast):
+    assert reference.node_vnorm == fast.node_vnorm
+    assert reference.node_input_vnorm == fast.node_input_vnorm
+    assert reference.edge_vnorm == fast.edge_vnorm
+    assert reference.nodes_visited == fast.nodes_visited
+    assert reference.edges_visited == fast.edges_visited
+
+
+def assert_same_assignment(reference, fast):
+    assert reference.node_volume == fast.node_volume
+    assert reference.node_input_volume == fast.node_input_volume
+    assert reference.edge_volume == fast.edge_volume
+    assert reference.scale == fast.scale
+    assert_same_vnorms(reference.vnorms, fast.vnorms)
+    # the verdicts must agree violation by violation, not just overall
+    assert reference.violations() == fast.violations()
+    assert reference.feasible == fast.feasible
+
+
+class TestEquivalence:
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_vnorms_bit_identical(self, seed, shape):
+        dag = random_dag(seed, shape)
+        assert_same_vnorms(compute_vnorms(dag), exact_vnorms(dag))
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_bit_identical(self, seed, shape):
+        dag = random_dag(seed, shape)
+        assert_same_assignment(
+            dagsolve(dag, PAPER_LIMITS), exact_dagsolve(dag, PAPER_LIMITS)
+        )
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_extreme_ratios(self, seed, shape):
+        """Mix parts up to 99:1 force large scale denominators — exactly
+        the regime where float solvers drift and exact ones must not."""
+        dag = random_dag(seed, shape, max_ratio=99)
+        assert_same_assignment(
+            dagsolve(dag, PAPER_LIMITS), exact_dagsolve(dag, PAPER_LIMITS)
+        )
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_separators(self, seed, shape):
+        dag = random_dag(seed, shape, separator_probability=0.3)
+        assert_same_assignment(
+            dagsolve(dag, PAPER_LIMITS), exact_dagsolve(dag, PAPER_LIMITS)
+        )
+
+    @given(
+        seed=dag_seeds,
+        shape=shapes,
+        num=st.integers(min_value=1, max_value=40),
+        den=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_targets(self, seed, shape, num, den):
+        """Fractional per-output targets drive the lazy rescaling path."""
+        dag = random_dag(seed, shape)
+        targets = {
+            node.id: Fraction(num + i, den)
+            for i, node in enumerate(dag.outputs())
+        }
+        assert_same_vnorms(
+            compute_vnorms(dag, targets), exact_vnorms(dag, targets)
+        )
+        assert_same_assignment(
+            dagsolve(dag, PAPER_LIMITS, targets),
+            exact_dagsolve(dag, PAPER_LIMITS, targets),
+        )
+
+    @given(seed=dag_seeds, shape=shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_context_reuse_is_transparent(self, seed, shape):
+        """Two solves over the cached context equal one fresh solve."""
+        dag = random_dag(seed, shape)
+        first = exact_dagsolve(dag, PAPER_LIMITS)
+        second = exact_dagsolve(dag, PAPER_LIMITS)
+        assert exact_context(dag) is exact_context(dag)
+        assert_same_assignment(first, second)
+
+
+class TestErrorParity:
+    def test_non_output_target_rejected(self):
+        dag = generators.serial_dilution(4)
+        some_input = next(iter(dag.inputs())).id
+        with pytest.raises(DagError) as reference:
+            compute_vnorms(dag, {some_input: Fraction(2)})
+        with pytest.raises(DagError) as fast:
+            exact_vnorms(dag, {some_input: Fraction(2)})
+        assert str(fast.value) == str(reference.value)
+
+    def test_non_positive_target_rejected(self):
+        dag = generators.serial_dilution(4)
+        output = next(iter(dag.outputs())).id
+        with pytest.raises(VolumeError) as reference:
+            compute_vnorms(dag, {output: Fraction(0)})
+        with pytest.raises(VolumeError) as fast:
+            exact_vnorms(dag, {output: Fraction(0)})
+        assert str(fast.value) == str(reference.value)
+
+
+class TestContextInvalidation:
+    def test_structural_mutation_drops_cached_context(self):
+        dag = generators.serial_dilution(4)
+        before = exact_context(dag)
+        assert exact_context(dag) is before  # cached
+
+        # remove then restore an edge: any structural mutation must
+        # rebuild the context
+        edge = dag.in_edges(dag.outputs()[0].id)[0]
+        removed = dag.remove_edge(*edge.key)
+        assert "exact-context" not in dag._derived
+        dag.add_edge(removed)
+        assert exact_context(dag) is not before
+
+    def test_resolve_after_mutation_matches_reference(self):
+        from repro.core.dag import Edge, Node, NodeKind
+
+        dag = generators.fanout_chain(4)
+        exact_dagsolve(dag, PAPER_LIMITS)  # warm the cache
+        # grow the DAG: a new output mixing two existing outputs
+        outputs = [node.id for node in dag.outputs()]
+        dag.add_node(Node("blend", NodeKind.MIX))
+        dag.add_edge(Edge(outputs[0], "blend", Fraction(1, 2)))
+        dag.add_edge(Edge(outputs[1], "blend", Fraction(1, 2)))
+        assert_same_assignment(
+            dagsolve(dag, PAPER_LIMITS), exact_dagsolve(dag, PAPER_LIMITS)
+        )
