@@ -1,0 +1,190 @@
+"""The service value proposition: a resident compiler vs cold CLI starts.
+
+``repro serve`` exists because every CLI invocation pays interpreter
+boot, imports, and a cold plan cache.  This benchmark measures exactly
+that trade on the paper's benchmark assays:
+
+* **cold CLI** — ``python -m repro compile`` in a fresh subprocess per
+  assay (interpreter boot + imports + cold compile);
+* **warm served** — the same assays submitted to one live daemon whose
+  tenant cache was seeded by a first sweep.
+
+Hard assertions, recorded in ``benchmarks/BENCH_service.json``:
+
+* warm served compile >= 5x faster than the cold CLI invocation
+  (acceptance floor for the daemon);
+* served artifacts byte-identical to the CLI output;
+* a concurrent mini-soak completes with zero lost jobs and exact
+  metrics reconciliation.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+
+import _report
+
+from repro.assays import enzyme, glucose, paper_example
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, start_in_thread
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_service.json"
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+SERVED_SPEEDUP_FLOOR = 5.0
+
+ASSAYS = {
+    "figure2": paper_example.SOURCE,
+    "glucose": glucose.SOURCE,
+    "enzyme": enzyme.SOURCE,
+}
+
+
+def cli_compile(path: pathlib.Path) -> tuple[bytes, float]:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "compile", str(path)],
+        capture_output=True,
+        env=env,
+        cwd=REPO,
+    )
+    wall = time.perf_counter() - started
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout, wall
+
+
+def test_served_warm_vs_cold_cli(tmp_path):
+    handle = start_in_thread(ServiceConfig(workers=1))
+    try:
+        client = ServiceClient(handle.url, tenant="bench")
+
+        cli_outputs: dict[str, bytes] = {}
+        cold_cli_s = 0.0
+        for name, source in ASSAYS.items():
+            path = tmp_path / f"{name}.assay"
+            path.write_text(source)
+            output, wall = cli_compile(path)
+            cli_outputs[name] = output
+            cold_cli_s += wall
+
+        # seed the tenant cache, then measure the warm served sweep
+        for name, source in ASSAYS.items():
+            seed = client.run("compile", source, name=name)["result"]
+            assert seed["cache"] == "miss"
+
+        warm_served_s = 0.0
+        served: dict[str, bytes] = {}
+        for name, source in ASSAYS.items():
+            started = time.perf_counter()
+            body = client.run("compile", source, name=name)
+            artifact = client.artifact(body["job"]["id"])
+            warm_served_s += time.perf_counter() - started
+            assert body["result"]["cache"] == "hit"
+            served[name] = artifact
+
+        for name, output in cli_outputs.items():
+            assert served[name] == output, f"{name}: served != CLI bytes"
+
+        speedup = (
+            cold_cli_s / warm_served_s if warm_served_s > 0 else float("inf")
+        )
+        metrics = client.metrics()
+        payload = {
+            "assays": sorted(ASSAYS),
+            "cold_cli_s": round(cold_cli_s, 6),
+            "warm_served_s": round(warm_served_s, 6),
+            "served_speedup": round(speedup, 2),
+            "threshold": {"served_speedup_floor": SERVED_SPEEDUP_FLOOR},
+            "byte_identical": True,
+            "job_latency_ms": metrics["job_latency_ms"],
+            "cache": metrics["cache"],
+        }
+        _report.record(
+            "compile service",
+            f"warm served vs cold CLI ({len(ASSAYS)} assays)",
+            f">= {SERVED_SPEEDUP_FLOOR}x",
+            f"{speedup:.1f}x "
+            f"({cold_cli_s * 1000:.0f} ms -> {warm_served_s * 1000:.0f} ms)",
+        )
+    finally:
+        handle.stop()
+
+    payload["soak"] = _mini_soak()
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= SERVED_SPEEDUP_FLOOR, (
+        f"warm served speedup {speedup:.2f}x below the "
+        f"{SERVED_SPEEDUP_FLOOR}x floor"
+    )
+
+
+def _mini_soak() -> dict:
+    """3 tenants x 6 jobs against one daemon: zero lost jobs, exact
+    metrics.  Returns the JSON summary embedded in BENCH_service.json."""
+    handle = start_in_thread(ServiceConfig(workers=2))
+    try:
+        tenants = ("soak-a", "soak-b", "soak-c")
+        per_client = 6
+        done: dict[str, list[str]] = {tenant: [] for tenant in tenants}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(tenants))
+
+        def hammer(tenant: str) -> None:
+            try:
+                client = ServiceClient(handle.url, tenant=tenant)
+                barrier.wait(timeout=60)
+                ids = []
+                for i in range(per_client):
+                    name = sorted(ASSAYS)[i % len(ASSAYS)]
+                    job = client.submit(
+                        "compile", ASSAYS[name], name=name
+                    )
+                    ids.append(job["id"])
+                for job_id in ids:
+                    final = client.wait(job_id, timeout=300)
+                    assert final["state"] == "done", final
+                    done[tenant].append(job_id)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tenant,))
+            for tenant in tenants
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert not errors, errors
+
+        total = len(tenants) * per_client
+        all_ids = [job_id for ids in done.values() for job_id in ids]
+        assert len(all_ids) == total, "lost jobs"
+        assert len(set(all_ids)) == total, "duplicated jobs"
+        metrics = ServiceClient(handle.url).metrics()
+        assert metrics["jobs_total"]["submitted"] == total
+        assert metrics["jobs_total"]["done"] == total
+        assert metrics["jobs_total"]["failed"] == 0
+        return {
+            "tenants": len(tenants),
+            "jobs": total,
+            "lost": 0,
+            "duplicated": 0,
+            "coalesced": metrics["coalesced"],
+        }
+    finally:
+        handle.stop()
+
+
+def test_soak_summary_recorded():
+    """BENCH_service.json carries the soak block the acceptance bar asks
+    for (the soak itself runs inside the main benchmark)."""
+    if not OUT_PATH.exists():  # pragma: no cover - ordering guard
+        return
+    payload = json.loads(OUT_PATH.read_text())
+    assert payload["soak"]["lost"] == 0
+    assert payload["soak"]["duplicated"] == 0

@@ -30,6 +30,12 @@ Usage (also via ``python -m repro``)::
     python -m repro stress   assay.fluid            # seeded fault injection
         [--seeds N] [--fault-rate R] [--json]       # survival matrix over N
         [--kinds CSV] [--budget NL]                 # deterministic scenarios
+    python -m repro serve    [--port P] [--jobs N]  # resident compile service
+        [--cache-dir DIR] [--ttl S] [--token T=TEN] # (HTTP/JSON wire schema
+                                                    # v1, docs/SERVICE.md)
+    python -m repro client   compile assay.fluid    # submit one job to a
+        [--url URL] [--tenant NAME]                 # running daemon; prints
+                                                    # the CLI-identical output
 
 Common options: ``--machine {aquacore,aquacore-xl}``, ``--no-lp``,
 ``--no-cascade``, ``--no-replicate``.  Pass ``-`` to read from stdin.
@@ -536,6 +542,107 @@ def cmd_stress(args) -> int:
     return 0 if report.survived == len(report.scenarios) else 1
 
 
+def _parse_tokens(items) -> dict[str, str]:
+    tokens: dict[str, str] = {}
+    for item in items or ():
+        token, sep, tenant = item.partition("=")
+        if not sep or not token or not tenant:
+            raise SystemExit(f"--token expects TOKEN=TENANT, got {item!r}")
+        tokens[token] = tenant
+    return tokens
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        cache_entries=args.cache_size,
+        cache_dir=args.cache_dir,
+        ttl_seconds=args.ttl,
+        tokens=_parse_tokens(args.token),
+        max_source_bytes=args.max_source_bytes,
+    )
+
+    async def serve() -> None:
+        service = ReproService(config)
+        host, port = await service.start()
+        print(f"repro serve: listening on http://{host}:{port}", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json as json_module
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, token=args.token, tenant=args.tenant)
+    if args.kind != "metrics":
+        try:
+            source = _read_source(args.file)
+        except (OSError, UnicodeDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        if args.kind == "metrics":
+            print(
+                json_module.dumps(
+                    client.metrics(), indent=2, sort_keys=True
+                )
+            )
+            return 0
+        params: dict = {}
+        if args.kind == "stress":
+            params["seeds"] = args.seeds
+            params["fault_rate"] = args.fault_rate
+            if args.kinds:
+                params["kinds"] = args.kinds.split(",")
+            if args.budget:
+                params["budget"] = args.budget
+        if args.kind in ("lint", "certify") and args.assay:
+            params["assay"] = True
+        if args.kind == "certify" and args.topology:
+            params["topology"] = args.topology
+        name = (
+            "stdin"
+            if args.file == "-"
+            else os.path.splitext(os.path.basename(args.file))[0]
+        )
+        response = client.run(
+            args.kind,
+            source,
+            name=name,
+            machine=args.machine,
+            params=params,
+            timeout=args.timeout,
+        )
+        job = response["job"]
+        sys.stdout.write(
+            client.artifact(job["id"]).decode("utf-8")
+        )
+        return int(response["result"].get("exit_code", 0))
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError, TimeoutError) as error:
+        print(f"error: cannot reach daemon at {args.url}: {error}",
+              file=sys.stderr)
+        return 2
+
+
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -813,6 +920,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the canonical JSON report"
     )
     p_stress.set_defaults(handler=cmd_stress)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident compile service (HTTP/JSON, wire schema "
+        "v1; see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks a free one; default: 8642)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent jobs; >1 also fans cold compiles onto the "
+        "persistent worker pool; 0 = auto (default: 1)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=512, metavar="N",
+        help="plan-cache capacity in entries (default: 512)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist plan-cache entries under DIR (shared with the "
+        "batch pipeline)",
+    )
+    p_serve.add_argument(
+        "--ttl", type=float, metavar="SECONDS",
+        help="expire cache entries after SECONDS (default: never)",
+    )
+    p_serve.add_argument(
+        "--token", action="append", metavar="TOKEN=TENANT",
+        help="enable bearer-token auth mapping TOKEN to TENANT "
+        "(repeatable; without any, tenants come from X-Repro-Tenant)",
+    )
+    p_serve.add_argument(
+        "--max-source-bytes", type=int, default=262_144, metavar="N",
+        help="reject submitted sources larger than N bytes "
+        "(default: 262144)",
+    )
+    p_serve.set_defaults(handler=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="submit one job to a running repro serve daemon and print "
+        "the artifact (the CLI-identical listing or JSON report)",
+    )
+    p_client.add_argument(
+        "kind",
+        choices=("compile", "lint", "certify", "stress", "metrics"),
+    )
+    p_client.add_argument(
+        "file", nargs="?", default="-",
+        help="source file (or - for stdin); ignored for metrics",
+    )
+    p_client.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL (default: http://127.0.0.1:8642)",
+    )
+    p_client.add_argument("--machine", choices=sorted(MACHINES))
+    p_client.add_argument("--token", help="bearer token")
+    p_client.add_argument("--tenant", help="tenant name (open mode)")
+    p_client.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="overall job timeout in seconds (default: 300)",
+    )
+    p_client.add_argument(
+        "--assay", action="store_true",
+        help="lint/certify: treat the input as assay source",
+    )
+    p_client.add_argument("--topology", choices=("bus", "ring"))
+    p_client.add_argument("--seeds", type=int, default=10)
+    p_client.add_argument("--fault-rate", type=float, default=0.05)
+    p_client.add_argument("--kinds", metavar="CSV")
+    p_client.add_argument("--budget", metavar="NL")
+    p_client.set_defaults(handler=cmd_client)
 
     return parser
 

@@ -29,7 +29,6 @@ what gives the warm corpus re-run its order-of-magnitude throughput.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -51,9 +50,15 @@ from .cache import PlanCache, entry_from_plan
 from .diagnostics import Severity, severity_counts
 from .passes import front_end_dag
 from .pipeline import compile_dag
-from .pool import pool_map, worker_cache
+from .pool import default_workers, pool_map, worker_cache
 
-__all__ = ["BatchJob", "BatchItemResult", "BatchReport", "compile_many"]
+__all__ = [
+    "BatchJob",
+    "BatchItemResult",
+    "BatchReport",
+    "compile_many",
+    "default_workers",
+]
 
 
 @dataclass
@@ -279,19 +284,6 @@ def _result_from_summary(
         warnings=summary.get("warnings", 0),
         certified_clean=summary.get("certified_clean"),
     )
-
-
-def default_workers() -> int:
-    """A sensible worker count for ``--jobs 0`` (auto).
-
-    Respects the CPU *affinity mask* (cgroup/container quota), not the
-    raw host core count; falls back to ``os.cpu_count()`` on platforms
-    without ``sched_getaffinity`` or when the mask is unreadable.
-    """
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return max(1, os.cpu_count() or 1)
 
 
 def compile_many(

@@ -29,14 +29,35 @@ files degrade to misses.
 Plans whose DAGs carry non-serializable metadata (e.g. guard AST nodes on
 dynamically-conditioned assays) are reported *uncacheable* rather than
 stored lossily.
+
+Service extensions (``repro serve``):
+
+* **tenant namespaces** — :meth:`PlanCache.for_tenant` returns a
+  :class:`TenantCache` view that prefixes every key with ``<tenant>~``
+  while sharing the base cache's LRU, disk directory, lock, and global
+  stats.  Identical fingerprints under different tenants never share
+  entries; a view additionally keeps its own per-tenant
+  :class:`CacheStats`.
+* **TTL eviction** — a cache built with ``ttl_seconds`` lazily expires
+  entries on lookup (memory stamps in-process, file mtime on disk) and
+  counts them under ``stats.expired``; the size-bounded LRU eviction is
+  unchanged.  TTL lives *outside* the entry, so entry bytes stay
+  canonical and an expired fingerprint recompiles to identical bytes.
+* **one lock** — all public methods (and the stats they mutate) are
+  serialized under a single re-entrant lock, so the service path can
+  drive one cache from many threads; disk writes were already atomic.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import threading
+import time
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -58,9 +79,13 @@ from ..core.serde import (
 __all__ = [
     "CacheStats",
     "PlanCache",
+    "TenantCache",
     "entry_from_plan",
     "plan_from_entry",
 ]
+
+#: tenants are path-safe slugs: they become key prefixes and filenames.
+_TENANT_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}\Z")
 
 
 @dataclass
@@ -73,11 +98,13 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     uncacheable: int = 0
+    expired: int = 0
     #: per-namespace hit/miss counts, e.g. {"plan": [3, 1], "vnorms": ...}
     by_namespace: dict[str, list] = field(default_factory=dict)
 
     def _bucket(self, key: str) -> list:
-        namespace = key.split("-", 1)[0]
+        # strip an optional "<tenant>~" qualifier before the namespace
+        namespace = key.rsplit("~", 1)[-1].split("-", 1)[0]
         return self.by_namespace.setdefault(namespace, [0, 0])
 
     def record_hit(self, key: str, *, from_disk: bool = False) -> None:
@@ -103,6 +130,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "uncacheable": self.uncacheable,
+            "expired": self.expired,
             "hit_rate": round(self.hit_rate, 4),
             "by_namespace": {
                 ns: {"hits": counts[0], "misses": counts[1]}
@@ -119,68 +147,179 @@ class PlanCache:
         directory: optional directory for the persistent level; created on
             first write.  One ``<key>.json`` file per entry, written
             atomically.  ``None`` keeps the cache purely in-memory.
+        ttl_seconds: optional time-to-live; entries older than this are
+            expired lazily on lookup (memory and disk levels both).
+            ``None`` disables TTL eviction.
+        clock: wall-clock source, injectable for tests.
+
+    Thread safety: every public method takes the cache's re-entrant
+    lock, so one instance can back the service job runner from many
+    threads.  :class:`TenantCache` views share the same lock.
     """
 
     def __init__(
         self,
         max_entries: int = 512,
         directory: str | None = None,
+        *,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
         self.max_entries = max_entries
         self.directory = directory
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._memory: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        #: per-key write stamps for TTL expiry of the memory level.
+        self._stamps: dict[str, float] = {}
         #: live VnormResult objects alongside their serde dicts, so
         #: in-process memo hits skip Fraction re-parsing.  Treated as
         #: read-only by every consumer (dispense never mutates vnorms).
         self._vnorm_objects: dict[str, VnormResult] = {}
 
     # ------------------------------------------------------------------
+    # tenancy / stats hooks
+    # ------------------------------------------------------------------
+    def _qualify(self, key: str) -> str:
+        """Map a caller key to its stored key (tenant views add a prefix)."""
+        return key
+
+    def for_tenant(self, tenant: str) -> "TenantCache":
+        """A namespaced view over this cache for one tenant."""
+        return TenantCache(self, tenant)
+
+    def _note_hit(self, key: str, *, from_disk: bool = False) -> None:
+        self.stats.record_hit(key, from_disk=from_disk)
+
+    def _note_miss(self, key: str) -> None:
+        self.stats.record_miss(key)
+
+    def _note_put(self) -> None:
+        self.stats.puts += 1
+
+    def _note_eviction(self) -> None:
+        self.stats.evictions += 1
+
+    def _note_expired(self) -> None:
+        self.stats.expired += 1
+
+    # ------------------------------------------------------------------
     # generic keyed store
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.stats.record_hit(key)
-            return entry
-        entry = self._disk_read(key)
-        if entry is not None:
-            self._remember(key, entry)
-            self.stats.record_hit(key, from_disk=True)
-            return entry
-        self.stats.record_miss(key)
-        return None
+        return self._lookup(self._qualify(key))
 
     def put(self, key: str, entry: dict[str, Any]) -> None:
-        self._remember(key, entry)
-        self._disk_write(key, entry)
-        self.stats.puts += 1
+        self._store(self._qualify(key), entry)
 
     def contains(self, key: str) -> bool:
-        """Presence probe that does not touch LRU order or stats."""
-        if key in self._memory:
-            return True
-        path = self._disk_path(key)
-        return path is not None and os.path.exists(path)
+        """Presence probe: no LRU-order or hit/miss effects.
+
+        TTL-stale entries are lazily dropped here (counted under
+        ``expired``), so a probe never claims an entry a subsequent
+        ``get`` would refuse to serve.
+        """
+        qkey = self._qualify(key)
+        with self._lock:
+            self._expire(qkey)
+            if qkey in self._memory:
+                return True
+            path = self._disk_path(qkey)
+            return path is not None and not self._disk_stale(path)
 
     def clear_memory(self) -> None:
         """Drop the in-memory level (the disk level survives)."""
-        self._memory.clear()
-        self._vnorm_objects.clear()
+        with self._lock:
+            self._memory.clear()
+            self._stamps.clear()
+            self._vnorm_objects.clear()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
-    def _remember(self, key: str, entry: dict[str, Any]) -> None:
-        self._memory[key] = entry
-        self._memory.move_to_end(key)
+    # ------------------------------------------------------------------
+    # internals (operate on already-qualified keys)
+    # ------------------------------------------------------------------
+    def _lookup(self, qkey: str) -> dict[str, Any] | None:
+        with self._lock:
+            self._expire(qkey)
+            entry = self._memory.get(qkey)
+            if entry is not None:
+                self._memory.move_to_end(qkey)
+                self._note_hit(qkey)
+                return entry
+            entry = self._disk_read(qkey)
+            if entry is not None:
+                self._remember(qkey, entry)
+                self._note_hit(qkey, from_disk=True)
+                return entry
+            self._note_miss(qkey)
+            return None
+
+    def _store(self, qkey: str, entry: dict[str, Any]) -> None:
+        with self._lock:
+            self._remember(qkey, entry)
+            self._disk_write(qkey, entry)
+            self._note_put()
+
+    def _memory_stale(self, qkey: str) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        stamp = self._stamps.get(qkey)
+        return (
+            stamp is not None
+            and self._clock() - stamp > self.ttl_seconds
+        )
+
+    def _disk_stale(self, path: str) -> bool:
+        """True when the file is missing or past its TTL (then unlinked)."""
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            return True
+        if (
+            self.ttl_seconds is not None
+            and self._clock() - mtime > self.ttl_seconds
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return True
+        return False
+
+    def _expire(self, qkey: str) -> None:
+        """Lazily drop a TTL-stale entry (memory stamp + disk mtime)."""
+        if self.ttl_seconds is None:
+            return
+        if self._memory_stale(qkey):
+            self._memory.pop(qkey, None)
+            self._stamps.pop(qkey, None)
+            self._vnorm_objects.pop(qkey, None)
+            path = self._disk_path(qkey)
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            self._note_expired()
+
+    def _remember(self, qkey: str, entry: dict[str, Any]) -> None:
+        self._memory[qkey] = entry
+        self._memory.move_to_end(qkey)
+        self._stamps[qkey] = self._clock()
         while len(self._memory) > self.max_entries:
             evicted, __ = self._memory.popitem(last=False)
             self._vnorm_objects.pop(evicted, None)
-            self.stats.evictions += 1
+            self._stamps.pop(evicted, None)
+            self._note_eviction()
 
     # ------------------------------------------------------------------
     # disk level
@@ -194,6 +333,18 @@ class PlanCache:
         path = self._disk_path(key)
         if path is None:
             return None
+        if self.ttl_seconds is not None:
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                return None
+            if self._clock() - mtime > self.ttl_seconds:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                self._note_expired()
+                return None
         try:
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -249,7 +400,8 @@ class PlanCache:
         try:
             entry = entry_from_plan(plan, rounded, fingerprint)
         except SerdeError:
-            self.stats.uncacheable += 1
+            with self._lock:
+                self.stats.uncacheable += 1
             return False
         self.put(plan_key(fingerprint), entry)
         return True
@@ -266,21 +418,26 @@ class PlanCache:
         """
         from ..core.intsolve import exact_vnorms
 
-        key = vnorm_key(dag, output_targets)
-        cached = self._vnorm_objects.get(key)
-        if cached is not None:
-            if key in self._memory:
-                self._memory.move_to_end(key)
-            self.stats.record_hit(key)
-            return cached
-        entry = self.get(key)
-        if entry is not None:
-            result = vnorms_from_dict(entry)
-            self._vnorm_objects[key] = result
-            return result
+        qkey = self._qualify(vnorm_key(dag, output_targets))
+        with self._lock:
+            self._expire(qkey)
+            cached = self._vnorm_objects.get(qkey)
+            if cached is not None:
+                if qkey in self._memory:
+                    self._memory.move_to_end(qkey)
+                self._note_hit(qkey)
+                return cached
+            entry = self._lookup(qkey)
+            if entry is not None:
+                result = vnorms_from_dict(entry)
+                self._vnorm_objects[qkey] = result
+                return result
+        # compute outside the lock: the solve can be slow and needs no
+        # shared state (a racing duplicate just overwrites identically)
         result = exact_vnorms(dag, output_targets)
-        self.put(key, vnorms_to_dict(result))
-        self._vnorm_objects[key] = result
+        with self._lock:
+            self._store(qkey, vnorms_to_dict(result))
+            self._vnorm_objects[qkey] = result
         return result
 
     # ------------------------------------------------------------------
@@ -300,6 +457,72 @@ class PlanCache:
             source_key(src_fingerprint),
             {"version": SERDE_VERSION, "fingerprint": compile_fp},
         )
+
+
+# ---------------------------------------------------------------------------
+# tenant views
+# ---------------------------------------------------------------------------
+class TenantCache(PlanCache):
+    """A per-tenant namespace over a shared :class:`PlanCache`.
+
+    The view shares the base cache's storage (LRU map, vnorm objects,
+    disk directory), policy (size bound, TTL), lock, and global stats
+    by reference — only key *qualification* differs: every key is
+    stored as ``<tenant>~<key>``, so identical fingerprints under
+    different tenants never resolve to the same entry, in memory or on
+    disk.  Hits/misses observed through the view are additionally
+    recorded in :attr:`tenant_stats` (evictions count shared-LRU
+    evictions this view triggered, whoever owned the evicted entry).
+    """
+
+    def __init__(self, base: PlanCache, tenant: str) -> None:
+        if isinstance(base, TenantCache):
+            raise ValueError("tenant views do not nest; use the base cache")
+        if not _TENANT_RE.match(tenant):
+            raise ValueError(
+                f"invalid tenant {tenant!r}: expected a slug of "
+                "[A-Za-z0-9_.-], max 64 chars, not starting with . or -"
+            )
+        # deliberately no super().__init__: every storage structure is
+        # shared with the base cache by reference.
+        self._base = base
+        self.tenant = tenant
+        self.tenant_stats = CacheStats()
+        self.max_entries = base.max_entries
+        self.directory = base.directory
+        self.ttl_seconds = base.ttl_seconds
+        self._clock = base._clock
+        self.stats = base.stats
+        self._lock = base._lock
+        self._memory = base._memory
+        self._stamps = base._stamps
+        self._vnorm_objects = base._vnorm_objects
+
+    def _qualify(self, key: str) -> str:
+        return f"{self.tenant}~{key}"
+
+    def for_tenant(self, tenant: str) -> "TenantCache":
+        return TenantCache(self._base, tenant)
+
+    def _note_hit(self, key: str, *, from_disk: bool = False) -> None:
+        super()._note_hit(key, from_disk=from_disk)
+        self.tenant_stats.record_hit(key, from_disk=from_disk)
+
+    def _note_miss(self, key: str) -> None:
+        super()._note_miss(key)
+        self.tenant_stats.record_miss(key)
+
+    def _note_put(self) -> None:
+        super()._note_put()
+        self.tenant_stats.puts += 1
+
+    def _note_eviction(self) -> None:
+        super()._note_eviction()
+        self.tenant_stats.evictions += 1
+
+    def _note_expired(self) -> None:
+        super()._note_expired()
+        self.tenant_stats.expired += 1
 
 
 # ---------------------------------------------------------------------------

@@ -27,27 +27,49 @@ This module keeps **one warm pool per process**:
 The worker-side cache handle is exposed via :func:`worker_cache`; in
 the parent process (inline compiles, ``max_workers == 1``) it is simply
 ``None``.
+
+The service daemon (``repro serve``) multiplexes its cold compiles onto
+the same warm pool through :func:`submit`, a per-job front door that
+returns a cancellable :class:`concurrent.futures.Future` and keeps
+exact in-flight counters (queued / running / completed) for the
+``/metrics`` endpoint.  :func:`shutdown_pool` detects a running asyncio
+event loop and degrades to a non-blocking shutdown there, so service
+teardown never deadlocks the loop thread that is awaiting pool results.
 """
 
 from __future__ import annotations
 
+import asyncio
 import atexit
+import os
+import threading
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 __all__ = [
+    "default_workers",
     "get_pool",
     "pool_map",
     "pool_stats",
     "shutdown_pool",
+    "submit",
     "worker_cache",
 ]
 
 _POOL: ProcessPoolExecutor | None = None
 _POOL_KEY: tuple[int, str | None] | None = None
-_STATS = {"created": 0, "reused": 0, "broken": 0}
+_STATS = {
+    "created": 0,
+    "reused": 0,
+    "broken": 0,
+    "submitted": 0,
+    "completed": 0,
+    "cancelled": 0,
+    "inflight": 0,
+}
+_STATS_LOCK = threading.Lock()
 
 #: set inside worker processes by the initializer; None in the parent.
 _WORKER_CACHE = None
@@ -118,17 +140,79 @@ def pool_map(
         return [fn(item) for item in items]
 
 
+def submit(
+    fn: Callable[[Any], Any],
+    payload: Any,
+    *,
+    max_workers: int,
+    cache_dir: str | None = None,
+) -> "Future[Any]":
+    """Queue one job on the warm pool; returns a cancellable future.
+
+    Unlike :func:`pool_map` this never blocks: the caller owns the
+    future (``repro serve`` awaits it via ``asyncio.wrap_future``).
+    Queued-but-unstarted jobs can be cancelled through the future; the
+    in-flight counter is maintained by a done callback either way.
+    """
+    pool = get_pool(max_workers, cache_dir)
+    with _STATS_LOCK:
+        _STATS["submitted"] += 1
+        _STATS["inflight"] += 1
+    future = pool.submit(fn, payload)
+    future.add_done_callback(_job_done)
+    return future
+
+
+def _job_done(future: "Future[Any]") -> None:
+    with _STATS_LOCK:
+        _STATS["inflight"] -= 1
+        if future.cancelled():
+            _STATS["cancelled"] += 1
+        else:
+            _STATS["completed"] += 1
+
+
+def default_workers() -> int:
+    """A sensible worker count for ``--jobs 0`` (auto).
+
+    Respects the CPU *affinity mask* (cgroup/container quota), not the
+    raw host core count; falls back to ``os.cpu_count()`` on platforms
+    without ``sched_getaffinity`` or when the mask is unreadable.  Pure
+    (no blocking syscalls), so it is safe to call from a running event
+    loop.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
 def pool_stats() -> dict[str, int]:
     """Lifetime pool counters (created / reused / broken), for reporting."""
-    return dict(_STATS)
+    with _STATS_LOCK:
+        return dict(_STATS)
 
 
-def shutdown_pool() -> None:
-    """Dispose the warm pool (workers exit); safe to call when absent."""
+def shutdown_pool(wait: bool | None = None) -> None:
+    """Dispose the warm pool (workers exit); safe to call when absent.
+
+    ``wait=None`` (the default) blocks until the workers exit —
+    *except* when called from a thread running an asyncio event loop,
+    where blocking would deadlock any coroutine awaiting a pool future;
+    there it degrades to a non-blocking shutdown (workers reap in the
+    background).  Pass ``wait=True``/``False`` to force either.
+    """
     global _POOL, _POOL_KEY
+    if wait is None:
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            wait = True
+        else:
+            wait = False
     if _POOL is not None:
         pool, _POOL, _POOL_KEY = _POOL, None, None
-        pool.shutdown(wait=True, cancel_futures=True)
+        pool.shutdown(wait=wait, cancel_futures=True)
 
 
 atexit.register(shutdown_pool)

@@ -1,0 +1,49 @@
+"""Compile-as-a-service: the ``repro serve`` daemon and its client.
+
+The CLI compiles one assay per process; every invocation pays
+interpreter start, imports, and a cold plan cache.  This package keeps
+one resident compiler:
+
+* :class:`~repro.service.server.ReproService` — an asyncio HTTP/JSON
+  server (stdlib only) accepting compile / lint / certify / stress jobs,
+  multiplexing cold compiles onto the persistent worker pool
+  (:mod:`repro.compiler.pool`) and serving warm compiles from one shared
+  content-addressed :class:`~repro.compiler.cache.PlanCache` with
+  per-tenant namespaces, TTL + LRU eviction, and in-flight fingerprint
+  coalescing;
+* :class:`~repro.service.client.ServiceClient` — a small stdlib HTTP
+  client for scripting and CI (``repro client``);
+* :mod:`~repro.service.metrics` — live observability built on the
+  PassEvent bus: per-pass latency histograms, cache hit rates, queue
+  depth, and worker utilization behind ``GET /v1/metrics``.
+
+Wire schema v1 is documented in ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobState, JobStore
+from .metrics import MetricsRegistry
+from .schema import (
+    JOB_KINDS,
+    WIRE_SCHEMA_VERSION,
+    JobRequest,
+    SchemaError,
+    parse_job_request,
+)
+from .server import ReproService, ServiceConfig
+
+__all__ = [
+    "JOB_KINDS",
+    "WIRE_SCHEMA_VERSION",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "JobStore",
+    "MetricsRegistry",
+    "ReproService",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "parse_job_request",
+]

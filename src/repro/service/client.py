@@ -1,0 +1,197 @@
+"""A tiny blocking client for the ``repro serve`` wire schema.
+
+Built on :mod:`http.client` (stdlib only) so tests, the corpus smoke
+tool, and the service benchmark all talk to the daemon the same way a
+user script would.  One :class:`ServiceClient` is cheap — every call
+opens a fresh connection, matching the server's connection-per-request
+model — and is safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the daemon, carrying the wire error code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking convenience wrapper over the v1 job endpoints."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        token: str | None = None,
+        tenant: str | None = None,
+        timeout: float = 60.0,
+    ):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.token = token
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _headers(self) -> dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
+    def request(
+        self, method: str, path: str, body: Any = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One raw round trip; returns (status, headers, body bytes)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = self._headers()
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        finally:
+            conn.close()
+
+    def request_json(self, method: str, path: str, body: Any = None) -> Any:
+        """A round trip that decodes JSON and raises on wire errors."""
+        status, _headers, data = self.request(method, path, body)
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ServiceError(
+                status, "bad-response", "daemon returned non-JSON"
+            ) from None
+        if status >= 400:
+            error = decoded.get("error", {})
+            raise ServiceError(
+                status,
+                error.get("code", "error"),
+                error.get("message", f"HTTP {status}"),
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self.request_json("GET", "/v1/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request_json("GET", "/v1/metrics")
+
+    def submit(
+        self,
+        kind: str,
+        source: str,
+        *,
+        name: str | None = None,
+        machine: str | None = None,
+        options: dict[str, bool] | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """POST one job; returns the queued job status payload."""
+        body: dict[str, Any] = {"kind": kind, "source": source}
+        if name is not None:
+            body["name"] = name
+        if machine is not None:
+            body["machine"] = machine
+        if options:
+            body["options"] = options
+        if params:
+            body["params"] = params
+        return self.request_json("POST", "/v1/jobs", body)["job"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request_json("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return self.request_json("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.request_json("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll_s: float = 0.01,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.request_json("GET", f"/v1/jobs/{job_id}/result")
+
+    def artifact(self, job_id: str) -> bytes:
+        status, _headers, data = self.request(
+            "GET", f"/v1/jobs/{job_id}/artifact"
+        )
+        if status != 200:
+            decoded = json.loads(data.decode("utf-8"))
+            error = decoded.get("error", {})
+            raise ServiceError(
+                status,
+                error.get("code", "error"),
+                error.get("message", f"HTTP {status}"),
+            )
+        return data
+
+    def run(
+        self,
+        kind: str,
+        source: str,
+        *,
+        timeout: float = 120.0,
+        **submit_kwargs: Any,
+    ) -> dict[str, Any]:
+        """Submit, wait, and fetch the result in one call."""
+        job = self.submit(kind, source, **submit_kwargs)
+        final = self.wait(job["id"], timeout=timeout)
+        if final["state"] != "done":
+            error = final.get("error") or {}
+            raise ServiceError(
+                409,
+                error.get("code", final["state"]),
+                error.get("message", f"job ended {final['state']}"),
+            )
+        return self.result(job["id"])

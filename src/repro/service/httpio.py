@@ -1,0 +1,172 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+``repro serve`` needs exactly enough HTTP to speak JSON with scripting
+clients: request line, headers, a Content-Length body, one response,
+connection close.  No chunked encoding, no keep-alive, no TLS — the
+daemon fronts trusted lab/CI networks; anything heavier belongs in a
+reverse proxy.
+
+Robustness contract (exercised by ``tests/service/test_lifecycle.py``):
+
+* malformed request lines / headers raise :class:`HttpError` (400),
+  which the server answers and closes — it never kills the accept loop;
+* a declared body larger than the configured cap is refused with 413
+  before reading it;
+* a client that disconnects mid-body surfaces ``ConnectionError``; the
+  connection handler drops it without creating a job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "response_bytes"]
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level refusal: status + stable error code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(
+                400, "bad-request", "body is not valid JSON"
+            ) from None
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> HttpRequest | None:
+    """Parse one request; None on a clean EOF before any bytes.
+
+    Raises:
+        HttpError: malformed request line/headers or oversized body.
+        ConnectionError: the client vanished mid-request.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise HttpError(400, "bad-request", "request line too long") from None
+    if not line:
+        return None
+    if len(line) > _MAX_LINE:
+        raise HttpError(400, "bad-request", "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad-request", "malformed request line")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise HttpError(400, "bad-request", "header line too long") from None
+        if not line:
+            raise ConnectionError("client closed during headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "bad-request", "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "bad-request", "too many headers")
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise HttpError(
+                400, "bad-request", "invalid Content-Length"
+            ) from None
+        if length > max_body:
+            raise HttpError(
+                413,
+                "oversized-program",
+                f"request body exceeds {max_body} bytes",
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ConnectionError("client closed mid-body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(
+            400, "bad-request", "chunked transfer encoding is not supported"
+        )
+    return HttpRequest(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: Any = None,
+    *,
+    raw: bytes | None = None,
+    content_type: str = "application/json; charset=utf-8",
+) -> bytes:
+    """Serialize one response; ``payload`` is JSON unless ``raw`` given."""
+    if raw is not None:
+        body = raw
+    else:
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body

@@ -1,0 +1,129 @@
+"""Job model and store for the service daemon.
+
+A :class:`Job` is one accepted submission: queued, picked up by the
+runner, and finished as done / failed / cancelled.  The
+:class:`JobStore` keys jobs by id, scopes every lookup by tenant (a
+tenant can only observe its own jobs), and hands out monotonically
+increasing ids so the soak harness can prove no submission was lost or
+duplicated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from .schema import WIRE_SCHEMA_VERSION, JobRequest
+
+__all__ = ["Job", "JobState", "JobStore"]
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One accepted submission and everything it produced."""
+
+    id: str
+    tenant: str
+    request: JobRequest
+    state: JobState = JobState.QUEUED
+    created_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    #: compile fingerprint once the front end ran (compile/stress jobs).
+    fingerprint: str | None = None
+    #: "hit" / "miss" / "coalesced" for compile jobs; None elsewhere.
+    cache: str | None = None
+    coalesced: bool = False
+    #: the JSON result payload (reports, stats, pass events).
+    result: dict[str, Any] | None = None
+    #: raw artifact bytes: byte-identical to the CLI's stdout for the
+    #: same invocation (AIS listing, or a v1 JSON report).
+    artifact: bytes | None = None
+    artifact_type: str = "text/plain; charset=utf-8"
+    error: dict[str, str] | None = None
+    #: the asyncio task executing this job (for cancellation).
+    task: Any = None
+
+    def status_payload(self) -> dict[str, Any]:
+        """The wire shape of ``GET /v1/jobs/<id>``."""
+        payload: dict[str, Any] = {
+            "version": WIRE_SCHEMA_VERSION,
+            "id": self.id,
+            "tenant": self.tenant,
+            "kind": self.request.kind,
+            "name": self.request.name,
+            "state": self.state.value,
+            "created_s": round(self.created_s, 6),
+            "fingerprint": self.fingerprint,
+            "cache": self.cache,
+            "coalesced": self.coalesced,
+            "result_ready": self.result is not None,
+            "error": self.error,
+        }
+        if self.started_s is not None:
+            payload["started_s"] = round(self.started_s, 6)
+        if self.finished_s is not None:
+            payload["finished_s"] = round(self.finished_s, 6)
+            payload["elapsed_ms"] = round(
+                (self.finished_s - self.created_s) * 1000, 3
+            )
+        return payload
+
+
+class JobStore:
+    """Tenant-scoped job registry; every mutation under one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, tenant: str, request: JobRequest) -> Job:
+        with self._lock:
+            job_id = f"job-{next(self._counter):08d}"
+            job = Job(id=job_id, tenant=tenant, request=request)
+            self._jobs[job_id] = job
+            return job
+
+    def get(self, tenant: str, job_id: str) -> Job | None:
+        """The job, or None when absent *or owned by another tenant*."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.tenant != tenant:
+                return None
+            return job
+
+    def list_for(self, tenant: str) -> list[Job]:
+        with self._lock:
+            return [j for j in self._jobs.values() if j.tenant == tenant]
+
+    def all_jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def count_by_state(self) -> dict[str, int]:
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

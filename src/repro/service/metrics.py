@@ -1,0 +1,164 @@
+"""Service observability: the PassEvent bus turned into live metrics.
+
+Every finished job feeds its instrumented compile events into one
+:class:`MetricsRegistry`; ``GET /v1/metrics`` snapshots it together
+with cache hit rates, queue depth, and worker utilization.  Counters
+are exact (one increment per observed job event, all under one lock),
+so the soak harness can reconcile them against per-client results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["Histogram", "MetricsRegistry", "HISTOGRAM_BOUNDS_MS"]
+
+#: upper bucket bounds in milliseconds; the last bucket is +inf.
+HISTOGRAM_BOUNDS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (Prometheus-style, in ms)."""
+
+    __slots__ = ("counts", "total", "sum_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(HISTOGRAM_BOUNDS_MS) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, value_ms: float) -> None:
+        index = len(HISTOGRAM_BOUNDS_MS)
+        for i, bound in enumerate(HISTOGRAM_BOUNDS_MS):
+            if value_ms <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_ms += value_ms
+        self.max_ms = max(self.max_ms, value_ms)
+
+    def to_dict(self) -> dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(HISTOGRAM_BOUNDS_MS, self.counts)
+        }
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 4),
+            "mean_ms": round(self.sum_ms / self.total, 4) if self.total else 0.0,
+            "max_ms": round(self.max_ms, 4),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Exact service counters plus per-pass/per-kind latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_s = time.time()
+        #: kind -> outcome -> count; outcomes mirror JobState terminals
+        #: plus "submitted" and "rejected" (schema/auth refusals).
+        self._jobs: dict[str, dict[str, int]] = {}
+        self._coalesced = 0
+        self._rejected = 0
+        self._pass_hist: dict[str, Histogram] = {}
+        self._job_hist: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _kind(self, kind: str) -> dict[str, int]:
+        return self._jobs.setdefault(
+            kind,
+            {"submitted": 0, "done": 0, "failed": 0, "cancelled": 0},
+        )
+
+    def job_submitted(self, kind: str) -> None:
+        with self._lock:
+            self._kind(kind)["submitted"] += 1
+
+    def job_finished(self, kind: str, outcome: str, elapsed_s: float) -> None:
+        with self._lock:
+            self._kind(kind)[outcome] += 1
+            self._job_hist.setdefault(kind, Histogram()).observe(
+                elapsed_s * 1000
+            )
+
+    def job_coalesced(self) -> None:
+        with self._lock:
+            self._coalesced += 1
+
+    def request_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def observe_pass_events(self, events: list[dict[str, Any]]) -> None:
+        """Fold one compile's ``events_payload`` pass list into the
+        per-pass latency histograms (only passes that actually ran)."""
+        with self._lock:
+            for event in events:
+                if event.get("status") not in ("ok", "failed"):
+                    continue
+                hist = self._pass_hist.setdefault(event["name"], Histogram())
+                hist.observe(float(event.get("wall_ms", 0.0)))
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        workers_busy: int,
+        workers_total: int,
+        cache: dict[str, Any] | None = None,
+        cache_by_tenant: dict[str, dict[str, Any]] | None = None,
+        pool: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        with self._lock:
+            jobs = {
+                kind: dict(counts)
+                for kind, counts in sorted(self._jobs.items())
+            }
+            totals = {"submitted": 0, "done": 0, "failed": 0, "cancelled": 0}
+            for counts in jobs.values():
+                for outcome, count in counts.items():
+                    totals[outcome] += count
+            payload: dict[str, Any] = {
+                "version": 1,
+                "uptime_s": round(time.time() - self._started_s, 3),
+                "queue_depth": queue_depth,
+                "workers": {
+                    "total": workers_total,
+                    "busy": workers_busy,
+                    "utilization": (
+                        round(workers_busy / workers_total, 4)
+                        if workers_total
+                        else 0.0
+                    ),
+                },
+                "jobs": jobs,
+                "jobs_total": totals,
+                "coalesced": self._coalesced,
+                "rejected": self._rejected,
+                "job_latency_ms": {
+                    kind: hist.to_dict()
+                    for kind, hist in sorted(self._job_hist.items())
+                },
+                "passes": {
+                    name: hist.to_dict()
+                    for name, hist in sorted(self._pass_hist.items())
+                },
+            }
+        if cache is not None:
+            payload["cache"] = cache
+        if cache_by_tenant is not None:
+            payload["cache_by_tenant"] = cache_by_tenant
+        if pool is not None:
+            payload["pool"] = pool
+        return payload

@@ -1,0 +1,234 @@
+"""Wire schema v1: request validation for the job endpoints.
+
+One submit body shape covers all four job kinds::
+
+    {
+      "kind":    "compile" | "lint" | "certify" | "stress",
+      "source":  "<assay source or AIS listing text>",
+      "name":    "glucose",            # optional; default derives "job"
+      "machine": "aquacore",           # optional machine spec name
+      "options": {"use_lp": true, "allow_cascading": true,
+                  "allow_replication": true},          # optional knobs
+      "params":  { ... kind-specific, see below ... }  # optional
+    }
+
+Kind-specific ``params``:
+
+* ``compile`` — none.
+* ``lint`` — ``{"assay": bool}``: treat ``source`` as assay source and
+  compile before linting (default: ``source`` is an AIS listing).
+* ``certify`` — ``{"assay": bool, "topology": "bus"|"ring"}``.
+* ``stress`` — ``{"seeds": int, "fault_rate": float,
+  "kinds": ["metering-drift", ...], "budget": "<nl>"}``.
+
+Validation is strict: unknown top-level or ``params`` keys, wrong
+types, and unsupported kinds are rejected with a structured
+:class:`SchemaError` carrying the HTTP status and a stable error code.
+Oversized programs are rejected with 413 / ``oversized-program``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DEFAULT_MAX_SOURCE_BYTES",
+    "JOB_KINDS",
+    "WIRE_SCHEMA_VERSION",
+    "JobRequest",
+    "SchemaError",
+    "parse_job_request",
+]
+
+#: bumped only on breaking changes to request/response payload shapes.
+WIRE_SCHEMA_VERSION = 1
+
+JOB_KINDS = ("compile", "lint", "certify", "stress")
+
+#: default cap on the submitted source text (bytes, UTF-8).
+DEFAULT_MAX_SOURCE_BYTES = 262_144
+
+_TOP_KEYS = {"kind", "source", "name", "machine", "options", "params"}
+_OPTION_KEYS = {"use_lp", "allow_cascading", "allow_replication"}
+_PARAM_KEYS = {
+    "compile": set(),
+    "lint": {"assay"},
+    "certify": {"assay", "topology"},
+    "stress": {"seeds", "fault_rate", "kinds", "budget"},
+}
+_TOPOLOGIES = ("bus", "ring")
+
+
+class SchemaError(Exception):
+    """A request the wire schema rejects; maps onto one HTTP response."""
+
+    def __init__(self, code: str, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "error": {"code": self.code, "message": str(self)},
+        }
+
+
+@dataclass
+class JobRequest:
+    """One validated job submission."""
+
+    kind: str
+    source: str
+    name: str = "job"
+    machine: str = "aquacore"
+    options: dict[str, bool] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "name": self.name,
+            "machine": self.machine,
+            "options": dict(self.options),
+            "params": dict(self.params),
+        }
+
+
+def _expect(condition: bool, code: str, message: str, status: int = 400):
+    if not condition:
+        raise SchemaError(code, message, status=status)
+
+
+def _validate_params(kind: str, params: dict[str, Any]) -> dict[str, Any]:
+    allowed = _PARAM_KEYS[kind]
+    unknown = set(params) - allowed
+    _expect(
+        not unknown,
+        "bad-request",
+        f"unknown params for kind {kind!r}: {sorted(unknown)}",
+    )
+    if "assay" in params:
+        _expect(
+            isinstance(params["assay"], bool),
+            "bad-request",
+            "params.assay must be a boolean",
+        )
+    if "topology" in params:
+        _expect(
+            params["topology"] in _TOPOLOGIES,
+            "bad-request",
+            f"params.topology must be one of {_TOPOLOGIES}",
+        )
+    if "seeds" in params:
+        _expect(
+            isinstance(params["seeds"], int)
+            and not isinstance(params["seeds"], bool)
+            and 1 <= params["seeds"] <= 10_000,
+            "bad-request",
+            "params.seeds must be an integer in [1, 10000]",
+        )
+    if "fault_rate" in params:
+        rate = params["fault_rate"]
+        _expect(
+            isinstance(rate, (int, float))
+            and not isinstance(rate, bool)
+            and 0.0 <= float(rate) <= 1.0,
+            "bad-request",
+            "params.fault_rate must be a number in [0, 1]",
+        )
+    if "kinds" in params:
+        kinds = params["kinds"]
+        _expect(
+            isinstance(kinds, list)
+            and kinds
+            and all(isinstance(item, str) for item in kinds),
+            "bad-request",
+            "params.kinds must be a non-empty list of fault-kind names",
+        )
+    if "budget" in params:
+        _expect(
+            isinstance(params["budget"], str) and params["budget"],
+            "bad-request",
+            "params.budget must be a volume string in nl",
+        )
+    return dict(params)
+
+
+def parse_job_request(
+    body: Any,
+    *,
+    machines: tuple[str, ...] = ("aquacore", "aquacore-xl"),
+    max_source_bytes: int = DEFAULT_MAX_SOURCE_BYTES,
+) -> JobRequest:
+    """Validate a decoded submit body into a :class:`JobRequest`.
+
+    Raises :class:`SchemaError` with a stable code on any violation.
+    """
+    _expect(isinstance(body, dict), "bad-request", "body must be a JSON object")
+    unknown = set(body) - _TOP_KEYS
+    _expect(
+        not unknown, "bad-request", f"unknown fields: {sorted(unknown)}"
+    )
+    kind = body.get("kind")
+    _expect(
+        isinstance(kind, str), "bad-request", 'missing required field "kind"'
+    )
+    _expect(
+        kind in JOB_KINDS,
+        "unsupported-kind",
+        f"kind must be one of {JOB_KINDS}, got {kind!r}",
+    )
+    source = body.get("source")
+    _expect(
+        isinstance(source, str) and source.strip(),
+        "bad-request",
+        'missing required field "source" (non-empty text)',
+    )
+    _expect(
+        len(source.encode("utf-8")) <= max_source_bytes,
+        "oversized-program",
+        f"source exceeds {max_source_bytes} bytes",
+        status=413,
+    )
+    name = body.get("name", "job")
+    _expect(
+        isinstance(name, str) and 0 < len(name) <= 128,
+        "bad-request",
+        "name must be a string of at most 128 chars",
+    )
+    machine = body.get("machine", machines[0])
+    _expect(
+        machine in machines,
+        "bad-request",
+        f"machine must be one of {machines}, got {machine!r}",
+    )
+    options = body.get("options", {})
+    _expect(
+        isinstance(options, dict), "bad-request", "options must be an object"
+    )
+    unknown = set(options) - _OPTION_KEYS
+    _expect(
+        not unknown,
+        "bad-request",
+        f"unknown options: {sorted(unknown)}",
+    )
+    _expect(
+        all(isinstance(value, bool) for value in options.values()),
+        "bad-request",
+        "options values must be booleans",
+    )
+    params = body.get("params", {})
+    _expect(
+        isinstance(params, dict), "bad-request", "params must be an object"
+    )
+    return JobRequest(
+        kind=kind,
+        source=source,
+        name=name,
+        machine=machine,
+        options={key: bool(value) for key, value in options.items()},
+        params=_validate_params(kind, params),
+    )

@@ -99,6 +99,62 @@ class TestDegradation:
         assert pool_stats()["broken"] == before + 1
 
 
+class TestSubmit:
+    def test_submit_counts_and_completes(self):
+        shutdown_pool()
+        before = pool_stats()
+        future = pool_module.submit(str, 41, max_workers=2)
+        assert future.result(timeout=120) == "41"
+        after = pool_stats()
+        assert after["submitted"] == before["submitted"] + 1
+        assert after["completed"] == before["completed"] + 1
+        assert after["inflight"] == 0
+        shutdown_pool()
+
+    def test_cancelled_future_counted(self):
+        import threading
+        import time
+
+        shutdown_pool()
+        before = pool_stats()["cancelled"]
+        gate = threading.Event()
+        # saturate the single worker so the second submit stays queued
+        blocker = pool_module.submit(time.sleep, 5, max_workers=1)
+        victim = pool_module.submit(str, 1, max_workers=1)
+        cancelled = victim.cancel()
+        gate.set()
+        if cancelled:
+            assert pool_stats()["cancelled"] == before + 1
+        else:  # the worker grabbed it first: it must then complete
+            assert victim.result(timeout=120) == "1"
+        blocker.cancel()
+        shutdown_pool(wait=False)
+
+    def test_shutdown_from_event_loop_does_not_block(self):
+        import asyncio
+        import time
+
+        shutdown_pool()
+        get_pool(1)
+
+        async def closer():
+            start = time.monotonic()
+            shutdown_pool()            # wait=None -> detects the loop
+            return time.monotonic() - start
+
+        elapsed = asyncio.run(closer())
+        assert elapsed < 2.0
+        assert pool_stats()["created"] >= 1
+
+    def test_default_workers_safe_in_event_loop(self):
+        import asyncio
+
+        async def probe():
+            return default_workers()
+
+        assert asyncio.run(probe()) >= 1
+
+
 class TestDefaultWorkers:
     def test_respects_affinity_mask(self, monkeypatch):
         monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)

@@ -72,3 +72,63 @@ class TestEntryByteIdentity:
         for path in pathlib.Path(directory).glob("plan-*.json"):
             on_disk = path.read_text()
             assert dumps_canonical(json.loads(on_disk)) == on_disk
+
+
+tenant_names = st.sampled_from(("alice", "bob", "carol", "tenant-01"))
+
+
+def _warm_hit(compiled) -> bool:
+    return any(d.code == "plan-cache" for d in compiled.diagnostics.items)
+
+
+class TestMultiTenantProperties:
+    """The tenancy contract, for any DAG the pipeline can compile."""
+
+    @given(seed=seeds, a=tenant_names, b=tenant_names)
+    @settings(max_examples=20, deadline=None)
+    def test_tenants_are_isolated_but_byte_identical(self, seed, a, b):
+        """B never sees A's entries; both still compile to one listing."""
+        cache = PlanCache()
+        cold = compile_dag(random_dag(seed), cache=cache.for_tenant(a))
+        other = compile_dag(random_dag(seed), cache=cache.for_tenant(b))
+        if a == b:
+            if cold.plan is not None:
+                assert _warm_hit(other)
+        else:
+            assert not _warm_hit(other)     # isolation: no cross-tenant hit
+        assert other.listing() == cold.listing()
+
+    @given(seed=seeds, tenant=tenant_names)
+    @settings(max_examples=20, deadline=None)
+    def test_same_tenant_warm_hit_is_byte_identical(self, seed, tenant):
+        cache = PlanCache()
+        view = cache.for_tenant(tenant)
+        cold = compile_dag(random_dag(seed), cache=view)
+        warm = compile_dag(random_dag(seed), cache=view)
+        assert warm.listing() == cold.listing()
+        if cold.plan is not None:
+            assert _warm_hit(warm)
+            assert warm.plan.assignment.node_volume == (
+                cold.plan.assignment.node_volume
+            )
+            assert view.tenant_stats.hits >= 1
+
+    @given(seed=seeds, tenant=tenant_names)
+    @settings(max_examples=20, deadline=None)
+    def test_ttl_expiry_recompiles_to_identical_bytes(self, seed, tenant):
+        """An expired entry is recomputed, not served — and the fresh
+        compile reproduces the evicted result exactly."""
+        now = [0.0]
+        cache = PlanCache(ttl_seconds=100.0, clock=lambda: now[0])
+        view = cache.for_tenant(tenant)
+        cold = compile_dag(random_dag(seed), cache=view)
+        now[0] = 101.0
+        recompiled = compile_dag(random_dag(seed), cache=view)
+        assert not _warm_hit(recompiled)    # expired: must recompute
+        assert recompiled.listing() == cold.listing()
+        if cold.plan is not None:
+            assert cache.stats.expired >= 1
+            now[0] = 102.0                  # fresh deposit serves again
+            warm = compile_dag(random_dag(seed), cache=view)
+            assert _warm_hit(warm)
+            assert warm.listing() == cold.listing()

@@ -1,0 +1,42 @@
+"""Shared fixtures: an in-process daemon per test, plus raw-socket access.
+
+``start_in_thread`` boots the real asyncio server on a loopback port —
+the same code path ``repro serve`` runs — so every test exercises the
+wire, not a mock.  ``use_process_pool=False`` keeps single-test runs
+off the process pool (the pool paths have their own dedicated tests).
+"""
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, start_in_thread
+
+
+@pytest.fixture
+def service():
+    handle = start_in_thread(
+        ServiceConfig(workers=1, use_process_pool=False)
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+@pytest.fixture
+def service_factory():
+    """Build daemons with custom configs; all stopped on teardown."""
+    handles = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("use_process_pool", False)
+        handle = start_in_thread(ServiceConfig(**kwargs))
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop()

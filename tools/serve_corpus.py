@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Service smoke sweep: serve the corpus through a live daemon.
+
+CI boots one in-process ``repro serve`` daemon (the same asyncio server
+``repro serve`` runs, on a loopback port) and drives the full source
+corpus through it from two concurrent clients, then asserts:
+
+* every job completes (no lost submissions, no failures);
+* every served listing equals the deprecated-shim compile of the same
+  source (``compile_assay``) byte-for-byte;
+* the second tenant sweep is warm: every static-plan assay reports a
+  cache hit or coalesced result, never a duplicated cold compile;
+* ``/v1/metrics`` reconciles exactly with the jobs the clients ran.
+
+The final metrics snapshot is written to ``serve_corpus_metrics.json``
+(uploaded as a CI artifact) so regressions in hit rate or per-pass
+latency are visible from the workflow page.
+
+Usage: PYTHONPATH=src python tools/serve_corpus.py [-v] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+from _corpus import source_corpus
+
+from repro.compiler import compile_assay
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, start_in_thread
+
+
+def main(argv) -> int:
+    verbose = "-v" in argv
+    out_path = "serve_corpus_metrics.json"
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+
+    corpus = list(source_corpus())
+    shim_listings = {
+        name: compile_assay(source).listing() + "\n"
+        for name, source in corpus
+    }
+
+    handle = start_in_thread(ServiceConfig(workers=2))
+    failures = 0
+    try:
+        tenants = ("ci-alpha", "ci-beta")
+        sweeps: dict[str, list] = {tenant: [] for tenant in tenants}
+        errors: list[BaseException] = []
+
+        def sweep(tenant: str) -> None:
+            try:
+                client = ServiceClient(handle.url, tenant=tenant)
+                for name, source in corpus:
+                    body = client.run(
+                        "compile", source, name=name, timeout=600
+                    )
+                    artifact = client.artifact(body["job"]["id"])
+                    sweeps[tenant].append((name, body["result"], artifact))
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=sweep, args=(tenant,))
+            for tenant in tenants
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+        # first concurrent sweep: completeness + shim byte-identity
+        for tenant in tenants:
+            assert len(sweeps[tenant]) == len(corpus), (
+                f"{tenant}: {len(sweeps[tenant])}/{len(corpus)} jobs done"
+            )
+            for name, result, artifact in sweeps[tenant]:
+                line = (
+                    f"{name:16s} [{tenant}] cache={result['cache']:9s} "
+                    f"plan={result['plan_status']}"
+                )
+                if verbose:
+                    print(line)
+                if artifact != shim_listings[name].encode("utf-8"):
+                    print(f"{name}: served listing differs from shim")
+                    failures += 1
+                if result["exit_code"] != 0:
+                    print(f"{name}: exit {result['exit_code']}")
+                    failures += 1
+
+        # warm sweep: one tenant resubmits everything
+        warm_client = ServiceClient(handle.url, tenant=tenants[0])
+        warm_hits = 0
+        static = 0
+        for name, source in corpus:
+            result = warm_client.run(
+                "compile", source, name=name, timeout=600
+            )["result"]
+            if result["plan_status"] != "runtime":
+                static += 1
+                if result["cache"] == "hit":
+                    warm_hits += 1
+                elif verbose:
+                    print(f"{name}: warm resubmit was {result['cache']}")
+        print(
+            f"warm sweep: {warm_hits}/{static} static assays served "
+            "from the tenant cache"
+        )
+        if warm_hits != static:
+            print("warm hit-rate below 100% for static plans")
+            failures += 1
+
+        metrics = warm_client.metrics()
+        total_jobs = 2 * len(corpus) + len(corpus)
+        if metrics["jobs_total"]["submitted"] != total_jobs:
+            print(
+                f"metrics submitted={metrics['jobs_total']['submitted']} "
+                f"!= {total_jobs}"
+            )
+            failures += 1
+        if metrics["jobs_total"]["done"] != total_jobs:
+            print("metrics report undone jobs")
+            failures += 1
+
+        with open(out_path, "w", encoding="utf-8") as handle_file:
+            json.dump(metrics, handle_file, indent=2, sort_keys=True)
+            handle_file.write("\n")
+        print(f"metrics snapshot -> {out_path}")
+    finally:
+        handle.stop()
+
+    if failures:
+        print(f"\n{failures} service smoke check(s) failed")
+        return 1
+    print(f"{len(corpus)} corpus assays served clean by the daemon")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
