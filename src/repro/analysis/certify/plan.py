@@ -425,7 +425,11 @@ class _PlanChecker:
                 node=node.id,
             )
             return
-        if node.excess_fraction <= 0:
+        # A waste-objective compile shares one stage between cascades: its
+        # consumers then drink what a private stage would have discarded, so
+        # zero excess and multiple successors are legitimate there.
+        consumers = int(node.meta.get("cascade_consumers", 1))
+        if node.excess_fraction <= 0 and consumers < 2:
             self.emit(
                 "PLAN-SLICE",
                 f"cascade stage {node.id!r} discards nothing; without an "
@@ -433,14 +437,17 @@ class _PlanChecker:
                 node=node.id,
             )
         successors = [e.dst for e in self._out_edges(node.id)]
-        if len(successors) != 1:
+        if len(successors) != max(1, consumers):
             self.emit(
                 "PLAN-SLICE",
                 f"cascade stage {node.id!r} feeds {len(successors)} "
-                "consumers; a stage concentrate flows to exactly one "
-                "next stage",
+                f"consumers; a stage concentrate flows to exactly "
+                f"{max(1, consumers)} next stage(s)",
                 node=node.id,
             )
+            return
+        if consumers > 1:
+            # each branch is checked when its own chain's stages come up
             return
         # walk the concentrate chain; it must reach the cascaded node
         current, hops = successors[0], 0

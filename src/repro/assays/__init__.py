@@ -9,7 +9,15 @@ Each assay module exposes:
 * paper-specific helpers/constants used by the benchmarks.
 """
 
-from . import enzyme, extra, generators, glucose, glycomics, paper_example
+from . import (
+    enzyme,
+    extra,
+    generators,
+    glucose,
+    glycomics,
+    gradients,
+    paper_example,
+)
 
 __all__ = [
     "paper_example",
@@ -17,5 +25,6 @@ __all__ = [
     "glycomics",
     "enzyme",
     "generators",
+    "gradients",
     "extra",
 ]

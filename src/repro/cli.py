@@ -99,6 +99,7 @@ def _cli_options(args) -> dict:
         "use_lp": not getattr(args, "no_lp", False),
         "allow_cascading": not getattr(args, "no_cascade", False),
         "allow_replication": not getattr(args, "no_replicate", False),
+        "objective": getattr(args, "objective", "default"),
     }
 
 
@@ -209,11 +210,11 @@ def cmd_plan(args) -> int:
         for node_id in compiled.final_dag.topological_order():
             if node_id in assignment.node_volume:
                 print(f"  {node_id}: {float(assignment.node_volume[node_id]):.4g}")
-        from .core.report import fluid_requirements, waste_breakdown
+        from .core.report import fluid_requirements, plan_waste_breakdown
 
         print()
         print(fluid_requirements(assignment).render())
-        waste = waste_breakdown(assignment)
+        waste = plan_waste_breakdown(compiled.plan, assignment)
         if waste.excess or waste.retained:
             print()
             print(waste.render())
@@ -315,6 +316,10 @@ def cmd_compile(args) -> int:
             machine=inv.spec.name,
             fingerprint=ctx.compile_fingerprint() if ctx.is_static else None,
         )
+        if ctx.plan is not None:
+            from .compiler.passes.events import plan_payload
+
+            payload["plan"] = plan_payload(ctx.plan)
         if ctx.cache is not None:
             payload["cache"] = ctx.cache.stats.to_dict()
         if args.profile:
@@ -621,12 +626,16 @@ def cmd_client(args) -> int:
             if args.file == "-"
             else os.path.splitext(os.path.basename(args.file))[0]
         )
+        options: dict | None = None
+        if args.kind == "compile" and args.objective:
+            options = {"objective": args.objective}
         response = client.run(
             args.kind,
             source,
             name=name,
             machine=args.machine,
             params=params,
+            options=options,
             timeout=args.timeout,
         )
         job = response["job"]
@@ -673,6 +682,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable cascading of extreme mix ratios")
         p.add_argument("--no-replicate", action="store_true",
                        help="disable static replication")
+        p.add_argument(
+            "--objective",
+            choices=("default", "waste"),
+            default="default",
+            help="planning objective: 'default' maximises delivered output "
+            "(paper-faithful); 'waste' minimises loaded-minus-delivered "
+            "reagent volume",
+        )
         if run_options:
             p.add_argument(
                 "--coeff",
@@ -988,6 +1005,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument(
         "--assay", action="store_true",
         help="lint/certify: treat the input as assay source",
+    )
+    p_client.add_argument(
+        "--objective", choices=("default", "waste"),
+        help="compile: planning objective for the submitted job",
     )
     p_client.add_argument("--topology", choices=("bus", "ring"))
     p_client.add_argument("--seeds", type=int, default=10)

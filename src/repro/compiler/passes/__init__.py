@@ -26,6 +26,7 @@ from .events import (
     PassEvent,
     PassEventBus,
     events_payload,
+    plan_payload,
     render_timing_table,
 )
 from .manager import OK, Pass, PassManager, PassOutcome, run_instrumented
@@ -39,6 +40,7 @@ from .stages import (
     HierarchyLoop,
     LintPass,
     LPFallback,
+    ObjectiveSelect,
     ParseSource,
     Partition,
     PlanDiagnostics,
@@ -63,6 +65,7 @@ __all__ = [
     "PassEvent",
     "PassEventBus",
     "events_payload",
+    "plan_payload",
     "render_timing_table",
     "OK",
     "Pass",
@@ -74,6 +77,7 @@ __all__ = [
     "Unroll",
     "BuildDAG",
     "Partition",
+    "ObjectiveSelect",
     "RestorePlan",
     "DAGSolvePass",
     "LPFallback",

@@ -112,6 +112,11 @@ class CompileContext:
         return self.spec.limits
 
     @property
+    def objective(self):
+        """The planning objective driving every solver in this compile."""
+        return self.manager.objective
+
+    @property
     def is_static(self) -> bool:
         """True when no runtime planner took over volume assignment."""
         return self.planner is None

@@ -28,6 +28,7 @@ __all__ = [
     "PassEventBus",
     "NULL_BUS",
     "events_payload",
+    "plan_payload",
     "profile_payload",
     "render_profile_table",
     "render_timing_table",
@@ -162,6 +163,30 @@ def events_payload(bus: PassEventBus, **extra: Any) -> dict[str, Any]:
     }
     payload.update(extra)
     return payload
+
+
+def plan_payload(plan) -> dict[str, Any]:
+    """The ``--stats-json`` view of a volume plan's attempt history.
+
+    Derived from the :class:`~repro.core.hierarchy.VolumePlan` itself, not
+    from pass events, so a warm cache hit (where the hierarchy passes
+    never ran) reports the same winning-attempt metadata as the cold
+    compile that populated the cache entry.
+    """
+    return {
+        "status": plan.status,
+        "attempts": [
+            {
+                "stage": attempt.stage,
+                "round": attempt.round,
+                "succeeded": attempt.succeeded,
+                "detail": attempt.detail,
+                "objective": attempt.objective,
+            }
+            for attempt in plan.attempts
+        ],
+        "transforms": [str(report) for report in plan.transforms],
+    }
 
 
 def profile_payload(bus: PassEventBus) -> list[dict[str, Any]]:

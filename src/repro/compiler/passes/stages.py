@@ -11,6 +11,7 @@ verdicts are independent of concrete trip counts.)
 Volume management (one pass each for the hierarchy's boxes)::
 
     Partition            runtime-deferred assays get a RuntimePlanner
+    ObjectiveSelect      record the planning objective driving the solvers
     RestorePlan          content-addressed cache lookup (prefix skip)
     HierarchyLoop        DAGSolvePass -> LPFallback -> CascadeTransform
                          -> ReplicateTransform, looped per Figure 6
@@ -64,6 +65,7 @@ __all__ = [
     "Unroll",
     "BuildDAG",
     "Partition",
+    "ObjectiveSelect",
     "RestorePlan",
     "DAGSolvePass",
     "LPFallback",
@@ -246,6 +248,29 @@ class Partition(Pass):
         return PassOutcome(detail=f"{planner.n_partitions} partitions")
 
 
+class ObjectiveSelect(Pass):
+    """Record which planning objective drives the hierarchy's solvers.
+
+    The objective itself lives on the :class:`VolumeManager` (so batch
+    workers and the cache fingerprint see it through ``options_dict``);
+    this pass surfaces the selection in the pass trace and diagnostics so
+    ``--explain`` and ``--stats-json`` readers can tell a waste-optimised
+    compile from a paper-faithful one at a glance.
+    """
+
+    name = "objective"
+
+    def run(self, ctx: CompileContext) -> PassOutcome:
+        objective = ctx.objective
+        if objective.name != "default":
+            ctx.diagnostics.note(
+                "objective",
+                f"planning objective {objective.name!r}: "
+                f"{objective.description}",
+            )
+        return PassOutcome(detail=objective.name)
+
+
 class RestorePlan(Pass):
     """Serve the volume plan from the content-addressed cache."""
 
@@ -299,10 +324,18 @@ class DAGSolvePass(Pass):
             cache_note = (
                 "hit" if manager.cache.stats.hits > hits_before else "miss"
             )
-            assignment = dispense(state.current, vnorms, manager.limits)
+            assignment = dispense(
+                state.current,
+                vnorms,
+                manager.limits,
+                objective=manager.objective,
+            )
         else:
             assignment = exact_dagsolve(
-                state.current, manager.limits, ctx.output_targets
+                state.current,
+                manager.limits,
+                ctx.output_targets,
+                objective=manager.objective,
             )
         violations = assignment.violations()
         state.attempts.append(
@@ -312,6 +345,7 @@ class DAGSolvePass(Pass):
                 not violations,
                 detail="; ".join(str(v) for v in violations[:3]),
                 violations=tuple(violations),
+                objective=manager.objective.name,
             )
         )
         if not violations:
@@ -350,17 +384,30 @@ class LPFallback(Pass):
     def run(self, ctx: CompileContext) -> PassOutcome:
         state = ctx.hierarchy
         manager = ctx.manager
+        if state.transformed:
+            # only reachable in the objective-reordered round (LP last):
+            # let the rewritten DAG go through DAGSolve first
+            return PassOutcome(
+                status="skipped", detail="transform already rewrote this round"
+            )
         if state.lp_builder is None:
             state.lp_builder = IncrementalLPBuilder(
                 manager.limits,
                 output_tolerance=manager.output_tolerance,
+                objective=manager.objective,
             )
         try:
             model = state.lp_builder.build(state.current)
             assignment = solve_model(model, warm_start=state.lp_warm)
         except (InfeasibleError, SolverError) as error:
             state.attempts.append(
-                Attempt("lp", state.round, False, detail=str(error))
+                Attempt(
+                    "lp",
+                    state.round,
+                    False,
+                    detail=str(error),
+                    objective=manager.objective.name,
+                )
             )
             return PassOutcome(status="failed", detail=str(error))
         stats = state.lp_builder.last_stats
@@ -379,6 +426,7 @@ class LPFallback(Pass):
                 not violations,
                 detail=reuse_note,
                 violations=tuple(violations),
+                objective=manager.objective.name,
             )
         )
         if not violations:
@@ -414,11 +462,17 @@ class CascadeTransform(Pass):
             return PassOutcome(status="skipped", detail="no extreme mixes")
         try:
             state.current, reports = cascade_extreme_mixes(
-                state.current, manager.limits
+                state.current, manager.limits, objective=manager.objective
             )
         except (VolumeError, ResourceExhaustedError) as error:
             state.attempts.append(
-                Attempt("cascade", state.round, False, detail=str(error))
+                Attempt(
+                    "cascade",
+                    state.round,
+                    False,
+                    detail=str(error),
+                    objective=manager.objective.name,
+                )
             )
             return PassOutcome(status="failed", detail=str(error))
         state.transforms.extend(reports)
@@ -428,6 +482,7 @@ class CascadeTransform(Pass):
                 state.round,
                 True,
                 detail="; ".join(str(r) for r in reports),
+                objective=manager.objective.name,
             )
         )
         state.transformed = bool(reports)
@@ -460,7 +515,13 @@ class ReplicateTransform(Pass):
             )
         except (VolumeError, ResourceExhaustedError) as error:
             state.attempts.append(
-                Attempt("replicate", state.round, False, detail=str(error))
+                Attempt(
+                    "replicate",
+                    state.round,
+                    False,
+                    detail=str(error),
+                    objective=manager.objective.name,
+                )
             )
             return PassOutcome(status="failed", detail=str(error))
         state.transforms.extend(reports)
@@ -470,6 +531,7 @@ class ReplicateTransform(Pass):
                 state.round,
                 True,
                 detail="; ".join(str(r) for r in reports),
+                objective=manager.objective.name,
             )
         )
         state.transformed = bool(reports)
@@ -477,7 +539,17 @@ class ReplicateTransform(Pass):
 
 
 class HierarchyLoop(Pass):
-    """The Figure 6 flowchart: solve, fall back, transform, repeat."""
+    """The Figure 6 flowchart: solve, fall back, transform, repeat.
+
+    The paper's round order is DAGSolve → LP → cascade → replicate.  A
+    scale-minimising objective (``--objective waste``) reorders the round
+    to DAGSolve → cascade → replicate → LP: its front-loaded cascades
+    often need a replication round to clear the least count at the waste
+    floor, and an early LP "rescue" of the intermediate state would lock
+    in a contorted low-utilisation solution that the next structural
+    rewrite would have beaten outright.  The LP stays available as the
+    last resort of a round in which no transform applied.
+    """
 
     name = "hierarchy"
 
@@ -489,6 +561,11 @@ class HierarchyLoop(Pass):
 
     def children(self) -> Sequence[Pass]:
         return (self.dagsolve, self.lp, self.cascade, self.replicate)
+
+    def round_stages(self, manager) -> Sequence[Pass]:
+        if manager.objective.minimize_scale:
+            return (self.dagsolve, self.cascade, self.replicate, self.lp)
+        return self.children()
 
     def applicable(self, ctx: CompileContext) -> bool:
         return ctx.is_static and not ctx.plan_restored
@@ -513,7 +590,7 @@ class HierarchyLoop(Pass):
         for round_number in range(1, manager.max_rounds + 1):
             state.round = round_number
             state.transformed = False
-            for stage in self.children():
+            for stage in self.round_stages(manager):
                 run_instrumented(stage, ctx, round=round_number)
                 if state.plan is not None:
                     break
@@ -741,6 +818,7 @@ def default_passes() -> list[Pass]:
     """The full compile pipeline, front end through certification."""
     return [ParseSource(), SourceLintPass(), Unroll(), BuildDAG()] + [
         Partition(),
+        ObjectiveSelect(),
         RestorePlan(),
         HierarchyLoop(),
         Round(),

@@ -38,6 +38,7 @@ __all__ = [
     "is_extreme_mix",
     "find_extreme_mixes",
     "stage_factors",
+    "waste_stage_factors",
     "cascade_mix",
     "cascade_extreme_mixes",
 ]
@@ -45,16 +46,25 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CascadeReport:
-    """Provenance of one cascading rewrite."""
+    """Provenance of one cascading rewrite.
+
+    ``shared_ids`` names pre-existing cascade stages this rewrite reused
+    instead of creating (waste objective only): the reused stage's excess
+    share shrinks by the new consumer's draw.
+    """
 
     node: str
     depth: int
     factors: tuple[Fraction, ...]
     intermediate_ids: tuple[str, ...]
+    shared_ids: tuple[str, ...] = ()
 
     def __str__(self) -> str:
         chain = " -> ".join(f"1:{factor - 1}" for factor in self.factors)
-        return f"cascade {self.node}: {chain}"
+        suffix = ""
+        if self.shared_ids:
+            suffix = f" ({len(self.shared_ids)} stage(s) shared)"
+        return f"cascade {self.node}: {chain}{suffix}"
 
 
 def _minor_edge(dag: AssayDAG, node_id: str) -> Edge:
@@ -140,6 +150,59 @@ def stage_factors(total_factor: Fraction, depth: int) -> list[Fraction]:
     return factors
 
 
+def waste_stage_factors(
+    total_factor: Fraction,
+    limits: HardwareLimits,
+    *,
+    max_depth: int = 8,
+) -> list[Fraction]:
+    """Front-loaded stage split minimising cascade discard (waste objective).
+
+    The discard of a cascade is ``sum(1 - 1/f)`` over every stage factor
+    *after the first* (stage ``i``'s excess share is fixed by stage
+    ``i+1``'s draw, so the first factor is free).  Pushing as much dilution
+    as possible into the front therefore shrinks the tail factors and the
+    discard with them: a 1:999 mix splits as ``[500, 2]`` (half a stage
+    volume discarded) where the default equal split ``[32, 125/4]``
+    discards ~97% of one.  Every factor stays strictly inside the dynamic
+    range so no stage is itself extreme; the product is exact.
+    """
+    total = Fraction(total_factor)
+    if total <= 1:
+        raise RatioError(f"dilution factor must exceed 1, got {total}")
+    span = limits.dynamic_range
+    # the largest integer factor whose minor share still clears the range
+    cap = int(span) - 1 if Fraction(span).denominator == 1 else int(span)
+    if cap < 2:
+        raise ResourceExhaustedError(
+            f"dynamic range {span} leaves no room for cascading"
+        )
+    factors: list[Fraction] = []
+    remaining = total
+    while remaining > cap:
+        if len(factors) >= max_depth - 1:
+            raise ResourceExhaustedError(
+                f"no cascade of depth <= {max_depth} brings dilution factor "
+                f"{total} within dynamic range {span}"
+            )
+        # keep the remainder >= 2 so the tail never degenerates to 1:0
+        factors.append(Fraction(max(2, min(cap, int(remaining / 2)))))
+        remaining /= factors[-1]
+    if not factors:
+        # not actually extreme for this hardware; fall back to the
+        # paper-faithful two-way split
+        return stage_factors(total, 2)
+    if remaining - 1 <= 1 / (span - 1):
+        # a final factor this close to 1 would make the *diluent* side the
+        # extreme one; no front-loaded split exists
+        raise ResourceExhaustedError(
+            f"front-loaded cascade of dilution factor {total} leaves an "
+            f"extreme final stage (1:{remaining - 1})"
+        )
+    factors.append(remaining)
+    return factors
+
+
 def _pick_depth(
     total_factor: Fraction, limits: HardwareLimits, max_depth: int
 ) -> tuple[int, list[Fraction]]:
@@ -158,6 +221,8 @@ def cascade_mix(
     dag: AssayDAG,
     node_id: str,
     factors: list[Fraction],
+    *,
+    share_registry: dict[tuple, str] | None = None,
 ) -> tuple[AssayDAG, CascadeReport]:
     """Rewrite a two-input mix into a cascade with the given stage factors.
 
@@ -165,6 +230,13 @@ def cascade_mix(
     and becomes the *final* stage; fresh intermediate nodes named
     ``<id>.cascade1 ...`` are inserted upstream, each with an excess node
     capturing its statically-known discard.
+
+    ``share_registry`` (waste objective) maps ``(concentrate, diluent,
+    factor)`` to an existing stage id producing exactly that dilution.  On a
+    hit the stage is reused instead of duplicated: the reuse draws from the
+    stage's would-be discard, so its excess share shrinks by the new
+    consumer's draw (and the excess node disappears once fully consumed).
+    Created stages are entered into the registry for later rewrites.
 
     Returns the rewritten copy of the DAG plus a provenance report.
     """
@@ -201,10 +273,31 @@ def cascade_mix(
     new_dag.remove_edge(major.src, node_id)
 
     intermediates: list[str] = []
+    shared: list[str] = []
     concentrate = minor.src
     for stage, factor in enumerate(factors):
         is_last = stage == len(factors) - 1
         stage_id = node_id if is_last else f"{node_id}.cascade{stage + 1}"
+        if not is_last and share_registry is not None:
+            next_factor = factors[stage + 1]
+            key = (concentrate, major.src, factor)
+            existing = share_registry.get(key)
+            if existing is not None and existing in new_dag:
+                stage_node = new_dag.node(existing)
+                draw = stage_node.meta.get("cascade_draw", Fraction(0))
+                draw += 1 / next_factor
+                stage_node.meta["cascade_draw"] = draw
+                stage_node.meta["cascade_consumers"] = (
+                    stage_node.meta.get("cascade_consumers", 1) + 1
+                )
+                stage_node.excess_fraction = max(Fraction(0), 1 - draw)
+                if stage_node.excess_fraction == 0:
+                    for out in list(new_dag.out_edges(existing)):
+                        if out.is_excess:
+                            new_dag.remove_node(out.dst)
+                shared.append(existing)
+                concentrate = existing
+                continue
         if is_last:
             stage_node = new_dag.node(node_id)
             stage_node.ratio = None  # the declared ratio no longer applies
@@ -218,6 +311,15 @@ def cascade_mix(
                 for key in ("seq", "duration", "op", "line")
                 if key in node.meta
             }
+            sharing: dict[str, object] = {}
+            if share_registry is not None:
+                key = (concentrate, major.src, factor)
+                sharing = {
+                    "cascade_key": key,
+                    "cascade_draw": 1 / next_factor,
+                    "cascade_consumers": 1,
+                }
+                share_registry[key] = stage_id
             stage_node = new_dag.add_node(
                 Node(
                     stage_id,
@@ -228,6 +330,7 @@ def cascade_mix(
                         **inherited,
                         "cascade_of": node_id,
                         "stage": stage + 1 - len(factors),
+                        **sharing,
                     },
                 )
             )
@@ -251,6 +354,7 @@ def cascade_mix(
         depth=len(factors),
         factors=tuple(factors),
         intermediate_ids=tuple(intermediates),
+        shared_ids=tuple(shared),
     )
     return new_dag, report
 
@@ -261,18 +365,42 @@ def cascade_extreme_mixes(
     *,
     slack: Fraction = Fraction(1),
     max_depth: int = 8,
+    objective=None,
 ) -> tuple[AssayDAG, list[CascadeReport]]:
     """Cascade every extreme mix in the DAG (Figure 6's left-to-right arrow).
+
+    With a waste-aware planning ``objective`` the stage split comes from
+    :func:`waste_stage_factors` (front-loaded, minimal discard) and stages
+    producing identical dilutions are shared between cascades, each consumer
+    drinking from the others' would-be discard.  The default objective keeps
+    the paper's iterative-deepening equal split untouched.
 
     Returns the rewritten DAG and one report per rewritten node; the DAG is
     returned unchanged (same object) when nothing is extreme.
     """
+    waste_aware = objective is not None and getattr(
+        objective, "waste_aware_cascades", False
+    )
+    registry: dict[tuple, str] | None = None
+    if waste_aware:
+        registry = {}
+        for node in dag.nodes():
+            key = node.meta.get("cascade_key")
+            if key is not None:
+                registry[tuple(key)] = node.id
     reports: list[CascadeReport] = []
     current = dag
     for node_id in find_extreme_mixes(dag, limits, slack=slack):
         minor = _minor_edge(current, node_id)
         total_factor = 1 / minor.fraction
-        __, factors = _pick_depth(total_factor, limits, max_depth)
-        current, report = cascade_mix(current, node_id, factors)
+        if waste_aware:
+            factors = waste_stage_factors(
+                total_factor, limits, max_depth=max_depth
+            )
+        else:
+            __, factors = _pick_depth(total_factor, limits, max_depth)
+        current, report = cascade_mix(
+            current, node_id, factors, share_registry=registry
+        )
         reports.append(report)
     return current, reports

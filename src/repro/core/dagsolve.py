@@ -336,16 +336,60 @@ def _constrained_scale(dag: AssayDAG, vnorms: VnormResult) -> Fraction | None:
     return cap
 
 
+def _floor_scale(
+    dag: AssayDAG, vnorms: VnormResult, limits: HardwareLimits
+) -> Fraction | None:
+    """The smallest feasible scale (waste objective's dispensing anchor).
+
+    The scale below which *some* feasibility lower bound breaks: every
+    non-excess edge must still clear the least count, and every FU minimum
+    must still be met.  ``None`` when the DAG imposes no lower bound.
+    """
+    floor: Fraction | None = None
+    least_count = limits.least_count
+    for edge in dag.edges():
+        if edge.is_excess:
+            continue
+        vnorm = vnorms.edge_vnorm[edge.key]
+        if vnorm <= 0:
+            continue
+        bound = least_count / vnorm
+        if floor is None or bound > floor:
+            floor = bound
+    for node in dag.nodes():
+        if node.min_volume is None:
+            continue
+        held = vnorms.node_input_vnorm[node.id]
+        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+            held = vnorms.node_vnorm[node.id]
+        if held <= 0:
+            continue
+        bound = node.min_volume / held
+        if floor is None or bound > floor:
+            floor = bound
+    return floor
+
+
 def dispense(
     dag: AssayDAG,
     vnorms: VnormResult,
     limits: HardwareLimits,
+    *,
+    objective=None,
 ) -> VolumeAssignment:
     """Forward (dispensing) pass of DAGSolve (paper Figure 4, lines 8-11).
 
     Anchors the node with the largest Vnorm at its capacity (the paper's
     ``max_default``) and scales every other node and edge proportionally,
     honouring per-node capacity overrides and measured constrained inputs.
+
+    When ``objective`` (a :class:`~repro.core.objectives.PlanningObjective`)
+    asks for scale minimisation (``--objective waste``), the pass instead
+    settles at the smallest feasible scale — the capacity anchor stays an
+    upper cap, but no node is filled to capacity just because capacity is
+    there, so unused headroom is never loaded.  The feasibility window is
+    unchanged: a DAG infeasible under the default anchor is dispensed at
+    the anchor so its violations read identically.
     """
     max_vnorm = vnorms.max_vnorm()
     if max_vnorm <= 0:
@@ -364,6 +408,14 @@ def dispense(
     constrained_cap = _constrained_scale(dag, vnorms)
     if constrained_cap is not None:
         scale = min(scale, constrained_cap)
+    if objective is not None:
+        from .objectives import resolve_objective
+
+        objective = resolve_objective(objective)
+    if objective is not None and objective.minimize_scale:
+        floor = _floor_scale(dag, vnorms, limits)
+        if floor is not None and floor < scale:
+            scale = floor
 
     node_volume = {n: v * scale for n, v in vnorms.node_vnorm.items()}
     node_input_volume = {
@@ -432,6 +484,7 @@ def dagsolve(
     output_targets: Mapping[str, Number] | None = None,
     *,
     strict: bool = False,
+    objective=None,
 ) -> VolumeAssignment:
     """Run both DAGSolve passes and return the volume assignment.
 
@@ -442,9 +495,12 @@ def dagsolve(
         strict: when true, raise :class:`UnderflowError` /
             :class:`OverflowError_` on the first violation instead of
             returning an infeasible assignment for inspection.
+        objective: optional :class:`~repro.core.objectives.
+            PlanningObjective` steering the dispensing anchor (see
+            :func:`dispense`).
     """
     vnorms = compute_vnorms(dag, output_targets)
-    assignment = dispense(dag, vnorms, limits)
+    assignment = dispense(dag, vnorms, limits, objective=objective)
     if strict:
         assignment.require_feasible()
     return assignment

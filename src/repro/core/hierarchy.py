@@ -28,6 +28,7 @@ from .dag import AssayDAG
 from .dagsolve import VolumeAssignment, Violation
 from .errors import VolumeError
 from .limits import HardwareLimits, Number
+from .objectives import resolve_objective
 from .replication import ReplicationReport
 
 __all__ = ["Attempt", "VolumePlan", "VolumeManager"]
@@ -44,10 +45,13 @@ class Attempt:
     succeeded: bool
     detail: str = ""
     violations: Sequence[Violation] = ()
+    objective: str = "default"
 
     def __str__(self) -> str:
         outcome = "ok" if self.succeeded else "failed"
         suffix = f" ({self.detail})" if self.detail else ""
+        if self.objective != "default":
+            suffix += f" [{self.objective}]"
         return f"round {self.round}: {self.stage} {outcome}{suffix}"
 
 
@@ -104,6 +108,10 @@ class VolumeManager:
         output_tolerance: LP's optional output-to-output band.
         max_rounds: transform-and-retry iterations before giving up.
         max_total_nodes: PLoC resource budget for replication growth.
+        objective: planning objective name or instance
+            (:mod:`repro.core.objectives`) — ``"default"`` reproduces the
+            paper's maximise-delivered-output plans, ``"waste"`` minimises
+            loaded-minus-delivered volume at every stage of the hierarchy.
         cache: optional Vnorm memo — any object with a
             ``memo_vnorms(dag, output_targets=None) -> VnormResult`` method
             (in practice :class:`repro.compiler.cache.PlanCache`).  When
@@ -123,6 +131,7 @@ class VolumeManager:
         max_rounds: int = 4,
         max_total_nodes: int | None = None,
         cache=None,
+        objective="default",
     ) -> None:
         self.limits = limits
         self.use_lp = use_lp
@@ -132,6 +141,7 @@ class VolumeManager:
         self.max_rounds = max_rounds
         self.max_total_nodes = max_total_nodes
         self.cache = cache
+        self.objective = resolve_objective(objective)
 
     def options_dict(self) -> dict:
         """The planning-relevant knobs, for cache fingerprinting."""
@@ -142,6 +152,7 @@ class VolumeManager:
             "output_tolerance": self.output_tolerance,
             "max_rounds": self.max_rounds,
             "max_total_nodes": self.max_total_nodes,
+            "objective": self.objective.name,
         }
 
     # ------------------------------------------------------------------

@@ -333,18 +333,30 @@ def _min_ratio(
     return best
 
 
+def _max_ratio(
+    best: tuple[int, int] | None, num: int, den: int
+) -> tuple[int, int]:
+    """max over positive rationals held as (num, den) pairs."""
+    if best is None or num * best[1] > best[0] * den:
+        return (num, den)
+    return best
+
+
 def exact_dagsolve(
     dag: AssayDAG,
     limits: HardwareLimits,
     output_targets: Mapping[str, Number] | None = None,
     *,
     strict: bool = False,
+    objective=None,
 ) -> VolumeAssignment:
     """Both DAGSolve passes over scaled integers.
 
     Drop-in replacement for :func:`repro.core.dagsolve.dagsolve`; the
     returned :class:`VolumeAssignment` (volumes, scale, embedded Vnorms)
-    is bit-identical to the reference implementation's.
+    is bit-identical to the reference implementation's — including under a
+    scale-minimising ``objective``, whose floor selection mirrors
+    :func:`repro.core.dagsolve._floor_scale` in the integer domain.
     """
     context = exact_context(dag)
     targets = _validated_targets(context, output_targets)
@@ -392,6 +404,38 @@ def exact_dagsolve(
         best = _min_ratio(
             best, available.numerator * scale, available.denominator * vnorm
         )
+    if objective is not None:
+        from .objectives import resolve_objective
+
+        objective = resolve_objective(objective)
+    if objective is not None and objective.minimize_scale:
+        # the waste anchor: the largest lower bound over least-count and
+        # FU-minimum constraints, taken only when it undercuts the cap
+        floor: tuple[int, int] | None = None
+        least_count: Fraction = limits.least_count
+        lc_num = least_count.numerator * scale
+        lc_den = least_count.denominator
+        for edge in context.dag.edges():
+            if edge.is_excess:
+                continue
+            vnorm = edge_vn[edge.key]
+            if vnorm <= 0:
+                continue
+            floor = _max_ratio(floor, lc_num, lc_den * vnorm)
+        for node_id, node, __ in context.checks:
+            minimum = node.min_volume
+            if minimum is None:
+                continue
+            held = node_in[node_id]
+            if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
+                held = node_vn[node_id]
+            if held <= 0:
+                continue
+            floor = _max_ratio(
+                floor, minimum.numerator * scale, minimum.denominator * held
+            )
+        if floor is not None and floor[0] * best[1] < best[0] * floor[1]:
+            best = floor
     scale_num, scale_den = best
     scale_fraction = Fraction(scale_num, scale_den)
 

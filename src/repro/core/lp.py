@@ -151,6 +151,9 @@ def solve_model(
         "iterations": int(getattr(result, "nit", 0)),
         "dagsolve_constraints": model.meta.get("dagsolve_constraints", False),
     }
+    planning_objective = model.meta.get("planning_objective")
+    if planning_objective not in (None, "default"):
+        meta["planning_objective"] = planning_objective
     if warm_meta is not None:
         meta["warm_start"] = warm_meta
     incremental = model.meta.get("incremental")
@@ -174,16 +177,20 @@ def lp_solve(
     *,
     output_tolerance: float | None = 0.1,
     dagsolve_constraints: bool = False,
+    objective=None,
 ) -> VolumeAssignment:
     """Build and solve the RVol LP for ``dag``.
 
     ``dagsolve_constraints=True`` reproduces the Section 4.3 ablation where
-    DAGSolve's artificial constraints are added to the LP.
+    DAGSolve's artificial constraints are added to the LP; ``objective``
+    selects the planning objective building the cost vector
+    (:mod:`repro.core.objectives`).
     """
     model = build_lp_model(
         dag,
         limits,
         output_tolerance=output_tolerance,
         dagsolve_constraints=dagsolve_constraints,
+        objective=objective,
     )
     return solve_model(model)

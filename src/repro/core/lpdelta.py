@@ -50,6 +50,7 @@ from .lpmodel import (
     ConstraintRow,
     LPModel,
 )
+from .objectives import resolve_objective
 
 __all__ = ["IncrementalLPBuilder"]
 
@@ -122,11 +123,13 @@ class IncrementalLPBuilder:
         output_tolerance: float | None = 0.1,
         dagsolve_constraints: bool = False,
         min_volume_bounds: bool = True,
+        objective=None,
     ) -> None:
         self.limits = limits
         self.output_tolerance = output_tolerance
         self.dagsolve_constraints = dagsolve_constraints
         self.min_volume_bounds = min_volume_bounds
+        self.objective = resolve_objective(objective)
         #: node id -> (signature, ub rows, eq rows)
         self._bundles: dict[str, tuple[Any, list[_Row], list[_Row]]] = {}
         #: (tail signature, objective pairs, class-6 ub rows, eq rows)
@@ -291,28 +294,30 @@ class IncrementalLPBuilder:
                 if not e.is_excess
             )
 
-        signature = tuple(
-            (
-                n.id,
-                n.kind,
-                n.output_fraction,
-                in_signature(n.id),
-                dag.in_degree(n.id),
-            )
-            for n in output_nodes
+        # keyed per-objective: bundles built for one cost vector must never
+        # serve another, and the objective may read structure (e.g. input
+        # draws) the output-set signature alone would not cover
+        signature = (
+            self.objective.name,
+            self.objective.lp_signature_extra(dag),
+            tuple(
+                (
+                    n.id,
+                    n.kind,
+                    n.output_fraction,
+                    in_signature(n.id),
+                    dag.in_degree(n.id),
+                )
+                for n in output_nodes
+            ),
         )
         cached = self._tail
         if cached is not None and cached[0] == signature:
             return cached[1], cached[2], cached[3]
 
-        objective_pairs: list[tuple[EdgeKey, float]] = []
-        for node in output_nodes:
-            if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
-                continue
-            fraction_out = node.output_fraction or Fraction(1)
-            for e in dag.in_edges(node.id):
-                if not e.is_excess:
-                    objective_pairs.append((e.key, float(fraction_out)))
+        objective_pairs = self.objective.lp_objective_pairs(
+            dag, output_nodes
+        )
 
         def output_volume_coefficients(
             node_id: str,
@@ -492,6 +497,7 @@ class IncrementalLPBuilder:
             meta={
                 "output_tolerance": self.output_tolerance,
                 "dagsolve_constraints": self.dagsolve_constraints,
+                "planning_objective": self.objective.name,
                 "incremental": dict(self.last_stats),
             },
         )

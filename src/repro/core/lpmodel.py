@@ -19,7 +19,10 @@ classes are generated, with paper Figure 3 as the reference instance:
    fixed percentage of an anchor output (Figure 3's ``0.9 N <= M <= 1.1 N``),
    two rows per non-anchor output.
 
-The objective maximises the sum of final output volumes.
+The cost vector is built by the pluggable planning objective
+(:mod:`repro.core.objectives`); the default objective maximises the sum of
+final output volumes, the ``waste`` objective minimises total source draw
+minus total delivery.
 
 For the ablation in paper Section 4.3 ("adding DAGSolve's additional
 constraints to the LP formulation"), :func:`build_lp_model` can also emit
@@ -47,6 +50,7 @@ from scipy import sparse
 from .dag import AssayDAG, Edge, NodeKind
 from .errors import DagError
 from .limits import HardwareLimits
+from .objectives import resolve_objective
 
 __all__ = ["ConstraintRow", "LPModel", "build_lp_model"]
 
@@ -166,6 +170,7 @@ def build_lp_model(
     output_tolerance: float | None = 0.1,
     dagsolve_constraints: bool = False,
     min_volume_bounds: bool = True,
+    objective=None,
 ) -> LPModel:
     """Build the RVol linear model for ``dag``.
 
@@ -175,6 +180,9 @@ def build_lp_model(
         limits: hardware capacity and least count.
         output_tolerance: the optional class-6 bound (0.1 reproduces
             Figure 3's 10% band); ``None`` omits the class entirely.
+        objective: a :class:`~repro.core.objectives.PlanningObjective` (or
+            its name) that builds the cost vector; ``None`` / ``"default"``
+            reproduces the paper's maximise-total-output objective exactly.
         dagsolve_constraints: also emit DAGSolve's two artificial constraint
             sets (flow conservation + output equalisation) for the
             Section 4.3 ablation.
@@ -312,14 +320,11 @@ def build_lp_model(
                     equality=True,
                 )
 
-    # -- objective: maximise total output production ----------------------
-    objective = np.zeros(n_vars)
-    for node in output_nodes:
-        fraction_out = node.output_fraction or Fraction(1)
-        if node.kind in (NodeKind.INPUT, NodeKind.CONSTRAINED_INPUT):
-            continue  # degenerate: an unused input is not a product
-        for i, __ in in_vars(node.id):
-            objective[i] -= float(fraction_out)  # linprog minimises
+    # -- objective: cost vector delegated to the planning objective -------
+    planning = resolve_objective(objective)
+    cost = np.zeros(n_vars)
+    for key, value in planning.lp_objective_pairs(dag, output_nodes):
+        cost[var_index[key]] -= value  # linprog minimises
 
     # -- class 6: relative output-to-output -------------------------------
     def output_volume_coefficients(node_id: str) -> list[tuple[int, Fraction]]:
@@ -375,7 +380,7 @@ def build_lp_model(
         dag=dag,
         limits=limits,
         var_index=var_index,
-        objective=objective,
+        objective=cost,
         a_ub=a_ub,
         b_ub=b_ub,
         a_eq=a_eq,
@@ -386,5 +391,6 @@ def build_lp_model(
         meta={
             "output_tolerance": output_tolerance,
             "dagsolve_constraints": dagsolve_constraints,
+            "planning_objective": planning.name,
         },
     )

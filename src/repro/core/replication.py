@@ -127,9 +127,16 @@ def replicate_node(
     buckets = _balanced_partition(weighted, copies)
 
     new_dag = dag.copy()
-    replica_ids = [node_id] + [
-        f"{node_id}.rep{i + 1}" for i in range(1, copies)
-    ]
+    # Allocate fresh replica ids: a node can be replicated again in a later
+    # iteration (its replicas from the previous round are still in the DAG),
+    # so skip suffixes that are already taken.
+    replica_ids = [node_id]
+    suffix = 2
+    while len(replica_ids) < copies:
+        candidate = f"{node_id}.rep{suffix}"
+        if candidate not in dag:
+            replica_ids.append(candidate)
+        suffix += 1
     inbound = [e.copy() for e in dag.in_edges(node_id)]
     for replica_id in replica_ids[1:]:
         replica = node.copy()

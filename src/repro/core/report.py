@@ -22,6 +22,7 @@ __all__ = [
     "fluid_requirements",
     "WasteBreakdown",
     "waste_breakdown",
+    "plan_waste_breakdown",
 ]
 
 
@@ -198,3 +199,24 @@ def waste_breakdown(assignment: VolumeAssignment) -> WasteBreakdown:
         delivered=delivered,
         excess_by_node=excess_by_node,
     )
+
+
+def plan_waste_breakdown(plan, assignment=None) -> WasteBreakdown:
+    """Waste accounting for a plan, against its *final* DAG.
+
+    A regeneration plan keeps the best assignment seen across all rounds,
+    which can predate a cascade rewrite — pricing the old graph misses
+    every excess edge the transform introduced, so the breakdown would
+    under-attribute cascade-node discard.  When the assignment's DAG is
+    not the plan's, the volumes are re-derived over the post-transform
+    graph so the accounting matches what ``repro certify`` checks.
+    """
+    from .intsolve import exact_dagsolve
+
+    if assignment is None:
+        assignment = plan.assignment
+    if assignment is None:
+        raise ValueError(f"plan for {plan.dag.name!r} has no assignment")
+    if assignment.dag is not plan.dag:
+        assignment = exact_dagsolve(plan.dag, assignment.limits)
+    return waste_breakdown(assignment)

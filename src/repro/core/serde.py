@@ -327,6 +327,7 @@ def _attempt_to_dict(attempt: Attempt) -> dict[str, Any]:
         "succeeded": attempt.succeeded,
         "detail": attempt.detail,
         "violations": [_violation_to_dict(v) for v in attempt.violations],
+        "objective": attempt.objective,
     }
 
 
@@ -339,6 +340,7 @@ def _attempt_from_dict(data: dict[str, Any]) -> Attempt:
         violations=tuple(
             _violation_from_dict(v) for v in data["violations"]
         ),
+        objective=data.get("objective", "default"),
     )
 
 
@@ -350,6 +352,7 @@ def _transform_to_dict(report) -> dict[str, Any]:
             "depth": report.depth,
             "factors": [fraction_to_str(f) for f in report.factors],
             "intermediate_ids": list(report.intermediate_ids),
+            "shared_ids": list(report.shared_ids),
         }
     if isinstance(report, ReplicationReport):
         return {
@@ -369,6 +372,7 @@ def _transform_from_dict(data: dict[str, Any]):
             depth=data["depth"],
             factors=tuple(fraction_from_str(f) for f in data["factors"]),
             intermediate_ids=tuple(data["intermediate_ids"]),
+            shared_ids=tuple(data.get("shared_ids", ())),
         )
     if data["kind"] == "replicate":
         return ReplicationReport(

@@ -116,7 +116,7 @@ class ServiceClient:
         *,
         name: str | None = None,
         machine: str | None = None,
-        options: dict[str, bool] | None = None,
+        options: dict[str, bool | str] | None = None,
         params: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """POST one job; returns the queued job status payload."""

@@ -8,7 +8,8 @@ One submit body shape covers all four job kinds::
       "name":    "glucose",            # optional; default derives "job"
       "machine": "aquacore",           # optional machine spec name
       "options": {"use_lp": true, "allow_cascading": true,
-                  "allow_replication": true},          # optional knobs
+                  "allow_replication": true,
+                  "objective": "default"},             # optional knobs
       "params":  { ... kind-specific, see below ... }  # optional
     }
 
@@ -50,7 +51,8 @@ JOB_KINDS = ("compile", "lint", "certify", "stress")
 DEFAULT_MAX_SOURCE_BYTES = 262_144
 
 _TOP_KEYS = {"kind", "source", "name", "machine", "options", "params"}
-_OPTION_KEYS = {"use_lp", "allow_cascading", "allow_replication"}
+_OPTION_KEYS = {"use_lp", "allow_cascading", "allow_replication", "objective"}
+_OBJECTIVES = ("default", "waste")
 _PARAM_KEYS = {
     "compile": set(),
     "lint": {"assay"},
@@ -83,7 +85,7 @@ class JobRequest:
     source: str
     name: str = "job"
     machine: str = "aquacore"
-    options: dict[str, bool] = field(default_factory=dict)
+    options: dict[str, bool | str] = field(default_factory=dict)
     params: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -216,10 +218,21 @@ def parse_job_request(
         f"unknown options: {sorted(unknown)}",
     )
     _expect(
-        all(isinstance(value, bool) for value in options.values()),
+        all(
+            isinstance(value, bool)
+            for key, value in options.items()
+            if key != "objective"
+        ),
         "bad-request",
         "options values must be booleans",
     )
+    if "objective" in options:
+        _expect(
+            options["objective"] in _OBJECTIVES,
+            "bad-request",
+            f"options.objective must be one of {_OBJECTIVES}, "
+            f"got {options['objective']!r}",
+        )
     params = body.get("params", {})
     _expect(
         isinstance(params, dict), "bad-request", "params must be an object"
@@ -229,6 +242,9 @@ def parse_job_request(
         source=source,
         name=name,
         machine=machine,
-        options={key: bool(value) for key, value in options.items()},
+        options={
+            key: (value if key == "objective" else bool(value))
+            for key, value in options.items()
+        },
         params=_validate_params(kind, params),
     )

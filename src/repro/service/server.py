@@ -120,7 +120,7 @@ def _error_payload(code: str, message: str) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 # job execution (thread / pool side)
 # ---------------------------------------------------------------------------
-def _options_for(spec: MachineSpec, raw: dict[str, bool]) -> dict[str, Any]:
+def _options_for(spec: MachineSpec, raw: dict[str, bool | str]) -> dict[str, Any]:
     """Normalize request options to the full fingerprint knob set."""
     return VolumeManager(spec.limits, **raw).options_dict()
 

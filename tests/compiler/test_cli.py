@@ -86,6 +86,25 @@ class TestCompile:
         assert "loop0: index i: 1->4" in out
         assert "move s5(i), mixer1" in out
 
+    def test_objective_default_is_noop(self, glucose_file, capsys):
+        assert main(["compile", glucose_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["compile", glucose_file, "--objective", "default"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_objective_waste_compiles(self, glucose_file, capsys):
+        assert main(["compile", glucose_file, "--objective", "waste"]) == 0
+        out = capsys.readouterr().out
+        assert "glucose{" in out
+
+    def test_unknown_objective_rejected(self, glucose_file):
+        with pytest.raises(SystemExit):
+            main(["compile", glucose_file, "--objective", "speed"])
+
+    def test_plan_command_takes_objective(self, glucose_file, capsys):
+        assert main(["plan", glucose_file, "--objective", "waste"]) == 0
+        assert "dagsolve" in capsys.readouterr().out
+
 
 class TestRun:
     def test_readings(self, glucose_file, capsys):
@@ -181,6 +200,27 @@ class TestCompileInstrumentation:
         names = [entry["name"] for entry in data["passes"]]
         assert "parse" in names and "codegen" in names
         assert all("wall_ms" in entry for entry in data["passes"])
+
+    def test_stats_json_plan_payload_warm_equals_cold(
+        self, glucose_file, tmp_path, capsys
+    ):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        argv = ["compile", glucose_file, "--cache-dir", cache_dir,
+                "--stats-json"]
+        assert main(argv + [str(cold_path)]) == 0
+        assert main(argv + [str(warm_path)]) == 0
+        cold = json.loads(cold_path.read_text())["plan"]
+        warm = json.loads(warm_path.read_text())["plan"]
+        # the warm hit restores the plan, so the winning attempt and
+        # transform metadata match the cold compile exactly
+        assert warm == cold
+        assert cold["status"] in ("dagsolve", "lp")
+        assert any(a["succeeded"] for a in cold["attempts"])
+        assert all(a["objective"] == "default" for a in cold["attempts"])
 
     def test_warm_cache_shows_prefix_skip(self, glucose_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")

@@ -68,6 +68,19 @@ class TestOptions:
     def test_non_bool_option_rejected(self):
         rejects(body(options={"use_lp": 1}), "bad-request")
 
+    def test_objective_option_accepted(self):
+        for objective in ("default", "waste"):
+            request = parse_job_request(
+                body(options={"objective": objective, "use_lp": True})
+            )
+            assert request.options["objective"] == objective
+            assert request.options["use_lp"] is True
+
+    def test_unknown_objective_rejected(self):
+        error = rejects(body(options={"objective": "speed"}), "bad-request")
+        assert "objective" in str(error)
+        rejects(body(options={"objective": True}), "bad-request")
+
 
 class TestParams:
     def test_compile_takes_no_params(self):

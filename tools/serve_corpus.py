@@ -115,8 +115,38 @@ def main(argv) -> int:
             print("warm hit-rate below 100% for static plans")
             failures += 1
 
+        # objective sweep: one waste-objective job per tenant.  The plan
+        # cache is warm with default-objective plans for every corpus
+        # assay; a waste compile of the same source must MISS (disjoint
+        # fingerprints) yet still complete clean.
+        waste_name, waste_source = corpus[1]  # glucose: static plan
+        for tenant in tenants:
+            client = ServiceClient(handle.url, tenant=tenant)
+            result = client.run(
+                "compile",
+                waste_source,
+                name=f"{waste_name}-waste",
+                options={"objective": "waste"},
+                timeout=600,
+            )["result"]
+            if result["exit_code"] != 0:
+                print(f"{tenant}: waste-objective compile failed")
+                failures += 1
+            if result["cache"] == "hit":
+                print(
+                    f"{tenant}: waste compile hit the default-objective "
+                    "cache entry (fingerprints not disjoint)"
+                )
+                failures += 1
+            if verbose:
+                print(
+                    f"{waste_name:16s} [{tenant}] objective=waste "
+                    f"cache={result['cache']:9s} "
+                    f"plan={result['plan_status']}"
+                )
+
         metrics = warm_client.metrics()
-        total_jobs = 2 * len(corpus) + len(corpus)
+        total_jobs = 2 * len(corpus) + len(corpus) + len(tenants)
         if metrics["jobs_total"]["submitted"] != total_jobs:
             print(
                 f"metrics submitted={metrics['jobs_total']['submitted']} "

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Gate the pluggable-objective refactor across the full corpus.
+
+Three checks, run over every corpus assay (``tools/_corpus.py``) plus the
+dilution-gradient workload family (``repro.assays.gradients``):
+
+1. **Default byte-identity** — compiling with an explicit
+   ``objective="default"`` manager must produce an AIS listing
+   byte-identical to the legacy shim path (``compile_assay`` /
+   ``compile_dag`` with no manager at all, i.e. the pre-refactor
+   behaviour).  The objective refactor must be invisible when nobody
+   asks for it.
+2. **Waste-objective compile + certify** — every entry must also compile
+   under ``objective="waste"`` and the resulting plan must pass the plan
+   certificate with zero errors (regeneration fallbacks may carry
+   warnings; structural errors never).
+3. **Fingerprint disjointness** — for static plans, the compile
+   fingerprint under ``waste`` must differ from the one under
+   ``default``, so the shared plan cache can never serve one
+   objective's plan to the other.
+
+Exits nonzero on any failure.
+
+Usage: PYTHONPATH=src python tools/waste_corpus.py [-v]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _corpus import corpus_entries
+
+from repro.analysis.certify import certify
+from repro.assays.gradients import gradient_corpus
+from repro.compiler import compile_assay, compile_dag
+from repro.compiler.passes import run_compile
+from repro.core.hierarchy import VolumeManager
+from repro.machine.spec import AQUACORE_SPEC
+
+
+def manager_for(objective: str) -> VolumeManager:
+    return VolumeManager(AQUACORE_SPEC.limits, objective=objective)
+
+
+def all_entries():
+    """Corpus entries plus the gradient family, as (name, kwargs)."""
+    yield from corpus_entries()
+    for dag in gradient_corpus():
+        yield dag.name, {"dag": dag}
+
+
+def compile_with(kwargs: dict, manager: VolumeManager | None):
+    ctx = run_compile(spec=AQUACORE_SPEC, manager=manager, **kwargs)
+    return ctx
+
+
+def legacy_listing(kwargs: dict) -> str:
+    """The pre-refactor entry points, no manager and no objective."""
+    if "source" in kwargs:
+        return compile_assay(kwargs["source"]).listing()
+    return compile_dag(kwargs["dag"]).listing()
+
+
+def check_entry(name: str, kwargs: dict, verbose: bool) -> list[str]:
+    problems: list[str] = []
+
+    default_ctx = compile_with(dict(kwargs), manager_for("default"))
+    if default_ctx.compiled.listing() != legacy_listing(dict(kwargs)):
+        problems.append("default listing differs from the legacy shim path")
+
+    waste_ctx = compile_with(dict(kwargs), manager_for("waste"))
+    report = certify(waste_ctx.compiled)
+    errors = report.counts["error"]
+    if errors:
+        problems.append(f"waste plan certification: {errors} error(s)")
+        if verbose:
+            for finding in report.findings:
+                problems.append(f"  {finding}")
+
+    if default_ctx.is_static and waste_ctx.is_static:
+        if default_ctx.compile_fingerprint() == waste_ctx.compile_fingerprint():
+            problems.append("objectives share a compile fingerprint")
+
+    if verbose and waste_ctx.plan is not None:
+        problems.append(f"  [info] waste status: {waste_ctx.plan.status}")
+    return problems
+
+
+def main(argv) -> int:
+    verbose = "-v" in argv
+    failures = 0
+    for name, kwargs in all_entries():
+        problems = check_entry(name, kwargs, verbose)
+        real = [p for p in problems if not p.strip().startswith("[info]")]
+        status = "ok" if not real else "; ".join(real)
+        print(f"{name:28s} {status}")
+        for problem in problems:
+            if problem.strip().startswith("[info]"):
+                print(f"  {problem.strip()}")
+        if real:
+            failures += 1
+    if failures:
+        print(f"\n{failures} corpus entr(ies) failed the objective gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
